@@ -1,0 +1,290 @@
+//! Per-statement def/use extraction.
+//!
+//! Computes, for an expression or declaration, the set of variables it
+//! *defines* (writes) and *uses* (reads), plus the calls it makes. Library
+//! calls consult [`crate::libmodel`] so that e.g. `strncpy(dest, data, n)`
+//! counts as a definition of `dest` and uses of `data` and `n` — exactly the
+//! dataflow the paper's Fig. 1 slices rely on.
+
+use crate::libmodel::lib_func;
+use sevuldet_lang::ast::{Decl, Expr, ExprKind, SizeofArg, UnaryOp};
+
+/// A call site observed inside one statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallInfo {
+    /// Callee name.
+    pub callee: String,
+    /// For each argument, the identifiers appearing in it (in order).
+    pub arg_idents: Vec<Vec<String>>,
+    /// 1-based source line of the call.
+    pub line: u32,
+}
+
+/// Accumulated defs/uses/calls of one statement-sized piece of AST.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DefUse {
+    /// Variables written.
+    pub defs: Vec<String>,
+    /// Variables read.
+    pub uses: Vec<String>,
+    /// Calls made.
+    pub calls: Vec<CallInfo>,
+}
+
+impl DefUse {
+    /// Collects defs/uses/calls of an expression evaluated for its value
+    /// (and side effects).
+    pub fn of_expr(e: &Expr) -> DefUse {
+        let mut du = DefUse::default();
+        du.expr(e, false);
+        du.dedup();
+        du
+    }
+
+    /// Collects defs/uses of a declaration (`T x = init;` defines `x`).
+    pub fn of_decl(d: &Decl) -> DefUse {
+        let mut du = DefUse::default();
+        if let Some(init) = &d.init {
+            du.expr(init, false);
+        }
+        du.defs.push(d.name.clone());
+        du.dedup();
+        du
+    }
+
+    fn dedup(&mut self) {
+        dedup_keep_order(&mut self.defs);
+        dedup_keep_order(&mut self.uses);
+    }
+
+    /// Visits `e`. When `as_target` is true the expression is the target of
+    /// an assignment: a bare identifier becomes a def; projections
+    /// (`a[i]`, `p->f`, `*p`) become a def *and* use of the root variable
+    /// (weak update) plus uses of any index subexpressions.
+    fn expr(&mut self, e: &Expr, as_target: bool) {
+        match &e.kind {
+            ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::StrLit(_) => {}
+            ExprKind::Ident(n) => {
+                if as_target {
+                    self.defs.push(n.clone());
+                } else {
+                    self.uses.push(n.clone());
+                }
+            }
+            ExprKind::Unary { op, expr } => {
+                if *op == UnaryOp::Deref && as_target {
+                    // `*p = v` writes through p: def pointee (modelled as p),
+                    // and reads p itself.
+                    if let Some(root) = expr.root_var() {
+                        self.defs.push(root.to_string());
+                    }
+                    self.expr(expr, false);
+                } else {
+                    self.expr(expr, false);
+                }
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.expr(lhs, false);
+                self.expr(rhs, false);
+            }
+            ExprKind::Assign { op, target, value } => {
+                self.expr(value, false);
+                self.expr(target, true);
+                // Compound assignment also reads the target.
+                if op.binary_op().is_some() {
+                    self.expr(target, false);
+                }
+            }
+            ExprKind::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                self.expr(cond, false);
+                self.expr(then_expr, false);
+                self.expr(else_expr, false);
+            }
+            ExprKind::Call { callee, args } => {
+                let model = lib_func(callee);
+                let mut arg_idents = Vec::with_capacity(args.len());
+                for (i, a) in args.iter().enumerate() {
+                    arg_idents.push(collect_idents(a));
+                    let is_out = model.is_some_and(|m| m.out_params.contains(&i));
+                    if is_out {
+                        if let Some(root) = a.root_var() {
+                            self.defs.push(root.to_string());
+                        }
+                        self.expr(a, false);
+                    } else if let ExprKind::Unary {
+                        op: UnaryOp::AddrOf,
+                        expr,
+                    } = &a.kind
+                    {
+                        // `f(&x)`: x may be written by the callee.
+                        if let Some(root) = expr.root_var() {
+                            self.defs.push(root.to_string());
+                            self.uses.push(root.to_string());
+                        }
+                    } else {
+                        self.expr(a, false);
+                    }
+                }
+                // `free(p)` both uses p and changes its state; model as
+                // def+use so the PDG links the free to later uses.
+                if model.is_some_and(|m| m.frees) {
+                    if let Some(first) = args.first() {
+                        if let Some(root) = first.root_var() {
+                            self.defs.push(root.to_string());
+                        }
+                    }
+                }
+                self.calls.push(CallInfo {
+                    callee: callee.clone(),
+                    arg_idents,
+                    line: e.span.start.line,
+                });
+            }
+            ExprKind::Index { base, index } => {
+                if as_target {
+                    if let Some(root) = base.root_var() {
+                        self.defs.push(root.to_string());
+                    }
+                    self.expr(base, false);
+                } else {
+                    self.expr(base, false);
+                }
+                self.expr(index, false);
+            }
+            ExprKind::Member { base, .. } => {
+                if as_target {
+                    if let Some(root) = base.root_var() {
+                        self.defs.push(root.to_string());
+                    }
+                    self.expr(base, false);
+                } else {
+                    self.expr(base, false);
+                }
+            }
+            ExprKind::Cast { expr, .. } => self.expr(expr, as_target),
+            ExprKind::Sizeof(arg) => {
+                // `sizeof e` does not evaluate e, but its identifiers are
+                // still semantically linked; record them as uses.
+                if let SizeofArg::Expr(e) = arg {
+                    self.expr(e, false);
+                }
+            }
+            ExprKind::PreIncDec { expr, .. } | ExprKind::PostIncDec { expr, .. } => {
+                if let Some(root) = expr.root_var() {
+                    self.defs.push(root.to_string());
+                }
+                self.expr(expr, false);
+            }
+            ExprKind::Comma { lhs, rhs } => {
+                self.expr(lhs, false);
+                self.expr(rhs, false);
+            }
+        }
+    }
+}
+
+fn collect_idents(e: &Expr) -> Vec<String> {
+    let mut v = sevuldet_lang::visit::expr_idents(e);
+    dedup_keep_order(&mut v);
+    v
+}
+
+fn dedup_keep_order(v: &mut Vec<String>) {
+    let mut seen = std::collections::HashSet::new();
+    v.retain(|s| seen.insert(s.clone()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sevuldet_lang::ast::StmtKind;
+    use sevuldet_lang::parse;
+
+    fn expr_du(src: &str) -> DefUse {
+        let full = format!("void t() {{ {src} }}");
+        let p = parse(&full).unwrap();
+        let f = p.function("t").unwrap();
+        match &f.body.stmts[0].kind {
+            StmtKind::Expr(e) => DefUse::of_expr(e),
+            StmtKind::Decl(d) => DefUse::of_decl(d),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_assignment() {
+        let du = expr_du("x = y + z;");
+        assert_eq!(du.defs, vec!["x"]);
+        assert_eq!(du.uses, vec!["y", "z"]);
+    }
+
+    #[test]
+    fn compound_assignment_reads_target() {
+        let du = expr_du("x += y;");
+        assert_eq!(du.defs, vec!["x"]);
+        assert!(du.uses.contains(&"x".to_string()));
+        assert!(du.uses.contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn array_store_is_weak_update() {
+        let du = expr_du("buf[i] = v;");
+        assert_eq!(du.defs, vec!["buf"]);
+        assert!(du.uses.contains(&"buf".to_string()));
+        assert!(du.uses.contains(&"i".to_string()));
+        assert!(du.uses.contains(&"v".to_string()));
+    }
+
+    #[test]
+    fn strncpy_defines_dest() {
+        let du = expr_du("strncpy(dest, data, n);");
+        assert_eq!(du.defs, vec!["dest"]);
+        assert!(du.uses.contains(&"data".to_string()));
+        assert!(du.uses.contains(&"n".to_string()));
+        assert_eq!(du.calls.len(), 1);
+        assert_eq!(du.calls[0].callee, "strncpy");
+        assert_eq!(du.calls[0].arg_idents[0], vec!["dest"]);
+    }
+
+    #[test]
+    fn addrof_arg_to_unknown_fn_is_def_and_use() {
+        let du = expr_du("parse_header(&hdr, len);");
+        assert!(du.defs.contains(&"hdr".to_string()));
+        assert!(du.uses.contains(&"hdr".to_string()));
+        assert!(du.uses.contains(&"len".to_string()));
+    }
+
+    #[test]
+    fn free_defines_pointer_state() {
+        let du = expr_du("free(p);");
+        assert!(du.defs.contains(&"p".to_string()));
+        assert!(du.uses.contains(&"p".to_string()));
+    }
+
+    #[test]
+    fn decl_with_malloc_defines_name() {
+        let du = expr_du("char *p = malloc(n);");
+        assert_eq!(du.defs, vec!["p"]);
+        assert!(du.uses.contains(&"n".to_string()));
+        assert_eq!(du.calls[0].callee, "malloc");
+    }
+
+    #[test]
+    fn deref_store() {
+        let du = expr_du("*p = v;");
+        assert!(du.defs.contains(&"p".to_string()));
+        assert!(du.uses.contains(&"p".to_string()));
+        assert!(du.uses.contains(&"v".to_string()));
+    }
+
+    #[test]
+    fn incdec_defines_and_uses() {
+        let du = expr_du("i++;");
+        assert_eq!(du.defs, vec!["i"]);
+        assert_eq!(du.uses, vec!["i"]);
+    }
+}

@@ -1,0 +1,81 @@
+//! # sevuldet-analysis
+//!
+//! Static-analysis substrate for the SEVulDet reproduction: per-function
+//! control-flow graphs, post-dominators, control dependence
+//! (Ferrante-Ottenstein-Warren), reaching definitions / data dependence,
+//! program dependence graphs ([`Pdg`], Definition 6 of the paper), call
+//! graphs, and the control-range table that Algorithm 1's path-sensitive
+//! slicing consumes.
+//!
+//! The paper obtains PDGs from Joern; this crate is the from-scratch
+//! replacement built directly on `sevuldet-lang`'s AST.
+//!
+//! ## Example
+//!
+//! ```
+//! use sevuldet_analysis::{Pdg, ranges::control_ranges};
+//!
+//! let src = r#"
+//! void copy(char *dest, char *data, int n) {
+//!     if (n < 10) {
+//!         strncpy(dest, data, n);
+//!     }
+//! }
+//! "#;
+//! let program = sevuldet_lang::parse(src).unwrap();
+//! let f = program.function("copy").unwrap();
+//! let pdg = Pdg::build(f);
+//! assert!(pdg.data.len() > 0);
+//! let ranges = control_ranges(f);
+//! assert_eq!(ranges.len(), 1); // the `if`
+//! ```
+
+pub mod callgraph;
+pub mod cfg;
+pub mod control_dep;
+pub mod defuse;
+pub mod libmodel;
+pub mod pdg;
+pub mod postdom;
+pub mod ranges;
+pub mod reaching;
+
+pub use callgraph::CallGraph;
+pub use cfg::{Cfg, EdgeKind, Node, NodeId, NodeRole};
+pub use control_dep::ControlDeps;
+pub use defuse::DefUse;
+pub use pdg::Pdg;
+pub use postdom::PostDom;
+pub use ranges::{control_ranges, ControlRange, RangeKind};
+pub use reaching::{data_deps, DataDep};
+
+use sevuldet_lang::ast::Program;
+use std::collections::HashMap;
+
+/// Whole-program analysis bundle: one [`Pdg`] per function plus the
+/// [`CallGraph`].
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysis {
+    /// PDG per function name.
+    pub pdgs: HashMap<String, Pdg>,
+    /// The program's call graph.
+    pub callgraph: CallGraph,
+}
+
+impl ProgramAnalysis {
+    /// Analyzes every function of a program.
+    pub fn analyze(program: &Program) -> ProgramAnalysis {
+        let cfgs = cfg::build_all(program);
+        let callgraph = CallGraph::build(program, &cfgs);
+        let pdgs = cfgs
+            .into_iter()
+            .map(|(name, cfg)| (name, Pdg::from_cfg(cfg)))
+            .collect();
+        ProgramAnalysis { pdgs, callgraph }
+    }
+
+    /// The PDG of `func`, if the function exists.
+    pub fn pdg(&self, func: &str) -> Option<&Pdg> {
+        self.pdgs.get(func)
+    }
+}

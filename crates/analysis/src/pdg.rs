@@ -1,0 +1,174 @@
+//! Program Dependence Graphs (Definition 6 of the paper).
+//!
+//! A [`Pdg`] packages a function's CFG with its data-dependence edges and
+//! control-dependence relation — the standard Ferrante-Ottenstein-Warren
+//! construction the paper obtains from Joern.
+
+use crate::cfg::{Cfg, EdgeKind, NodeId};
+use crate::control_dep::ControlDeps;
+use crate::postdom::PostDom;
+use crate::reaching::{data_deps, DataDep};
+use sevuldet_lang::ast::Function;
+use std::collections::HashMap;
+
+/// The program dependence graph of one function.
+#[derive(Debug, Clone)]
+pub struct Pdg {
+    /// The underlying CFG (owns node text, lines, def/use sets, calls).
+    pub cfg: Cfg,
+    /// All data-dependence edges.
+    pub data: Vec<DataDep>,
+    /// The control-dependence relation.
+    pub control: ControlDeps,
+    data_succs: HashMap<NodeId, Vec<(NodeId, String)>>,
+    data_preds: HashMap<NodeId, Vec<(NodeId, String)>>,
+}
+
+impl Pdg {
+    /// Builds the PDG of a function: CFG → post-dominators → control deps →
+    /// reaching definitions.
+    pub fn build(f: &Function) -> Pdg {
+        let cfg = Cfg::build(f);
+        Self::from_cfg(cfg)
+    }
+
+    /// Builds a PDG from an already-constructed CFG.
+    pub fn from_cfg(cfg: Cfg) -> Pdg {
+        let pd = PostDom::compute(&cfg);
+        let control = ControlDeps::compute(&cfg, &pd);
+        let data = data_deps(&cfg);
+        let mut data_succs: HashMap<NodeId, Vec<(NodeId, String)>> = HashMap::new();
+        let mut data_preds: HashMap<NodeId, Vec<(NodeId, String)>> = HashMap::new();
+        for d in &data {
+            data_succs
+                .entry(d.from)
+                .or_default()
+                .push((d.to, d.var.clone()));
+            data_preds
+                .entry(d.to)
+                .or_default()
+                .push((d.from, d.var.clone()));
+        }
+        Pdg {
+            cfg,
+            data,
+            control,
+            data_succs,
+            data_preds,
+        }
+    }
+
+    /// Nodes whose value flows *from* `n` (forward data dependence).
+    pub fn data_succs(&self, n: NodeId) -> &[(NodeId, String)] {
+        self.data_succs.get(&n).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Nodes whose value flows *into* `n` (backward data dependence).
+    pub fn data_preds(&self, n: NodeId) -> &[(NodeId, String)] {
+        self.data_preds.get(&n).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The branch nodes `n` is control dependent on.
+    pub fn control_preds(&self, n: NodeId) -> Vec<NodeId> {
+        self.control.deps_of(n).iter().map(|(a, _)| *a).collect()
+    }
+
+    /// Nodes control dependent on `n`.
+    pub fn control_succs(&self, n: NodeId) -> Vec<NodeId> {
+        self.cfg
+            .node_ids()
+            .filter(|m| self.control.depends(*m, n))
+            .collect()
+    }
+
+    /// All dependence successors (data + control) of `n`.
+    pub fn succs_all(&self, n: NodeId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.data_succs(n).iter().map(|(m, _)| *m).collect();
+        v.extend(self.control_succs(n));
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// All dependence predecessors (data + control) of `n`.
+    pub fn preds_all(&self, n: NodeId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.data_preds(n).iter().map(|(m, _)| *m).collect();
+        v.extend(self.control_preds(n));
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Whether branch `a` guards `b` and with which branch kinds.
+    pub fn control_edge_kinds(&self, b: NodeId, a: NodeId) -> Vec<EdgeKind> {
+        self.control
+            .deps_of(b)
+            .iter()
+            .filter(|(n, _)| *n == a)
+            .map(|(_, k)| *k)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sevuldet_lang::parse;
+
+    fn pdg_of(src: &str) -> Pdg {
+        let p = parse(src).unwrap();
+        let pdg = Pdg::build(p.functions().next().unwrap());
+        pdg
+    }
+
+    fn node_with(pdg: &Pdg, tok: &str) -> NodeId {
+        pdg.cfg
+            .node_ids()
+            .find(|id| pdg.cfg.node(*id).tokens.first().map(String::as_str) == Some(tok))
+            .unwrap_or_else(|| panic!("no node starting with {tok}"))
+    }
+
+    #[test]
+    fn fig1_guarded_strncpy_pdg_shape() {
+        // The motivating example: strncpy guarded by `if (n < 10)`.
+        let src = r#"
+void copy(char *dest, char *data, int n) {
+    if (n < 10) {
+        strncpy(dest, data, n);
+    }
+}
+"#;
+        let pdg = pdg_of(src);
+        let guard = node_with(&pdg, "if");
+        let copy = node_with(&pdg, "strncpy");
+        // strncpy is control dependent on the guard...
+        assert!(pdg.control_preds(copy).contains(&guard));
+        // ...and data dependent on the parameters (entry).
+        assert!(pdg
+            .data_preds(copy)
+            .iter()
+            .any(|(n, v)| *n == pdg.cfg.entry() && v == "n"));
+    }
+
+    #[test]
+    fn succs_and_preds_are_inverse() {
+        let src = "void f(int n) { int x = n; if (x > 0) { g(x); } }";
+        let pdg = pdg_of(src);
+        for a in pdg.cfg.node_ids() {
+            for b in pdg.succs_all(a) {
+                assert!(
+                    pdg.preds_all(b).contains(&a),
+                    "succ/pred must be symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn control_edge_kind_of_else_arm() {
+        let pdg = pdg_of("void f(int n) { if (n) { a(); } else { b(); } }");
+        let head = node_with(&pdg, "if");
+        let b = node_with(&pdg, "b");
+        assert_eq!(pdg.control_edge_kinds(b, head), vec![EdgeKind::False]);
+    }
+}

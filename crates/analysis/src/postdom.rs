@@ -1,0 +1,207 @@
+//! Post-dominator computation (Cooper-Harvey-Kennedy on the reverse CFG).
+//!
+//! Post-dominance underpins control dependence (Ferrante-Ottenstein-Warren):
+//! node `b` is control dependent on branch `a` exactly when `a` has one
+//! successor that `b` post-dominates and another it does not.
+
+use crate::cfg::{Cfg, NodeId};
+
+/// The immediate-post-dominator tree of a CFG.
+#[derive(Debug, Clone)]
+pub struct PostDom {
+    /// `ipdom[n]` = immediate post-dominator of node `n` (`None` only for the
+    /// exit node).
+    ipdom: Vec<Option<NodeId>>,
+}
+
+impl PostDom {
+    /// Computes post-dominators for `cfg`.
+    ///
+    /// The CFG guarantees every node reaches exit (pseudo edges are added for
+    /// infinite loops), so the iteration converges with all nodes assigned.
+    pub fn compute(cfg: &Cfg) -> PostDom {
+        // Reverse post-order on the *reverse* graph = post-order from exit.
+        let order = reverse_graph_rpo(cfg);
+        let mut index_of = vec![usize::MAX; cfg.len()];
+        for (i, n) in order.iter().enumerate() {
+            index_of[n.index()] = i;
+        }
+        let mut ipdom: Vec<Option<usize>> = vec![None; cfg.len()];
+        ipdom[cfg.exit().index()] = Some(index_of[cfg.exit().index()]);
+
+        let intersect = |ipdom: &[Option<usize>], mut a: usize, mut b: usize| -> usize {
+            // Walk up by RPO index; smaller index = closer to exit.
+            while a != b {
+                while a > b {
+                    a = ipdom[order[a].index()].expect("processed");
+                }
+                while b > a {
+                    b = ipdom[order[b].index()].expect("processed");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (i, &n) in order.iter().enumerate() {
+                if n == cfg.exit() {
+                    continue;
+                }
+                // "Predecessors" in the reverse graph = successors in the CFG.
+                let mut new_idom: Option<usize> = None;
+                for &(s, _) in cfg.succs(n) {
+                    let si = index_of[s.index()];
+                    if si == usize::MAX {
+                        continue; // successor not on any exit path (shouldn't happen)
+                    }
+                    if ipdom[s.index()].is_some() {
+                        new_idom = Some(match new_idom {
+                            None => si,
+                            Some(cur) => intersect(&ipdom, cur, si),
+                        });
+                    }
+                }
+                if let Some(nd) = new_idom {
+                    if ipdom[n.index()] != Some(nd) {
+                        ipdom[n.index()] = Some(nd);
+                        changed = true;
+                    }
+                }
+                let _ = i;
+            }
+        }
+
+        let ipdom = (0..cfg.len())
+            .map(|n| {
+                if n == cfg.exit().index() {
+                    None
+                } else {
+                    ipdom[n].map(|i| order[i])
+                }
+            })
+            .collect();
+        PostDom { ipdom }
+    }
+
+    /// Immediate post-dominator of `n` (`None` for the exit node).
+    pub fn ipdom(&self, n: NodeId) -> Option<NodeId> {
+        self.ipdom[n.index()]
+    }
+
+    /// Whether `a` post-dominates `b` (reflexive).
+    pub fn post_dominates(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = Some(b);
+        while let Some(n) = cur {
+            if n == a {
+                return true;
+            }
+            cur = self.ipdom(n);
+        }
+        false
+    }
+}
+
+/// Reverse post-order of the reverse graph, starting from exit. Nodes that
+/// cannot reach exit are omitted (the CFG prevents this by construction).
+fn reverse_graph_rpo(cfg: &Cfg) -> Vec<NodeId> {
+    let mut visited = vec![false; cfg.len()];
+    let mut post = Vec::with_capacity(cfg.len());
+    let mut stack: Vec<(NodeId, usize)> = vec![(cfg.exit(), 0)];
+    visited[cfg.exit().index()] = true;
+    while let Some(top) = stack.last_mut() {
+        let (n, i) = (top.0, top.1);
+        if i < cfg.preds(n).len() {
+            top.1 += 1;
+            let (m, _) = cfg.preds(n)[i];
+            if !visited[m.index()] {
+                visited[m.index()] = true;
+                stack.push((m, 0));
+            }
+        } else {
+            post.push(n);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::NodeRole;
+    use sevuldet_lang::parse;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let p = parse(src).unwrap();
+        let cfg = Cfg::build(p.functions().next().unwrap());
+        cfg
+    }
+
+    #[test]
+    fn straight_line_ipdom_is_successor() {
+        let c = cfg_of("void f() { a(); b(); }");
+        let pd = PostDom::compute(&c);
+        let a = c
+            .node_ids()
+            .find(|id| c.node(*id).tokens.first().map(String::as_str) == Some("a"))
+            .unwrap();
+        let b = c
+            .node_ids()
+            .find(|id| c.node(*id).tokens.first().map(String::as_str) == Some("b"))
+            .unwrap();
+        assert_eq!(pd.ipdom(a), Some(b));
+        assert_eq!(pd.ipdom(b), Some(c.exit()));
+        assert!(pd.post_dominates(c.exit(), c.entry()));
+    }
+
+    #[test]
+    fn join_point_post_dominates_branch() {
+        let c = cfg_of("void f(int n) { if (n) { a(); } else { b(); } j(); }");
+        let pd = PostDom::compute(&c);
+        let head = c
+            .node_ids()
+            .find(|id| c.node(*id).role == NodeRole::IfCond)
+            .unwrap();
+        let j = c
+            .node_ids()
+            .find(|id| c.node(*id).tokens.first().map(String::as_str) == Some("j"))
+            .unwrap();
+        assert_eq!(pd.ipdom(head), Some(j));
+        let a = c
+            .node_ids()
+            .find(|id| c.node(*id).tokens.first().map(String::as_str) == Some("a"))
+            .unwrap();
+        assert!(!pd.post_dominates(a, head));
+        assert!(pd.post_dominates(j, head));
+    }
+
+    #[test]
+    fn loop_body_does_not_postdominate_condition() {
+        let c = cfg_of("void f(int n) { while (n) { n--; } g(); }");
+        let pd = PostDom::compute(&c);
+        let head = c
+            .node_ids()
+            .find(|id| c.node(*id).role == NodeRole::LoopCond)
+            .unwrap();
+        let body = c
+            .node_ids()
+            .find(|id| c.node(*id).tokens.first().map(String::as_str) == Some("n"))
+            .unwrap();
+        assert!(!pd.post_dominates(body, head));
+    }
+
+    #[test]
+    fn every_non_exit_node_has_ipdom() {
+        let src = "void f(int n) { for (int i = 0; i < n; i++) { if (i % 2) { continue; } g(i); } while (1) { h(); } }";
+        let c = cfg_of(src);
+        let pd = PostDom::compute(&c);
+        for id in c.node_ids() {
+            if id != c.exit() {
+                assert!(pd.ipdom(id).is_some(), "node {id} lacks ipdom");
+            }
+        }
+    }
+}

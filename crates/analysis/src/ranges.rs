@@ -1,0 +1,373 @@
+//! Control ranges of key nodes (Algorithm 1, lines 4-18).
+//!
+//! A *key node* is one of the eight control statements (`if`, `else if`,
+//! `else`, `for`, `while`, `do while`, `switch`, `case`); its *control range*
+//! is the `[min line, max line]` interval of the AST subtree it roots.
+//! Ranges in one `if`/`else if`/`else` chain (or one `switch` and its cases)
+//! are *bound* together (lines 9-11): when the gadget needs one arm's range
+//! it also keeps the chain's delimiters so scopes never overlap vaguely.
+//!
+//! Lines 15-18 of Algorithm 1 repair wrong start/end correspondences with a
+//! symbol stack; [`symbolic_ranges`] reimplements that brace-matching pass on
+//! raw source text, and [`reconcile`] merges it with the AST-derived ranges.
+
+use sevuldet_lang::ast::{CaseLabel, Function, Stmt, StmtKind};
+use std::fmt;
+
+/// The eight key-node kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RangeKind {
+    /// `if`
+    If,
+    /// `else if`
+    ElseIf,
+    /// `else`
+    Else,
+    /// `for`
+    For,
+    /// `while`
+    While,
+    /// `do while`
+    DoWhile,
+    /// `switch`
+    Switch,
+    /// `case` / `default`
+    Case,
+}
+
+impl fmt::Display for RangeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RangeKind::If => "if",
+            RangeKind::ElseIf => "else if",
+            RangeKind::Else => "else",
+            RangeKind::For => "for",
+            RangeKind::While => "while",
+            RangeKind::DoWhile => "do while",
+            RangeKind::Switch => "switch",
+            RangeKind::Case => "case",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One key node's control range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlRange {
+    /// Which of the eight kinds this is.
+    pub kind: RangeKind,
+    /// Line of the key node's header (the `if (...)` line itself).
+    pub header_line: u32,
+    /// First line of the range.
+    pub start_line: u32,
+    /// Last line of the range (the closing delimiter).
+    pub end_line: u32,
+    /// Binding group: ranges of the same `if` chain / `switch` share an id,
+    /// so inserting one arm keeps the chain's delimiters (Alg. 1 lines 9-11).
+    pub group: u32,
+    /// Nesting depth (0 = directly inside the function body).
+    pub depth: u32,
+}
+
+impl ControlRange {
+    /// Whether `line` lies inside the range (inclusive).
+    pub fn contains(&self, line: u32) -> bool {
+        self.start_line <= line && line <= self.end_line
+    }
+}
+
+/// Collects the control ranges of every key node in a function, in
+/// source order.
+pub fn control_ranges(f: &Function) -> Vec<ControlRange> {
+    let mut out = Vec::new();
+    let mut group = 0u32;
+    for s in &f.body.stmts {
+        walk(s, 0, &mut group, &mut out);
+    }
+    out.sort_by_key(|r| (r.start_line, r.end_line));
+    out
+}
+
+fn walk(s: &Stmt, depth: u32, group: &mut u32, out: &mut Vec<ControlRange>) {
+    match &s.kind {
+        StmtKind::If {
+            then,
+            else_ifs,
+            else_block,
+            ..
+        } => {
+            *group += 1;
+            let g = *group;
+            out.push(ControlRange {
+                kind: RangeKind::If,
+                header_line: s.span.start.line,
+                start_line: s.span.start.line,
+                end_line: then.span.end.line,
+                group: g,
+                depth,
+            });
+            for ei in else_ifs {
+                out.push(ControlRange {
+                    kind: RangeKind::ElseIf,
+                    header_line: ei.span.start.line,
+                    start_line: ei.span.start.line,
+                    end_line: ei.body.span.end.line,
+                    group: g,
+                    depth,
+                });
+                for st in &ei.body.stmts {
+                    walk(st, depth + 1, group, out);
+                }
+            }
+            if let Some(eb) = else_block {
+                out.push(ControlRange {
+                    kind: RangeKind::Else,
+                    header_line: eb.span.start.line,
+                    start_line: eb.span.start.line,
+                    end_line: eb.body.span.end.line,
+                    group: g,
+                    depth,
+                });
+                for st in &eb.body.stmts {
+                    walk(st, depth + 1, group, out);
+                }
+            }
+            for st in &then.stmts {
+                walk(st, depth + 1, group, out);
+            }
+        }
+        StmtKind::While { body, .. } => {
+            *group += 1;
+            out.push(ControlRange {
+                kind: RangeKind::While,
+                header_line: s.span.start.line,
+                start_line: s.span.start.line,
+                end_line: s.span.end.line,
+                group: *group,
+                depth,
+            });
+            for st in &body.stmts {
+                walk(st, depth + 1, group, out);
+            }
+        }
+        StmtKind::DoWhile { body, .. } => {
+            *group += 1;
+            out.push(ControlRange {
+                kind: RangeKind::DoWhile,
+                header_line: s.span.start.line,
+                start_line: s.span.start.line,
+                end_line: s.span.end.line,
+                group: *group,
+                depth,
+            });
+            for st in &body.stmts {
+                walk(st, depth + 1, group, out);
+            }
+        }
+        StmtKind::For { body, init, .. } => {
+            *group += 1;
+            out.push(ControlRange {
+                kind: RangeKind::For,
+                header_line: s.span.start.line,
+                start_line: s.span.start.line,
+                end_line: s.span.end.line,
+                group: *group,
+                depth,
+            });
+            if let Some(init) = init {
+                walk(init, depth + 1, group, out);
+            }
+            for st in &body.stmts {
+                walk(st, depth + 1, group, out);
+            }
+        }
+        StmtKind::Switch { cases, .. } => {
+            *group += 1;
+            let g = *group;
+            out.push(ControlRange {
+                kind: RangeKind::Switch,
+                header_line: s.span.start.line,
+                start_line: s.span.start.line,
+                end_line: s.span.end.line,
+                group: g,
+                depth,
+            });
+            for c in cases {
+                let is_case = matches!(c.label, CaseLabel::Case(_) | CaseLabel::Default);
+                if is_case {
+                    out.push(ControlRange {
+                        kind: RangeKind::Case,
+                        header_line: c.span.start.line,
+                        start_line: c.span.start.line,
+                        end_line: c.span.end.line,
+                        group: g,
+                        depth,
+                    });
+                }
+                for st in &c.body {
+                    walk(st, depth + 1, group, out);
+                }
+            }
+        }
+        StmtKind::Block(b) => {
+            for st in &b.stmts {
+                walk(st, depth + 1, group, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Brace-matched `{`..`}` line ranges recovered from raw source with a symbol
+/// stack — the "symbolic match via Stack" of Algorithm 1 line 15. Returned in
+/// order of the opening brace.
+pub fn symbolic_ranges(src: &str) -> Vec<(u32, u32)> {
+    let mut stack: Vec<u32> = Vec::new();
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut chars = src.chars().peekable();
+    let mut in_str = false;
+    let mut in_chr = false;
+    let mut in_line_comment = false;
+    let mut in_block_comment = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '\n' => {
+                line += 1;
+                in_line_comment = false;
+            }
+            _ if in_line_comment => {}
+            '*' if in_block_comment && chars.peek() == Some(&'/') => {
+                chars.next();
+                in_block_comment = false;
+            }
+            _ if in_block_comment => {}
+            '\\' if in_str || in_chr => {
+                chars.next();
+            }
+            '"' if !in_chr => in_str = !in_str,
+            '\'' if !in_str => in_chr = !in_chr,
+            _ if in_str || in_chr => {}
+            '/' if chars.peek() == Some(&'/') => in_line_comment = true,
+            '/' if chars.peek() == Some(&'*') => {
+                chars.next();
+                in_block_comment = true;
+            }
+            '{' => stack.push(line),
+            '}' => {
+                if let Some(open) = stack.pop() {
+                    out.push((open, line));
+                }
+            }
+            _ => {}
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Fixes wrong start/end correspondences (Algorithm 1 lines 16-18): for each
+/// AST-derived range whose start line matches a symbolic brace range, extend
+/// the end to the symbolic match (`m_a[1] ← Max(m_a[1], m_b[1])`).
+pub fn reconcile(ranges: &mut [ControlRange], symbolic: &[(u32, u32)]) {
+    for r in ranges.iter_mut() {
+        for &(open, close) in symbolic {
+            if open == r.start_line || open == r.header_line {
+                r.end_line = r.end_line.max(close);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sevuldet_lang::parse;
+
+    const SAMPLE: &str = r#"void f(char *dest, char *data, int n) {
+    int m = n + 1;
+    if (n < 0) {
+        m = 0;
+    } else if (n < 16) {
+        m = n;
+    } else {
+        m = 16;
+        strncpy(dest, data, m);
+    }
+    g(dest);
+}"#;
+
+    #[test]
+    fn chain_ranges_bound_in_one_group() {
+        let p = parse(SAMPLE).unwrap();
+        let f = p.function("f").unwrap();
+        let rs = control_ranges(f);
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].kind, RangeKind::If);
+        assert_eq!(rs[1].kind, RangeKind::ElseIf);
+        assert_eq!(rs[2].kind, RangeKind::Else);
+        assert_eq!(rs[0].group, rs[1].group);
+        assert_eq!(rs[1].group, rs[2].group);
+        // The paper's example shape: else-if covers its header..body-end,
+        // else covers its header..body-end.
+        assert_eq!(rs[0].start_line, 3);
+        assert_eq!(rs[1].start_line, 5);
+        assert_eq!(rs[2].start_line, 7);
+        assert_eq!(rs[2].end_line, 10);
+        assert!(rs[2].contains(9), "strncpy line inside else range");
+    }
+
+    #[test]
+    fn nested_ranges_have_increasing_depth() {
+        let src = "void f(int n) {\n  while (n) {\n    if (n > 2) {\n      n--;\n    }\n  }\n}";
+        let p = parse(src).unwrap();
+        let rs = control_ranges(p.function("f").unwrap());
+        let w = rs.iter().find(|r| r.kind == RangeKind::While).unwrap();
+        let i = rs.iter().find(|r| r.kind == RangeKind::If).unwrap();
+        assert_eq!(w.depth, 0);
+        assert_eq!(i.depth, 1);
+        assert!(w.start_line <= i.start_line && i.end_line <= w.end_line);
+    }
+
+    #[test]
+    fn switch_and_cases_share_group() {
+        let src = "void f(int x) {\n  switch (x) {\n  case 1:\n    a();\n    break;\n  default:\n    b();\n  }\n}";
+        let p = parse(src).unwrap();
+        let rs = control_ranges(p.function("f").unwrap());
+        let sw = rs.iter().find(|r| r.kind == RangeKind::Switch).unwrap();
+        let cases: Vec<_> = rs.iter().filter(|r| r.kind == RangeKind::Case).collect();
+        assert_eq!(cases.len(), 2);
+        for c in cases {
+            assert_eq!(c.group, sw.group);
+        }
+    }
+
+    #[test]
+    fn symbolic_ranges_match_braces() {
+        let rs = symbolic_ranges(SAMPLE);
+        // Function body 1..12, then 3..5, else-if 5..7, else 7..10.
+        assert!(rs.contains(&(1, 12)));
+        assert!(rs.contains(&(3, 5)));
+        assert!(rs.contains(&(5, 7)));
+        assert!(rs.contains(&(7, 10)));
+    }
+
+    #[test]
+    fn symbolic_ranges_ignore_braces_in_strings_and_comments() {
+        let src = "void f() {\n  g(\"{\");\n  // }\n  /* { */\n  h('{');\n}";
+        let rs = symbolic_ranges(src);
+        assert_eq!(rs, vec![(1, 6)]);
+    }
+
+    #[test]
+    fn reconcile_extends_truncated_range() {
+        let p = parse(SAMPLE).unwrap();
+        let mut rs = control_ranges(p.function("f").unwrap());
+        // Sabotage the else range's end, as a mis-parse would.
+        let idx = rs.iter().position(|r| r.kind == RangeKind::Else).unwrap();
+        rs[idx].end_line = rs[idx].start_line;
+        let sym = symbolic_ranges(SAMPLE);
+        reconcile(&mut rs, &sym);
+        assert_eq!(rs[idx].end_line, 10);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests of the dependence analyses over randomly generated
+//! structured programs (a local generator — the dataset crate depends on
+//! this one, so it cannot be used here).
+
+use proptest::prelude::*;
+use sevuldet_analysis::cfg::NodeRole;
+use sevuldet_analysis::{Cfg, ControlDeps, Pdg, PostDom};
+
+/// A tiny structured-program generator: nested if/while/for blocks over a
+/// fixed variable pool.
+#[derive(Debug, Clone)]
+enum GenStmt {
+    Assign(u8, u8, u8),
+    Call(u8),
+    If(Vec<GenStmt>, Vec<GenStmt>),
+    While(u8, Vec<GenStmt>),
+    For(Vec<GenStmt>),
+    Return(u8),
+    Break,
+    Continue,
+}
+
+fn gen_stmt(depth: u32) -> BoxedStrategy<GenStmt> {
+    let leaf = prop_oneof![
+        (0u8..4, 0u8..4, 0u8..4).prop_map(|(a, b, c)| GenStmt::Assign(a, b, c)),
+        (0u8..4).prop_map(GenStmt::Call),
+        (0u8..4).prop_map(GenStmt::Return),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    prop_oneof![
+        4 => leaf,
+        1 => (
+            proptest::collection::vec(gen_stmt(depth - 1), 1..3),
+            proptest::collection::vec(gen_stmt(depth - 1), 0..3)
+        )
+            .prop_map(|(t, e)| GenStmt::If(t, e)),
+        1 => (0u8..4, proptest::collection::vec(gen_stmt(depth - 1), 1..3))
+            .prop_map(|(v, mut b)| {
+                // Sprinkle loop-control statements so break/continue edges
+                // are exercised too.
+                if v % 3 == 0 {
+                    b.push(GenStmt::Break);
+                } else if v % 3 == 1 {
+                    b.push(GenStmt::Continue);
+                }
+                GenStmt::While(v, b)
+            }),
+        1 => proptest::collection::vec(gen_stmt(depth - 1), 1..3).prop_map(GenStmt::For),
+    ]
+    .boxed()
+}
+
+fn render(stmts: &[GenStmt], indent: usize, out: &mut String, in_loop: bool) {
+    let pad = "    ".repeat(indent);
+    for s in stmts {
+        match s {
+            GenStmt::Assign(a, b, c) => {
+                out.push_str(&format!("{pad}v{a} = v{b} + v{c} + 1;\n"));
+            }
+            GenStmt::Call(a) => out.push_str(&format!("{pad}printf(\"%d\", v{a});\n")),
+            GenStmt::If(t, e) => {
+                out.push_str(&format!("{pad}if (v0 > v1) {{\n"));
+                render(t, indent + 1, out, in_loop);
+                if e.is_empty() {
+                    out.push_str(&format!("{pad}}}\n"));
+                } else {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    render(e, indent + 1, out, in_loop);
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+            }
+            GenStmt::While(v, b) => {
+                out.push_str(&format!("{pad}while (v{v} > 0) {{\n"));
+                out.push_str(&format!("{pad}    v{v} = v{v} - 1;\n"));
+                render(b, indent + 1, out, true);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            GenStmt::For(b) => {
+                out.push_str(&format!("{pad}for (int i = 0; i < v2; i++) {{\n"));
+                render(b, indent + 1, out, true);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            GenStmt::Return(v) => out.push_str(&format!("{pad}return v{v};\n")),
+            GenStmt::Break if in_loop => out.push_str(&format!("{pad}break;\n")),
+            GenStmt::Continue if in_loop => out.push_str(&format!("{pad}continue;\n")),
+            _ => {}
+        }
+    }
+}
+
+fn program_source(stmts: &[GenStmt]) -> String {
+    let mut out = String::from(
+        "int f(int v0, int v1, int v2, int v3) {\n",
+    );
+    render(stmts, 1, &mut out, false);
+    out.push_str("    return v0;\n}\n");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structural invariants over arbitrary structured CFGs.
+    #[test]
+    fn cfg_invariants(stmts in proptest::collection::vec(gen_stmt(3), 1..6)) {
+        let src = program_source(&stmts);
+        let p = sevuldet_lang::parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let f = p.functions().next().expect("one function");
+        let cfg = Cfg::build(f);
+        // Entry has no predecessors; exit no successors.
+        prop_assert!(cfg.preds(cfg.entry()).is_empty());
+        prop_assert!(cfg.succs(cfg.exit()).is_empty());
+        // succ/pred symmetry.
+        for a in cfg.node_ids() {
+            for &(b, k) in cfg.succs(a) {
+                prop_assert!(cfg.preds(b).contains(&(a, k)));
+            }
+        }
+        // Reverse postorder starts at entry and covers exit.
+        let rpo = cfg.reverse_postorder();
+        prop_assert_eq!(rpo.first(), Some(&cfg.entry()));
+        prop_assert!(rpo.contains(&cfg.exit()));
+    }
+
+    /// Every non-exit node has an immediate post-dominator, the ipdom chain
+    /// reaches exit, and exit post-dominates everything.
+    #[test]
+    fn postdominators_well_formed(stmts in proptest::collection::vec(gen_stmt(3), 1..6)) {
+        let src = program_source(&stmts);
+        let p = sevuldet_lang::parse(&src).unwrap();
+        let f = p.functions().next().expect("one function");
+        let cfg = Cfg::build(f);
+        let pd = PostDom::compute(&cfg);
+        for n in cfg.node_ids() {
+            if n == cfg.exit() {
+                prop_assert!(pd.ipdom(n).is_none());
+                continue;
+            }
+            let mut cur = n;
+            let mut hops = 0;
+            while let Some(next) = pd.ipdom(cur) {
+                cur = next;
+                hops += 1;
+                prop_assert!(hops <= cfg.len(), "ipdom chain must be acyclic");
+            }
+            prop_assert_eq!(cur, cfg.exit(), "chain from {} ends at exit", n);
+            prop_assert!(pd.post_dominates(cfg.exit(), n));
+        }
+    }
+
+    /// Control dependence only ever points at branch nodes, and no node is
+    /// control dependent on entry or exit.
+    #[test]
+    fn control_deps_point_at_branches(stmts in proptest::collection::vec(gen_stmt(3), 1..6)) {
+        let src = program_source(&stmts);
+        let p = sevuldet_lang::parse(&src).unwrap();
+        let f = p.functions().next().expect("one function");
+        let cfg = Cfg::build(f);
+        let pd = PostDom::compute(&cfg);
+        let cd = ControlDeps::compute(&cfg, &pd);
+        for n in cfg.node_ids() {
+            for &(a, _) in cd.deps_of(n) {
+                let role = cfg.node(a).role;
+                prop_assert!(role.is_branch(), "dep of {n} on non-branch {a} ({role:?})");
+            }
+        }
+    }
+
+    /// Data-dependence edges always connect a def of the variable to a use
+    /// of it.
+    #[test]
+    fn data_deps_connect_defs_to_uses(stmts in proptest::collection::vec(gen_stmt(3), 1..6)) {
+        let src = program_source(&stmts);
+        let p = sevuldet_lang::parse(&src).unwrap();
+        let f = p.functions().next().expect("one function");
+        let pdg = Pdg::build(f);
+        for d in &pdg.data {
+            let from = pdg.cfg.node(d.from);
+            let to = pdg.cfg.node(d.to);
+            prop_assert!(from.defs.contains(&d.var), "{} not defined at source", d.var);
+            prop_assert!(to.uses.contains(&d.var), "{} not used at sink", d.var);
+            prop_assert!(!matches!(to.role, NodeRole::Entry | NodeRole::Exit));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion benches for the dynamic substrate: interpreter execution
+//! throughput and fuzzing campaign cost on the CVE-2016-9776 analogue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sevuldet_dataset::xen;
+use sevuldet_interp::{fuzz, FuzzConfig, FuzzTarget, Interp};
+
+fn bench_interp(c: &mut Criterion) {
+    let case = xen::cve_2016_9776();
+    let program = sevuldet_lang::parse(&case.vulnerable.source).unwrap();
+    let interp = Interp::new(&program);
+    c.bench_function("interp_fec_receive_terminating", |b| {
+        b.iter(|| std::hint::black_box(interp.run_function("harness", &[4, 1000], &[])))
+    });
+    c.bench_function("interp_fec_receive_hang_budget", |b| {
+        b.iter(|| std::hint::black_box(interp.run_function("harness", &[0, 10], &[])))
+    });
+}
+
+fn bench_fuzz_campaign(c: &mut Criterion) {
+    let case = xen::cve_2016_4453();
+    let program = sevuldet_lang::parse(&case.vulnerable.source).unwrap();
+    c.bench_function("fuzz_500_execs_vmsvga", |b| {
+        b.iter(|| {
+            std::hint::black_box(fuzz(
+                &program,
+                &FuzzTarget::Harness("harness".into()),
+                &FuzzConfig {
+                    iterations: 500,
+                    seed: 7,
+                    ..FuzzConfig::default()
+                },
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_interp, bench_fuzz_campaign
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches for the preprocessing pipeline: parsing, PDG
+//! construction, and the classic-vs-path-sensitive slicing ablation
+//! (DESIGN.md: path sensitivity costs extra AST passes — measure it).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sevuldet_analysis::ProgramAnalysis;
+use sevuldet_dataset::{sard, SardConfig};
+use sevuldet_gadget::{find_special_tokens, generate_all, GadgetKind, SliceConfig};
+use sevuldet_lang::parse;
+
+fn corpus_sources() -> Vec<String> {
+    sard::generate(&SardConfig {
+        per_category: 8,
+        seed: 11,
+        ..SardConfig::default()
+    })
+    .into_iter()
+    .map(|s| s.source)
+    .collect()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let sources = corpus_sources();
+    c.bench_function("parse_32_programs", |b| {
+        b.iter(|| {
+            for s in &sources {
+                std::hint::black_box(parse(s).expect("generated source parses"));
+            }
+        })
+    });
+}
+
+fn bench_pdg(c: &mut Criterion) {
+    let programs: Vec<_> = corpus_sources().iter().map(|s| parse(s).unwrap()).collect();
+    c.bench_function("pdg_32_programs", |b| {
+        b.iter(|| {
+            for p in &programs {
+                std::hint::black_box(ProgramAnalysis::analyze(p));
+            }
+        })
+    });
+}
+
+fn bench_gadgets(c: &mut Criterion) {
+    let programs: Vec<_> = corpus_sources().iter().map(|s| parse(s).unwrap()).collect();
+    let analyzed: Vec<_> = programs
+        .iter()
+        .map(|p| {
+            let a = ProgramAnalysis::analyze(p);
+            let t = find_special_tokens(p, &a);
+            (p, a, t)
+        })
+        .collect();
+    let mut group = c.benchmark_group("gadget_generation");
+    for (name, kind) in [
+        ("classic", GadgetKind::Classic),
+        ("path_sensitive", GadgetKind::PathSensitive),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || (),
+                |_| {
+                    for (p, a, t) in &analyzed {
+                        std::hint::black_box(generate_all(
+                            p,
+                            a,
+                            t,
+                            kind,
+                            &SliceConfig::default(),
+                        ));
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parse, bench_pdg, bench_gadgets
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Runs the CBAM sequential-vs-parallel arrangement ablation.
+fn main() {
+    sevuldet_bench::tables::ablation_cbam();
+}

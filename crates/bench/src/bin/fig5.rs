@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5 (see `sevuldet_bench::tables`).
+fn main() {
+    sevuldet_bench::tables::fig5();
+}

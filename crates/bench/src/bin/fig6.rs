@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6 (see `sevuldet_bench::tables`).
+fn main() {
+    sevuldet_bench::tables::fig6();
+}

@@ -1,0 +1,16 @@
+//! Runs every table and figure of the paper back to back — the one-shot
+//! reproduction entry point. `SEVULDET_SCALE`/`SEVULDET_SEED` apply.
+fn main() {
+    use sevuldet_bench::tables;
+    let t0 = std::time::Instant::now();
+    tables::table1();
+    tables::table2();
+    tables::table3();
+    tables::table4();
+    tables::fig5();
+    tables::table5();
+    tables::table6();
+    tables::table7();
+    tables::fig6();
+    println!("\ntotal reproduction time: {:.1?}", t0.elapsed());
+}

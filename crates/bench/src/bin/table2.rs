@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 (see `sevuldet_bench::tables`).
+fn main() {
+    sevuldet_bench::tables::table2();
+}

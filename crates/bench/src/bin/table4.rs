@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table IV (hyper-parameters).
+fn main() {
+    sevuldet_bench::tables::table4();
+}

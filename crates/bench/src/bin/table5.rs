@@ -1,0 +1,4 @@
+//! Regenerates the paper's table5 (see `sevuldet_bench::tables`).
+fn main() {
+    sevuldet_bench::tables::table5();
+}

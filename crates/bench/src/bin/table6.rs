@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table VI (real-world Xen-sim transfer).
+fn main() {
+    sevuldet_bench::tables::table6();
+}

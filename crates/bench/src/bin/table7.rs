@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table VII (the three CVE analogues).
+fn main() {
+    sevuldet_bench::tables::table7();
+}

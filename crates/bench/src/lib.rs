@@ -1,0 +1,232 @@
+//! # sevuldet-bench
+//!
+//! The reproduction harness: one binary per table/figure of the paper
+//! (`table1` … `table7`, `fig5`, `fig6`, `repro_all`) plus criterion
+//! micro-benchmarks. Every binary prints the paper's reported values next
+//! to the measured ones; absolute numbers differ (synthetic corpus, CPU
+//! scale), the *shape* — who wins and by roughly what factor — is the
+//! reproduction target.
+//!
+//! All binaries honour two environment variables:
+//!
+//! * `SEVULDET_SCALE` (default 1) — multiplies corpus sizes;
+//! * `SEVULDET_SEED` (default 42) — the global experiment seed.
+
+pub mod tables;
+
+use sevuldet::{Confusion, TrainConfig};
+use sevuldet_dataset::{NvdConfig, SardConfig, XenConfig};
+
+/// Experiment sizing derived from `SEVULDET_SCALE`.
+#[derive(Debug, Clone)]
+pub struct Sizing {
+    /// SARD-sim generator configuration.
+    pub sard: SardConfig,
+    /// NVD-sim generator configuration.
+    pub nvd: NvdConfig,
+    /// Xen-sim generator configuration.
+    pub xen: XenConfig,
+    /// Network training configuration.
+    pub train: TrainConfig,
+}
+
+/// Builds the experiment sizing for the current scale and seed.
+pub fn sizing() -> Sizing {
+    let scale = sevuldet::scale_factor();
+    let seed = sevuldet::global_seed();
+    Sizing {
+        sard: SardConfig {
+            per_category: 60 * scale,
+            seed,
+            ..SardConfig::default()
+        },
+        nvd: NvdConfig {
+            count: 30 * scale,
+            seed: seed ^ 0x0d,
+            ..NvdConfig::default()
+        },
+        xen: XenConfig {
+            distractors: 60 * scale,
+            seed: seed ^ 0x8e,
+            ..XenConfig::default()
+        },
+        train: TrainConfig {
+            seed,
+            ..TrainConfig::quick()
+        },
+    }
+}
+
+/// Prints a boxed table title.
+pub fn title(text: &str) {
+    println!();
+    println!("==== {text} ====");
+}
+
+/// Prints a header row followed by a rule.
+pub fn header(cols: &[&str]) {
+    let line: Vec<String> = cols.iter().map(|c| format!("{c:>9}")).collect();
+    println!("{:<28}{}", "", line.join(" "));
+    println!("{}", "-".repeat(28 + cols.len() * 10));
+}
+
+/// One metric row: measured values, with the paper's values (if any) in
+/// parentheses underneath.
+pub fn metric_row(name: &str, c: &Confusion, paper: Option<[f64; 5]>) {
+    let (fpr, fnr, a, p, f1) = c.percentages();
+    println!(
+        "{name:<28}{fpr:>9.1} {fnr:>9.1} {a:>9.1} {p:>9.1} {f1:>9.1}"
+    );
+    if let Some(pv) = paper {
+        println!(
+            "{:<28}{:>9} {:>9} {:>9} {:>9} {:>9}",
+            "  (paper)",
+            fmt_paper(pv[0]),
+            fmt_paper(pv[1]),
+            fmt_paper(pv[2]),
+            fmt_paper(pv[3]),
+            fmt_paper(pv[4]),
+        );
+    }
+}
+
+/// A three-column (A/P/F1) row with optional paper values — Table II/III
+/// shape.
+pub fn apf_row(name: &str, c: &Confusion, paper: Option<[f64; 3]>) {
+    let (_, _, a, p, f1) = c.percentages();
+    println!("{name:<34}{a:>9.1} {p:>9.1} {f1:>9.1}");
+    if let Some(pv) = paper {
+        println!(
+            "{:<34}{:>9} {:>9} {:>9}",
+            "  (paper)",
+            fmt_paper(pv[0]),
+            fmt_paper(pv[1]),
+            fmt_paper(pv[2]),
+        );
+    }
+}
+
+fn fmt_paper(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("({v:.1})")
+    }
+}
+
+/// Paper reference values, one module per exhibit.
+pub mod paper {
+    /// Table I: gadgets per category (vulnerable, non-vulnerable, total).
+    pub const TABLE1: [(&str, u64, u64, u64); 5] = [
+        ("Library/API function call", 44_683, 504_872, 549_555),
+        ("Array usage", 44_996, 394_451, 439_447),
+        ("Pointer usage", 29_424, 512_876, 542_300),
+        ("Arithmetic expression", 3_696, 38_855, 42_551),
+        ("All", 122_799, 1_451_054, 1_573_853),
+    ];
+
+    /// Table II rows: (network, flexible, kind, A, P, F1).
+    pub const TABLE2: [(&str, bool, &str, f64, f64, f64); 6] = [
+        ("BLSTM", false, "CG", 94.9, 82.5, 85.2),
+        ("BLSTM", false, "PS-CG", 95.1, 87.8, 88.8),
+        ("BGRU", false, "CG", 96.0, 84.1, 85.9),
+        ("BGRU", false, "PS-CG", 97.0, 88.6, 90.7),
+        ("SEVulDet", true, "CG", 95.4, 91.0, 89.6),
+        ("SEVulDet", true, "PS-CG", 97.3, 96.2, 94.2),
+    ];
+
+    /// Table III rows: (network, A, P, F1).
+    pub const TABLE3: [(&str, f64, f64, f64); 3] = [
+        ("CNN", 95.4, 88.4, 89.1),
+        ("CNN-TokenATT", 95.5, 90.1, 91.0),
+        ("CNN-MultiATT", 97.3, 96.2, 94.2),
+    ];
+
+    /// Table V rows: (work-kind, FPR, FNR, A, P, F1).
+    pub const TABLE5: [(&str, f64, f64, f64, f64, f64); 11] = [
+        ("VulDeePecker-FC", 4.1, 21.7, 92.0, 84.0, 81.0),
+        ("SySeVR-FC", 3.1, 7.6, 95.9, 89.5, 90.9),
+        ("SEVulDet-FC", 1.9, 5.0, 97.3, 94.9, 94.9),
+        ("SySeVR-AU", 3.0, 10.2, 95.2, 90.6, 90.2),
+        ("SEVulDet-AU", 4.9, 3.6, 96.0, 93.3, 94.8),
+        ("SySeVR-PU", 1.7, 22.7, 96.2, 83.2, 80.1),
+        ("SEVulDet-PU", 1.4, 9.3, 97.2, 93.1, 91.9),
+        ("SySeVR-AE", 1.4, 3.8, 98.2, 93.7, 94.9),
+        ("SEVulDet-AE", 0.5, 3.6, 99.8, 96.3, 96.3),
+        ("SySeVR-All", 2.7, 12.3, 96.0, 84.1, 85.9),
+        ("SEVulDet-All", 1.9, 9.7, 96.3, 92.4, 91.3),
+    ];
+
+    /// Table VI rows: (work, FPR, FNR, A, P, F1) on real-world software.
+    pub const TABLE6: [(&str, f64, f64, f64, f64, f64); 3] = [
+        ("VulDeePecker", 4.3, 26.7, 94.3, 51.6, 60.6),
+        ("SySeVR", 3.5, 19.8, 95.5, 60.0, 67.9),
+        ("SEVulDet", 3.3, 11.5, 96.2, 62.7, 73.4),
+    ];
+
+    /// Table VII: (CVE, file, Xen version, detectors per the paper).
+    pub const TABLE7: [(&str, &str, &str, &str); 3] = [
+        (
+            "CVE-2016-4453",
+            "*/display/vmware_vga.c",
+            "Xen 4.4.2",
+            "AFL, SySeVR, SEVulDet",
+        ),
+        (
+            "CVE-2016-9104",
+            "*/9pfs/virtio-9p.c",
+            "Xen 4.6.0",
+            "VulDeePecker, SEVulDet",
+        ),
+        (
+            "CVE-2016-9776",
+            "*/net/mcf_fec.c",
+            "Xen 4.7.4",
+            "AFL, SEVulDet",
+        ),
+    ];
+
+    /// Fig. 5 approximate bar values (FPR, FNR, A, P, F1) read off the
+    /// chart.
+    pub const FIG5: [(&str, f64, f64, f64, f64, f64); 5] = [
+        ("Flawfinder", 44.0, 69.0, 55.0, 22.0, 25.0),
+        ("RATS", 42.0, 78.0, 54.0, 19.0, 20.0),
+        ("Checkmarx", 20.0, 44.0, 72.0, 46.0, 50.0),
+        ("VUDDY", 1.0, 90.0, 71.0, 58.0, 17.0),
+        ("SEVulDet", 2.0, 9.0, 96.0, 93.0, 92.0),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_scales_with_env() {
+        // Default scale = 1 (do not mutate the environment in tests; other
+        // tests run concurrently).
+        let s = sizing();
+        assert!(s.sard.per_category >= 60);
+        assert!(s.train.epochs >= 1);
+    }
+
+    #[test]
+    fn paper_tables_have_expected_shapes() {
+        assert_eq!(paper::TABLE1.len(), 5);
+        assert_eq!(paper::TABLE2.len(), 6);
+        assert_eq!(paper::TABLE5.len(), 11);
+        assert_eq!(paper::TABLE7.len(), 3);
+        // The headline: SEVulDet-All F1 beats SySeVR-All by 5.4 points.
+        let sysevr = paper::TABLE5[9].5;
+        let sevuldet = paper::TABLE5[10].5;
+        assert!((sevuldet - sysevr - 5.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn printing_helpers_do_not_panic() {
+        title("demo");
+        header(&["FPR", "FNR", "A", "P", "F1"]);
+        metric_row("x", &Confusion::default(), Some([1.0, 2.0, 3.0, 4.0, 5.0]));
+        apf_row("y", &Confusion::default(), None);
+    }
+}

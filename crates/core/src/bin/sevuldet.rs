@@ -1,0 +1,190 @@
+//! The `sevuldet` command-line tool: train a detector on the synthetic
+//! corpus, save/load it, and scan C files for vulnerabilities with
+//! per-gadget verdicts and attention-ranked tokens.
+//!
+//! ```text
+//! sevuldet train --out model.svd [--per-category 60] [--epochs 24] [--seed 42]
+//! sevuldet scan <file.c> --model model.svd [--top 5]
+//! sevuldet gadgets <file.c> [--classic]
+//! ```
+
+use sevuldet::{
+    load_detector, save_detector, top_tokens, Detector, GadgetSpec, ModelKind, TrainConfig,
+};
+use sevuldet_analysis::ProgramAnalysis;
+use sevuldet_dataset::{sard, SardConfig};
+use sevuldet_gadget::{build_gadget, find_special_tokens, GadgetKind, Normalizer};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("scan") => cmd_scan(&args[1..]),
+        Some("gadgets") => cmd_gadgets(&args[1..]),
+        _ => {
+            eprintln!("usage:");
+            eprintln!("  sevuldet train --out <model> [--per-category N] [--epochs N] [--seed N]");
+            eprintln!("  sevuldet scan <file.c> --model <model> [--top N]");
+            eprintln!("  sevuldet gadgets <file.c> [--classic]");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn positional(args: &[String]) -> Option<&String> {
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // Boolean flags take no value; everything else does.
+            skip_next = a != "--classic";
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out").ok_or("train needs --out <path>")?;
+    let per_category: usize = flag(args, "--per-category")
+        .map(|v| v.parse().map_err(|_| "bad --per-category"))
+        .transpose()?
+        .unwrap_or(60);
+    let seed: u64 = flag(args, "--seed")
+        .map(|v| v.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(42);
+    let epochs: usize = flag(args, "--epochs")
+        .map(|v| v.parse().map_err(|_| "bad --epochs"))
+        .transpose()?
+        .unwrap_or(24);
+
+    let samples = sard::generate(&SardConfig {
+        per_category,
+        seed,
+        ..SardConfig::default()
+    });
+    let spec = GadgetSpec::path_sensitive();
+    let corpus = spec.extract(&samples);
+    eprintln!(
+        "training SEVulDet on {} path-sensitive gadgets ({} vulnerable), {} epochs ...",
+        corpus.len(),
+        corpus.vulnerable(),
+        epochs
+    );
+    let cfg = TrainConfig {
+        seed,
+        epochs,
+        ..TrainConfig::quick()
+    };
+    let mut detector = Detector::train(&corpus, ModelKind::SevulDet, &cfg);
+    let text = save_detector(&mut detector);
+    std::fs::write(&out, text).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("saved model to {out}");
+    Ok(())
+}
+
+fn cmd_scan(args: &[String]) -> Result<(), String> {
+    let file = positional(args).ok_or("scan needs a <file.c>")?.clone();
+    let model_path = flag(args, "--model").ok_or("scan needs --model <path>")?;
+    let top: usize = flag(args, "--top")
+        .map(|v| v.parse().map_err(|_| "bad --top"))
+        .transpose()?
+        .unwrap_or(0);
+
+    let source = std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?;
+    let model_text =
+        std::fs::read_to_string(&model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
+    let mut detector = load_detector(&model_text).map_err(|e| e.to_string())?;
+
+    let program = sevuldet_lang::parse(&source).map_err(|e| e.to_string())?;
+    let analysis = ProgramAnalysis::analyze(&program);
+    let specials = find_special_tokens(&program, &analysis);
+    if specials.is_empty() {
+        println!("{file}: no special tokens — nothing to scan");
+        return Ok(());
+    }
+    let spec = GadgetSpec::path_sensitive();
+    let mut flagged = 0usize;
+    for st in &specials {
+        let gadget = build_gadget(
+            &program,
+            &analysis,
+            st,
+            GadgetKind::PathSensitive,
+            &spec.slice_config(),
+        );
+        let tokens = Normalizer::normalize_gadget(&gadget).tokens();
+        let p = detector.predict(&tokens);
+        let verdict = p > 0.5;
+        if verdict {
+            flagged += 1;
+            println!(
+                "{file}:{}: [{}] `{}` p={p:.3}  ** potentially vulnerable **",
+                st.line,
+                st.category.abbrev(),
+                st.name
+            );
+            if top > 0 {
+                for r in top_tokens(&mut detector, &tokens, top) {
+                    println!("      attention {:>6.1}%  {}", r.percent, r.token);
+                }
+            }
+        } else {
+            println!(
+                "{file}:{}: [{}] `{}` p={p:.3}",
+                st.line,
+                st.category.abbrev(),
+                st.name
+            );
+        }
+    }
+    println!(
+        "\n{flagged}/{} gadgets flagged in {file}",
+        specials.len()
+    );
+    Ok(())
+}
+
+fn cmd_gadgets(args: &[String]) -> Result<(), String> {
+    let file = positional(args).ok_or("gadgets needs a <file.c>")?.clone();
+    let kind = if has_flag(args, "--classic") {
+        GadgetKind::Classic
+    } else {
+        GadgetKind::PathSensitive
+    };
+    let source = std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?;
+    let program = sevuldet_lang::parse(&source).map_err(|e| e.to_string())?;
+    let analysis = ProgramAnalysis::analyze(&program);
+    let specials = find_special_tokens(&program, &analysis);
+    let spec = GadgetSpec::path_sensitive();
+    for st in &specials {
+        let gadget = build_gadget(&program, &analysis, st, kind, &spec.slice_config());
+        println!("{gadget}\n");
+    }
+    println!("{} gadgets ({kind:?})", specials.len());
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Training hyper-parameters (paper Table IV) and environment scaling.
+
+/// Hyper-parameters of one detector training run. Defaults follow the
+/// paper's SEVulDet column of Table IV (dimension 30, batch 16, learning
+/// rate 1e-4, dropout 0.2, 20 epochs, flexible length) — except that the
+/// synthetic corpus converges well with Adam at 1e-3, which `quick()` uses.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Token-embedding dimension.
+    pub embed_dim: usize,
+    /// word2vec epochs.
+    pub w2v_epochs: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (gradient accumulation).
+    pub batch: usize,
+    /// Learning rate (Adam).
+    pub lr: f64,
+    /// Dropout probability.
+    pub dropout: f64,
+    /// Convolution channels of the CNN models.
+    pub cnn_channels: usize,
+    /// Hidden size of the BLSTM/BGRU baselines.
+    pub rnn_hidden: usize,
+    /// Predefined time steps τ of the RNN baselines (Definition 8; the
+    /// paper fixes 500 tokens per gadget).
+    pub rnn_steps: usize,
+    /// Decision threshold on the sigmoid output (paper: 0.8).
+    pub threshold: f64,
+    /// Positive-class loss weight; `None` derives it from the class ratio.
+    pub pos_weight: Option<f64>,
+    /// RNG seed (init, shuffling, dropout).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            embed_dim: 30,
+            w2v_epochs: 2,
+            epochs: 20,
+            batch: 16,
+            lr: 1e-4,
+            dropout: 0.2,
+            cnn_channels: 32,
+            rnn_hidden: 32,
+            rnn_steps: 500,
+            threshold: 0.8,
+            pos_weight: None,
+            seed: 1,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A laptop-quick configuration used by the table harnesses at scale 1:
+    /// fewer epochs, a higher Adam learning rate, smaller recurrent state,
+    /// and a 0.5 decision threshold — a briefly-trained network is not
+    /// calibrated enough for the paper's 0.8 cut-off.
+    pub fn quick() -> TrainConfig {
+        TrainConfig {
+            embed_dim: 24,
+            epochs: 24,
+            lr: 1e-3,
+            cnn_channels: 24,
+            rnn_hidden: 24,
+            rnn_steps: 300,
+            threshold: 0.5,
+            ..TrainConfig::default()
+        }
+    }
+
+    /// The decision threshold expressed on the logit scale.
+    pub fn logit_threshold(&self) -> f64 {
+        (self.threshold / (1.0 - self.threshold)).ln()
+    }
+}
+
+/// Reads the experiment scale factor from `SEVULDET_SCALE` (default 1).
+/// Harness bins multiply corpus sizes and epochs by this.
+pub fn scale_factor() -> usize {
+    std::env::var("SEVULDET_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s: &usize| s >= 1)
+        .unwrap_or(1)
+}
+
+/// Reads the global experiment seed from `SEVULDET_SEED` (default 42).
+pub fn global_seed() -> u64 {
+    std::env::var("SEVULDET_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = TrainConfig::default();
+        assert_eq!(c.embed_dim, 30);
+        assert_eq!(c.batch, 16);
+        assert_eq!(c.epochs, 20);
+        assert!((c.lr - 1e-4).abs() < 1e-12);
+        assert!((c.dropout - 0.2).abs() < 1e-12);
+        assert_eq!(c.rnn_steps, 500);
+    }
+
+    #[test]
+    fn logit_threshold_matches_sigmoid_inverse() {
+        let c = TrainConfig::default();
+        let z = c.logit_threshold();
+        let back = 1.0 / (1.0 + (-z).exp());
+        assert!((back - 0.8).abs() < 1e-12);
+    }
+}

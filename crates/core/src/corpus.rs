@@ -1,0 +1,255 @@
+//! Program corpus → labeled, normalized gadget corpus (Steps I–III end to
+//! end), plus encoding into token ids over a trained word2vec vocabulary.
+
+use crate::config::TrainConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sevuldet_analysis::ProgramAnalysis;
+use sevuldet_dataset::{Origin, ProgramSample};
+use sevuldet_embedding::{SkipGram, SkipGramConfig, Vocab};
+use sevuldet_gadget::{
+    build_gadget, find_special_tokens, label_gadget, Category, GadgetKind, Normalizer, SliceConfig,
+};
+use sevuldet_nn::Tensor;
+use std::collections::HashSet;
+
+/// One labeled, normalized gadget ready for embedding.
+#[derive(Debug, Clone)]
+pub struct GadgetItem {
+    /// Normalized surface tokens.
+    pub tokens: Vec<String>,
+    /// Ground-truth label.
+    pub label: bool,
+    /// Special-token category.
+    pub category: Category,
+    /// Originating program id.
+    pub program_id: String,
+    /// Line of the seeding special token.
+    pub key_line: u32,
+    /// Corpus of origin.
+    pub origin: Origin,
+}
+
+/// A gadget corpus.
+#[derive(Debug, Clone, Default)]
+pub struct GadgetCorpus {
+    /// All gadget items.
+    pub items: Vec<GadgetItem>,
+}
+
+impl GadgetCorpus {
+    /// Number of gadgets.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of vulnerable gadgets.
+    pub fn vulnerable(&self) -> usize {
+        self.items.iter().filter(|i| i.label).count()
+    }
+
+    /// Indices of gadgets of a category (`None` = all).
+    pub fn indices_of(&self, category: Option<Category>) -> Vec<usize> {
+        (0..self.items.len())
+            .filter(|&i| category.is_none_or(|c| self.items[i].category == c))
+            .collect()
+    }
+}
+
+/// Extracts the gadget corpus of a program set: Step I (slice + assemble,
+/// classic or path-sensitive), Step II (manifest labeling), Step III
+/// (normalization). Exact `(token stream, label)` duplicates are merged,
+/// like the paper's de-duplication — conflicting-label duplicates (the
+/// Fig.-1 pairs) are *kept*, preserving the ambiguity that pins classifiers
+/// at 50% on them.
+pub fn extract_gadgets(
+    samples: &[ProgramSample],
+    kind: GadgetKind,
+    slice: &SliceConfig,
+) -> GadgetCorpus {
+    let mut corpus = GadgetCorpus::default();
+    // Dedup key includes the category: the paper builds *per-category*
+    // datasets, so the same statement sequence seeded by an FC token and a
+    // PU token counts once in each category.
+    let mut seen: HashSet<(Category, String, bool)> = HashSet::new();
+    for sample in samples {
+        let Ok(program) = sevuldet_lang::parse(&sample.source) else {
+            continue;
+        };
+        let analysis = ProgramAnalysis::analyze(&program);
+        let specials = find_special_tokens(&program, &analysis);
+        for st in &specials {
+            let gadget = build_gadget(&program, &analysis, st, kind, slice);
+            if gadget.lines.is_empty() {
+                continue;
+            }
+            let labeled = label_gadget(&gadget, &sample.flaw_lines);
+            let normalized = Normalizer::normalize_gadget(&gadget);
+            let tokens = normalized.tokens();
+            let key = (st.category, tokens.join(" "), labeled.vulnerable);
+            if !seen.insert(key) {
+                continue;
+            }
+            corpus.items.push(GadgetItem {
+                tokens,
+                label: labeled.vulnerable,
+                category: st.category,
+                program_id: sample.id.clone(),
+                key_line: st.line,
+                origin: sample.origin,
+            });
+        }
+    }
+    corpus
+}
+
+/// A gadget corpus encoded to token ids, with its vocabulary and word2vec
+/// embedding table.
+#[derive(Debug, Clone)]
+pub struct Encoded {
+    /// Token-id sequences, parallel to `corpus.items`.
+    pub ids: Vec<Vec<usize>>,
+    /// The vocabulary.
+    pub vocab: Vocab,
+    /// The `(V × D)` pre-trained embedding table.
+    pub table: Tensor,
+}
+
+/// Trains word2vec on the corpus and encodes every gadget (Step IV's
+/// pre-trained embedding).
+pub fn encode(corpus: &GadgetCorpus, config: &TrainConfig) -> Encoded {
+    let token_refs: Vec<&[String]> = corpus.items.iter().map(|i| i.tokens.as_slice()).collect();
+    let vocab = Vocab::build(token_refs.iter().copied(), 1);
+    let sequences: Vec<Vec<usize>> = corpus.items.iter().map(|i| vocab.encode(&i.tokens)).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x77);
+    let sg_cfg = SkipGramConfig {
+        dim: config.embed_dim,
+        epochs: config.w2v_epochs,
+        ..SkipGramConfig::default()
+    };
+    let model = SkipGram::train(&vocab, &sequences, &sg_cfg, &mut rng);
+    let t = model.table();
+    let table = Tensor::from_vec(&[t.rows, t.cols], t.data);
+    Encoded {
+        ids: sequences,
+        vocab,
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sevuldet_dataset::{sard, SardConfig};
+
+    fn tiny_corpus() -> Vec<ProgramSample> {
+        sard::generate(&SardConfig {
+            per_category: 6,
+            ..SardConfig::default()
+        })
+    }
+
+    #[test]
+    fn extraction_produces_labeled_gadgets_in_all_categories() {
+        let samples = tiny_corpus();
+        let corpus = extract_gadgets(
+            &samples,
+            GadgetKind::PathSensitive,
+            &SliceConfig::default(),
+        );
+        assert!(corpus.len() > samples.len(), "several gadgets per program");
+        assert!(corpus.vulnerable() > 0);
+        assert!(corpus.vulnerable() < corpus.len());
+        for c in Category::ALL {
+            assert!(
+                !corpus.indices_of(Some(c)).is_empty(),
+                "category {c} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn gadget_tokens_are_normalized() {
+        let corpus = extract_gadgets(
+            &tiny_corpus(),
+            GadgetKind::PathSensitive,
+            &SliceConfig::default(),
+        );
+        let has_var = corpus
+            .items
+            .iter()
+            .any(|i| i.tokens.iter().any(|t| t.starts_with("var")));
+        assert!(has_var, "normalized variable names expected");
+    }
+
+    #[test]
+    fn path_sensitive_gadgets_never_lose_statements() {
+        // Pairwise invariant: for the same special token, the path-sensitive
+        // gadget's line set is a superset of the classic gadget's (Algorithm
+        // 1 only *adds* range delimiters).
+        use sevuldet_analysis::ProgramAnalysis;
+        use sevuldet_gadget::{build_gadget, find_special_tokens};
+        for sample in tiny_corpus().iter().take(12) {
+            let program = sevuldet_lang::parse(&sample.source).unwrap();
+            let analysis = ProgramAnalysis::analyze(&program);
+            for st in find_special_tokens(&program, &analysis) {
+                let cg = build_gadget(
+                    &program,
+                    &analysis,
+                    &st,
+                    GadgetKind::Classic,
+                    &SliceConfig::default(),
+                );
+                let ps = build_gadget(
+                    &program,
+                    &analysis,
+                    &st,
+                    GadgetKind::PathSensitive,
+                    &SliceConfig::default(),
+                );
+                assert!(ps.lines.len() >= cg.lines.len());
+                let ps_lines: std::collections::HashSet<(String, u32)> = ps
+                    .lines
+                    .iter()
+                    .map(|l| (l.func.clone(), l.line))
+                    .collect();
+                for l in &cg.lines {
+                    assert!(
+                        ps_lines.contains(&(l.func.clone(), l.line)),
+                        "PS gadget must cover every classic line ({}:{})",
+                        l.func,
+                        l.line
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_builds_consistent_ids() {
+        let corpus = extract_gadgets(
+            &tiny_corpus(),
+            GadgetKind::PathSensitive,
+            &SliceConfig::default(),
+        );
+        let enc = encode(
+            &corpus,
+            &TrainConfig {
+                embed_dim: 12,
+                w2v_epochs: 1,
+                ..TrainConfig::quick()
+            },
+        );
+        assert_eq!(enc.ids.len(), corpus.len());
+        assert_eq!(enc.table.cols(), 12);
+        assert_eq!(enc.table.rows(), enc.vocab.len());
+        for (ids, item) in enc.ids.iter().zip(&corpus.items) {
+            assert_eq!(ids.len(), item.tokens.len());
+        }
+    }
+}

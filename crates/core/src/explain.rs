@@ -1,0 +1,109 @@
+//! Attention-weight interpretation (RQ4 / Fig. 6).
+//!
+//! After a prediction, the token-attention weights are hooked and the top-k
+//! tokens are reported with weights regularized against the maximum — the
+//! exact presentation of the paper's Fig. 6 bar chart.
+
+use crate::pipeline::Detector;
+
+/// One attention-ranked token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedToken {
+    /// The surface token.
+    pub token: String,
+    /// Index in the gadget's token stream.
+    pub position: usize,
+    /// Weight as a percentage of the maximum weight (the top token = 100%).
+    pub percent: f64,
+}
+
+/// Runs the detector on a gadget and returns the `k` most attended tokens,
+/// sorted by descending weight.
+///
+/// Returns an empty vector when the model exposes no attention weights
+/// (e.g. the plain-CNN ablation).
+pub fn top_tokens(detector: &mut Detector, tokens: &[String], k: usize) -> Vec<RankedToken> {
+    let _ = detector.predict(tokens);
+    let Some(weights) = detector.token_weights() else {
+        return Vec::new();
+    };
+    let max = weights.iter().copied().fold(f64::MIN, f64::max).max(1e-12);
+    // One entry per *distinct* token text (max weight wins), matching the
+    // paper's Fig. 6 presentation.
+    let mut best: std::collections::HashMap<&String, (usize, f64)> = Default::default();
+    for (i, &w) in weights.iter().enumerate().take(tokens.len()) {
+        let e = best.entry(&tokens[i]).or_insert((i, w));
+        if w > e.1 {
+            *e = (i, w);
+        }
+    }
+    let mut ranked: Vec<RankedToken> = best
+        .into_iter()
+        .map(|(tok, (i, w))| RankedToken {
+            token: tok.clone(),
+            position: i,
+            percent: w / max * 100.0,
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.percent
+            .partial_cmp(&a.percent)
+            .expect("no NaN")
+            .then_with(|| a.position.cmp(&b.position))
+    });
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::pipeline::GadgetSpec;
+    use crate::zoo::ModelKind;
+    use sevuldet_dataset::{sard, SardConfig};
+
+    #[test]
+    fn top_tokens_ranked_and_normalized() {
+        let samples = sard::generate(&SardConfig {
+            per_category: 4,
+            ..SardConfig::default()
+        });
+        let corpus = GadgetSpec::path_sensitive().extract(&samples);
+        let cfg = TrainConfig {
+            embed_dim: 10,
+            w2v_epochs: 1,
+            epochs: 2,
+            cnn_channels: 8,
+            ..TrainConfig::quick()
+        };
+        let mut det = crate::pipeline::Detector::train(&corpus, ModelKind::SevulDet, &cfg);
+        let tokens = corpus.items[0].tokens.clone();
+        let ranked = top_tokens(&mut det, &tokens, 10);
+        assert!(!ranked.is_empty());
+        assert!(ranked.len() <= 10);
+        assert!((ranked[0].percent - 100.0).abs() < 1e-9, "top token = 100%");
+        for w in ranked.windows(2) {
+            assert!(w[0].percent >= w[1].percent, "descending order");
+        }
+    }
+
+    #[test]
+    fn plain_cnn_has_no_attention_to_rank() {
+        let samples = sard::generate(&SardConfig {
+            per_category: 3,
+            ..SardConfig::default()
+        });
+        let corpus = GadgetSpec::path_sensitive().extract(&samples);
+        let cfg = TrainConfig {
+            embed_dim: 8,
+            w2v_epochs: 1,
+            epochs: 1,
+            cnn_channels: 8,
+            ..TrainConfig::quick()
+        };
+        let mut det = crate::pipeline::Detector::train(&corpus, ModelKind::CnnPlain, &cfg);
+        let tokens = corpus.items[0].tokens.clone();
+        assert!(top_tokens(&mut det, &tokens, 5).is_empty());
+    }
+}

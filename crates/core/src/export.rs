@@ -1,0 +1,217 @@
+//! Gadget-corpus interchange in the VulDeePecker "code gadget file" style:
+//!
+//! ```text
+//! <index> <program-id> <category> <key-line>
+//! <gadget line>
+//! <gadget line>
+//! ...
+//! <label 0|1>
+//! ---------------------------------
+//! ```
+//!
+//! The published VulDeePecker/SySeVR datasets ship in this shape; exporting
+//! it lets the synthetic corpus be inspected with the same tooling (and
+//! ingested back, which the tests rely on).
+
+use crate::corpus::{GadgetCorpus, GadgetItem};
+use sevuldet_dataset::Origin;
+use sevuldet_gadget::Category;
+
+const SEPARATOR: &str = "---------------------------------";
+
+/// Serializes a gadget corpus to the gadget-file format.
+pub fn to_gadget_file(corpus: &GadgetCorpus) -> String {
+    let mut out = String::new();
+    for (i, item) in corpus.items.iter().enumerate() {
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            i + 1,
+            item.program_id,
+            item.category.abbrev(),
+            item.key_line
+        ));
+        // One token-joined line per original gadget line is lost after
+        // normalization flattening; emit the token stream in chunks of one
+        // statement per line using `;`/`{`/`}` boundaries for readability.
+        for line in split_statements(&item.tokens) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str(if item.label { "1\n" } else { "0\n" });
+        out.push_str(SEPARATOR);
+        out.push('\n');
+    }
+    out
+}
+
+/// Splits a gadget-file line back into surface tokens. Whitespace separates
+/// tokens except inside double-quoted string literals (which are single
+/// tokens like `"%s %d"`; backslash escapes are honoured).
+fn split_tokens(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        if in_str {
+            cur.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                cur.push(c);
+                in_str = true;
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Splits a token stream back into statement-ish lines at `;`, `{`, `}`.
+fn split_statements(tokens: &[String]) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut cur: Vec<&str> = Vec::new();
+    for t in tokens {
+        cur.push(t);
+        if t == ";" || t == "{" || t == "}" {
+            lines.push(cur.join(" "));
+            cur.clear();
+        }
+    }
+    if !cur.is_empty() {
+        lines.push(cur.join(" "));
+    }
+    lines
+}
+
+/// A parse error for gadget files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GadgetFileError(pub String);
+
+impl std::fmt::Display for GadgetFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gadget file error: {}", self.0)
+    }
+}
+
+impl std::error::Error for GadgetFileError {}
+
+/// Parses a gadget file produced by [`to_gadget_file`].
+///
+/// # Errors
+///
+/// Returns [`GadgetFileError`] on malformed headers or labels.
+pub fn from_gadget_file(text: &str) -> Result<GadgetCorpus, GadgetFileError> {
+    let mut items = Vec::new();
+    for block in text.split(SEPARATOR) {
+        let lines: Vec<&str> = block.lines().filter(|l| !l.trim().is_empty()).collect();
+        if lines.is_empty() {
+            continue;
+        }
+        if lines.len() < 2 {
+            return Err(GadgetFileError(format!("truncated block: {block:?}")));
+        }
+        let header: Vec<&str> = lines[0].split_whitespace().collect();
+        if header.len() != 4 {
+            return Err(GadgetFileError(format!("bad header `{}`", lines[0])));
+        }
+        let program_id = header[1].to_string();
+        let category = match header[2] {
+            "FC" => Category::Fc,
+            "AU" => Category::Au,
+            "PU" => Category::Pu,
+            "AE" => Category::Ae,
+            other => return Err(GadgetFileError(format!("bad category `{other}`"))),
+        };
+        let key_line: u32 = header[3]
+            .parse()
+            .map_err(|_| GadgetFileError(format!("bad key line `{}`", header[3])))?;
+        let label = match *lines.last().expect("non-empty") {
+            "1" => true,
+            "0" => false,
+            other => return Err(GadgetFileError(format!("bad label `{other}`"))),
+        };
+        let tokens: Vec<String> = lines[1..lines.len() - 1]
+            .iter()
+            .flat_map(|l| split_tokens(l))
+            .collect();
+        items.push(GadgetItem {
+            tokens,
+            label,
+            category,
+            program_id,
+            key_line,
+            origin: Origin::SardSim,
+        });
+    }
+    Ok(GadgetCorpus { items })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::GadgetSpec;
+    use sevuldet_dataset::{sard, SardConfig};
+
+    #[test]
+    fn roundtrip_preserves_tokens_labels_and_metadata() {
+        let samples = sard::generate(&SardConfig {
+            per_category: 4,
+            ..SardConfig::default()
+        });
+        let corpus = GadgetSpec::path_sensitive().extract(&samples);
+        let text = to_gadget_file(&corpus);
+        let back = from_gadget_file(&text).expect("roundtrip parses");
+        assert_eq!(back.len(), corpus.len());
+        for (a, b) in corpus.items.iter().zip(&back.items) {
+            assert_eq!(a.tokens, b.tokens, "tokens preserved");
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.category, b.category);
+            assert_eq!(a.program_id, b.program_id);
+            assert_eq!(a.key_line, b.key_line);
+        }
+    }
+
+    #[test]
+    fn format_is_vuldeepecker_shaped() {
+        let samples = sard::generate(&SardConfig {
+            per_category: 2,
+            ..SardConfig::default()
+        });
+        let corpus = GadgetSpec::path_sensitive().extract(&samples);
+        let text = to_gadget_file(&corpus);
+        assert!(text.contains(SEPARATOR));
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("1 "), "1-based index: {first}");
+        // Every block ends with a 0/1 label before the separator.
+        for block in text.split(SEPARATOR) {
+            if let Some(last) = block.lines().rfind(|l| !l.trim().is_empty()) {
+                assert!(last == "0" || last == "1" || last.contains(' '));
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(from_gadget_file("garbage header\nx\n1\n").is_err());
+        assert!(from_gadget_file("1 id FC notaline\ntok ;\n1\n").is_err());
+        assert!(from_gadget_file("1 id XX 3\ntok ;\n1\n").is_err());
+        assert!(from_gadget_file("1 id FC 3\ntok ;\n2\n").is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! # sevuldet
+//!
+//! The end-to-end SEVulDet pipeline (DSN 2022, Tang et al.): program corpus
+//! → special tokens → inter-procedural slices → **path-sensitive code
+//! gadgets** (Algorithm 1) → labeling & normalization → word2vec embedding →
+//! the **CNN with spatial pyramid pooling and multilayer attention** → the
+//! five paper metrics. The module layout follows the paper's Fig. 2:
+//!
+//! * [`pipeline::GadgetSpec`] — Step I variants (SEVulDet / SySeVR-style /
+//!   VulDeePecker-style gadget generation);
+//! * [`corpus`] — Steps II-III (labeling, normalization) + Step IV's
+//!   word2vec encoding;
+//! * [`zoo`] — every network of the evaluation (SEVulDet and ablations,
+//!   BLSTM, BGRU);
+//! * [`train`] — Step V training loops, stratified splits, k-fold CV;
+//! * [`metrics`] — FPR/FNR/A/P/F1 exactly as §IV-A defines them;
+//! * [`explain`] — the Fig. 6 attention-weight ranking.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use sevuldet::{Detector, GadgetSpec, ModelKind, TrainConfig};
+//! use sevuldet_dataset::{sard, SardConfig};
+//!
+//! let samples = sard::generate(&SardConfig::default());
+//! let corpus = GadgetSpec::path_sensitive().extract(&samples);
+//! let mut detector = Detector::train(&corpus, ModelKind::SevulDet,
+//!                                    &TrainConfig::quick());
+//! let verdict = detector.is_vulnerable(&corpus.items[0].tokens);
+//! println!("vulnerable: {verdict}");
+//! ```
+
+pub mod config;
+pub mod corpus;
+pub mod explain;
+pub mod export;
+pub mod metrics;
+pub mod persist;
+pub mod pipeline;
+pub mod train;
+pub mod zoo;
+
+pub use config::{global_seed, scale_factor, TrainConfig};
+pub use corpus::{encode, extract_gadgets, Encoded, GadgetCorpus, GadgetItem};
+pub use explain::{top_tokens, RankedToken};
+pub use export::{from_gadget_file, to_gadget_file};
+pub use metrics::Confusion;
+pub use persist::{load_detector, save_detector, PersistError};
+pub use pipeline::{cross_validate, run_split, Detector, GadgetSpec};
+pub use train::{evaluate_model, k_folds, stratified_split, subsample, train_model};
+pub use zoo::{build_model, AnyModel, ModelKind};

@@ -1,0 +1,169 @@
+//! Evaluation metrics exactly as defined in §IV-A of the paper.
+
+use std::fmt;
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Records one prediction.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Total predictions.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Merges another confusion matrix into this one.
+    pub fn merge(&mut self, other: &Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// False-positive rate: `FP / (FP + TN)`.
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// False-negative rate: `FN / (FN + TP)`.
+    pub fn fnr(&self) -> f64 {
+        ratio(self.fn_, self.fn_ + self.tp)
+    }
+
+    /// Accuracy: `(TP + TN) / all`.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Precision: `TP / (TP + FP)`.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall (`1 − FNR`).
+    pub fn recall(&self) -> f64 {
+        1.0 - self.fnr()
+    }
+
+    /// F1-measure: `2·P·(1 − FNR) / (P + (1 − FNR))` (the paper's form of
+    /// the harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// The five paper metrics as percentages `(FPR, FNR, A, P, F1)`.
+    pub fn percentages(&self) -> (f64, f64, f64, f64, f64) {
+        (
+            self.fpr() * 100.0,
+            self.fnr() * 100.0,
+            self.accuracy() * 100.0,
+            self.precision() * 100.0,
+            self.f1() * 100.0,
+        )
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for Confusion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (fpr, fnr, a, p, f1) = self.percentages();
+        write!(
+            f,
+            "FPR {fpr:5.1}%  FNR {fnr:5.1}%  A {a:5.1}%  P {p:5.1}%  F1 {f1:5.1}%  (tp={} fp={} tn={} fn={})",
+            self.tp, self.fp, self.tn, self.fn_
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Confusion {
+        Confusion {
+            tp: 80,
+            fp: 10,
+            tn: 90,
+            fn_: 20,
+        }
+    }
+
+    #[test]
+    fn rates_match_hand_computation() {
+        let c = sample();
+        assert!((c.fpr() - 0.1).abs() < 1e-12);
+        assert!((c.fnr() - 0.2).abs() < 1e-12);
+        assert!((c.accuracy() - 0.85).abs() < 1e-12);
+        assert!((c.precision() - 8.0 / 9.0).abs() < 1e-12);
+        let p = 8.0 / 9.0;
+        let r = 0.8;
+        assert!((c.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut c = Confusion::default();
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, true);
+        c.record(false, false);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        let mut d = c;
+        d.merge(&c);
+        assert_eq!(d.total(), 8);
+    }
+
+    #[test]
+    fn motivating_example_yields_half_accuracy() {
+        // The paper's §II-C observation: on an identical-gadget pair the
+        // classifier is pinned at 50% whichever way it answers.
+        let mut always_yes = Confusion::default();
+        always_yes.record(true, true);
+        always_yes.record(true, false);
+        let mut always_no = Confusion::default();
+        always_no.record(false, true);
+        always_no.record(false, false);
+        assert_eq!(always_yes.accuracy(), 0.5);
+        assert_eq!(always_no.accuracy(), 0.5);
+    }
+}

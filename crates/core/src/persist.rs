@@ -1,0 +1,202 @@
+//! Detector persistence: a trained [`Detector`] (model weights + vocabulary
+//! + configuration) round-trips through a line-oriented text format, so the
+//! CLI can train once and scan many times.
+
+use crate::config::TrainConfig;
+use crate::pipeline::Detector;
+use crate::zoo::ModelKind;
+use sevuldet_embedding::Vocab;
+
+/// Error produced when loading a saved detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError(pub String);
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "detector load error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<sevuldet_nn::LoadError> for PersistError {
+    fn from(e: sevuldet_nn::LoadError) -> Self {
+        PersistError(e.0)
+    }
+}
+
+const MAGIC: &str = "sevuldet-detector v1";
+
+fn kind_tag(kind: ModelKind) -> &'static str {
+    match kind {
+        ModelKind::SevulDet => "sevuldet",
+        ModelKind::SevulDetFixed => "sevuldet-fixed",
+        ModelKind::CnnPlain => "cnn-plain",
+        ModelKind::CnnTokenAtt => "cnn-tokenatt",
+        ModelKind::SevulDetCbamParallel => "sevuldet-parallel-cbam",
+        ModelKind::Blstm => "blstm",
+        ModelKind::Bgru => "bgru",
+    }
+}
+
+fn kind_from_tag(tag: &str) -> Option<ModelKind> {
+    Some(match tag {
+        "sevuldet" => ModelKind::SevulDet,
+        "sevuldet-fixed" => ModelKind::SevulDetFixed,
+        "cnn-plain" => ModelKind::CnnPlain,
+        "cnn-tokenatt" => ModelKind::CnnTokenAtt,
+        "sevuldet-parallel-cbam" => ModelKind::SevulDetCbamParallel,
+        "blstm" => ModelKind::Blstm,
+        "bgru" => ModelKind::Bgru,
+        _ => return None,
+    })
+}
+
+fn hex(s: &str) -> String {
+    s.bytes().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Option<String> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let bytes: Option<Vec<u8>> = (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect();
+    String::from_utf8(bytes?).ok()
+}
+
+/// Serializes a trained detector.
+pub fn save_detector(detector: &mut Detector) -> String {
+    let (kind, cfg, vocab, params_text) = detector.persist_parts();
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&format!("kind {}\n", kind_tag(kind)));
+    out.push_str(&format!(
+        "config {} {} {} {} {} {} {} {}\n",
+        cfg.embed_dim,
+        cfg.cnn_channels,
+        cfg.rnn_hidden,
+        cfg.rnn_steps,
+        cfg.dropout,
+        cfg.threshold,
+        cfg.seed,
+        cfg.lr,
+    ));
+    out.push_str(&format!("vocab {}\n", vocab.len().saturating_sub(2)));
+    for (tok, count) in vocab.entries() {
+        out.push_str(&format!("{} {count}\n", hex(tok)));
+    }
+    out.push_str(&params_text);
+    out
+}
+
+/// Restores a detector saved by [`save_detector`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on any structural mismatch.
+pub fn load_detector(text: &str) -> Result<Detector, PersistError> {
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return Err(PersistError("bad magic header".into()));
+    }
+    let kind_line = lines.next().ok_or_else(|| PersistError("missing kind".into()))?;
+    let kind = kind_line
+        .strip_prefix("kind ")
+        .and_then(kind_from_tag)
+        .ok_or_else(|| PersistError(format!("bad kind line `{kind_line}`")))?;
+    let cfg_line = lines
+        .next()
+        .and_then(|l| l.strip_prefix("config "))
+        .ok_or_else(|| PersistError("missing config".into()))?;
+    let f: Vec<&str> = cfg_line.split_whitespace().collect();
+    if f.len() != 8 {
+        return Err(PersistError(format!("bad config line `{cfg_line}`")));
+    }
+    let parse_err = |what: &str| PersistError(format!("bad config field {what}"));
+    let cfg = TrainConfig {
+        embed_dim: f[0].parse().map_err(|_| parse_err("embed_dim"))?,
+        cnn_channels: f[1].parse().map_err(|_| parse_err("cnn_channels"))?,
+        rnn_hidden: f[2].parse().map_err(|_| parse_err("rnn_hidden"))?,
+        rnn_steps: f[3].parse().map_err(|_| parse_err("rnn_steps"))?,
+        dropout: f[4].parse().map_err(|_| parse_err("dropout"))?,
+        threshold: f[5].parse().map_err(|_| parse_err("threshold"))?,
+        seed: f[6].parse().map_err(|_| parse_err("seed"))?,
+        lr: f[7].parse().map_err(|_| parse_err("lr"))?,
+        ..TrainConfig::default()
+    };
+    let vocab_line = lines
+        .next()
+        .and_then(|l| l.strip_prefix("vocab "))
+        .ok_or_else(|| PersistError("missing vocab".into()))?;
+    let n: usize = vocab_line
+        .parse()
+        .map_err(|_| PersistError(format!("bad vocab count `{vocab_line}`")))?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = lines
+            .next()
+            .ok_or_else(|| PersistError("truncated vocab".into()))?;
+        let (tok_hex, count) = l
+            .split_once(' ')
+            .ok_or_else(|| PersistError(format!("bad vocab line `{l}`")))?;
+        let tok = unhex(tok_hex).ok_or_else(|| PersistError(format!("bad token hex `{tok_hex}`")))?;
+        let count: u64 = count
+            .parse()
+            .map_err(|_| PersistError(format!("bad count in `{l}`")))?;
+        entries.push((tok, count));
+    }
+    let vocab = Vocab::from_entries(entries);
+    let params_text: String = lines.collect::<Vec<_>>().join("\n");
+    Detector::from_persisted(kind, cfg, vocab, &params_text).map_err(PersistError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::GadgetSpec;
+    use sevuldet_dataset::{sard, SardConfig};
+
+    #[test]
+    fn detector_roundtrips_with_identical_predictions() {
+        let samples = sard::generate(&SardConfig {
+            per_category: 6,
+            ..SardConfig::default()
+        });
+        let corpus = GadgetSpec::path_sensitive().extract(&samples);
+        let cfg = TrainConfig {
+            embed_dim: 10,
+            w2v_epochs: 1,
+            epochs: 2,
+            cnn_channels: 8,
+            ..TrainConfig::quick()
+        };
+        let mut det = Detector::train(&corpus, ModelKind::SevulDet, &cfg);
+        let saved = save_detector(&mut det);
+        let mut restored = load_detector(&saved).expect("roundtrip");
+        for item in corpus.items.iter().take(10) {
+            let a = det.predict(&item.tokens);
+            let b = restored.predict(&item.tokens);
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn tokens_with_spaces_and_quotes_survive() {
+        let entries = vec![("\"hello world\"".to_string(), 3u64), ("var1".to_string(), 9)];
+        let v = Vocab::from_entries(entries.clone());
+        assert_eq!(v.id("\"hello world\""), 2);
+        let h = hex("\"hello world\"");
+        assert_eq!(unhex(&h).unwrap(), "\"hello world\"");
+    }
+
+    #[test]
+    fn corrupted_input_is_rejected() {
+        assert!(load_detector("not a model").is_err());
+        assert!(load_detector(&format!("{MAGIC}\nkind unknown\n")).is_err());
+        assert!(load_detector(&format!("{MAGIC}\nkind sevuldet\nconfig 1 2\n")).is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! End-to-end pipeline: corpus → gadgets → embedding → model → metrics,
+//! with a reusable trained [`Detector`] for the detection phase (Fig. 2b).
+
+use crate::config::TrainConfig;
+use crate::corpus::{encode, extract_gadgets, GadgetCorpus};
+use crate::metrics::Confusion;
+use crate::train::{evaluate_model, train_model};
+use crate::zoo::{build_model, AnyModel, ModelKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sevuldet_dataset::ProgramSample;
+use sevuldet_embedding::Vocab;
+use sevuldet_gadget::{GadgetKind, SliceConfig};
+use sevuldet_nn::{sigmoid, SequenceClassifier};
+
+/// How gadgets are produced for an experiment. VulDeePecker-style runs use
+/// data-dependence-only classic gadgets; SySeVR-style runs use classic
+/// gadgets with control dependence; SEVulDet uses path-sensitive gadgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GadgetSpec {
+    /// Classic vs path-sensitive assembly.
+    pub kind: GadgetKind,
+    /// Follow control dependence while slicing.
+    pub control_dep: bool,
+}
+
+impl GadgetSpec {
+    /// SEVulDet's path-sensitive gadgets.
+    pub fn path_sensitive() -> GadgetSpec {
+        GadgetSpec {
+            kind: GadgetKind::PathSensitive,
+            control_dep: true,
+        }
+    }
+
+    /// SySeVR-style classic gadgets (data + control dependence).
+    pub fn classic() -> GadgetSpec {
+        GadgetSpec {
+            kind: GadgetKind::Classic,
+            control_dep: true,
+        }
+    }
+
+    /// VulDeePecker-style gadgets (data dependence only).
+    pub fn data_only() -> GadgetSpec {
+        GadgetSpec {
+            kind: GadgetKind::Classic,
+            control_dep: false,
+        }
+    }
+
+    /// The slice configuration this spec implies.
+    pub fn slice_config(&self) -> SliceConfig {
+        if self.control_dep {
+            SliceConfig::default()
+        } else {
+            SliceConfig::data_only()
+        }
+    }
+
+    /// Extracts the gadget corpus of a program set under this spec.
+    pub fn extract(&self, samples: &[ProgramSample]) -> GadgetCorpus {
+        extract_gadgets(samples, self.kind, &self.slice_config())
+    }
+}
+
+/// Trains a model on a train split and evaluates on a test split, returning
+/// the confusion matrix. The embedding is trained on the *whole* corpus
+/// (word2vec is unsupervised; the paper pre-trains it the same way).
+pub fn run_split(
+    corpus: &GadgetCorpus,
+    model_kind: ModelKind,
+    cfg: &TrainConfig,
+    train_idx: &[usize],
+    test_idx: &[usize],
+) -> Confusion {
+    let encoded = encode(corpus, cfg);
+    let mut model = build_model(model_kind, encoded.table.clone(), cfg);
+    train_model(&mut model, corpus, &encoded, train_idx, cfg);
+    evaluate_model(&mut model, corpus, &encoded, test_idx, cfg)
+}
+
+/// The paper's five-fold cross-validation protocol: trains `k` models, each
+/// tested on its held-out fold. Returns the per-fold confusion matrices and
+/// the merged one.
+pub fn cross_validate(
+    corpus: &GadgetCorpus,
+    model_kind: ModelKind,
+    cfg: &TrainConfig,
+    k: usize,
+) -> (Vec<Confusion>, Confusion) {
+    let idx: Vec<usize> = (0..corpus.len()).collect();
+    let folds = crate::train::k_folds(&idx, k, cfg.seed ^ 0xf01d);
+    let mut per_fold = Vec::with_capacity(k);
+    let mut merged = Confusion::default();
+    for (train_idx, test_idx) in folds {
+        let c = run_split(corpus, model_kind, cfg, &train_idx, &test_idx);
+        merged.merge(&c);
+        per_fold.push(c);
+    }
+    (per_fold, merged)
+}
+
+/// A trained detector bundling the model with its vocabulary, usable on new
+/// programs (the detection phase, and the Table VI transfer experiment).
+pub struct Detector {
+    model: AnyModel,
+    kind: ModelKind,
+    vocab: Vocab,
+    cfg: TrainConfig,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for Detector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Detector(vocab={} tokens)", self.vocab.len())
+    }
+}
+
+impl Detector {
+    /// Trains a detector of the given kind on an entire gadget corpus.
+    pub fn train(corpus: &GadgetCorpus, model_kind: ModelKind, cfg: &TrainConfig) -> Detector {
+        let encoded = encode(corpus, cfg);
+        let mut model = build_model(model_kind, encoded.table.clone(), cfg);
+        let all: Vec<usize> = (0..corpus.len()).collect();
+        train_model(&mut model, corpus, &encoded, &all, cfg);
+        Detector {
+            model,
+            kind: model_kind,
+            vocab: encoded.vocab,
+            cfg: cfg.clone(),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xdec0),
+        }
+    }
+
+    /// Decomposes the detector for persistence: `(kind, config, vocab,
+    /// serialized parameters)`.
+    pub fn persist_parts(&mut self) -> (ModelKind, TrainConfig, &Vocab, String) {
+        let params: Vec<&sevuldet_nn::Param> = self
+            .model
+            .params_mut()
+            .into_iter()
+            .map(|p| &*p)
+            .collect();
+        let text = sevuldet_nn::save_params(&params);
+        (self.kind, self.cfg.clone(), &self.vocab, text)
+    }
+
+    /// Rebuilds a detector from persisted parts.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the serialized parameters do not fit the architecture the
+    /// `(kind, cfg, vocab)` triple implies.
+    pub fn from_persisted(
+        kind: ModelKind,
+        cfg: TrainConfig,
+        vocab: Vocab,
+        params_text: &str,
+    ) -> Result<Detector, sevuldet_nn::LoadError> {
+        let table = sevuldet_nn::Tensor::zeros(&[vocab.len(), cfg.embed_dim]);
+        let mut model = build_model(kind, table, &cfg);
+        sevuldet_nn::load_params(&mut model.params_mut(), params_text)?;
+        Ok(Detector {
+            model,
+            kind,
+            vocab,
+            cfg: cfg.clone(),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xdec0),
+        })
+    }
+
+    /// Probability that a normalized gadget token stream is vulnerable.
+    pub fn predict(&mut self, tokens: &[String]) -> f64 {
+        let ids = self.vocab.encode(tokens);
+        sigmoid(self.model.forward_logit(&ids, false, &mut self.rng))
+    }
+
+    /// Binary verdict at the configured threshold (paper: sigmoid > 0.8).
+    pub fn is_vulnerable(&mut self, tokens: &[String]) -> bool {
+        self.predict(tokens) > self.cfg.threshold
+    }
+
+    /// Per-token attention weights of the last prediction, if the model has
+    /// token attention (Fig. 6's hook).
+    pub fn token_weights(&self) -> Option<Vec<f64>> {
+        self.model.token_weights()
+    }
+
+    /// Evaluates the detector on a fresh gadget corpus (e.g. the Xen-sim
+    /// corpus after training on SARD-sim).
+    pub fn evaluate_corpus(&mut self, corpus: &GadgetCorpus) -> Confusion {
+        let mut confusion = Confusion::default();
+        let items: Vec<(Vec<String>, bool)> = corpus
+            .items
+            .iter()
+            .map(|i| (i.tokens.clone(), i.label))
+            .collect();
+        for (tokens, label) in items {
+            let verdict = self.is_vulnerable(&tokens);
+            confusion.record(verdict, label);
+        }
+        confusion
+    }
+
+    /// The encoded form of a token stream under this detector's vocabulary.
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        self.vocab.encode(tokens)
+    }
+}
+
+/// Re-export for harnesses that need the raw encoding step.
+pub use crate::corpus::encode as encode_corpus;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::stratified_split;
+    use sevuldet_dataset::{sard, SardConfig};
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            embed_dim: 12,
+            w2v_epochs: 1,
+            epochs: 12,
+            cnn_channels: 12,
+            rnn_hidden: 10,
+            rnn_steps: 60,
+            lr: 1e-3,
+            threshold: 0.5,
+            ..TrainConfig::quick()
+        }
+    }
+
+    #[test]
+    fn sevuldet_learns_tiny_corpus() {
+        let samples = sard::generate(&SardConfig {
+            per_category: 20,
+            displaced_fraction: 0.0,
+            long_fraction: 0.0,
+            ..SardConfig::default()
+        });
+        let corpus = GadgetSpec::path_sensitive().extract(&samples);
+        let idx = corpus.indices_of(None);
+        let (train, test) = stratified_split(&corpus, &idx, 0.25, 5);
+        let c = run_split(&corpus, ModelKind::SevulDet, &quick_cfg(), &train, &test);
+        assert!(
+            c.accuracy() > 0.65,
+            "tiny-corpus accuracy should beat chance comfortably: {c}"
+        );
+    }
+
+    #[test]
+    fn detector_transfers_to_unseen_programs() {
+        let train_samples = sard::generate(&SardConfig {
+            per_category: 12,
+            displaced_fraction: 0.0,
+            long_fraction: 0.0,
+            ..SardConfig::default()
+        });
+        let test_samples = sard::generate(&SardConfig {
+            per_category: 5,
+            displaced_fraction: 0.0,
+            long_fraction: 0.0,
+            seed: 777,
+            ..SardConfig::default()
+        });
+        let spec = GadgetSpec::path_sensitive();
+        let train_corpus = spec.extract(&train_samples);
+        let test_corpus = spec.extract(&test_samples);
+        let mut det = Detector::train(&train_corpus, ModelKind::SevulDet, &quick_cfg());
+        let c = det.evaluate_corpus(&test_corpus);
+        assert_eq!(c.total(), test_corpus.len());
+        assert!(c.accuracy() > 0.55, "transfer should beat chance: {c}");
+    }
+
+    #[test]
+    fn token_weights_available_after_predict() {
+        let samples = sard::generate(&SardConfig {
+            per_category: 4,
+            ..SardConfig::default()
+        });
+        let corpus = GadgetSpec::path_sensitive().extract(&samples);
+        let mut det = Detector::train(&corpus, ModelKind::SevulDet, &quick_cfg());
+        let tokens = corpus.items[0].tokens.clone();
+        let _ = det.predict(&tokens);
+        let w = det.token_weights().expect("attention weights");
+        assert_eq!(w.len(), tokens.len());
+    }
+}

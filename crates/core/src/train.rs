@@ -1,0 +1,189 @@
+//! Training and evaluation loops (Step V).
+
+use crate::config::TrainConfig;
+use crate::corpus::{Encoded, GadgetCorpus};
+use crate::metrics::Confusion;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sevuldet_nn::{bce_with_logits_weighted, Adam, SequenceClassifier};
+
+/// Trains a model on the items selected by `train_idx`.
+///
+/// Gradients are accumulated over `cfg.batch` samples before each Adam step
+/// (the paper's mini-batch of 16). The positive class is up-weighted by the
+/// negative/positive ratio (capped at 10) unless `cfg.pos_weight` overrides
+/// it — the paper keeps its corpora imbalanced, so unweighted training
+/// collapses to the majority class.
+pub fn train_model(
+    model: &mut impl SequenceClassifier,
+    corpus: &GadgetCorpus,
+    encoded: &Encoded,
+    train_idx: &[usize],
+    cfg: &TrainConfig,
+) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5151);
+    let mut opt = Adam::new(cfg.lr);
+    let pos = train_idx.iter().filter(|&&i| corpus.items[i].label).count();
+    let neg = train_idx.len() - pos;
+    let pos_weight = cfg
+        .pos_weight
+        .unwrap_or_else(|| ((neg.max(1) as f64) / (pos.max(1) as f64)).clamp(1.0, 10.0));
+
+    let mut order: Vec<usize> = train_idx.to_vec();
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut in_batch = 0usize;
+        for &i in &order {
+            let label = if corpus.items[i].label { 1.0 } else { 0.0 };
+            let logit = model.forward_logit(&encoded.ids[i], true, &mut rng);
+            let (_, dlogit) = bce_with_logits_weighted(logit, label, pos_weight);
+            model.backward(dlogit / cfg.batch as f64);
+            in_batch += 1;
+            if in_batch == cfg.batch {
+                opt.step(&mut model.params_mut());
+                in_batch = 0;
+            }
+        }
+        if in_batch > 0 {
+            opt.step(&mut model.params_mut());
+        }
+    }
+}
+
+/// Evaluates a model on the items selected by `test_idx`, thresholding the
+/// sigmoid output at `cfg.threshold` (paper: 0.8).
+pub fn evaluate_model(
+    model: &mut impl SequenceClassifier,
+    corpus: &GadgetCorpus,
+    encoded: &Encoded,
+    test_idx: &[usize],
+    cfg: &TrainConfig,
+) -> Confusion {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xe7a1);
+    let z = cfg.logit_threshold();
+    let mut confusion = Confusion::default();
+    for &i in test_idx {
+        let logit = model.forward_logit(&encoded.ids[i], false, &mut rng);
+        confusion.record(logit > z, corpus.items[i].label);
+    }
+    confusion
+}
+
+/// Splits indices into stratified train/test partitions (preserving the
+/// vulnerable/clean ratio on both sides).
+pub fn stratified_split(
+    corpus: &GadgetCorpus,
+    idx: &[usize],
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos: Vec<usize> = idx.iter().copied().filter(|&i| corpus.items[i].label).collect();
+    let mut neg: Vec<usize> = idx.iter().copied().filter(|&i| !corpus.items[i].label).collect();
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for bucket in [pos, neg] {
+        let n_test = ((bucket.len() as f64) * test_fraction).round() as usize;
+        test.extend(&bucket[..n_test]);
+        train.extend(&bucket[n_test..]);
+    }
+    train.shuffle(&mut rng);
+    test.shuffle(&mut rng);
+    (train, test)
+}
+
+/// Stratified subsampling of a gadget corpus to at most `max` items
+/// (label ratio preserved) — the analogue of the paper's "randomly select
+/// 30,000 path-sensitive code gadgets" per experiment.
+pub fn subsample(corpus: &GadgetCorpus, max: usize, seed: u64) -> GadgetCorpus {
+    if corpus.len() <= max {
+        return corpus.clone();
+    }
+    let idx: Vec<usize> = (0..corpus.len()).collect();
+    let keep_fraction = max as f64 / corpus.len() as f64;
+    let (_, keep) = stratified_split(corpus, &idx, keep_fraction, seed);
+    GadgetCorpus {
+        items: keep.into_iter().map(|i| corpus.items[i].clone()).collect(),
+    }
+}
+
+/// k-fold partitions of `idx` (the paper's five-fold cross-validation).
+pub fn k_folds(idx: &[usize], k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shuffled: Vec<usize> = idx.to_vec();
+    shuffled.shuffle(&mut rng);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let test: Vec<usize> = shuffled
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % k == f)
+            .map(|(_, v)| v)
+            .collect();
+        let train: Vec<usize> = shuffled
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % k != f)
+            .map(|(_, v)| v)
+            .collect();
+        folds.push((train, test));
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::GadgetItem;
+    use sevuldet_dataset::Origin;
+    use sevuldet_gadget::Category;
+
+    fn fake_corpus(n: usize) -> GadgetCorpus {
+        let items = (0..n)
+            .map(|i| GadgetItem {
+                tokens: vec!["x".into()],
+                label: i % 3 == 0,
+                category: Category::Fc,
+                program_id: format!("p{i}"),
+                key_line: 1,
+                origin: Origin::SardSim,
+            })
+            .collect();
+        GadgetCorpus { items }
+    }
+
+    #[test]
+    fn k_folds_partition_exactly() {
+        let idx: Vec<usize> = (0..97).collect();
+        let folds = k_folds(&idx, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut seen = Vec::new();
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 97);
+            for t in test {
+                assert!(!train.contains(t));
+            }
+            seen.extend(test.iter().copied());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, idx, "every index tested exactly once");
+    }
+
+    #[test]
+    fn stratified_split_preserves_ratio() {
+        let corpus = fake_corpus(300);
+        let idx: Vec<usize> = (0..300).collect();
+        let (train, test) = stratified_split(&corpus, &idx, 0.2, 9);
+        assert_eq!(train.len() + test.len(), 300);
+        let ratio = |v: &[usize]| {
+            v.iter().filter(|&&i| corpus.items[i].label).count() as f64 / v.len() as f64
+        };
+        assert!((ratio(&train) - ratio(&test)).abs() < 0.05);
+    }
+}

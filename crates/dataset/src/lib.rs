@@ -1,0 +1,33 @@
+//! # sevuldet-dataset
+//!
+//! Synthetic corpora standing in for the paper's SARD, NVD, and Xen data:
+//!
+//! * [`sard::generate`] — SARD-style template test cases across the four
+//!   special-token categories, including Fig.-1 guard-displacement twins and
+//!   long-context cases;
+//! * [`sard::generate_nvd`] — NVD-style (larger, inter-procedural) cases;
+//! * [`xen`] — a "real-world" corpus with analogues of the three QEMU/Xen
+//!   CVEs of Table VII plus device-code distractors;
+//! * [`manifest`] — SARD-like `manifest.xml` serialization of ground truth.
+//!
+//! ## Example
+//!
+//! ```
+//! use sevuldet_dataset::{SardConfig, sard::generate};
+//!
+//! let corpus = generate(&SardConfig { per_category: 4, ..SardConfig::default() });
+//! assert_eq!(corpus.len(), 16);
+//! assert!(corpus.iter().all(|s| sevuldet_lang::parse(&s.source).is_ok()));
+//! ```
+
+pub mod manifest;
+pub mod namegen;
+pub mod sard;
+pub mod spec;
+pub mod templates;
+pub mod xen;
+
+pub use sard::{generate_nvd, NvdConfig, SardConfig};
+pub use spec::{Cwe, Origin, ProgramSample};
+pub use templates::{case_for, CaseOpts};
+pub use xen::{cve_cases, CveCase, XenConfig};

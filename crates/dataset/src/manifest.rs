@@ -1,0 +1,163 @@
+//! SARD-style manifest serialization.
+//!
+//! The real SARD ships a `manifest.xml` describing each test case's files,
+//! flaw lines, and CWE ids; this module writes and parses the same shape for
+//! the synthetic corpus, so downstream tooling (and humans) can inspect the
+//! ground truth without Rust.
+
+use crate::spec::{Origin, ProgramSample};
+use std::collections::HashSet;
+
+/// Serializes samples into a SARD-like `manifest.xml` string.
+pub fn to_xml(samples: &[ProgramSample]) -> String {
+    let mut out = String::from("<?xml version=\"1.0\"?>\n<container>\n");
+    for s in samples {
+        out.push_str(&format!(
+            "  <testcase id=\"{}\" cwe=\"{}\" origin=\"{}\" status=\"{}\">\n",
+            s.id,
+            s.cwe.id(),
+            origin_str(s.origin),
+            if s.vulnerable { "flaw" } else { "good" },
+        ));
+        out.push_str(&format!("    <file path=\"{}.c\" language=\"C\">\n", s.id));
+        let mut lines: Vec<u32> = s.flaw_lines.iter().copied().collect();
+        lines.sort_unstable();
+        for l in lines {
+            out.push_str(&format!(
+                "      <flaw line=\"{l}\" name=\"{}\"/>\n",
+                s.cwe.id()
+            ));
+        }
+        out.push_str("    </file>\n  </testcase>\n");
+    }
+    out.push_str("</container>\n");
+    out
+}
+
+/// A parsed manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Test-case id.
+    pub id: String,
+    /// CWE id string.
+    pub cwe: String,
+    /// Whether the case is flawed.
+    pub vulnerable: bool,
+    /// Flaw line numbers.
+    pub flaw_lines: HashSet<u32>,
+}
+
+/// Parses a manifest produced by [`to_xml`] (a minimal, forgiving parser —
+/// not a general XML parser).
+pub fn parse_xml(xml: &str) -> Vec<ManifestEntry> {
+    let mut out = Vec::new();
+    let mut current: Option<ManifestEntry> = None;
+    for line in xml.lines() {
+        let t = line.trim();
+        if t.starts_with("<testcase") {
+            let id = attr(t, "id").unwrap_or_default();
+            let cwe = attr(t, "cwe").unwrap_or_default();
+            let vulnerable = attr(t, "status").as_deref() == Some("flaw");
+            current = Some(ManifestEntry {
+                id,
+                cwe,
+                vulnerable,
+                flaw_lines: HashSet::new(),
+            });
+        } else if t.starts_with("<flaw") {
+            if let (Some(cur), Some(l)) = (current.as_mut(), attr(t, "line")) {
+                if let Ok(n) = l.parse() {
+                    cur.flaw_lines.insert(n);
+                }
+            }
+        } else if t.starts_with("</testcase>") {
+            if let Some(cur) = current.take() {
+                out.push(cur);
+            }
+        }
+    }
+    out
+}
+
+fn attr(line: &str, name: &str) -> Option<String> {
+    let pat = format!("{name}=\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn origin_str(o: Origin) -> &'static str {
+    match o {
+        Origin::SardSim => "sard-sim",
+        Origin::NvdSim => "nvd-sim",
+        Origin::XenSim => "xen-sim",
+    }
+}
+
+/// Corpus statistics in the shape of the paper's Table I input.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Total programs.
+    pub programs: usize,
+    /// Vulnerable programs.
+    pub vulnerable: usize,
+    /// Programs per CWE id.
+    pub per_cwe: Vec<(&'static str, usize)>,
+}
+
+/// Computes summary statistics over a corpus.
+pub fn stats(samples: &[ProgramSample]) -> CorpusStats {
+    let mut per: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for s in samples {
+        *per.entry(s.cwe.id()).or_default() += 1;
+    }
+    CorpusStats {
+        programs: samples.len(),
+        vulnerable: samples.iter().filter(|s| s.vulnerable).count(),
+        per_cwe: per.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Cwe, SrcBuilder};
+
+    fn sample(id: &str, vulnerable: bool, flaws: &[u32]) -> ProgramSample {
+        let mut b = SrcBuilder::new();
+        b.line(0, "int main() { return 0; }");
+        let (source, _) = b.finish();
+        ProgramSample {
+            id: id.into(),
+            source,
+            flaw_lines: flaws.iter().copied().collect(),
+            cwe: Cwe::BufferOverflow,
+            origin: Origin::SardSim,
+            vulnerable,
+            category: sevuldet_gadget::Category::Fc,
+        }
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let samples = vec![sample("a-1", true, &[5, 9]), sample("a-2", false, &[])];
+        let xml = to_xml(&samples);
+        assert!(xml.contains("cwe=\"CWE-121\""));
+        let parsed = parse_xml(&xml);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].id, "a-1");
+        assert!(parsed[0].vulnerable);
+        assert_eq!(parsed[0].flaw_lines, [5, 9].into_iter().collect());
+        assert!(!parsed[1].vulnerable);
+        assert!(parsed[1].flaw_lines.is_empty());
+    }
+
+    #[test]
+    fn stats_counts() {
+        let samples = vec![sample("x", true, &[1]), sample("y", false, &[])];
+        let st = stats(&samples);
+        assert_eq!(st.programs, 2);
+        assert_eq!(st.vulnerable, 1);
+        assert_eq!(st.per_cwe, vec![("CWE-121", 2)]);
+    }
+}

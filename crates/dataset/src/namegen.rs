@@ -1,0 +1,93 @@
+//! Identifier randomization so generated programs do not share surface
+//! names (normalization must do the generalizing, not the generator).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const NOUNS: &[&str] = &[
+    "buf", "data", "msg", "pkt", "frame", "line", "name", "path", "field", "entry", "item",
+    "block", "chunk", "record", "payload", "body", "text", "token", "key", "value", "cell",
+];
+const QUALS: &[&str] = &[
+    "in", "out", "tmp", "src", "dst", "raw", "net", "usr", "dev", "cfg", "log", "io", "rx", "tx",
+];
+const VERBS: &[&str] = &[
+    "copy", "parse", "handle", "process", "read", "load", "store", "fill", "decode", "update",
+    "init", "emit", "scan", "fetch", "apply", "route", "check", "merge",
+];
+const SIZES: &[&str] = &["len", "size", "count", "n", "num", "cap", "limit", "total", "amount"];
+
+/// Random variable name like `rx_pkt3`.
+pub fn var(rng: &mut StdRng) -> String {
+    format!(
+        "{}_{}{}",
+        QUALS[rng.gen_range(0..QUALS.len())],
+        NOUNS[rng.gen_range(0..NOUNS.len())],
+        rng.gen_range(0..10)
+    )
+}
+
+/// Random size-ish variable name like `pkt_len2`.
+pub fn size_var(rng: &mut StdRng) -> String {
+    format!(
+        "{}_{}{}",
+        NOUNS[rng.gen_range(0..NOUNS.len())],
+        SIZES[rng.gen_range(0..SIZES.len())],
+        rng.gen_range(0..10)
+    )
+}
+
+/// Random function name like `parse_frame7`.
+pub fn func(rng: &mut StdRng) -> String {
+    format!(
+        "{}_{}{}",
+        VERBS[rng.gen_range(0..VERBS.len())],
+        NOUNS[rng.gen_range(0..NOUNS.len())],
+        rng.gen_range(0..10)
+    )
+}
+
+/// Random power-of-two-ish buffer size.
+pub fn buf_size(rng: &mut StdRng) -> i64 {
+    *[16i64, 32, 64, 100, 128, 256]
+        .get(rng.gen_range(0..6))
+        .expect("in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_are_valid_identifiers_and_vary() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let names: Vec<String> = (0..50)
+            .map(|i| {
+                if i % 3 == 0 {
+                    var(&mut rng)
+                } else if i % 3 == 1 {
+                    size_var(&mut rng)
+                } else {
+                    func(&mut rng)
+                }
+            })
+            .collect();
+        for n in &names {
+            assert!(n.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+        let mut uniq = names.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert!(uniq.len() > 30, "names should vary");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(var(&mut a), var(&mut b));
+        assert_eq!(buf_size(&mut a), buf_size(&mut b));
+    }
+}

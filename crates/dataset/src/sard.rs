@@ -1,0 +1,219 @@
+//! SARD-style synthetic corpus generation.
+//!
+//! Mirrors the structure of the real Software Assurance Reference Dataset:
+//! many small template-derived test cases per CWE, in "Good", "Flaw", and
+//! "Mixed" (safe/vulnerable twin) flavours, across the paper's four
+//! special-token categories.
+
+use crate::spec::{Origin, ProgramSample};
+use crate::templates::{case_for, CaseOpts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sevuldet_gadget::Category;
+
+/// Configuration of the SARD-style generator.
+#[derive(Debug, Clone)]
+pub struct SardConfig {
+    /// Programs generated per category.
+    pub per_category: usize,
+    /// Fraction of programs carrying a flaw.
+    pub vuln_fraction: f64,
+    /// Fraction of cases generated as Fig.-1 guard-displacement twins
+    /// (classic gadgets identical between safe and vulnerable twin).
+    pub displaced_fraction: f64,
+    /// Fraction of cases with a long dependent-filler chain.
+    pub long_fraction: f64,
+    /// Filler statements used for long cases.
+    pub long_filler: usize,
+    /// Fraction of cases routing taint through a helper function.
+    pub interproc_fraction: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for SardConfig {
+    fn default() -> Self {
+        SardConfig {
+            per_category: 120,
+            vuln_fraction: 0.40,
+            displaced_fraction: 0.22,
+            long_fraction: 0.25,
+            long_filler: 70,
+            interproc_fraction: 0.25,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates the SARD-style corpus.
+///
+/// Guard-displacement cases are emitted as *pairs* (one safe, one
+/// vulnerable twin built from the same template draw), so they count twice
+/// toward `per_category`.
+pub fn generate(config: &SardConfig) -> Vec<ProgramSample> {
+    let mut out = Vec::new();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for &category in &Category::ALL {
+        let mut i = 0usize;
+        while i < config.per_category {
+            let sub_seed: u64 = rng.gen();
+            let filler = if rng.gen_bool(config.long_fraction) {
+                config.long_filler
+            } else {
+                rng.gen_range(0..6)
+            };
+            let interproc = rng.gen_bool(config.interproc_fraction);
+            if rng.gen_bool(config.displaced_fraction) && i + 1 < config.per_category {
+                // Twin pair from the same template draw.
+                for vulnerable in [false, true] {
+                    let mut case_rng = StdRng::seed_from_u64(sub_seed);
+                    let opts = CaseOpts {
+                        vulnerable,
+                        displaced_guard: true,
+                        filler,
+                        interproc,
+                        origin: Origin::SardSim,
+                    };
+                    out.push(case_for(category, &mut case_rng, &opts, out.len()));
+                    i += 1;
+                }
+            } else {
+                let mut case_rng = StdRng::seed_from_u64(sub_seed);
+                let opts = CaseOpts {
+                    vulnerable: rng.gen_bool(config.vuln_fraction),
+                    displaced_guard: false,
+                    filler,
+                    interproc,
+                    origin: Origin::SardSim,
+                };
+                out.push(case_for(category, &mut case_rng, &opts, out.len()));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// NVD-style corpus: fewer, larger, messier cases (always inter-procedural,
+/// longer filler), mimicking real open-source vulnerability contexts.
+#[derive(Debug, Clone)]
+pub struct NvdConfig {
+    /// Total programs.
+    pub count: usize,
+    /// Fraction vulnerable (the real NVD split is 54.9% / 45.1%).
+    pub vuln_fraction: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for NvdConfig {
+    fn default() -> Self {
+        NvdConfig {
+            count: 60,
+            vuln_fraction: 0.549,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates the NVD-style corpus.
+pub fn generate_nvd(config: &NvdConfig) -> Vec<ProgramSample> {
+    let mut out = Vec::new();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for i in 0..config.count {
+        let category = Category::ALL[rng.gen_range(0..4)];
+        let sub_seed: u64 = rng.gen();
+        let mut case_rng = StdRng::seed_from_u64(sub_seed);
+        let opts = CaseOpts {
+            vulnerable: rng.gen_bool(config.vuln_fraction),
+            displaced_guard: rng.gen_bool(0.3),
+            filler: rng.gen_range(8..30),
+            interproc: true,
+            origin: Origin::NvdSim,
+        };
+        let mut s = case_for(category, &mut case_rng, &opts, i);
+        s.id = format!("nvd-{i:05}");
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let cfg = SardConfig {
+            per_category: 10,
+            ..SardConfig::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.vulnerable, y.vulnerable);
+        }
+    }
+
+    #[test]
+    fn corpus_covers_all_categories_and_both_labels() {
+        let cfg = SardConfig {
+            per_category: 20,
+            ..SardConfig::default()
+        };
+        let samples = generate(&cfg);
+        assert_eq!(samples.len(), 80);
+        for &c in &Category::ALL {
+            let of_cat: Vec<_> = samples.iter().filter(|s| s.category == c).collect();
+            assert_eq!(of_cat.len(), 20);
+            assert!(of_cat.iter().any(|s| s.vulnerable));
+            assert!(of_cat.iter().any(|s| !s.vulnerable));
+        }
+    }
+
+    #[test]
+    fn every_generated_program_parses() {
+        let cfg = SardConfig {
+            per_category: 15,
+            ..SardConfig::default()
+        };
+        for s in generate(&cfg) {
+            sevuldet_lang::parse(&s.source)
+                .unwrap_or_else(|e| panic!("{e}\n--- {}\n{}", s.id, s.source));
+        }
+        for s in generate_nvd(&NvdConfig {
+            count: 15,
+            ..NvdConfig::default()
+        }) {
+            sevuldet_lang::parse(&s.source)
+                .unwrap_or_else(|e| panic!("{e}\n--- {}\n{}", s.id, s.source));
+        }
+    }
+
+    #[test]
+    fn vuln_fraction_is_roughly_respected() {
+        let cfg = SardConfig {
+            per_category: 100,
+            displaced_fraction: 0.0,
+            vuln_fraction: 0.4,
+            ..SardConfig::default()
+        };
+        let samples = generate(&cfg);
+        let vulns = samples.iter().filter(|s| s.vulnerable).count();
+        let frac = vulns as f64 / samples.len() as f64;
+        assert!((0.25..0.55).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn nvd_cases_are_interprocedural() {
+        for s in generate_nvd(&NvdConfig {
+            count: 8,
+            ..NvdConfig::default()
+        }) {
+            let p = sevuldet_lang::parse(&s.source).unwrap();
+            assert!(p.functions().count() >= 2, "{}", s.id);
+        }
+    }
+}

@@ -1,0 +1,683 @@
+//! Vulnerability templates for the synthetic SARD/NVD-style corpora.
+//!
+//! Each template emits a complete mini-C program plus ground-truth flaw
+//! lines. Three generation axes reproduce the phenomena the paper's
+//! experiments measure:
+//!
+//! * **Guard displacement** (`displaced_guard`): the safe twin has the sink
+//!   *inside* a validating guard, the vulnerable twin has the identical sink
+//!   *after* the guard — the Fig. 1 pairs whose classic gadgets are
+//!   indistinguishable but whose path-sensitive gadgets differ.
+//! * **Long context** (`filler`): a chain of slice-relevant statements
+//!   between source and sink inflates the gadget beyond any fixed token
+//!   window, so truncating models lose the discriminative tail.
+//! * **Inter-procedural flow** (`interproc`): the tainted value crosses a
+//!   call, exercising the slicer's call-graph traversal.
+
+use crate::namegen;
+use crate::spec::{Cwe, Origin, ProgramSample, SrcBuilder};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sevuldet_gadget::Category;
+
+/// Per-case generation options.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseOpts {
+    /// Emit the flawed variant.
+    pub vulnerable: bool,
+    /// Fig.-1-style guard displacement (classic gadgets become identical
+    /// between the safe and vulnerable twin).
+    pub displaced_guard: bool,
+    /// Number of dependent filler statements between source and sink.
+    pub filler: usize,
+    /// Route the tainted value through a helper function.
+    pub interproc: bool,
+    /// Corpus the case is generated for.
+    pub origin: Origin,
+}
+
+impl CaseOpts {
+    /// A plain safe/vulnerable case with no special axes.
+    pub fn plain(vulnerable: bool, origin: Origin) -> CaseOpts {
+        CaseOpts {
+            vulnerable,
+            displaced_guard: false,
+            filler: 0,
+            interproc: false,
+            origin,
+        }
+    }
+}
+
+/// Emits a dependent filler chain rooted at `var`; returns the last chain
+/// variable (always reads the previous one so every line joins the slice).
+fn fillers(b: &mut SrcBuilder, rng: &mut StdRng, var: &str, count: usize) -> String {
+    let mut prev = var.to_string();
+    for i in 0..count {
+        let next = format!("mix_{i}");
+        let op = ["+", "-", "^", "|"][rng.gen_range(0..4)];
+        let k = rng.gen_range(1..9);
+        b.line(1, &format!("int {next} = {prev} {op} {k};"));
+        prev = next;
+    }
+    prev
+}
+
+/// A benign decoy function exercising arrays/pointers/arithmetic, adding
+/// non-vulnerable gadget mass like SARD's supporting code does.
+fn decoy(b: &mut SrcBuilder, rng: &mut StdRng) -> String {
+    let f = namegen::func(rng);
+    let arr = namegen::var(rng);
+    let n = namegen::size_var(rng);
+    let sz = namegen::buf_size(rng);
+    let k1 = rng.gen_range(2..97);
+    let k2 = rng.gen_range(1..47);
+    b.line(0, &format!("int {f}(int {n}) {{"));
+    b.line(1, &format!("int {arr}[{sz}];"));
+    b.line(1, &format!("int acc = {n} * {k1} + {k2};"));
+    if rng.gen_bool(0.5) {
+        b.line(1, &format!("acc = acc ^ {};", rng.gen_range(1..255)));
+    }
+    b.line(1, &format!("if ({n} > 0 && {n} < {sz}) {{"));
+    b.line(2, &format!("{arr}[{n}] = acc;"));
+    b.line(2, &format!("acc = acc + {arr}[{n}] % {};", rng.gen_range(2..31)));
+    b.line(1, "}");
+    b.line(1, "return acc;");
+    b.line(0, "}");
+    f
+}
+
+fn main_fn(b: &mut SrcBuilder, entry: &str, decoy_fn: Option<&str>) {
+    b.line(0, "int main() {");
+    b.line(1, "char input[256];");
+    b.line(1, "fgets(input, 256, stdin);");
+    if let Some(d) = decoy_fn {
+        b.line(1, &format!("int side = {d}(7);"));
+        b.line(1, "printf(\"%d\", side);");
+    }
+    b.line(1, &format!("{entry}(input);"));
+    b.line(1, "return 0;");
+    b.line(0, "}");
+}
+
+/// Emits the tainted-length source, optionally through a helper.
+fn taint_source(b: &mut SrcBuilder, rng: &mut StdRng, opts: &CaseOpts, data: &str, n: &str) -> Option<String> {
+    if opts.interproc {
+        let helper = namegen::func(rng);
+        // Helper defined before the sink function (it is called below).
+        b.line(0, &format!("int {helper}(char *raw) {{"));
+        b.line(1, "int parsed = atoi(raw);");
+        b.line(1, "return parsed;");
+        b.line(0, "}");
+        Some(format!("int {n} = {helper}({data});"))
+    } else {
+        let _ = b;
+        Some(format!("int {n} = atoi({data});"))
+    }
+}
+
+/// FC: unchecked copy length into a fixed buffer (CWE-121).
+pub fn fc_case(rng: &mut StdRng, opts: &CaseOpts, idx: usize) -> ProgramSample {
+    let flavor = rng.gen_range(0..3u8);
+    let mut b = SrcBuilder::new();
+    let f = namegen::func(rng);
+    let buf = namegen::var(rng);
+    let data = namegen::var(rng);
+    let n = namegen::size_var(rng);
+    let sz = namegen::buf_size(rng);
+    let with_decoy = rng.gen_bool(0.5);
+    let decoy_fn = with_decoy.then(|| decoy(&mut b, rng));
+
+    match flavor {
+        // strncpy/memcpy with a length guard (supports displacement).
+        0 | 1 => {
+            let copy = if flavor == 0 { "strncpy" } else { "memcpy" };
+            let src_line = taint_source(&mut b, rng, opts, &data, &n).expect("source");
+            b.line(0, &format!("void {f}(char *{data}) {{"));
+            b.line(1, &format!("char {buf}[{sz}];"));
+            b.line(1, &src_line);
+            let tail = fillers(&mut b, rng, &n, opts.filler);
+            let _ = tail;
+            if rng.gen_bool(0.5) {
+                b.line(1, &format!("int trail = {n} + {};", rng.gen_range(1..63)));
+                b.line(1, "printf(\"%d\", trail);");
+            }
+            let sink = format!("{copy}({buf}, {data}, {n});");
+            if opts.displaced_guard {
+                b.line(1, &format!("if ({n} < {sz}) {{"));
+                if opts.vulnerable {
+                    b.line(2, "puts(\"within limit\");");
+                    b.line(1, "}");
+                    b.flaw(1, &sink);
+                } else {
+                    b.line(2, &sink);
+                    b.line(1, "}");
+                }
+            } else if opts.vulnerable {
+                b.flaw(1, &sink);
+            } else {
+                b.line(1, &format!("if ({n} < {sz}) {{"));
+                b.line(2, &sink);
+                b.line(1, "}");
+            }
+            b.line(1, &format!("puts({buf});"));
+            b.line(0, "}");
+        }
+        // gets vs fgets (no guard involved).
+        _ => {
+            b.line(0, &format!("void {f}(char *{data}) {{"));
+            b.line(1, &format!("char {buf}[{sz}];"));
+            b.line(1, &format!("int {n} = strlen({data}) + {};", rng.gen_range(0..17)));
+            fillers(&mut b, rng, &n, opts.filler);
+            if opts.vulnerable {
+                b.flaw(1, &format!("gets({buf});"));
+            } else {
+                b.line(1, &format!("fgets({buf}, {sz}, stdin);"));
+            }
+            b.line(1, &format!("printf(\"%s %d\", {buf}, {n} * {});", rng.gen_range(1..29)));
+            b.line(0, "}");
+        }
+    }
+    main_fn(&mut b, &f, decoy_fn.as_deref());
+    let (source, flaw_lines) = b.finish();
+    ProgramSample {
+        id: format!("{}-fc-{idx:05}", origin_tag(opts.origin)),
+        source,
+        flaw_lines,
+        cwe: Cwe::BufferOverflow,
+        origin: opts.origin,
+        vulnerable: opts.vulnerable,
+        category: Category::Fc,
+    }
+}
+
+/// AU: out-of-bounds array access (CWE-125).
+pub fn au_case(rng: &mut StdRng, opts: &CaseOpts, idx: usize) -> ProgramSample {
+    let flavor = rng.gen_range(0..2u8);
+    let mut b = SrcBuilder::new();
+    let f = namegen::func(rng);
+    let arr = namegen::var(rng);
+    let data = namegen::var(rng);
+    let idx_v = namegen::size_var(rng);
+    let sz = namegen::buf_size(rng);
+    let with_decoy = rng.gen_bool(0.5);
+    let decoy_fn = with_decoy.then(|| decoy(&mut b, rng));
+
+    match flavor {
+        // Tainted index with a bounds guard (supports displacement).
+        0 => {
+            let src_line = taint_source(&mut b, rng, opts, &data, &idx_v).expect("source");
+            b.line(0, &format!("void {f}(char *{data}) {{"));
+            b.line(1, &format!("int {arr}[{sz}];"));
+            b.line(1, &src_line);
+            fillers(&mut b, rng, &idx_v, opts.filler);
+            let sink = format!("{arr}[{idx_v}] = {idx_v} + {};", rng.gen_range(1..89));
+            if opts.displaced_guard {
+                b.line(1, &format!("if ({idx_v} >= 0 && {idx_v} < {sz}) {{"));
+                if opts.vulnerable {
+                    b.line(2, "puts(\"index ok\");");
+                    b.line(1, "}");
+                    b.flaw(1, &sink);
+                } else {
+                    b.line(2, &sink);
+                    b.line(1, "}");
+                }
+            } else if opts.vulnerable {
+                b.flaw(1, &sink);
+            } else {
+                b.line(1, &format!("if ({idx_v} >= 0 && {idx_v} < {sz}) {{"));
+                b.line(2, &sink);
+                b.line(1, "}");
+            }
+            b.line(1, &format!("printf(\"%d\", {arr}[0]);"));
+            b.line(0, "}");
+        }
+        // Loop bound off-by-one.
+        _ => {
+            b.line(0, &format!("void {f}(char *{data}) {{"));
+            b.line(1, &format!("int {arr}[{sz}];"));
+            b.line(1, &format!("int total = strlen({data}) * {};", rng.gen_range(1..23)));
+            fillers(&mut b, rng, "total", opts.filler);
+            let cmp = if opts.vulnerable { "<=" } else { "<" };
+            let mul = rng.gen_range(1..43);
+            b.line(1, &format!("for (int i = 0; i {cmp} {sz}; i++) {{"));
+            if opts.vulnerable {
+                b.flaw(2, &format!("{arr}[i] = total + i * {mul};"));
+            } else {
+                b.line(2, &format!("{arr}[i] = total + i * {mul};"));
+            }
+            b.line(1, "}");
+            b.line(1, &format!("printf(\"%d\", {arr}[0]);"));
+            b.line(0, "}");
+        }
+    }
+    main_fn(&mut b, &f, decoy_fn.as_deref());
+    let (source, flaw_lines) = b.finish();
+    ProgramSample {
+        id: format!("{}-au-{idx:05}", origin_tag(opts.origin)),
+        source,
+        flaw_lines,
+        cwe: Cwe::OutOfBounds,
+        origin: opts.origin,
+        vulnerable: opts.vulnerable,
+        category: Category::Au,
+    }
+}
+
+/// PU: use-after-free, double free, NULL deref (CWE-416/415/476).
+pub fn pu_case(rng: &mut StdRng, opts: &CaseOpts, idx: usize) -> ProgramSample {
+    let flavor = rng.gen_range(0..3u8);
+    let mut b = SrcBuilder::new();
+    let f = namegen::func(rng);
+    let p = namegen::var(rng);
+    let data = namegen::var(rng);
+    let n = namegen::size_var(rng);
+    let with_decoy = rng.gen_bool(0.5);
+    let decoy_fn = with_decoy.then(|| decoy(&mut b, rng));
+
+    let cwe = match flavor {
+        0 => {
+            // Use-after-free vs use-then-free.
+            b.line(0, &format!("void {f}(char *{data}) {{"));
+            b.line(1, &format!("int {n} = strlen({data});"));
+            b.line(1, &format!("char *{p} = malloc({n} + {});", rng.gen_range(1..33)));
+            fillers(&mut b, rng, &n, opts.filler);
+            if rng.gen_bool(0.5) {
+                b.line(1, &format!("{p}[0] = {};", rng.gen_range(32..126)));
+            }
+            if opts.vulnerable {
+                b.line(1, &format!("free({p});"));
+                b.flaw(1, &format!("{p}[0] = {data}[0];"));
+            } else {
+                b.line(1, &format!("{p}[0] = {data}[0];"));
+                b.line(1, &format!("free({p});"));
+            }
+            b.line(1, "puts(\"done\");");
+            b.line(0, "}");
+            Cwe::UseAfterFree
+        }
+        1 => {
+            // Double free vs free + NULL reset.
+            b.line(0, &format!("void {f}(char *{data}) {{"));
+            b.line(1, &format!("int {n} = strlen({data});"));
+            b.line(1, &format!("char *{p} = malloc({n} + {});", rng.gen_range(1..33)));
+            fillers(&mut b, rng, &n, opts.filler);
+            b.line(1, &format!("if ({n} > {}) {{", rng.gen_range(2..17)));
+            b.line(2, &format!("free({p});"));
+            if opts.vulnerable {
+                b.line(1, "}");
+                b.flaw(1, &format!("free({p});"));
+            } else {
+                b.line(2, &format!("{p} = NULL;"));
+                b.line(1, "}");
+            }
+            b.line(1, "puts(\"done\");");
+            b.line(0, "}");
+            Cwe::DoubleFree
+        }
+        _ => {
+            // NULL-deref: missing (or displaced) allocation check.
+            b.line(0, &format!("void {f}(char *{data}) {{"));
+            b.line(1, &format!("int {n} = strlen({data});"));
+            b.line(1, &format!("char *{p} = malloc({n} + {});", rng.gen_range(1..33)));
+            fillers(&mut b, rng, &n, opts.filler);
+            let sink = format!("{p}[0] = '{}';", (b'a' + rng.gen_range(0..26u8)) as char);
+            if opts.displaced_guard {
+                b.line(1, &format!("if ({p} != NULL) {{"));
+                if opts.vulnerable {
+                    b.line(2, "puts(\"alloc ok\");");
+                    b.line(1, "}");
+                    b.flaw(1, &sink);
+                } else {
+                    b.line(2, &sink);
+                    b.line(1, "}");
+                }
+            } else if opts.vulnerable {
+                b.flaw(1, &sink);
+            } else {
+                b.line(1, &format!("if ({p} != NULL) {{"));
+                b.line(2, &sink);
+                b.line(1, "}");
+            }
+            b.line(1, &format!("free({p});"));
+            b.line(0, "}");
+            Cwe::NullDeref
+        }
+    };
+    main_fn(&mut b, &f, decoy_fn.as_deref());
+    let (source, flaw_lines) = b.finish();
+    ProgramSample {
+        id: format!("{}-pu-{idx:05}", origin_tag(opts.origin)),
+        source,
+        flaw_lines,
+        cwe,
+        origin: opts.origin,
+        vulnerable: opts.vulnerable,
+        category: Category::Pu,
+    }
+}
+
+/// AE: integer overflow / division by zero / zero-stride loop /
+/// overflow-bypassed bounds check (CWE-190/369/835).
+pub fn ae_case(rng: &mut StdRng, opts: &CaseOpts, idx: usize) -> ProgramSample {
+    let flavor = rng.gen_range(0..4u8);
+    let mut b = SrcBuilder::new();
+    let f = namegen::func(rng);
+    let data = namegen::var(rng);
+    let n = namegen::size_var(rng);
+    let with_decoy = rng.gen_bool(0.5);
+    let decoy_fn = with_decoy.then(|| decoy(&mut b, rng));
+
+    let cwe = match flavor {
+        0 => {
+            // count * ITEM_SIZE overflow before allocation+copy.
+            let item = [8i64, 16, 24, 32][rng.gen_range(0..4)];
+            let p = namegen::var(rng);
+            let src_line = taint_source(&mut b, rng, opts, &data, &n).expect("source");
+            b.line(0, &format!("void {f}(char *{data}) {{"));
+            b.line(1, &src_line);
+            fillers(&mut b, rng, &n, opts.filler);
+            let mul = format!("int total = {n} * {item};");
+            let alloc = format!("char *{p} = malloc(total);");
+            let copy = format!("memcpy({p}, {data}, total);");
+            if opts.displaced_guard {
+                b.line(1, &format!("if ({n} > 0 && {n} < {}) {{", rng.gen_range(200..2000)));
+                if opts.vulnerable {
+                    b.line(2, "puts(\"count ok\");");
+                    b.line(1, "}");
+                    b.flaw(1, &mul);
+                    b.line(1, &alloc);
+                    b.line(1, &copy);
+                } else {
+                    b.line(2, &mul);
+                    b.line(2, &alloc);
+                    b.line(2, &copy);
+                    b.line(1, "}");
+                }
+            } else if opts.vulnerable {
+                b.flaw(1, &mul);
+                b.line(1, &alloc);
+                b.line(1, &copy);
+            } else {
+                b.line(1, &format!("if ({n} > 0 && {n} < {}) {{", rng.gen_range(200..2000)));
+                b.line(2, &mul);
+                b.line(2, &alloc);
+                b.line(2, &copy);
+                b.line(1, "}");
+            }
+            b.line(1, "puts(\"done\");");
+            b.line(0, "}");
+            Cwe::IntegerOverflow
+        }
+        1 => {
+            // sum / n without a zero check.
+            let src_line = taint_source(&mut b, rng, opts, &data, &n).expect("source");
+            b.line(0, &format!("void {f}(char *{data}) {{"));
+            b.line(1, &src_line);
+            b.line(1, &format!("int sum = {n} * {} + {};", rng.gen_range(2..91), rng.gen_range(1..53)));
+            fillers(&mut b, rng, "sum", opts.filler);
+            let sink = format!("int avg = sum / {n};");
+            if opts.displaced_guard {
+                b.line(1, &format!("if ({n} != 0) {{"));
+                if opts.vulnerable {
+                    b.line(2, "puts(\"nonzero\");");
+                    b.line(1, "}");
+                    b.flaw(1, &sink);
+                } else {
+                    b.line(2, &sink);
+                    b.line(2, "printf(\"%d\", avg);");
+                    b.line(1, "}");
+                }
+            } else if opts.vulnerable {
+                b.flaw(1, &sink);
+            } else {
+                b.line(1, &format!("if ({n} != 0) {{"));
+                b.line(2, &sink);
+                b.line(2, "printf(\"%d\", avg);");
+                b.line(1, "}");
+            }
+            b.line(1, "puts(\"done\");");
+            b.line(0, "}");
+            Cwe::DivByZero
+        }
+        2 => {
+            // Zero-stride loop (the mcf_fec / vmware_vga shape): the loop
+            // counter is updated by a tainted delta that can be zero.
+            let step = namegen::size_var(rng);
+            let budget = namegen::size_var(rng);
+            let src_line = taint_source(&mut b, rng, opts, &data, &step).expect("source");
+            let additive = rng.gen_bool(0.4);
+            b.line(0, &format!("void {f}(char *{data}) {{"));
+            b.line(1, &src_line);
+            b.line(
+                1,
+                &format!("int {budget} = strlen({data}) * {};", rng.gen_range(3..40)),
+            );
+            b.line(1, "int done = 0;");
+            fillers(&mut b, rng, &budget, opts.filler);
+            let clamp = format!("if ({step} < 1) {{");
+            if opts.displaced_guard {
+                b.line(1, &clamp);
+                if opts.vulnerable {
+                    b.line(2, "puts(\"small step\");");
+                } else {
+                    b.line(2, &format!("{step} = 1;"));
+                }
+                b.line(1, "}");
+            } else if !opts.vulnerable {
+                b.line(1, &clamp);
+                b.line(2, &format!("{step} = 1;"));
+                b.line(1, "}");
+            }
+            if additive {
+                b.line(1, "int pos = 0;");
+                b.line(1, &format!("while (pos != {budget}) {{"));
+                b.line(2, "done = done + 1;");
+                if opts.vulnerable {
+                    b.flaw(2, &format!("pos = pos + {step};"));
+                } else {
+                    b.line(2, &format!("pos = pos + {step};"));
+                }
+                b.line(2, &format!("if (pos > {budget}) {{"));
+                b.line(3, "break;");
+                b.line(2, "}");
+                b.line(1, "}");
+            } else {
+                b.line(1, &format!("while ({budget} > 0) {{"));
+                b.line(2, "done = done + 1;");
+                if opts.vulnerable {
+                    b.flaw(2, &format!("{budget} = {budget} - {step};"));
+                } else {
+                    b.line(2, &format!("{budget} = {budget} - {step};"));
+                }
+                b.line(1, "}");
+            }
+            b.line(1, "printf(\"%d\", done);");
+            b.line(0, "}");
+            Cwe::InfiniteLoop
+        }
+        _ => {
+            // Overflow-bypassed bounds check (the virtio-9p shape): the
+            // vulnerable twin validates `off + n > LIMIT`, which a huge
+            // `off` wraps past; the safe twin checks subtractively.
+            let off = namegen::size_var(rng);
+            let n2 = namegen::size_var(rng);
+            let dst = namegen::var(rng);
+            let limit = [128i64, 256, 512][rng.gen_range(0..3)];
+            b.line(0, &format!("void {f}(char *{data}) {{"));
+            b.line(1, &format!("char {dst}[{limit}];"));
+            b.line(1, &format!("int {off} = atoi({data});"));
+            b.line(1, &format!("int {n2} = strlen({data}) + {};", rng.gen_range(0..9)));
+            fillers(&mut b, rng, &off, opts.filler);
+            if opts.vulnerable {
+                b.flaw(1, &format!("if ({off} < 0 || {n2} < 0 || {off} + {n2} > {limit}) {{"));
+                b.line(2, "return;");
+                b.line(1, "}");
+                b.flaw(1, &format!("memcpy({dst} + {off}, {data}, {n2});"));
+            } else {
+                b.line(
+                    1,
+                    &format!(
+                        "if ({off} < 0 || {n2} < 0 || {off} > {limit} || {n2} > {limit} - {off}) {{"
+                    ),
+                );
+                b.line(2, "return;");
+                b.line(1, "}");
+                b.line(1, &format!("memcpy({dst} + {off}, {data}, {n2});"));
+            }
+            b.line(1, &format!("puts({dst});"));
+            b.line(0, "}");
+            Cwe::IntegerOverflow
+        }
+    };
+    main_fn(&mut b, &f, decoy_fn.as_deref());
+    let (source, flaw_lines) = b.finish();
+    ProgramSample {
+        id: format!("{}-ae-{idx:05}", origin_tag(opts.origin)),
+        source,
+        flaw_lines,
+        cwe,
+        origin: opts.origin,
+        vulnerable: opts.vulnerable,
+        category: Category::Ae,
+    }
+}
+
+/// Generates a case of the given category.
+pub fn case_for(
+    category: Category,
+    rng: &mut StdRng,
+    opts: &CaseOpts,
+    idx: usize,
+) -> ProgramSample {
+    match category {
+        Category::Fc => fc_case(rng, opts, idx),
+        Category::Au => au_case(rng, opts, idx),
+        Category::Pu => pu_case(rng, opts, idx),
+        Category::Ae => ae_case(rng, opts, idx),
+    }
+}
+
+fn origin_tag(o: Origin) -> &'static str {
+    match o {
+        Origin::SardSim => "sard",
+        Origin::NvdSim => "nvd",
+        Origin::XenSim => "xen",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sevuldet_analysis::ProgramAnalysis;
+
+    fn all_cases(seed: u64, opts: CaseOpts) -> Vec<ProgramSample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Category::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| case_for(c, &mut rng, &opts, i))
+            .collect()
+    }
+
+    #[test]
+    fn every_template_parses_and_analyzes() {
+        for seed in 0..20u64 {
+            for vuln in [false, true] {
+                for displaced in [false, true] {
+                    let opts = CaseOpts {
+                        vulnerable: vuln,
+                        displaced_guard: displaced,
+                        filler: (seed % 4) as usize * 3,
+                        interproc: seed % 3 == 0,
+                        origin: Origin::SardSim,
+                    };
+                    for s in all_cases(seed, opts) {
+                        let p = sevuldet_lang::parse(&s.source)
+                            .unwrap_or_else(|e| panic!("{e}\n--- {}\n{}", s.id, s.source));
+                        let _ = ProgramAnalysis::analyze(&p);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vulnerable_cases_have_flaw_lines_safe_cases_none() {
+        for s in all_cases(3, CaseOpts::plain(true, Origin::SardSim)) {
+            assert!(!s.flaw_lines.is_empty(), "{} should have flaws", s.id);
+            assert!(s.vulnerable);
+        }
+        for s in all_cases(3, CaseOpts::plain(false, Origin::SardSim)) {
+            assert!(s.flaw_lines.is_empty(), "{} should be clean", s.id);
+            assert!(!s.vulnerable);
+        }
+    }
+
+    #[test]
+    fn flaw_line_text_contains_the_sink() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let opts = CaseOpts::plain(true, Origin::SardSim);
+        let s = fc_case(&mut rng, &opts, 0);
+        let lines: Vec<&str> = s.source.lines().collect();
+        for &fl in &s.flaw_lines {
+            let text = lines[(fl - 1) as usize];
+            assert!(
+                text.contains("strncpy")
+                    || text.contains("memcpy")
+                    || text.contains("gets"),
+                "flaw line {fl} = {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn displaced_pair_has_guard_in_both_variants() {
+        let mk = |vuln| {
+            let mut rng = StdRng::seed_from_u64(77);
+            let opts = CaseOpts {
+                vulnerable: vuln,
+                displaced_guard: true,
+                filler: 0,
+                interproc: false,
+                origin: Origin::SardSim,
+            };
+            fc_case(&mut rng, &opts, 0)
+        };
+        let safe = mk(false);
+        let vuln = mk(true);
+        assert!(safe.source.contains("if ("));
+        assert!(vuln.source.contains("if ("));
+        // Same identifiers (same rng seed) — only placement differs.
+        assert_ne!(safe.source, vuln.source);
+    }
+
+    #[test]
+    fn filler_inflates_source() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let small = fc_case(&mut rng, &CaseOpts::plain(true, Origin::SardSim), 0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let big = fc_case(
+            &mut rng,
+            &CaseOpts {
+                filler: 60,
+                ..CaseOpts::plain(true, Origin::SardSim)
+            },
+            0,
+        );
+        assert!(big.source.lines().count() >= small.source.lines().count() + 60);
+    }
+
+    #[test]
+    fn interproc_case_defines_helper() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let opts = CaseOpts {
+            interproc: true,
+            ..CaseOpts::plain(true, Origin::SardSim)
+        };
+        let s = ae_case(&mut rng, &opts, 0);
+        let p = sevuldet_lang::parse(&s.source).unwrap();
+        assert!(p.functions().count() >= 2);
+    }
+}

@@ -1,0 +1,366 @@
+//! The "real-world" Xen-like corpus (Tables VI & VII, Fig. 6).
+//!
+//! Three hand-built CVE analogues mirror the paper's case studies — the
+//! infinite display-FIFO loop of CVE-2016-4453 (vmware_vga), the
+//! offset-overflow check bypass of CVE-2016-9104 (virtio-9p), and the
+//! zero-stride receive loop of CVE-2016-9776 (mcf_fec). Every analogue has a
+//! patched twin and a `harness(a, b)` entry point so the AFL-style fuzzer in
+//! `sevuldet-interp` can drive it. Template-generated "device code"
+//! distractors fill out the corpus.
+
+use crate::spec::{Cwe, Origin, ProgramSample};
+use crate::templates::{case_for, CaseOpts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sevuldet_gadget::Category;
+use std::collections::HashSet;
+
+/// One CVE case study.
+#[derive(Debug, Clone)]
+pub struct CveCase {
+    /// The vulnerable program.
+    pub vulnerable: ProgramSample,
+    /// The patched twin.
+    pub patched: ProgramSample,
+    /// The QEMU CVE id the case is modelled on.
+    pub cve: &'static str,
+    /// The file path reported in the paper's Table VII.
+    pub file: &'static str,
+    /// Xen version the paper found it in.
+    pub xen_version: &'static str,
+    /// Name of the fuzzable entry point.
+    pub harness: &'static str,
+}
+
+fn sample(
+    id: &str,
+    source: &str,
+    flaw_lines: &[u32],
+    cwe: Cwe,
+    vulnerable: bool,
+    category: Category,
+) -> ProgramSample {
+    ProgramSample {
+        id: id.to_string(),
+        source: source.to_string(),
+        flaw_lines: flaw_lines.iter().copied().collect::<HashSet<u32>>(),
+        cwe,
+        origin: Origin::XenSim,
+        vulnerable,
+        category,
+    }
+}
+
+/// CVE-2016-9776 analogue (mcf_fec.c): the receive loop's stride is a
+/// guest-controlled register; writing 0 makes `size` constant and the
+/// `while` spin forever. Fig. 6 visualizes this gadget's attention weights.
+pub fn cve_2016_9776() -> CveCase {
+    let vulnerable_src = r#"int fec_emrbr = 1;
+int fec_total = 0;
+void fec_set_reg(int val) {
+    fec_emrbr = val;
+}
+int fec_receive(int size) {
+    int descnt = 0;
+    while (size > 0) {
+        descnt = descnt + 1;
+        fec_total = fec_total + 1;
+        size = size - fec_emrbr;
+    }
+    return descnt;
+}
+int harness(int a, int b) {
+    fec_set_reg(a);
+    return fec_receive(b);
+}
+"#;
+    // Patch (as in QEMU 4c4f0e4): clamp the stride before the loop.
+    let patched_src = r#"int fec_emrbr = 1;
+int fec_total = 0;
+void fec_set_reg(int val) {
+    fec_emrbr = val;
+}
+int fec_receive(int size) {
+    int descnt = 0;
+    if (fec_emrbr < 1) {
+        fec_emrbr = 1;
+    }
+    while (size > 0) {
+        descnt = descnt + 1;
+        fec_total = fec_total + 1;
+        size = size - fec_emrbr;
+    }
+    return descnt;
+}
+int harness(int a, int b) {
+    fec_set_reg(a);
+    return fec_receive(b);
+}
+"#;
+    // Flaw: the loop head and the stride subtraction (lines 8 and 11).
+    CveCase {
+        vulnerable: sample(
+            "xen-cve-2016-9776",
+            vulnerable_src,
+            &[8, 11],
+            Cwe::InfiniteLoop,
+            true,
+            Category::Ae,
+        ),
+        patched: sample(
+            "xen-cve-2016-9776-patched",
+            patched_src,
+            &[],
+            Cwe::InfiniteLoop,
+            false,
+            Category::Ae,
+        ),
+        cve: "CVE-2016-9776",
+        file: "*/net/mcf_fec.c",
+        xen_version: "Xen 4.7.4",
+        harness: "harness",
+    }
+}
+
+/// CVE-2016-9104 analogue (virtio-9p): `offset + size` overflows a signed
+/// int, bypassing the bounds check; the subsequent copy reads far out of
+/// bounds. The trigger needs `offset` within a narrow window below
+/// `INT_MAX` *and* the harness couples its two fields like the 9p transport
+/// does (a checksum-style relation) — together the paper's "special offset
+/// value and far apart trigger position" that AFL misses.
+pub fn cve_2016_9104() -> CveCase {
+    let vulnerable_src = r#"int xattr_data[2048];
+int xattr_out[2048];
+int v9fs_xattr_read(int offset, int size) {
+    int limit = 2048;
+    if (offset < 0 || size < 0) {
+        return -1;
+    }
+    if (offset + size > limit) {
+        return -1;
+    }
+    memcpy(xattr_out, xattr_data + offset, size);
+    return size;
+}
+int harness(int a, int b) {
+    if (b != a % 977) {
+        return 0;
+    }
+    return v9fs_xattr_read(a, b);
+}
+"#;
+    let patched_src = r#"int xattr_data[2048];
+int xattr_out[2048];
+int v9fs_xattr_read(int offset, int size) {
+    int limit = 2048;
+    if (offset < 0 || size < 0 || offset > limit || size > limit - offset) {
+        return -1;
+    }
+    memcpy(xattr_out, xattr_data + offset, size);
+    return size;
+}
+int harness(int a, int b) {
+    if (b != a % 977) {
+        return 0;
+    }
+    return v9fs_xattr_read(a, b);
+}
+"#;
+    // Flaw: the overflowing check (line 8) and the OOB copy (line 11).
+    CveCase {
+        vulnerable: sample(
+            "xen-cve-2016-9104",
+            vulnerable_src,
+            &[8, 11],
+            Cwe::IntegerOverflow,
+            true,
+            Category::Ae,
+        ),
+        patched: sample(
+            "xen-cve-2016-9104-patched",
+            patched_src,
+            &[],
+            Cwe::IntegerOverflow,
+            false,
+            Category::Ae,
+        ),
+        cve: "CVE-2016-9104",
+        file: "*/9pfs/virtio-9p.c",
+        xen_version: "Xen 4.6.0",
+        harness: "harness",
+    }
+}
+
+/// CVE-2016-4453 analogue (vmware_vga): the FIFO run loop advances the
+/// cursor by a guest-controlled command length; a zero command loops the
+/// display thread forever.
+pub fn cve_2016_4453() -> CveCase {
+    let vulnerable_src = r#"int vga_fifo[64];
+int vmsvga_fifo_run(int cursor, int stop) {
+    int cycles = 0;
+    while (cursor != stop) {
+        int cmd = vga_fifo[cursor & 63];
+        cursor = cursor + cmd;
+        cycles = cycles + 1;
+    }
+    return cycles;
+}
+int harness(int a, int b) {
+    vga_fifo[b & 63] = a;
+    return vmsvga_fifo_run(b & 63, 32);
+}
+"#;
+    let patched_src = r#"int vga_fifo[64];
+int vmsvga_fifo_run(int cursor, int stop) {
+    int cycles = 0;
+    while (cursor != stop) {
+        int cmd = vga_fifo[cursor & 63];
+        if (cmd <= 0) {
+            return cycles;
+        }
+        cursor = cursor + cmd;
+        cycles = cycles + 1;
+    }
+    return cycles;
+}
+int harness(int a, int b) {
+    vga_fifo[b & 63] = a;
+    return vmsvga_fifo_run(b & 63, 32);
+}
+"#;
+    CveCase {
+        vulnerable: sample(
+            "xen-cve-2016-4453",
+            vulnerable_src,
+            &[4, 6],
+            Cwe::InfiniteLoop,
+            true,
+            Category::Au,
+        ),
+        patched: sample(
+            "xen-cve-2016-4453-patched",
+            patched_src,
+            &[],
+            Cwe::InfiniteLoop,
+            false,
+            Category::Au,
+        ),
+        cve: "CVE-2016-4453",
+        file: "*/display/vmware_vga.c",
+        xen_version: "Xen 4.4.2",
+        harness: "harness",
+    }
+}
+
+/// The three paper case studies.
+pub fn cve_cases() -> Vec<CveCase> {
+    vec![cve_2016_4453(), cve_2016_9104(), cve_2016_9776()]
+}
+
+/// Configuration of the Xen-like corpus.
+#[derive(Debug, Clone)]
+pub struct XenConfig {
+    /// Template-generated distractor programs.
+    pub distractors: usize,
+    /// Fraction of distractors carrying a flaw (the paper's Xen corpus has
+    /// 6.0% vulnerable gadgets; program-level fraction is higher).
+    pub vuln_fraction: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for XenConfig {
+    fn default() -> Self {
+        XenConfig {
+            distractors: 80,
+            vuln_fraction: 0.18,
+            seed: 2016,
+        }
+    }
+}
+
+/// Generates the full Xen-like corpus: the three CVE analogues (vulnerable
+/// versions) plus template distractors, all out-of-domain relative to the
+/// SARD-style training corpus (always inter-procedural, long filler).
+pub fn generate(config: &XenConfig) -> Vec<ProgramSample> {
+    let mut out: Vec<ProgramSample> = cve_cases()
+        .into_iter()
+        .flat_map(|c| [c.vulnerable, c.patched])
+        .collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for i in 0..config.distractors {
+        let category = Category::ALL[rng.gen_range(0..4)];
+        let sub_seed: u64 = rng.gen();
+        let mut case_rng = StdRng::seed_from_u64(sub_seed);
+        let opts = CaseOpts {
+            vulnerable: rng.gen_bool(config.vuln_fraction),
+            displaced_guard: rng.gen_bool(0.35),
+            filler: rng.gen_range(10..40),
+            interproc: true,
+            origin: Origin::XenSim,
+        };
+        let mut s = case_for(category, &mut case_rng, &opts, i);
+        s.id = format!("xen-dev-{i:05}");
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cve_analogues_parse_and_flaw_lines_match() {
+        for case in cve_cases() {
+            for s in [&case.vulnerable, &case.patched] {
+                let p = sevuldet_lang::parse(&s.source)
+                    .unwrap_or_else(|e| panic!("{e}\n{}", s.id));
+                assert!(p.function(case.harness).is_some(), "{} harness", s.id);
+            }
+            assert!(case.vulnerable.vulnerable);
+            assert!(!case.patched.vulnerable);
+            assert!(!case.vulnerable.flaw_lines.is_empty());
+            // Flaw lines point at real code.
+            let lines: Vec<&str> = case.vulnerable.source.lines().collect();
+            for &fl in &case.vulnerable.flaw_lines {
+                assert!(!lines[(fl - 1) as usize].trim().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_gadget_contains_the_loop_semantics() {
+        // The 9776 gadget must carry the while range and the stride line,
+        // like the paper's Fig. 6 gadget does.
+        use sevuldet_analysis::ProgramAnalysis;
+        use sevuldet_gadget::{build_gadget, find_special_tokens, GadgetKind, SliceConfig};
+        let case = cve_2016_9776();
+        let p = sevuldet_lang::parse(&case.vulnerable.source).unwrap();
+        let a = ProgramAnalysis::analyze(&p);
+        let toks = find_special_tokens(&p, &a);
+        let seed = toks
+            .iter()
+            .find(|t| t.func == "fec_receive" && t.line == 11)
+            .expect("stride subtraction special token");
+        let g = build_gadget(&p, &a, seed, GadgetKind::PathSensitive, &SliceConfig::default());
+        let text = g.to_text();
+        assert!(text.contains("while ( size > 0 ) {"), "{text}");
+        assert!(text.contains("size = size - fec_emrbr"), "{text}");
+        assert!(text.contains("}"), "{text}");
+    }
+
+    #[test]
+    fn corpus_contains_cves_and_distractors() {
+        let c = generate(&XenConfig {
+            distractors: 10,
+            ..XenConfig::default()
+        });
+        assert_eq!(c.len(), 16);
+        assert!(c.iter().any(|s| s.id == "xen-cve-2016-9104"));
+        for s in &c {
+            sevuldet_lang::parse(&s.source)
+                .unwrap_or_else(|e| panic!("{e}\n--- {}\n{}", s.id, s.source));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # sevuldet-embedding
+//!
+//! Token vocabulary construction and a from-scratch **word2vec** (skip-gram
+//! with negative sampling), replacing the gensim model the paper uses for
+//! Step IV's token embedding.
+//!
+//! ## Example
+//!
+//! ```
+//! use sevuldet_embedding::{Vocab, SkipGram, SkipGramConfig};
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! let sents: Vec<Vec<String>> =
+//!     vec!["if ( n < 16 ) {".split_whitespace().map(String::from).collect()];
+//! let refs: Vec<&[String]> = sents.iter().map(Vec::as_slice).collect();
+//! let vocab = Vocab::build(refs.iter().copied(), 1);
+//! let corpus: Vec<Vec<usize>> = sents.iter().map(|s| vocab.encode(s)).collect();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = SkipGram::train(&vocab, &corpus, &SkipGramConfig::default(), &mut rng);
+//! assert_eq!(model.vector(vocab.id("if")).len(), 30);
+//! ```
+
+pub mod skipgram;
+pub mod vocab;
+
+pub use skipgram::{SkipGram, SkipGramConfig};
+pub use vocab::{Vocab, PAD, UNK};

@@ -1,0 +1,285 @@
+//! word2vec: skip-gram with negative sampling (Step IV's pre-trained token
+//! embedding), implemented from scratch.
+//!
+//! The paper uses gensim's word2vec; this is the same model family: for each
+//! (center, context) pair within a window, maximize `σ(v_c · u_o)` while
+//! minimizing `σ(v_c · u_neg)` for `k` sampled negatives drawn from the
+//! unigram distribution raised to the 3/4 power.
+
+use crate::vocab::{Vocab, PAD, UNK};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Training hyper-parameters for skip-gram.
+#[derive(Debug, Clone)]
+pub struct SkipGramConfig {
+    /// Embedding dimension (paper: 30 for SEVulDet/SySeVR).
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        SkipGramConfig {
+            dim: 30,
+            window: 4,
+            negatives: 5,
+            lr: 0.025,
+            epochs: 3,
+        }
+    }
+}
+
+/// A trained skip-gram model: input (center) and output (context) vectors.
+#[derive(Debug, Clone)]
+pub struct SkipGram {
+    /// Center-word vectors, `vocab × dim`, row-major.
+    pub input: Vec<f64>,
+    /// Context-word vectors, `vocab × dim`, row-major.
+    pub output: Vec<f64>,
+    /// Embedding dimension.
+    pub dim: usize,
+    vocab_len: usize,
+}
+
+impl SkipGram {
+    /// Trains skip-gram over encoded sequences.
+    pub fn train(
+        vocab: &Vocab,
+        corpus: &[Vec<usize>],
+        config: &SkipGramConfig,
+        rng: &mut StdRng,
+    ) -> SkipGram {
+        let v = vocab.len();
+        let d = config.dim;
+        let mut model = SkipGram {
+            input: (0..v * d)
+                .map(|_| rng.gen_range(-0.5..0.5) / d as f64)
+                .collect(),
+            output: vec![0.0; v * d],
+            dim: d,
+            vocab_len: v,
+        };
+        let sampler = NegativeSampler::new(vocab);
+        for _ in 0..config.epochs {
+            for seq in corpus {
+                for (i, &center) in seq.iter().enumerate() {
+                    if center == PAD {
+                        continue;
+                    }
+                    let w = rng.gen_range(1..=config.window);
+                    let lo = i.saturating_sub(w);
+                    let hi = (i + w + 1).min(seq.len());
+                    #[allow(clippy::needless_range_loop)] // j is a position, compared with i
+                    for j in lo..hi {
+                        if j == i || seq[j] == PAD {
+                            continue;
+                        }
+                        model.train_pair(center, seq[j], true, config.lr);
+                        for _ in 0..config.negatives {
+                            let neg = sampler.sample(rng);
+                            if neg != seq[j] {
+                                model.train_pair(center, neg, false, config.lr);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        model
+    }
+
+    fn train_pair(&mut self, center: usize, context: usize, positive: bool, lr: f64) {
+        let d = self.dim;
+        let ci = center * d;
+        let oi = context * d;
+        let mut dot = 0.0;
+        for k in 0..d {
+            dot += self.input[ci + k] * self.output[oi + k];
+        }
+        let pred = sigmoid(dot);
+        let label = if positive { 1.0 } else { 0.0 };
+        let g = (pred - label) * lr;
+        for k in 0..d {
+            let vi = self.input[ci + k];
+            let uo = self.output[oi + k];
+            self.input[ci + k] -= g * uo;
+            self.output[oi + k] -= g * vi;
+        }
+    }
+
+    /// The center vector of a token id.
+    pub fn vector(&self, id: usize) -> &[f64] {
+        let id = id.min(self.vocab_len - 1);
+        &self.input[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Cosine similarity between two token ids' vectors.
+    pub fn cosine(&self, a: usize, b: usize) -> f64 {
+        let va = self.vector(a);
+        let vb = self.vector(b);
+        let dot: f64 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f64 = va.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = vb.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Exports the `(vocab × dim)` embedding table (center vectors). Row 0
+    /// (`<pad>`) is zeroed so padding carries no signal.
+    pub fn table(&self) -> sevuldet_nn_table::Table {
+        let mut data = self.input.clone();
+        for k in 0..self.dim {
+            data[k] = 0.0;
+        }
+        sevuldet_nn_table::Table {
+            rows: self.vocab_len,
+            cols: self.dim,
+            data,
+        }
+    }
+}
+
+/// A tiny decoupling shim so this crate does not depend on `sevuldet-nn`:
+/// the core crate converts [`Table`] into an `sevuldet_nn::Tensor`.
+pub mod sevuldet_nn_table {
+    /// A plain row-major matrix.
+    #[derive(Debug, Clone)]
+    pub struct Table {
+        /// Row count (vocabulary size).
+        pub rows: usize,
+        /// Column count (embedding dimension).
+        pub cols: usize,
+        /// Row-major data.
+        pub data: Vec<f64>,
+    }
+}
+
+/// Unigram^(3/4) negative sampler.
+struct NegativeSampler {
+    cdf: Vec<f64>,
+}
+
+impl NegativeSampler {
+    fn new(vocab: &Vocab) -> NegativeSampler {
+        let mut weights: Vec<f64> = (0..vocab.len())
+            .map(|id| {
+                if id == PAD || id == UNK {
+                    0.0
+                } else {
+                    (vocab.count(id) as f64).powf(0.75)
+                }
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total > 0.0 {
+            let mut acc = 0.0;
+            for w in weights.iter_mut() {
+                acc += *w / total;
+                *w = acc;
+            }
+        }
+        NegativeSampler { cdf: weights }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let r: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&r).expect("no NaN"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A toy corpus where `alpha` and `beta` appear in interchangeable
+    /// contexts and `gamma` appears elsewhere: after training, alpha/beta
+    /// should be closer than alpha/gamma.
+    #[test]
+    fn learns_distributional_similarity() {
+        let mut sents: Vec<Vec<String>> = Vec::new();
+        for _ in 0..60 {
+            sents.push(
+                "open alpha close".split_whitespace().map(String::from).collect(),
+            );
+            sents.push(
+                "open beta close".split_whitespace().map(String::from).collect(),
+            );
+            sents.push(
+                "left gamma right".split_whitespace().map(String::from).collect(),
+            );
+        }
+        let refs: Vec<&[String]> = sents.iter().map(Vec::as_slice).collect();
+        let vocab = Vocab::build(refs.iter().copied(), 1);
+        let corpus: Vec<Vec<usize>> = sents.iter().map(|s| vocab.encode(s)).collect();
+        let mut rng = StdRng::seed_from_u64(99);
+        let cfg = SkipGramConfig {
+            dim: 16,
+            window: 2,
+            negatives: 4,
+            lr: 0.05,
+            epochs: 12,
+        };
+        let model = SkipGram::train(&vocab, &corpus, &cfg, &mut rng);
+        let a = vocab.id("alpha");
+        let b = vocab.id("beta");
+        let g = vocab.id("gamma");
+        let sim_ab = model.cosine(a, b);
+        let sim_ag = model.cosine(a, g);
+        assert!(
+            sim_ab > sim_ag,
+            "alpha~beta ({sim_ab:.3}) should beat alpha~gamma ({sim_ag:.3})"
+        );
+    }
+
+    #[test]
+    fn table_zeroes_pad_row() {
+        let sents = [vec!["a".to_string(), "b".to_string()]];
+        let refs: Vec<&[String]> = sents.iter().map(Vec::as_slice).collect();
+        let vocab = Vocab::build(refs.iter().copied(), 1);
+        let corpus: Vec<Vec<usize>> = sents.iter().map(|s| vocab.encode(s)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = SkipGram::train(&vocab, &corpus, &SkipGramConfig::default(), &mut rng);
+        let t = model.table();
+        assert_eq!(t.rows, vocab.len());
+        assert!(t.data[..t.cols].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn sampler_never_returns_pad_or_unk() {
+        let sents = [vec!["x".to_string(), "y".to_string(), "z".to_string()]];
+        let refs: Vec<&[String]> = sents.iter().map(Vec::as_slice).collect();
+        let vocab = Vocab::build(refs.iter().copied(), 1);
+        let s = NegativeSampler::new(&vocab);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let id = s.sample(&mut rng);
+            assert!(id >= 2, "sampled reserved id {id}");
+        }
+    }
+}

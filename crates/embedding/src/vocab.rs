@@ -1,0 +1,148 @@
+//! Token vocabulary with frequency-based construction.
+//!
+//! Index 0 is reserved for `<pad>`, index 1 for `<unk>`; real tokens start
+//! at 2. Ordering is by descending frequency (ties broken lexicographically)
+//! so vocabularies are deterministic across runs.
+
+use std::collections::HashMap;
+
+/// Reserved id of the padding token.
+pub const PAD: usize = 0;
+/// Reserved id of the unknown token.
+pub const UNK: usize = 1;
+
+/// A frozen token-to-id mapping.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    ids: HashMap<String, usize>,
+    tokens: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from token sequences, keeping tokens that occur
+    /// at least `min_count` times.
+    pub fn build<'a>(
+        corpus: impl IntoIterator<Item = &'a [String]>,
+        min_count: u64,
+    ) -> Vocab {
+        let mut freq: HashMap<String, u64> = HashMap::new();
+        for seq in corpus {
+            for t in seq {
+                *freq.entry(t.clone()).or_default() += 1;
+            }
+        }
+        let mut entries: Vec<(String, u64)> = freq
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut v = Vocab {
+            ids: HashMap::new(),
+            tokens: vec!["<pad>".into(), "<unk>".into()],
+            counts: vec![0, 0],
+        };
+        for (tok, c) in entries {
+            v.ids.insert(tok.clone(), v.tokens.len());
+            v.tokens.push(tok);
+            v.counts.push(c);
+        }
+        v
+    }
+
+    /// Vocabulary size including the reserved tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the vocabulary holds only the reserved tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.len() <= 2
+    }
+
+    /// Id of `token`, or [`UNK`].
+    pub fn id(&self, token: &str) -> usize {
+        self.ids.get(token).copied().unwrap_or(UNK)
+    }
+
+    /// The token with the given id, if any.
+    pub fn token(&self, id: usize) -> Option<&str> {
+        self.tokens.get(id).map(String::as_str)
+    }
+
+    /// Occurrence count of the token with the given id.
+    pub fn count(&self, id: usize) -> u64 {
+        self.counts.get(id).copied().unwrap_or(0)
+    }
+
+    /// Encodes a token sequence to ids.
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        tokens.iter().map(|t| self.id(t)).collect()
+    }
+
+    /// Iterates the non-reserved entries in id order as `(token, count)`.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.tokens
+            .iter()
+            .zip(&self.counts)
+            .skip(2)
+            .map(|(t, &c)| (t.as_str(), c))
+    }
+
+    /// Rebuilds a vocabulary from entries previously produced by
+    /// [`Vocab::entries`], preserving id assignment (used by model
+    /// persistence).
+    pub fn from_entries(entries: impl IntoIterator<Item = (String, u64)>) -> Vocab {
+        let mut v = Vocab {
+            ids: HashMap::new(),
+            tokens: vec!["<pad>".into(), "<unk>".into()],
+            counts: vec![0, 0],
+        };
+        for (tok, c) in entries {
+            v.ids.insert(tok.clone(), v.tokens.len());
+            v.tokens.push(tok);
+            v.counts.push(c);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn builds_by_frequency() {
+        let a = toks("if n if ( (");
+        let b = toks("if strncpy (");
+        let v = Vocab::build([a.as_slice(), b.as_slice()], 1);
+        // "if" and "(" occur 3 times each; ties lexicographic → "(" first.
+        assert_eq!(v.id("("), 2);
+        assert_eq!(v.id("if"), 3);
+        assert_eq!(v.token(0), Some("<pad>"));
+        assert_eq!(v.id("missing"), UNK);
+        assert_eq!(v.count(v.id("if")), 3);
+    }
+
+    #[test]
+    fn min_count_filters_rare_tokens() {
+        let a = toks("x x y");
+        let v = Vocab::build([a.as_slice()], 2);
+        assert_eq!(v.id("x"), 2);
+        assert_eq!(v.id("y"), UNK);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        let a = toks("n = n + 1");
+        let v = Vocab::build([a.as_slice()], 1);
+        let ids = v.encode(&a);
+        let back: Vec<&str> = ids.iter().map(|&i| v.token(i).unwrap()).collect();
+        assert_eq!(back, vec!["n", "=", "n", "+", "1"]);
+    }
+}

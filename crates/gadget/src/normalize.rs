@@ -1,0 +1,187 @@
+//! Gadget normalization (Step III).
+//!
+//! User-defined variable and function names carry no vulnerability semantics
+//! and inflate the vocabulary, so they are mapped to ordered placeholder
+//! names (`var1`, `var2`, ... and `fun1`, `fun2`, ...) in first-appearance
+//! order. Keywords, library/API function names, literals, and operators are
+//! kept intact; non-ASCII characters are stripped.
+
+use crate::types::{CodeGadget, GadgetLine};
+use sevuldet_analysis::libmodel::is_lib_func;
+use sevuldet_lang::token::Keyword;
+use std::collections::HashMap;
+
+/// Maps user identifiers to placeholder names, one gadget at a time.
+#[derive(Debug, Default)]
+pub struct Normalizer {
+    vars: HashMap<String, String>,
+    funs: HashMap<String, String>,
+}
+
+impl Normalizer {
+    /// Creates an empty normalizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Normalizes a whole gadget, producing a fresh mapping (two gadgets
+    /// never share placeholder assignments, mirroring the paper).
+    pub fn normalize_gadget(gadget: &CodeGadget) -> CodeGadget {
+        let mut n = Normalizer::new();
+        let lines = gadget
+            .lines
+            .iter()
+            .map(|l| GadgetLine {
+                func: l.func.clone(),
+                line: l.line,
+                tokens: n.normalize_tokens(&l.tokens),
+                origin: l.origin,
+            })
+            .collect();
+        CodeGadget {
+            kind: gadget.kind,
+            category: gadget.category,
+            key_func: gadget.key_func.clone(),
+            key_line: gadget.key_line,
+            key_name: n.lookup_name(&gadget.key_name),
+            lines,
+        }
+    }
+
+    /// Normalizes one token sequence in place-order.
+    pub fn normalize_tokens(&mut self, tokens: &[String]) -> Vec<String> {
+        let mut out = Vec::with_capacity(tokens.len());
+        for (i, t) in tokens.iter().enumerate() {
+            let ascii: String = t.chars().filter(char::is_ascii).collect();
+            if !is_identifier(&ascii) || keep_verbatim(&ascii) {
+                out.push(ascii);
+                continue;
+            }
+            let is_call = tokens.get(i + 1).map(String::as_str) == Some("(");
+            let mapped = if is_call {
+                let next = format!("fun{}", self.funs.len() + 1);
+                self.funs.entry(ascii).or_insert(next).clone()
+            } else {
+                let next = format!("var{}", self.vars.len() + 1);
+                self.vars.entry(ascii).or_insert(next).clone()
+            };
+            out.push(mapped);
+        }
+        out
+    }
+
+    fn lookup_name(&self, name: &str) -> String {
+        self.funs
+            .get(name)
+            .or_else(|| self.vars.get(name))
+            .cloned()
+            .unwrap_or_else(|| name.to_string())
+    }
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Tokens kept verbatim: keywords, library/API function names, `main`, and
+/// type-ish words that survived tokenization.
+fn keep_verbatim(s: &str) -> bool {
+    Keyword::from_word(s).is_some() || is_lib_func(s) || s == "main" || s == "NULL"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Category, GadgetKind, LineOrigin};
+
+    fn gadget(lines: Vec<Vec<&str>>) -> CodeGadget {
+        CodeGadget {
+            kind: GadgetKind::PathSensitive,
+            category: Category::Fc,
+            key_func: "f".into(),
+            key_line: 1,
+            key_name: "strncpy".into(),
+            lines: lines
+                .into_iter()
+                .enumerate()
+                .map(|(i, toks)| GadgetLine {
+                    func: "f".into(),
+                    line: i as u32 + 1,
+                    tokens: toks.into_iter().map(String::from).collect(),
+                    origin: LineOrigin::Stmt,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn variables_renamed_in_first_appearance_order() {
+        let g = gadget(vec![
+            vec!["int", "count", "=", "limit", ";"],
+            vec!["count", "=", "count", "+", "1", ";"],
+        ]);
+        let n = Normalizer::normalize_gadget(&g);
+        assert_eq!(
+            n.lines[0].tokens,
+            vec!["int", "var1", "=", "var2", ";"]
+        );
+        assert_eq!(
+            n.lines[1].tokens,
+            vec!["var1", "=", "var1", "+", "1", ";"]
+        );
+    }
+
+    #[test]
+    fn library_functions_and_keywords_kept() {
+        let g = gadget(vec![vec![
+            "if", "(", "n", "<", "16", ")", "{",
+        ], vec![
+            "strncpy", "(", "dest", ",", "data", ",", "n", ")", ";",
+        ]]);
+        let n = Normalizer::normalize_gadget(&g);
+        assert_eq!(n.lines[0].tokens[0], "if");
+        assert_eq!(n.lines[1].tokens[0], "strncpy");
+        // dest/data/n got var names; n consistent across lines.
+        assert_eq!(n.lines[0].tokens[2], "var1"); // n first appears in line 0
+        assert_eq!(n.lines[1].tokens[6], "var1");
+    }
+
+    #[test]
+    fn user_functions_renamed_separately_from_vars() {
+        let g = gadget(vec![vec![
+            "helper", "(", "helper_result", ")", ";",
+        ]]);
+        let n = Normalizer::normalize_gadget(&g);
+        assert_eq!(n.lines[0].tokens[0], "fun1");
+        assert_eq!(n.lines[0].tokens[2], "var1");
+    }
+
+    #[test]
+    fn main_and_literals_survive() {
+        let g = gadget(vec![vec!["main", "(", ")", ";"], vec!["x", "=", "42", ";"]]);
+        let n = Normalizer::normalize_gadget(&g);
+        assert_eq!(n.lines[0].tokens[0], "main");
+        assert_eq!(n.lines[1].tokens[2], "42");
+    }
+
+    #[test]
+    fn non_ascii_stripped() {
+        let g = gadget(vec![vec!["x\u{00e9}", "=", "1", ";"]]);
+        let n = Normalizer::normalize_gadget(&g);
+        assert_eq!(n.lines[0].tokens[0], "var1"); // "xé" -> "x" -> var1
+    }
+
+    #[test]
+    fn identical_structure_normalizes_identically() {
+        // Different user names, same shape → same normalized text. This is
+        // what lets the detector generalise across naming conventions.
+        let a = gadget(vec![vec!["strncpy", "(", "dst", ",", "src", ",", "len", ")", ";"]]);
+        let b = gadget(vec![vec!["strncpy", "(", "out", ",", "in_", ",", "cnt", ")", ";"]]);
+        assert_eq!(
+            Normalizer::normalize_gadget(&a).to_text(),
+            Normalizer::normalize_gadget(&b).to_text()
+        );
+    }
+}

@@ -1,0 +1,381 @@
+//! Forward/backward program slicing over PDGs (Step I.3).
+//!
+//! Backward slices follow data *and* control dependence (finding the
+//! statements an attack flows through and the guards that enrich semantics);
+//! forward slices follow data dependence (where the value goes). Both are
+//! inter-procedural: backward slicing ascends from function entries to call
+//! sites and descends into callees through return values; forward slicing
+//! descends into callees through arguments and ascends through returns.
+
+use sevuldet_analysis::{NodeId, ProgramAnalysis};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Slicing options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceConfig {
+    /// Follow control dependence in the backward direction (SySeVR-style).
+    /// Disable for VulDeePecker-style data-dependence-only slices.
+    pub control_dep: bool,
+    /// Cross function boundaries via the call graph.
+    pub interprocedural: bool,
+    /// Hard cap on slice size (defense against pathological programs).
+    pub max_nodes: usize,
+}
+
+impl Default for SliceConfig {
+    fn default() -> Self {
+        SliceConfig {
+            control_dep: true,
+            interprocedural: true,
+            max_nodes: 4096,
+        }
+    }
+}
+
+impl SliceConfig {
+    /// VulDeePecker-style: data dependence only.
+    pub fn data_only() -> Self {
+        SliceConfig {
+            control_dep: false,
+            ..SliceConfig::default()
+        }
+    }
+}
+
+/// A program slice: the set of `(function, node)` pairs it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slice {
+    /// Seed function.
+    pub func: String,
+    /// Seed node.
+    pub seed: NodeId,
+    /// All covered nodes, ordered for determinism.
+    pub nodes: BTreeSet<(String, NodeId)>,
+}
+
+impl Slice {
+    /// Number of nodes in the slice.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the slice covers nothing but the seed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The functions the slice touches, in order.
+    pub fn functions(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.nodes.iter().map(|(f, _)| f.clone()).collect();
+        v.dedup();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+/// Computes the combined forward+backward slice used for gadget generation:
+/// backward from the seed, forward from the seed, and forward from each node
+/// that directly feeds the seed (so guards that *consume* the same values as
+/// the seed are captured — the property the motivating example hinges on).
+pub fn two_way_slice(
+    analysis: &ProgramAnalysis,
+    func: &str,
+    seed: NodeId,
+    config: &SliceConfig,
+) -> Slice {
+    let mut nodes = BTreeSet::new();
+    backward(analysis, func, seed, config, &mut nodes);
+    forward(analysis, func, seed, config, &mut nodes);
+    if let Some(pdg) = analysis.pdg(func) {
+        let feeders: Vec<NodeId> = pdg.data_preds(seed).iter().map(|(n, _)| *n).collect();
+        for f in feeders {
+            forward(analysis, func, f, config, &mut nodes);
+        }
+    }
+    Slice {
+        func: func.to_string(),
+        seed,
+        nodes,
+    }
+}
+
+/// Backward slice only (exposed for tests and ablation).
+pub fn backward_slice(
+    analysis: &ProgramAnalysis,
+    func: &str,
+    seed: NodeId,
+    config: &SliceConfig,
+) -> Slice {
+    let mut nodes = BTreeSet::new();
+    backward(analysis, func, seed, config, &mut nodes);
+    Slice {
+        func: func.to_string(),
+        seed,
+        nodes,
+    }
+}
+
+/// Forward slice only (exposed for tests and ablation).
+pub fn forward_slice(
+    analysis: &ProgramAnalysis,
+    func: &str,
+    seed: NodeId,
+    config: &SliceConfig,
+) -> Slice {
+    let mut nodes = BTreeSet::new();
+    forward(analysis, func, seed, config, &mut nodes);
+    Slice {
+        func: func.to_string(),
+        seed,
+        nodes,
+    }
+}
+
+fn backward(
+    analysis: &ProgramAnalysis,
+    func: &str,
+    seed: NodeId,
+    config: &SliceConfig,
+    out: &mut BTreeSet<(String, NodeId)>,
+) {
+    let mut work: VecDeque<(String, NodeId)> = VecDeque::new();
+    work.push_back((func.to_string(), seed));
+    while let Some((f, n)) = work.pop_front() {
+        if out.len() >= config.max_nodes {
+            return;
+        }
+        if !out.insert((f.clone(), n)) {
+            continue;
+        }
+        let Some(pdg) = analysis.pdg(&f) else { continue };
+        for (m, _var) in pdg.data_preds(n) {
+            work.push_back((f.clone(), *m));
+        }
+        if config.control_dep {
+            for m in pdg.control_preds(n) {
+                work.push_back((f.clone(), m));
+            }
+        }
+        if config.interprocedural {
+            // Reached the function entry: values came from call sites.
+            if n == pdg.cfg.entry() {
+                for site in analysis.callgraph.calls_to(&f) {
+                    work.push_back((site.caller.clone(), site.node));
+                }
+            }
+            // Calls whose return value feeds this node: descend into callee
+            // returns.
+            for call in &pdg.cfg.node(n).calls {
+                if analysis.callgraph.is_user_func(&call.callee) {
+                    if let Some(callee_pdg) = analysis.pdg(&call.callee) {
+                        for rid in callee_pdg.cfg.node_ids() {
+                            let nd = callee_pdg.cfg.node(rid);
+                            if nd.tokens.first().map(String::as_str) == Some("return") {
+                                work.push_back((call.callee.clone(), rid));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn forward(
+    analysis: &ProgramAnalysis,
+    func: &str,
+    seed: NodeId,
+    config: &SliceConfig,
+    out: &mut BTreeSet<(String, NodeId)>,
+) {
+    let mut work: VecDeque<(String, NodeId)> = VecDeque::new();
+    work.push_back((func.to_string(), seed));
+    let mut visited: BTreeSet<(String, NodeId)> = BTreeSet::new();
+    while let Some((f, n)) = work.pop_front() {
+        if out.len() >= config.max_nodes {
+            return;
+        }
+        if !visited.insert((f.clone(), n)) {
+            continue;
+        }
+        out.insert((f.clone(), n));
+        let Some(pdg) = analysis.pdg(&f) else { continue };
+        for (m, _var) in pdg.data_succs(n) {
+            work.push_back((f.clone(), *m));
+        }
+        if config.interprocedural {
+            // Values passed into callees: continue from the callee entry.
+            for call in &pdg.cfg.node(n).calls {
+                if analysis.callgraph.is_user_func(&call.callee) {
+                    if let Some(callee_pdg) = analysis.pdg(&call.callee) {
+                        work.push_back((call.callee.clone(), callee_pdg.cfg.entry()));
+                    }
+                }
+            }
+            // Returned values: continue at every call site of this function.
+            if pdg.cfg.node(n).tokens.first().map(String::as_str) == Some("return") {
+                for site in analysis.callgraph.calls_to(&f) {
+                    work.push_back((site.caller.clone(), site.node));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sevuldet_lang::parse;
+
+    fn setup(src: &str) -> ProgramAnalysis {
+        let p = parse(src).unwrap();
+        ProgramAnalysis::analyze(&p)
+    }
+
+    fn node_with(analysis: &ProgramAnalysis, func: &str, tok: &str) -> NodeId {
+        let pdg = analysis.pdg(func).unwrap();
+        pdg.cfg
+            .node_ids()
+            .find(|id| pdg.cfg.node(*id).tokens.first().map(String::as_str) == Some(tok))
+            .unwrap_or_else(|| panic!("no node starting with {tok} in {func}"))
+    }
+
+    fn lines_of(analysis: &ProgramAnalysis, slice: &Slice) -> Vec<(String, u32)> {
+        slice
+            .nodes
+            .iter()
+            .map(|(f, n)| (f.clone(), analysis.pdg(f).unwrap().cfg.node(*n).line))
+            .collect()
+    }
+
+    #[test]
+    fn backward_includes_guard_and_sources() {
+        let src = r#"void f(char *dest, char *data, int n) {
+    int len = n;
+    if (len < 16) {
+        strncpy(dest, data, len);
+    }
+}"#;
+        let a = setup(src);
+        let seed = node_with(&a, "f", "strncpy");
+        let s = backward_slice(&a, "f", seed, &SliceConfig::default());
+        let lines: Vec<u32> = lines_of(&a, &s).iter().map(|(_, l)| *l).collect();
+        assert!(lines.contains(&2), "len source in slice");
+        assert!(lines.contains(&3), "guard in slice (control dep)");
+        assert!(lines.contains(&4), "seed in slice");
+    }
+
+    #[test]
+    fn data_only_backward_excludes_pure_guard() {
+        // The guard tests a *different* variable, so without control
+        // dependence it must not enter the slice.
+        let src = r#"void f(char *dest, char *data, int n, int mode) {
+    if (mode) {
+        strncpy(dest, data, n);
+    }
+}"#;
+        let a = setup(src);
+        let seed = node_with(&a, "f", "strncpy");
+        let full = backward_slice(&a, "f", seed, &SliceConfig::default());
+        let data = backward_slice(&a, "f", seed, &SliceConfig::data_only());
+        let full_lines: Vec<u32> = lines_of(&a, &full).iter().map(|(_, l)| *l).collect();
+        let data_lines: Vec<u32> = lines_of(&a, &data).iter().map(|(_, l)| *l).collect();
+        assert!(full_lines.contains(&2));
+        assert!(!data_lines.contains(&2));
+    }
+
+    #[test]
+    fn two_way_slice_captures_post_seed_guard() {
+        // The motivating example's program B: the guard appears *after* being
+        // fed by the same def that feeds the (unguarded) strncpy. Forward
+        // slicing from the feeder must capture the guard.
+        let src = r#"void f(char *dest, char *data) {
+    int n = atoi(data);
+    if (n < 16) {
+        ;
+    }
+    strncpy(dest, data, n);
+}"#;
+        // (empty statement `;` is not mini-C; use a harmless call)
+        let src = src.replace(";\n    }", "puts(\"ok\");\n    }");
+        let a = setup(&src);
+        let seed = node_with(&a, "f", "strncpy");
+        let s = two_way_slice(&a, "f", seed, &SliceConfig::default());
+        let lines: Vec<u32> = lines_of(&a, &s).iter().map(|(_, l)| *l).collect();
+        assert!(lines.contains(&3), "post-def guard captured via forward slice");
+    }
+
+    #[test]
+    fn interprocedural_backward_ascends_to_caller() {
+        let src = r#"void sink(char *d, char *s, int n) {
+    strncpy(d, s, n);
+}
+void caller(char *d, char *s) {
+    int n = strlen(s);
+    sink(d, s, n);
+}"#;
+        let a = setup(src);
+        let seed = node_with(&a, "sink", "strncpy");
+        let s = two_way_slice(&a, "sink", seed, &SliceConfig::default());
+        assert!(
+            s.functions().contains(&"caller".to_string()),
+            "slice must ascend into caller"
+        );
+        let lines = lines_of(&a, &s);
+        assert!(lines.contains(&("caller".to_string(), 5)), "n source in caller");
+    }
+
+    #[test]
+    fn intraprocedural_config_stays_local() {
+        let src = r#"void sink(char *d, char *s, int n) {
+    strncpy(d, s, n);
+}
+void caller(char *d, char *s) {
+    sink(d, s, 4);
+}"#;
+        let a = setup(src);
+        let seed = node_with(&a, "sink", "strncpy");
+        let cfg = SliceConfig {
+            interprocedural: false,
+            ..SliceConfig::default()
+        };
+        let s = two_way_slice(&a, "sink", seed, &cfg);
+        assert_eq!(s.functions(), vec!["sink".to_string()]);
+    }
+
+    #[test]
+    fn forward_descends_into_callee() {
+        let src = r#"void use(int n) {
+    int a[4];
+    a[n] = 1;
+}
+void src_fn(char *s) {
+    int n = atoi(s);
+    use(n);
+}"#;
+        let a = setup(src);
+        let seed = node_with(&a, "src_fn", "int");
+        let s = forward_slice(&a, "src_fn", seed, &SliceConfig::default());
+        assert!(s.functions().contains(&"use".to_string()));
+    }
+
+    #[test]
+    fn max_nodes_caps_slice() {
+        let src = r#"void f(int n) {
+    int a = n;
+    int b = a;
+    int c = b;
+    int d = c;
+    g(d);
+}"#;
+        let a = setup(src);
+        let seed = node_with(&a, "f", "g");
+        let cfg = SliceConfig {
+            max_nodes: 2,
+            ..SliceConfig::default()
+        };
+        let s = backward_slice(&a, "f", seed, &cfg);
+        assert!(s.len() <= 2);
+    }
+}

@@ -1,0 +1,1116 @@
+//! The mini-C interpreter with sanitizer-style fault detection.
+//!
+//! Execution is fuel-bounded (a fuel-exhausted run is reported as
+//! [`Fault::LoopBudget`] — the infinite-loop verdict), memory accesses are
+//! bounds- and liveness-checked, and edge coverage `(prev line → line)` is
+//! recorded for the fuzzer's feedback loop. Integer arithmetic wraps at 32
+//! bits like C `int` on every mainstream platform, which is exactly what the
+//! CVE-2016-9104 analogue's check-bypass needs.
+
+use crate::value::{Block, BlockState, Fault, Ptr, Value};
+use sevuldet_lang::ast::*;
+use std::collections::{HashMap, HashSet};
+
+/// Why evaluation stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Stop {
+    Fault(Fault),
+    Exit(i32),
+}
+
+impl From<Fault> for Stop {
+    fn from(f: Fault) -> Stop {
+        Stop::Fault(f)
+    }
+}
+
+/// Statement-level control flow.
+#[derive(Debug, Clone, PartialEq)]
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Statement/expression fuel before [`Fault::LoopBudget`].
+    pub fuel: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+    /// Maximum single allocation (elements).
+    pub max_alloc: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            fuel: 200_000,
+            max_depth: 64,
+            max_alloc: 1 << 20,
+        }
+    }
+}
+
+/// Result of one program run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Exit/return value when the run completed.
+    pub value: Result<i32, Fault>,
+    /// Edge coverage observed (pairs of source lines).
+    pub coverage: HashSet<(u32, u32)>,
+    /// Fuel consumed.
+    pub steps: u64,
+}
+
+impl RunResult {
+    /// The fault, if the run crashed.
+    pub fn fault(&self) -> Option<&Fault> {
+        self.value.as_ref().err()
+    }
+}
+
+/// A ready-to-run interpreter over one parsed program.
+#[derive(Debug)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    funcs: HashMap<&'p str, &'p Function>,
+    /// Execution limits applied to every run.
+    pub limits: Limits,
+}
+
+impl<'p> Interp<'p> {
+    /// Prepares an interpreter for `program`.
+    pub fn new(program: &'p Program) -> Interp<'p> {
+        let funcs = program.functions().map(|f| (f.name.as_str(), f)).collect();
+        Interp {
+            program,
+            funcs,
+            limits: Limits::default(),
+        }
+    }
+
+    /// Runs `main` with the given stdin bytes.
+    pub fn run_main(&self, input: &[u8]) -> RunResult {
+        self.run_function("main", &[], input)
+    }
+
+    /// Runs a named function with integer arguments (the fuzz-harness entry).
+    pub fn run_function(&self, name: &str, args: &[i32], input: &[u8]) -> RunResult {
+        let mut m = Machine {
+            interp: self,
+            blocks: Vec::new(),
+            globals: HashMap::new(),
+            scopes: Vec::new(),
+            input: input.to_vec(),
+            input_pos: 0,
+            steps: 0,
+            depth: 0,
+            coverage: HashSet::new(),
+            last_line: 0,
+        };
+        let value = match m.init_globals() {
+            Err(Stop::Fault(f)) => Err(f),
+            Err(Stop::Exit(c)) => Ok(c),
+            Ok(()) => {
+                let argv: Vec<Value> = args.iter().map(|&a| Value::Int(a)).collect();
+                match m.call(name, &argv) {
+                    Ok(v) => Ok(v.as_int()),
+                    Err(Stop::Exit(c)) => Ok(c),
+                    Err(Stop::Fault(f)) => Err(f),
+                }
+            }
+        };
+        RunResult {
+            value,
+            coverage: m.coverage,
+            steps: m.steps,
+        }
+    }
+}
+
+struct Machine<'p, 'i> {
+    interp: &'i Interp<'p>,
+    blocks: Vec<Block>,
+    globals: HashMap<String, Slot>,
+    scopes: Vec<HashMap<String, Slot>>,
+    input: Vec<u8>,
+    input_pos: usize,
+    steps: u64,
+    depth: usize,
+    coverage: HashSet<(u32, u32)>,
+    last_line: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    block: usize,
+    array: bool,
+}
+
+type EvalResult = Result<Value, Stop>;
+
+impl<'p, 'i> Machine<'p, 'i> {
+    fn tick(&mut self) -> Result<(), Stop> {
+        self.steps += 1;
+        if self.steps > self.interp.limits.fuel {
+            Err(Fault::LoopBudget.into())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn cover(&mut self, line: u32) {
+        self.coverage.insert((self.last_line, line));
+        self.last_line = line;
+    }
+
+    fn alloc(&mut self, len: usize, heap: bool) -> usize {
+        self.blocks.push(Block::zeroed(len, heap));
+        self.blocks.len() - 1
+    }
+
+    fn init_globals(&mut self) -> Result<(), Stop> {
+        for item in &self.interp.program.items {
+            if let Item::Global(d) = item {
+                let len = decl_len(d);
+                let block = self.alloc(len, false);
+                if let Some(init) = &d.init {
+                    let v = self.eval(init)?;
+                    self.blocks[block].data[0] = v;
+                }
+                self.globals.insert(
+                    d.name.clone(),
+                    Slot {
+                        block,
+                        array: d.is_array(),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<Slot> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(s) = scope.get(name) {
+                return Some(*s);
+            }
+        }
+        self.globals.get(name).copied()
+    }
+
+    fn define(&mut self, name: &str, slot: Slot) {
+        self.scopes
+            .last_mut()
+            .expect("a scope is always active")
+            .insert(name.to_string(), slot);
+    }
+
+    fn call(&mut self, name: &str, args: &[Value]) -> EvalResult {
+        let Some(f) = self.interp.funcs.get(name).copied() else {
+            return Err(Fault::Undefined(format!("function {name}")).into());
+        };
+        if self.depth >= self.interp.limits.max_depth {
+            return Err(Fault::StackOverflow.into());
+        }
+        self.depth += 1;
+        let scopes_before = self.scopes.len();
+        self.scopes.push(HashMap::new());
+        for (i, p) in f.params.iter().enumerate() {
+            let v = args.get(i).copied().unwrap_or(Value::Int(0));
+            let block = self.alloc(1, false);
+            self.blocks[block].data[0] = v;
+            self.define(&p.name, Slot { block, array: false });
+        }
+        let flow = self.exec_block(&f.body);
+        self.scopes.truncate(scopes_before);
+        self.depth -= 1;
+        match flow? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(Value::Int(0)),
+        }
+    }
+
+    // ------------------------------------------------------------- stmts
+
+    fn exec_block(&mut self, b: &Block_) -> Result<Flow, Stop> {
+        self.scopes.push(HashMap::new());
+        let mut flow = Flow::Normal;
+        for s in &b.stmts {
+            flow = self.exec_stmt(s)?;
+            if flow != Flow::Normal {
+                break;
+            }
+        }
+        self.scopes.pop();
+        Ok(flow)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> Result<Flow, Stop> {
+        self.tick()?;
+        self.cover(s.span.start.line);
+        match &s.kind {
+            StmtKind::Decl(d) => {
+                let len = decl_len(d);
+                let block = self.alloc(len, false);
+                if let Some(init) = &d.init {
+                    let v = self.eval(init)?;
+                    self.blocks[block].data[0] = v;
+                }
+                self.define(
+                    &d.name,
+                    Slot {
+                        block,
+                        array: d.is_array(),
+                    },
+                );
+                Ok(Flow::Normal)
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Block(b) => self.exec_block(b),
+            StmtKind::If {
+                cond,
+                then,
+                else_ifs,
+                else_block,
+            } => {
+                if self.eval(cond)?.truthy() {
+                    return self.exec_block(then);
+                }
+                for ei in else_ifs {
+                    if self.eval(&ei.cond)?.truthy() {
+                        return self.exec_block(&ei.body);
+                    }
+                }
+                if let Some(eb) = else_block {
+                    return self.exec_block(&eb.body);
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::While { cond, body } => {
+                loop {
+                    self.tick()?;
+                    if !self.eval(cond)?.truthy() {
+                        break;
+                    }
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::DoWhile { body, cond } => {
+                loop {
+                    self.tick()?;
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                    if !self.eval(cond)?.truthy() {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    let f = self.exec_stmt(init)?;
+                    debug_assert_eq!(f, Flow::Normal);
+                }
+                let result = loop {
+                    self.tick()?;
+                    if let Some(c) = cond {
+                        if !self.eval(c)?.truthy() {
+                            break Flow::Normal;
+                        }
+                    }
+                    match self.exec_block(body)? {
+                        Flow::Break => break Flow::Normal,
+                        Flow::Return(v) => break Flow::Return(v),
+                        _ => {}
+                    }
+                    if let Some(st) = step {
+                        self.eval(st)?;
+                    }
+                };
+                self.scopes.pop();
+                Ok(result)
+            }
+            StmtKind::Switch { scrutinee, cases } => {
+                let v = self.eval(scrutinee)?.as_int();
+                let mut matched: Option<usize> = None;
+                let mut default: Option<usize> = None;
+                for (i, c) in cases.iter().enumerate() {
+                    match &c.label {
+                        CaseLabel::Case(e) => {
+                            let cv = self.eval(e)?.as_int();
+                            if cv == v && matched.is_none() {
+                                matched = Some(i);
+                            }
+                        }
+                        CaseLabel::Default => default = Some(i),
+                    }
+                }
+                let start = matched.or(default);
+                if let Some(start) = start {
+                    self.scopes.push(HashMap::new());
+                    let mut flow = Flow::Normal;
+                    'arms: for c in &cases[start..] {
+                        for s in &c.body {
+                            flow = self.exec_stmt(s)?;
+                            match flow {
+                                Flow::Break => {
+                                    flow = Flow::Normal;
+                                    break 'arms;
+                                }
+                                Flow::Return(_) | Flow::Continue => break 'arms,
+                                Flow::Normal => {}
+                            }
+                        }
+                    }
+                    self.scopes.pop();
+                    return Ok(flow);
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e)?,
+                    None => Value::Int(0),
+                };
+                Ok(Flow::Return(v))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- exprs
+
+    fn eval(&mut self, e: &Expr) -> EvalResult {
+        self.tick()?;
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(Value::Int(*v as i32)),
+            ExprKind::CharLit(v) => Ok(Value::Int(*v as i32)),
+            ExprKind::StrLit(s) => {
+                let block = self.alloc(s.len() + 1, false);
+                for (i, b) in s.bytes().enumerate() {
+                    self.blocks[block].data[i] = Value::Int(b as i32);
+                }
+                Ok(Value::Ptr(Ptr { block, offset: 0 }))
+            }
+            ExprKind::Ident(name) => {
+                if name == "NULL" {
+                    return Ok(Value::Ptr(Ptr::NULL));
+                }
+                if name == "stdin" || name == "stdout" || name == "stderr" {
+                    return Ok(Value::Int(0));
+                }
+                let slot = self
+                    .lookup(name)
+                    .ok_or_else(|| Stop::from(Fault::Undefined(name.clone())))?;
+                if slot.array {
+                    Ok(Value::Ptr(Ptr {
+                        block: slot.block,
+                        offset: 0,
+                    }))
+                } else {
+                    self.load(slot.block, 0)
+                }
+            }
+            ExprKind::Unary { op, expr } => {
+                match op {
+                    UnaryOp::AddrOf => {
+                        let (block, offset) = self.place(expr)?;
+                        Ok(Value::Ptr(Ptr { block, offset }))
+                    }
+                    UnaryOp::Deref => {
+                        let p = self.eval(expr)?;
+                        let Value::Ptr(p) = p else {
+                            return Err(Fault::NullDeref.into());
+                        };
+                        if p.is_null() {
+                            return Err(Fault::NullDeref.into());
+                        }
+                        self.load(p.block, p.offset)
+                    }
+                    UnaryOp::Neg => Ok(Value::Int(self.eval(expr)?.as_int().wrapping_neg())),
+                    UnaryOp::Plus => self.eval(expr),
+                    UnaryOp::Not => Ok(Value::Int(if self.eval(expr)?.truthy() { 0 } else { 1 })),
+                    UnaryOp::BitNot => Ok(Value::Int(!self.eval(expr)?.as_int())),
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs),
+            ExprKind::Assign { op, target, value } => {
+                let rhs = self.eval(value)?;
+                let (block, offset) = self.place(target)?;
+                let new = match op.binary_op() {
+                    None => rhs,
+                    Some(bop) => {
+                        let cur = self.load(block, offset)?;
+                        arith(bop, cur, rhs)?
+                    }
+                };
+                self.store(block, offset, new)?;
+                Ok(new)
+            }
+            ExprKind::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                if self.eval(cond)?.truthy() {
+                    self.eval(then_expr)
+                } else {
+                    self.eval(else_expr)
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a)?);
+                }
+                if self.interp.funcs.contains_key(callee.as_str()) {
+                    self.call(callee, &argv)
+                } else {
+                    self.builtin(callee, &argv)
+                }
+            }
+            ExprKind::Index { .. } | ExprKind::Member { .. } => {
+                let (block, offset) = self.place(e)?;
+                self.load(block, offset)
+            }
+            ExprKind::Cast { expr, .. } => self.eval(expr),
+            ExprKind::Sizeof(arg) => match arg {
+                SizeofArg::Type(_) => Ok(Value::Int(4)),
+                SizeofArg::Expr(inner) => {
+                    // sizeof of an array variable = its length; else 4.
+                    if let ExprKind::Ident(name) = &inner.kind {
+                        if let Some(slot) = self.lookup(name) {
+                            if slot.array {
+                                return Ok(Value::Int(self.blocks[slot.block].data.len() as i32));
+                            }
+                        }
+                    }
+                    Ok(Value::Int(4))
+                }
+            },
+            ExprKind::PreIncDec { expr, inc } => {
+                let (block, offset) = self.place(expr)?;
+                let cur = self.load(block, offset)?;
+                let new = bump(cur, *inc)?;
+                self.store(block, offset, new)?;
+                Ok(new)
+            }
+            ExprKind::PostIncDec { expr, inc } => {
+                let (block, offset) = self.place(expr)?;
+                let cur = self.load(block, offset)?;
+                let new = bump(cur, *inc)?;
+                self.store(block, offset, new)?;
+                Ok(cur)
+            }
+            ExprKind::Comma { lhs, rhs } => {
+                self.eval(lhs)?;
+                self.eval(rhs)
+            }
+        }
+    }
+
+    fn binary(&mut self, op: BinaryOp, lhs: &Expr, rhs: &Expr) -> EvalResult {
+        // Short-circuit logicals.
+        match op {
+            BinaryOp::LogAnd => {
+                if !self.eval(lhs)?.truthy() {
+                    return Ok(Value::Int(0));
+                }
+                return Ok(Value::Int(self.eval(rhs)?.truthy() as i32));
+            }
+            BinaryOp::LogOr => {
+                if self.eval(lhs)?.truthy() {
+                    return Ok(Value::Int(1));
+                }
+                return Ok(Value::Int(self.eval(rhs)?.truthy() as i32));
+            }
+            _ => {}
+        }
+        let a = self.eval(lhs)?;
+        let b = self.eval(rhs)?;
+        arith(op, a, b)
+    }
+
+    /// Resolves an lvalue to `(block, offset)`.
+    fn place(&mut self, e: &Expr) -> Result<(usize, i64), Stop> {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                let slot = self
+                    .lookup(name)
+                    .ok_or_else(|| Stop::from(Fault::Undefined(name.clone())))?;
+                Ok((slot.block, 0))
+            }
+            ExprKind::Index { base, index } => {
+                let b = self.eval(base)?;
+                let i = self.eval(index)?.as_int() as i64;
+                match b {
+                    Value::Ptr(p) => {
+                        if p.is_null() {
+                            return Err(Fault::NullDeref.into());
+                        }
+                        Ok((p.block, p.offset + i))
+                    }
+                    Value::Int(_) => Err(Fault::NullDeref.into()),
+                }
+            }
+            ExprKind::Unary {
+                op: UnaryOp::Deref,
+                expr,
+            } => {
+                let v = self.eval(expr)?;
+                match v {
+                    Value::Ptr(p) if !p.is_null() => Ok((p.block, p.offset)),
+                    _ => Err(Fault::NullDeref.into()),
+                }
+            }
+            ExprKind::Cast { expr, .. } => self.place(expr),
+            ExprKind::Member { .. } => Err(Fault::Unsupported("struct member".into()).into()),
+            other => Err(Fault::Unsupported(format!("lvalue {other:?}")).into()),
+        }
+    }
+
+    fn check_access(&self, block: usize, offset: i64) -> Result<usize, Stop> {
+        let b = self
+            .blocks
+            .get(block)
+            .ok_or_else(|| Stop::from(Fault::NullDeref))?;
+        if b.state == BlockState::Freed {
+            return Err(Fault::UseAfterFree.into());
+        }
+        if offset < 0 || offset as usize >= b.data.len() {
+            return Err(Fault::OutOfBounds {
+                offset,
+                len: b.data.len(),
+            }
+            .into());
+        }
+        Ok(offset as usize)
+    }
+
+    fn load(&mut self, block: usize, offset: i64) -> EvalResult {
+        let o = self.check_access(block, offset)?;
+        Ok(self.blocks[block].data[o])
+    }
+
+    fn store(&mut self, block: usize, offset: i64, v: Value) -> Result<(), Stop> {
+        let o = self.check_access(block, offset)?;
+        self.blocks[block].data[o] = v;
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- builtins
+
+    fn builtin(&mut self, name: &str, args: &[Value]) -> EvalResult {
+        match name {
+            "malloc" | "alloca" => {
+                let n = args.first().map(|v| v.as_int()).unwrap_or(0);
+                if n <= 0 || n as usize > self.interp.limits.max_alloc {
+                    return Ok(Value::Ptr(Ptr::NULL));
+                }
+                let block = self.alloc(n as usize, true);
+                Ok(Value::Ptr(Ptr { block, offset: 0 }))
+            }
+            "calloc" => {
+                let n = args.first().map(|v| v.as_int()).unwrap_or(0);
+                let sz = args.get(1).map(|v| v.as_int()).unwrap_or(1);
+                let total = (n as i64) * (sz as i64);
+                if total <= 0 || total as usize > self.interp.limits.max_alloc {
+                    return Ok(Value::Ptr(Ptr::NULL));
+                }
+                let block = self.alloc(total as usize, true);
+                Ok(Value::Ptr(Ptr { block, offset: 0 }))
+            }
+            "free" => {
+                match args.first() {
+                    Some(Value::Ptr(p)) if p.is_null() => {}
+                    Some(Value::Ptr(p)) => {
+                        let b = self
+                            .blocks
+                            .get_mut(p.block)
+                            .ok_or_else(|| Stop::from(Fault::NullDeref))?;
+                        if b.state == BlockState::Freed {
+                            return Err(Fault::DoubleFree.into());
+                        }
+                        if !b.heap {
+                            return Err(Fault::Unsupported("free of non-heap".into()).into());
+                        }
+                        b.state = BlockState::Freed;
+                    }
+                    _ => {}
+                }
+                Ok(Value::Int(0))
+            }
+            "strlen" => {
+                let p = ptr_arg(args, 0)?;
+                let mut n = 0i64;
+                loop {
+                    let v = self.load(p.block, p.offset + n)?;
+                    if v.as_int() == 0 {
+                        return Ok(Value::Int(n as i32));
+                    }
+                    n += 1;
+                    self.tick()?;
+                }
+            }
+            "atoi" | "atol" => {
+                let p = ptr_arg(args, 0)?;
+                let mut n: i64 = 0;
+                let mut i = 0i64;
+                let mut neg = false;
+                // Stop at block end rather than faulting: atoi reads until a
+                // non-digit, and our strings are NUL-terminated.
+                if let Ok(v) = self.load(p.block, p.offset) {
+                    if v.as_int() == b'-' as i32 {
+                        neg = true;
+                        i = 1;
+                    }
+                }
+                while let Ok(v) = self.load(p.block, p.offset + i) {
+                    let c = v.as_int();
+                    if !(48..=57).contains(&c) {
+                        break;
+                    }
+                    n = n.saturating_mul(10).saturating_add((c - 48) as i64);
+                    i += 1;
+                    self.tick()?;
+                }
+                let n = if neg { -n } else { n };
+                Ok(Value::Int(n as i32))
+            }
+            "strncpy" | "memcpy" | "memmove" => {
+                let d = ptr_arg(args, 0)?;
+                let s = ptr_arg(args, 1)?;
+                let n = args.get(2).map(|v| v.as_int()).unwrap_or(0) as i64;
+                for i in 0..n {
+                    let v = self.load(s.block, s.offset + i)?;
+                    self.store(d.block, d.offset + i, v)?;
+                    if name == "strncpy" && v.as_int() == 0 {
+                        break;
+                    }
+                    self.tick()?;
+                }
+                Ok(Value::Ptr(d))
+            }
+            "strcpy" | "strcat" => {
+                let d = ptr_arg(args, 0)?;
+                let s = ptr_arg(args, 1)?;
+                let mut doff = d.offset;
+                if name == "strcat" {
+                    while self.load(d.block, doff)?.as_int() != 0 {
+                        doff += 1;
+                        self.tick()?;
+                    }
+                }
+                let mut i = 0i64;
+                loop {
+                    let v = self.load(s.block, s.offset + i)?;
+                    self.store(d.block, doff + i, v)?;
+                    if v.as_int() == 0 {
+                        break;
+                    }
+                    i += 1;
+                    self.tick()?;
+                }
+                Ok(Value::Ptr(d))
+            }
+            "memset" => {
+                let d = ptr_arg(args, 0)?;
+                let v = args.get(1).map(|v| v.as_int()).unwrap_or(0);
+                let n = args.get(2).map(|v| v.as_int()).unwrap_or(0) as i64;
+                for i in 0..n {
+                    self.store(d.block, d.offset + i, Value::Int(v))?;
+                    self.tick()?;
+                }
+                Ok(Value::Ptr(d))
+            }
+            "fgets" => {
+                let d = ptr_arg(args, 0)?;
+                let n = args.get(1).map(|v| v.as_int()).unwrap_or(0).max(1) as usize;
+                let mut written = 0i64;
+                while written + 1 < n as i64 && self.input_pos < self.input.len() {
+                    let c = self.input[self.input_pos];
+                    self.input_pos += 1;
+                    self.store(d.block, d.offset + written, Value::Int(c as i32))?;
+                    written += 1;
+                    if c == b'\n' {
+                        break;
+                    }
+                }
+                self.store(d.block, d.offset + written, Value::Int(0))?;
+                Ok(Value::Ptr(d))
+            }
+            "gets" => {
+                // The classic: copies unboundedly.
+                let d = ptr_arg(args, 0)?;
+                let mut written = 0i64;
+                while self.input_pos < self.input.len() {
+                    let c = self.input[self.input_pos];
+                    self.input_pos += 1;
+                    if c == b'\n' {
+                        break;
+                    }
+                    self.store(d.block, d.offset + written, Value::Int(c as i32))?;
+                    written += 1;
+                }
+                self.store(d.block, d.offset + written, Value::Int(0))?;
+                Ok(Value::Ptr(d))
+            }
+            "strcmp" | "strncmp" | "memcmp" => {
+                let a = ptr_arg(args, 0)?;
+                let b = ptr_arg(args, 1)?;
+                let limit = if name == "strcmp" {
+                    i64::MAX
+                } else {
+                    args.get(2).map(|v| v.as_int()).unwrap_or(0) as i64
+                };
+                let mut i = 0i64;
+                while i < limit {
+                    let x = self.load(a.block, a.offset + i)?.as_int();
+                    let y = self.load(b.block, b.offset + i)?.as_int();
+                    if x != y {
+                        return Ok(Value::Int(if x < y { -1 } else { 1 }));
+                    }
+                    if name != "memcmp" && x == 0 {
+                        break;
+                    }
+                    i += 1;
+                    self.tick()?;
+                }
+                Ok(Value::Int(0))
+            }
+            "printf" | "fprintf" | "puts" | "sprintf" | "snprintf" | "fputs" | "putchar" => {
+                Ok(Value::Int(0))
+            }
+            "exit" | "abort" => {
+                let code = if name == "abort" {
+                    134
+                } else {
+                    args.first().map(|v| v.as_int()).unwrap_or(0)
+                };
+                Err(Stop::Exit(code))
+            }
+            "rand" => Ok(Value::Int(((self.steps.wrapping_mul(48271)) % 233280) as i32)),
+            other => Err(Fault::Undefined(format!("builtin {other}")).into()),
+        }
+    }
+}
+
+fn ptr_arg(args: &[Value], i: usize) -> Result<Ptr, Stop> {
+    match args.get(i) {
+        Some(Value::Ptr(p)) if !p.is_null() => Ok(*p),
+        Some(Value::Ptr(_)) => Err(Fault::NullDeref.into()),
+        _ => Err(Fault::NullDeref.into()),
+    }
+}
+
+fn bump(v: Value, inc: bool) -> Result<Value, Stop> {
+    match v {
+        Value::Int(i) => Ok(Value::Int(if inc {
+            i.wrapping_add(1)
+        } else {
+            i.wrapping_sub(1)
+        })),
+        Value::Ptr(p) => Ok(Value::Ptr(Ptr {
+            block: p.block,
+            offset: p.offset + if inc { 1 } else { -1 },
+        })),
+    }
+}
+
+fn arith(op: BinaryOp, a: Value, b: Value) -> EvalResult {
+    use BinaryOp::*;
+    // Pointer ± integer.
+    if let (Value::Ptr(p), Value::Int(i)) = (a, b) {
+        match op {
+            Add => {
+                return Ok(Value::Ptr(Ptr {
+                    block: p.block,
+                    offset: p.offset + i as i64,
+                }))
+            }
+            Sub => {
+                return Ok(Value::Ptr(Ptr {
+                    block: p.block,
+                    offset: p.offset - i as i64,
+                }))
+            }
+            Eq => return Ok(Value::Int((p.is_null() && i == 0) as i32)),
+            Ne => return Ok(Value::Int((!(p.is_null() && i == 0)) as i32)),
+            _ => {}
+        }
+    }
+    if let (Value::Int(i), Value::Ptr(p)) = (a, b) {
+        if op == Add {
+            return Ok(Value::Ptr(Ptr {
+                block: p.block,
+                offset: p.offset + i as i64,
+            }));
+        }
+        if op == Eq {
+            return Ok(Value::Int((p.is_null() && i == 0) as i32));
+        }
+        if op == Ne {
+            return Ok(Value::Int((!(p.is_null() && i == 0)) as i32));
+        }
+    }
+    if let (Value::Ptr(p), Value::Ptr(q)) = (a, b) {
+        return match op {
+            Eq => Ok(Value::Int((p == q) as i32)),
+            Ne => Ok(Value::Int((p != q) as i32)),
+            Sub => Ok(Value::Int((p.offset - q.offset) as i32)),
+            _ => Err(Fault::Unsupported("pointer arithmetic".into()).into()),
+        };
+    }
+    let x = a.as_int();
+    let y = b.as_int();
+    let v = match op {
+        Add => x.wrapping_add(y),
+        Sub => x.wrapping_sub(y),
+        Mul => x.wrapping_mul(y),
+        Div => {
+            if y == 0 {
+                return Err(Fault::DivByZero.into());
+            }
+            x.wrapping_div(y)
+        }
+        Rem => {
+            if y == 0 {
+                return Err(Fault::DivByZero.into());
+            }
+            x.wrapping_rem(y)
+        }
+        Shl => x.wrapping_shl(y as u32 & 31),
+        Shr => x.wrapping_shr(y as u32 & 31),
+        Lt => (x < y) as i32,
+        Gt => (x > y) as i32,
+        Le => (x <= y) as i32,
+        Ge => (x >= y) as i32,
+        Eq => (x == y) as i32,
+        Ne => (x != y) as i32,
+        BitAnd => x & y,
+        BitXor => x ^ y,
+        BitOr => x | y,
+        LogAnd | LogOr => unreachable!("short-circuited earlier"),
+    };
+    Ok(Value::Int(v))
+}
+
+fn decl_len(d: &Decl) -> usize {
+    if d.array_dims.is_empty() {
+        1
+    } else {
+        d.array_dims
+            .iter()
+            .map(|dim| dim.unwrap_or(1).max(1) as usize)
+            .product::<usize>()
+            .max(1)
+    }
+}
+
+// The AST block type clashes with our memory Block; alias for clarity.
+use sevuldet_lang::ast::Block as Block_;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sevuldet_lang::parse;
+
+    fn run(src: &str, input: &[u8]) -> RunResult {
+        let p = parse(src).unwrap();
+        Interp::new(&p).run_main(input)
+    }
+
+    fn run_h(src: &str, args: &[i32]) -> RunResult {
+        let p = parse(src).unwrap();
+        Interp::new(&p).run_function("harness", args, &[])
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let r = run(
+            "int main() { int s = 0; for (int i = 1; i <= 10; i++) { s += i; } return s; }",
+            &[],
+        );
+        assert_eq!(r.value, Ok(55));
+    }
+
+    #[test]
+    fn while_and_switch() {
+        let src = r#"int main() {
+            int n = 7;
+            int kind = 0;
+            while (n > 1) {
+                if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                kind++;
+            }
+            switch (kind) { case 16: return 100; default: return kind; }
+        }"#;
+        assert_eq!(run(src, &[]).value, Ok(100));
+    }
+
+    #[test]
+    fn array_oob_is_caught() {
+        let r = run("int main() { int a[4]; a[4] = 1; return 0; }", &[]);
+        assert!(matches!(r.fault(), Some(Fault::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn use_after_free_and_double_free() {
+        let r = run(
+            "int main() { char *p = malloc(4); free(p); p[0] = 1; return 0; }",
+            &[],
+        );
+        assert_eq!(r.fault(), Some(&Fault::UseAfterFree));
+        let r = run(
+            "int main() { char *p = malloc(4); free(p); free(p); return 0; }",
+            &[],
+        );
+        assert_eq!(r.fault(), Some(&Fault::DoubleFree));
+    }
+
+    #[test]
+    fn null_deref_and_div_zero() {
+        let r = run("int main() { char *p = NULL; p[0] = 1; return 0; }", &[]);
+        assert_eq!(r.fault(), Some(&Fault::NullDeref));
+        let r = run("int main() { int z = 0; return 4 / z; }", &[]);
+        assert_eq!(r.fault(), Some(&Fault::DivByZero));
+    }
+
+    #[test]
+    fn infinite_loop_hits_budget() {
+        let r = run("int main() { int x = 1; while (x) { x = 1; } return 0; }", &[]);
+        assert_eq!(r.fault(), Some(&Fault::LoopBudget));
+    }
+
+    #[test]
+    fn fgets_respects_bound_gets_does_not() {
+        let src = "int main() { char buf[4]; fgets(buf, 4, stdin); return strlen(buf); }";
+        let r = run(src, b"abcdefgh");
+        assert_eq!(r.value, Ok(3));
+        let src = "int main() { char buf[4]; gets(buf); return 0; }";
+        let r = run(src, b"abcdefgh");
+        assert!(matches!(r.fault(), Some(Fault::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn strncpy_overflows_when_n_exceeds_dest() {
+        let src = r#"int main() {
+            char dst[4];
+            char src_[16];
+            fgets(src_, 16, stdin);
+            strncpy(dst, src_, 12);
+            return 0;
+        }"#;
+        let r = run(src, b"aaaaaaaaaaaaaaa");
+        assert!(matches!(r.fault(), Some(Fault::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn atoi_parses_input() {
+        let src = r#"int main() {
+            char buf[16];
+            fgets(buf, 16, stdin);
+            return atoi(buf);
+        }"#;
+        assert_eq!(run(src, b"123").value, Ok(123));
+        assert_eq!(run(src, b"-45x").value, Ok(-45));
+    }
+
+    #[test]
+    fn interprocedural_calls_and_globals() {
+        let src = r#"int counter = 0;
+int bump_twice(int v) {
+    counter = counter + v;
+    counter = counter + v;
+    return counter;
+}
+int main() { bump_twice(3); return bump_twice(2); }"#;
+        assert_eq!(run(src, &[]).value, Ok(10));
+    }
+
+    #[test]
+    fn exit_propagates() {
+        let src = "void f(int n) { if (n > 2) { exit(42); } } int main() { f(5); return 0; }";
+        assert_eq!(run(src, &[]).value, Ok(42));
+    }
+
+    #[test]
+    fn harness_entry_with_int_args() {
+        let src = "int harness(int a, int b) { return a * 10 + b; }";
+        assert_eq!(run_h(src, &[3, 4]).value, Ok(34));
+    }
+
+    #[test]
+    fn coverage_grows_with_new_paths() {
+        let src = r#"int harness(int a, int b) {
+            if (a > 5) { return 1; }
+            return 0;
+        }"#;
+        let p = parse(src).unwrap();
+        let i = Interp::new(&p);
+        let r1 = i.run_function("harness", &[0, 0], &[]);
+        let r2 = i.run_function("harness", &[9, 0], &[]);
+        assert!(!r2.coverage.is_subset(&r1.coverage), "branch adds edges");
+    }
+
+    #[test]
+    fn int_arithmetic_wraps_like_c() {
+        let src = "int harness(int a, int b) { int c = a + b; if (c < 0) { return 1; } return 0; }";
+        // INT_MAX + 1 wraps negative.
+        assert_eq!(run_h(src, &[2147483647, 1]).value, Ok(1));
+    }
+
+    #[test]
+    fn cve_9776_analogue_infinite_loop_on_zero_stride() {
+        let case = sevuldet_dataset_like_src();
+        let p = parse(&case).unwrap();
+        let i = Interp::new(&p);
+        // stride 0 → infinite loop fault; stride 4 → terminates.
+        assert_eq!(
+            i.run_function("harness", &[0, 100], &[]).fault(),
+            Some(&Fault::LoopBudget)
+        );
+        assert!(i.run_function("harness", &[4, 100], &[]).value.is_ok());
+    }
+
+    fn sevuldet_dataset_like_src() -> String {
+        r#"int fec_emrbr = 1;
+void fec_set_reg(int val) { fec_emrbr = val; }
+int fec_receive(int size) {
+    int total = 0;
+    while (size > 0) { total = total + 1; size = size - fec_emrbr; }
+    return total;
+}
+int harness(int a, int b) { fec_set_reg(a); return fec_receive(b); }"#
+            .to_string()
+    }
+
+    #[test]
+    fn stack_overflow_caught() {
+        let src = "int f(int n) { return f(n + 1); } int main() { return f(0); }";
+        let r = run(src, &[]);
+        assert_eq!(r.fault(), Some(&Fault::StackOverflow));
+    }
+}

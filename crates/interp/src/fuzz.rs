@@ -1,0 +1,350 @@
+//! An AFL-style coverage-guided mutation fuzzer over the interpreter.
+//!
+//! Inputs are **byte buffers** parsed by the target's input interface (stdin
+//! text for `main`-style targets, two decimal integers for `harness(a, b)`
+//! targets). This models real AFL faithfully in the way Table VII depends
+//! on: AFL mutates bytes *before* the program's parser, so synthesizing the
+//! exact 31-bit boundary offset that CVE-2016-9104 needs (a ten-digit
+//! decimal string) is astronomically unlikely, while the zero-stride
+//! triggers of CVE-2016-4453/9776 (a literal `0` byte) fall out of the
+//! interesting-value dictionary immediately. That is the paper's "special
+//! offset value and far apart trigger position".
+
+use crate::exec::Interp;
+use crate::value::Fault;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sevuldet_lang::ast::Program;
+use std::collections::HashSet;
+
+/// What the fuzzer drives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuzzTarget {
+    /// `main()` reading the input bytes from stdin.
+    Main,
+    /// A named `fn(int, int)` harness; the input bytes are parsed as two
+    /// whitespace-separated decimal integers.
+    Harness(String),
+}
+
+/// Fuzzing campaign configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Total executions.
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Maximum input length.
+    pub max_len: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            iterations: 4000,
+            seed: 1,
+            max_len: 64,
+        }
+    }
+}
+
+/// A crashing input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Crash {
+    /// The input bytes.
+    pub input: Vec<u8>,
+    /// The fault observed.
+    pub fault: Fault,
+}
+
+/// Campaign outcome.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// First crash per distinct fault kind.
+    pub crashes: Vec<Crash>,
+    /// Executions performed.
+    pub execs: usize,
+    /// Final corpus size (coverage-increasing inputs kept).
+    pub corpus_len: usize,
+    /// Total distinct edges covered.
+    pub edges: usize,
+}
+
+impl CampaignResult {
+    /// Whether any crash of the given coarse kind was found.
+    pub fn found(&self, pred: impl Fn(&Fault) -> bool) -> bool {
+        self.crashes.iter().any(|c| pred(&c.fault))
+    }
+}
+
+const INTERESTING: &[u8] = b"0123456789 -\n\0\x01\x7f\xff";
+
+/// Runs a fuzzing campaign.
+pub fn fuzz(program: &Program, target: &FuzzTarget, config: &FuzzConfig) -> CampaignResult {
+    let interp = Interp::new(program);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut corpus: Vec<Vec<u8>> = vec![
+        b"0 0".to_vec(),
+        b"1 1".to_vec(),
+        b"4 100".to_vec(),
+        b"hello".to_vec(),
+        b"-1 -1".to_vec(),
+        b"255 255".to_vec(),
+    ];
+    let mut edges: HashSet<(u32, u32)> = HashSet::new();
+    let mut crashes: Vec<Crash> = Vec::new();
+    let mut seen_faults: HashSet<String> = HashSet::new();
+    let mut execs = 0usize;
+
+    let run_one = |input: &[u8],
+                       edges: &mut HashSet<(u32, u32)>,
+                       crashes: &mut Vec<Crash>,
+                       seen: &mut HashSet<String>,
+                       execs: &mut usize|
+     -> bool {
+        *execs += 1;
+        let result = match target {
+            FuzzTarget::Main => interp.run_main(input),
+            FuzzTarget::Harness(name) => {
+                let (a, b) = parse_two_ints(input);
+                interp.run_function(name, &[a, b], input)
+            }
+        };
+        let mut new_cov = false;
+        for e in &result.coverage {
+            if edges.insert(*e) {
+                new_cov = true;
+            }
+        }
+        if let Some(fault) = result.fault() {
+            let key = format!("{fault:?}");
+            let coarse = coarse_key(fault);
+            if seen.insert(coarse) {
+                crashes.push(Crash {
+                    input: input.to_vec(),
+                    fault: fault.clone(),
+                });
+            }
+            let _ = key;
+        }
+        new_cov
+    };
+
+    // Seed pass.
+    let seeds = corpus.clone();
+    for s in &seeds {
+        run_one(s, &mut edges, &mut crashes, &mut seen_faults, &mut execs);
+    }
+
+    while execs < config.iterations {
+        let parent = corpus[rng.gen_range(0..corpus.len())].clone();
+        let child = mutate(&parent, config.max_len, &mut rng);
+        if run_one(&child, &mut edges, &mut crashes, &mut seen_faults, &mut execs) {
+            corpus.push(child);
+        }
+    }
+
+    CampaignResult {
+        crashes,
+        execs,
+        corpus_len: corpus.len(),
+        edges: edges.len(),
+    }
+}
+
+/// Groups faults for dedup: one representative crash per kind.
+fn coarse_key(f: &Fault) -> String {
+    match f {
+        Fault::OutOfBounds { .. } => "oob".into(),
+        other => format!("{other:?}"),
+    }
+}
+
+/// AFL-ish byte-level mutations: flips, interesting bytes, arithmetic on a
+/// byte, insertion, deletion, block duplication.
+fn mutate(parent: &[u8], max_len: usize, rng: &mut StdRng) -> Vec<u8> {
+    let mut v = parent.to_vec();
+    if v.is_empty() {
+        v.push(b'0');
+    }
+    let n_mutations = 1 + rng.gen_range(0..4);
+    for _ in 0..n_mutations {
+        match rng.gen_range(0..6u8) {
+            0 => {
+                let i = rng.gen_range(0..v.len());
+                v[i] ^= 1 << rng.gen_range(0..8);
+            }
+            1 => {
+                let i = rng.gen_range(0..v.len());
+                v[i] = INTERESTING[rng.gen_range(0..INTERESTING.len())];
+            }
+            2 => {
+                let i = rng.gen_range(0..v.len());
+                v[i] = v[i].wrapping_add(rng.gen_range(1..35));
+            }
+            3 => {
+                if v.len() < max_len {
+                    let i = rng.gen_range(0..=v.len());
+                    v.insert(i, INTERESTING[rng.gen_range(0..INTERESTING.len())]);
+                }
+            }
+            4 => {
+                if v.len() > 1 {
+                    let i = rng.gen_range(0..v.len());
+                    v.remove(i);
+                }
+            }
+            _ => {
+                if v.len() * 2 <= max_len && !v.is_empty() {
+                    let extend: Vec<u8> = v.clone();
+                    v.extend(extend);
+                }
+            }
+        }
+    }
+    v.truncate(max_len);
+    v
+}
+
+/// Parses up to two whitespace-separated decimal integers from raw bytes
+/// (non-numeric junk parses as 0, like `atoi`).
+pub fn parse_two_ints(input: &[u8]) -> (i32, i32) {
+    let text = String::from_utf8_lossy(input);
+    let mut parts = text.split_whitespace();
+    let parse = |s: Option<&str>| -> i32 {
+        let s = s.unwrap_or("0");
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        let mut n: i64 = 0;
+        for c in digits.chars().take_while(|c| c.is_ascii_digit()) {
+            n = n.saturating_mul(10).saturating_add((c as u8 - b'0') as i64);
+        }
+        let n = if neg { -n } else { n };
+        n as i32
+    };
+    let a = parse(parts.next());
+    let b = parse(parts.next());
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sevuldet_lang::parse;
+
+    #[test]
+    fn parse_two_ints_handles_junk() {
+        assert_eq!(parse_two_ints(b"12 34"), (12, 34));
+        assert_eq!(parse_two_ints(b"-5"), (-5, 0));
+        assert_eq!(parse_two_ints(b"xx yy"), (0, 0));
+        assert_eq!(parse_two_ints(b"99999999999 1"), (99999999999i64 as i32, 1));
+    }
+
+    #[test]
+    fn fuzzer_finds_easy_zero_trigger() {
+        // CVE-2016-9776-style: stride 0 → infinite loop.
+        let src = r#"int stride = 1;
+int spin(int size) {
+    int t = 0;
+    while (size > 0) { t = t + 1; size = size - stride; }
+    return t;
+}
+int harness(int a, int b) { stride = a; return spin(b); }"#;
+        let p = parse(src).unwrap();
+        let r = fuzz(
+            &p,
+            &FuzzTarget::Harness("harness".into()),
+            &FuzzConfig {
+                iterations: 1500,
+                seed: 3,
+                ..FuzzConfig::default()
+            },
+        );
+        assert!(
+            r.found(|f| matches!(f, Fault::LoopBudget)),
+            "should find the zero-stride hang: {:?}",
+            r.crashes
+        );
+    }
+
+    #[test]
+    fn fuzzer_misses_magic_offset_bypass() {
+        // CVE-2016-9104-style: needs offset within 2048 of INT_MAX *and*
+        // the transport couples its fields (the paper's "far apart trigger
+        // position") — jointly out of the byte mutator's reach.
+        // Negative values are rejected up front (the real field is a
+        // size_t); only the signed-add wrap can bypass the limit check.
+        let src = r#"int data[2048];
+int xread(int offset, int size) {
+    if (offset < 0 || size < 0) { return -1; }
+    if (offset + size > 2048) { return -1; }
+    int s = 0;
+    int i = 0;
+    while (i < size) { s = s + data[offset + i]; i = i + 1; }
+    return s;
+}
+int harness(int a, int b) {
+    if (b != a % 977) { return 0; }
+    return xread(a, b);
+}"#;
+        let p = parse(src).unwrap();
+        let r = fuzz(
+            &p,
+            &FuzzTarget::Harness("harness".into()),
+            &FuzzConfig {
+                iterations: 4000,
+                seed: 4,
+                ..FuzzConfig::default()
+            },
+        );
+        assert!(
+            !r.found(|f| matches!(f, Fault::OutOfBounds { .. })),
+            "magic-offset bypass should stay out of reach: {:?}",
+            r.crashes
+        );
+    }
+
+    #[test]
+    fn fuzzer_finds_gets_overflow_via_main() {
+        let src = r#"int main() {
+    char buf[4];
+    gets(buf);
+    return 0;
+}"#;
+        let p = parse(src).unwrap();
+        let r = fuzz(
+            &p,
+            &FuzzTarget::Main,
+            &FuzzConfig {
+                iterations: 800,
+                seed: 5,
+                ..FuzzConfig::default()
+            },
+        );
+        assert!(r.found(|f| matches!(f, Fault::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn coverage_and_corpus_grow() {
+        // The seeds do not cover a > 300; only mutation gets there.
+        let src = r#"int harness(int a, int b) {
+    if (a > 300) { if (b > 10) { return 2; } return 1; }
+    return 0;
+}"#;
+        let p = parse(src).unwrap();
+        let r = fuzz(
+            &p,
+            &FuzzTarget::Harness("harness".into()),
+            &FuzzConfig {
+                iterations: 500,
+                seed: 6,
+                ..FuzzConfig::default()
+            },
+        );
+        assert!(r.corpus_len > 6, "coverage feedback should keep inputs");
+        assert!(r.edges >= 3, "edges={}", r.edges);
+        assert_eq!(r.execs, 500);
+    }
+}

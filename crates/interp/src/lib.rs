@@ -1,0 +1,27 @@
+//! # sevuldet-interp
+//!
+//! A mini-C interpreter with sanitizer-style fault detection (out-of-bounds,
+//! use-after-free, double free, NULL deref, division by zero, and
+//! fuel-bounded infinite-loop detection) plus an **AFL-style
+//! coverage-guided fuzzer** over it. Together they stand in for the paper's
+//! 24-hour AFL campaigns in Table VII: the zero-stride loop CVEs are found
+//! quickly, the magic-offset overflow of CVE-2016-9104 is not.
+//!
+//! ## Example
+//!
+//! ```
+//! use sevuldet_interp::{Interp, Fault};
+//!
+//! let program = sevuldet_lang::parse(
+//!     "int main() { int a[4]; a[9] = 1; return 0; }").unwrap();
+//! let result = Interp::new(&program).run_main(&[]);
+//! assert!(matches!(result.fault(), Some(Fault::OutOfBounds { .. })));
+//! ```
+
+pub mod exec;
+pub mod fuzz;
+pub mod value;
+
+pub use exec::{Interp, Limits, RunResult};
+pub use fuzz::{fuzz, CampaignResult, Crash, FuzzConfig, FuzzTarget};
+pub use value::{Fault, Value};

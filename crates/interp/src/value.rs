@@ -1,0 +1,159 @@
+//! Runtime values, memory blocks, and fault kinds of the mini-C interpreter.
+
+use std::fmt;
+
+/// A runtime fault — the interpreter's sanitizer verdicts. These are what
+/// the AFL-style fuzzer reports as "crashes" (Table VII).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Array/heap access outside a live block.
+    OutOfBounds {
+        /// The offending offset.
+        offset: i64,
+        /// The block's length.
+        len: usize,
+    },
+    /// Read or write through a freed block.
+    UseAfterFree,
+    /// `free` on an already-freed block.
+    DoubleFree,
+    /// Dereference of a null pointer.
+    NullDeref,
+    /// Integer division (or remainder) by zero.
+    DivByZero,
+    /// Execution budget exhausted — the infinite-loop verdict.
+    LoopBudget,
+    /// Call-stack depth limit exceeded.
+    StackOverflow,
+    /// Construct the interpreter does not model.
+    Unsupported(String),
+    /// Use of an undefined variable or function.
+    Undefined(String),
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::OutOfBounds { offset, len } => {
+                write!(f, "out-of-bounds access at offset {offset} of block len {len}")
+            }
+            Fault::UseAfterFree => write!(f, "use after free"),
+            Fault::DoubleFree => write!(f, "double free"),
+            Fault::NullDeref => write!(f, "null pointer dereference"),
+            Fault::DivByZero => write!(f, "division by zero"),
+            Fault::LoopBudget => write!(f, "execution budget exhausted (infinite loop?)"),
+            Fault::StackOverflow => write!(f, "call stack overflow"),
+            Fault::Unsupported(s) => write!(f, "unsupported construct: {s}"),
+            Fault::Undefined(s) => write!(f, "undefined symbol: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// A pointer: block id + element offset. The null pointer is
+/// `Ptr::NULL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ptr {
+    /// Target block id (`usize::MAX` = null).
+    pub block: usize,
+    /// Element offset within the block.
+    pub offset: i64,
+}
+
+impl Ptr {
+    /// The null pointer.
+    pub const NULL: Ptr = Ptr {
+        block: usize::MAX,
+        offset: 0,
+    };
+
+    /// Whether this is the null pointer.
+    pub fn is_null(&self) -> bool {
+        self.block == usize::MAX
+    }
+}
+
+/// A runtime value. Mini-C ints are C `int`s: 32-bit wrapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// A 32-bit integer.
+    Int(i32),
+    /// A pointer.
+    Ptr(Ptr),
+}
+
+impl Value {
+    /// The value as an integer, coercing pointers by nullness (like C
+    /// truthiness in conditions).
+    pub fn as_int(&self) -> i32 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Ptr(p) => {
+                if p.is_null() {
+                    0
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// Whether the value is truthy.
+    pub fn truthy(&self) -> bool {
+        self.as_int() != 0
+    }
+}
+
+/// Liveness of a memory block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// Readable and writable.
+    Alive,
+    /// Freed: any access is a fault.
+    Freed,
+}
+
+/// A memory block (global, local, or heap). All storage is element-typed as
+/// [`Value`] so arrays of ints and strings-of-chars share one representation.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Element storage.
+    pub data: Vec<Value>,
+    /// Liveness.
+    pub state: BlockState,
+    /// Whether the block came from `malloc` (only those may be freed).
+    pub heap: bool,
+}
+
+impl Block {
+    /// A zeroed alive block.
+    pub fn zeroed(len: usize, heap: bool) -> Block {
+        Block {
+            data: vec![Value::Int(0); len],
+            state: BlockState::Alive,
+            heap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_pointer_identity() {
+        assert!(Ptr::NULL.is_null());
+        assert!(!Ptr { block: 0, offset: 0 }.is_null());
+        assert_eq!(Value::Ptr(Ptr::NULL).as_int(), 0);
+        assert!(!Value::Ptr(Ptr::NULL).truthy());
+        assert!(Value::Ptr(Ptr { block: 3, offset: 1 }).truthy());
+    }
+
+    #[test]
+    fn fault_display() {
+        let f = Fault::OutOfBounds { offset: 99, len: 4 };
+        assert!(f.to_string().contains("99"));
+        assert!(Fault::LoopBudget.to_string().contains("budget"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Semantic integration tests for the interpreter: C-operator behaviour,
+//! library models, and fault detection corner cases.
+
+use sevuldet_interp::{Fault, Interp};
+
+fn run(src: &str, input: &[u8]) -> Result<i32, Fault> {
+    let p = sevuldet_lang::parse(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    Interp::new(&p).run_main(input).value
+}
+
+#[test]
+fn operator_zoo() {
+    let src = r#"int main() {
+        int a = 13;
+        int b = 5;
+        int r = 0;
+        r += (a / b) * 100;        // 200
+        r += (a % b) * 10;         // +30
+        r += (a << 1) >> 3;        // +3
+        r += (a & b) + (a | b) + (a ^ b);  // 5 + 13 + 8 = +26
+        r += !0 + !7;              // +1
+        r += ~0 + 1;               // +0
+        r += (a > b) + (a >= b) + (a < b) + (a <= b) + (a == 13) + (a != 13);
+        return r;                  // 259 + 3 = 263
+    }"#;
+    assert_eq!(run(src, &[]), Ok(263));
+}
+
+#[test]
+fn ternary_comma_and_incdec() {
+    let src = r#"int main() {
+        int i = 0;
+        int j = (i++, i + 10);
+        int k = j > 10 ? ++i : --i;
+        return j * 100 + k * 10 + i;
+    }"#;
+    // i=1 after i++, j=11, k=++i=2, i=2 → 1100 + 20 + 2
+    assert_eq!(run(src, &[]), Ok(1122));
+}
+
+#[test]
+fn do_while_and_switch_fallthrough() {
+    let src = r#"int main() {
+        int n = 0;
+        do { n++; } while (n < 3);
+        int r = 0;
+        switch (n) {
+        case 3:
+            r += 1;
+        case 4:
+            r += 10;
+            break;
+        case 5:
+            r += 100;
+        }
+        return r;
+    }"#;
+    assert_eq!(run(src, &[]), Ok(11));
+}
+
+#[test]
+fn switch_default_position_independent() {
+    let src = r#"int main() {
+        switch (9) {
+        default:
+            return 42;
+        case 1:
+            return 1;
+        }
+    }"#;
+    assert_eq!(run(src, &[]), Ok(42));
+}
+
+#[test]
+fn string_library_models() {
+    let src = r#"int main() {
+        char a[16];
+        char b[16];
+        strcpy(a, "abc");
+        strcat(a, "def");
+        strncpy(b, a, 16);
+        if (strcmp(a, b) != 0) { return 1; }
+        if (strncmp(a, "abcxxx", 3) != 0) { return 2; }
+        if (memcmp(a, b, 6) != 0) { return 3; }
+        return strlen(a);
+    }"#;
+    assert_eq!(run(src, &[]), Ok(6));
+}
+
+#[test]
+fn calloc_zeroes_and_malloc_negative_returns_null() {
+    let src = r#"int main() {
+        int *z = calloc(4, 4);
+        if (z == NULL) { return 1; }
+        if (z[3] != 0) { return 2; }
+        char *bad = malloc(-5);
+        if (bad != NULL) { return 3; }
+        return 0;
+    }"#;
+    assert_eq!(run(src, &[]), Ok(0));
+}
+
+#[test]
+fn pointer_walk_and_arith() {
+    let src = r#"int main() {
+        char buf[8];
+        memset(buf, 7, 8);
+        char *p = buf;
+        p = p + 3;
+        int s = *p + p[1] + *(p - 1);
+        return s;
+    }"#;
+    assert_eq!(run(src, &[]), Ok(21));
+}
+
+#[test]
+fn negative_index_is_oob() {
+    let src = "int main() { int a[4]; int i = -1; a[i] = 1; return 0; }";
+    assert!(matches!(run(src, &[]), Err(Fault::OutOfBounds { .. })));
+}
+
+#[test]
+fn sizeof_array_vs_scalar() {
+    let src = r#"int main() {
+        char buf[24];
+        int n = sizeof buf;
+        int m = sizeof(int);
+        return n + m;
+    }"#;
+    assert_eq!(run(src, &[]), Ok(28));
+}
+
+#[test]
+fn recursion_with_base_case_terminates() {
+    let src = r#"int fib(int n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(12); }"#;
+    assert_eq!(run(src, &[]), Ok(144));
+}
+
+#[test]
+fn shadowing_in_nested_scopes() {
+    let src = r#"int main() {
+        int x = 1;
+        {
+            int x = 2;
+            {
+                int x = 3;
+                if (x != 3) { return 1; }
+            }
+            if (x != 2) { return 2; }
+        }
+        return x;
+    }"#;
+    assert_eq!(run(src, &[]), Ok(1));
+}
+
+#[test]
+fn division_rounding_matches_c() {
+    let src = "int main() { return (-7 / 2) * 100 + (-7 % 2); }";
+    // C truncates toward zero: -3 * 100 + -1 = -301.
+    assert_eq!(run(src, &[]), Ok(-301));
+}
+
+#[test]
+fn fgets_stops_at_newline() {
+    let src = r#"int main() {
+        char line[32];
+        fgets(line, 32, stdin);
+        return strlen(line);
+    }"#;
+    assert_eq!(run(src, b"ab\ncdef"), Ok(3)); // "ab\n"
+}
+
+#[test]
+fn undefined_function_is_a_typed_fault() {
+    let src = "int main() { return mystery(); }";
+    assert!(matches!(run(src, &[]), Err(Fault::Undefined(_))));
+}

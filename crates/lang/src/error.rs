@@ -1,0 +1,46 @@
+//! Lexer and parser error types.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An error produced while lexing or parsing mini-C source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Where in the source the error occurred.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates a new parse error at the given span.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience alias for lexer/parser results.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Pos;
+
+    #[test]
+    fn display_includes_location_and_message() {
+        let e = ParseError::new("unexpected token", Span::point(Pos::new(3, 7)));
+        assert_eq!(e.to_string(), "parse error at 3:7: unexpected token");
+    }
+}

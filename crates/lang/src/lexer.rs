@@ -1,0 +1,450 @@
+//! A hand-written lexer for mini-C.
+//!
+//! The lexer skips `//` and `/* */` comments and preprocessor lines (`#...`),
+//! but keeps track of line numbers so downstream analyses (control ranges,
+//! gadget line keys) see the same numbering as the original file.
+
+use crate::error::{ParseError, ParseResult};
+use crate::span::{Pos, Span};
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Streaming tokenizer over mini-C source text.
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    src: &'src [u8],
+    off: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over the given source text.
+    pub fn new(src: &'src str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            off: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Lexes the entire input into a token vector terminated by
+    /// [`TokenKind::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed literals, unterminated comments,
+    /// or bytes that are not part of mini-C.
+    pub fn tokenize(mut self) -> ParseResult<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let eof = matches!(tok.kind, TokenKind::Eof);
+            out.push(tok);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.off).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.off + 1).copied()
+    }
+
+    fn peek3(&self) -> Option<u8> {
+        self.src.get(self.off + 2).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.off += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> ParseResult<()> {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'#') if self.col == 1 || self.at_line_start() => {
+                    // Preprocessor directive: skip to end of line (keeping the
+                    // newline so line numbers stay correct).
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(ParseError::new(
+                                    "unterminated block comment",
+                                    Span::point(start),
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn at_line_start(&self) -> bool {
+        // True when everything before the cursor on this line is whitespace.
+        let mut i = self.off;
+        while i > 0 {
+            let b = self.src[i - 1];
+            if b == b'\n' {
+                return true;
+            }
+            if b != b' ' && b != b'\t' && b != b'\r' {
+                return false;
+            }
+            i -= 1;
+        }
+        true
+    }
+
+    fn next_token(&mut self) -> ParseResult<Token> {
+        self.skip_trivia()?;
+        let start = self.pos();
+        let Some(b) = self.peek() else {
+            return Ok(Token::new(TokenKind::Eof, Span::point(start)));
+        };
+
+        if b.is_ascii_alphabetic() || b == b'_' {
+            return Ok(self.lex_word(start));
+        }
+        if b.is_ascii_digit() {
+            return self.lex_number(start);
+        }
+        match b {
+            b'\'' => self.lex_char(start),
+            b'"' => self.lex_string(start),
+            _ => self.lex_punct(start),
+        }
+    }
+
+    fn lex_word(&mut self, start: Pos) -> Token {
+        let begin = self.off;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let word = std::str::from_utf8(&self.src[begin..self.off])
+            .expect("identifier bytes are ASCII")
+            .to_string();
+        let span = Span::new(start, self.last_pos(start));
+        match Keyword::from_word(&word) {
+            Some(k) => Token::new(TokenKind::Keyword(k), span),
+            None => Token::new(TokenKind::Ident(word), span),
+        }
+    }
+
+    fn last_pos(&self, start: Pos) -> Pos {
+        // End position: column just before the cursor (safe because tokens
+        // never span a newline except strings, handled separately).
+        if self.col > 1 {
+            Pos::new(self.line, self.col - 1)
+        } else {
+            start
+        }
+    }
+
+    fn lex_number(&mut self, start: Pos) -> ParseResult<Token> {
+        let begin = self.off;
+        let mut radix = 10;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            radix = 16;
+            self.bump();
+            self.bump();
+        }
+        while let Some(b) = self.peek() {
+            let ok = match radix {
+                16 => b.is_ascii_hexdigit(),
+                _ => b.is_ascii_digit(),
+            };
+            if ok {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Swallow integer suffixes (u, l, ul, ll, ...).
+        while matches!(self.peek(), Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[begin..self.off]).expect("ascii");
+        let digits = text.trim_end_matches(['u', 'U', 'l', 'L']);
+        let digits = if radix == 16 {
+            digits.trim_start_matches("0x").trim_start_matches("0X")
+        } else {
+            digits
+        };
+        let value = i64::from_str_radix(digits, radix).map_err(|_| {
+            ParseError::new(format!("invalid integer literal `{text}`"), Span::point(start))
+        })?;
+        Ok(Token::new(
+            TokenKind::IntLit(value),
+            Span::new(start, self.last_pos(start)),
+        ))
+    }
+
+    fn lex_escape(&mut self, start: Pos) -> ParseResult<u8> {
+        match self.bump() {
+            Some(b'n') => Ok(b'\n'),
+            Some(b't') => Ok(b'\t'),
+            Some(b'r') => Ok(b'\r'),
+            Some(b'0') => Ok(0),
+            Some(b'\\') => Ok(b'\\'),
+            Some(b'\'') => Ok(b'\''),
+            Some(b'"') => Ok(b'"'),
+            _ => Err(ParseError::new("invalid escape sequence", Span::point(start))),
+        }
+    }
+
+    fn lex_char(&mut self, start: Pos) -> ParseResult<Token> {
+        self.bump(); // opening quote
+        let value = match self.bump() {
+            Some(b'\\') => self.lex_escape(start)? as i64,
+            Some(b) => b as i64,
+            None => return Err(ParseError::new("unterminated char literal", Span::point(start))),
+        };
+        if self.bump() != Some(b'\'') {
+            return Err(ParseError::new("unterminated char literal", Span::point(start)));
+        }
+        Ok(Token::new(
+            TokenKind::CharLit(value),
+            Span::new(start, self.last_pos(start)),
+        ))
+    }
+
+    fn lex_string(&mut self, start: Pos) -> ParseResult<Token> {
+        self.bump(); // opening quote
+        let mut out = Vec::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => out.push(self.lex_escape(start)?),
+                Some(b'\n') | None => {
+                    return Err(ParseError::new(
+                        "unterminated string literal",
+                        Span::point(start),
+                    ));
+                }
+                Some(b) => out.push(b),
+            }
+        }
+        let text = String::from_utf8_lossy(&out).into_owned();
+        Ok(Token::new(
+            TokenKind::StrLit(text),
+            Span::new(start, self.last_pos(start)),
+        ))
+    }
+
+    fn lex_punct(&mut self, start: Pos) -> ParseResult<Token> {
+        use Punct::*;
+        let a = self.peek();
+        let b = self.peek2();
+        let c = self.peek3();
+        let (punct, len) = match (a, b, c) {
+            (Some(b'<'), Some(b'<'), Some(b'=')) => (ShlEq, 3),
+            (Some(b'>'), Some(b'>'), Some(b'=')) => (ShrEq, 3),
+            (Some(b'-'), Some(b'>'), _) => (Arrow, 2),
+            (Some(b'+'), Some(b'+'), _) => (PlusPlus, 2),
+            (Some(b'-'), Some(b'-'), _) => (MinusMinus, 2),
+            (Some(b'<'), Some(b'<'), _) => (Shl, 2),
+            (Some(b'>'), Some(b'>'), _) => (Shr, 2),
+            (Some(b'<'), Some(b'='), _) => (Le, 2),
+            (Some(b'>'), Some(b'='), _) => (Ge, 2),
+            (Some(b'='), Some(b'='), _) => (EqEq, 2),
+            (Some(b'!'), Some(b'='), _) => (Ne, 2),
+            (Some(b'&'), Some(b'&'), _) => (AmpAmp, 2),
+            (Some(b'|'), Some(b'|'), _) => (PipePipe, 2),
+            (Some(b'+'), Some(b'='), _) => (PlusEq, 2),
+            (Some(b'-'), Some(b'='), _) => (MinusEq, 2),
+            (Some(b'*'), Some(b'='), _) => (StarEq, 2),
+            (Some(b'/'), Some(b'='), _) => (SlashEq, 2),
+            (Some(b'%'), Some(b'='), _) => (PercentEq, 2),
+            (Some(b'&'), Some(b'='), _) => (AmpEq, 2),
+            (Some(b'|'), Some(b'='), _) => (PipeEq, 2),
+            (Some(b'^'), Some(b'='), _) => (CaretEq, 2),
+            (Some(b'('), _, _) => (LParen, 1),
+            (Some(b')'), _, _) => (RParen, 1),
+            (Some(b'{'), _, _) => (LBrace, 1),
+            (Some(b'}'), _, _) => (RBrace, 1),
+            (Some(b'['), _, _) => (LBracket, 1),
+            (Some(b']'), _, _) => (RBracket, 1),
+            (Some(b';'), _, _) => (Semi, 1),
+            (Some(b','), _, _) => (Comma, 1),
+            (Some(b':'), _, _) => (Colon, 1),
+            (Some(b'?'), _, _) => (Question, 1),
+            (Some(b'.'), _, _) => (Dot, 1),
+            (Some(b'+'), _, _) => (Plus, 1),
+            (Some(b'-'), _, _) => (Minus, 1),
+            (Some(b'*'), _, _) => (Star, 1),
+            (Some(b'/'), _, _) => (Slash, 1),
+            (Some(b'%'), _, _) => (Percent, 1),
+            (Some(b'&'), _, _) => (Amp, 1),
+            (Some(b'|'), _, _) => (Pipe, 1),
+            (Some(b'^'), _, _) => (Caret, 1),
+            (Some(b'~'), _, _) => (Tilde, 1),
+            (Some(b'!'), _, _) => (Bang, 1),
+            (Some(b'<'), _, _) => (Lt, 1),
+            (Some(b'>'), _, _) => (Gt, 1),
+            (Some(b'='), _, _) => (Eq, 1),
+            (Some(other), _, _) => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{}`", other as char),
+                    Span::point(start),
+                ));
+            }
+            (None, _, _) => unreachable!("caller checked non-empty"),
+        };
+        for _ in 0..len {
+            self.bump();
+        }
+        Ok(Token::new(
+            TokenKind::Punct(punct),
+            Span::new(start, self.last_pos(start)),
+        ))
+    }
+}
+
+/// Lexes an entire source string.
+///
+/// # Errors
+///
+/// Returns the first lexical error encountered.
+///
+/// # Examples
+///
+/// ```
+/// let toks = sevuldet_lang::lexer::tokenize("int x = 1;").unwrap();
+/// assert_eq!(toks.len(), 6); // int, x, =, 1, ;, EOF
+/// ```
+pub fn tokenize(src: &str) -> ParseResult<Vec<Token>> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{Keyword, Punct, TokenKind};
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_declaration() {
+        let k = kinds("int x = 42;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct(Punct::Eq),
+                TokenKind::IntLit(42),
+                TokenKind::Punct(Punct::Semi),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers_across_comments_and_directives() {
+        let src = "#include <stdio.h>\n// comment\nint main() {\n  return 0;\n}\n";
+        let toks = tokenize(src).unwrap();
+        // `int` is on line 3.
+        assert_eq!(toks[0].span.start.line, 3);
+        // `return` is on line 4.
+        let ret = toks
+            .iter()
+            .find(|t| t.is_keyword(Keyword::Return))
+            .unwrap();
+        assert_eq!(ret.span.start.line, 4);
+    }
+
+    #[test]
+    fn lexes_multichar_operators_longest_first() {
+        let k = kinds("a <<= b >> c != d->e");
+        assert!(k.contains(&TokenKind::Punct(Punct::ShlEq)));
+        assert!(k.contains(&TokenKind::Punct(Punct::Shr)));
+        assert!(k.contains(&TokenKind::Punct(Punct::Ne)));
+        assert!(k.contains(&TokenKind::Punct(Punct::Arrow)));
+    }
+
+    #[test]
+    fn lexes_hex_and_suffixed_integers() {
+        assert_eq!(kinds("0xFF")[0], TokenKind::IntLit(255));
+        assert_eq!(kinds("10UL")[0], TokenKind::IntLit(10));
+    }
+
+    #[test]
+    fn lexes_char_and_string_literals() {
+        assert_eq!(kinds("'a'")[0], TokenKind::CharLit(97));
+        assert_eq!(kinds("'\\n'")[0], TokenKind::CharLit(10));
+        assert_eq!(kinds("\"hi\\t\"")[0], TokenKind::StrLit("hi\t".into()));
+    }
+
+    #[test]
+    fn block_comments_preserve_line_numbers() {
+        let src = "/* a\n b\n c */ int x;";
+        let toks = tokenize(src).unwrap();
+        assert_eq!(toks[0].span.start.line, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(tokenize("\"oops").is_err());
+        assert!(tokenize("/* oops").is_err());
+        assert!(tokenize("'x").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_bytes() {
+        assert!(tokenize("int $x;").is_err());
+    }
+}

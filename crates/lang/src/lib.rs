@@ -1,0 +1,40 @@
+//! # sevuldet-lang
+//!
+//! A from-scratch lexer, parser, and AST for **mini-C**, the C subset used by
+//! the SEVulDet reproduction (DSN 2022, Tang et al.).
+//!
+//! The paper's pipeline runs Joern over C/C++; this crate is the substitute
+//! substrate: it provides everything Algorithm 1 and the PDG construction
+//! need — line-numbered AST nodes, the eight structured control statements
+//! (`if`, `else if`, `else`, `for`, `while`, `do while`, `switch`, `case`),
+//! pointers, arrays, and a full C expression grammar.
+//!
+//! ## Example
+//!
+//! ```
+//! use sevuldet_lang::parse;
+//!
+//! let program = parse(r#"
+//! void copy(char *dest, char *data, int n) {
+//!     if (n < 10) {
+//!         strncpy(dest, data, n);
+//!     }
+//! }
+//! "#).unwrap();
+//! let f = program.function("copy").unwrap();
+//! assert_eq!(f.params.len(), 3);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod token;
+pub mod visit;
+
+pub use ast::{Block, Expr, ExprKind, Function, Item, Program, Stmt, StmtId, StmtKind, TypeSpec};
+pub use error::{ParseError, ParseResult};
+pub use parser::parse;
+pub use span::{Pos, Span};

@@ -1,0 +1,1122 @@
+//! Recursive-descent parser for mini-C.
+//!
+//! The grammar is a practical subset of C: functions, globals, structs,
+//! pointers, arrays, the eight structured control statements that Algorithm 1
+//! recognises as key nodes (`if`, `else if`, `else`, `for`, `while`,
+//! `do while`, `switch`, `case`), and a full expression grammar with C
+//! precedence. `goto` is lexed but rejected here: the paper excludes jump
+//! statements from key nodes, and the synthetic corpora never emit them.
+
+use crate::ast::*;
+use crate::error::{ParseError, ParseResult};
+use crate::lexer::tokenize;
+use crate::span::Span;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Parses a complete mini-C translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error.
+///
+/// # Examples
+///
+/// ```
+/// let prog = sevuldet_lang::parse("int main() { return 0; }").unwrap();
+/// assert!(prog.function("main").is_some());
+/// ```
+pub fn parse(src: &str) -> ParseResult<Program> {
+    let tokens = tokenize(src)?;
+    Parser::new(tokens).program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_stmt_id: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            next_stmt_id: 0,
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_at(&self, n: usize) -> &Token {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> ParseResult<Token> {
+        if self.peek().is_punct(p) {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&format!("`{}`", p.as_str())))
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> ParseResult<Token> {
+        if self.peek().is_keyword(k) {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&format!("`{}`", k.as_str())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> ParseResult<(String, Span)> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let t = self.bump();
+                match t.kind {
+                    TokenKind::Ident(name) => Ok((name, t.span)),
+                    _ => unreachable!(),
+                }
+            }
+            _ => Err(self.unexpected("an identifier")),
+        }
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek().is_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.peek().is_keyword(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> ParseError {
+        let t = self.peek();
+        ParseError::new(
+            format!("expected {wanted}, found `{}`", t.kind.surface()),
+            t.span,
+        )
+    }
+
+    fn fresh_stmt_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_stmt_id);
+        self.next_stmt_id += 1;
+        id
+    }
+
+    // ---------------------------------------------------------------- items
+
+    fn program(&mut self) -> ParseResult<Program> {
+        let mut items = Vec::new();
+        while !self.at_eof() {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> ParseResult<Item> {
+        // `struct Name { ... };` definition (vs `struct Name` used as a type).
+        if self.peek().is_keyword(Keyword::Struct)
+            && matches!(self.peek_at(1).kind, TokenKind::Ident(_))
+            && self.peek_at(2).is_punct(Punct::LBrace)
+        {
+            return Ok(Item::Struct(self.struct_def()?));
+        }
+        let start = self.peek().span;
+        let ty = self.type_spec()?;
+        let (name, _) = self.expect_ident()?;
+        if self.peek().is_punct(Punct::LParen) {
+            let f = self.function_rest(ty, name, start)?;
+            Ok(Item::Function(f))
+        } else {
+            let decl = self.decl_rest(ty, name, start)?;
+            self.expect_punct(Punct::Semi)?;
+            Ok(Item::Global(decl))
+        }
+    }
+
+    fn struct_def(&mut self) -> ParseResult<StructDef> {
+        let start = self.expect_keyword(Keyword::Struct)?.span;
+        let (name, _) = self.expect_ident()?;
+        self.expect_punct(Punct::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.peek().is_punct(Punct::RBrace) {
+            let fstart = self.peek().span;
+            let ty = self.type_spec()?;
+            let (fname, _) = self.expect_ident()?;
+            let field = self.decl_rest(ty, fname, fstart)?;
+            self.expect_punct(Punct::Semi)?;
+            fields.push(field);
+        }
+        self.expect_punct(Punct::RBrace)?;
+        let end = self.expect_punct(Punct::Semi)?.span;
+        Ok(StructDef {
+            name,
+            fields,
+            span: start.merge(end),
+        })
+    }
+
+    fn function_rest(&mut self, ret: TypeSpec, name: String, start: Span) -> ParseResult<Function> {
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.peek().is_punct(Punct::RParen) {
+            // `void` parameter list.
+            if self.peek().is_keyword(Keyword::Void) && self.peek_at(1).is_punct(Punct::RParen) {
+                self.bump();
+            } else {
+                loop {
+                    params.push(self.param()?);
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.expect_punct(Punct::RParen)?;
+        let body = self.block()?;
+        let span = start.merge(body.span);
+        Ok(Function {
+            name,
+            ret,
+            params,
+            body,
+            span,
+        })
+    }
+
+    fn param(&mut self) -> ParseResult<Param> {
+        let start = self.peek().span;
+        let ty = self.type_spec()?;
+        let (name, nspan) = self.expect_ident()?;
+        let mut array_dims = Vec::new();
+        let mut end = nspan;
+        while self.peek().is_punct(Punct::LBracket) {
+            self.bump();
+            if self.peek().is_punct(Punct::RBracket) {
+                array_dims.push(None);
+            } else if let TokenKind::IntLit(n) = self.peek().kind {
+                self.bump();
+                array_dims.push(Some(n));
+            } else {
+                return Err(self.unexpected("an array dimension"));
+            }
+            end = self.expect_punct(Punct::RBracket)?.span;
+        }
+        Ok(Param {
+            name,
+            ty,
+            array_dims,
+            span: start.merge(end),
+        })
+    }
+
+    // ---------------------------------------------------------------- types
+
+    fn at_type_start(&self) -> bool {
+        matches!(
+            self.peek().kind,
+            TokenKind::Keyword(
+                Keyword::Int
+                    | Keyword::Char
+                    | Keyword::Void
+                    | Keyword::Long
+                    | Keyword::Short
+                    | Keyword::Float
+                    | Keyword::Double
+                    | Keyword::Unsigned
+                    | Keyword::Signed
+                    | Keyword::SizeT
+                    | Keyword::Struct
+                    | Keyword::Const
+                    | Keyword::Static
+            )
+        )
+    }
+
+    fn type_spec(&mut self) -> ParseResult<TypeSpec> {
+        // Swallow qualifiers.
+        while self.eat_keyword(Keyword::Const) || self.eat_keyword(Keyword::Static) {}
+        let mut parts: Vec<&'static str> = Vec::new();
+        let mut struct_name: Option<String> = None;
+        while let TokenKind::Keyword(kw) = &self.peek().kind {
+            let kw = *kw;
+            match kw {
+                Keyword::Int | Keyword::Char | Keyword::Void | Keyword::Long | Keyword::Short
+                | Keyword::Float | Keyword::Double | Keyword::Unsigned | Keyword::Signed
+                | Keyword::SizeT => {
+                    parts.push(kw.as_str());
+                    self.bump();
+                }
+                Keyword::Struct => {
+                    self.bump();
+                    let (name, _) = self.expect_ident()?;
+                    struct_name = Some(format!("struct {name}"));
+                    break;
+                }
+                Keyword::Const => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let name = if let Some(s) = struct_name {
+            s
+        } else if parts.is_empty() {
+            return Err(self.unexpected("a type"));
+        } else {
+            parts.join(" ")
+        };
+        let mut depth: u8 = 0;
+        while self.peek().is_punct(Punct::Star) {
+            self.bump();
+            depth += 1;
+            // Swallow `const` between stars.
+            while self.eat_keyword(Keyword::Const) {}
+        }
+        Ok(TypeSpec {
+            name,
+            ptr_depth: depth,
+        })
+    }
+
+    fn decl_rest(&mut self, ty: TypeSpec, name: String, start: Span) -> ParseResult<Decl> {
+        let mut array_dims = Vec::new();
+        let mut end = start;
+        while self.peek().is_punct(Punct::LBracket) {
+            self.bump();
+            if self.peek().is_punct(Punct::RBracket) {
+                array_dims.push(None);
+            } else {
+                // Constant dimensions only (mini-C forbids VLAs in
+                // declarations the analyses must size).
+                let dim = self.assignment_expr()?;
+                match const_eval(&dim) {
+                    Some(n) => array_dims.push(Some(n)),
+                    None => array_dims.push(None),
+                }
+            }
+            end = self.expect_punct(Punct::RBracket)?.span;
+        }
+        let init = if self.eat_punct(Punct::Eq) {
+            let e = self.assignment_expr()?;
+            end = e.span;
+            Some(e)
+        } else {
+            None
+        };
+        Ok(Decl {
+            name,
+            ty,
+            array_dims,
+            init,
+            span: start.merge(end),
+        })
+    }
+
+    // ----------------------------------------------------------- statements
+
+    fn block(&mut self) -> ParseResult<Block> {
+        let start = self.expect_punct(Punct::LBrace)?.span;
+        let mut stmts = Vec::new();
+        while !self.peek().is_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return Err(self.unexpected("`}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        let end = self.expect_punct(Punct::RBrace)?.span;
+        Ok(Block {
+            stmts,
+            span: start.merge(end),
+        })
+    }
+
+    /// Parses a statement; single non-block bodies of control statements are
+    /// wrapped into one-statement blocks by `body_block`.
+    fn stmt(&mut self) -> ParseResult<Stmt> {
+        let id = self.fresh_stmt_id();
+        let start = self.peek().span;
+        let kind_span: (StmtKind, Span) = match &self.peek().kind {
+            TokenKind::Punct(Punct::LBrace) => {
+                let b = self.block()?;
+                let sp = b.span;
+                (StmtKind::Block(b), sp)
+            }
+            TokenKind::Keyword(Keyword::If) => self.if_stmt()?,
+            TokenKind::Keyword(Keyword::While) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = self.body_block()?;
+                let sp = start.merge(body.span);
+                (StmtKind::While { cond, body }, sp)
+            }
+            TokenKind::Keyword(Keyword::Do) => {
+                self.bump();
+                let body = self.body_block()?;
+                self.expect_keyword(Keyword::While)?;
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let end = self.expect_punct(Punct::Semi)?.span;
+                (StmtKind::DoWhile { body, cond }, start.merge(end))
+            }
+            TokenKind::Keyword(Keyword::For) => self.for_stmt(start)?,
+            TokenKind::Keyword(Keyword::Switch) => self.switch_stmt(start)?,
+            TokenKind::Keyword(Keyword::Break) => {
+                self.bump();
+                let end = self.expect_punct(Punct::Semi)?.span;
+                (StmtKind::Break, start.merge(end))
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                self.bump();
+                let end = self.expect_punct(Punct::Semi)?.span;
+                (StmtKind::Continue, start.merge(end))
+            }
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                let value = if self.peek().is_punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                let end = self.expect_punct(Punct::Semi)?.span;
+                (StmtKind::Return(value), start.merge(end))
+            }
+            TokenKind::Keyword(Keyword::Goto) => {
+                return Err(ParseError::new(
+                    "`goto` is not part of mini-C (jump statements are excluded from key nodes)",
+                    start,
+                ));
+            }
+            _ if self.at_type_start() => {
+                let ty = self.type_spec()?;
+                let (name, _) = self.expect_ident()?;
+                let decl = self.decl_rest(ty, name, start)?;
+                let end = self.expect_punct(Punct::Semi)?.span;
+                (StmtKind::Decl(decl), start.merge(end))
+            }
+            _ => {
+                let e = self.expr()?;
+                let end = self.expect_punct(Punct::Semi)?.span;
+                (StmtKind::Expr(e), start.merge(end))
+            }
+        };
+        Ok(Stmt {
+            id,
+            kind: kind_span.0,
+            span: kind_span.1,
+        })
+    }
+
+    /// A control-statement body: either a braced block or a single statement
+    /// wrapped into a synthetic block.
+    fn body_block(&mut self) -> ParseResult<Block> {
+        if self.peek().is_punct(Punct::LBrace) {
+            self.block()
+        } else {
+            let s = self.stmt()?;
+            let span = s.span;
+            Ok(Block {
+                stmts: vec![s],
+                span,
+            })
+        }
+    }
+
+    fn if_stmt(&mut self) -> ParseResult<(StmtKind, Span)> {
+        let start = self.expect_keyword(Keyword::If)?.span;
+        self.expect_punct(Punct::LParen)?;
+        let cond = self.expr()?;
+        self.expect_punct(Punct::RParen)?;
+        let then = self.body_block()?;
+        let mut span = start.merge(then.span);
+        let mut else_ifs = Vec::new();
+        let mut else_block = None;
+        while self.peek().is_keyword(Keyword::Else) {
+            let else_span = self.bump().span;
+            if self.peek().is_keyword(Keyword::If) {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let c = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let b = self.body_block()?;
+                let arm_span = else_span.merge(b.span);
+                span = span.merge(arm_span);
+                else_ifs.push(ElseIf {
+                    cond: c,
+                    body: b,
+                    span: arm_span,
+                });
+            } else {
+                let b = self.body_block()?;
+                let blk_span = else_span.merge(b.span);
+                span = span.merge(blk_span);
+                else_block = Some(ElseBlock {
+                    body: b,
+                    span: blk_span,
+                });
+                break;
+            }
+        }
+        Ok((
+            StmtKind::If {
+                cond,
+                then,
+                else_ifs,
+                else_block,
+            },
+            span,
+        ))
+    }
+
+    fn for_stmt(&mut self, start: Span) -> ParseResult<(StmtKind, Span)> {
+        self.expect_keyword(Keyword::For)?;
+        self.expect_punct(Punct::LParen)?;
+        let init = if self.peek().is_punct(Punct::Semi) {
+            self.bump();
+            None
+        } else if self.at_type_start() {
+            let id = self.fresh_stmt_id();
+            let dstart = self.peek().span;
+            let ty = self.type_spec()?;
+            let (name, _) = self.expect_ident()?;
+            let decl = self.decl_rest(ty, name, dstart)?;
+            let end = self.expect_punct(Punct::Semi)?.span;
+            Some(Box::new(Stmt {
+                id,
+                kind: StmtKind::Decl(decl),
+                span: dstart.merge(end),
+            }))
+        } else {
+            let id = self.fresh_stmt_id();
+            let e = self.expr()?;
+            let sp = e.span;
+            let end = self.expect_punct(Punct::Semi)?.span;
+            Some(Box::new(Stmt {
+                id,
+                kind: StmtKind::Expr(e),
+                span: sp.merge(end),
+            }))
+        };
+        let cond = if self.peek().is_punct(Punct::Semi) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect_punct(Punct::Semi)?;
+        let step = if self.peek().is_punct(Punct::RParen) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect_punct(Punct::RParen)?;
+        let body = self.body_block()?;
+        let span = start.merge(body.span);
+        Ok((
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            },
+            span,
+        ))
+    }
+
+    fn switch_stmt(&mut self, start: Span) -> ParseResult<(StmtKind, Span)> {
+        self.expect_keyword(Keyword::Switch)?;
+        self.expect_punct(Punct::LParen)?;
+        let scrutinee = self.expr()?;
+        self.expect_punct(Punct::RParen)?;
+        self.expect_punct(Punct::LBrace)?;
+        let mut cases = Vec::new();
+        while !self.peek().is_punct(Punct::RBrace) {
+            let case_start = self.peek().span;
+            let label = if self.eat_keyword(Keyword::Case) {
+                let e = self.expr()?;
+                self.expect_punct(Punct::Colon)?;
+                CaseLabel::Case(e)
+            } else if self.eat_keyword(Keyword::Default) {
+                self.expect_punct(Punct::Colon)?;
+                CaseLabel::Default
+            } else {
+                return Err(self.unexpected("`case` or `default`"));
+            };
+            let mut body = Vec::new();
+            while !self.peek().is_punct(Punct::RBrace)
+                && !self.peek().is_keyword(Keyword::Case)
+                && !self.peek().is_keyword(Keyword::Default)
+            {
+                body.push(self.stmt()?);
+            }
+            let case_end = body.last().map(|s| s.span).unwrap_or(case_start);
+            cases.push(SwitchCase {
+                label,
+                body,
+                span: case_start.merge(case_end),
+            });
+        }
+        let end = self.expect_punct(Punct::RBrace)?.span;
+        Ok((StmtKind::Switch { scrutinee, cases }, start.merge(end)))
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    /// Full expression including the comma operator.
+    fn expr(&mut self) -> ParseResult<Expr> {
+        let mut lhs = self.assignment_expr()?;
+        while self.peek().is_punct(Punct::Comma) {
+            self.bump();
+            let rhs = self.assignment_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Comma {
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn assignment_expr(&mut self) -> ParseResult<Expr> {
+        let lhs = self.ternary_expr()?;
+        let op = match &self.peek().kind {
+            TokenKind::Punct(Punct::Eq) => Some(AssignOp::Assign),
+            TokenKind::Punct(Punct::PlusEq) => Some(AssignOp::Add),
+            TokenKind::Punct(Punct::MinusEq) => Some(AssignOp::Sub),
+            TokenKind::Punct(Punct::StarEq) => Some(AssignOp::Mul),
+            TokenKind::Punct(Punct::SlashEq) => Some(AssignOp::Div),
+            TokenKind::Punct(Punct::PercentEq) => Some(AssignOp::Rem),
+            TokenKind::Punct(Punct::ShlEq) => Some(AssignOp::Shl),
+            TokenKind::Punct(Punct::ShrEq) => Some(AssignOp::Shr),
+            TokenKind::Punct(Punct::AmpEq) => Some(AssignOp::And),
+            TokenKind::Punct(Punct::PipeEq) => Some(AssignOp::Or),
+            TokenKind::Punct(Punct::CaretEq) => Some(AssignOp::Xor),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let value = self.assignment_expr()?;
+                let span = lhs.span.merge(value.span);
+                Ok(Expr {
+                    kind: ExprKind::Assign {
+                        op,
+                        target: Box::new(lhs),
+                        value: Box::new(value),
+                    },
+                    span,
+                })
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn ternary_expr(&mut self) -> ParseResult<Expr> {
+        let cond = self.binary_expr(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then_expr = self.expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let else_expr = self.assignment_expr()?;
+            let span = cond.span.merge(else_expr.span);
+            Ok(Expr {
+                kind: ExprKind::Ternary {
+                    cond: Box::new(cond),
+                    then_expr: Box::new(then_expr),
+                    else_expr: Box::new(else_expr),
+                },
+                span,
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn binary_expr(&mut self, min_prec: u8) -> ParseResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match &self.peek().kind {
+                TokenKind::Punct(Punct::PipePipe) => (BinaryOp::LogOr, 1),
+                TokenKind::Punct(Punct::AmpAmp) => (BinaryOp::LogAnd, 2),
+                TokenKind::Punct(Punct::Pipe) => (BinaryOp::BitOr, 3),
+                TokenKind::Punct(Punct::Caret) => (BinaryOp::BitXor, 4),
+                TokenKind::Punct(Punct::Amp) => (BinaryOp::BitAnd, 5),
+                TokenKind::Punct(Punct::EqEq) => (BinaryOp::Eq, 6),
+                TokenKind::Punct(Punct::Ne) => (BinaryOp::Ne, 6),
+                TokenKind::Punct(Punct::Lt) => (BinaryOp::Lt, 7),
+                TokenKind::Punct(Punct::Gt) => (BinaryOp::Gt, 7),
+                TokenKind::Punct(Punct::Le) => (BinaryOp::Le, 7),
+                TokenKind::Punct(Punct::Ge) => (BinaryOp::Ge, 7),
+                TokenKind::Punct(Punct::Shl) => (BinaryOp::Shl, 8),
+                TokenKind::Punct(Punct::Shr) => (BinaryOp::Shr, 8),
+                TokenKind::Punct(Punct::Plus) => (BinaryOp::Add, 9),
+                TokenKind::Punct(Punct::Minus) => (BinaryOp::Sub, 9),
+                TokenKind::Punct(Punct::Star) => (BinaryOp::Mul, 10),
+                TokenKind::Punct(Punct::Slash) => (BinaryOp::Div, 10),
+                TokenKind::Punct(Punct::Percent) => (BinaryOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> ParseResult<Expr> {
+        let start = self.peek().span;
+        let op = match &self.peek().kind {
+            TokenKind::Punct(Punct::Minus) => Some(UnaryOp::Neg),
+            TokenKind::Punct(Punct::Plus) => Some(UnaryOp::Plus),
+            TokenKind::Punct(Punct::Bang) => Some(UnaryOp::Not),
+            TokenKind::Punct(Punct::Tilde) => Some(UnaryOp::BitNot),
+            TokenKind::Punct(Punct::Star) => Some(UnaryOp::Deref),
+            TokenKind::Punct(Punct::Amp) => Some(UnaryOp::AddrOf),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let expr = self.unary_expr()?;
+            let span = start.merge(expr.span);
+            return Ok(Expr {
+                kind: ExprKind::Unary {
+                    op,
+                    expr: Box::new(expr),
+                },
+                span,
+            });
+        }
+        if self.peek().is_punct(Punct::PlusPlus) || self.peek().is_punct(Punct::MinusMinus) {
+            let inc = self.peek().is_punct(Punct::PlusPlus);
+            self.bump();
+            let expr = self.unary_expr()?;
+            let span = start.merge(expr.span);
+            return Ok(Expr {
+                kind: ExprKind::PreIncDec {
+                    expr: Box::new(expr),
+                    inc,
+                },
+                span,
+            });
+        }
+        if self.peek().is_keyword(Keyword::Sizeof) {
+            self.bump();
+            if self.peek().is_punct(Punct::LParen) && self.type_starts_at(1) {
+                self.bump();
+                let ty = self.type_spec()?;
+                let end = self.expect_punct(Punct::RParen)?.span;
+                return Ok(Expr {
+                    kind: ExprKind::Sizeof(SizeofArg::Type(ty)),
+                    span: start.merge(end),
+                });
+            }
+            let e = self.unary_expr()?;
+            let span = start.merge(e.span);
+            return Ok(Expr {
+                kind: ExprKind::Sizeof(SizeofArg::Expr(Box::new(e))),
+                span,
+            });
+        }
+        // Cast: `(type) expr`.
+        if self.peek().is_punct(Punct::LParen) && self.type_starts_at(1) {
+            self.bump();
+            let ty = self.type_spec()?;
+            self.expect_punct(Punct::RParen)?;
+            let expr = self.unary_expr()?;
+            let span = start.merge(expr.span);
+            return Ok(Expr {
+                kind: ExprKind::Cast {
+                    ty,
+                    expr: Box::new(expr),
+                },
+                span,
+            });
+        }
+        self.postfix_expr()
+    }
+
+    fn type_starts_at(&self, n: usize) -> bool {
+        matches!(
+            self.peek_at(n).kind,
+            TokenKind::Keyword(
+                Keyword::Int
+                    | Keyword::Char
+                    | Keyword::Void
+                    | Keyword::Long
+                    | Keyword::Short
+                    | Keyword::Float
+                    | Keyword::Double
+                    | Keyword::Unsigned
+                    | Keyword::Signed
+                    | Keyword::SizeT
+                    | Keyword::Struct
+                    | Keyword::Const
+            )
+        )
+    }
+
+    fn postfix_expr(&mut self) -> ParseResult<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match &self.peek().kind {
+                TokenKind::Punct(Punct::LBracket) => {
+                    self.bump();
+                    let index = self.expr()?;
+                    let end = self.expect_punct(Punct::RBracket)?.span;
+                    let span = e.span.merge(end);
+                    e = Expr {
+                        kind: ExprKind::Index {
+                            base: Box::new(e),
+                            index: Box::new(index),
+                        },
+                        span,
+                    };
+                }
+                TokenKind::Punct(Punct::Dot) | TokenKind::Punct(Punct::Arrow) => {
+                    let arrow = self.peek().is_punct(Punct::Arrow);
+                    self.bump();
+                    let (field, fspan) = self.expect_ident()?;
+                    let span = e.span.merge(fspan);
+                    e = Expr {
+                        kind: ExprKind::Member {
+                            base: Box::new(e),
+                            field,
+                            arrow,
+                        },
+                        span,
+                    };
+                }
+                TokenKind::Punct(Punct::PlusPlus) | TokenKind::Punct(Punct::MinusMinus) => {
+                    let inc = self.peek().is_punct(Punct::PlusPlus);
+                    let end = self.bump().span;
+                    let span = e.span.merge(end);
+                    e = Expr {
+                        kind: ExprKind::PostIncDec {
+                            expr: Box::new(e),
+                            inc,
+                        },
+                        span,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> ParseResult<Expr> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::IntLit(v),
+                    span: t.span,
+                })
+            }
+            TokenKind::CharLit(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::CharLit(v),
+                    span: t.span,
+                })
+            }
+            TokenKind::StrLit(s) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::StrLit(s),
+                    span: t.span,
+                })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek().is_punct(Punct::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.peek().is_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.assignment_expr()?);
+                            if !self.eat_punct(Punct::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect_punct(Punct::RParen)?.span;
+                    Ok(Expr {
+                        kind: ExprKind::Call { callee: name, args },
+                        span: t.span.merge(end),
+                    })
+                } else {
+                    Ok(Expr {
+                        kind: ExprKind::Ident(name),
+                        span: t.span,
+                    })
+                }
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                let end = self.expect_punct(Punct::RParen)?.span;
+                Ok(Expr {
+                    kind: e.kind,
+                    span: t.span.merge(end),
+                })
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+/// Best-effort constant folding of array-dimension expressions.
+fn const_eval(e: &Expr) -> Option<i64> {
+    match &e.kind {
+        ExprKind::IntLit(v) => Some(*v),
+        ExprKind::CharLit(v) => Some(*v),
+        ExprKind::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => Some(-const_eval(expr)?),
+        ExprKind::Binary { op, lhs, rhs } => {
+            let a = const_eval(lhs)?;
+            let b = const_eval(rhs)?;
+            Some(match op {
+                BinaryOp::Add => a.checked_add(b)?,
+                BinaryOp::Sub => a.checked_sub(b)?,
+                BinaryOp::Mul => a.checked_mul(b)?,
+                BinaryOp::Div => a.checked_div(b)?,
+                BinaryOp::Rem => a.checked_rem(b)?,
+                BinaryOp::Shl => a.checked_shl(b.try_into().ok()?)?,
+                BinaryOp::Shr => a.checked_shr(b.try_into().ok()?)?,
+                _ => return None,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_params() {
+        let p = parse("int add(int a, int b) { return a + b; }").unwrap();
+        let f = p.function("add").unwrap();
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, TypeSpec::named("int"));
+        assert_eq!(f.body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn parses_if_else_chain_flattened() {
+        let src = "void f(int n) {\n  if (n < 0) { n = 0; }\n  else if (n > 10) { n = 10; }\n  else { n = 5; }\n}";
+        let p = parse(src).unwrap();
+        let f = p.function("f").unwrap();
+        match &f.body.stmts[0].kind {
+            StmtKind::If {
+                else_ifs,
+                else_block,
+                ..
+            } => {
+                assert_eq!(else_ifs.len(), 1);
+                assert!(else_block.is_some());
+                assert_eq!(else_ifs[0].span.start.line, 3);
+                assert_eq!(else_block.as_ref().unwrap().span.start.line, 4);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_statement_spans_cover_bodies() {
+        let src = "void f() {\n  while (1) {\n    g();\n  }\n}";
+        let p = parse(src).unwrap();
+        let f = p.function("f").unwrap();
+        let s = &f.body.stmts[0];
+        assert_eq!(s.span.start.line, 2);
+        assert_eq!(s.span.end.line, 4);
+    }
+
+    #[test]
+    fn parses_for_with_declaration_init() {
+        let p = parse("void f() { for (int i = 0; i < 10; i++) { g(i); } }").unwrap();
+        let f = p.function("f").unwrap();
+        match &f.body.stmts[0].kind {
+            StmtKind::For {
+                init, cond, step, ..
+            } => {
+                assert!(matches!(init.as_deref().map(|s| &s.kind), Some(StmtKind::Decl(_))));
+                assert!(cond.is_some());
+                assert!(step.is_some());
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_switch_cases() {
+        let src = "void f(int x) { switch (x) { case 1: g(); break; case 2: case 3: h(); break; default: k(); } }";
+        let p = parse(src).unwrap();
+        let f = p.function("f").unwrap();
+        match &f.body.stmts[0].kind {
+            StmtKind::Switch { cases, .. } => {
+                assert_eq!(cases.len(), 4);
+                assert!(matches!(cases[0].label, CaseLabel::Case(_)));
+                assert!(cases[1].body.is_empty()); // fallthrough `case 2:`
+                assert!(matches!(cases[3].label, CaseLabel::Default));
+            }
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let p = parse("int g() { return 1 + 2 * 3; }").unwrap();
+        let f = p.function("g").unwrap();
+        let StmtKind::Return(Some(e)) = &f.body.stmts[0].kind else {
+            panic!()
+        };
+        match &e.kind {
+            ExprKind::Binary {
+                op: BinaryOp::Add,
+                rhs,
+                ..
+            } => assert!(matches!(
+                rhs.kind,
+                ExprKind::Binary {
+                    op: BinaryOp::Mul,
+                    ..
+                }
+            )),
+            other => panic!("unexpected tree {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_pointer_and_array_declarations() {
+        let p = parse("void f() { char *p; int a[10]; char buf[4 * 2]; unsigned int **q; }")
+            .unwrap();
+        let f = p.function("f").unwrap();
+        let decls: Vec<_> = f
+            .body
+            .stmts
+            .iter()
+            .filter_map(|s| match &s.kind {
+                StmtKind::Decl(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decls[0].ty.ptr_depth, 1);
+        assert_eq!(decls[1].array_dims, vec![Some(10)]);
+        assert_eq!(decls[2].array_dims, vec![Some(8)]);
+        assert_eq!(decls[3].ty, TypeSpec::pointer("unsigned int", 2));
+    }
+
+    #[test]
+    fn parses_calls_member_access_and_casts() {
+        let src = "void f(struct pkt *s) { s->len = (int)strlen(s->data); g(s.len, a[i], *p); }";
+        let p = parse(src).unwrap();
+        assert!(p.function("f").is_some());
+    }
+
+    #[test]
+    fn parses_struct_definition() {
+        let p = parse("struct pkt { int len; char data[64]; };").unwrap();
+        match &p.items[0] {
+            Item::Struct(s) => {
+                assert_eq!(s.name, "pkt");
+                assert_eq!(s.fields.len(), 2);
+            }
+            other => panic!("expected struct, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stmt_ids_are_dense_and_unique() {
+        let src = "void f() { int a = 0; if (a) { a = 1; } while (a) { a--; } }";
+        let p = parse(src).unwrap();
+        let mut ids = Vec::new();
+        struct C<'a>(&'a mut Vec<u32>);
+        impl crate::visit::Visitor for C<'_> {
+            fn visit_stmt(&mut self, s: &Stmt) {
+                self.0.push(s.id.0);
+                crate::visit::walk_stmt(self, s);
+            }
+        }
+        let mut c = C(&mut ids);
+        crate::visit::walk_program(&mut c, &p);
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "ids must be unique");
+    }
+
+    #[test]
+    fn rejects_goto() {
+        assert!(parse("void f() { goto out; }").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("int f( {").is_err());
+        assert!(parse("void f() { int ; }").is_err());
+        assert!(parse("void f() { x += ; }").is_err());
+    }
+
+    #[test]
+    fn sizeof_both_forms() {
+        let p = parse("void f() { int n = sizeof(int); int m = sizeof n; }").unwrap();
+        assert!(p.function("f").is_some());
+    }
+
+    #[test]
+    fn comma_operator_in_for_step() {
+        let p = parse("void f() { for (i = 0, j = 9; i < j; i++, j--) { g(); } }").unwrap();
+        let f = p.function("f").unwrap();
+        match &f.body.stmts[0].kind {
+            StmtKind::For { step: Some(s), .. } => {
+                assert!(matches!(s.kind, ExprKind::Comma { .. }))
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+}

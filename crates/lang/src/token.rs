@@ -1,0 +1,302 @@
+//! Lexical tokens of mini-C.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Keywords recognised by the mini-C lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Int,
+    Char,
+    Void,
+    Long,
+    Short,
+    Float,
+    Double,
+    Unsigned,
+    Signed,
+    SizeT,
+    Struct,
+    Const,
+    Static,
+    If,
+    Else,
+    For,
+    While,
+    Do,
+    Switch,
+    Case,
+    Default,
+    Break,
+    Continue,
+    Return,
+    Sizeof,
+    Goto,
+}
+
+impl Keyword {
+    /// Parses an identifier-like word into a keyword, if it is one.
+    pub fn from_word(word: &str) -> Option<Keyword> {
+        Some(match word {
+            "int" => Keyword::Int,
+            "char" => Keyword::Char,
+            "void" => Keyword::Void,
+            "long" => Keyword::Long,
+            "short" => Keyword::Short,
+            "float" => Keyword::Float,
+            "double" => Keyword::Double,
+            "unsigned" => Keyword::Unsigned,
+            "signed" => Keyword::Signed,
+            "size_t" => Keyword::SizeT,
+            "struct" => Keyword::Struct,
+            "const" => Keyword::Const,
+            "static" => Keyword::Static,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "for" => Keyword::For,
+            "while" => Keyword::While,
+            "do" => Keyword::Do,
+            "switch" => Keyword::Switch,
+            "case" => Keyword::Case,
+            "default" => Keyword::Default,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "return" => Keyword::Return,
+            "sizeof" => Keyword::Sizeof,
+            "goto" => Keyword::Goto,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling of this keyword.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::Int => "int",
+            Keyword::Char => "char",
+            Keyword::Void => "void",
+            Keyword::Long => "long",
+            Keyword::Short => "short",
+            Keyword::Float => "float",
+            Keyword::Double => "double",
+            Keyword::Unsigned => "unsigned",
+            Keyword::Signed => "signed",
+            Keyword::SizeT => "size_t",
+            Keyword::Struct => "struct",
+            Keyword::Const => "const",
+            Keyword::Static => "static",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::For => "for",
+            Keyword::While => "while",
+            Keyword::Do => "do",
+            Keyword::Switch => "switch",
+            Keyword::Case => "case",
+            Keyword::Default => "default",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::Return => "return",
+            Keyword::Sizeof => "sizeof",
+            Keyword::Goto => "goto",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    PlusPlus,
+    MinusMinus,
+}
+
+impl Punct {
+    /// The source spelling of this punctuation token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::Semi => ";",
+            Punct::Comma => ",",
+            Punct::Colon => ":",
+            Punct::Question => "?",
+            Punct::Dot => ".",
+            Punct::Arrow => "->",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Amp => "&",
+            Punct::Pipe => "|",
+            Punct::Caret => "^",
+            Punct::Tilde => "~",
+            Punct::Bang => "!",
+            Punct::Lt => "<",
+            Punct::Gt => ">",
+            Punct::Le => "<=",
+            Punct::Ge => ">=",
+            Punct::EqEq => "==",
+            Punct::Ne => "!=",
+            Punct::AmpAmp => "&&",
+            Punct::PipePipe => "||",
+            Punct::Shl => "<<",
+            Punct::Shr => ">>",
+            Punct::Eq => "=",
+            Punct::PlusEq => "+=",
+            Punct::MinusEq => "-=",
+            Punct::StarEq => "*=",
+            Punct::SlashEq => "/=",
+            Punct::PercentEq => "%=",
+            Punct::AmpEq => "&=",
+            Punct::PipeEq => "|=",
+            Punct::CaretEq => "^=",
+            Punct::ShlEq => "<<=",
+            Punct::ShrEq => ">>=",
+            Punct::PlusPlus => "++",
+            Punct::MinusMinus => "--",
+        }
+    }
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The payload of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier (variable, function, type, or label name).
+    Ident(String),
+    /// A reserved keyword.
+    Keyword(Keyword),
+    /// An integer literal, already decoded to a value.
+    IntLit(i64),
+    /// A character literal such as `'a'`, decoded to its value.
+    CharLit(i64),
+    /// A string literal with escapes decoded.
+    StrLit(String),
+    /// Punctuation or an operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// The surface text of the token, used by the gadget tokenizer.
+    pub fn surface(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => s.clone(),
+            TokenKind::Keyword(k) => k.as_str().to_string(),
+            TokenKind::IntLit(v) => v.to_string(),
+            TokenKind::CharLit(v) => format!("'{}'", char::from_u32(*v as u32).unwrap_or('?')),
+            TokenKind::StrLit(s) => format!("{:?}", s),
+            TokenKind::Punct(p) => p.as_str().to_string(),
+            TokenKind::Eof => String::new(),
+        }
+    }
+}
+
+/// A lexical token: a [`TokenKind`] plus the [`Span`] it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it appeared.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+
+    /// Whether the token is the given punctuation.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        matches!(&self.kind, TokenKind::Punct(q) if *q == p)
+    }
+
+    /// Whether the token is the given keyword.
+    pub fn is_keyword(&self, k: Keyword) -> bool {
+        matches!(&self.kind, TokenKind::Keyword(q) if *q == k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [
+            "int", "char", "void", "if", "else", "for", "while", "do", "switch", "case",
+            "default", "break", "continue", "return", "sizeof", "size_t", "struct", "unsigned",
+        ] {
+            let k = Keyword::from_word(kw).expect("keyword should parse");
+            assert_eq!(k.as_str(), kw);
+        }
+        assert!(Keyword::from_word("strncpy").is_none());
+    }
+
+    #[test]
+    fn surface_text() {
+        assert_eq!(TokenKind::Ident("x".into()).surface(), "x");
+        assert_eq!(TokenKind::IntLit(42).surface(), "42");
+        assert_eq!(TokenKind::Punct(Punct::Arrow).surface(), "->");
+        assert_eq!(TokenKind::StrLit("hi".into()).surface(), "\"hi\"");
+    }
+}

@@ -1,0 +1,274 @@
+//! AST visitors.
+//!
+//! [`Visitor`] walks immutably; each `visit_*` method defaults to walking
+//! children via the matching `walk_*` free function, so implementations
+//! override only what they need (and call `walk_*` to keep descending).
+
+use crate::ast::*;
+
+/// An immutable AST visitor.
+pub trait Visitor: Sized {
+    /// Visits a top-level item.
+    fn visit_item(&mut self, item: &Item) {
+        walk_item(self, item);
+    }
+    /// Visits a function definition.
+    fn visit_function(&mut self, f: &Function) {
+        walk_function(self, f);
+    }
+    /// Visits a block.
+    fn visit_block(&mut self, b: &Block) {
+        walk_block(self, b);
+    }
+    /// Visits a statement.
+    fn visit_stmt(&mut self, s: &Stmt) {
+        walk_stmt(self, s);
+    }
+    /// Visits a declaration.
+    fn visit_decl(&mut self, d: &Decl) {
+        walk_decl(self, d);
+    }
+    /// Visits an expression.
+    fn visit_expr(&mut self, e: &Expr) {
+        walk_expr(self, e);
+    }
+}
+
+/// Walks all items of a program.
+pub fn walk_program<V: Visitor>(v: &mut V, p: &Program) {
+    for item in &p.items {
+        v.visit_item(item);
+    }
+}
+
+/// Walks an item's children.
+pub fn walk_item<V: Visitor>(v: &mut V, item: &Item) {
+    match item {
+        Item::Function(f) => v.visit_function(f),
+        Item::Global(d) => v.visit_decl(d),
+        Item::Struct(s) => {
+            for f in &s.fields {
+                v.visit_decl(f);
+            }
+        }
+    }
+}
+
+/// Walks a function's body.
+pub fn walk_function<V: Visitor>(v: &mut V, f: &Function) {
+    v.visit_block(&f.body);
+}
+
+/// Walks a block's statements.
+pub fn walk_block<V: Visitor>(v: &mut V, b: &Block) {
+    for s in &b.stmts {
+        v.visit_stmt(s);
+    }
+}
+
+/// Walks a declaration's initializer.
+pub fn walk_decl<V: Visitor>(v: &mut V, d: &Decl) {
+    if let Some(init) = &d.init {
+        v.visit_expr(init);
+    }
+}
+
+/// Walks a statement's children.
+pub fn walk_stmt<V: Visitor>(v: &mut V, s: &Stmt) {
+    match &s.kind {
+        StmtKind::Decl(d) => v.visit_decl(d),
+        StmtKind::Expr(e) => v.visit_expr(e),
+        StmtKind::Block(b) => v.visit_block(b),
+        StmtKind::If {
+            cond,
+            then,
+            else_ifs,
+            else_block,
+        } => {
+            v.visit_expr(cond);
+            v.visit_block(then);
+            for ei in else_ifs {
+                v.visit_expr(&ei.cond);
+                v.visit_block(&ei.body);
+            }
+            if let Some(eb) = else_block {
+                v.visit_block(&eb.body);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            v.visit_expr(cond);
+            v.visit_block(body);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            v.visit_block(body);
+            v.visit_expr(cond);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(i) = init {
+                v.visit_stmt(i);
+            }
+            if let Some(c) = cond {
+                v.visit_expr(c);
+            }
+            if let Some(st) = step {
+                v.visit_expr(st);
+            }
+            v.visit_block(body);
+        }
+        StmtKind::Switch { scrutinee, cases } => {
+            v.visit_expr(scrutinee);
+            for c in cases {
+                if let CaseLabel::Case(e) = &c.label {
+                    v.visit_expr(e);
+                }
+                for s in &c.body {
+                    v.visit_stmt(s);
+                }
+            }
+        }
+        StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                v.visit_expr(e);
+            }
+        }
+    }
+}
+
+/// Walks an expression's children.
+pub fn walk_expr<V: Visitor>(v: &mut V, e: &Expr) {
+    match &e.kind {
+        ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::StrLit(_) | ExprKind::Ident(_) => {}
+        ExprKind::Unary { expr, .. } => v.visit_expr(expr),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+        ExprKind::Assign { target, value, .. } => {
+            v.visit_expr(target);
+            v.visit_expr(value);
+        }
+        ExprKind::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            v.visit_expr(cond);
+            v.visit_expr(then_expr);
+            v.visit_expr(else_expr);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        ExprKind::Index { base, index } => {
+            v.visit_expr(base);
+            v.visit_expr(index);
+        }
+        ExprKind::Member { base, .. } => v.visit_expr(base),
+        ExprKind::Cast { expr, .. } => v.visit_expr(expr),
+        ExprKind::Sizeof(arg) => {
+            if let SizeofArg::Expr(e) = arg {
+                v.visit_expr(e);
+            }
+        }
+        ExprKind::PreIncDec { expr, .. } | ExprKind::PostIncDec { expr, .. } => v.visit_expr(expr),
+        ExprKind::Comma { lhs, rhs } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+    }
+}
+
+/// Collects every identifier used in an expression (reads *and* writes).
+pub fn expr_idents(e: &Expr) -> Vec<String> {
+    struct C(Vec<String>);
+    impl Visitor for C {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let ExprKind::Ident(n) = &e.kind {
+                self.0.push(n.clone());
+            }
+            walk_expr(self, e);
+        }
+    }
+    let mut c = C(Vec::new());
+    c.visit_expr(e);
+    c.0
+}
+
+/// Collects the callee names of every call inside an expression.
+pub fn expr_calls(e: &Expr) -> Vec<String> {
+    struct C(Vec<String>);
+    impl Visitor for C {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let ExprKind::Call { callee, .. } = &e.kind {
+                self.0.push(callee.clone());
+            }
+            walk_expr(self, e);
+        }
+    }
+    let mut c = C(Vec::new());
+    c.visit_expr(e);
+    c.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn expr_idents_collects_reads_and_writes() {
+        let p = parse("void f() { a[i] = b + c->d; }").unwrap();
+        let f = p.function("f").unwrap();
+        let StmtKind::Expr(e) = &f.body.stmts[0].kind else {
+            panic!()
+        };
+        let mut ids = expr_idents(e);
+        ids.sort();
+        assert_eq!(ids, vec!["a", "b", "c", "i"]);
+    }
+
+    #[test]
+    fn expr_calls_finds_nested_callees() {
+        let p = parse("void f() { g(h(x), k()); }").unwrap();
+        let f = p.function("f").unwrap();
+        let StmtKind::Expr(e) = &f.body.stmts[0].kind else {
+            panic!()
+        };
+        let mut calls = expr_calls(e);
+        calls.sort();
+        assert_eq!(calls, vec!["g", "h", "k"]);
+    }
+
+    #[test]
+    fn visitor_reaches_all_statement_kinds() {
+        let src = r#"
+void f(int n) {
+    int i;
+    do { n--; } while (n > 0);
+    switch (n) { case 1: g(); break; default: h(); }
+    for (i = 0; i < n; i++) { if (i) { g(); } else { h(); } }
+    { n = sizeof(int); }
+    return;
+}
+"#;
+        let p = parse(src).unwrap();
+        struct C(usize);
+        impl Visitor for C {
+            fn visit_stmt(&mut self, s: &Stmt) {
+                self.0 += 1;
+                walk_stmt(self, s);
+            }
+        }
+        let mut c = C(0);
+        walk_program(&mut c, &p);
+        assert!(c.0 >= 12, "expected to count many statements, got {}", c.0);
+    }
+}

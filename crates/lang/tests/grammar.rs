@@ -1,0 +1,168 @@
+//! Grammar-coverage integration tests for the mini-C front end.
+
+use sevuldet_lang::ast::*;
+use sevuldet_lang::printer::{program_to_string, stmt_tokens};
+use sevuldet_lang::{parse, ParseError};
+
+fn parses(src: &str) -> Program {
+    parse(src).unwrap_or_else(|e: ParseError| panic!("{e}\n{src}"))
+}
+
+#[test]
+fn single_statement_control_bodies_are_wrapped() {
+    let p = parses("void f(int n) { if (n) g(); else h(); while (n) n--; for (;;) break; }");
+    let f = p.function("f").unwrap();
+    match &f.body.stmts[0].kind {
+        StmtKind::If { then, else_block, .. } => {
+            assert_eq!(then.stmts.len(), 1);
+            assert_eq!(else_block.as_ref().unwrap().body.stmts.len(), 1);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn empty_for_clauses() {
+    let p = parses("void f() { for (;;) { break; } }");
+    let f = p.function("f").unwrap();
+    match &f.body.stmts[0].kind {
+        StmtKind::For {
+            init, cond, step, ..
+        } => {
+            assert!(init.is_none());
+            assert!(cond.is_none());
+            assert!(step.is_none());
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn nested_ternary_and_logical_precedence() {
+    let p = parses("int f(int a, int b) { return a && b ? a : b || a ? 1 : 2; }");
+    let f = p.function("f").unwrap();
+    let StmtKind::Return(Some(e)) = &f.body.stmts[0].kind else {
+        panic!()
+    };
+    assert!(matches!(e.kind, ExprKind::Ternary { .. }));
+}
+
+#[test]
+fn deeply_nested_expressions_do_not_overflow() {
+    let mut expr = String::from("x");
+    for _ in 0..200 {
+        expr = format!("({expr} + 1)");
+    }
+    let src = format!("int f(int x) {{ return {expr}; }}");
+    parses(&src);
+}
+
+#[test]
+fn chained_else_if_keeps_source_lines() {
+    let src = "void f(int n) {\n  if (n == 1) {\n    a();\n  } else if (n == 2) {\n    b();\n  } else if (n == 3) {\n    c();\n  } else {\n    d();\n  }\n}";
+    let p = parses(src);
+    let f = p.function("f").unwrap();
+    let StmtKind::If { else_ifs, else_block, .. } = &f.body.stmts[0].kind else {
+        panic!()
+    };
+    assert_eq!(else_ifs.len(), 2);
+    assert_eq!(else_ifs[0].span.start.line, 4);
+    assert_eq!(else_ifs[1].span.start.line, 6);
+    assert_eq!(else_block.as_ref().unwrap().span.start.line, 8);
+}
+
+#[test]
+fn multi_dimensional_arrays() {
+    let p = parses("void f() { int grid[4][8]; grid[1][2] = 3; }");
+    let f = p.function("f").unwrap();
+    let StmtKind::Decl(d) = &f.body.stmts[0].kind else {
+        panic!()
+    };
+    assert_eq!(d.array_dims, vec![Some(4), Some(8)]);
+}
+
+#[test]
+fn comments_and_directives_everywhere() {
+    let src = r#"
+#include <string.h>
+// leading comment
+int /* inline */ f(int a /* param */) {
+    // statement comment
+    return a; /* trailing */
+}
+#define UNUSED 1
+"#;
+    let p = parses(src);
+    assert!(p.function("f").is_some());
+}
+
+#[test]
+fn printer_emits_compilable_switch() {
+    let src = "void f(int x) { switch (x) { case 1: g(); break; default: h(); } }";
+    let p = parses(src);
+    let printed = program_to_string(&p);
+    let p2 = parses(&printed);
+    let toks = |p: &Program| -> Vec<Vec<String>> {
+        p.function("f")
+            .unwrap()
+            .body
+            .stmts
+            .iter()
+            .map(stmt_tokens)
+            .collect()
+    };
+    assert_eq!(toks(&p), toks(&p2));
+}
+
+#[test]
+fn error_positions_are_meaningful() {
+    let err = parse("void f() {\n  int x = ;\n}").unwrap_err();
+    assert_eq!(err.span.start.line, 2);
+    let err = parse("void f( {").unwrap_err();
+    assert_eq!(err.span.start.line, 1);
+}
+
+#[test]
+fn sizeof_precedence_binds_tightly() {
+    let p = parses("int f(int x) { return sizeof x + 1; }");
+    let f = p.function("f").unwrap();
+    let StmtKind::Return(Some(e)) = &f.body.stmts[0].kind else {
+        panic!()
+    };
+    // sizeof x + 1 parses as (sizeof x) + 1.
+    match &e.kind {
+        ExprKind::Binary { op: BinaryOp::Add, lhs, .. } => {
+            assert!(matches!(lhs.kind, ExprKind::Sizeof(_)));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn address_of_and_deref_chains() {
+    parses("void f(int **pp, int *p, int x) { *pp = p; **pp = x; p = &x; g(&p); }");
+}
+
+#[test]
+fn hex_char_escapes_and_negative_literals() {
+    let p = parses("void f() { int a = 0x10; int b = -3; char c = '\\n'; char z = '\\0'; }");
+    let f = p.function("f").unwrap();
+    let inits: Vec<i64> = f
+        .body
+        .stmts
+        .iter()
+        .filter_map(|s| match &s.kind {
+            StmtKind::Decl(d) => d.init.as_ref().map(|e| match &e.kind {
+                ExprKind::IntLit(v) => *v,
+                ExprKind::CharLit(v) => *v,
+                ExprKind::Unary { expr, .. } => match expr.kind {
+                    ExprKind::IntLit(v) => -v,
+                    _ => 0,
+                },
+                _ => 0,
+            }),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(inits, vec![16, -3, 10, 0]);
+}

@@ -1,0 +1,624 @@
+//! The multilayer attention mechanism: token attention (Step IV) and the
+//! CBAM channel + spatial attention used during model training (Step V).
+
+use crate::param::Param;
+use crate::tensor::{sigmoid, softmax, Tensor};
+use rand::rngs::StdRng;
+
+/// Token attention (Step IV, equations 1-4).
+///
+/// For each embedded token `x_i`: `u_i = tanh(W·x_i + b)`, importance
+/// `α_i = softmax_i(u_i · u_w)` against a learned context query `u_w`, and
+/// the re-weighted embedding `x̂_i = α_i · x_i`.
+#[derive(Debug, Clone)]
+pub struct TokenAttention {
+    /// Projection `(A × D)`.
+    pub w: Param,
+    /// Projection bias `(A)`.
+    pub b: Param,
+    /// Context query `(A)` — "a fixed attention query for context
+    /// information" trained jointly.
+    pub u_w: Param,
+    cache: Option<TokenAttCache>,
+}
+
+#[derive(Debug, Clone)]
+struct TokenAttCache {
+    x: Tensor,
+    u: Tensor,     // (L × A) post-tanh
+    scores: Vec<f64>,
+    alpha: Vec<f64>,
+}
+
+impl TokenAttention {
+    /// Creates token attention over embedding dim `d` with attention dim `a`.
+    pub fn new(d: usize, a: usize, rng: &mut StdRng) -> TokenAttention {
+        TokenAttention {
+            w: Param::xavier(&[a, d], d, a, rng),
+            b: Param::zeros(&[a]),
+            u_w: Param::uniform(&[a], 0.1, rng),
+            cache: None,
+        }
+    }
+
+    /// The attention weights of the last forward pass (for Fig. 6-style
+    /// visualization).
+    pub fn last_weights(&self) -> Option<&[f64]> {
+        self.cache.as_ref().map(|c| c.alpha.as_slice())
+    }
+
+    /// Forward pass: `(L × D) → (L × D)` re-weighted embeddings.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let l = x.rows();
+        let a_dim = self.w.w.rows();
+        let mut u = Tensor::zeros(&[l, a_dim]);
+        let mut scores = vec![0.0; l];
+        for t in 0..l {
+            let mut ut = self.w.w.matvec(x.row(t));
+            for (uo, bo) in ut.iter_mut().zip(self.b.w.data()) {
+                *uo = (*uo + bo).tanh();
+            }
+            scores[t] = ut.iter().zip(self.u_w.w.data()).map(|(a, b)| a * b).sum();
+            u.row_mut(t).copy_from_slice(&ut);
+        }
+        let alpha = softmax(&scores);
+        let mut out = Tensor::zeros(x.shape());
+        for t in 0..l {
+            let xr = x.row(t);
+            let orow = out.row_mut(t);
+            for (o, &v) in orow.iter_mut().zip(xr) {
+                *o = alpha[t] * v;
+            }
+        }
+        self.cache = Some(TokenAttCache {
+            x: x.clone(),
+            u,
+            scores,
+            alpha,
+        });
+        out
+    }
+
+    /// Backward pass; returns `dx`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("forward before backward");
+        let l = cache.x.rows();
+        let d = cache.x.cols();
+        let a_dim = self.w.w.rows();
+        let _ = &cache.scores;
+
+        // dα_t = Σ_d dy[t,d]·x[t,d];  dx (direct) = dy·α.
+        let mut dalpha = vec![0.0; l];
+        let mut dx = Tensor::zeros(&[l, d]);
+        for t in 0..l {
+            let mut s = 0.0;
+            for j in 0..d {
+                s += dy.at(t, j) * cache.x.at(t, j);
+                dx.set(t, j, dy.at(t, j) * cache.alpha[t]);
+            }
+            dalpha[t] = s;
+        }
+        // Softmax backward: ds_t = α_t (dα_t − Σ_k α_k dα_k).
+        let dot: f64 = cache
+            .alpha
+            .iter()
+            .zip(&dalpha)
+            .map(|(a, g)| a * g)
+            .sum();
+        let dscore: Vec<f64> = cache
+            .alpha
+            .iter()
+            .zip(&dalpha)
+            .map(|(a, g)| a * (g - dot))
+            .collect();
+
+        // score_t = u_t · u_w with u_t = tanh(W x_t + b).
+        for t in 0..l {
+            let ut = cache.u.row(t);
+            // du_w += ds_t · u_t
+            for (g, &u) in self.u_w.g.data_mut().iter_mut().zip(ut) {
+                *g += dscore[t] * u;
+            }
+            // du_t = ds_t · u_w, through tanh: dpre = du·(1−u²)
+            for ai in 0..a_dim {
+                let dpre = dscore[t] * self.u_w.w.data()[ai] * (1.0 - ut[ai] * ut[ai]);
+                self.b.g.data_mut()[ai] += dpre;
+                for j in 0..d {
+                    self.w.g.data_mut()[ai * d + j] += dpre * cache.x.at(t, j);
+                    dx.add_at(t, j, dpre * self.w.w.data()[ai * d + j]);
+                }
+            }
+        }
+        dx
+    }
+
+    /// The layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b, &mut self.u_w]
+    }
+}
+
+/// How the CBAM channel and spatial gates combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CbamOrder {
+    /// `F'' = Ms(Mc(F)⊗F) ⊗ (Mc(F)⊗F)` — the paper's choice ("the
+    /// sequential alignment of the two modules gives better results").
+    Sequential,
+    /// Both gates computed from `F` and applied jointly:
+    /// `F'' = F ⊗ Mc(F) ⊗ Ms(F)` — the ablation arrangement.
+    Parallel,
+}
+
+/// CBAM (channel then spatial attention) adapted to `(L × C)` sequence maps
+/// — equations 5-8 of the paper. The modules run sequentially by default,
+/// which the paper observes works better than a parallel arrangement;
+/// [`Cbam::with_order`] builds the parallel ablation.
+#[derive(Debug, Clone)]
+pub struct Cbam {
+    order: CbamOrder,
+    /// Shared MLP layer 0 `(C/r × C)`.
+    pub w0: Param,
+    /// Shared MLP bias 0 `(C/r)`.
+    pub b0: Param,
+    /// Shared MLP layer 1 `(C × C/r)`.
+    pub w1: Param,
+    /// Shared MLP bias 1 `(C)`.
+    pub b1: Param,
+    /// Spatial 7-wide conv kernel `(7 × 2)` + bias.
+    pub wc: Param,
+    /// Spatial conv bias `(1)`.
+    pub bc: Param,
+    k: usize,
+    cache: Option<CbamCache>,
+}
+
+#[derive(Debug, Clone)]
+struct CbamCache {
+    f: Tensor,            // input
+    avg: Vec<f64>,        // (C)
+    mx: Vec<f64>,         // (C)
+    amx: Vec<usize>,      // argmax over L per channel
+    ha_pre: Vec<f64>,     // (C/r) pre-relu (avg path)
+    hm_pre: Vec<f64>,     // (C/r) pre-relu (max path)
+    mc: Vec<f64>,         // (C) channel gate
+    f1: Tensor,           // after channel attention
+    sa: Vec<f64>,         // (L) spatial mean
+    sm: Vec<f64>,         // (L) spatial max
+    sam: Vec<usize>,      // argmax over C per position
+    z: Vec<f64>,          // (L) conv pre-sigmoid
+    ms: Vec<f64>,         // (L) spatial gate
+}
+
+impl Cbam {
+    /// Creates a CBAM block for `c` channels with reduction ratio `r` and a
+    /// spatial kernel of width `k` (paper: 7), in sequential order.
+    pub fn new(c: usize, r: usize, k: usize, rng: &mut StdRng) -> Cbam {
+        Cbam::with_order(c, r, k, CbamOrder::Sequential, rng)
+    }
+
+    /// Creates a CBAM block with an explicit gate arrangement (the paper's
+    /// sequential-vs-parallel ablation).
+    pub fn with_order(c: usize, r: usize, k: usize, order: CbamOrder, rng: &mut StdRng) -> Cbam {
+        let h = (c / r).max(1);
+        assert!(k % 2 == 1);
+        Cbam {
+            order,
+            w0: Param::xavier(&[h, c], c, h, rng),
+            b0: Param::zeros(&[h]),
+            w1: Param::xavier(&[c, h], h, c, rng),
+            b1: Param::zeros(&[c]),
+            wc: Param::xavier(&[k, 2], 2 * k, 1, rng),
+            bc: Param::zeros(&[1]),
+            k,
+            cache: None,
+        }
+    }
+
+    /// The configured gate arrangement.
+    pub fn order(&self) -> CbamOrder {
+        self.order
+    }
+
+    /// The spatial gate of the last forward pass (per-position weights,
+    /// useful for attention visualization).
+    pub fn last_spatial_gate(&self) -> Option<&[f64]> {
+        self.cache.as_ref().map(|c| c.ms.as_slice())
+    }
+
+    fn mlp(&self, s: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let mut pre = self.w0.w.matvec(s);
+        for (p, b) in pre.iter_mut().zip(self.b0.w.data()) {
+            *p += b;
+        }
+        let h: Vec<f64> = pre.iter().map(|&v| v.max(0.0)).collect();
+        let mut o = self.w1.w.matvec(&h);
+        for (p, b) in o.iter_mut().zip(self.b1.w.data()) {
+            *p += b;
+        }
+        (pre, o)
+    }
+
+    /// Forward pass: `F → F'' = Ms(F') ⊗ F'`, `F' = Mc(F) ⊗ F`.
+    pub fn forward(&mut self, f: &Tensor) -> Tensor {
+        let (l, c) = (f.rows(), f.cols());
+        // ---- channel attention ----
+        let mut avg = vec![0.0; c];
+        let mut mx = vec![f64::NEG_INFINITY; c];
+        let mut amx = vec![0usize; c];
+        for t in 0..l {
+            for ch in 0..c {
+                let v = f.at(t, ch);
+                avg[ch] += v;
+                if v > mx[ch] {
+                    mx[ch] = v;
+                    amx[ch] = t;
+                }
+            }
+        }
+        for a in avg.iter_mut() {
+            *a /= l as f64;
+        }
+        let (ha_pre, oa) = self.mlp(&avg);
+        let (hm_pre, om) = self.mlp(&mx);
+        let mc: Vec<f64> = oa
+            .iter()
+            .zip(&om)
+            .map(|(a, m)| sigmoid(a + m))
+            .collect();
+        let mut f1 = Tensor::zeros(&[l, c]);
+        for t in 0..l {
+            for ch in 0..c {
+                f1.set(t, ch, f.at(t, ch) * mc[ch]);
+            }
+        }
+        // ---- spatial attention ----
+        // Sequential order pools the channel-gated map F'; the parallel
+        // ablation pools the raw input F.
+        let spatial_src = if self.order == CbamOrder::Sequential {
+            &f1
+        } else {
+            f
+        };
+        let mut sa = vec![0.0; l];
+        let mut sm = vec![f64::NEG_INFINITY; l];
+        let mut sam = vec![0usize; l];
+        for t in 0..l {
+            for ch in 0..c {
+                let v = spatial_src.at(t, ch);
+                sa[t] += v;
+                if v > sm[t] {
+                    sm[t] = v;
+                    sam[t] = ch;
+                }
+            }
+            sa[t] /= c as f64;
+        }
+        let pad = self.k / 2;
+        let mut z = vec![0.0; l];
+        for t in 0..l {
+            let mut acc = self.bc.w.data()[0];
+            for j in 0..self.k {
+                let src = t as isize + j as isize - pad as isize;
+                if src < 0 || src >= l as isize {
+                    continue;
+                }
+                let s = src as usize;
+                acc += self.wc.w.data()[j * 2] * sa[s] + self.wc.w.data()[j * 2 + 1] * sm[s];
+            }
+            z[t] = acc;
+        }
+        let ms: Vec<f64> = z.iter().map(|&v| sigmoid(v)).collect();
+        let mut out = Tensor::zeros(&[l, c]);
+        for t in 0..l {
+            for ch in 0..c {
+                out.set(t, ch, f1.at(t, ch) * ms[t]);
+            }
+        }
+        self.cache = Some(CbamCache {
+            f: f.clone(),
+            avg,
+            mx,
+            amx,
+            ha_pre,
+            hm_pre,
+            mc,
+            f1,
+            sa,
+            sm,
+            sam,
+            z,
+            ms,
+        });
+        out
+    }
+
+    /// Backward pass; returns `dF`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self.cache.clone().expect("forward before backward");
+        let (l, c) = (cache.f.rows(), cache.f.cols());
+        let pad = self.k / 2;
+
+        // ---- spatial attention backward ----
+        let mut dms = vec![0.0; l];
+        let mut df1 = Tensor::zeros(&[l, c]);
+        for t in 0..l {
+            for ch in 0..c {
+                dms[t] += dy.at(t, ch) * cache.f1.at(t, ch);
+                df1.set(t, ch, dy.at(t, ch) * cache.ms[t]);
+            }
+        }
+        let dz: Vec<f64> = dms
+            .iter()
+            .zip(&cache.ms)
+            .map(|(&g, &m)| g * m * (1.0 - m))
+            .collect();
+        let _ = &cache.z;
+        let mut dsa = vec![0.0; l];
+        let mut dsm = vec![0.0; l];
+        for t in 0..l {
+            if dz[t] == 0.0 {
+                continue;
+            }
+            self.bc.g.data_mut()[0] += dz[t];
+            for j in 0..self.k {
+                let src = t as isize + j as isize - pad as isize;
+                if src < 0 || src >= l as isize {
+                    continue;
+                }
+                let s = src as usize;
+                self.wc.g.data_mut()[j * 2] += dz[t] * cache.sa[s];
+                self.wc.g.data_mut()[j * 2 + 1] += dz[t] * cache.sm[s];
+                dsa[s] += dz[t] * self.wc.w.data()[j * 2];
+                dsm[s] += dz[t] * self.wc.w.data()[j * 2 + 1];
+            }
+        }
+        // The spatial pooling gradient flows into F' (sequential) or
+        // straight into F (parallel).
+        let mut df_spatial = Tensor::zeros(&[l, c]);
+        {
+            let target = if self.order == CbamOrder::Sequential {
+                &mut df1
+            } else {
+                &mut df_spatial
+            };
+            for t in 0..l {
+                for ch in 0..c {
+                    target.add_at(t, ch, dsa[t] / c as f64);
+                }
+                target.add_at(t, cache.sam[t], dsm[t]);
+            }
+        }
+
+        // ---- channel attention backward ----
+        let mut dmc = vec![0.0; c];
+        let mut df = Tensor::zeros(&[l, c]);
+        for t in 0..l {
+            for ch in 0..c {
+                dmc[ch] += df1.at(t, ch) * cache.f.at(t, ch);
+                df.set(t, ch, df1.at(t, ch) * cache.mc[ch]);
+            }
+        }
+        let dzc: Vec<f64> = dmc
+            .iter()
+            .zip(&cache.mc)
+            .map(|(&g, &m)| g * m * (1.0 - m))
+            .collect();
+        // Two shared-MLP paths (avg & max).
+        let h = self.w0.w.rows();
+        let mut davg = vec![0.0; c];
+        let mut dmx = vec![0.0; c];
+        for (path, (pre, pooled, dpool)) in [
+            (&cache.ha_pre, &cache.avg, &mut davg),
+            (&cache.hm_pre, &cache.mx, &mut dmx),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let _ = path;
+            // dO = dzc (shape C) through W1.
+            let h_act: Vec<f64> = pre.iter().map(|&v| v.max(0.0)).collect();
+            let mut dh = vec![0.0; h];
+            for co in 0..c {
+                self.b1.g.data_mut()[co] += dzc[co];
+                for hi in 0..h {
+                    self.w1.g.data_mut()[co * h + hi] += dzc[co] * h_act[hi];
+                    dh[hi] += dzc[co] * self.w1.w.data()[co * h + hi];
+                }
+            }
+            for hi in 0..h {
+                if pre[hi] <= 0.0 {
+                    continue;
+                }
+                self.b0.g.data_mut()[hi] += dh[hi];
+                for ci in 0..c {
+                    self.w0.g.data_mut()[hi * c + ci] += dh[hi] * pooled[ci];
+                    dpool[ci] += dh[hi] * self.w0.w.data()[hi * c + ci];
+                }
+            }
+        }
+        for ch in 0..c {
+            for t in 0..l {
+                df.add_at(t, ch, davg[ch] / l as f64);
+            }
+            df.add_at(cache.amx[ch], ch, dmx[ch]);
+        }
+        df.axpy(1.0, &df_spatial);
+        df
+    }
+
+    /// The block's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.w0,
+            &mut self.b0,
+            &mut self.w1,
+            &mut self.b1,
+            &mut self.wc,
+            &mut self.bc,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_param_grads;
+    use rand::SeedableRng;
+
+    fn sample_input(l: usize, c: usize, seed: u64) -> Tensor {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_vec(
+            &[l, c],
+            (0..l * c).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn token_attention_weights_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut att = TokenAttention::new(4, 4, &mut rng);
+        let x = sample_input(6, 4, 11);
+        let y = att.forward(&x);
+        assert_eq!(y.shape(), x.shape());
+        let a = att.last_weights().unwrap();
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(a.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn token_attention_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut att = TokenAttention::new(3, 3, &mut rng);
+        let x = sample_input(4, 3, 13);
+        check_param_grads(
+            &mut att,
+            |l| l.params_mut(),
+            |l| l.forward(&x).sum(),
+            |l| {
+                let y = l.forward(&x);
+                l.backward(&Tensor::full(y.shape(), 1.0));
+            },
+        );
+    }
+
+    #[test]
+    fn token_attention_input_gradient() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let att = TokenAttention::new(3, 3, &mut rng);
+        let x = sample_input(4, 3, 15);
+        let mut a = att.clone();
+        a.forward(&x);
+        let dx = a.backward(&Tensor::full(&[4, 3], 1.0));
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += 1e-5;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= 1e-5;
+            let fp = att.clone().forward(&xp).sum();
+            let fm = att.clone().forward(&xm).sum();
+            let num = (fp - fm) / 2e-5;
+            assert!(
+                (num - dx.data()[i]).abs() < 1e-5,
+                "dx[{i}]: {num} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cbam_preserves_shape_and_gates_in_unit_range() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut cbam = Cbam::new(8, 4, 7, &mut rng);
+        let x = sample_input(10, 8, 21);
+        let y = cbam.forward(&x);
+        assert_eq!(y.shape(), x.shape());
+        let gate = cbam.last_spatial_gate().unwrap();
+        assert!(gate.iter().all(|&g| (0.0..=1.0).contains(&g)));
+    }
+
+    #[test]
+    fn cbam_param_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut cbam = Cbam::new(4, 2, 3, &mut rng);
+        let x = sample_input(5, 4, 23);
+        check_param_grads(
+            &mut cbam,
+            |l| l.params_mut(),
+            |l| l.forward(&x).sum(),
+            |l| {
+                let y = l.forward(&x);
+                l.backward(&Tensor::full(y.shape(), 1.0));
+            },
+        );
+    }
+
+    #[test]
+    fn cbam_parallel_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let mut cbam = Cbam::with_order(4, 2, 3, CbamOrder::Parallel, &mut rng);
+        let x = sample_input(5, 4, 27);
+        check_param_grads(
+            &mut cbam,
+            |l| l.params_mut(),
+            |l| l.forward(&x).sum(),
+            |l| {
+                let y = l.forward(&x);
+                l.backward(&Tensor::full(y.shape(), 1.0));
+            },
+        );
+        // Input gradient too.
+        let fresh = Cbam::with_order(4, 2, 3, CbamOrder::Parallel, &mut rng);
+        let mut c = fresh.clone();
+        c.forward(&x);
+        let dx = c.backward(&Tensor::full(&[5, 4], 1.0));
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += 1e-5;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= 1e-5;
+            let fp = fresh.clone().forward(&xp).sum();
+            let fm = fresh.clone().forward(&xm).sum();
+            let num = (fp - fm) / 2e-5;
+            assert!((num - dx.data()[i]).abs() < 1e-5, "dx[{i}]");
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_orders_differ() {
+        let mut rng = StdRng::seed_from_u64(28);
+        let mut seq = Cbam::new(6, 2, 3, &mut rng);
+        let mut par = seq.clone();
+        par.order = CbamOrder::Parallel;
+        let x = sample_input(7, 6, 29);
+        let a = seq.forward(&x);
+        let b = par.forward(&x);
+        assert_ne!(a, b, "the two arrangements must gate differently");
+        assert_eq!(seq.order(), CbamOrder::Sequential);
+        assert_eq!(par.order(), CbamOrder::Parallel);
+    }
+
+    #[test]
+    fn cbam_input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let cbam = Cbam::new(4, 2, 3, &mut rng);
+        let x = sample_input(5, 4, 25);
+        let mut c = cbam.clone();
+        c.forward(&x);
+        let dx = c.backward(&Tensor::full(&[5, 4], 1.0));
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += 1e-5;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= 1e-5;
+            let fp = cbam.clone().forward(&xp).sum();
+            let fm = cbam.clone().forward(&xm).sum();
+            let num = (fp - fm) / 2e-5;
+            assert!(
+                (num - dx.data()[i]).abs() < 1e-5,
+                "dx[{i}]: {num} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+}

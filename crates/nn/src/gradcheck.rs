@@ -1,0 +1,80 @@
+//! Finite-difference gradient checking utilities, used across the layer test
+//! suites. Centered differences with `h = 1e-5` against f64 analytic grads.
+
+use crate::param::Param;
+
+const H: f64 = 1e-5;
+const TOL: f64 = 1e-5;
+
+/// Checks every parameter gradient of a layer against finite differences of
+/// a scalar loss.
+///
+/// * `params` extracts the layer's parameter list;
+/// * `loss` runs a forward pass and reduces to a scalar;
+/// * `run_backward` runs forward + backward once so analytic grads are in
+///   `Param::g`.
+///
+/// # Panics
+///
+/// Panics when any analytic gradient deviates from the numeric one by more
+/// than an absolute/relative tolerance.
+pub fn check_param_grads<L: Clone>(
+    layer: &mut L,
+    params: impl Fn(&mut L) -> Vec<&mut Param>,
+    loss: impl Fn(&mut L) -> f64,
+    run_backward: impl Fn(&mut L),
+) {
+    // Analytic gradients.
+    {
+        for p in params(layer) {
+            p.zero_grad();
+        }
+        run_backward(layer);
+    }
+    let analytic: Vec<Vec<f64>> = params(layer)
+        .into_iter()
+        .map(|p| p.g.data().to_vec())
+        .collect();
+
+    let n_params = analytic.len();
+    for pi in 0..n_params {
+        let n = analytic[pi].len();
+        for i in 0..n {
+            let mut lp = layer.clone();
+            params(&mut lp)[pi].w.data_mut()[i] += H;
+            let fp = loss(&mut lp);
+            let mut lm = layer.clone();
+            params(&mut lm)[pi].w.data_mut()[i] -= H;
+            let fm = loss(&mut lm);
+            let num = (fp - fm) / (2.0 * H);
+            let ana = analytic[pi][i];
+            let scale = 1.0f64.max(num.abs()).max(ana.abs());
+            assert!(
+                (num - ana).abs() / scale < TOL.max(1e-4),
+                "param {pi} elem {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+}
+
+/// Checks an input gradient (vector form) against finite differences.
+///
+/// # Panics
+///
+/// Panics on deviation beyond tolerance.
+pub fn check_input_grad_vec(x: &[f64], loss: impl Fn(&[f64]) -> f64, analytic: Vec<f64>) {
+    assert_eq!(x.len(), analytic.len());
+    for i in 0..x.len() {
+        let mut xp = x.to_vec();
+        xp[i] += H;
+        let mut xm = x.to_vec();
+        xm[i] -= H;
+        let num = (loss(&xp) - loss(&xm)) / (2.0 * H);
+        let ana = analytic[i];
+        let scale = 1.0f64.max(num.abs()).max(ana.abs());
+        assert!(
+            (num - ana).abs() / scale < 1e-4,
+            "input elem {i}: numeric {num} vs analytic {ana}"
+        );
+    }
+}

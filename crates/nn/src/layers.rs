@@ -1,0 +1,563 @@
+//! Basic layers: dense, ReLU, dropout, embedding, 1-D convolution, and
+//! spatial pyramid pooling. Every layer caches what its backward pass needs
+//! and accumulates parameter gradients into [`Param::g`].
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Fully-connected layer on vectors: `y = W·x + b`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight matrix `(out × in)`.
+    pub w: Param,
+    /// Bias `(out)`.
+    pub b: Param,
+    cache_x: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-initialised weights.
+    pub fn new(input: usize, output: usize, rng: &mut StdRng) -> Dense {
+        Dense {
+            w: Param::xavier(&[output, input], input, output, rng),
+            b: Param::zeros(&[output]),
+            cache_x: Vec::new(),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        self.cache_x = x.to_vec();
+        let mut y = self.w.w.matvec(x);
+        for (yo, bo) in y.iter_mut().zip(self.b.w.data()) {
+            *yo += bo;
+        }
+        y
+    }
+
+    /// Backward pass: accumulates dW/db, returns dx.
+    pub fn backward(&mut self, dy: &[f64]) -> Vec<f64> {
+        let (out, inp) = (self.w.w.rows(), self.w.w.cols());
+        assert_eq!(dy.len(), out);
+        for i in 0..out {
+            self.b.w.len(); // no-op, keep shape obvious
+            self.b.g.data_mut()[i] += dy[i];
+            let gi = dy[i];
+            let wrow = &mut self.w.g.data_mut()[i * inp..(i + 1) * inp];
+            for (gw, &x) in wrow.iter_mut().zip(&self.cache_x) {
+                *gw += gi * x;
+            }
+        }
+        let mut dx = vec![0.0; inp];
+        for i in 0..out {
+            let wrow = &self.w.w.data()[i * inp..(i + 1) * inp];
+            for (dxj, &w) in dx.iter_mut().zip(wrow) {
+                *dxj += dy[i] * w;
+            }
+        }
+        dx
+    }
+
+    /// The layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+/// Elementwise ReLU on a tensor.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Relu {
+        Relu::default()
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.mask = x.data().iter().map(|&v| v > 0.0).collect();
+        x.map(|v| v.max(0.0))
+    }
+
+    /// Backward pass.
+    pub fn backward(&self, dy: &Tensor) -> Tensor {
+        let data = dy
+            .data()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(dy.shape(), data)
+    }
+
+    /// Vector convenience forward.
+    pub fn forward_vec(&mut self, x: &[f64]) -> Vec<f64> {
+        self.mask = x.iter().map(|&v| v > 0.0).collect();
+        x.iter().map(|&v| v.max(0.0)).collect()
+    }
+
+    /// Vector convenience backward.
+    pub fn backward_vec(&self, dy: &[f64]) -> Vec<f64> {
+        dy.iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect()
+    }
+}
+
+/// Inverted dropout on vectors.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    /// Drop probability.
+    pub p: f64,
+    mask: Vec<f64>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    pub fn new(p: f64) -> Dropout {
+        assert!((0.0..1.0).contains(&p), "p must be in [0,1)");
+        Dropout { p, mask: Vec::new() }
+    }
+
+    /// Forward pass; identity when `train` is false.
+    pub fn forward(&mut self, x: &[f64], train: bool, rng: &mut StdRng) -> Vec<f64> {
+        if !train || self.p == 0.0 {
+            self.mask = vec![1.0; x.len()];
+            return x.to_vec();
+        }
+        let keep = 1.0 - self.p;
+        self.mask = x
+            .iter()
+            .map(|_| if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        x.iter().zip(&self.mask).map(|(&v, &m)| v * m).collect()
+    }
+
+    /// Backward pass.
+    pub fn backward(&self, dy: &[f64]) -> Vec<f64> {
+        dy.iter().zip(&self.mask).map(|(&g, &m)| g * m).collect()
+    }
+}
+
+/// Token-id embedding lookup: ids → `(L × D)`.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// The `(V × D)` table.
+    pub table: Param,
+    cache_ids: Vec<usize>,
+}
+
+impl Embedding {
+    /// Creates an embedding from a pre-trained `(V × D)` table (e.g.
+    /// word2vec output). The table remains trainable.
+    pub fn from_table(table: Tensor) -> Embedding {
+        let g = Tensor::zeros(table.shape());
+        Embedding {
+            table: Param { w: table, g },
+            cache_ids: Vec::new(),
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.w.cols()
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.w.rows()
+    }
+
+    /// Looks up a sequence of ids (out-of-range ids map to row 0).
+    pub fn forward(&mut self, ids: &[usize]) -> Tensor {
+        self.cache_ids = ids.to_vec();
+        let d = self.dim();
+        let mut out = Tensor::zeros(&[ids.len(), d]);
+        for (t, &id) in ids.iter().enumerate() {
+            let id = if id < self.vocab() { id } else { 0 };
+            out.row_mut(t).copy_from_slice(self.table.w.row(id));
+        }
+        out
+    }
+
+    /// Accumulates gradients for the looked-up rows.
+    pub fn backward(&mut self, d_out: &Tensor) {
+        let d = self.dim();
+        let vocab = self.vocab();
+        for (t, &id) in self.cache_ids.iter().enumerate() {
+            let id = if id < vocab { id } else { 0 };
+            let src = d_out.row(t);
+            let dst = &mut self.table.g.data_mut()[id * d..(id + 1) * d];
+            for (g, &s) in dst.iter_mut().zip(src) {
+                *g += s;
+            }
+        }
+    }
+}
+
+/// 1-D convolution over a `(L × C_in)` sequence with 'same' zero padding.
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    /// Kernel `(C_out × k × C_in)`.
+    pub w: Param,
+    /// Bias `(C_out)`.
+    pub b: Param,
+    k: usize,
+    c_in: usize,
+    c_out: usize,
+    cache_x: Tensor,
+}
+
+impl Conv1d {
+    /// Creates a convolution with kernel width `k` (must be odd for 'same'
+    /// padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is even.
+    pub fn new(c_in: usize, c_out: usize, k: usize, rng: &mut StdRng) -> Conv1d {
+        assert!(k % 2 == 1, "kernel width must be odd for same padding");
+        Conv1d {
+            w: Param::xavier(&[c_out, k * c_in], k * c_in, c_out, rng),
+            b: Param::zeros(&[c_out]),
+            k,
+            c_in,
+            c_out,
+            cache_x: Tensor::zeros(&[0, 0]),
+        }
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Forward pass: `(L × C_in) → (L × C_out)`.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols(), self.c_in);
+        self.cache_x = x.clone();
+        let l = x.rows();
+        let pad = self.k / 2;
+        let mut out = Tensor::zeros(&[l, self.c_out]);
+        for t in 0..l {
+            for co in 0..self.c_out {
+                let wrow = &self.w.w.data()[co * self.k * self.c_in..(co + 1) * self.k * self.c_in];
+                let mut acc = self.b.w.data()[co];
+                for j in 0..self.k {
+                    let src = t as isize + j as isize - pad as isize;
+                    if src < 0 || src >= l as isize {
+                        continue;
+                    }
+                    let xr = x.row(src as usize);
+                    let wr = &wrow[j * self.c_in..(j + 1) * self.c_in];
+                    for (a, b) in xr.iter().zip(wr) {
+                        acc += a * b;
+                    }
+                }
+                out.set(t, co, acc);
+            }
+        }
+        out
+    }
+
+    /// Backward pass: accumulates kernel/bias grads, returns `dx`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let l = self.cache_x.rows();
+        let pad = self.k / 2;
+        let mut dx = Tensor::zeros(&[l, self.c_in]);
+        for t in 0..l {
+            for co in 0..self.c_out {
+                let g = dy.at(t, co);
+                if g == 0.0 {
+                    continue;
+                }
+                self.b.g.data_mut()[co] += g;
+                for j in 0..self.k {
+                    let src = t as isize + j as isize - pad as isize;
+                    if src < 0 || src >= l as isize {
+                        continue;
+                    }
+                    let s = src as usize;
+                    let base = co * self.k * self.c_in + j * self.c_in;
+                    for ci in 0..self.c_in {
+                        self.w.g.data_mut()[base + ci] += g * self.cache_x.at(s, ci);
+                        dx.add_at(s, ci, g * self.w.w.data()[base + ci]);
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    /// The layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+/// Spatial pyramid pooling over a `(L × C)` map.
+///
+/// The length axis is divided into `bins` segments per level (the paper uses
+/// 4, 2, 1); each segment is max-pooled per channel and the results are
+/// concatenated into a fixed `(Σbins) × C` vector — independent of `L`, which
+/// is what frees the network from fixed-length inputs.
+#[derive(Debug, Clone)]
+pub struct Spp {
+    /// Pyramid levels (segments per level).
+    pub bins: Vec<usize>,
+    argmax: Vec<usize>,
+    in_shape: Vec<usize>,
+}
+
+impl Spp {
+    /// Creates an SPP layer with the paper's 4/2/1 pyramid.
+    pub fn paper() -> Spp {
+        Spp::new(vec![4, 2, 1])
+    }
+
+    /// Creates an SPP layer with custom levels.
+    pub fn new(bins: Vec<usize>) -> Spp {
+        assert!(!bins.is_empty());
+        Spp {
+            bins,
+            argmax: Vec::new(),
+            in_shape: Vec::new(),
+        }
+    }
+
+    /// Output length: `(Σ bins) × C`.
+    pub fn out_len(&self, channels: usize) -> usize {
+        self.bins.iter().sum::<usize>() * channels
+    }
+
+    /// Forward pass: `(L × C) → flat vector`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty input sequence.
+    pub fn forward(&mut self, x: &Tensor) -> Vec<f64> {
+        let (l, c) = (x.rows(), x.cols());
+        assert!(l > 0, "SPP needs at least one position");
+        self.in_shape = vec![l, c];
+        let total: usize = self.bins.iter().sum();
+        let mut out = vec![0.0; total * c];
+        let mut arg = vec![0usize; total * c];
+        let mut slot = 0;
+        for &b in &self.bins {
+            for seg in 0..b {
+                // Segment [start, end): ceil-split so every segment is
+                // non-empty even when L < b (segments then overlap-free by
+                // clamping, duplicating the last position when needed).
+                let start = (seg * l) / b;
+                let mut end = ((seg + 1) * l) / b;
+                if end <= start {
+                    end = (start + 1).min(l);
+                }
+                let start = start.min(l - 1);
+                for ch in 0..c {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_t = start;
+                    for t in start..end.max(start + 1) {
+                        let v = x.at(t, ch);
+                        if v > best {
+                            best = v;
+                            best_t = t;
+                        }
+                    }
+                    out[slot * c + ch] = best;
+                    arg[slot * c + ch] = best_t;
+                }
+                slot += 1;
+            }
+        }
+        self.argmax = arg;
+        out
+    }
+
+    /// Backward pass: routes gradients to the argmax positions.
+    pub fn backward(&self, dy: &[f64]) -> Tensor {
+        let (l, c) = (self.in_shape[0], self.in_shape[1]);
+        let mut dx = Tensor::zeros(&[l, c]);
+        for (i, &g) in dy.iter().enumerate() {
+            let ch = i % c;
+            let t = self.argmax[i];
+            dx.add_at(t, ch, g);
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{check_param_grads, check_input_grad_vec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_forward_known() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = Dense::new(2, 2, &mut rng);
+        d.w.w = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        d.b.w = Tensor::vector(&[0.5, -0.5]);
+        assert_eq!(d.forward(&[1., 1.]), vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut d = Dense::new(3, 2, &mut rng);
+        let x = vec![0.3, -0.7, 1.1];
+        check_param_grads(
+            &mut d,
+            |l| l.params_mut(),
+            |l| {
+                let y = l.forward(&x);
+                y.iter().sum()
+            },
+            |l| {
+                l.forward(&x);
+                l.backward(&[1.0, 1.0]);
+            },
+        );
+        check_input_grad_vec(&x, |xs| {
+            let mut d2 = d.clone();
+            d2.forward(xs).iter().sum()
+        }, {
+            let mut d2 = d.clone();
+            d2.forward(&x);
+            d2.backward(&[1.0, 1.0])
+        });
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut r = Relu::new();
+        let y = r.forward(&Tensor::vector(&[-1.0, 2.0]));
+        assert_eq!(y.data(), &[0.0, 2.0]);
+        let dx = r.backward(&Tensor::vector(&[5.0, 5.0]));
+        assert_eq!(dx.data(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity_and_train_scales() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut d = Dropout::new(0.5);
+        let x = vec![1.0; 1000];
+        let y = d.forward(&x, false, &mut rng);
+        assert_eq!(y, x);
+        let y = d.forward(&x, true, &mut rng);
+        let mean = y.iter().sum::<f64>() / 1000.0;
+        assert!((mean - 1.0).abs() < 0.15, "inverted dropout keeps scale, mean={mean}");
+        let dy = d.backward(&vec![1.0; 1000]);
+        assert_eq!(dy, d.mask);
+    }
+
+    #[test]
+    fn embedding_lookup_and_grad() {
+        let table = Tensor::from_vec(&[3, 2], vec![0., 0., 1., 2., 3., 4.]);
+        let mut e = Embedding::from_table(table);
+        let out = e.forward(&[2, 1, 2]);
+        assert_eq!(out.row(0), &[3., 4.]);
+        assert_eq!(out.row(1), &[1., 2.]);
+        let mut dy = Tensor::zeros(&[3, 2]);
+        dy.row_mut(0).copy_from_slice(&[1.0, 1.0]);
+        dy.row_mut(2).copy_from_slice(&[1.0, 1.0]);
+        e.backward(&dy);
+        assert_eq!(e.table.g.row(2), &[2.0, 2.0]);
+        assert_eq!(e.table.g.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn embedding_out_of_range_maps_to_zero_row() {
+        let table = Tensor::from_vec(&[2, 1], vec![9., 5.]);
+        let mut e = Embedding::from_table(table);
+        let out = e.forward(&[7]);
+        assert_eq!(out.row(0), &[9.0]);
+    }
+
+    #[test]
+    fn conv1d_same_padding_shape_and_known_value() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut c = Conv1d::new(1, 1, 3, &mut rng);
+        c.w.w = Tensor::from_vec(&[1, 3], vec![1.0, 1.0, 1.0]);
+        c.b.w = Tensor::vector(&[0.0]);
+        let x = Tensor::from_vec(&[4, 1], vec![1., 2., 3., 4.]);
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), &[4, 1]);
+        // moving sum with zero pads: [1+2, 1+2+3, 2+3+4, 3+4]
+        assert_eq!(y.data(), &[3., 6., 9., 7.]);
+    }
+
+    #[test]
+    fn conv1d_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = Conv1d::new(2, 3, 3, &mut rng);
+        let x = Tensor::from_vec(&[5, 2], (0..10).map(|i| (i as f64) * 0.1 - 0.4).collect());
+        check_param_grads(
+            &mut c,
+            |l| l.params_mut(),
+            |l| l.forward(&x).sum(),
+            |l| {
+                let y = l.forward(&x);
+                l.backward(&Tensor::full(y.shape(), 1.0));
+            },
+        );
+        let mut c2 = c.clone();
+        let y = c2.forward(&x);
+        let dx = c2.backward(&Tensor::full(y.shape(), 1.0));
+        // Finite-difference on input.
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += 1e-5;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= 1e-5;
+            let fp = c.clone().forward(&xp).sum();
+            let fm = c.clone().forward(&xm).sum();
+            let num = (fp - fm) / 2e-5;
+            assert!(
+                (num - dx.data()[i]).abs() < 1e-6,
+                "dx[{i}]: {num} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn spp_output_is_length_independent() {
+        let mut spp = Spp::paper();
+        for l in [1usize, 3, 7, 50, 500] {
+            let x = Tensor::from_vec(&[l, 2], (0..l * 2).map(|i| i as f64).collect());
+            let y = spp.forward(&x);
+            assert_eq!(y.len(), 7 * 2, "L={l}");
+        }
+    }
+
+    #[test]
+    fn spp_max_pools_each_segment() {
+        let mut spp = Spp::new(vec![2]);
+        let x = Tensor::from_vec(&[4, 1], vec![1., 9., 2., 3.]);
+        let y = spp.forward(&x);
+        assert_eq!(y, vec![9., 3.]);
+        let dx = spp.backward(&[1.0, 1.0]);
+        assert_eq!(dx.data(), &[0., 1., 0., 1.]);
+    }
+
+    #[test]
+    fn spp_gradient_routes_to_argmax() {
+        let mut spp = Spp::paper();
+        let x = Tensor::from_vec(&[6, 1], vec![0., 5., 1., 2., 8., 3.]);
+        let y = spp.forward(&x);
+        let dy = vec![1.0; y.len()];
+        let dx = spp.backward(&dy);
+        // Gradient mass equals output count; the global max (t=4, value 8)
+        // wins its segment at every pyramid level, so it collects at least 3.
+        assert_eq!(dx.sum(), y.len() as f64);
+        assert!(dx.at(4, 0) >= 3.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Binary cross-entropy loss on logits (numerically stable).
+
+use crate::tensor::sigmoid;
+
+/// Computes BCE-with-logits loss and its gradient w.r.t. the logit.
+///
+/// `target` is 0.0 or 1.0. Returns `(loss, dloss/dlogit)`.
+pub fn bce_with_logits(logit: f64, target: f64) -> (f64, f64) {
+    // loss = max(z,0) − z·y + ln(1 + e^(−|z|))
+    let z = logit;
+    let loss = z.max(0.0) - z * target + (1.0 + (-z.abs()).exp()).ln();
+    let grad = sigmoid(z) - target;
+    (loss, grad)
+}
+
+/// Weighted variant: scales the positive-class contribution by `pos_weight`
+/// (useful on the paper's imbalanced corpora).
+pub fn bce_with_logits_weighted(logit: f64, target: f64, pos_weight: f64) -> (f64, f64) {
+    let (l, g) = bce_with_logits(logit, target);
+    if target > 0.5 {
+        (l * pos_weight, g * pos_weight)
+    } else {
+        (l, g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_low_when_confidently_correct() {
+        let (l_good, _) = bce_with_logits(5.0, 1.0);
+        let (l_bad, _) = bce_with_logits(-5.0, 1.0);
+        assert!(l_good < 0.01);
+        assert!(l_bad > 4.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        for &(z, y) in &[(0.3, 1.0), (-2.0, 0.0), (4.0, 0.0), (-1.5, 1.0)] {
+            let (_, g) = bce_with_logits(z, y);
+            let h = 1e-6;
+            let (lp, _) = bce_with_logits(z + h, y);
+            let (lm, _) = bce_with_logits(z - h, y);
+            let num = (lp - lm) / (2.0 * h);
+            assert!((num - g).abs() < 1e-6, "z={z} y={y}: {num} vs {g}");
+        }
+    }
+
+    #[test]
+    fn stable_at_extreme_logits() {
+        let (l, g) = bce_with_logits(1000.0, 0.0);
+        assert!(l.is_finite() && g.is_finite());
+        let (l, g) = bce_with_logits(-1000.0, 1.0);
+        assert!(l.is_finite() && g.is_finite());
+    }
+
+    #[test]
+    fn pos_weight_scales_positive_class_only() {
+        let (l1, g1) = bce_with_logits(0.5, 1.0);
+        let (l2, g2) = bce_with_logits_weighted(0.5, 1.0, 3.0);
+        assert!((l2 - 3.0 * l1).abs() < 1e-12);
+        assert!((g2 - 3.0 * g1).abs() < 1e-12);
+        let (l3, _) = bce_with_logits_weighted(0.5, 0.0, 3.0);
+        let (l4, _) = bce_with_logits(0.5, 0.0);
+        assert_eq!(l3, l4);
+    }
+}

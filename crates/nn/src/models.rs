@@ -1,0 +1,454 @@
+//! The paper's networks, assembled from the layer library.
+//!
+//! * [`SevulDetCnn`] — the SEVulDet architecture (Fig. 2): token-attention
+//!   embedding → conv → CBAM → conv → **spatial pyramid pooling** → dense
+//!   256 → 64 → 1. Ablation flags reproduce the Table III variants (plain
+//!   CNN, CNN-TokenATT, CNN-MultiATT) and a fixed-length variant for the
+//!   Table II comparison.
+//! * [`RnnNet`] — bidirectional LSTM/GRU classifiers with predefined time
+//!   steps (the BLSTM/BGRU baselines; VulDeePecker ≈ BLSTM, SySeVR ≈ BGRU).
+
+use crate::attention::{Cbam, CbamOrder, TokenAttention};
+use crate::layers::{Conv1d, Dense, Dropout, Embedding, Relu, Spp};
+use crate::param::Param;
+use crate::rnn::{BiRnn, CellKind};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Common interface of all sequence classifiers in the zoo.
+pub trait SequenceClassifier {
+    /// Runs the network on a token-id sequence, returning the logit.
+    fn forward_logit(&mut self, ids: &[usize], train: bool, rng: &mut StdRng) -> f64;
+    /// Backpropagates a gradient on the logit.
+    fn backward(&mut self, dlogit: f64);
+    /// All trainable parameters, in a stable order.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+    /// Per-input-token attention weights of the last forward pass, if the
+    /// architecture exposes them (Fig. 6 visualization).
+    fn token_weights(&self) -> Option<Vec<f64>> {
+        None
+    }
+}
+
+/// Configuration of [`SevulDetCnn`].
+#[derive(Debug, Clone)]
+pub struct CnnConfig {
+    /// Convolution channels (both layers).
+    pub channels: usize,
+    /// Convolution kernel width.
+    pub kernel: usize,
+    /// Enable token attention (Step IV).
+    pub token_attention: bool,
+    /// Enable CBAM channel+spatial attention (Step V).
+    pub cbam: bool,
+    /// CBAM reduction ratio.
+    pub cbam_reduction: usize,
+    /// CBAM spatial kernel width (paper: 7).
+    pub cbam_kernel: usize,
+    /// CBAM gate arrangement (the paper finds sequential better).
+    pub cbam_order: CbamOrder,
+    /// SPP pyramid levels (paper: 4/2/1).
+    pub spp_bins: Vec<usize>,
+    /// When set, inputs are truncated/zero-padded to this many tokens before
+    /// the network — the fixed-length ablation. `None` = flexible length.
+    pub fixed_len: Option<usize>,
+    /// Dropout probability before the first dense layer.
+    pub dropout: f64,
+}
+
+impl Default for CnnConfig {
+    fn default() -> Self {
+        CnnConfig {
+            channels: 32,
+            kernel: 3,
+            token_attention: true,
+            cbam: true,
+            cbam_reduction: 4,
+            cbam_kernel: 7,
+            cbam_order: CbamOrder::Sequential,
+            spp_bins: vec![4, 2, 1],
+            fixed_len: None,
+            dropout: 0.2,
+        }
+    }
+}
+
+impl CnnConfig {
+    /// The Table III "CNN" ablation: no attention at all.
+    pub fn plain() -> Self {
+        CnnConfig {
+            token_attention: false,
+            cbam: false,
+            ..CnnConfig::default()
+        }
+    }
+
+    /// The Table III "CNN-TokenATT" ablation: token attention only.
+    pub fn token_att_only() -> Self {
+        CnnConfig {
+            token_attention: true,
+            cbam: false,
+            ..CnnConfig::default()
+        }
+    }
+}
+
+/// The SEVulDet network (Fig. 2, steps IV-V).
+#[derive(Debug, Clone)]
+pub struct SevulDetCnn {
+    config: CnnConfig,
+    emb: Embedding,
+    tok_att: Option<TokenAttention>,
+    conv1: Conv1d,
+    relu1: Relu,
+    cbam: Option<Cbam>,
+    conv2: Conv1d,
+    relu2: Relu,
+    spp: Spp,
+    fc1: Dense,
+    relu_fc: Relu,
+    drop: Dropout,
+    fc2: Dense,
+    relu_fc2: Relu,
+    fc3: Dense,
+    cache_padded: Vec<usize>,
+}
+
+impl SevulDetCnn {
+    /// Builds the network on top of a pre-trained `(V × D)` embedding table.
+    pub fn new(table: Tensor, config: CnnConfig, rng: &mut StdRng) -> SevulDetCnn {
+        let d = table.cols();
+        let c = config.channels;
+        let spp = Spp::new(config.spp_bins.clone());
+        let pooled = spp.out_len(c);
+        SevulDetCnn {
+            emb: Embedding::from_table(table),
+            tok_att: config
+                .token_attention
+                .then(|| TokenAttention::new(d, d, rng)),
+            conv1: Conv1d::new(d, c, config.kernel, rng),
+            relu1: Relu::new(),
+            cbam: config
+                .cbam
+                .then(|| {
+                    Cbam::with_order(
+                        c,
+                        config.cbam_reduction,
+                        config.cbam_kernel,
+                        config.cbam_order,
+                        rng,
+                    )
+                }),
+            conv2: Conv1d::new(c, c, config.kernel, rng),
+            relu2: Relu::new(),
+            spp,
+            fc1: Dense::new(pooled, 256, rng),
+            relu_fc: Relu::new(),
+            drop: Dropout::new(config.dropout),
+            fc2: Dense::new(256, 64, rng),
+            relu_fc2: Relu::new(),
+            fc3: Dense::new(64, 1, rng),
+            cache_padded: Vec::new(),
+            config,
+        }
+    }
+
+    fn prepare_ids(&self, ids: &[usize]) -> Vec<usize> {
+        match self.config.fixed_len {
+            Some(l) => {
+                let mut v: Vec<usize> = ids.iter().copied().take(l).collect();
+                v.resize(l, 0);
+                v
+            }
+            None => {
+                if ids.is_empty() {
+                    vec![0]
+                } else {
+                    ids.to_vec()
+                }
+            }
+        }
+    }
+}
+
+impl SequenceClassifier for SevulDetCnn {
+    fn forward_logit(&mut self, ids: &[usize], train: bool, rng: &mut StdRng) -> f64 {
+        let ids = self.prepare_ids(ids);
+        self.cache_padded = ids.clone();
+        let x = self.emb.forward(&ids);
+        let x = match &mut self.tok_att {
+            Some(att) => att.forward(&x),
+            None => x,
+        };
+        let x = self.relu1.forward(&self.conv1.forward(&x));
+        let x = match &mut self.cbam {
+            Some(cbam) => cbam.forward(&x),
+            None => x,
+        };
+        let x = self.relu2.forward(&self.conv2.forward(&x));
+        let v = self.spp.forward(&x);
+        let v = self.relu_fc.forward_vec(&self.fc1.forward(&v));
+        let v = self.drop.forward(&v, train, rng);
+        let v = self.relu_fc2.forward_vec(&self.fc2.forward(&v));
+        self.fc3.forward(&v)[0]
+    }
+
+    fn backward(&mut self, dlogit: f64) {
+        let dv = self.fc3.backward(&[dlogit]);
+        let dv = self.relu_fc2.backward_vec(&dv);
+        let dv = self.fc2.backward(&dv);
+        let dv = self.drop.backward(&dv);
+        let dv = self.relu_fc.backward_vec(&dv);
+        let dv = self.fc1.backward(&dv);
+        let dx = self.spp.backward(&dv);
+        let dx = self.relu2.backward(&dx);
+        let dx = self.conv2.backward(&dx);
+        let dx = match &mut self.cbam {
+            Some(cbam) => cbam.backward(&dx),
+            None => dx,
+        };
+        let dx = self.relu1.backward(&dx);
+        let dx = self.conv1.backward(&dx);
+        let dx = match &mut self.tok_att {
+            Some(att) => att.backward(&dx),
+            None => dx,
+        };
+        self.emb.backward(&dx);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v: Vec<&mut Param> = vec![&mut self.emb.table];
+        if let Some(att) = &mut self.tok_att {
+            v.extend(att.params_mut());
+        }
+        v.extend(self.conv1.params_mut());
+        if let Some(cbam) = &mut self.cbam {
+            v.extend(cbam.params_mut());
+        }
+        v.extend(self.conv2.params_mut());
+        v.extend(self.fc1.params_mut());
+        v.extend(self.fc2.params_mut());
+        v.extend(self.fc3.params_mut());
+        v
+    }
+
+    fn token_weights(&self) -> Option<Vec<f64>> {
+        self.tok_att
+            .as_ref()
+            .and_then(|a| a.last_weights())
+            .map(<[f64]>::to_vec)
+    }
+}
+
+/// A bidirectional RNN classifier with predefined time steps (Definition 8's
+/// fixed-length truncation/padding happens inside `forward_logit`).
+#[derive(Debug, Clone)]
+pub struct RnnNet {
+    emb: Embedding,
+    rnn: BiRnn,
+    fc1: Dense,
+    relu: Relu,
+    drop: Dropout,
+    fc2: Dense,
+    /// Predefined time steps τ.
+    pub time_steps: usize,
+}
+
+impl RnnNet {
+    /// Builds a BLSTM/BGRU classifier over a pre-trained embedding table.
+    pub fn new(
+        table: Tensor,
+        kind: CellKind,
+        hidden: usize,
+        time_steps: usize,
+        dropout: f64,
+        rng: &mut StdRng,
+    ) -> RnnNet {
+        let d = table.cols();
+        RnnNet {
+            emb: Embedding::from_table(table),
+            rnn: BiRnn::new(kind, d, hidden, rng),
+            fc1: Dense::new(2 * hidden, 64, rng),
+            relu: Relu::new(),
+            drop: Dropout::new(dropout),
+            fc2: Dense::new(64, 1, rng),
+            time_steps,
+        }
+    }
+}
+
+impl SequenceClassifier for RnnNet {
+    fn forward_logit(&mut self, ids: &[usize], train: bool, rng: &mut StdRng) -> f64 {
+        // Fixed time steps à la Definition 8: truncate at τ. Short inputs
+        // are *masked* rather than zero-padded (running the cells over
+        // hundreds of pad embeddings would corrupt the final state — Keras
+        // masking semantics).
+        let mut padded: Vec<usize> = ids.iter().copied().take(self.time_steps).collect();
+        if padded.is_empty() {
+            padded.push(0);
+        }
+        let x = self.emb.forward(&padded);
+        let h = self.rnn.forward(&x);
+        let v = self.relu.forward_vec(&self.fc1.forward(&h));
+        let v = self.drop.forward(&v, train, rng);
+        self.fc2.forward(&v)[0]
+    }
+
+    fn backward(&mut self, dlogit: f64) {
+        let dv = self.fc2.backward(&[dlogit]);
+        let dv = self.drop.backward(&dv);
+        let dv = self.relu.backward_vec(&dv);
+        let dh = self.fc1.backward(&dv);
+        let dx = self.rnn.backward(&dh);
+        self.emb.backward(&dx);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v: Vec<&mut Param> = vec![&mut self.emb.table];
+        v.extend(self.rnn.params_mut());
+        v.extend(self.fc1.params_mut());
+        v.extend(self.fc2.params_mut());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::bce_with_logits;
+    use crate::optim::Adam;
+    use rand::{Rng, SeedableRng};
+
+    fn table(v: usize, d: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_vec(&[v, d], (0..v * d).map(|_| rng.gen_range(-0.5..0.5)).collect())
+    }
+
+    /// A tiny synthetic task: sequences containing token 5 adjacent to token
+    /// 6 are positive. Checks a model can learn it.
+    fn learnable<M: SequenceClassifier>(model: &mut M, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut opt = Adam::new(0.01);
+        let gen = |rng: &mut StdRng| {
+            let pos = rng.gen_bool(0.5);
+            let len = rng.gen_range(4..12);
+            let mut ids: Vec<usize> = (0..len).map(|_| rng.gen_range(1..5)).collect();
+            if pos {
+                let at = rng.gen_range(0..len - 1);
+                ids[at] = 5;
+                ids[at + 1] = 6;
+            }
+            (ids, pos)
+        };
+        for _ in 0..300 {
+            let (ids, pos) = gen(&mut rng);
+            let logit = model.forward_logit(&ids, true, &mut rng);
+            let (_, dl) = bce_with_logits(logit, if pos { 1.0 } else { 0.0 });
+            model.backward(dl);
+            opt.step(&mut model.params_mut());
+        }
+        let mut correct = 0;
+        for _ in 0..100 {
+            let (ids, pos) = gen(&mut rng);
+            let logit = model.forward_logit(&ids, false, &mut rng);
+            if (logit > 0.0) == pos {
+                correct += 1;
+            }
+        }
+        correct as f64 / 100.0
+    }
+
+    #[test]
+    fn sevuldet_cnn_learns_adjacent_pattern() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let cfg = CnnConfig {
+            channels: 8,
+            ..CnnConfig::default()
+        };
+        let mut m = SevulDetCnn::new(table(8, 8, 51), cfg, &mut rng);
+        let acc = learnable(&mut m, 52);
+        assert!(acc >= 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn plain_cnn_learns_too() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let cfg = CnnConfig {
+            channels: 8,
+            ..CnnConfig::plain()
+        };
+        let mut m = SevulDetCnn::new(table(8, 8, 54), cfg, &mut rng);
+        let acc = learnable(&mut m, 55);
+        assert!(acc >= 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn blstm_learns_adjacent_pattern() {
+        let mut rng = StdRng::seed_from_u64(56);
+        let mut m = RnnNet::new(table(8, 8, 57), CellKind::Lstm, 12, 16, 0.0, &mut rng);
+        let acc = learnable(&mut m, 58);
+        assert!(acc >= 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn bgru_learns_adjacent_pattern() {
+        let mut rng = StdRng::seed_from_u64(59);
+        let mut m = RnnNet::new(table(8, 8, 60), CellKind::Gru, 12, 16, 0.0, &mut rng);
+        let acc = learnable(&mut m, 61);
+        assert!(acc >= 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn cnn_handles_variable_and_extreme_lengths() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut m = SevulDetCnn::new(table(8, 6, 63), CnnConfig::default(), &mut rng);
+        for len in [1usize, 2, 7, 100, 700] {
+            let ids: Vec<usize> = (0..len).map(|i| i % 8).collect();
+            let logit = m.forward_logit(&ids, false, &mut rng);
+            assert!(logit.is_finite(), "len={len}");
+        }
+        // Empty input is padded to one token rather than panicking.
+        assert!(m.forward_logit(&[], false, &mut rng).is_finite());
+    }
+
+    #[test]
+    fn fixed_len_variant_truncates() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let cfg = CnnConfig {
+            fixed_len: Some(4),
+            token_attention: true,
+            ..CnnConfig::default()
+        };
+        let mut m = SevulDetCnn::new(table(8, 6, 65), cfg, &mut rng);
+        let _ = m.forward_logit(&[1, 2, 3, 4, 5, 6, 7], false, &mut rng);
+        assert_eq!(m.token_weights().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn token_weights_exposed_only_with_attention() {
+        let mut rng = StdRng::seed_from_u64(66);
+        let mut m = SevulDetCnn::new(table(8, 6, 67), CnnConfig::plain(), &mut rng);
+        let _ = m.forward_logit(&[1, 2], false, &mut rng);
+        assert!(m.token_weights().is_none());
+        let mut m = SevulDetCnn::new(table(8, 6, 68), CnnConfig::default(), &mut rng);
+        let _ = m.forward_logit(&[1, 2], false, &mut rng);
+        assert_eq!(m.token_weights().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn whole_model_gradient_direction_reduces_loss() {
+        // One SGD step on a single example must reduce that example's loss.
+        let mut rng = StdRng::seed_from_u64(69);
+        let mut m = SevulDetCnn::new(table(8, 6, 70), CnnConfig::default(), &mut rng);
+        let ids = [1usize, 5, 6, 2, 3];
+        let logit0 = m.forward_logit(&ids, false, &mut rng);
+        let (loss0, dl) = bce_with_logits(logit0, 1.0);
+        m.forward_logit(&ids, false, &mut rng);
+        m.backward(dl);
+        let mut opt = crate::optim::Sgd::new(0.05, 0.0);
+        opt.step(&mut m.params_mut());
+        let logit1 = m.forward_logit(&ids, false, &mut rng);
+        let (loss1, _) = bce_with_logits(logit1, 1.0);
+        assert!(loss1 < loss0, "{loss1} !< {loss0}");
+    }
+}

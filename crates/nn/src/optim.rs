@@ -1,0 +1,151 @@
+//! Optimizers: SGD (with momentum) and Adam.
+//!
+//! Optimizer state is keyed by position in the parameter list, so callers
+//! must pass parameters in a stable order (every model's `params_mut` does).
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f64,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f64, momentum: f64) -> Sgd {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update step and clears gradients.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.w.shape())).collect();
+        }
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            if self.momentum > 0.0 {
+                for i in 0..v.len() {
+                    let g = p.g.data()[i];
+                    v.data_mut()[i] = self.momentum * v.data()[i] + g;
+                    p.w.data_mut()[i] -= self.lr * v.data()[i];
+                }
+            } else {
+                let lr = self.lr;
+                let g = p.g.clone();
+                p.w.axpy(-lr, &g);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Stability epsilon.
+    pub eps: f64,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas.
+    pub fn new(lr: f64) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies one update step and clears gradients.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.w.shape())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.w.shape())).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            for i in 0..p.w.len() {
+                let g = p.g.data()[i];
+                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * g * g;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                p.w.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimises f(w) = (w-3)² with each optimizer.
+    fn quadratic_descent(mut update: impl FnMut(&mut Param, usize)) -> f64 {
+        let mut p = Param::zeros(&[1]);
+        for step in 0..200 {
+            let w = p.w.data()[0];
+            p.g.data_mut()[0] = 2.0 * (w - 3.0);
+            update(&mut p, step);
+        }
+        p.w.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let w = quadratic_descent(|p, _| opt.step(&mut [p]));
+        assert!((w - 3.0).abs() < 1e-6, "w={w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        let w = quadratic_descent(|p, _| opt.step(&mut [p]));
+        assert!((w - 3.0).abs() < 1e-3, "w={w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let w = quadratic_descent(|p, _| opt.step(&mut [p]));
+        assert!((w - 3.0).abs() < 0.05, "w={w}");
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut p = Param::zeros(&[2]);
+        p.g.data_mut()[0] = 1.0;
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.g.data(), &[0.0, 0.0]);
+    }
+}

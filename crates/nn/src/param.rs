@@ -1,0 +1,76 @@
+//! Trainable parameters and initialization.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A trainable parameter: value plus accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub w: Tensor,
+    /// Accumulated gradient (same shape).
+    pub g: Tensor,
+}
+
+impl Param {
+    /// A parameter of zeros.
+    pub fn zeros(shape: &[usize]) -> Param {
+        Param {
+            w: Tensor::zeros(shape),
+            g: Tensor::zeros(shape),
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialization for a parameter with the given
+    /// fan-in/fan-out.
+    pub fn xavier(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Param {
+        let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+        let data = (0..shape.iter().product::<usize>())
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Param {
+            w: Tensor::from_vec(shape, data),
+            g: Tensor::zeros(shape),
+        }
+    }
+
+    /// Uniform initialization in `[-bound, bound]`.
+    pub fn uniform(shape: &[usize], bound: f64, rng: &mut StdRng) -> Param {
+        let data = (0..shape.iter().product::<usize>())
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Param {
+            w: Tensor::from_vec(shape, data),
+            g: Tensor::zeros(shape),
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.g.fill_zero();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Param::xavier(&[10, 10], 10, 10, &mut rng);
+        let bound = (6.0f64 / 20.0).sqrt();
+        assert!(p.w.data().iter().all(|x| x.abs() <= bound));
+        assert!(p.g.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::zeros(&[2, 2]);
+        p.g.data_mut()[0] = 3.0;
+        p.zero_grad();
+        assert_eq!(p.g.data(), &[0.0; 4]);
+    }
+}

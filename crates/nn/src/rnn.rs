@@ -1,0 +1,431 @@
+//! Recurrent baselines: LSTM and GRU cells with BPTT, plus a bidirectional
+//! sequence encoder. These power the BLSTM/BGRU comparison networks of
+//! Tables II and V (VulDeePecker uses a BLSTM; SySeVR's best model is a
+//! BGRU). Both consume *fixed-length* token windows — the very limitation
+//! SPP removes.
+
+use crate::param::Param;
+use crate::tensor::{sigmoid, Tensor};
+use rand::rngs::StdRng;
+
+/// Which recurrent cell a sequence encoder uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellKind {
+    /// Long short-term memory.
+    Lstm,
+    /// Gated recurrent unit.
+    Gru,
+}
+
+/// One directional recurrent encoder (LSTM or GRU).
+#[derive(Debug, Clone)]
+pub struct Rnn {
+    kind: CellKind,
+    /// Input-to-gates weights `(G·H × D)` (G = 4 for LSTM, 3 for GRU).
+    pub wx: Param,
+    /// Hidden-to-gates weights `(G·H × H)`.
+    pub wh: Param,
+    /// Gate biases `(G·H)`.
+    pub b: Param,
+    h: usize,
+    d: usize,
+    cache: Vec<StepCache>,
+}
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>, // LSTM only
+    gates: Vec<f64>,  // post-activation gates, layout by kind
+    c: Vec<f64>,      // LSTM cell state
+}
+
+impl Rnn {
+    /// Creates a recurrent encoder with input dim `d` and hidden dim `h`.
+    pub fn new(kind: CellKind, d: usize, h: usize, rng: &mut StdRng) -> Rnn {
+        let g = match kind {
+            CellKind::Lstm => 4,
+            CellKind::Gru => 3,
+        };
+        let mut b = Param::zeros(&[g * h]);
+        if kind == CellKind::Lstm {
+            // Forget-gate bias init to 1 (standard trick for gradient flow).
+            for i in h..2 * h {
+                b.w.data_mut()[i] = 1.0;
+            }
+        }
+        Rnn {
+            kind,
+            wx: Param::xavier(&[g * h, d], d, h, rng),
+            wh: Param::xavier(&[g * h, h], h, h, rng),
+            b,
+            h,
+            d,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Hidden dimension.
+    pub fn hidden(&self) -> usize {
+        self.h
+    }
+
+    /// Runs the sequence, returning the final hidden state.
+    pub fn forward(&mut self, xs: &Tensor) -> Vec<f64> {
+        assert_eq!(xs.cols(), self.d);
+        self.cache.clear();
+        let mut h_prev = vec![0.0; self.h];
+        let mut c_prev = vec![0.0; self.h];
+        for t in 0..xs.rows() {
+            let x = xs.row(t).to_vec();
+            let (h_new, c_new, gates) = self.step(&x, &h_prev, &c_prev);
+            self.cache.push(StepCache {
+                x,
+                h_prev: h_prev.clone(),
+                c_prev: c_prev.clone(),
+                gates,
+                c: c_new.clone(),
+            });
+            h_prev = h_new;
+            c_prev = c_new;
+        }
+        h_prev
+    }
+
+    fn step(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let h = self.h;
+        match self.kind {
+            CellKind::Lstm => {
+                // pre = Wx·x + Wh·h_prev + b, gate order [i, f, g, o].
+                let mut pre = self.wx.w.matvec(x);
+                let hp = self.wh.w.matvec(h_prev);
+                for i in 0..4 * h {
+                    pre[i] += hp[i] + self.b.w.data()[i];
+                }
+                let mut gates = vec![0.0; 4 * h];
+                for i in 0..h {
+                    gates[i] = sigmoid(pre[i]); // i
+                    gates[h + i] = sigmoid(pre[h + i]); // f
+                    gates[2 * h + i] = pre[2 * h + i].tanh(); // g
+                    gates[3 * h + i] = sigmoid(pre[3 * h + i]); // o
+                }
+                let mut c = vec![0.0; h];
+                let mut hn = vec![0.0; h];
+                for i in 0..h {
+                    c[i] = gates[h + i] * c_prev[i] + gates[i] * gates[2 * h + i];
+                    hn[i] = gates[3 * h + i] * c[i].tanh();
+                }
+                (hn, c, gates)
+            }
+            CellKind::Gru => {
+                // Gate order [z, r, n]; n uses r∘h_prev.
+                let px = self.wx.w.matvec(x);
+                let ph = self.wh.w.matvec(h_prev);
+                let mut gates = vec![0.0; 3 * h];
+                for i in 0..h {
+                    gates[i] = sigmoid(px[i] + ph[i] + self.b.w.data()[i]); // z
+                    gates[h + i] = sigmoid(px[h + i] + ph[h + i] + self.b.w.data()[h + i]);
+                    // r
+                }
+                let mut hn = vec![0.0; h];
+                for i in 0..h {
+                    let n_pre =
+                        px[2 * h + i] + gates[h + i] * ph[2 * h + i] + self.b.w.data()[2 * h + i];
+                    let n = n_pre.tanh();
+                    gates[2 * h + i] = n;
+                    hn[i] = (1.0 - gates[i]) * n + gates[i] * h_prev[i];
+                }
+                (hn, vec![0.0; h], gates)
+            }
+        }
+    }
+
+    /// BPTT from a gradient on the *final* hidden state. Accumulates
+    /// parameter gradients; returns per-step input gradients `(L × D)`.
+    pub fn backward(&mut self, dh_last: &[f64]) -> Tensor {
+        let steps = self.cache.len();
+        let h = self.h;
+        let d = self.d;
+        let mut dxs = Tensor::zeros(&[steps, d]);
+        let mut dh = dh_last.to_vec();
+        let mut dc = vec![0.0; h];
+        for t in (0..steps).rev() {
+            let sc = self.cache[t].clone();
+            let mut dx = vec![0.0; d];
+            let mut dh_prev = vec![0.0; h];
+            match self.kind {
+                CellKind::Lstm => {
+                    let mut dpre = vec![0.0; 4 * h];
+                    for i in 0..h {
+                        let o = sc.gates[3 * h + i];
+                        let tc = sc.c[i].tanh();
+                        let dci = dc[i] + dh[i] * o * (1.0 - tc * tc);
+                        let di = dci * sc.gates[2 * h + i];
+                        let df = dci * sc.c_prev[i];
+                        let dg = dci * sc.gates[i];
+                        let do_ = dh[i] * tc;
+                        dpre[i] = di * sc.gates[i] * (1.0 - sc.gates[i]);
+                        dpre[h + i] = df * sc.gates[h + i] * (1.0 - sc.gates[h + i]);
+                        dpre[2 * h + i] =
+                            dg * (1.0 - sc.gates[2 * h + i] * sc.gates[2 * h + i]);
+                        dpre[3 * h + i] = do_ * o * (1.0 - o);
+                        dc[i] = dci * sc.gates[h + i];
+                    }
+                    self.accumulate(&dpre, &sc, &mut dx, &mut dh_prev);
+                }
+                CellKind::Gru => {
+                    // Forward convention (PyTorch-style, r gates per output
+                    // unit): n_pre_i = px_i + r_i·ph_i + b_i.
+                    let ph = self.wh.w.matvec(&sc.h_prev);
+                    let mut dpre = vec![0.0; 3 * h]; // z_pre, r_pre, n_pre
+                    let mut dpre_n_h = vec![0.0; h]; // n_pre scaled by r (Wh path)
+                    for i in 0..h {
+                        let z = sc.gates[i];
+                        let r = sc.gates[h + i];
+                        let n = sc.gates[2 * h + i];
+                        let dz = dh[i] * (sc.h_prev[i] - n);
+                        let dn = dh[i] * (1.0 - z);
+                        dh_prev[i] += dh[i] * z;
+                        let dn_pre = dn * (1.0 - n * n);
+                        let dr = dn_pre * ph[2 * h + i];
+                        dpre[i] = dz * z * (1.0 - z);
+                        dpre[h + i] = dr * r * (1.0 - r);
+                        dpre[2 * h + i] = dn_pre;
+                        dpre_n_h[i] = dn_pre * r;
+                    }
+                    for gi in 0..3 * h {
+                        let g = dpre[gi];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.b.g.data_mut()[gi] += g;
+                        for j in 0..d {
+                            self.wx.g.data_mut()[gi * d + j] += g * sc.x[j];
+                            dx[j] += g * self.wx.w.data()[gi * d + j];
+                        }
+                        // Wh path: n-rows use the r-scaled gradient.
+                        let gh = if gi >= 2 * h { dpre_n_h[gi - 2 * h] } else { g };
+                        for j in 0..h {
+                            self.wh.g.data_mut()[gi * h + j] += gh * sc.h_prev[j];
+                            dh_prev[j] += gh * self.wh.w.data()[gi * h + j];
+                        }
+                    }
+                }
+            }
+            dxs.row_mut(t).copy_from_slice(&dx);
+            dh = dh_prev;
+            if self.kind == CellKind::Gru {
+                dc = vec![0.0; h];
+            }
+        }
+        dxs
+    }
+
+    /// Shared accumulation for LSTM (linear pre-activations).
+    fn accumulate(&mut self, dpre: &[f64], sc: &StepCache, dx: &mut [f64], dh_prev: &mut [f64]) {
+        let d = self.d;
+        let h = self.h;
+        for gi in 0..dpre.len() {
+            let g = dpre[gi];
+            if g == 0.0 {
+                continue;
+            }
+            self.b.g.data_mut()[gi] += g;
+            for j in 0..d {
+                self.wx.g.data_mut()[gi * d + j] += g * sc.x[j];
+                dx[j] += g * self.wx.w.data()[gi * d + j];
+            }
+            for j in 0..h {
+                self.wh.g.data_mut()[gi * h + j] += g * sc.h_prev[j];
+                dh_prev[j] += g * self.wh.w.data()[gi * h + j];
+            }
+        }
+    }
+
+    /// The encoder's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+}
+
+/// A bidirectional encoder: one forward and one backward [`Rnn`]; output is
+/// the concatenation of both final hidden states (`2H`).
+#[derive(Debug, Clone)]
+pub struct BiRnn {
+    /// Forward-direction cell.
+    pub fwd: Rnn,
+    /// Backward-direction cell.
+    pub bwd: Rnn,
+}
+
+impl BiRnn {
+    /// Creates a bidirectional encoder.
+    pub fn new(kind: CellKind, d: usize, h: usize, rng: &mut StdRng) -> BiRnn {
+        BiRnn {
+            fwd: Rnn::new(kind, d, h, rng),
+            bwd: Rnn::new(kind, d, h, rng),
+        }
+    }
+
+    /// Output dimension (`2H`).
+    pub fn out_dim(&self) -> usize {
+        2 * self.fwd.hidden()
+    }
+
+    /// Encodes a `(L × D)` sequence into a `2H` vector.
+    pub fn forward(&mut self, xs: &Tensor) -> Vec<f64> {
+        let mut out = self.fwd.forward(xs);
+        let rev = reverse_rows(xs);
+        out.extend(self.bwd.forward(&rev));
+        out
+    }
+
+    /// BPTT; returns the input gradient `(L × D)`.
+    pub fn backward(&mut self, dout: &[f64]) -> Tensor {
+        let h = self.fwd.hidden();
+        let dxf = self.fwd.backward(&dout[..h]);
+        let dxb = self.bwd.backward(&dout[h..]);
+        let dxb = reverse_rows(&dxb);
+        dxf.add(&dxb)
+    }
+
+    /// The encoder's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = self.fwd.params_mut();
+        v.extend(self.bwd.params_mut());
+        v
+    }
+}
+
+fn reverse_rows(x: &Tensor) -> Tensor {
+    let (l, d) = (x.rows(), x.cols());
+    let mut out = Tensor::zeros(&[l, d]);
+    for t in 0..l {
+        out.row_mut(t).copy_from_slice(x.row(l - 1 - t));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_param_grads;
+    use rand::{Rng, SeedableRng};
+
+    fn sample(l: usize, d: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_vec(&[l, d], (0..l * d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    #[test]
+    fn lstm_final_state_changes_with_input() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut r = Rnn::new(CellKind::Lstm, 3, 4, &mut rng);
+        let a = r.forward(&sample(5, 3, 1));
+        let b = r.forward(&sample(5, 3, 2));
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn lstm_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut r = Rnn::new(CellKind::Lstm, 2, 3, &mut rng);
+        let xs = sample(4, 2, 33);
+        check_param_grads(
+            &mut r,
+            |l| l.params_mut(),
+            |l| l.forward(&xs).iter().sum(),
+            |l| {
+                let h = l.forward(&xs);
+                l.backward(&vec![1.0; h.len()]);
+            },
+        );
+    }
+
+    #[test]
+    fn lstm_input_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let r = Rnn::new(CellKind::Lstm, 2, 3, &mut rng);
+        let xs = sample(4, 2, 35);
+        let mut rr = r.clone();
+        let h = rr.forward(&xs);
+        let dx = rr.backward(&vec![1.0; h.len()]);
+        for i in 0..xs.len() {
+            let mut xp = xs.clone();
+            xp.data_mut()[i] += 1e-5;
+            let mut xm = xs.clone();
+            xm.data_mut()[i] -= 1e-5;
+            let fp: f64 = r.clone().forward(&xp).iter().sum();
+            let fm: f64 = r.clone().forward(&xm).iter().sum();
+            let num = (fp - fm) / 2e-5;
+            assert!((num - dx.data()[i]).abs() < 1e-5, "dx[{i}]: {num} vs {}", dx.data()[i]);
+        }
+    }
+
+    #[test]
+    fn gru_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(36);
+        let mut r = Rnn::new(CellKind::Gru, 2, 3, &mut rng);
+        let xs = sample(4, 2, 37);
+        check_param_grads(
+            &mut r,
+            |l| l.params_mut(),
+            |l| l.forward(&xs).iter().sum(),
+            |l| {
+                let h = l.forward(&xs);
+                l.backward(&vec![1.0; h.len()]);
+            },
+        );
+    }
+
+    #[test]
+    fn gru_input_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(38);
+        let r = Rnn::new(CellKind::Gru, 2, 3, &mut rng);
+        let xs = sample(4, 2, 39);
+        let mut rr = r.clone();
+        let h = rr.forward(&xs);
+        let dx = rr.backward(&vec![1.0; h.len()]);
+        for i in 0..xs.len() {
+            let mut xp = xs.clone();
+            xp.data_mut()[i] += 1e-5;
+            let mut xm = xs.clone();
+            xm.data_mut()[i] -= 1e-5;
+            let fp: f64 = r.clone().forward(&xp).iter().sum();
+            let fm: f64 = r.clone().forward(&xm).iter().sum();
+            let num = (fp - fm) / 2e-5;
+            assert!((num - dx.data()[i]).abs() < 1e-5, "dx[{i}]: {num} vs {}", dx.data()[i]);
+        }
+    }
+
+    #[test]
+    fn birnn_concats_directions_and_backprops() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut b = BiRnn::new(CellKind::Lstm, 2, 3, &mut rng);
+        let xs = sample(5, 2, 41);
+        let out = b.forward(&xs);
+        assert_eq!(out.len(), 6);
+        let dx = b.backward(&[1.0; 6]);
+        assert_eq!(dx.shape(), &[5, 2]);
+        // Input gradient check.
+        let fresh = b.clone();
+        for i in 0..xs.len() {
+            let mut xp = xs.clone();
+            xp.data_mut()[i] += 1e-5;
+            let mut xm = xs.clone();
+            xm.data_mut()[i] -= 1e-5;
+            let fp: f64 = fresh.clone().forward(&xp).iter().sum();
+            let fm: f64 = fresh.clone().forward(&xm).iter().sum();
+            let num = (fp - fm) / 2e-5;
+            assert!((num - dx.data()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn reverse_rows_flips() {
+        let x = Tensor::from_vec(&[3, 1], vec![1., 2., 3.]);
+        assert_eq!(reverse_rows(&x).data(), &[3., 2., 1.]);
+    }
+}

@@ -1,0 +1,370 @@
+//! A minimal dense tensor (f64, row-major) sized for this project's
+//! networks: 1-D/2-D shapes, matmul, transposition, elementwise ops.
+//!
+//! f64 keeps finite-difference gradient checks tight; at the scale of the
+//! paper's models (embedding dim 30, dozens of channels) the cost is
+//! negligible next to algorithmic clarity.
+
+use std::fmt;
+
+/// A dense row-major tensor of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Tensor {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f64) -> Tensor {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; shape.iter().product()],
+        }
+    }
+
+    /// Builds a tensor from a shape and data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f64>) -> Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} does not match data length {}",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// A 1-D tensor from a slice.
+    pub fn vector(data: &[f64]) -> Tensor {
+        Tensor::from_vec(&[data.len()], data.to_vec())
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of rows of a 2-D tensor.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "rows() needs a 2-D tensor");
+        self.shape[0]
+    }
+
+    /// Number of columns of a 2-D tensor.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "cols() needs a 2-D tensor");
+        self.shape[1]
+    }
+
+    /// Immutable view of the raw data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the raw data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// 2-D element access.
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// 2-D element mutation.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c] = v;
+    }
+
+    /// Adds `v` to element `(r, c)`.
+    pub fn add_at(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c] += v;
+    }
+
+    /// A row of a 2-D tensor as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        let c = self.cols();
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// A mutable row of a 2-D tensor.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        let c = self.cols();
+        &mut self.data[r * c..(r + 1) * c]
+    }
+
+    /// Matrix product of two 2-D tensors: `(m×k) · (k×n) → (m×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        assert_eq!(other.shape.len(), 2);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Matrix-vector product: `(m×k) · (k) → (m)`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.shape.len(), 2);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        assert_eq!(k, v.len());
+        (0..m)
+            .map(|i| {
+                self.data[i * k..(i + 1) * k]
+                    .iter()
+                    .zip(v)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(&[n, m], out)
+    }
+
+    /// Elementwise sum (shapes must match).
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape);
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Tensor) {
+        assert_eq!(self.shape, other.shape);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise product (Hadamard).
+    pub fn hadamard(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape);
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f64) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Sets every element to zero (reusing the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest element.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Reshapes to a new shape with the same element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.data.len(),
+            "reshape to {shape:?} from {:?}",
+            self.shape
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}{:.4?}", self.shape, &self.data[..self.data.len().min(8)])
+    }
+}
+
+/// Numerically stable softmax over a slice.
+pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = xs.iter().map(|&x| (x - m).exp()).collect();
+    let s: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / s).collect()
+}
+
+/// Stable sigmoid.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let v = vec![1., 0., -1.];
+        assert_eq!(a.matvec(&v), vec![-2., -2.]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at(0, 1), 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::vector(&[1., -2., 3.]);
+        let b = Tensor::vector(&[2., 2., 2.]);
+        assert_eq!(a.add(&b).data(), &[3., 0., 5.]);
+        assert_eq!(a.hadamard(&b).data(), &[2., -4., 6.]);
+        assert_eq!(a.map(f64::abs).data(), &[1., 2., 3.]);
+        assert_eq!(a.scale(2.0).data(), &[2., -4., 6.]);
+        assert_eq!(a.sum(), 2.0);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::vector(&[1., 1.]);
+        a.axpy(0.5, &Tensor::vector(&[2., 4.]));
+        assert_eq!(a.data(), &[2., 3.]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_validates() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn rows_and_row_access() {
+        let mut a = Tensor::zeros(&[2, 3]);
+        a.row_mut(1).copy_from_slice(&[1., 2., 3.]);
+        assert_eq!(a.row(1), &[1., 2., 3.]);
+        a.add_at(1, 2, 1.0);
+        assert_eq!(a.at(1, 2), 4.0);
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.cols(), 3);
+    }
+}

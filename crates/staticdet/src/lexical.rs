@@ -1,0 +1,156 @@
+//! Flawfinder- and RATS-like lexical scanners.
+//!
+//! Both real tools grep for dangerous API names with a risk ranking and no
+//! dataflow reasoning — which is exactly why Fig. 5 shows them with high
+//! false-positive *and* high false-negative rates: they flag every guarded,
+//! perfectly safe `strncpy`, and they miss every vulnerability that does not
+//! go through a listed API (array indexing, pointer misuse, arithmetic).
+
+use crate::report::{Finding, StaticDetector};
+use sevuldet_analysis::libmodel::{lib_func, LIB_FUNCS};
+
+/// The Flawfinder analogue: full risk table, reports at risk ≥ 1.
+#[derive(Debug, Clone, Default)]
+pub struct Flawfinder;
+
+impl StaticDetector for Flawfinder {
+    fn name(&self) -> &'static str {
+        "Flawfinder"
+    }
+
+    fn scan(&self, source: &str) -> Vec<Finding> {
+        scan_calls(source, 2)
+    }
+}
+
+/// The RATS analogue: a narrower ruleset (risk ≥ 3 APIs only) plus a static
+/// buffer-declaration rule, mirroring RATS' `fixed size global buffer`
+/// class.
+#[derive(Debug, Clone, Default)]
+pub struct Rats;
+
+impl StaticDetector for Rats {
+    fn name(&self) -> &'static str {
+        "RATS"
+    }
+
+    fn scan(&self, source: &str) -> Vec<Finding> {
+        let mut out = scan_calls(source, 3);
+        // Fixed-size char buffers are reported as low-severity findings.
+        for (i, line) in source.lines().enumerate() {
+            let t = line.trim();
+            if t.starts_with("char ") && t.contains('[') && t.ends_with("];") {
+                out.push(Finding {
+                    line: i as u32 + 1,
+                    rule: "fixed-size-buffer".into(),
+                    risk: 2,
+                });
+            }
+        }
+        out.sort_by_key(|f| f.line);
+        out
+    }
+}
+
+/// Scans for calls to modelled library functions with risk ≥ `min_risk`.
+/// Purely lexical: a name followed by `(` counts as a call.
+fn scan_calls(source: &str, min_risk: u8) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        let bytes = line.as_bytes();
+        for f in LIB_FUNCS {
+            if f.risk < min_risk {
+                continue;
+            }
+            let mut start = 0usize;
+            while let Some(pos) = line[start..].find(f.name) {
+                let at = start + pos;
+                let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+                let after = at + f.name.len();
+                let after_ok = after < bytes.len()
+                    && bytes[after..]
+                        .iter()
+                        .find(|b| !b.is_ascii_whitespace())
+                        .map(|&b| b == b'(')
+                        .unwrap_or(false);
+                if before_ok && after_ok {
+                    out.push(Finding {
+                        line: i as u32 + 1,
+                        rule: f.name.to_string(),
+                        risk: lib_func(f.name).map(|m| m.risk).unwrap_or(1),
+                    });
+                    break;
+                }
+                start = after;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GUARDED: &str = r#"void f(char *d, char *s, int n) {
+    char buf[16];
+    if (n < 16) {
+        strncpy(buf, s, n);
+    }
+    puts(buf);
+}"#;
+
+    #[test]
+    fn flawfinder_flags_guarded_copy_anyway() {
+        // The defining weakness: no path reasoning, so a perfectly safe
+        // guarded strncpy is still reported.
+        let f = Flawfinder;
+        let findings = f.scan(GUARDED);
+        assert!(findings.iter().any(|x| x.rule == "strncpy" && x.line == 4));
+    }
+
+    #[test]
+    fn flawfinder_misses_array_oob() {
+        let src = "void f(int i) { int a[4]; a[i] = 1; }";
+        assert!(Flawfinder.scan(src).is_empty());
+    }
+
+    #[test]
+    fn rats_narrower_than_flawfinder() {
+        let src = "void f(char *d) { char b[8]; memset(b, 0, 8); snprintf(b, 8, d); }";
+        let ff = Flawfinder.scan(src);
+        let rt = Rats
+            .scan(src)
+            .into_iter()
+            .filter(|f| f.rule != "fixed-size-buffer")
+            .collect::<Vec<_>>();
+        assert!(ff.len() > rt.len(), "ff={ff:?} rats={rt:?}");
+    }
+
+    #[test]
+    fn rats_flags_fixed_buffers() {
+        let r = Rats.scan(GUARDED);
+        assert!(r.iter().any(|f| f.rule == "fixed-size-buffer"));
+    }
+
+    #[test]
+    fn no_false_match_inside_identifiers() {
+        // `my_strncpy_wrapper` must not match `strncpy`.
+        let src = "void f() { my_strncpy_wrapper(1); }";
+        assert!(Flawfinder.scan(src).is_empty());
+        // And a name without a following paren is not a call.
+        let src = "int strncpy_count = 0;";
+        assert!(Flawfinder.scan(src).is_empty());
+    }
+
+    #[test]
+    fn gets_scores_maximum_risk() {
+        let src = "void f() { char b[4]; gets(b); }";
+        let f = Flawfinder.scan(src);
+        assert_eq!(f.iter().find(|x| x.rule == "gets").unwrap().risk, 5);
+    }
+}

@@ -1,0 +1,31 @@
+//! # sevuldet-static
+//!
+//! Analogues of the classical static detectors SEVulDet is compared against
+//! in Fig. 5, each reproducing the *mechanism* the paper attributes to the
+//! tool:
+//!
+//! * [`Flawfinder`] / [`Rats`] — lexical dangerous-API scanners (high FPR
+//!   and high FNR);
+//! * [`Checkmarx`] — rule-based AST/dataflow analysis with guard-existence
+//!   (but not path-sensitive) sanitizer matching;
+//! * [`Vuddy`] — abstracted-function fingerprint clone matching (very low
+//!   FPR, very high FNR).
+//!
+//! ## Example
+//!
+//! ```
+//! use sevuldet_static::{Flawfinder, StaticDetector};
+//!
+//! let findings = Flawfinder.scan("void f(char *s) { char b[4]; strcpy(b, s); }");
+//! assert!(findings.iter().any(|f| f.rule == "strcpy"));
+//! ```
+
+pub mod checkmarx;
+pub mod lexical;
+pub mod report;
+pub mod vuddy;
+
+pub use checkmarx::Checkmarx;
+pub use lexical::{Flawfinder, Rats};
+pub use report::{Finding, StaticDetector};
+pub use vuddy::Vuddy;

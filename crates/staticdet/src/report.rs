@@ -1,0 +1,62 @@
+//! Common finding/report types for the classical detectors.
+
+use std::fmt;
+
+/// One detector finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule identifier (tool-specific).
+    pub rule: String,
+    /// Risk level 1-5.
+    pub risk: u8,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: [{}] risk {}", self.line, self.rule, self.risk)
+    }
+}
+
+/// The interface shared by the Flawfinder/RATS/Checkmarx analogues. VUDDY
+/// additionally needs a training corpus and has its own `fit` method.
+pub trait StaticDetector {
+    /// Tool name as reported in tables.
+    fn name(&self) -> &'static str;
+    /// Scans one source file, returning findings (possibly empty).
+    fn scan(&self, source: &str) -> Vec<Finding>;
+
+    /// Program-level verdict: any finding at or above the reporting
+    /// threshold marks the program vulnerable.
+    fn flags(&self, source: &str, min_risk: u8) -> bool {
+        self.scan(source).iter().any(|f| f.risk >= min_risk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl StaticDetector for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn scan(&self, _source: &str) -> Vec<Finding> {
+            vec![Finding {
+                line: 3,
+                rule: "X".into(),
+                risk: 4,
+            }]
+        }
+    }
+
+    #[test]
+    fn flags_respects_threshold() {
+        let d = Dummy;
+        assert!(d.flags("", 4));
+        assert!(!d.flags("", 5));
+        assert_eq!(d.scan("")[0].to_string(), "line 3: [X] risk 4");
+    }
+}

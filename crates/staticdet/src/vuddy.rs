@@ -1,0 +1,228 @@
+//! A VUDDY-like clone detector.
+//!
+//! VUDDY (Kim et al., S&P'17) fingerprints *abstracted* vulnerable functions
+//! (identifiers/types/literals normalized away) and reports exact fingerprint
+//! matches. It is extremely precise — a match really is a clone of a known
+//! vulnerable function — but recalls nothing it has never seen, which is the
+//! low-FPR/high-FNR corner of Fig. 5.
+
+use crate::report::Finding;
+use sevuldet_lang::ast::Function;
+use sevuldet_lang::parse;
+use sevuldet_lang::printer::stmt_tokens;
+use sevuldet_lang::token::Keyword;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// The VUDDY analogue: fingerprints of known-vulnerable functions.
+#[derive(Debug, Clone, Default)]
+pub struct Vuddy {
+    fingerprints: HashSet<u64>,
+}
+
+impl Vuddy {
+    /// Creates an empty (untrained) detector.
+    pub fn new() -> Vuddy {
+        Vuddy::default()
+    }
+
+    /// Number of stored fingerprints.
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// Whether no fingerprints are stored.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+
+    /// Adds every function of a known-vulnerable program to the fingerprint
+    /// store (abstraction level 4: formal parameters, locals, and literals
+    /// all normalized).
+    ///
+    /// Prefer [`Vuddy::fit_vulnerable_functions`] when flaw lines are known:
+    /// the real VUDDY fingerprints the functions touched by the security
+    /// patch, not every function in the file.
+    pub fn fit_program(&mut self, source: &str) {
+        let Ok(p) = parse(source) else { return };
+        for f in p.functions() {
+            if f.name == "main" {
+                continue;
+            }
+            self.fingerprints.insert(fingerprint(f));
+        }
+    }
+
+    /// Adds only the functions that contain one of `flaw_lines` — the
+    /// faithful model of VUDDY's patch-derived vulnerable-function corpus.
+    pub fn fit_vulnerable_functions(
+        &mut self,
+        source: &str,
+        flaw_lines: &std::collections::HashSet<u32>,
+    ) {
+        let Ok(p) = parse(source) else { return };
+        for f in p.functions() {
+            let covers = flaw_lines
+                .iter()
+                .any(|&l| f.span.start.line <= l && l <= f.span.end.line);
+            if covers {
+                self.fingerprints.insert(fingerprint(f));
+            }
+        }
+    }
+
+    /// Scans a program: any function matching a stored fingerprint is
+    /// reported.
+    pub fn scan(&self, source: &str) -> Vec<Finding> {
+        let Ok(p) = parse(source) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for f in p.functions() {
+            if f.name == "main" {
+                continue;
+            }
+            if self.fingerprints.contains(&fingerprint(f)) {
+                out.push(Finding {
+                    line: f.span.start.line,
+                    rule: "vulnerable-clone".into(),
+                    risk: 5,
+                });
+            }
+        }
+        out
+    }
+
+    /// Program-level verdict.
+    pub fn flags(&self, source: &str) -> bool {
+        !self.scan(source).is_empty()
+    }
+}
+
+/// Abstraction + hashing of one function body: identifiers are replaced by
+/// their first-appearance index, numeric literals by `N`, then the token
+/// stream is hashed.
+fn fingerprint(f: &Function) -> u64 {
+    let mut map: HashMap<String, String> = HashMap::new();
+    let mut abstracted: Vec<String> = Vec::new();
+    let mut push_tok = |t: &str, map: &mut HashMap<String, String>| {
+        let is_ident = t
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
+            && Keyword::from_word(t).is_none();
+        if is_ident {
+            let next = format!("ID{}", map.len());
+            abstracted.push(map.entry(t.to_string()).or_insert(next).clone());
+        } else if t.parse::<i64>().is_ok() {
+            abstracted.push("N".into());
+        } else {
+            abstracted.push(t.to_string());
+        }
+    };
+    for p in &f.params {
+        push_tok(&p.name, &mut map);
+    }
+    collect(&f.body, &mut |s| {
+        for t in stmt_tokens(s) {
+            push_tok(&t, &mut map);
+        }
+    });
+    let mut h = DefaultHasher::new();
+    abstracted.hash(&mut h);
+    h.finish()
+}
+
+fn collect(b: &sevuldet_lang::ast::Block, f: &mut impl FnMut(&sevuldet_lang::ast::Stmt)) {
+    use sevuldet_lang::ast::StmtKind;
+    for s in &b.stmts {
+        f(s);
+        match &s.kind {
+            StmtKind::Block(inner) => collect(inner, f),
+            StmtKind::If {
+                then,
+                else_ifs,
+                else_block,
+                ..
+            } => {
+                collect(then, f);
+                for ei in else_ifs {
+                    collect(&ei.body, f);
+                }
+                if let Some(eb) = else_block {
+                    collect(&eb.body, f);
+                }
+            }
+            StmtKind::While { body, .. }
+            | StmtKind::DoWhile { body, .. }
+            | StmtKind::For { body, .. } => collect(body, f),
+            StmtKind::Switch { cases, .. } => {
+                for c in cases {
+                    for s in &c.body {
+                        f(s);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VULN: &str = r#"void copy_pkt(char *dst, char *src, int n) {
+    char buf[16];
+    strncpy(buf, src, n);
+    puts(buf);
+}
+int main() { return 0; }"#;
+
+    #[test]
+    fn detects_renamed_clone() {
+        let mut v = Vuddy::new();
+        v.fit_program(VULN);
+        // Identifiers and literals differ; structure is identical.
+        let clone = r#"void handle_frame(char *out, char *in_, int len) {
+    char tmp[64];
+    strncpy(tmp, in_, len);
+    puts(tmp);
+}
+int main() { return 0; }"#;
+        assert!(v.flags(clone), "abstracted clone must match");
+    }
+
+    #[test]
+    fn misses_structurally_changed_code() {
+        let mut v = Vuddy::new();
+        v.fit_program(VULN);
+        let changed = r#"void copy_pkt(char *dst, char *src, int n) {
+    char buf[16];
+    if (n < 16) {
+        strncpy(buf, src, n);
+    }
+    puts(buf);
+}
+int main() { return 0; }"#;
+        assert!(!v.flags(changed), "one extra statement breaks the match");
+    }
+
+    #[test]
+    fn untrained_detector_flags_nothing() {
+        let v = Vuddy::new();
+        assert!(v.is_empty());
+        assert!(!v.flags(VULN));
+    }
+
+    #[test]
+    fn fit_is_idempotent() {
+        let mut v = Vuddy::new();
+        v.fit_program(VULN);
+        let n = v.len();
+        v.fit_program(VULN);
+        assert_eq!(v.len(), n);
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate of the SEVulDet reproduction: re-exports the workspace
+//! crates so the examples and integration tests in this repository can
+//! reach everything through one dependency. Library users should depend on
+//! the individual `sevuldet-*` crates instead.
+
+pub use sevuldet as core;
+pub use sevuldet_analysis as analysis;
+pub use sevuldet_dataset as dataset;
+pub use sevuldet_embedding as embedding;
+pub use sevuldet_gadget as gadget;
+pub use sevuldet_interp as interp;
+pub use sevuldet_lang as lang;
+pub use sevuldet_nn as nn;
+pub use sevuldet_static as staticdet;

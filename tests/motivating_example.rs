@@ -1,0 +1,76 @@
+//! End-to-end check of the paper's Fig. 1 motivating example across four
+//! crates: identical classic gadgets, distinct path-sensitive gadgets, and
+//! the 50%-accuracy consequence.
+
+use sevuldet::Confusion;
+use sevuldet_analysis::ProgramAnalysis;
+use sevuldet_gadget::{
+    build_gadget, find_special_tokens, GadgetKind, Normalizer, SliceConfig,
+};
+
+const SAFE: &str = r#"void process(char *dest, char *data) {
+    int n = atoi(data);
+    if (n < 16) {
+        strncpy(dest, data, n);
+    }
+}"#;
+
+const VULNERABLE: &str = r#"void process(char *dest, char *data) {
+    int n = atoi(data);
+    if (n < 16) {
+        puts("small");
+    }
+    strncpy(dest, data, n);
+}"#;
+
+fn normalized_gadget(source: &str, kind: GadgetKind) -> Vec<String> {
+    let program = sevuldet_lang::parse(source).unwrap();
+    let analysis = ProgramAnalysis::analyze(&program);
+    let tokens = find_special_tokens(&program, &analysis);
+    let strncpy = tokens.iter().find(|t| t.name == "strncpy").unwrap();
+    let gadget = build_gadget(&program, &analysis, strncpy, kind, &SliceConfig::default());
+    Normalizer::normalize_gadget(&gadget)
+        .lines
+        .iter()
+        .map(|l| l.tokens.join(" "))
+        .filter(|t| !t.contains("puts"))
+        .collect()
+}
+
+#[test]
+fn classic_gadgets_collide_path_sensitive_differ() {
+    let cg_safe = normalized_gadget(SAFE, GadgetKind::Classic);
+    let cg_vuln = normalized_gadget(VULNERABLE, GadgetKind::Classic);
+    assert_eq!(cg_safe, cg_vuln, "Fig. 1: classic gadgets are identical");
+
+    let ps_safe = normalized_gadget(SAFE, GadgetKind::PathSensitive);
+    let ps_vuln = normalized_gadget(VULNERABLE, GadgetKind::PathSensitive);
+    assert_ne!(ps_safe, ps_vuln, "Algorithm 1 disambiguates the pair");
+}
+
+#[test]
+fn identical_gadgets_pin_any_classifier_at_half_accuracy() {
+    // Whatever a model answers on the colliding pair, accuracy is 50%.
+    for verdict in [true, false] {
+        let mut c = Confusion::default();
+        c.record(verdict, true); // the vulnerable twin
+        c.record(verdict, false); // the safe twin
+        assert_eq!(c.accuracy(), 0.5);
+    }
+}
+
+#[test]
+fn path_sensitive_gadget_orders_sink_relative_to_scope() {
+    let ps_safe = normalized_gadget(SAFE, GadgetKind::PathSensitive);
+    let ps_vuln = normalized_gadget(VULNERABLE, GadgetKind::PathSensitive);
+    let pos = |lines: &[String], needle: &str| {
+        lines
+            .iter()
+            .position(|l| l.contains(needle))
+            .unwrap_or_else(|| panic!("{needle} not in {lines:?}"))
+    };
+    // Safe: copy before the closing brace; vulnerable: copy after it.
+    assert!(pos(&ps_safe, "strncpy") < pos(&ps_safe, "}"));
+    let close = ps_vuln.iter().position(|l| l == "}").expect("close brace");
+    assert!(pos(&ps_vuln, "strncpy") > close);
+}

@@ -1,0 +1,130 @@
+//! Property-based tests (proptest) over the whole stack: generator programs
+//! always parse and analyze; printing round-trips; gadget extraction and
+//! the interpreter never panic on generator output; SPP length invariance.
+
+use proptest::prelude::*;
+use sevuldet_analysis::ProgramAnalysis;
+use sevuldet_dataset::{case_for, CaseOpts, Origin};
+use sevuldet_gadget::{
+    find_special_tokens, generate_all, GadgetKind, Normalizer, SliceConfig,
+};
+use sevuldet_gadget::Category;
+use sevuldet_interp::Interp;
+use sevuldet_lang::printer::{program_to_string, stmt_tokens};
+
+fn arb_opts() -> impl Strategy<Value = (u64, usize, bool, bool, bool, usize)> {
+    (
+        any::<u64>(),
+        0usize..4,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0usize..12,
+    )
+}
+
+fn build_case(
+    seed: u64,
+    cat_idx: usize,
+    vulnerable: bool,
+    displaced: bool,
+    interproc: bool,
+    filler: usize,
+) -> sevuldet_dataset::ProgramSample {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let opts = CaseOpts {
+        vulnerable,
+        displaced_guard: displaced,
+        filler,
+        interproc,
+        origin: Origin::SardSim,
+    };
+    case_for(Category::ALL[cat_idx], &mut rng, &opts, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every template instantiation parses, analyzes, and yields gadgets
+    /// without panicking; labels agree with the flaw-line ground truth.
+    #[test]
+    fn generated_programs_survive_the_whole_pipeline(
+        (seed, cat, vuln, displaced, interproc, filler) in arb_opts()
+    ) {
+        let case = build_case(seed, cat, vuln, displaced, interproc, filler);
+        let program = sevuldet_lang::parse(&case.source)
+            .unwrap_or_else(|e| panic!("{e}\n{}", case.source));
+        let analysis = ProgramAnalysis::analyze(&program);
+        let tokens = find_special_tokens(&program, &analysis);
+        prop_assert!(!tokens.is_empty(), "every template has special tokens");
+        for kind in [GadgetKind::Classic, GadgetKind::PathSensitive] {
+            let gadgets = generate_all(&program, &analysis, &tokens, kind, &SliceConfig::default());
+            prop_assert_eq!(gadgets.len(), tokens.len());
+            for g in &gadgets {
+                prop_assert!(!g.lines.is_empty());
+                let n = Normalizer::normalize_gadget(g);
+                prop_assert_eq!(n.lines.len(), g.lines.len());
+                // Line numbers stay sorted within each function.
+                let mut per_fn: std::collections::HashMap<&str, u32> = Default::default();
+                for l in &n.lines {
+                    let prev = per_fn.entry(l.func.as_str()).or_insert(0);
+                    prop_assert!(l.line >= *prev, "lines ordered in {}", l.func);
+                    *prev = l.line;
+                }
+            }
+        }
+        prop_assert_eq!(case.vulnerable, !case.flaw_lines.is_empty());
+    }
+
+    /// Pretty-printing a generated program and re-parsing it preserves every
+    /// statement's token stream (parser ↔ printer coherence).
+    #[test]
+    fn print_parse_roundtrip(
+        (seed, cat, vuln, displaced, interproc, filler) in arb_opts()
+    ) {
+        let case = build_case(seed, cat, vuln, displaced, interproc, filler);
+        let p1 = sevuldet_lang::parse(&case.source).unwrap();
+        let printed = program_to_string(&p1);
+        let p2 = sevuldet_lang::parse(&printed)
+            .unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        let streams = |p: &sevuldet_lang::Program| -> Vec<Vec<Vec<String>>> {
+            p.functions()
+                .map(|f| f.body.stmts.iter().map(stmt_tokens).collect())
+                .collect()
+        };
+        prop_assert_eq!(streams(&p1), streams(&p2));
+    }
+
+    /// The interpreter never panics on generator output, whatever the input
+    /// bytes; it either completes or reports a typed fault.
+    #[test]
+    fn interpreter_is_total_on_generated_programs(
+        (seed, cat, vuln, displaced, interproc, filler) in arb_opts(),
+        input in proptest::collection::vec(any::<u8>(), 0..32)
+    ) {
+        let case = build_case(seed, cat, vuln, displaced, interproc, filler);
+        let program = sevuldet_lang::parse(&case.source).unwrap();
+        let interp = Interp::new(&program);
+        let result = interp.run_main(&input);
+        // Either a clean exit or a typed fault; both carry coverage.
+        prop_assert!(result.steps > 0);
+        match result.value {
+            Ok(_) => {}
+            Err(fault) => {
+                let _ = fault.to_string();
+            }
+        }
+    }
+
+    /// SPP emits the same output length whatever the input length — the
+    /// architectural property the paper's flexible-length claim rests on.
+    #[test]
+    fn spp_output_is_always_fixed_length(len in 1usize..900, channels in 1usize..12) {
+        let mut spp = sevuldet_nn::Spp::paper();
+        let data: Vec<f64> = (0..len * channels).map(|i| (i % 17) as f64).collect();
+        let x = sevuldet_nn::Tensor::from_vec(&[len, channels], data);
+        let y = spp.forward(&x);
+        prop_assert_eq!(y.len(), 7 * channels);
+    }
+}
