@@ -37,8 +37,10 @@ impl CallGraph {
     pub fn build(program: &Program, cfgs: &HashMap<String, Cfg>) -> CallGraph {
         let mut g = CallGraph::default();
         for f in program.functions() {
-            g.params
-                .insert(f.name.clone(), f.params.iter().map(|p| p.name.clone()).collect());
+            g.params.insert(
+                f.name.clone(),
+                f.params.iter().map(|p| p.name.clone()).collect(),
+            );
         }
         for (fname, cfg) in cfgs {
             for id in cfg.node_ids() {

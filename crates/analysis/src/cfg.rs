@@ -740,7 +740,10 @@ mod tests {
 
     #[test]
     fn for_loop_step_node_in_cycle() {
-        let c = cfg_of("void f(int n) { for (int i = 0; i < n; i++) { g(i); } }", "f");
+        let c = cfg_of(
+            "void f(int n) { for (int i = 0; i < n; i++) { g(i); } }",
+            "f",
+        );
         let step = c
             .node_ids()
             .find(|id| c.node(*id).role == NodeRole::ForStep)
@@ -763,7 +766,8 @@ mod tests {
 
     #[test]
     fn switch_dispatches_to_cases_with_fallthrough() {
-        let src = "void f(int x) { switch (x) { case 1: a(); case 2: b(); break; default: d(); } e(); }";
+        let src =
+            "void f(int x) { switch (x) { case 1: a(); case 2: b(); break; default: d(); } e(); }";
         let c = cfg_of(src, "f");
         let head = c
             .node_ids()
@@ -776,7 +780,6 @@ mod tests {
         assert!(kinds.contains(&EdgeKind::Default));
         // a() falls through to b().
         c.node_on_line(1).map(|_| ()).and(Some(())).unwrap();
-        ();
         let a_node = c
             .node_ids()
             .find(|id| c.node(*id).tokens.first().map(String::as_str) == Some("a"))

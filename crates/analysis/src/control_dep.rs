@@ -130,8 +130,7 @@ mod tests {
 
     #[test]
     fn nested_if_dependencies_chain() {
-        let (cfg, cd) =
-            analyze("void f(int a, int b) { if (a) { if (b) { x(); } } }");
+        let (cfg, cd) = analyze("void f(int a, int b) { if (a) { if (b) { x(); } } }");
         let heads: Vec<_> = cfg
             .node_ids()
             .filter(|id| cfg.node(*id).role == NodeRole::IfCond)

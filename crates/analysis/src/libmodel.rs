@@ -26,44 +26,272 @@ pub struct LibFunc {
 /// `out_params` follow the C standard: e.g. `strncpy(dest, src, n)` writes
 /// through `dest` (index 0); `fgets(buf, n, f)` writes `buf`.
 pub const LIB_FUNCS: &[LibFunc] = &[
-    LibFunc { name: "strcpy", out_params: &[0], allocates: false, frees: false, risk: 5 },
-    LibFunc { name: "strncpy", out_params: &[0], allocates: false, frees: false, risk: 3 },
-    LibFunc { name: "strcat", out_params: &[0], allocates: false, frees: false, risk: 5 },
-    LibFunc { name: "strncat", out_params: &[0], allocates: false, frees: false, risk: 3 },
-    LibFunc { name: "sprintf", out_params: &[0], allocates: false, frees: false, risk: 5 },
-    LibFunc { name: "snprintf", out_params: &[0], allocates: false, frees: false, risk: 2 },
-    LibFunc { name: "gets", out_params: &[0], allocates: false, frees: false, risk: 5 },
-    LibFunc { name: "fgets", out_params: &[0], allocates: false, frees: false, risk: 1 },
-    LibFunc { name: "memcpy", out_params: &[0], allocates: false, frees: false, risk: 4 },
-    LibFunc { name: "memmove", out_params: &[0], allocates: false, frees: false, risk: 3 },
-    LibFunc { name: "memset", out_params: &[0], allocates: false, frees: false, risk: 2 },
-    LibFunc { name: "bcopy", out_params: &[1], allocates: false, frees: false, risk: 4 },
-    LibFunc { name: "scanf", out_params: &[1, 2, 3, 4], allocates: false, frees: false, risk: 4 },
-    LibFunc { name: "sscanf", out_params: &[2, 3, 4, 5], allocates: false, frees: false, risk: 3 },
-    LibFunc { name: "fscanf", out_params: &[2, 3, 4, 5], allocates: false, frees: false, risk: 3 },
-    LibFunc { name: "read", out_params: &[1], allocates: false, frees: false, risk: 3 },
-    LibFunc { name: "recv", out_params: &[1], allocates: false, frees: false, risk: 3 },
-    LibFunc { name: "fread", out_params: &[0], allocates: false, frees: false, risk: 2 },
-    LibFunc { name: "malloc", out_params: &[], allocates: true, frees: false, risk: 2 },
-    LibFunc { name: "calloc", out_params: &[], allocates: true, frees: false, risk: 1 },
-    LibFunc { name: "realloc", out_params: &[], allocates: true, frees: true, risk: 3 },
-    LibFunc { name: "free", out_params: &[], allocates: false, frees: true, risk: 2 },
-    LibFunc { name: "strlen", out_params: &[], allocates: false, frees: false, risk: 1 },
-    LibFunc { name: "strcmp", out_params: &[], allocates: false, frees: false, risk: 0 },
-    LibFunc { name: "strncmp", out_params: &[], allocates: false, frees: false, risk: 0 },
-    LibFunc { name: "strchr", out_params: &[], allocates: false, frees: false, risk: 0 },
-    LibFunc { name: "strdup", out_params: &[], allocates: true, frees: false, risk: 2 },
-    LibFunc { name: "atoi", out_params: &[], allocates: false, frees: false, risk: 2 },
-    LibFunc { name: "atol", out_params: &[], allocates: false, frees: false, risk: 2 },
-    LibFunc { name: "getenv", out_params: &[], allocates: false, frees: false, risk: 3 },
-    LibFunc { name: "printf", out_params: &[], allocates: false, frees: false, risk: 1 },
-    LibFunc { name: "fprintf", out_params: &[], allocates: false, frees: false, risk: 1 },
-    LibFunc { name: "puts", out_params: &[], allocates: false, frees: false, risk: 0 },
-    LibFunc { name: "exit", out_params: &[], allocates: false, frees: false, risk: 0 },
-    LibFunc { name: "abort", out_params: &[], allocates: false, frees: false, risk: 0 },
-    LibFunc { name: "rand", out_params: &[], allocates: false, frees: false, risk: 1 },
-    LibFunc { name: "memcmp", out_params: &[], allocates: false, frees: false, risk: 0 },
-    LibFunc { name: "alloca", out_params: &[], allocates: true, frees: false, risk: 4 },
+    LibFunc {
+        name: "strcpy",
+        out_params: &[0],
+        allocates: false,
+        frees: false,
+        risk: 5,
+    },
+    LibFunc {
+        name: "strncpy",
+        out_params: &[0],
+        allocates: false,
+        frees: false,
+        risk: 3,
+    },
+    LibFunc {
+        name: "strcat",
+        out_params: &[0],
+        allocates: false,
+        frees: false,
+        risk: 5,
+    },
+    LibFunc {
+        name: "strncat",
+        out_params: &[0],
+        allocates: false,
+        frees: false,
+        risk: 3,
+    },
+    LibFunc {
+        name: "sprintf",
+        out_params: &[0],
+        allocates: false,
+        frees: false,
+        risk: 5,
+    },
+    LibFunc {
+        name: "snprintf",
+        out_params: &[0],
+        allocates: false,
+        frees: false,
+        risk: 2,
+    },
+    LibFunc {
+        name: "gets",
+        out_params: &[0],
+        allocates: false,
+        frees: false,
+        risk: 5,
+    },
+    LibFunc {
+        name: "fgets",
+        out_params: &[0],
+        allocates: false,
+        frees: false,
+        risk: 1,
+    },
+    LibFunc {
+        name: "memcpy",
+        out_params: &[0],
+        allocates: false,
+        frees: false,
+        risk: 4,
+    },
+    LibFunc {
+        name: "memmove",
+        out_params: &[0],
+        allocates: false,
+        frees: false,
+        risk: 3,
+    },
+    LibFunc {
+        name: "memset",
+        out_params: &[0],
+        allocates: false,
+        frees: false,
+        risk: 2,
+    },
+    LibFunc {
+        name: "bcopy",
+        out_params: &[1],
+        allocates: false,
+        frees: false,
+        risk: 4,
+    },
+    LibFunc {
+        name: "scanf",
+        out_params: &[1, 2, 3, 4],
+        allocates: false,
+        frees: false,
+        risk: 4,
+    },
+    LibFunc {
+        name: "sscanf",
+        out_params: &[2, 3, 4, 5],
+        allocates: false,
+        frees: false,
+        risk: 3,
+    },
+    LibFunc {
+        name: "fscanf",
+        out_params: &[2, 3, 4, 5],
+        allocates: false,
+        frees: false,
+        risk: 3,
+    },
+    LibFunc {
+        name: "read",
+        out_params: &[1],
+        allocates: false,
+        frees: false,
+        risk: 3,
+    },
+    LibFunc {
+        name: "recv",
+        out_params: &[1],
+        allocates: false,
+        frees: false,
+        risk: 3,
+    },
+    LibFunc {
+        name: "fread",
+        out_params: &[0],
+        allocates: false,
+        frees: false,
+        risk: 2,
+    },
+    LibFunc {
+        name: "malloc",
+        out_params: &[],
+        allocates: true,
+        frees: false,
+        risk: 2,
+    },
+    LibFunc {
+        name: "calloc",
+        out_params: &[],
+        allocates: true,
+        frees: false,
+        risk: 1,
+    },
+    LibFunc {
+        name: "realloc",
+        out_params: &[],
+        allocates: true,
+        frees: true,
+        risk: 3,
+    },
+    LibFunc {
+        name: "free",
+        out_params: &[],
+        allocates: false,
+        frees: true,
+        risk: 2,
+    },
+    LibFunc {
+        name: "strlen",
+        out_params: &[],
+        allocates: false,
+        frees: false,
+        risk: 1,
+    },
+    LibFunc {
+        name: "strcmp",
+        out_params: &[],
+        allocates: false,
+        frees: false,
+        risk: 0,
+    },
+    LibFunc {
+        name: "strncmp",
+        out_params: &[],
+        allocates: false,
+        frees: false,
+        risk: 0,
+    },
+    LibFunc {
+        name: "strchr",
+        out_params: &[],
+        allocates: false,
+        frees: false,
+        risk: 0,
+    },
+    LibFunc {
+        name: "strdup",
+        out_params: &[],
+        allocates: true,
+        frees: false,
+        risk: 2,
+    },
+    LibFunc {
+        name: "atoi",
+        out_params: &[],
+        allocates: false,
+        frees: false,
+        risk: 2,
+    },
+    LibFunc {
+        name: "atol",
+        out_params: &[],
+        allocates: false,
+        frees: false,
+        risk: 2,
+    },
+    LibFunc {
+        name: "getenv",
+        out_params: &[],
+        allocates: false,
+        frees: false,
+        risk: 3,
+    },
+    LibFunc {
+        name: "printf",
+        out_params: &[],
+        allocates: false,
+        frees: false,
+        risk: 1,
+    },
+    LibFunc {
+        name: "fprintf",
+        out_params: &[],
+        allocates: false,
+        frees: false,
+        risk: 1,
+    },
+    LibFunc {
+        name: "puts",
+        out_params: &[],
+        allocates: false,
+        frees: false,
+        risk: 0,
+    },
+    LibFunc {
+        name: "exit",
+        out_params: &[],
+        allocates: false,
+        frees: false,
+        risk: 0,
+    },
+    LibFunc {
+        name: "abort",
+        out_params: &[],
+        allocates: false,
+        frees: false,
+        risk: 0,
+    },
+    LibFunc {
+        name: "rand",
+        out_params: &[],
+        allocates: false,
+        frees: false,
+        risk: 1,
+    },
+    LibFunc {
+        name: "memcmp",
+        out_params: &[],
+        allocates: false,
+        frees: false,
+        risk: 0,
+    },
+    LibFunc {
+        name: "alloca",
+        out_params: &[],
+        allocates: true,
+        frees: false,
+        risk: 4,
+    },
 ];
 
 /// Looks up a library function model by name.

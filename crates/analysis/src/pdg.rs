@@ -156,10 +156,7 @@ void copy(char *dest, char *data, int n) {
         let pdg = pdg_of(src);
         for a in pdg.cfg.node_ids() {
             for b in pdg.succs_all(a) {
-                assert!(
-                    pdg.preds_all(b).contains(&a),
-                    "succ/pred must be symmetric"
-                );
+                assert!(pdg.preds_all(b).contains(&a), "succ/pred must be symmetric");
             }
         }
     }

@@ -161,9 +161,7 @@ mod tests {
         let dec = node_with(&cfg, "n");
         let head = cfg
             .node_ids()
-            .find(|id| {
-                cfg.node(*id).tokens.first().map(String::as_str) == Some("while")
-            })
+            .find(|id| cfg.node(*id).tokens.first().map(String::as_str) == Some("while"))
             .unwrap();
         // The decrement feeds the loop condition around the back edge.
         assert!(deps
@@ -173,8 +171,9 @@ mod tests {
 
     #[test]
     fn strncpy_def_feeds_return() {
-        let (cfg, deps) =
-            analyze("char *f(char *dest, char *data, int n) { strncpy(dest, data, n); return dest; }");
+        let (cfg, deps) = analyze(
+            "char *f(char *dest, char *data, int n) { strncpy(dest, data, n); return dest; }",
+        );
         let cp = node_with(&cfg, "strncpy");
         let ret = node_with(&cfg, "return");
         assert!(deps

@@ -91,9 +91,7 @@ fn render(stmts: &[GenStmt], indent: usize, out: &mut String, in_loop: bool) {
 }
 
 fn program_source(stmts: &[GenStmt]) -> String {
-    let mut out = String::from(
-        "int f(int v0, int v1, int v2, int v3) {\n",
-    );
+    let mut out = String::from("int f(int v0, int v1, int v2, int v3) {\n");
     render(stmts, 1, &mut out, false);
     out.push_str("    return v0;\n}\n");
     out

@@ -61,13 +61,7 @@ fn bench_gadgets(c: &mut Criterion) {
                 || (),
                 |_| {
                     for (p, a, t) in &analyzed {
-                        std::hint::black_box(generate_all(
-                            p,
-                            a,
-                            t,
-                            kind,
-                            &SliceConfig::default(),
-                        ));
+                        std::hint::black_box(generate_all(p, a, t, kind, &SliceConfig::default()));
                     }
                 },
                 BatchSize::SmallInput,

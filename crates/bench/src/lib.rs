@@ -74,9 +74,7 @@ pub fn header(cols: &[&str]) {
 /// parentheses underneath.
 pub fn metric_row(name: &str, c: &Confusion, paper: Option<[f64; 5]>) {
     let (fpr, fnr, a, p, f1) = c.percentages();
-    println!(
-        "{name:<28}{fpr:>9.1} {fnr:>9.1} {a:>9.1} {p:>9.1} {f1:>9.1}"
-    );
+    println!("{name:<28}{fpr:>9.1} {fnr:>9.1} {a:>9.1} {p:>9.1} {f1:>9.1}");
     if let Some(pv) = paper {
         println!(
             "{:<28}{:>9} {:>9} {:>9} {:>9} {:>9}",

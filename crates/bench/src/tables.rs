@@ -248,11 +248,26 @@ pub fn table4() {
     );
     println!("{}", "-".repeat(68));
     let rows: [(&str, &str, &str, String); 6] = [
-        ("Dimension", "50", "30", format!("30 / {}", s.train.embed_dim)),
+        (
+            "Dimension",
+            "50",
+            "30",
+            format!("30 / {}", s.train.embed_dim),
+        ),
         ("Flexible-length", "no", "no", "yes / yes".to_string()),
         ("Batch size", "64", "16", format!("16 / {}", s.train.batch)),
-        ("Learning rate", "0.001", "0.002", format!("0.0001 / {}", s.train.lr)),
-        ("Dropout", "0.5", "0.2", format!("0.2 / {}", s.train.dropout)),
+        (
+            "Learning rate",
+            "0.001",
+            "0.002",
+            format!("0.0001 / {}", s.train.lr),
+        ),
+        (
+            "Dropout",
+            "0.5",
+            "0.2",
+            format!("0.2 / {}", s.train.dropout),
+        ),
         ("Epochs", "4", "20", format!("20 / {}", s.train.epochs)),
     ];
     for (p, v, sy, se) in rows {

@@ -3,8 +3,8 @@
 //! per-gadget verdicts and attention-ranked tokens.
 //!
 //! ```text
-//! sevuldet train --out model.svd [--per-category 60] [--epochs 24] [--seed 42]
-//! sevuldet scan <file.c> --model model.svd [--top 5]
+//! sevuldet train --out model.svd [--per-category 60] [--epochs 24] [--seed 42] [--jobs N]
+//! sevuldet scan <file.c> --model model.svd [--top 5] [--jobs N]
 //! sevuldet gadgets <file.c> [--classic]
 //! ```
 
@@ -24,8 +24,10 @@ fn main() -> ExitCode {
         Some("gadgets") => cmd_gadgets(&args[1..]),
         _ => {
             eprintln!("usage:");
-            eprintln!("  sevuldet train --out <model> [--per-category N] [--epochs N] [--seed N]");
-            eprintln!("  sevuldet scan <file.c> --model <model> [--top N]");
+            eprintln!(
+                "  sevuldet train --out <model> [--per-category N] [--epochs N] [--seed N] [--jobs N]"
+            );
+            eprintln!("  sevuldet scan <file.c> --model <model> [--top N] [--jobs N]");
             eprintln!("  sevuldet gadgets <file.c> [--classic]");
             return ExitCode::from(2);
         }
@@ -39,7 +41,78 @@ fn main() -> ExitCode {
     }
 }
 
+/// One command-line flag: its name and whether a value follows it. The
+/// single table drives [`flag`], [`has_flag`], [`positional`], and
+/// [`check_args`], so a flag added here is automatically parsed, skipped
+/// when hunting for positionals, and accepted by validation.
+struct FlagSpec {
+    name: &'static str,
+    takes_value: bool,
+}
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--out",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--per-category",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--epochs",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--seed",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--jobs",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--model",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--top",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--classic",
+        takes_value: false,
+    },
+];
+
+fn spec(name: &str) -> Option<&'static FlagSpec> {
+    FLAGS.iter().find(|s| s.name == name)
+}
+
+/// Rejects undeclared `--flags` and value-taking flags with no value.
+fn check_args(args: &[String]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            let s = spec(a).ok_or_else(|| format!("unknown flag `{a}`"))?;
+            if s.takes_value {
+                if i + 1 >= args.len() {
+                    return Err(format!("flag `{a}` needs a value"));
+                }
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
 fn flag(args: &[String], name: &str) -> Option<String> {
+    debug_assert!(
+        spec(name).is_some_and(|s| s.takes_value),
+        "{name} not declared as value flag"
+    );
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
@@ -47,6 +120,7 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
+    debug_assert!(spec(name).is_some(), "{name} not declared");
     args.iter().any(|a| a == name)
 }
 
@@ -58,8 +132,7 @@ fn positional(args: &[String]) -> Option<&String> {
             continue;
         }
         if a.starts_with("--") {
-            // Boolean flags take no value; everything else does.
-            skip_next = a != "--classic";
+            skip_next = spec(a).is_none_or(|s| s.takes_value);
             continue;
         }
         return Some(a);
@@ -67,37 +140,39 @@ fn positional(args: &[String]) -> Option<&String> {
     None
 }
 
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        Some(v) => v.parse().map_err(|_| format!("bad {name} `{v}`")),
+        None => Ok(default),
+    }
+}
+
 fn cmd_train(args: &[String]) -> Result<(), String> {
+    check_args(args)?;
     let out = flag(args, "--out").ok_or("train needs --out <path>")?;
-    let per_category: usize = flag(args, "--per-category")
-        .map(|v| v.parse().map_err(|_| "bad --per-category"))
-        .transpose()?
-        .unwrap_or(60);
-    let seed: u64 = flag(args, "--seed")
-        .map(|v| v.parse().map_err(|_| "bad --seed"))
-        .transpose()?
-        .unwrap_or(42);
-    let epochs: usize = flag(args, "--epochs")
-        .map(|v| v.parse().map_err(|_| "bad --epochs"))
-        .transpose()?
-        .unwrap_or(24);
+    let per_category: usize = parse_flag(args, "--per-category", 60)?;
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let epochs: usize = parse_flag(args, "--epochs", 24)?;
+    let jobs: usize = parse_flag(args, "--jobs", 1)?;
 
     let samples = sard::generate(&SardConfig {
         per_category,
         seed,
         ..SardConfig::default()
     });
-    let spec = GadgetSpec::path_sensitive();
-    let corpus = spec.extract(&samples);
+    let gadget_spec = GadgetSpec::path_sensitive();
+    let corpus = gadget_spec.extract_jobs(&samples, jobs);
     eprintln!(
-        "training SEVulDet on {} path-sensitive gadgets ({} vulnerable), {} epochs ...",
+        "training SEVulDet on {} path-sensitive gadgets ({} vulnerable), {} epochs, {} job(s) ...",
         corpus.len(),
         corpus.vulnerable(),
-        epochs
+        epochs,
+        jobs
     );
     let cfg = TrainConfig {
         seed,
         epochs,
+        jobs,
         ..TrainConfig::quick()
     };
     let mut detector = Detector::train(&corpus, ModelKind::SevulDet, &cfg);
@@ -108,12 +183,11 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_scan(args: &[String]) -> Result<(), String> {
+    check_args(args)?;
     let file = positional(args).ok_or("scan needs a <file.c>")?.clone();
     let model_path = flag(args, "--model").ok_or("scan needs --model <path>")?;
-    let top: usize = flag(args, "--top")
-        .map(|v| v.parse().map_err(|_| "bad --top"))
-        .transpose()?
-        .unwrap_or(0);
+    let top: usize = parse_flag(args, "--top", 0)?;
+    let jobs: usize = parse_flag(args, "--jobs", 1)?;
 
     let source = std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?;
     let model_text =
@@ -127,20 +201,23 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
         println!("{file}: no special tokens — nothing to scan");
         return Ok(());
     }
-    let spec = GadgetSpec::path_sensitive();
+    let gadget_spec = GadgetSpec::path_sensitive();
+    let slice = gadget_spec.slice_config();
+    // Slice + normalize every gadget (parallel), then score the whole batch
+    // (parallel); both stages return results in special-token order.
+    let streams: Vec<Vec<String>> = sevuldet::parallel_map(&specials, jobs, |_, st| {
+        let gadget = build_gadget(&program, &analysis, st, GadgetKind::PathSensitive, &slice);
+        Normalizer::normalize_gadget(&gadget).tokens()
+    });
+    let probs = detector.predict_batch(&streams, jobs);
+    // Decide at the threshold the model was trained and saved with — a
+    // detector calibrated for the paper's 0.8 cut-off must not silently be
+    // scanned at 0.5.
+    let threshold = detector.threshold();
     let mut flagged = 0usize;
-    for st in &specials {
-        let gadget = build_gadget(
-            &program,
-            &analysis,
-            st,
-            GadgetKind::PathSensitive,
-            &spec.slice_config(),
-        );
-        let tokens = Normalizer::normalize_gadget(&gadget).tokens();
-        let p = detector.predict(&tokens);
-        let verdict = p > 0.5;
-        if verdict {
+    for ((st, tokens), p) in specials.iter().zip(&streams).zip(&probs) {
+        let p = *p;
+        if p > threshold {
             flagged += 1;
             println!(
                 "{file}:{}: [{}] `{}` p={p:.3}  ** potentially vulnerable **",
@@ -149,7 +226,7 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
                 st.name
             );
             if top > 0 {
-                for r in top_tokens(&mut detector, &tokens, top) {
+                for r in top_tokens(&mut detector, tokens, top) {
                     println!("      attention {:>6.1}%  {}", r.percent, r.token);
                 }
             }
@@ -163,13 +240,14 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
         }
     }
     println!(
-        "\n{flagged}/{} gadgets flagged in {file}",
+        "\n{flagged}/{} gadgets flagged in {file} (threshold {threshold})",
         specials.len()
     );
     Ok(())
 }
 
 fn cmd_gadgets(args: &[String]) -> Result<(), String> {
+    check_args(args)?;
     let file = positional(args).ok_or("gadgets needs a <file.c>")?.clone();
     let kind = if has_flag(args, "--classic") {
         GadgetKind::Classic
@@ -180,9 +258,9 @@ fn cmd_gadgets(args: &[String]) -> Result<(), String> {
     let program = sevuldet_lang::parse(&source).map_err(|e| e.to_string())?;
     let analysis = ProgramAnalysis::analyze(&program);
     let specials = find_special_tokens(&program, &analysis);
-    let spec = GadgetSpec::path_sensitive();
+    let gadget_spec = GadgetSpec::path_sensitive();
     for st in &specials {
-        let gadget = build_gadget(&program, &analysis, st, kind, &spec.slice_config());
+        let gadget = build_gadget(&program, &analysis, st, kind, &gadget_spec.slice_config());
         println!("{gadget}\n");
     }
     println!("{} gadgets ({kind:?})", specials.len());

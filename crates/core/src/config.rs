@@ -31,6 +31,11 @@ pub struct TrainConfig {
     pub pos_weight: Option<f64>,
     /// RNG seed (init, shuffling, dropout).
     pub seed: u64,
+    /// Worker threads for training, evaluation, and corpus processing.
+    /// `1` = sequential, `0` = all available cores. Results are bit-identical
+    /// for every value (see `par`); this is a runtime knob, not part of the
+    /// model, so it is deliberately *not* persisted with a saved detector.
+    pub jobs: usize,
 }
 
 impl Default for TrainConfig {
@@ -48,6 +53,7 @@ impl Default for TrainConfig {
             threshold: 0.8,
             pos_weight: None,
             seed: 1,
+            jobs: 1,
         }
     }
 }

@@ -2,6 +2,7 @@
 //! end), plus encoding into token ids over a trained word2vec vocabulary.
 
 use crate::config::TrainConfig;
+use crate::par::parallel_map;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sevuldet_analysis::ProgramAnalysis;
@@ -72,18 +73,26 @@ pub fn extract_gadgets(
     kind: GadgetKind,
     slice: &SliceConfig,
 ) -> GadgetCorpus {
-    let mut corpus = GadgetCorpus::default();
-    // Dedup key includes the category: the paper builds *per-category*
-    // datasets, so the same statement sequence seeded by an FC token and a
-    // PU token counts once in each category.
-    let mut seen: HashSet<(Category, String, bool)> = HashSet::new();
-    for sample in samples {
+    extract_gadgets_jobs(samples, kind, slice, 1)
+}
+
+/// [`extract_gadgets`] with an explicit worker-thread count. The per-program
+/// work (parse, analyze, slice, label, normalize) runs in parallel; the
+/// duplicate merge walks the per-program results **in input order**, so the
+/// corpus is identical for every `jobs` value.
+pub fn extract_gadgets_jobs(
+    samples: &[ProgramSample],
+    kind: GadgetKind,
+    slice: &SliceConfig,
+    jobs: usize,
+) -> GadgetCorpus {
+    let per_sample: Vec<Vec<(String, GadgetItem)>> = parallel_map(samples, jobs, |_, sample| {
+        let mut items = Vec::new();
         let Ok(program) = sevuldet_lang::parse(&sample.source) else {
-            continue;
+            return items;
         };
         let analysis = ProgramAnalysis::analyze(&program);
-        let specials = find_special_tokens(&program, &analysis);
-        for st in &specials {
+        for st in &find_special_tokens(&program, &analysis) {
             let gadget = build_gadget(&program, &analysis, st, kind, slice);
             if gadget.lines.is_empty() {
                 continue;
@@ -91,18 +100,30 @@ pub fn extract_gadgets(
             let labeled = label_gadget(&gadget, &sample.flaw_lines);
             let normalized = Normalizer::normalize_gadget(&gadget);
             let tokens = normalized.tokens();
-            let key = (st.category, tokens.join(" "), labeled.vulnerable);
-            if !seen.insert(key) {
-                continue;
+            items.push((
+                tokens.join(" "),
+                GadgetItem {
+                    tokens,
+                    label: labeled.vulnerable,
+                    category: st.category,
+                    program_id: sample.id.clone(),
+                    key_line: st.line,
+                    origin: sample.origin,
+                },
+            ));
+        }
+        items
+    });
+    let mut corpus = GadgetCorpus::default();
+    // Dedup key includes the category: the paper builds *per-category*
+    // datasets, so the same statement sequence seeded by an FC token and a
+    // PU token counts once in each category.
+    let mut seen: HashSet<(Category, String, bool)> = HashSet::new();
+    for items in per_sample {
+        for (joined, item) in items {
+            if seen.insert((item.category, joined, item.label)) {
+                corpus.items.push(item);
             }
-            corpus.items.push(GadgetItem {
-                tokens,
-                label: labeled.vulnerable,
-                category: st.category,
-                program_id: sample.id.clone(),
-                key_line: st.line,
-                origin: sample.origin,
-            });
         }
     }
     corpus
@@ -125,7 +146,10 @@ pub struct Encoded {
 pub fn encode(corpus: &GadgetCorpus, config: &TrainConfig) -> Encoded {
     let token_refs: Vec<&[String]> = corpus.items.iter().map(|i| i.tokens.as_slice()).collect();
     let vocab = Vocab::build(token_refs.iter().copied(), 1);
-    let sequences: Vec<Vec<usize>> = corpus.items.iter().map(|i| vocab.encode(&i.tokens)).collect();
+    // Per-gadget id lookup is embarrassingly parallel; outputs come back in
+    // corpus order, so the encoding is independent of `config.jobs`.
+    let sequences: Vec<Vec<usize>> =
+        parallel_map(&corpus.items, config.jobs, |_, i| vocab.encode(&i.tokens));
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x77);
     let sg_cfg = SkipGramConfig {
         dim: config.embed_dim,
@@ -157,11 +181,7 @@ mod tests {
     #[test]
     fn extraction_produces_labeled_gadgets_in_all_categories() {
         let samples = tiny_corpus();
-        let corpus = extract_gadgets(
-            &samples,
-            GadgetKind::PathSensitive,
-            &SliceConfig::default(),
-        );
+        let corpus = extract_gadgets(&samples, GadgetKind::PathSensitive, &SliceConfig::default());
         assert!(corpus.len() > samples.len(), "several gadgets per program");
         assert!(corpus.vulnerable() > 0);
         assert!(corpus.vulnerable() < corpus.len());
@@ -213,11 +233,8 @@ mod tests {
                     &SliceConfig::default(),
                 );
                 assert!(ps.lines.len() >= cg.lines.len());
-                let ps_lines: std::collections::HashSet<(String, u32)> = ps
-                    .lines
-                    .iter()
-                    .map(|l| (l.func.clone(), l.line))
-                    .collect();
+                let ps_lines: std::collections::HashSet<(String, u32)> =
+                    ps.lines.iter().map(|l| (l.func.clone(), l.line)).collect();
                 for l in &cg.lines {
                     assert!(
                         ps_lines.contains(&(l.func.clone(), l.line)),
@@ -228,6 +245,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn extraction_is_identical_for_every_job_count() {
+        let samples = tiny_corpus();
+        let slice = SliceConfig::default();
+        let base = extract_gadgets_jobs(&samples, GadgetKind::PathSensitive, &slice, 1);
+        for jobs in [2, 4, 7] {
+            let par = extract_gadgets_jobs(&samples, GadgetKind::PathSensitive, &slice, jobs);
+            assert_eq!(par.len(), base.len(), "jobs={jobs}");
+            for (a, b) in par.items.iter().zip(&base.items) {
+                assert_eq!(a.tokens, b.tokens);
+                assert_eq!(a.label, b.label);
+                assert_eq!(a.category, b.category);
+                assert_eq!(a.program_id, b.program_id);
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_identical_for_every_job_count() {
+        let corpus = extract_gadgets(
+            &tiny_corpus(),
+            GadgetKind::PathSensitive,
+            &SliceConfig::default(),
+        );
+        let cfg = TrainConfig {
+            embed_dim: 12,
+            w2v_epochs: 1,
+            ..TrainConfig::quick()
+        };
+        let base = encode(&corpus, &cfg);
+        let par = encode(&corpus, &TrainConfig { jobs: 4, ..cfg });
+        assert_eq!(base.ids, par.ids);
+        assert_eq!(base.table.data(), par.table.data());
     }
 
     #[test]

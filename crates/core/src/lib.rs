@@ -13,6 +13,8 @@
 //! * [`zoo`] — every network of the evaluation (SEVulDet and ablations,
 //!   BLSTM, BGRU);
 //! * [`train`] — Step V training loops, stratified splits, k-fold CV;
+//! * [`par`] — the deterministic data-parallel execution layer beneath
+//!   them (bit-identical results for every `jobs` count);
 //! * [`metrics`] — FPR/FNR/A/P/F1 exactly as §IV-A defines them;
 //! * [`explain`] — the Fig. 6 attention-weight ranking.
 //!
@@ -35,16 +37,20 @@ pub mod corpus;
 pub mod explain;
 pub mod export;
 pub mod metrics;
+pub mod par;
 pub mod persist;
 pub mod pipeline;
 pub mod train;
 pub mod zoo;
 
 pub use config::{global_seed, scale_factor, TrainConfig};
-pub use corpus::{encode, extract_gadgets, Encoded, GadgetCorpus, GadgetItem};
+pub use corpus::{
+    encode, extract_gadgets, extract_gadgets_jobs, Encoded, GadgetCorpus, GadgetItem,
+};
 pub use explain::{top_tokens, RankedToken};
 pub use export::{from_gadget_file, to_gadget_file};
 pub use metrics::Confusion;
+pub use par::{effective_jobs, parallel_map, parallel_map_with, sample_seed};
 pub use persist::{load_detector, save_detector, PersistError};
 pub use pipeline::{cross_validate, run_split, Detector, GadgetSpec};
 pub use train::{evaluate_model, k_folds, stratified_split, subsample, train_model};

@@ -147,7 +147,15 @@ mod tests {
         c.record(true, false);
         c.record(false, true);
         c.record(false, false);
-        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         let mut d = c;
         d.merge(&c);
         assert_eq!(d.total(), 8);

@@ -1,6 +1,7 @@
-//! Detector persistence: a trained [`Detector`] (model weights + vocabulary
-//! + configuration) round-trips through a line-oriented text format, so the
-//! CLI can train once and scan many times.
+//! Detector persistence: a trained [`Detector`] (model weights, vocabulary,
+//! and configuration, including the decision threshold) round-trips through
+//! a line-oriented text format, so the CLI can train once and scan many
+//! times.
 
 use crate::config::TrainConfig;
 use crate::pipeline::Detector;
@@ -103,7 +104,9 @@ pub fn load_detector(text: &str) -> Result<Detector, PersistError> {
     if lines.next() != Some(MAGIC) {
         return Err(PersistError("bad magic header".into()));
     }
-    let kind_line = lines.next().ok_or_else(|| PersistError("missing kind".into()))?;
+    let kind_line = lines
+        .next()
+        .ok_or_else(|| PersistError("missing kind".into()))?;
     let kind = kind_line
         .strip_prefix("kind ")
         .and_then(kind_from_tag)
@@ -143,7 +146,8 @@ pub fn load_detector(text: &str) -> Result<Detector, PersistError> {
         let (tok_hex, count) = l
             .split_once(' ')
             .ok_or_else(|| PersistError(format!("bad vocab line `{l}`")))?;
-        let tok = unhex(tok_hex).ok_or_else(|| PersistError(format!("bad token hex `{tok_hex}`")))?;
+        let tok =
+            unhex(tok_hex).ok_or_else(|| PersistError(format!("bad token hex `{tok_hex}`")))?;
         let count: u64 = count
             .parse()
             .map_err(|_| PersistError(format!("bad count in `{l}`")))?;
@@ -186,7 +190,10 @@ mod tests {
 
     #[test]
     fn tokens_with_spaces_and_quotes_survive() {
-        let entries = vec![("\"hello world\"".to_string(), 3u64), ("var1".to_string(), 9)];
+        let entries = vec![
+            ("\"hello world\"".to_string(), 3u64),
+            ("var1".to_string(), 9),
+        ];
         let v = Vocab::from_entries(entries.clone());
         assert_eq!(v.id("\"hello world\""), 2);
         let h = hex("\"hello world\"");

@@ -2,8 +2,9 @@
 //! with a reusable trained [`Detector`] for the detection phase (Fig. 2b).
 
 use crate::config::TrainConfig;
-use crate::corpus::{encode, extract_gadgets, GadgetCorpus};
+use crate::corpus::{encode, extract_gadgets_jobs, GadgetCorpus};
 use crate::metrics::Confusion;
+use crate::par::parallel_map_with;
 use crate::train::{evaluate_model, train_model};
 use crate::zoo::{build_model, AnyModel, ModelKind};
 use rand::rngs::StdRng;
@@ -60,7 +61,13 @@ impl GadgetSpec {
 
     /// Extracts the gadget corpus of a program set under this spec.
     pub fn extract(&self, samples: &[ProgramSample]) -> GadgetCorpus {
-        extract_gadgets(samples, self.kind, &self.slice_config())
+        self.extract_jobs(samples, 1)
+    }
+
+    /// [`GadgetSpec::extract`] across `jobs` worker threads. The corpus is
+    /// identical for every `jobs` value.
+    pub fn extract_jobs(&self, samples: &[ProgramSample], jobs: usize) -> GadgetCorpus {
+        extract_gadgets_jobs(samples, self.kind, &self.slice_config(), jobs)
     }
 }
 
@@ -103,6 +110,8 @@ pub fn cross_validate(
 
 /// A trained detector bundling the model with its vocabulary, usable on new
 /// programs (the detection phase, and the Table VI transfer experiment).
+/// `Clone` gives the batch-prediction path its per-worker replicas.
+#[derive(Clone)]
 pub struct Detector {
     model: AnyModel,
     kind: ModelKind,
@@ -136,12 +145,8 @@ impl Detector {
     /// Decomposes the detector for persistence: `(kind, config, vocab,
     /// serialized parameters)`.
     pub fn persist_parts(&mut self) -> (ModelKind, TrainConfig, &Vocab, String) {
-        let params: Vec<&sevuldet_nn::Param> = self
-            .model
-            .params_mut()
-            .into_iter()
-            .map(|p| &*p)
-            .collect();
+        let params: Vec<&sevuldet_nn::Param> =
+            self.model.params_mut().into_iter().map(|p| &*p).collect();
         let text = sevuldet_nn::save_params(&params);
         (self.kind, self.cfg.clone(), &self.vocab, text)
     }
@@ -181,6 +186,25 @@ impl Detector {
         self.predict(tokens) > self.cfg.threshold
     }
 
+    /// The decision threshold this detector was trained with. Persisted in
+    /// the saved model, so a loaded detector scans with the same cut-off it
+    /// was calibrated for.
+    pub fn threshold(&self) -> f64 {
+        self.cfg.threshold
+    }
+
+    /// Probabilities for a batch of token streams, computed on up to `jobs`
+    /// worker threads (`0` = all cores). Outputs are in input order and
+    /// identical for every `jobs` value — inference consumes no randomness.
+    pub fn predict_batch(&self, streams: &[Vec<String>], jobs: usize) -> Vec<f64> {
+        parallel_map_with(
+            streams,
+            jobs,
+            || self.clone(),
+            |det, _, tokens| det.predict(tokens),
+        )
+    }
+
     /// Per-token attention weights of the last prediction, if the model has
     /// token attention (Fig. 6's hook).
     pub fn token_weights(&self) -> Option<Vec<f64>> {
@@ -188,17 +212,14 @@ impl Detector {
     }
 
     /// Evaluates the detector on a fresh gadget corpus (e.g. the Xen-sim
-    /// corpus after training on SARD-sim).
+    /// corpus after training on SARD-sim), sharding inference across the
+    /// configured `cfg.jobs` worker threads.
     pub fn evaluate_corpus(&mut self, corpus: &GadgetCorpus) -> Confusion {
+        let streams: Vec<Vec<String>> = corpus.items.iter().map(|i| i.tokens.clone()).collect();
+        let probs = self.predict_batch(&streams, self.cfg.jobs);
         let mut confusion = Confusion::default();
-        let items: Vec<(Vec<String>, bool)> = corpus
-            .items
-            .iter()
-            .map(|i| (i.tokens.clone(), i.label))
-            .collect();
-        for (tokens, label) in items {
-            let verdict = self.is_vulnerable(&tokens);
-            confusion.record(verdict, label);
+        for (p, item) in probs.iter().zip(&corpus.items) {
+            confusion.record(*p > self.cfg.threshold, item.label);
         }
         confusion
     }

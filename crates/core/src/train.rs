@@ -1,8 +1,24 @@
-//! Training and evaluation loops (Step V).
+//! Training and evaluation loops (Step V), data-parallel and deterministic.
+//!
+//! Both loops shard samples across `cfg.jobs` worker threads while keeping
+//! results **bit-identical for every thread count**:
+//!
+//! * each sample's dropout stream is seeded from `(run seed, epoch,
+//!   position in the shuffled order)` — see [`crate::par::sample_seed`] —
+//!   so randomness does not depend on which worker runs the sample or how
+//!   many samples that worker has already processed;
+//! * each worker computes per-sample gradients on its own model replica
+//!   (weights are constant within a mini-batch, exactly as in sequential
+//!   gradient accumulation) and the coordinator merges them in global
+//!   sample order, so the floating-point summation tree never changes.
+//!
+//! The `jobs = 1` path runs through the same extract-and-merge code, which
+//! is what makes the equivalence trivial rather than approximate.
 
 use crate::config::TrainConfig;
 use crate::corpus::{Encoded, GadgetCorpus};
 use crate::metrics::Confusion;
+use crate::par::{parallel_map_with, sample_seed};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -15,14 +31,20 @@ use sevuldet_nn::{bce_with_logits_weighted, Adam, SequenceClassifier};
 /// negative/positive ratio (capped at 10) unless `cfg.pos_weight` overrides
 /// it — the paper keeps its corpora imbalanced, so unweighted training
 /// collapses to the majority class.
-pub fn train_model(
-    model: &mut impl SequenceClassifier,
+///
+/// With `cfg.jobs > 1` the samples of each mini-batch are processed on
+/// worker threads; saved parameters are bit-identical to `cfg.jobs == 1`
+/// at equal `cfg.seed` (see the module docs for why).
+pub fn train_model<M>(
+    model: &mut M,
     corpus: &GadgetCorpus,
     encoded: &Encoded,
     train_idx: &[usize],
     cfg: &TrainConfig,
-) {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5151);
+) where
+    M: SequenceClassifier + Clone + Send + Sync,
+{
+    let mut shuffle_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5151);
     let mut opt = Adam::new(cfg.lr);
     let pos = train_idx.iter().filter(|&&i| corpus.items[i].label).count();
     let neg = train_idx.len() - pos;
@@ -31,41 +53,66 @@ pub fn train_model(
         .unwrap_or_else(|| ((neg.max(1) as f64) / (pos.max(1) as f64)).clamp(1.0, 10.0));
 
     let mut order: Vec<usize> = train_idx.to_vec();
-    for _ in 0..cfg.epochs {
-        order.shuffle(&mut rng);
-        let mut in_batch = 0usize;
-        for &i in &order {
-            let label = if corpus.items[i].label { 1.0 } else { 0.0 };
-            let logit = model.forward_logit(&encoded.ids[i], true, &mut rng);
-            let (_, dlogit) = bce_with_logits_weighted(logit, label, pos_weight);
-            model.backward(dlogit / cfg.batch as f64);
-            in_batch += 1;
-            if in_batch == cfg.batch {
-                opt.step(&mut model.params_mut());
-                in_batch = 0;
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut shuffle_rng);
+        let mut start = 0usize;
+        while start < order.len() {
+            let end = (start + cfg.batch).min(order.len());
+            // (position in epoch order, corpus index) — the position keys
+            // the sample's RNG and fixes its slot in the gradient merge.
+            let batch: Vec<(usize, usize)> = (start..end).map(|pos| (pos, order[pos])).collect();
+            let grads = parallel_map_with(
+                &batch,
+                cfg.jobs,
+                || model.clone(),
+                |replica, _, &(pos, i)| {
+                    let mut rng = StdRng::seed_from_u64(sample_seed(cfg.seed, epoch, pos));
+                    let label = if corpus.items[i].label { 1.0 } else { 0.0 };
+                    let logit = replica.forward_logit(&encoded.ids[i], true, &mut rng);
+                    let (_, dlogit) = bce_with_logits_weighted(logit, label, pos_weight);
+                    replica.backward(dlogit / cfg.batch as f64);
+                    replica.take_grads()
+                },
+            );
+            // Fixed-order reduction: position 0's gradients first, always.
+            for g in &grads {
+                model.add_grads(g);
             }
-        }
-        if in_batch > 0 {
             opt.step(&mut model.params_mut());
+            start = end;
         }
     }
 }
 
 /// Evaluates a model on the items selected by `test_idx`, thresholding the
-/// sigmoid output at `cfg.threshold` (paper: 0.8).
-pub fn evaluate_model(
-    model: &mut impl SequenceClassifier,
+/// sigmoid output at `cfg.threshold` (paper: 0.8). Inference is sharded
+/// across `cfg.jobs` threads; the confusion matrix is independent of the
+/// thread count (inference consumes no randomness, and verdicts are merged
+/// in test order).
+pub fn evaluate_model<M>(
+    model: &mut M,
     corpus: &GadgetCorpus,
     encoded: &Encoded,
     test_idx: &[usize],
     cfg: &TrainConfig,
-) -> Confusion {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xe7a1);
+) -> Confusion
+where
+    M: SequenceClassifier + Clone + Send + Sync,
+{
     let z = cfg.logit_threshold();
+    let verdicts = parallel_map_with(
+        test_idx,
+        cfg.jobs,
+        || model.clone(),
+        |replica, pos, &i| {
+            let mut rng = StdRng::seed_from_u64(sample_seed(cfg.seed ^ 0xe7a1, 0, pos));
+            let logit = replica.forward_logit(&encoded.ids[i], false, &mut rng);
+            (logit > z, corpus.items[i].label)
+        },
+    );
     let mut confusion = Confusion::default();
-    for &i in test_idx {
-        let logit = model.forward_logit(&encoded.ids[i], false, &mut rng);
-        confusion.record(logit > z, corpus.items[i].label);
+    for (predicted, actual) in verdicts {
+        confusion.record(predicted, actual);
     }
     confusion
 }
@@ -79,8 +126,16 @@ pub fn stratified_split(
     seed: u64,
 ) -> (Vec<usize>, Vec<usize>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut pos: Vec<usize> = idx.iter().copied().filter(|&i| corpus.items[i].label).collect();
-    let mut neg: Vec<usize> = idx.iter().copied().filter(|&i| !corpus.items[i].label).collect();
+    let mut pos: Vec<usize> = idx
+        .iter()
+        .copied()
+        .filter(|&i| corpus.items[i].label)
+        .collect();
+    let mut neg: Vec<usize> = idx
+        .iter()
+        .copied()
+        .filter(|&i| !corpus.items[i].label)
+        .collect();
     pos.shuffle(&mut rng);
     neg.shuffle(&mut rng);
     let mut train = Vec::new();

@@ -50,7 +50,12 @@ impl fmt::Display for ModelKind {
     }
 }
 
-/// A zoo model behind one concrete type.
+/// A zoo model behind one concrete type. `Clone` lets the data-parallel
+/// trainer hand each worker thread its own replica. The variants differ in
+/// size, but only a handful of models ever exist at once, so boxing the
+/// large one would buy nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
 pub enum AnyModel {
     /// CNN family.
     Cnn(SevulDetCnn),

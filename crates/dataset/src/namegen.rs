@@ -15,7 +15,9 @@ const VERBS: &[&str] = &[
     "copy", "parse", "handle", "process", "read", "load", "store", "fill", "decode", "update",
     "init", "emit", "scan", "fetch", "apply", "route", "check", "merge",
 ];
-const SIZES: &[&str] = &["len", "size", "count", "n", "num", "cap", "limit", "total", "amount"];
+const SIZES: &[&str] = &[
+    "len", "size", "count", "n", "num", "cap", "limit", "total", "amount",
+];
 
 /// Random variable name like `rx_pkt3`.
 pub fn var(rng: &mut StdRng) -> String {
@@ -50,7 +52,7 @@ pub fn func(rng: &mut StdRng) -> String {
 /// Random power-of-two-ish buffer size.
 pub fn buf_size(rng: &mut StdRng) -> i64 {
     *[16i64, 32, 64, 100, 128, 256]
-        .get(rng.gen_range(0..6))
+        .get(rng.gen_range(0..6usize))
         .expect("in range")
 }
 

@@ -121,7 +121,7 @@ pub fn generate_nvd(config: &NvdConfig) -> Vec<ProgramSample> {
     let mut out = Vec::new();
     let mut rng = StdRng::seed_from_u64(config.seed);
     for i in 0..config.count {
-        let category = Category::ALL[rng.gen_range(0..4)];
+        let category = Category::ALL[rng.gen_range(0..4usize)];
         let sub_seed: u64 = rng.gen();
         let mut case_rng = StdRng::seed_from_u64(sub_seed);
         let opts = CaseOpts {

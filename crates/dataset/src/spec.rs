@@ -93,7 +93,8 @@ impl SrcBuilder {
 
     /// Emits a line at the given indent level; returns its 1-based number.
     pub fn line(&mut self, indent: usize, text: &str) -> u32 {
-        self.lines.push(format!("{}{}", "    ".repeat(indent), text));
+        self.lines
+            .push(format!("{}{}", "    ".repeat(indent), text));
         self.lines.len() as u32
     }
 

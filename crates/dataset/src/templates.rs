@@ -55,7 +55,7 @@ fn fillers(b: &mut SrcBuilder, rng: &mut StdRng, var: &str, count: usize) -> Str
     let mut prev = var.to_string();
     for i in 0..count {
         let next = format!("mix_{i}");
-        let op = ["+", "-", "^", "|"][rng.gen_range(0..4)];
+        let op = ["+", "-", "^", "|"][rng.gen_range(0..4usize)];
         let k = rng.gen_range(1..9);
         b.line(1, &format!("int {next} = {prev} {op} {k};"));
         prev = next;
@@ -80,7 +80,10 @@ fn decoy(b: &mut SrcBuilder, rng: &mut StdRng) -> String {
     }
     b.line(1, &format!("if ({n} > 0 && {n} < {sz}) {{"));
     b.line(2, &format!("{arr}[{n}] = acc;"));
-    b.line(2, &format!("acc = acc + {arr}[{n}] % {};", rng.gen_range(2..31)));
+    b.line(
+        2,
+        &format!("acc = acc + {arr}[{n}] % {};", rng.gen_range(2..31)),
+    );
     b.line(1, "}");
     b.line(1, "return acc;");
     b.line(0, "}");
@@ -101,7 +104,13 @@ fn main_fn(b: &mut SrcBuilder, entry: &str, decoy_fn: Option<&str>) {
 }
 
 /// Emits the tainted-length source, optionally through a helper.
-fn taint_source(b: &mut SrcBuilder, rng: &mut StdRng, opts: &CaseOpts, data: &str, n: &str) -> Option<String> {
+fn taint_source(
+    b: &mut SrcBuilder,
+    rng: &mut StdRng,
+    opts: &CaseOpts,
+    data: &str,
+    n: &str,
+) -> Option<String> {
     if opts.interproc {
         let helper = namegen::func(rng);
         // Helper defined before the sink function (it is called below).
@@ -167,14 +176,20 @@ pub fn fc_case(rng: &mut StdRng, opts: &CaseOpts, idx: usize) -> ProgramSample {
         _ => {
             b.line(0, &format!("void {f}(char *{data}) {{"));
             b.line(1, &format!("char {buf}[{sz}];"));
-            b.line(1, &format!("int {n} = strlen({data}) + {};", rng.gen_range(0..17)));
+            b.line(
+                1,
+                &format!("int {n} = strlen({data}) + {};", rng.gen_range(0..17)),
+            );
             fillers(&mut b, rng, &n, opts.filler);
             if opts.vulnerable {
                 b.flaw(1, &format!("gets({buf});"));
             } else {
                 b.line(1, &format!("fgets({buf}, {sz}, stdin);"));
             }
-            b.line(1, &format!("printf(\"%s %d\", {buf}, {n} * {});", rng.gen_range(1..29)));
+            b.line(
+                1,
+                &format!("printf(\"%s %d\", {buf}, {n} * {});", rng.gen_range(1..29)),
+            );
             b.line(0, "}");
         }
     }
@@ -236,7 +251,10 @@ pub fn au_case(rng: &mut StdRng, opts: &CaseOpts, idx: usize) -> ProgramSample {
         _ => {
             b.line(0, &format!("void {f}(char *{data}) {{"));
             b.line(1, &format!("int {arr}[{sz}];"));
-            b.line(1, &format!("int total = strlen({data}) * {};", rng.gen_range(1..23)));
+            b.line(
+                1,
+                &format!("int total = strlen({data}) * {};", rng.gen_range(1..23)),
+            );
             fillers(&mut b, rng, "total", opts.filler);
             let cmp = if opts.vulnerable { "<=" } else { "<" };
             let mul = rng.gen_range(1..43);
@@ -280,7 +298,10 @@ pub fn pu_case(rng: &mut StdRng, opts: &CaseOpts, idx: usize) -> ProgramSample {
             // Use-after-free vs use-then-free.
             b.line(0, &format!("void {f}(char *{data}) {{"));
             b.line(1, &format!("int {n} = strlen({data});"));
-            b.line(1, &format!("char *{p} = malloc({n} + {});", rng.gen_range(1..33)));
+            b.line(
+                1,
+                &format!("char *{p} = malloc({n} + {});", rng.gen_range(1..33)),
+            );
             fillers(&mut b, rng, &n, opts.filler);
             if rng.gen_bool(0.5) {
                 b.line(1, &format!("{p}[0] = {};", rng.gen_range(32..126)));
@@ -300,7 +321,10 @@ pub fn pu_case(rng: &mut StdRng, opts: &CaseOpts, idx: usize) -> ProgramSample {
             // Double free vs free + NULL reset.
             b.line(0, &format!("void {f}(char *{data}) {{"));
             b.line(1, &format!("int {n} = strlen({data});"));
-            b.line(1, &format!("char *{p} = malloc({n} + {});", rng.gen_range(1..33)));
+            b.line(
+                1,
+                &format!("char *{p} = malloc({n} + {});", rng.gen_range(1..33)),
+            );
             fillers(&mut b, rng, &n, opts.filler);
             b.line(1, &format!("if ({n} > {}) {{", rng.gen_range(2..17)));
             b.line(2, &format!("free({p});"));
@@ -319,7 +343,10 @@ pub fn pu_case(rng: &mut StdRng, opts: &CaseOpts, idx: usize) -> ProgramSample {
             // NULL-deref: missing (or displaced) allocation check.
             b.line(0, &format!("void {f}(char *{data}) {{"));
             b.line(1, &format!("int {n} = strlen({data});"));
-            b.line(1, &format!("char *{p} = malloc({n} + {});", rng.gen_range(1..33)));
+            b.line(
+                1,
+                &format!("char *{p} = malloc({n} + {});", rng.gen_range(1..33)),
+            );
             fillers(&mut b, rng, &n, opts.filler);
             let sink = format!("{p}[0] = '{}';", (b'a' + rng.gen_range(0..26u8)) as char);
             if opts.displaced_guard {
@@ -371,7 +398,7 @@ pub fn ae_case(rng: &mut StdRng, opts: &CaseOpts, idx: usize) -> ProgramSample {
     let cwe = match flavor {
         0 => {
             // count * ITEM_SIZE overflow before allocation+copy.
-            let item = [8i64, 16, 24, 32][rng.gen_range(0..4)];
+            let item = [8i64, 16, 24, 32][rng.gen_range(0..4usize)];
             let p = namegen::var(rng);
             let src_line = taint_source(&mut b, rng, opts, &data, &n).expect("source");
             b.line(0, &format!("void {f}(char *{data}) {{"));
@@ -381,7 +408,10 @@ pub fn ae_case(rng: &mut StdRng, opts: &CaseOpts, idx: usize) -> ProgramSample {
             let alloc = format!("char *{p} = malloc(total);");
             let copy = format!("memcpy({p}, {data}, total);");
             if opts.displaced_guard {
-                b.line(1, &format!("if ({n} > 0 && {n} < {}) {{", rng.gen_range(200..2000)));
+                b.line(
+                    1,
+                    &format!("if ({n} > 0 && {n} < {}) {{", rng.gen_range(200..2000)),
+                );
                 if opts.vulnerable {
                     b.line(2, "puts(\"count ok\");");
                     b.line(1, "}");
@@ -399,7 +429,10 @@ pub fn ae_case(rng: &mut StdRng, opts: &CaseOpts, idx: usize) -> ProgramSample {
                 b.line(1, &alloc);
                 b.line(1, &copy);
             } else {
-                b.line(1, &format!("if ({n} > 0 && {n} < {}) {{", rng.gen_range(200..2000)));
+                b.line(
+                    1,
+                    &format!("if ({n} > 0 && {n} < {}) {{", rng.gen_range(200..2000)),
+                );
                 b.line(2, &mul);
                 b.line(2, &alloc);
                 b.line(2, &copy);
@@ -414,7 +447,14 @@ pub fn ae_case(rng: &mut StdRng, opts: &CaseOpts, idx: usize) -> ProgramSample {
             let src_line = taint_source(&mut b, rng, opts, &data, &n).expect("source");
             b.line(0, &format!("void {f}(char *{data}) {{"));
             b.line(1, &src_line);
-            b.line(1, &format!("int sum = {n} * {} + {};", rng.gen_range(2..91), rng.gen_range(1..53)));
+            b.line(
+                1,
+                &format!(
+                    "int sum = {n} * {} + {};",
+                    rng.gen_range(2..91),
+                    rng.gen_range(1..53)
+                ),
+            );
             fillers(&mut b, rng, "sum", opts.filler);
             let sink = format!("int avg = sum / {n};");
             if opts.displaced_guard {
@@ -503,14 +543,20 @@ pub fn ae_case(rng: &mut StdRng, opts: &CaseOpts, idx: usize) -> ProgramSample {
             let off = namegen::size_var(rng);
             let n2 = namegen::size_var(rng);
             let dst = namegen::var(rng);
-            let limit = [128i64, 256, 512][rng.gen_range(0..3)];
+            let limit = [128i64, 256, 512][rng.gen_range(0..3usize)];
             b.line(0, &format!("void {f}(char *{data}) {{"));
             b.line(1, &format!("char {dst}[{limit}];"));
             b.line(1, &format!("int {off} = atoi({data});"));
-            b.line(1, &format!("int {n2} = strlen({data}) + {};", rng.gen_range(0..9)));
+            b.line(
+                1,
+                &format!("int {n2} = strlen({data}) + {};", rng.gen_range(0..9)),
+            );
             fillers(&mut b, rng, &off, opts.filler);
             if opts.vulnerable {
-                b.flaw(1, &format!("if ({off} < 0 || {n2} < 0 || {off} + {n2} > {limit}) {{"));
+                b.flaw(
+                    1,
+                    &format!("if ({off} < 0 || {n2} < 0 || {off} + {n2} > {limit}) {{"),
+                );
                 b.line(2, "return;");
                 b.line(1, "}");
                 b.flaw(1, &format!("memcpy({dst} + {off}, {data}, {n2});"));
@@ -624,9 +670,7 @@ mod tests {
         for &fl in &s.flaw_lines {
             let text = lines[(fl - 1) as usize];
             assert!(
-                text.contains("strncpy")
-                    || text.contains("memcpy")
-                    || text.contains("gets"),
+                text.contains("strncpy") || text.contains("memcpy") || text.contains("gets"),
                 "flaw line {fl} = {text}"
             );
         }

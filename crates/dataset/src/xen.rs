@@ -289,7 +289,7 @@ pub fn generate(config: &XenConfig) -> Vec<ProgramSample> {
         .collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
     for i in 0..config.distractors {
-        let category = Category::ALL[rng.gen_range(0..4)];
+        let category = Category::ALL[rng.gen_range(0..4usize)];
         let sub_seed: u64 = rng.gen();
         let mut case_rng = StdRng::seed_from_u64(sub_seed);
         let opts = CaseOpts {
@@ -314,8 +314,7 @@ mod tests {
     fn cve_analogues_parse_and_flaw_lines_match() {
         for case in cve_cases() {
             for s in [&case.vulnerable, &case.patched] {
-                let p = sevuldet_lang::parse(&s.source)
-                    .unwrap_or_else(|e| panic!("{e}\n{}", s.id));
+                let p = sevuldet_lang::parse(&s.source).unwrap_or_else(|e| panic!("{e}\n{}", s.id));
                 assert!(p.function(case.harness).is_some(), "{} harness", s.id);
             }
             assert!(case.vulnerable.vulnerable);
@@ -343,7 +342,13 @@ mod tests {
             .iter()
             .find(|t| t.func == "fec_receive" && t.line == 11)
             .expect("stride subtraction special token");
-        let g = build_gadget(&p, &a, seed, GadgetKind::PathSensitive, &SliceConfig::default());
+        let g = build_gadget(
+            &p,
+            &a,
+            seed,
+            GadgetKind::PathSensitive,
+            &SliceConfig::default(),
+        );
         let text = g.to_text();
         assert!(text.contains("while ( size > 0 ) {"), "{text}");
         assert!(text.contains("size = size - fec_emrbr"), "{text}");

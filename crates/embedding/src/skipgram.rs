@@ -139,8 +139,8 @@ impl SkipGram {
     /// (`<pad>`) is zeroed so padding carries no signal.
     pub fn table(&self) -> sevuldet_nn_table::Table {
         let mut data = self.input.clone();
-        for k in 0..self.dim {
-            data[k] = 0.0;
+        for v in data.iter_mut().take(self.dim) {
+            *v = 0.0;
         }
         sevuldet_nn_table::Table {
             rows: self.vocab_len,
@@ -225,13 +225,22 @@ mod tests {
         let mut sents: Vec<Vec<String>> = Vec::new();
         for _ in 0..60 {
             sents.push(
-                "open alpha close".split_whitespace().map(String::from).collect(),
+                "open alpha close"
+                    .split_whitespace()
+                    .map(String::from)
+                    .collect(),
             );
             sents.push(
-                "open beta close".split_whitespace().map(String::from).collect(),
+                "open beta close"
+                    .split_whitespace()
+                    .map(String::from)
+                    .collect(),
             );
             sents.push(
-                "left gamma right".split_whitespace().map(String::from).collect(),
+                "left gamma right"
+                    .split_whitespace()
+                    .map(String::from)
+                    .collect(),
             );
         }
         let refs: Vec<&[String]> = sents.iter().map(Vec::as_slice).collect();

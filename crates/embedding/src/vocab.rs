@@ -22,20 +22,15 @@ pub struct Vocab {
 impl Vocab {
     /// Builds a vocabulary from token sequences, keeping tokens that occur
     /// at least `min_count` times.
-    pub fn build<'a>(
-        corpus: impl IntoIterator<Item = &'a [String]>,
-        min_count: u64,
-    ) -> Vocab {
+    pub fn build<'a>(corpus: impl IntoIterator<Item = &'a [String]>, min_count: u64) -> Vocab {
         let mut freq: HashMap<String, u64> = HashMap::new();
         for seq in corpus {
             for t in seq {
                 *freq.entry(t.clone()).or_default() += 1;
             }
         }
-        let mut entries: Vec<(String, u64)> = freq
-            .into_iter()
-            .filter(|(_, c)| *c >= min_count)
-            .collect();
+        let mut entries: Vec<(String, u64)> =
+            freq.into_iter().filter(|(_, c)| *c >= min_count).collect();
         entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let mut v = Vocab {
             ids: HashMap::new(),

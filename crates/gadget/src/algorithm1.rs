@@ -29,7 +29,9 @@ pub fn build_gadget(
     // (a `for` header and its step share a line — the header wins).
     let mut per_func: HashMap<String, BTreeMap<u32, GadgetLine>> = HashMap::new();
     for (func, node_id) in &slice.nodes {
-        let Some(pdg) = analysis.pdg(func) else { continue };
+        let Some(pdg) = analysis.pdg(func) else {
+            continue;
+        };
         let node = pdg.cfg.node(*node_id);
         if node.tokens.is_empty() {
             continue;
@@ -92,8 +94,12 @@ fn insert_control_ranges(
 ) {
     let funcs: Vec<String> = per_func.keys().cloned().collect();
     for fname in funcs {
-        let Some(f) = program.function(&fname) else { continue };
-        let Some(pdg) = analysis.pdg(&fname) else { continue };
+        let Some(f) = program.function(&fname) else {
+            continue;
+        };
+        let Some(pdg) = analysis.pdg(&fname) else {
+            continue;
+        };
         let ranges = control_ranges(f);
         let lines = per_func.get(&fname).expect("key from map");
         let stmt_lines: HashSet<u32> = lines
@@ -207,10 +213,7 @@ fn function_order(
     }
     // Cycles (mutual recursion): append leftovers deterministically.
     if out.len() < involved.len() {
-        let mut rest: Vec<String> = involved
-            .into_iter()
-            .filter(|f| !out.contains(f))
-            .collect();
+        let mut rest: Vec<String> = involved.into_iter().filter(|f| !out.contains(f)).collect();
         rest.sort();
         out.extend(rest);
     }
@@ -229,11 +232,7 @@ mod tests {
     use crate::types::Category;
     use sevuldet_lang::parse;
 
-    fn gadget_for(
-        src: &str,
-        pick: impl Fn(&SpecialToken) -> bool,
-        kind: GadgetKind,
-    ) -> CodeGadget {
+    fn gadget_for(src: &str, pick: impl Fn(&SpecialToken) -> bool, kind: GadgetKind) -> CodeGadget {
         let p = parse(src).unwrap();
         let a = ProgramAnalysis::analyze(&p);
         let toks = find_special_tokens(&p, &a);
@@ -335,15 +334,8 @@ mod tests {
         strncpy(dest, data, n);
     }
 }"#;
-        let g = gadget_for(
-            src,
-            |t| t.category == Category::Fc,
-            GadgetKind::Classic,
-        );
-        assert!(g
-            .lines
-            .iter()
-            .all(|l| l.origin == LineOrigin::Stmt));
+        let g = gadget_for(src, |t| t.category == Category::Fc, GadgetKind::Classic);
+        assert!(g.lines.iter().all(|l| l.origin == LineOrigin::Stmt));
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub fn label_gadget(gadget: &CodeGadget, flaw_lines: &HashSet<u32>) -> LabeledGa
 
 /// Labels a batch of gadgets.
 pub fn label_all(gadgets: &[CodeGadget], flaw_lines: &HashSet<u32>) -> Vec<LabeledGadget> {
-    gadgets.iter().map(|g| label_gadget(g, flaw_lines)).collect()
+    gadgets
+        .iter()
+        .map(|g| label_gadget(g, flaw_lines))
+        .collect()
 }
 
 /// The Step-II re-labeling hook: given per-gadget false-positive counts

@@ -123,23 +123,16 @@ mod tests {
             vec!["count", "=", "count", "+", "1", ";"],
         ]);
         let n = Normalizer::normalize_gadget(&g);
-        assert_eq!(
-            n.lines[0].tokens,
-            vec!["int", "var1", "=", "var2", ";"]
-        );
-        assert_eq!(
-            n.lines[1].tokens,
-            vec!["var1", "=", "var1", "+", "1", ";"]
-        );
+        assert_eq!(n.lines[0].tokens, vec!["int", "var1", "=", "var2", ";"]);
+        assert_eq!(n.lines[1].tokens, vec!["var1", "=", "var1", "+", "1", ";"]);
     }
 
     #[test]
     fn library_functions_and_keywords_kept() {
-        let g = gadget(vec![vec![
-            "if", "(", "n", "<", "16", ")", "{",
-        ], vec![
-            "strncpy", "(", "dest", ",", "data", ",", "n", ")", ";",
-        ]]);
+        let g = gadget(vec![
+            vec!["if", "(", "n", "<", "16", ")", "{"],
+            vec!["strncpy", "(", "dest", ",", "data", ",", "n", ")", ";"],
+        ]);
         let n = Normalizer::normalize_gadget(&g);
         assert_eq!(n.lines[0].tokens[0], "if");
         assert_eq!(n.lines[1].tokens[0], "strncpy");
@@ -150,9 +143,7 @@ mod tests {
 
     #[test]
     fn user_functions_renamed_separately_from_vars() {
-        let g = gadget(vec![vec![
-            "helper", "(", "helper_result", ")", ";",
-        ]]);
+        let g = gadget(vec![vec!["helper", "(", "helper_result", ")", ";"]]);
         let n = Normalizer::normalize_gadget(&g);
         assert_eq!(n.lines[0].tokens[0], "fun1");
         assert_eq!(n.lines[0].tokens[2], "var1");
@@ -177,8 +168,12 @@ mod tests {
     fn identical_structure_normalizes_identically() {
         // Different user names, same shape → same normalized text. This is
         // what lets the detector generalise across naming conventions.
-        let a = gadget(vec![vec!["strncpy", "(", "dst", ",", "src", ",", "len", ")", ";"]]);
-        let b = gadget(vec![vec!["strncpy", "(", "out", ",", "in_", ",", "cnt", ")", ";"]]);
+        let a = gadget(vec![vec![
+            "strncpy", "(", "dst", ",", "src", ",", "len", ")", ";",
+        ]]);
+        let b = gadget(vec![vec![
+            "strncpy", "(", "out", ",", "in_", ",", "cnt", ")", ";",
+        ]]);
         assert_eq!(
             Normalizer::normalize_gadget(&a).to_text(),
             Normalizer::normalize_gadget(&b).to_text()

@@ -148,7 +148,9 @@ fn backward(
         if !out.insert((f.clone(), n)) {
             continue;
         }
-        let Some(pdg) = analysis.pdg(&f) else { continue };
+        let Some(pdg) = analysis.pdg(&f) else {
+            continue;
+        };
         for (m, _var) in pdg.data_preds(n) {
             work.push_back((f.clone(), *m));
         }
@@ -200,7 +202,9 @@ fn forward(
             continue;
         }
         out.insert((f.clone(), n));
-        let Some(pdg) = analysis.pdg(&f) else { continue };
+        let Some(pdg) = analysis.pdg(&f) else {
+            continue;
+        };
         for (m, _var) in pdg.data_succs(n) {
             work.push_back((f.clone(), *m));
         }
@@ -303,7 +307,10 @@ mod tests {
         let seed = node_with(&a, "f", "strncpy");
         let s = two_way_slice(&a, "f", seed, &SliceConfig::default());
         let lines: Vec<u32> = lines_of(&a, &s).iter().map(|(_, l)| *l).collect();
-        assert!(lines.contains(&3), "post-def guard captured via forward slice");
+        assert!(
+            lines.contains(&3),
+            "post-def guard captured via forward slice"
+        );
     }
 
     #[test]
@@ -323,7 +330,10 @@ void caller(char *d, char *s) {
             "slice must ascend into caller"
         );
         let lines = lines_of(&a, &s);
-        assert!(lines.contains(&("caller".to_string(), 5)), "n source in caller");
+        assert!(
+            lines.contains(&("caller".to_string(), 5)),
+            "n source in caller"
+        );
     }
 
     #[test]

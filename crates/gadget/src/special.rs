@@ -73,8 +73,12 @@ pub fn find_special_tokens(program: &Program, analysis: &ProgramAnalysis) -> Vec
         }
     }
     out.sort_by(|a, b| {
-        (a.func.as_str(), a.line, a.category, a.name.as_str())
-            .cmp(&(b.func.as_str(), b.line, b.category, b.name.as_str()))
+        (a.func.as_str(), a.line, a.category, a.name.as_str()).cmp(&(
+            b.func.as_str(),
+            b.line,
+            b.category,
+            b.name.as_str(),
+        ))
     });
     out
 }

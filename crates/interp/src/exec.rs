@@ -223,7 +223,13 @@ impl<'p, 'i> Machine<'p, 'i> {
             let v = args.get(i).copied().unwrap_or(Value::Int(0));
             let block = self.alloc(1, false);
             self.blocks[block].data[0] = v;
-            self.define(&p.name, Slot { block, array: false });
+            self.define(
+                &p.name,
+                Slot {
+                    block,
+                    array: false,
+                },
+            );
         }
         let flow = self.exec_block(&f.body);
         self.scopes.truncate(scopes_before);
@@ -433,28 +439,26 @@ impl<'p, 'i> Machine<'p, 'i> {
                     self.load(slot.block, 0)
                 }
             }
-            ExprKind::Unary { op, expr } => {
-                match op {
-                    UnaryOp::AddrOf => {
-                        let (block, offset) = self.place(expr)?;
-                        Ok(Value::Ptr(Ptr { block, offset }))
-                    }
-                    UnaryOp::Deref => {
-                        let p = self.eval(expr)?;
-                        let Value::Ptr(p) = p else {
-                            return Err(Fault::NullDeref.into());
-                        };
-                        if p.is_null() {
-                            return Err(Fault::NullDeref.into());
-                        }
-                        self.load(p.block, p.offset)
-                    }
-                    UnaryOp::Neg => Ok(Value::Int(self.eval(expr)?.as_int().wrapping_neg())),
-                    UnaryOp::Plus => self.eval(expr),
-                    UnaryOp::Not => Ok(Value::Int(if self.eval(expr)?.truthy() { 0 } else { 1 })),
-                    UnaryOp::BitNot => Ok(Value::Int(!self.eval(expr)?.as_int())),
+            ExprKind::Unary { op, expr } => match op {
+                UnaryOp::AddrOf => {
+                    let (block, offset) = self.place(expr)?;
+                    Ok(Value::Ptr(Ptr { block, offset }))
                 }
-            }
+                UnaryOp::Deref => {
+                    let p = self.eval(expr)?;
+                    let Value::Ptr(p) = p else {
+                        return Err(Fault::NullDeref.into());
+                    };
+                    if p.is_null() {
+                        return Err(Fault::NullDeref.into());
+                    }
+                    self.load(p.block, p.offset)
+                }
+                UnaryOp::Neg => Ok(Value::Int(self.eval(expr)?.as_int().wrapping_neg())),
+                UnaryOp::Plus => self.eval(expr),
+                UnaryOp::Not => Ok(Value::Int(if self.eval(expr)?.truthy() { 0 } else { 1 })),
+                UnaryOp::BitNot => Ok(Value::Int(!self.eval(expr)?.as_int())),
+            },
             ExprKind::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs),
             ExprKind::Assign { op, target, value } => {
                 let rhs = self.eval(value)?;
@@ -811,7 +815,9 @@ impl<'p, 'i> Machine<'p, 'i> {
                 };
                 Err(Stop::Exit(code))
             }
-            "rand" => Ok(Value::Int(((self.steps.wrapping_mul(48271)) % 233280) as i32)),
+            "rand" => Ok(Value::Int(
+                ((self.steps.wrapping_mul(48271)) % 233280) as i32,
+            )),
             other => Err(Fault::Undefined(format!("builtin {other}")).into()),
         }
     }
@@ -1000,7 +1006,10 @@ mod tests {
 
     #[test]
     fn infinite_loop_hits_budget() {
-        let r = run("int main() { int x = 1; while (x) { x = 1; } return 0; }", &[]);
+        let r = run(
+            "int main() { int x = 1; while (x) { x = 1; } return 0; }",
+            &[],
+        );
         assert_eq!(r.fault(), Some(&Fault::LoopBudget));
     }
 

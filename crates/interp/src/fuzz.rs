@@ -97,10 +97,10 @@ pub fn fuzz(program: &Program, target: &FuzzTarget, config: &FuzzConfig) -> Camp
     let mut execs = 0usize;
 
     let run_one = |input: &[u8],
-                       edges: &mut HashSet<(u32, u32)>,
-                       crashes: &mut Vec<Crash>,
-                       seen: &mut HashSet<String>,
-                       execs: &mut usize|
+                   edges: &mut HashSet<(u32, u32)>,
+                   crashes: &mut Vec<Crash>,
+                   seen: &mut HashSet<String>,
+                   execs: &mut usize|
      -> bool {
         *execs += 1;
         let result = match target {
@@ -139,7 +139,13 @@ pub fn fuzz(program: &Program, target: &FuzzTarget, config: &FuzzConfig) -> Camp
     while execs < config.iterations {
         let parent = corpus[rng.gen_range(0..corpus.len())].clone();
         let child = mutate(&parent, config.max_len, &mut rng);
-        if run_one(&child, &mut edges, &mut crashes, &mut seen_faults, &mut execs) {
+        if run_one(
+            &child,
+            &mut edges,
+            &mut crashes,
+            &mut seen_faults,
+            &mut execs,
+        ) {
             corpus.push(child);
         }
     }
@@ -172,7 +178,7 @@ fn mutate(parent: &[u8], max_len: usize, rng: &mut StdRng) -> Vec<u8> {
         match rng.gen_range(0..6u8) {
             0 => {
                 let i = rng.gen_range(0..v.len());
-                v[i] ^= 1 << rng.gen_range(0..8);
+                v[i] ^= 1u8 << rng.gen_range(0..8u32);
             }
             1 => {
                 let i = rng.gen_range(0..v.len());

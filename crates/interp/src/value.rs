@@ -35,7 +35,10 @@ impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Fault::OutOfBounds { offset, len } => {
-                write!(f, "out-of-bounds access at offset {offset} of block len {len}")
+                write!(
+                    f,
+                    "out-of-bounds access at offset {offset} of block len {len}"
+                )
             }
             Fault::UseAfterFree => write!(f, "use after free"),
             Fault::DoubleFree => write!(f, "double free"),
@@ -144,10 +147,18 @@ mod tests {
     #[test]
     fn null_pointer_identity() {
         assert!(Ptr::NULL.is_null());
-        assert!(!Ptr { block: 0, offset: 0 }.is_null());
+        assert!(!Ptr {
+            block: 0,
+            offset: 0
+        }
+        .is_null());
         assert_eq!(Value::Ptr(Ptr::NULL).as_int(), 0);
         assert!(!Value::Ptr(Ptr::NULL).truthy());
-        assert!(Value::Ptr(Ptr { block: 3, offset: 1 }).truthy());
+        assert!(Value::Ptr(Ptr {
+            block: 3,
+            offset: 1
+        })
+        .truthy());
     }
 
     #[test]

@@ -212,7 +212,10 @@ impl<'src> Lexer<'src> {
             }
         }
         // Swallow integer suffixes (u, l, ul, ll, ...).
-        while matches!(self.peek(), Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')) {
+        while matches!(
+            self.peek(),
+            Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')
+        ) {
             self.bump();
         }
         let text = std::str::from_utf8(&self.src[begin..self.off]).expect("ascii");
@@ -223,7 +226,10 @@ impl<'src> Lexer<'src> {
             digits
         };
         let value = i64::from_str_radix(digits, radix).map_err(|_| {
-            ParseError::new(format!("invalid integer literal `{text}`"), Span::point(start))
+            ParseError::new(
+                format!("invalid integer literal `{text}`"),
+                Span::point(start),
+            )
         })?;
         Ok(Token::new(
             TokenKind::IntLit(value),
@@ -240,7 +246,10 @@ impl<'src> Lexer<'src> {
             Some(b'\\') => Ok(b'\\'),
             Some(b'\'') => Ok(b'\''),
             Some(b'"') => Ok(b'"'),
-            _ => Err(ParseError::new("invalid escape sequence", Span::point(start))),
+            _ => Err(ParseError::new(
+                "invalid escape sequence",
+                Span::point(start),
+            )),
         }
     }
 
@@ -249,10 +258,18 @@ impl<'src> Lexer<'src> {
         let value = match self.bump() {
             Some(b'\\') => self.lex_escape(start)? as i64,
             Some(b) => b as i64,
-            None => return Err(ParseError::new("unterminated char literal", Span::point(start))),
+            None => {
+                return Err(ParseError::new(
+                    "unterminated char literal",
+                    Span::point(start),
+                ))
+            }
         };
         if self.bump() != Some(b'\'') {
-            return Err(ParseError::new("unterminated char literal", Span::point(start)));
+            return Err(ParseError::new(
+                "unterminated char literal",
+                Span::point(start),
+            ));
         }
         Ok(Token::new(
             TokenKind::CharLit(value),
@@ -400,10 +417,7 @@ mod tests {
         // `int` is on line 3.
         assert_eq!(toks[0].span.start.line, 3);
         // `return` is on line 4.
-        let ret = toks
-            .iter()
-            .find(|t| t.is_keyword(Keyword::Return))
-            .unwrap();
+        let ret = toks.iter().find(|t| t.is_keyword(Keyword::Return)).unwrap();
         assert_eq!(ret.span.start.line, 4);
     }
 

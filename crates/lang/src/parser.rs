@@ -264,8 +264,15 @@ impl Parser {
         while let TokenKind::Keyword(kw) = &self.peek().kind {
             let kw = *kw;
             match kw {
-                Keyword::Int | Keyword::Char | Keyword::Void | Keyword::Long | Keyword::Short
-                | Keyword::Float | Keyword::Double | Keyword::Unsigned | Keyword::Signed
+                Keyword::Int
+                | Keyword::Char
+                | Keyword::Void
+                | Keyword::Long
+                | Keyword::Short
+                | Keyword::Float
+                | Keyword::Double
+                | Keyword::Unsigned
+                | Keyword::Signed
                 | Keyword::SizeT => {
                     parts.push(kw.as_str());
                     self.bump();
@@ -984,7 +991,10 @@ mod tests {
             StmtKind::For {
                 init, cond, step, ..
             } => {
-                assert!(matches!(init.as_deref().map(|s| &s.kind), Some(StmtKind::Decl(_))));
+                assert!(matches!(
+                    init.as_deref().map(|s| &s.kind),
+                    Some(StmtKind::Decl(_))
+                ));
                 assert!(cond.is_some());
                 assert!(step.is_some());
             }
@@ -1033,8 +1043,8 @@ mod tests {
 
     #[test]
     fn parses_pointer_and_array_declarations() {
-        let p = parse("void f() { char *p; int a[10]; char buf[4 * 2]; unsigned int **q; }")
-            .unwrap();
+        let p =
+            parse("void f() { char *p; int a[10]; char buf[4 * 2]; unsigned int **q; }").unwrap();
         let f = p.function("f").unwrap();
         let decls: Vec<_> = f
             .body

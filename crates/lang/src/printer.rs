@@ -14,10 +14,7 @@ use crate::ast::*;
 pub fn expr_tokens(e: &Expr, out: &mut Vec<String>) {
     match &e.kind {
         ExprKind::IntLit(v) => out.push(v.to_string()),
-        ExprKind::CharLit(v) => out.push(format!(
-            "'{}'",
-            char::from_u32(*v as u32).unwrap_or('?')
-        )),
+        ExprKind::CharLit(v) => out.push(format!("'{}'", char::from_u32(*v as u32).unwrap_or('?'))),
         ExprKind::StrLit(s) => out.push(format!("{s:?}")),
         ExprKind::Ident(n) => out.push(n.clone()),
         ExprKind::Unary { op, expr } => {

@@ -283,8 +283,8 @@ mod tests {
     #[test]
     fn keyword_roundtrip() {
         for kw in [
-            "int", "char", "void", "if", "else", "for", "while", "do", "switch", "case",
-            "default", "break", "continue", "return", "sizeof", "size_t", "struct", "unsigned",
+            "int", "char", "void", "if", "else", "for", "while", "do", "switch", "case", "default",
+            "break", "continue", "return", "sizeof", "size_t", "struct", "unsigned",
         ] {
             let k = Keyword::from_word(kw).expect("keyword should parse");
             assert_eq!(k.as_str(), kw);

@@ -13,7 +13,9 @@ fn single_statement_control_bodies_are_wrapped() {
     let p = parses("void f(int n) { if (n) g(); else h(); while (n) n--; for (;;) break; }");
     let f = p.function("f").unwrap();
     match &f.body.stmts[0].kind {
-        StmtKind::If { then, else_block, .. } => {
+        StmtKind::If {
+            then, else_block, ..
+        } => {
             assert_eq!(then.stmts.len(), 1);
             assert_eq!(else_block.as_ref().unwrap().body.stmts.len(), 1);
         }
@@ -62,7 +64,12 @@ fn chained_else_if_keeps_source_lines() {
     let src = "void f(int n) {\n  if (n == 1) {\n    a();\n  } else if (n == 2) {\n    b();\n  } else if (n == 3) {\n    c();\n  } else {\n    d();\n  }\n}";
     let p = parses(src);
     let f = p.function("f").unwrap();
-    let StmtKind::If { else_ifs, else_block, .. } = &f.body.stmts[0].kind else {
+    let StmtKind::If {
+        else_ifs,
+        else_block,
+        ..
+    } = &f.body.stmts[0].kind
+    else {
         panic!()
     };
     assert_eq!(else_ifs.len(), 2);
@@ -131,7 +138,11 @@ fn sizeof_precedence_binds_tightly() {
     };
     // sizeof x + 1 parses as (sizeof x) + 1.
     match &e.kind {
-        ExprKind::Binary { op: BinaryOp::Add, lhs, .. } => {
+        ExprKind::Binary {
+            op: BinaryOp::Add,
+            lhs,
+            ..
+        } => {
             assert!(matches!(lhs.kind, ExprKind::Sizeof(_)));
         }
         other => panic!("{other:?}"),

@@ -25,7 +25,7 @@ pub struct TokenAttention {
 #[derive(Debug, Clone)]
 struct TokenAttCache {
     x: Tensor,
-    u: Tensor,     // (L × A) post-tanh
+    u: Tensor, // (L × A) post-tanh
     scores: Vec<f64>,
     alpha: Vec<f64>,
 }
@@ -99,12 +99,7 @@ impl TokenAttention {
             dalpha[t] = s;
         }
         // Softmax backward: ds_t = α_t (dα_t − Σ_k α_k dα_k).
-        let dot: f64 = cache
-            .alpha
-            .iter()
-            .zip(&dalpha)
-            .map(|(a, g)| a * g)
-            .sum();
+        let dot: f64 = cache.alpha.iter().zip(&dalpha).map(|(a, g)| a * g).sum();
         let dscore: Vec<f64> = cache
             .alpha
             .iter()
@@ -174,19 +169,19 @@ pub struct Cbam {
 
 #[derive(Debug, Clone)]
 struct CbamCache {
-    f: Tensor,            // input
-    avg: Vec<f64>,        // (C)
-    mx: Vec<f64>,         // (C)
-    amx: Vec<usize>,      // argmax over L per channel
-    ha_pre: Vec<f64>,     // (C/r) pre-relu (avg path)
-    hm_pre: Vec<f64>,     // (C/r) pre-relu (max path)
-    mc: Vec<f64>,         // (C) channel gate
-    f1: Tensor,           // after channel attention
-    sa: Vec<f64>,         // (L) spatial mean
-    sm: Vec<f64>,         // (L) spatial max
-    sam: Vec<usize>,      // argmax over C per position
-    z: Vec<f64>,          // (L) conv pre-sigmoid
-    ms: Vec<f64>,         // (L) spatial gate
+    f: Tensor,        // input
+    avg: Vec<f64>,    // (C)
+    mx: Vec<f64>,     // (C)
+    amx: Vec<usize>,  // argmax over L per channel
+    ha_pre: Vec<f64>, // (C/r) pre-relu (avg path)
+    hm_pre: Vec<f64>, // (C/r) pre-relu (max path)
+    mc: Vec<f64>,     // (C) channel gate
+    f1: Tensor,       // after channel attention
+    sa: Vec<f64>,     // (L) spatial mean
+    sm: Vec<f64>,     // (L) spatial max
+    sam: Vec<usize>,  // argmax over C per position
+    z: Vec<f64>,      // (L) conv pre-sigmoid
+    ms: Vec<f64>,     // (L) spatial gate
 }
 
 impl Cbam {
@@ -260,11 +255,7 @@ impl Cbam {
         }
         let (ha_pre, oa) = self.mlp(&avg);
         let (hm_pre, om) = self.mlp(&mx);
-        let mc: Vec<f64> = oa
-            .iter()
-            .zip(&om)
-            .map(|(a, m)| sigmoid(a + m))
-            .collect();
+        let mc: Vec<f64> = oa.iter().zip(&om).map(|(a, m)| sigmoid(a + m)).collect();
         let mut f1 = Tensor::zeros(&[l, c]);
         for t in 0..l {
             for ch in 0..c {

@@ -122,7 +122,10 @@ impl Dropout {
     /// Creates a dropout layer with drop probability `p`.
     pub fn new(p: f64) -> Dropout {
         assert!((0.0..1.0).contains(&p), "p must be in [0,1)");
-        Dropout { p, mask: Vec::new() }
+        Dropout {
+            p,
+            mask: Vec::new(),
+        }
     }
 
     /// Forward pass; identity when `train` is false.
@@ -134,7 +137,13 @@ impl Dropout {
         let keep = 1.0 - self.p;
         self.mask = x
             .iter()
-            .map(|_| if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.gen::<f64>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         x.iter().zip(&self.mask).map(|(&v, &m)| v * m).collect()
     }
@@ -338,14 +347,17 @@ impl Spp {
 
     /// Forward pass: `(L × C) → flat vector`.
     ///
-    /// # Panics
-    ///
-    /// Panics on an empty input sequence.
+    /// An empty input (a degenerate gadget that normalized to zero tokens)
+    /// pools to an all-zero vector instead of panicking; `backward` then
+    /// routes no gradient.
     pub fn forward(&mut self, x: &Tensor) -> Vec<f64> {
         let (l, c) = (x.rows(), x.cols());
-        assert!(l > 0, "SPP needs at least one position");
         self.in_shape = vec![l, c];
         let total: usize = self.bins.iter().sum();
+        if l == 0 {
+            self.argmax = Vec::new();
+            return vec![0.0; total * c];
+        }
         let mut out = vec![0.0; total * c];
         let mut arg = vec![0usize; total * c];
         let mut slot = 0;
@@ -384,6 +396,9 @@ impl Spp {
     pub fn backward(&self, dy: &[f64]) -> Tensor {
         let (l, c) = (self.in_shape[0], self.in_shape[1]);
         let mut dx = Tensor::zeros(&[l, c]);
+        if l == 0 {
+            return dx;
+        }
         for (i, &g) in dy.iter().enumerate() {
             let ch = i % c;
             let t = self.argmax[i];
@@ -396,7 +411,7 @@ impl Spp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gradcheck::{check_param_grads, check_input_grad_vec};
+    use crate::gradcheck::{check_input_grad_vec, check_param_grads};
     use rand::SeedableRng;
 
     #[test]
@@ -425,14 +440,18 @@ mod tests {
                 l.backward(&[1.0, 1.0]);
             },
         );
-        check_input_grad_vec(&x, |xs| {
-            let mut d2 = d.clone();
-            d2.forward(xs).iter().sum()
-        }, {
-            let mut d2 = d.clone();
-            d2.forward(&x);
-            d2.backward(&[1.0, 1.0])
-        });
+        check_input_grad_vec(
+            &x,
+            |xs| {
+                let mut d2 = d.clone();
+                d2.forward(xs).iter().sum()
+            },
+            {
+                let mut d2 = d.clone();
+                d2.forward(&x);
+                d2.backward(&[1.0, 1.0])
+            },
+        );
     }
 
     #[test]
@@ -453,7 +472,10 @@ mod tests {
         assert_eq!(y, x);
         let y = d.forward(&x, true, &mut rng);
         let mean = y.iter().sum::<f64>() / 1000.0;
-        assert!((mean - 1.0).abs() < 0.15, "inverted dropout keeps scale, mean={mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.15,
+            "inverted dropout keeps scale, mean={mean}"
+        );
         let dy = d.backward(&vec![1.0; 1000]);
         assert_eq!(dy, d.mask);
     }
@@ -546,6 +568,17 @@ mod tests {
         assert_eq!(y, vec![9., 3.]);
         let dx = spp.backward(&[1.0, 1.0]);
         assert_eq!(dx.data(), &[0., 1., 0., 1.]);
+    }
+
+    #[test]
+    fn spp_empty_input_pools_to_zeros() {
+        let mut spp = Spp::paper();
+        let x = Tensor::zeros(&[0, 3]);
+        let y = spp.forward(&x);
+        assert_eq!(y.len(), 7 * 3);
+        assert!(y.iter().all(|&v| v == 0.0));
+        let dx = spp.backward(&vec![1.0; y.len()]);
+        assert_eq!(dx.shape(), &[0, 3]);
     }
 
     #[test]

@@ -50,6 +50,23 @@ impl Param {
     pub fn zero_grad(&mut self) {
         self.g.fill_zero();
     }
+
+    /// Moves the accumulated gradient out, leaving zeros behind — the
+    /// extraction half of the data-parallel gradient exchange.
+    pub fn take_grad(&mut self) -> Tensor {
+        std::mem::replace(&mut self.g, Tensor::zeros(self.w.shape()))
+    }
+
+    /// Adds `g` into the accumulated gradient — the merge half of the
+    /// data-parallel gradient exchange.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `g` has a different shape than the parameter.
+    pub fn add_grad(&mut self, g: &Tensor) {
+        assert_eq!(g.shape(), self.g.shape(), "gradient shape mismatch");
+        self.g.axpy(1.0, g);
+    }
 }
 
 #[cfg(test)]

@@ -167,8 +167,7 @@ impl Rnn {
                         let do_ = dh[i] * tc;
                         dpre[i] = di * sc.gates[i] * (1.0 - sc.gates[i]);
                         dpre[h + i] = df * sc.gates[h + i] * (1.0 - sc.gates[h + i]);
-                        dpre[2 * h + i] =
-                            dg * (1.0 - sc.gates[2 * h + i] * sc.gates[2 * h + i]);
+                        dpre[2 * h + i] = dg * (1.0 - sc.gates[2 * h + i] * sc.gates[2 * h + i]);
                         dpre[3 * h + i] = do_ * o * (1.0 - o);
                         dc[i] = dci * sc.gates[h + i];
                     }
@@ -315,7 +314,10 @@ mod tests {
 
     fn sample(l: usize, d: usize, seed: u64) -> Tensor {
         let mut rng = StdRng::seed_from_u64(seed);
-        Tensor::from_vec(&[l, d], (0..l * d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        Tensor::from_vec(
+            &[l, d],
+            (0..l * d).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
     }
 
     #[test]
@@ -360,7 +362,11 @@ mod tests {
             let fp: f64 = r.clone().forward(&xp).iter().sum();
             let fm: f64 = r.clone().forward(&xm).iter().sum();
             let num = (fp - fm) / 2e-5;
-            assert!((num - dx.data()[i]).abs() < 1e-5, "dx[{i}]: {num} vs {}", dx.data()[i]);
+            assert!(
+                (num - dx.data()[i]).abs() < 1e-5,
+                "dx[{i}]: {num} vs {}",
+                dx.data()[i]
+            );
         }
     }
 
@@ -396,7 +402,11 @@ mod tests {
             let fp: f64 = r.clone().forward(&xp).iter().sum();
             let fm: f64 = r.clone().forward(&xm).iter().sum();
             let num = (fp - fm) / 2e-5;
-            assert!((num - dx.data()[i]).abs() < 1e-5, "dx[{i}]: {num} vs {}", dx.data()[i]);
+            assert!(
+                (num - dx.data()[i]).abs() < 1e-5,
+                "dx[{i}]: {num} vs {}",
+                dx.data()[i]
+            );
         }
     }
 

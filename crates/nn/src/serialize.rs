@@ -54,7 +54,9 @@ impl std::error::Error for LoadError {}
 /// Returns [`LoadError`] when counts, shapes, or values do not line up.
 pub fn load_params(params: &mut [&mut Param], text: &str) -> Result<(), LoadError> {
     let mut lines = text.lines();
-    let head = lines.next().ok_or_else(|| LoadError("empty input".into()))?;
+    let head = lines
+        .next()
+        .ok_or_else(|| LoadError("empty input".into()))?;
     let count: usize = head
         .strip_prefix("params ")
         .and_then(|n| n.parse().ok())
@@ -79,7 +81,10 @@ pub fn load_params(params: &mut [&mut Param], text: &str) -> Result<(), LoadErro
             .ok_or_else(|| LoadError(format!("bad rank in `{shape_line}`")))?;
         let shape: Vec<usize> = parts
             .take(rank)
-            .map(|d| d.parse().map_err(|_| LoadError(format!("bad dim in `{shape_line}`"))))
+            .map(|d| {
+                d.parse()
+                    .map_err(|_| LoadError(format!("bad dim in `{shape_line}`")))
+            })
             .collect::<Result<_, _>>()?;
         if shape != p.w.shape() {
             return Err(LoadError(format!(
@@ -117,7 +122,8 @@ mod tests {
     #[test]
     fn roundtrip_preserves_values() {
         let mut a = Param::zeros(&[2, 3]);
-        a.w.data_mut().copy_from_slice(&[1.5, -2.25, 0.0, 1e-10, 3e8, -0.125]);
+        a.w.data_mut()
+            .copy_from_slice(&[1.5, -2.25, 0.0, 1e-10, 3e8, -0.125]);
         let b = Param::zeros(&[4]);
         let text = save_params(&[&a, &b]);
         let mut a2 = Param::zeros(&[2, 3]);

@@ -265,7 +265,12 @@ impl Tensor {
 
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor{:?}{:.4?}", self.shape, &self.data[..self.data.len().min(8)])
+        write!(
+            f,
+            "Tensor{:?}{:.4?}",
+            self.shape,
+            &self.data[..self.data.len().min(8)]
+        )
     }
 }
 

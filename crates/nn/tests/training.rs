@@ -107,10 +107,7 @@ fn rnn_with_sufficient_steps_learns_tail_signal() {
 
     let mut short = RnnNet::new(table(5), CellKind::Gru, 12, 32, 0.0, &mut rng);
     let acc_short = train_and_test(&mut short, 6, 96, 400);
-    assert!(
-        acc_short <= 0.65,
-        "τ=32 BGRU loses the tail: {acc_short}"
-    );
+    assert!(acc_short <= 0.65, "τ=32 BGRU loses the tail: {acc_short}");
 }
 
 #[test]
@@ -155,11 +152,7 @@ fn gradient_accumulation_equals_sum_of_per_sample_gradients() {
         let (_, d) = bce_with_logits(logit, *y);
         m.backward(d);
     }
-    let accumulated: Vec<Vec<f64>> = m
-        .params_mut()
-        .iter()
-        .map(|p| p.g.data().to_vec())
-        .collect();
+    let accumulated: Vec<Vec<f64>> = m.params_mut().iter().map(|p| p.g.data().to_vec()).collect();
     for p in m.params_mut() {
         p.zero_grad();
     }

@@ -45,7 +45,9 @@ fn scan_function(pdg: &Pdg, out: &mut Vec<Finding>) {
         let node = cfg.node(id);
         // Rule 1: dangerous copy whose length operand is never guarded.
         for call in &node.calls {
-            let Some(model) = lib_func(&call.callee) else { continue };
+            let Some(model) = lib_func(&call.callee) else {
+                continue;
+            };
             if model.risk >= 5 {
                 // gets/strcpy/sprintf: unconditionally dangerous.
                 out.push(Finding {
@@ -55,7 +57,10 @@ fn scan_function(pdg: &Pdg, out: &mut Vec<Finding>) {
                 });
                 continue;
             }
-            if matches!(call.callee.as_str(), "strncpy" | "memcpy" | "strncat" | "memmove") {
+            if matches!(
+                call.callee.as_str(),
+                "strncpy" | "memcpy" | "strncat" | "memmove"
+            ) {
                 let len_vars = call.arg_idents.get(2).cloned().unwrap_or_default();
                 if !len_vars.is_empty() && !guarded_by_any(pdg, id, &len_vars) {
                     out.push(Finding {
@@ -111,8 +116,7 @@ fn scan_function(pdg: &Pdg, out: &mut Vec<Finding>) {
             for w in toks.windows(2) {
                 if w[0] == "/" {
                     let divisor = &w[1];
-                    if is_ident(divisor)
-                        && !guarded_by_any(pdg, id, std::slice::from_ref(divisor))
+                    if is_ident(divisor) && !guarded_by_any(pdg, id, std::slice::from_ref(divisor))
                     {
                         out.push(Finding {
                             line: node.line,
@@ -203,7 +207,10 @@ mod tests {
     }
     strncpy(buf, s, n);
 }"#;
-        assert!(!Checkmarx.flags(displaced, 4), "heuristic is path-insensitive");
+        assert!(
+            !Checkmarx.flags(displaced, 4),
+            "heuristic is path-insensitive"
+        );
     }
 
     #[test]
@@ -219,16 +226,16 @@ mod tests {
         let findings = Checkmarx.scan(uaf);
         assert!(findings.iter().any(|f| f.rule == "use-after-free"));
         let df = "void f() { char *p = malloc(4); free(p); free(p); }";
-        assert!(Checkmarx
-            .scan(df)
-            .iter()
-            .any(|f| f.rule == "double-free"));
+        assert!(Checkmarx.scan(df).iter().any(|f| f.rule == "double-free"));
     }
 
     #[test]
     fn division_and_loop_rules() {
         let div = "void f(int n) { int x = 10 / n; }";
-        assert!(Checkmarx.scan(div).iter().any(|f| f.rule == "unchecked-division"));
+        assert!(Checkmarx
+            .scan(div)
+            .iter()
+            .any(|f| f.rule == "unchecked-division"));
         let divg = "void f(int n) { if (n != 0) { int x = 10 / n; } }";
         assert!(!Checkmarx
             .scan(divg)

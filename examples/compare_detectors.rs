@@ -69,10 +69,7 @@ fn main() {
     }
 }
 
-fn eval(
-    test: &[sevuldet_dataset::ProgramSample],
-    flag: impl Fn(&str) -> bool,
-) -> Confusion {
+fn eval(test: &[sevuldet_dataset::ProgramSample], flag: impl Fn(&str) -> bool) -> Confusion {
     let mut c = Confusion::default();
     for p in test {
         c.record(flag(&p.source), p.vulnerable);

@@ -25,7 +25,10 @@ fn main() {
     let mut detector = Detector::train(&corpus, ModelKind::SevulDet, &cfg);
 
     for case in xen::cve_cases() {
-        println!("\n=== {} ({}, {}) ===", case.cve, case.file, case.xen_version);
+        println!(
+            "\n=== {} ({}, {}) ===",
+            case.cve, case.file, case.xen_version
+        );
 
         // Static/learned detection: classify every gadget of the program.
         let program = sevuldet_lang::parse(&case.vulnerable.source).expect("parses");
@@ -97,6 +100,11 @@ fn main() {
     let tokens = Normalizer::normalize_gadget(&gadget).tokens();
     println!("\n=== Fig. 6: top attention tokens for the 9776 gadget ===");
     for r in top_tokens(&mut detector, &tokens, 10) {
-        println!("{:>8}  {:>6.1}%  {}", r.token, r.percent, "#".repeat((r.percent / 5.0) as usize));
+        println!(
+            "{:>8}  {:>6.1}%  {}",
+            r.token,
+            r.percent,
+            "#".repeat((r.percent / 5.0) as usize)
+        );
     }
 }

@@ -4,9 +4,7 @@
 
 use sevuldet::Confusion;
 use sevuldet_analysis::ProgramAnalysis;
-use sevuldet_gadget::{
-    build_gadget, find_special_tokens, GadgetKind, Normalizer, SliceConfig,
-};
+use sevuldet_gadget::{build_gadget, find_special_tokens, GadgetKind, Normalizer, SliceConfig};
 
 const SAFE: &str = r#"void process(char *dest, char *data) {
     int n = atoi(data);

@@ -5,10 +5,8 @@
 use proptest::prelude::*;
 use sevuldet_analysis::ProgramAnalysis;
 use sevuldet_dataset::{case_for, CaseOpts, Origin};
-use sevuldet_gadget::{
-    find_special_tokens, generate_all, GadgetKind, Normalizer, SliceConfig,
-};
 use sevuldet_gadget::Category;
+use sevuldet_gadget::{find_special_tokens, generate_all, GadgetKind, Normalizer, SliceConfig};
 use sevuldet_interp::Interp;
 use sevuldet_lang::printer::{program_to_string, stmt_tokens};
 

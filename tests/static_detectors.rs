@@ -81,8 +81,8 @@ fn vuddy_is_precise_but_blind_to_novelty() {
 fn checkmarx_misses_displaced_guards() {
     // The path-sensitivity gap: guard-existence heuristics accept the
     // Fig.-1 vulnerable twin.
-    use sevuldet_dataset::{CaseOpts, Origin};
     use rand::SeedableRng;
+    use sevuldet_dataset::{CaseOpts, Origin};
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let opts = CaseOpts {
         vulnerable: true,

@@ -31,7 +31,11 @@ fn afl_finds_cve_2016_9776_zero_stride_hang() {
     // finite size, so the right check is the trigger, not the campaign).
     let patched = sevuldet_lang::parse(&case.patched.source).unwrap();
     let r = Interp::new(&patched).run_function("harness", &[0, 100], &[]);
-    assert!(r.value.is_ok(), "patched twin terminates on the trigger: {:?}", r.value);
+    assert!(
+        r.value.is_ok(),
+        "patched twin terminates on the trigger: {:?}",
+        r.value
+    );
 }
 
 #[test]
@@ -46,7 +50,11 @@ fn afl_finds_cve_2016_4453_fifo_hang() {
     // Patched twin survives the zero-command trigger.
     let patched = sevuldet_lang::parse(&case.patched.source).unwrap();
     let r = Interp::new(&patched).run_function("harness", &[0, 5], &[]);
-    assert!(r.value.is_ok(), "patched twin terminates on the trigger: {:?}", r.value);
+    assert!(
+        r.value.is_ok(),
+        "patched twin terminates on the trigger: {:?}",
+        r.value
+    );
 }
 
 #[test]
