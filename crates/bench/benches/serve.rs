@@ -1,0 +1,113 @@
+//! End-to-end throughput of `sevuldet serve`: a burst of concurrent
+//! `POST /scan` requests against a live server at `max_batch` 1, 4, and 16.
+//! Each iteration fires 16 clients at once and waits for all responses, so
+//! ms/iter divided into 16 gives requests/second. Larger `max_batch` lets
+//! one worker coalesce the burst into fewer forward passes; on a single-core
+//! host the delta quantifies per-pass overhead rather than parallel speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sevuldet::{save_detector, Detector, GadgetSpec, Json, ModelKind, TrainConfig};
+use sevuldet_dataset::{sard, SardConfig};
+use sevuldet_serve::registry::ModelRegistry;
+use sevuldet_serve::server::{start, ServeConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+
+const BURST: usize = 16;
+const BATCHES: &[usize] = &[1, 4, 16];
+
+const SOURCE: &str = r#"void process(char *dest, char *data) {
+    int n = atoi(data);
+    if (n < 16) {
+        puts("small");
+    }
+    strncpy(dest, data, n);
+}"#;
+
+/// Trains a tiny detector and persists it for the server to load.
+fn model_path() -> PathBuf {
+    let samples = sard::generate(&SardConfig {
+        per_category: 5,
+        ..SardConfig::default()
+    });
+    let corpus = GadgetSpec::path_sensitive().extract(&samples);
+    let cfg = TrainConfig {
+        embed_dim: 10,
+        w2v_epochs: 1,
+        epochs: 2,
+        cnn_channels: 8,
+        seed: 42,
+        ..TrainConfig::quick()
+    };
+    let mut det = Detector::train(&corpus, ModelKind::SevulDet, &cfg);
+    let dir = std::env::temp_dir().join(format!("svd-bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("model.svd");
+    std::fs::write(&path, save_detector(&mut det)).expect("write model");
+    path
+}
+
+fn spawn_server(max_batch: usize, path: &Path) -> ServerHandle {
+    let registry = ModelRegistry::open(path).expect("model loads");
+    start(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_batch,
+            queue_cap: 64,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .expect("server binds")
+}
+
+/// One request over a fresh connection; panics on anything but 200.
+fn scan_once(addr: SocketAddr, body: &str) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let req = format!(
+        "POST /scan HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+}
+
+fn bench_serve_burst(c: &mut Criterion) {
+    let path = model_path();
+    let body = Json::obj(vec![
+        ("source", Json::str(SOURCE)),
+        ("name", Json::str("bench.c")),
+    ])
+    .to_string();
+    let mut group = c.benchmark_group("serve_burst16");
+    for &max_batch in BATCHES {
+        let handle = spawn_server(max_batch, &path);
+        let addr = handle.addr();
+        group.bench_function(format!("batch{max_batch}"), |b| {
+            b.iter(|| {
+                let clients: Vec<_> = (0..BURST)
+                    .map(|_| {
+                        let body = body.clone();
+                        std::thread::spawn(move || scan_once(addr, &body))
+                    })
+                    .collect();
+                for t in clients {
+                    t.join().expect("client thread");
+                }
+            })
+        });
+        handle.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve_burst
+);
+criterion_main!(benches);

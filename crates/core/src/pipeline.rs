@@ -4,7 +4,7 @@
 use crate::config::TrainConfig;
 use crate::corpus::{encode, extract_gadgets_jobs, GadgetCorpus};
 use crate::metrics::Confusion;
-use crate::par::parallel_map_with;
+use crate::par::parallel_map;
 use crate::train::{evaluate_model, train_model};
 use crate::zoo::{build_model, AnyModel, ModelKind};
 use rand::rngs::StdRng;
@@ -194,15 +194,32 @@ impl Detector {
     }
 
     /// Probabilities for a batch of token streams, computed on up to `jobs`
-    /// worker threads (`0` = all cores). Outputs are in input order and
-    /// identical for every `jobs` value — inference consumes no randomness.
+    /// worker threads (`0` = all cores). The streams are encoded, sharded
+    /// round-robin across the workers, and each worker pushes its whole
+    /// shard through the model's batched entry point
+    /// ([`SequenceClassifier::forward_logits`]) on a private replica.
+    /// Outputs are in input order and identical for every `jobs` value and
+    /// for the unbatched [`Detector::predict`] — inference consumes no
+    /// randomness.
     pub fn predict_batch(&self, streams: &[Vec<String>], jobs: usize) -> Vec<f64> {
-        parallel_map_with(
-            streams,
-            jobs,
-            || self.clone(),
-            |det, _, tokens| det.predict(tokens),
-        )
+        if streams.is_empty() {
+            return Vec::new();
+        }
+        let ids: Vec<Vec<usize>> = streams.iter().map(|t| self.vocab.encode(t)).collect();
+        let jobs = crate::par::effective_jobs(jobs, ids.len());
+        let workers: Vec<usize> = (0..jobs).collect();
+        let per_worker: Vec<Vec<f64>> = parallel_map(&workers, jobs, |_, &w| {
+            let shard: Vec<Vec<usize>> = ids.iter().skip(w).step_by(jobs).cloned().collect();
+            let mut det = self.clone();
+            det.model
+                .forward_logits(&shard, false, &mut det.rng)
+                .into_iter()
+                .map(sigmoid)
+                .collect()
+        });
+        (0..ids.len())
+            .map(|i| per_worker[i % jobs][i / jobs])
+            .collect()
     }
 
     /// Per-token attention weights of the last prediction, if the model has

@@ -1,0 +1,325 @@
+//! Scanning raw C source with a trained detector, as a library.
+//!
+//! This is the single implementation behind both `sevuldet scan` and the
+//! `sevuldet serve` HTTP endpoint, so the two can never drift: the CLI and
+//! the server both call [`score_source`] (or its split form,
+//! [`prepare_source`] + [`score_prepared`], which lets a batching server
+//! coalesce the gadget streams of *many* requests into one forward pass).
+//!
+//! The phases mirror the detection half of the paper's Fig. 2: parse →
+//! program analysis → special tokens → path-sensitive gadgets → normalize →
+//! encode → SPP-CNN forward → threshold.
+
+use crate::json::Json;
+use crate::par::parallel_map;
+use crate::pipeline::{Detector, GadgetSpec};
+use sevuldet_analysis::ProgramAnalysis;
+use sevuldet_gadget::{build_gadget, find_special_tokens, Normalizer};
+
+/// Why a source could not be scanned at all (as opposed to scanning clean).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanError {
+    /// The source did not parse as mini-C.
+    Parse(String),
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// One gadget extracted from a source, ready to be scored: where it came
+/// from plus its normalized token stream.
+#[derive(Debug, Clone)]
+pub struct PreparedGadget {
+    /// 1-based source line of the special token.
+    pub line: u32,
+    /// Special-token category abbreviation (FC/AU/PU/AE).
+    pub category: &'static str,
+    /// The special token itself (callee, array, pointer, or variable name).
+    pub name: String,
+    /// The normalized gadget token stream the model consumes.
+    pub tokens: Vec<String>,
+}
+
+/// A parsed-and-sliced source: everything that can be computed without the
+/// model. Produced by [`prepare_source`], consumed by [`score_prepared`].
+#[derive(Debug, Clone, Default)]
+pub struct PreparedSource {
+    /// One entry per special token, in source order.
+    pub gadgets: Vec<PreparedGadget>,
+}
+
+/// One scored gadget in a [`ScanReport`].
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// 1-based source line of the special token.
+    pub line: u32,
+    /// Special-token category abbreviation (FC/AU/PU/AE).
+    pub category: &'static str,
+    /// The special token's name.
+    pub name: String,
+    /// Sigmoid probability the gadget is vulnerable.
+    pub score: f64,
+    /// `score > threshold`.
+    pub flagged: bool,
+    /// The normalized gadget tokens (kept for attention ranking).
+    pub tokens: Vec<String>,
+}
+
+/// The result of scanning one source. An empty `findings` list with
+/// `gadgets == 0` means the source scanned *clean* (no special tokens) —
+/// distinct from a [`ScanError`], which means it was not scanned at all.
+#[derive(Debug, Clone)]
+pub struct ScanReport {
+    /// Per-gadget verdicts, in source order.
+    pub findings: Vec<Finding>,
+    /// The decision threshold the scores were cut at.
+    pub threshold: f64,
+}
+
+impl ScanReport {
+    /// Number of gadgets scored.
+    pub fn gadgets(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// Number of findings over the threshold.
+    pub fn flagged(&self) -> usize {
+        self.findings.iter().filter(|f| f.flagged).count()
+    }
+
+    /// The report as a JSON tree. `name` labels the source (file path or
+    /// request name); the shape is the serving API's response schema:
+    ///
+    /// ```json
+    /// {"name":"x.c","status":"scanned","gadgets":2,"flagged":1,
+    ///  "threshold":0.8,
+    ///  "findings":[{"line":3,"category":"FC","name":"strcpy",
+    ///               "score":0.93,"flagged":true}]}
+    /// ```
+    pub fn to_json(&self, name: &str) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(name)),
+            ("status", Json::str("scanned")),
+            ("gadgets", Json::Num(self.gadgets() as f64)),
+            ("flagged", Json::Num(self.flagged() as f64)),
+            ("threshold", Json::Num(self.threshold)),
+            (
+                "findings",
+                Json::Arr(
+                    self.findings
+                        .iter()
+                        .map(|f| {
+                            Json::obj(vec![
+                                ("line", Json::Num(f.line as f64)),
+                                ("category", Json::str(f.category)),
+                                ("name", Json::str(&*f.name)),
+                                ("score", Json::Num(f.score)),
+                                ("flagged", Json::Bool(f.flagged)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The JSON shape for a source that could *not* be scanned, so callers can
+/// distinguish "clean" (`status: "scanned"`, empty findings) from "error".
+pub fn error_json(name: &str, error: &ScanError) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(name)),
+        ("status", Json::str("error")),
+        ("error", Json::str(error.to_string())),
+    ])
+}
+
+/// Parses and slices a source into scoreable gadget streams, extracting
+/// path-sensitive gadgets across up to `jobs` threads. Model-free; the
+/// companion [`score_prepared`] runs the network.
+///
+/// # Errors
+///
+/// [`ScanError::Parse`] when the source is not valid mini-C.
+pub fn prepare_source(source: &str, jobs: usize) -> Result<PreparedSource, ScanError> {
+    let program = sevuldet_lang::parse(source).map_err(|e| ScanError::Parse(e.to_string()))?;
+    let analysis = ProgramAnalysis::analyze(&program);
+    let specials = find_special_tokens(&program, &analysis);
+    let spec = GadgetSpec::path_sensitive();
+    let slice = spec.slice_config();
+    let gadgets = parallel_map(&specials, jobs, |_, st| {
+        let gadget = build_gadget(&program, &analysis, st, spec.kind, &slice);
+        PreparedGadget {
+            line: st.line,
+            category: st.category.abbrev(),
+            name: st.name.clone(),
+            tokens: Normalizer::normalize_gadget(&gadget).tokens(),
+        }
+    });
+    Ok(PreparedSource { gadgets })
+}
+
+/// Scores a batch of prepared sources in **one** batched forward pass: the
+/// gadget streams of every source are concatenated, pushed through
+/// [`Detector::predict_batch`] together (sharded across `jobs` threads by
+/// `par`), and split back per source. Reports are in input order and
+/// identical for every `jobs` value and every way of batching the same
+/// sources — the invariant the serving layer's determinism test pins down.
+pub fn score_prepared(
+    detector: &Detector,
+    prepared: &[PreparedSource],
+    jobs: usize,
+) -> Vec<ScanReport> {
+    let streams: Vec<Vec<String>> = prepared
+        .iter()
+        .flat_map(|p| p.gadgets.iter().map(|g| g.tokens.clone()))
+        .collect();
+    let scores = detector.predict_batch(&streams, jobs);
+    let threshold = detector.threshold();
+    let mut cursor = scores.into_iter();
+    prepared
+        .iter()
+        .map(|p| ScanReport {
+            threshold,
+            findings: p
+                .gadgets
+                .iter()
+                .map(|g| {
+                    let score = cursor.next().expect("one score per gadget");
+                    Finding {
+                        line: g.line,
+                        category: g.category,
+                        name: g.name.clone(),
+                        score,
+                        flagged: score > threshold,
+                        tokens: g.tokens.clone(),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Scans one source end to end: [`prepare_source`] + [`score_prepared`].
+///
+/// # Errors
+///
+/// [`ScanError::Parse`] when the source is not valid mini-C.
+pub fn score_source(
+    detector: &Detector,
+    source: &str,
+    jobs: usize,
+) -> Result<ScanReport, ScanError> {
+    let prepared = prepare_source(source, jobs)?;
+    Ok(score_prepared(detector, &[prepared], jobs)
+        .pop()
+        .expect("one report per source"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::pipeline::{Detector, GadgetSpec};
+    use crate::zoo::ModelKind;
+    use sevuldet_dataset::{sard, SardConfig};
+
+    const LEAKY: &str = r#"void process(char *dest, char *data) {
+    int n = atoi(data);
+    if (n < 16) {
+        puts("small");
+    }
+    strncpy(dest, data, n);
+}"#;
+
+    fn tiny_detector() -> Detector {
+        let samples = sard::generate(&SardConfig {
+            per_category: 6,
+            ..SardConfig::default()
+        });
+        let corpus = GadgetSpec::path_sensitive().extract(&samples);
+        let cfg = TrainConfig {
+            embed_dim: 10,
+            w2v_epochs: 1,
+            epochs: 2,
+            cnn_channels: 8,
+            ..TrainConfig::quick()
+        };
+        Detector::train(&corpus, ModelKind::SevulDet, &cfg)
+    }
+
+    #[test]
+    fn score_source_reports_every_gadget() {
+        let det = tiny_detector();
+        let report = score_source(&det, LEAKY, 1).expect("scans");
+        assert!(
+            report.gadgets() > 0,
+            "motivating example has special tokens"
+        );
+        assert_eq!(report.threshold, det.threshold());
+        for f in &report.findings {
+            assert!(f.line >= 1);
+            assert!((0.0..=1.0).contains(&f.score));
+            assert_eq!(f.flagged, f.score > report.threshold);
+            assert!(!f.tokens.is_empty());
+        }
+        // Source order: lines never decrease out of special-token order.
+        let json = report.to_json("leaky.c").to_string();
+        assert!(json.contains("\"status\":\"scanned\""));
+        assert!(json.contains("\"findings\":["));
+    }
+
+    #[test]
+    fn clean_source_is_scanned_not_error() {
+        let det = tiny_detector();
+        let report = score_source(&det, "int three() { return 3; }", 1).expect("scans");
+        assert_eq!(report.gadgets(), 0);
+        assert_eq!(report.flagged(), 0);
+        let json = report.to_json("clean.c").to_string();
+        assert!(json.contains("\"status\":\"scanned\""));
+        assert!(json.contains("\"gadgets\":0"));
+        assert!(json.contains("\"findings\":[]"));
+    }
+
+    #[test]
+    fn parse_failure_is_a_scan_error() {
+        let det = tiny_detector();
+        let err = score_source(&det, "this is not C at all {{{", 1).unwrap_err();
+        let ScanError::Parse(_) = err;
+        let json = error_json("bad.c", &err).to_string();
+        assert!(json.contains("\"status\":\"error\""));
+    }
+
+    #[test]
+    fn batched_scoring_matches_one_by_one() {
+        let det = tiny_detector();
+        let sources = [LEAKY, "int three() { return 3; }", LEAKY];
+        let prepared: Vec<PreparedSource> = sources
+            .iter()
+            .map(|s| prepare_source(s, 1).expect("parses"))
+            .collect();
+        let batched = score_prepared(&det, &prepared, 1);
+        for (src, batch_report) in sources.iter().zip(&batched) {
+            let solo = score_source(&det, src, 1).expect("scans");
+            assert_eq!(
+                solo.to_json("x").to_string(),
+                batch_report.to_json("x").to_string(),
+                "batching must not change scores"
+            );
+        }
+        // And thread count must not either.
+        for jobs in [2, 4] {
+            let par = score_prepared(&det, &prepared, jobs);
+            for (a, b) in batched.iter().zip(&par) {
+                assert_eq!(a.to_json("x").to_string(), b.to_json("x").to_string());
+            }
+        }
+    }
+}

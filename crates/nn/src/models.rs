@@ -29,6 +29,20 @@ pub trait SequenceClassifier {
         None
     }
 
+    /// Runs the network on a batch of token-id sequences, returning one
+    /// logit per sequence in input order. This is the inference entry point
+    /// batched callers (the serving layer, bulk evaluation) go through; the
+    /// default implementation streams the sequences through
+    /// [`SequenceClassifier::forward_logit`] one by one, so the result is
+    /// identical to unbatched calls by construction. Architectures with a
+    /// genuinely vectorized path can override it under the same contract.
+    fn forward_logits(&mut self, batch: &[Vec<usize>], train: bool, rng: &mut StdRng) -> Vec<f64> {
+        batch
+            .iter()
+            .map(|ids| self.forward_logit(ids, train, rng))
+            .collect()
+    }
+
     /// Moves all accumulated gradients out (in `params_mut` order), leaving
     /// zeros behind. Together with [`SequenceClassifier::add_grads`] this is
     /// the exchange primitive of the data-parallel training engine: workers
@@ -386,6 +400,22 @@ mod tests {
             }
         }
         correct as f64 / 100.0
+    }
+
+    #[test]
+    fn batched_forward_matches_single_inference() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let cfg = CnnConfig {
+            channels: 8,
+            ..CnnConfig::default()
+        };
+        let mut m = SevulDetCnn::new(table(8, 8, 92), cfg, &mut rng);
+        let batch: Vec<Vec<usize>> = vec![vec![1, 2, 3], vec![5, 6, 1, 2], vec![4], vec![1; 20]];
+        let batched = m.forward_logits(&batch, false, &mut rng);
+        for (ids, &logit) in batch.iter().zip(&batched) {
+            let solo = m.forward_logit(ids, false, &mut rng);
+            assert_eq!(solo, logit, "batching changed the logit for {ids:?}");
+        }
     }
 
     #[test]

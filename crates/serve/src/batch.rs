@@ -1,0 +1,225 @@
+//! The micro-batching scheduler: a bounded MPSC queue of scan jobs drained
+//! by worker threads that coalesce pending requests into one batched
+//! forward pass.
+//!
+//! Connection handlers [`JobQueue::submit`] jobs (non-blocking; a full
+//! queue is backpressure, answered 429 upstream). Each worker pops one job
+//! (blocking with a poll timeout), opportunistically drains up to
+//! `max_batch - 1` more, snapshots the current model `Arc` once, and scores
+//! the union of all gadget streams in the batch through
+//! [`sevuldet::score_prepared`] — the same function the CLI uses, so
+//! batching cannot change results. Responses travel back to the connection
+//! handler over a per-job channel.
+
+use crate::metrics::Metrics;
+use crate::registry::ModelRegistry;
+use sevuldet::{error_json, prepare_source, score_prepared, PreparedSource};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One scan request in flight.
+#[derive(Debug)]
+pub struct ScanJob {
+    /// Label for the report (`"name"` field of the request, or a default).
+    pub name: String,
+    /// The C source to scan.
+    pub source: String,
+    /// When the job entered the queue (latency accounting).
+    pub enqueued: Instant,
+    /// Absolute deadline; jobs popped after it are answered 504 unscored.
+    pub deadline: Instant,
+    /// Where the outcome goes (the connection handler blocks on this).
+    pub resp: Sender<JobOutcome>,
+}
+
+/// What became of a scan job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Scored; the JSON report body (status 200).
+    Report(String),
+    /// The source did not parse; the JSON error body (status 422).
+    ParseError(String),
+    /// The deadline expired while the job was queued (status 504).
+    DeadlineExceeded,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at capacity — backpressure (status 429).
+    Full,
+    /// The server is draining for shutdown (status 503).
+    ShuttingDown,
+}
+
+/// The bounded scan queue. `SyncSender` gives the bound and the
+/// non-blocking `try_send`; the single `Receiver` is shared by all workers
+/// behind a mutex, which doubles as the batch-assembly critical section.
+pub struct JobQueue {
+    tx: Mutex<Option<SyncSender<ScanJob>>>,
+    rx: Mutex<Receiver<ScanJob>>,
+    metrics: Arc<Metrics>,
+}
+
+impl JobQueue {
+    /// A queue holding at most `capacity` waiting jobs.
+    pub fn new(capacity: usize, metrics: Arc<Metrics>) -> JobQueue {
+        let (tx, rx) = mpsc::sync_channel(capacity.max(1));
+        JobQueue {
+            tx: Mutex::new(Some(tx)),
+            rx: Mutex::new(rx),
+            metrics,
+        }
+    }
+
+    /// Non-blocking enqueue.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] once [`JobQueue::close`] ran.
+    pub fn submit(&self, job: ScanJob) -> Result<(), SubmitError> {
+        let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(tx) = guard.as_ref() else {
+            return Err(SubmitError::ShuttingDown);
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics
+                    .rejected_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Full)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Closes the queue for new submissions. Workers drain what is already
+    /// queued and then exit — the graceful-shutdown half-close.
+    pub fn close(&self) {
+        self.tx.lock().unwrap_or_else(|e| e.into_inner()).take();
+    }
+}
+
+/// Worker configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Most requests coalesced into one forward batch.
+    pub max_batch: usize,
+    /// `par` sharding inside a batch (threads per forward pass).
+    pub inner_jobs: usize,
+    /// Test hook: artificial latency per batch, simulating a slow model.
+    pub batch_delay: Duration,
+}
+
+/// One worker's drain-coalesce-score loop. Returns when the queue is closed
+/// and drained.
+pub fn worker_loop(
+    queue: &JobQueue,
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    cfg: &WorkerConfig,
+) {
+    loop {
+        // Pop one job (poll so a closed-but-empty queue is noticed), then
+        // coalesce whatever else is already waiting, up to max_batch. The
+        // receiver lock makes batch assembly atomic across workers.
+        let batch: Vec<ScanJob> = {
+            let rx = queue.rx.lock().unwrap_or_else(|e| e.into_inner());
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(first) => {
+                    let mut batch = vec![first];
+                    while batch.len() < cfg.max_batch.max(1) {
+                        match rx.try_recv() {
+                            Ok(job) => batch.push(job),
+                            Err(_) => break,
+                        }
+                    }
+                    batch
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        metrics
+            .queue_depth
+            .fetch_sub(batch.len() as i64, Ordering::Relaxed);
+        metrics.batch_size.observe(batch.len() as f64);
+        if !cfg.batch_delay.is_zero() {
+            std::thread::sleep(cfg.batch_delay);
+        }
+        let model = registry.current();
+
+        // Triage: expired deadlines answer immediately; the rest are
+        // prepared (parse + slice + normalize) and scored as one batch.
+        let now = Instant::now();
+        let mut outcomes: Vec<Option<JobOutcome>> = Vec::with_capacity(batch.len());
+        let mut prepared: Vec<PreparedSource> = Vec::new();
+        for job in &batch {
+            if now > job.deadline {
+                metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                outcomes.push(Some(JobOutcome::DeadlineExceeded));
+            } else {
+                match prepare_source(&job.source, 1) {
+                    Ok(p) => {
+                        prepared.push(p);
+                        outcomes.push(None); // filled from the scored batch
+                    }
+                    Err(e) => outcomes.push(Some(JobOutcome::ParseError(
+                        error_json(&job.name, &e).to_string(),
+                    ))),
+                }
+            }
+        }
+        let mut reports = score_prepared(&model.detector, &prepared, cfg.inner_jobs).into_iter();
+        for (job, outcome) in batch.into_iter().zip(outcomes) {
+            let outcome = outcome.unwrap_or_else(|| {
+                let report = reports.next().expect("one report per prepared job");
+                JobOutcome::Report(report.to_json(&job.name).to_string())
+            });
+            if matches!(outcome, JobOutcome::Report(_) | JobOutcome::ParseError(_)) {
+                metrics
+                    .scan_latency
+                    .observe(job.enqueued.elapsed().as_secs_f64());
+            }
+            // A handler that gave up (client timeout) just drops its
+            // receiver; that is not a worker error.
+            let _ = job.resp.send(outcome);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(resp: Sender<JobOutcome>) -> ScanJob {
+        ScanJob {
+            name: "t".into(),
+            source: String::new(),
+            enqueued: Instant::now(),
+            deadline: Instant::now() + Duration::from_secs(5),
+            resp,
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let metrics = Arc::new(Metrics::default());
+        let q = JobQueue::new(2, metrics.clone());
+        let (tx, _rx) = mpsc::channel();
+        assert!(q.submit(job(tx.clone())).is_ok());
+        assert!(q.submit(job(tx.clone())).is_ok());
+        assert_eq!(q.submit(job(tx.clone())), Err(SubmitError::Full));
+        assert_eq!(metrics.rejected_queue_full.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 2);
+        q.close();
+        assert_eq!(q.submit(job(tx)), Err(SubmitError::ShuttingDown));
+    }
+}

@@ -1,0 +1,392 @@
+//! The `sevuldet` command-line tool: train a detector on the synthetic
+//! corpus, save/load it, scan C files for vulnerabilities (one warm model,
+//! many files, one batched forward pass), and serve scans over HTTP.
+//!
+//! ```text
+//! sevuldet train --out model.svd [--per-category 60] [--epochs 24] [--seed 42] [--jobs N]
+//! sevuldet scan <file.c> [<file2.c> ...] --model model.svd [--top 5] [--jobs N] [--json]
+//! sevuldet serve --model model.svd [--addr 127.0.0.1:8080] [--workers N] [--max-batch N]
+//!                [--queue-cap N] [--deadline-ms N] [--jobs N]
+//! sevuldet gadgets <file.c> [--classic]
+//! ```
+
+use sevuldet::{
+    load_detector, prepare_source, save_detector, score_prepared, top_tokens, Detector, GadgetSpec,
+    Json, ModelKind, PreparedSource, ScanError, ScanReport, TrainConfig,
+};
+use sevuldet_analysis::ProgramAnalysis;
+use sevuldet_dataset::{sard, SardConfig};
+use sevuldet_gadget::{build_gadget, find_special_tokens, GadgetKind};
+use sevuldet_serve::{registry::ModelRegistry, server, signal, ServeConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("scan") => cmd_scan(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("gadgets") => cmd_gadgets(&args[1..]),
+        _ => {
+            eprintln!("usage:");
+            eprintln!(
+                "  sevuldet train --out <model> [--per-category N] [--epochs N] [--seed N] [--jobs N]"
+            );
+            eprintln!(
+                "  sevuldet scan <file.c> [<file2.c> ...] --model <model> [--top N] [--jobs N] [--json]"
+            );
+            eprintln!(
+                "  sevuldet serve --model <model> [--addr host:port] [--workers N] [--max-batch N] [--queue-cap N] [--deadline-ms N] [--jobs N]"
+            );
+            eprintln!("  sevuldet gadgets <file.c> [--classic]");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One command-line flag: its name and whether a value follows it. The
+/// single table drives [`flag`], [`has_flag`], [`positionals`], and
+/// [`check_args`], so a flag added here is automatically parsed, skipped
+/// when hunting for positionals, and accepted by validation.
+struct FlagSpec {
+    name: &'static str,
+    takes_value: bool,
+}
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--out",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--per-category",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--epochs",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--seed",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--jobs",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--model",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--top",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--classic",
+        takes_value: false,
+    },
+    FlagSpec {
+        name: "--json",
+        takes_value: false,
+    },
+    FlagSpec {
+        name: "--addr",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--workers",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--max-batch",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--queue-cap",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--deadline-ms",
+        takes_value: true,
+    },
+];
+
+fn spec(name: &str) -> Option<&'static FlagSpec> {
+    FLAGS.iter().find(|s| s.name == name)
+}
+
+/// Rejects undeclared `--flags` and value-taking flags with no value.
+fn check_args(args: &[String]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            let s = spec(a).ok_or_else(|| format!("unknown flag `{a}`"))?;
+            if s.takes_value {
+                if i + 1 >= args.len() {
+                    return Err(format!("flag `{a}` needs a value"));
+                }
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    debug_assert!(
+        spec(name).is_some_and(|s| s.takes_value),
+        "{name} not declared as value flag"
+    );
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    debug_assert!(spec(name).is_some(), "{name} not declared");
+    args.iter().any(|a| a == name)
+}
+
+/// Every non-flag argument, in order.
+fn positionals(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip_next = spec(a).is_none_or(|s| s.takes_value);
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        Some(v) => v.parse().map_err(|_| format!("bad {name} `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    check_args(args)?;
+    let out = flag(args, "--out").ok_or("train needs --out <path>")?;
+    let per_category: usize = parse_flag(args, "--per-category", 60)?;
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let epochs: usize = parse_flag(args, "--epochs", 24)?;
+    let jobs: usize = parse_flag(args, "--jobs", 1)?;
+
+    let samples = sard::generate(&SardConfig {
+        per_category,
+        seed,
+        ..SardConfig::default()
+    });
+    let gadget_spec = GadgetSpec::path_sensitive();
+    let corpus = gadget_spec.extract_jobs(&samples, jobs);
+    eprintln!(
+        "training SEVulDet on {} path-sensitive gadgets ({} vulnerable), {} epochs, {} job(s) ...",
+        corpus.len(),
+        corpus.vulnerable(),
+        epochs,
+        jobs
+    );
+    let cfg = TrainConfig {
+        seed,
+        epochs,
+        jobs,
+        ..TrainConfig::quick()
+    };
+    let mut detector = Detector::train(&corpus, ModelKind::SevulDet, &cfg);
+    let text = save_detector(&mut detector);
+    std::fs::write(&out, text).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("saved model to {out}");
+    Ok(())
+}
+
+/// The per-file outcome of a multi-file scan.
+enum FileScan {
+    Scanned(ScanReport),
+    Failed(ScanError),
+    Unreadable(String),
+}
+
+fn cmd_scan(args: &[String]) -> Result<(), String> {
+    check_args(args)?;
+    let files: Vec<String> = positionals(args).into_iter().cloned().collect();
+    if files.is_empty() {
+        return Err("scan needs at least one <file.c>".into());
+    }
+    let model_path = flag(args, "--model").ok_or("scan needs --model <path>")?;
+    let top: usize = parse_flag(args, "--top", 0)?;
+    let jobs: usize = parse_flag(args, "--jobs", 1)?;
+    let as_json = has_flag(args, "--json");
+
+    // Load the model once and score every file in a single batched forward
+    // pass — the same `prepare_source`/`score_prepared` path the server's
+    // batch workers use, so CLI and server output cannot drift.
+    let model_text =
+        std::fs::read_to_string(&model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
+    let mut detector = load_detector(&model_text).map_err(|e| e.to_string())?;
+
+    let mut outcomes: Vec<Option<FileScan>> = Vec::with_capacity(files.len());
+    let mut prepared: Vec<PreparedSource> = Vec::new();
+    for file in &files {
+        match std::fs::read_to_string(file) {
+            Err(e) => outcomes.push(Some(FileScan::Unreadable(format!("reading {file}: {e}")))),
+            Ok(source) => match prepare_source(&source, jobs) {
+                Ok(p) => {
+                    prepared.push(p);
+                    outcomes.push(None);
+                }
+                Err(e) => outcomes.push(Some(FileScan::Failed(e))),
+            },
+        }
+    }
+    let mut reports = score_prepared(&detector, &prepared, jobs).into_iter();
+    let outcomes: Vec<FileScan> = outcomes
+        .into_iter()
+        .map(|o| o.unwrap_or_else(|| FileScan::Scanned(reports.next().expect("report"))))
+        .collect();
+
+    if as_json {
+        // One JSON array, one element per file, same report schema as the
+        // server; "clean" (scanned, no findings) is distinct from "error".
+        let docs: Vec<Json> = files
+            .iter()
+            .zip(&outcomes)
+            .map(|(file, outcome)| match outcome {
+                FileScan::Scanned(report) => report.to_json(file),
+                FileScan::Failed(e) => sevuldet::error_json(file, e),
+                FileScan::Unreadable(msg) => Json::obj(vec![
+                    ("name", Json::str(file.as_str())),
+                    ("status", Json::str("error")),
+                    ("error", Json::str(msg.as_str())),
+                ]),
+            })
+            .collect();
+        println!("{}", Json::Arr(docs));
+    } else {
+        for (file, outcome) in files.iter().zip(&outcomes) {
+            match outcome {
+                FileScan::Unreadable(msg) => eprintln!("{file}: not scanned: {msg}"),
+                FileScan::Failed(e) => eprintln!("{file}: not scanned: {e}"),
+                FileScan::Scanned(report) => print_human_report(file, report, &mut detector, top),
+            }
+        }
+    }
+
+    let failures = outcomes
+        .iter()
+        .filter(|o| !matches!(o, FileScan::Scanned(_)))
+        .count();
+    if failures > 0 {
+        return Err(format!(
+            "{failures}/{} file(s) could not be scanned",
+            files.len()
+        ));
+    }
+    Ok(())
+}
+
+fn print_human_report(file: &str, report: &ScanReport, detector: &mut Detector, top: usize) {
+    if report.findings.is_empty() {
+        // "Clean" is a scan result, not an error: keep the machine-greppable
+        // `gadgets flagged` summary line even with nothing to report.
+        println!("{file}: clean — no special tokens");
+        println!(
+            "\n0/0 gadgets flagged in {file} (threshold {})",
+            report.threshold
+        );
+        return;
+    }
+    for f in &report.findings {
+        if f.flagged {
+            println!(
+                "{file}:{}: [{}] `{}` p={:.3}  ** potentially vulnerable **",
+                f.line, f.category, f.name, f.score
+            );
+            if top > 0 {
+                for r in top_tokens(detector, &f.tokens, top) {
+                    println!("      attention {:>6.1}%  {}", r.percent, r.token);
+                }
+            }
+        } else {
+            println!(
+                "{file}:{}: [{}] `{}` p={:.3}",
+                f.line, f.category, f.name, f.score
+            );
+        }
+    }
+    println!(
+        "\n{}/{} gadgets flagged in {file} (threshold {})",
+        report.flagged(),
+        report.gadgets(),
+        report.threshold
+    );
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    check_args(args)?;
+    let model_path = flag(args, "--model").ok_or("serve needs --model <path>")?;
+    let cfg = ServeConfig {
+        addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+        workers: parse_flag(args, "--workers", 2)?,
+        max_batch: parse_flag(args, "--max-batch", 8)?,
+        queue_cap: parse_flag(args, "--queue-cap", 64)?,
+        inner_jobs: parse_flag(args, "--jobs", 1)?,
+        deadline: Duration::from_millis(parse_flag(args, "--deadline-ms", 10_000)?),
+        ..ServeConfig::default()
+    };
+    let registry = ModelRegistry::open(&model_path)?;
+    let handle = server::start(cfg, registry).map_err(|e| format!("binding server: {e}"))?;
+    signal::install();
+    eprintln!(
+        "sevuldet-serve listening on http://{} (model {model_path}; POST /scan, POST /reload, GET /metrics, GET /healthz)",
+        handle.addr()
+    );
+    while !signal::termination_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("shutdown requested — draining scan queue ...");
+    handle.shutdown();
+    eprintln!("drained; bye");
+    Ok(())
+}
+
+fn cmd_gadgets(args: &[String]) -> Result<(), String> {
+    check_args(args)?;
+    let files = positionals(args);
+    let file = files.first().ok_or("gadgets needs a <file.c>")?.to_string();
+    let kind = if has_flag(args, "--classic") {
+        GadgetKind::Classic
+    } else {
+        GadgetKind::PathSensitive
+    };
+    let source = std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?;
+    let program = sevuldet_lang::parse(&source).map_err(|e| e.to_string())?;
+    let analysis = ProgramAnalysis::analyze(&program);
+    let specials = find_special_tokens(&program, &analysis);
+    let gadget_spec = GadgetSpec::path_sensitive();
+    for st in &specials {
+        let gadget = build_gadget(&program, &analysis, st, kind, &gadget_spec.slice_config());
+        println!("{gadget}\n");
+    }
+    println!("{} gadgets ({kind:?})", specials.len());
+    Ok(())
+}

@@ -1,0 +1,338 @@
+//! A deliberately small HTTP/1.1 layer over `std::io` — request parsing and
+//! response writing, nothing else. The server speaks plain HTTP/1.1 with
+//! `Content-Length` bodies and keep-alive; chunked transfer encoding is
+//! rejected with `501`. Built on std only: the container this repository
+//! grows in has no network access, so no HTTP crate can be pulled in.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path component only (no query parsing; the API takes JSON bodies).
+    pub path: String,
+    /// Raw header pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lower-cased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default) or to close it.
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Outcome of reading one request off a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed the connection cleanly before sending anything.
+    Closed,
+}
+
+/// A protocol-level failure with the status code to answer it with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Response status to send (400/408/413/501).
+    pub status: u16,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+impl HttpError {
+    fn new(status: u16, msg: impl Into<String>) -> HttpError {
+        HttpError {
+            status,
+            msg: msg.into(),
+        }
+    }
+}
+
+/// Reads one request. Read timeouts configured on the underlying socket
+/// surface as `408`; oversized heads and bodies as `413`.
+///
+/// # Errors
+///
+/// [`HttpError`] describes malformed or unsupported requests; the caller
+/// should answer with `e.status` and close the connection.
+pub fn read_request(reader: &mut impl BufRead) -> Result<ReadOutcome, HttpError> {
+    let mut head = Vec::new();
+    let mut line = Vec::new();
+    // Request line.
+    match read_crlf_line(reader, &mut line, MAX_HEAD_BYTES)? {
+        0 => return Ok(ReadOutcome::Closed),
+        _ => head.extend_from_slice(&line),
+    }
+    let request_line = String::from_utf8(line.clone())
+        .map_err(|_| HttpError::new(400, "non-UTF-8 request line"))?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => return Err(HttpError::new(400, "malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(400, "unsupported HTTP version"));
+    }
+    // Headers.
+    let mut headers = Vec::new();
+    loop {
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::new(413, "request head too large"));
+        }
+        let n = read_crlf_line(reader, &mut line, MAX_HEAD_BYTES)?;
+        if n == 0 {
+            return Err(HttpError::new(400, "connection closed mid-headers"));
+        }
+        if line.is_empty() {
+            break; // end of head
+        }
+        head.extend_from_slice(&line);
+        let text =
+            String::from_utf8(line.clone()).map_err(|_| HttpError::new(400, "non-UTF-8 header"))?;
+        let (name, value) = text
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, "malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::new(501, "chunked transfer encoding unsupported"));
+    }
+    let len = match req.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::new(400, "bad content-length"))?,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::new(413, "request body too large"));
+    }
+    let mut body = vec![0u8; len];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| io_error(e, "reading body"))?;
+    Ok(ReadOutcome::Request(Request { body, ..req }))
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line into `line` (terminator
+/// stripped), returning the raw byte count read (0 = EOF).
+fn read_crlf_line(
+    reader: &mut impl BufRead,
+    line: &mut Vec<u8>,
+    cap: usize,
+) -> Result<usize, HttpError> {
+    line.clear();
+    let mut raw = Vec::new();
+    let n = read_until_limited(reader, b'\n', &mut raw, cap)?;
+    while raw.last().is_some_and(|b| *b == b'\n' || *b == b'\r') {
+        raw.pop();
+    }
+    *line = raw;
+    Ok(n)
+}
+
+/// `read_until` with a size cap, mapping IO errors to HTTP ones.
+fn read_until_limited(
+    reader: &mut impl BufRead,
+    delim: u8,
+    buf: &mut Vec<u8>,
+    cap: usize,
+) -> Result<usize, HttpError> {
+    let mut total = 0usize;
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(a) => a,
+            Err(e) => return Err(io_error(e, "reading request")),
+        };
+        if available.is_empty() {
+            return Ok(total); // EOF
+        }
+        let (used, done) = match available.iter().position(|&b| b == delim) {
+            Some(i) => (i + 1, true),
+            None => (available.len(), false),
+        };
+        buf.extend_from_slice(&available[..used]);
+        reader.consume(used);
+        total += used;
+        if total > cap {
+            return Err(HttpError::new(413, "line too long"));
+        }
+        if done {
+            return Ok(total);
+        }
+    }
+}
+
+fn io_error(e: std::io::Error, what: &str) -> HttpError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+            HttpError::new(408, format!("timeout {what}"))
+        }
+        _ => HttpError::new(400, format!("{what}: {e}")),
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response. `close` adds `Connection: close`.
+///
+/// # Errors
+///
+/// Propagates socket write failures (the caller drops the connection).
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    if close {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<ReadOutcome, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = "POST /scan HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let ReadOutcome::Request(req) = parse(raw).unwrap() else {
+            panic!("expected request");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/scan");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"hello");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let raw = "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let ReadOutcome::Request(req) = parse(raw).unwrap() else {
+            panic!("expected request");
+        };
+        assert!(!req.keep_alive());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_reports_closed() {
+        assert!(matches!(parse("").unwrap(), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn malformed_requests_get_400s() {
+        assert_eq!(parse("GARBAGE\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET / SPDY/3\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status,
+            501
+        );
+    }
+
+    #[test]
+    fn oversized_inputs_get_413() {
+        let long_header = format!(
+            "GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES + 1)
+        );
+        assert_eq!(parse(&long_header).unwrap_err().status, 413);
+        let big_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse(&big_body).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn responses_have_correct_framing() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "application/json",
+            b"{\"error\":\"full\"}",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 16\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"full\"}"));
+    }
+}

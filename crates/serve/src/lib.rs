@@ -1,0 +1,42 @@
+//! # sevuldet-serve
+//!
+//! A long-running, batched inference server for the SEVulDet detector — the
+//! first step from the one-shot `sevuldet scan` CLI toward the ROADMAP's
+//! production-serving north star. Std-only: HTTP/1.1 over
+//! `std::net::TcpListener`, no external network or async dependencies.
+//!
+//! The subsystem, by module:
+//!
+//! * [`http`] — minimal HTTP/1.1 request parsing / response writing;
+//! * [`batch`] — the micro-batching scheduler: a bounded MPSC queue whose
+//!   workers coalesce up to `max_batch` pending scans into **one** batched
+//!   forward pass ([`sevuldet::score_prepared`], the same entry point the
+//!   CLI uses, so batching cannot change results);
+//! * [`registry`] — the hot-reloadable model slot (`POST /reload` swaps an
+//!   `Arc`; in-flight batches finish on the model they started with);
+//! * [`metrics`] — Prometheus counters/gauges/histograms for `GET /metrics`;
+//! * [`server`] — accept loop, routing, backpressure (429 on a full
+//!   queue), per-request deadlines (504), and graceful drain;
+//! * [`signal`] — SIGINT/SIGTERM → graceful-shutdown flag, std-only.
+//!
+//! ```no_run
+//! use sevuldet_serve::{registry::ModelRegistry, server, server::ServeConfig};
+//!
+//! let registry = ModelRegistry::open("model.svd").expect("model loads");
+//! let handle = server::start(ServeConfig::default(), registry).expect("binds");
+//! println!("serving on http://{}", handle.addr());
+//! // ... later:
+//! handle.shutdown(); // drains the queue, then joins the workers
+//! ```
+
+pub mod batch;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+pub mod signal;
+
+pub use batch::{JobOutcome, JobQueue, ScanJob, SubmitError};
+pub use metrics::Metrics;
+pub use registry::{LoadedModel, ModelRegistry};
+pub use server::{start, ServeConfig, ServerHandle};

@@ -1,0 +1,254 @@
+//! Server observability: lock-light counters, gauges, and histograms
+//! rendered in the Prometheus text exposition format (version 0.0.4) by
+//! `GET /metrics`.
+//!
+//! Everything is updated with relaxed atomics on the hot path; the only
+//! lock is around the (tiny, cold) per-status-code response map.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-bucket histogram. Observed values are accumulated as cumulative
+/// bucket counts at render time; the running sum is kept in fixed-point
+/// micro-units so it fits an atomic integer.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given upper bounds (an implicit `+Inf` bucket
+    /// is always appended).
+    pub fn new(bounds: &'static [f64]) -> Histogram {
+        Histogram {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add((v.max(0.0) * 1e6) as u64, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, out: &mut String, name: &str, help: &str) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, bound) in self.bounds.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let sum = self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        let _ = writeln!(out, "{name}_sum {sum}");
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+/// The endpoints the request counter is labeled with.
+pub const ENDPOINTS: &[&str] = &["scan", "metrics", "reload", "healthz", "other"];
+
+/// All server metrics, shared via `Arc` between the accept loop, connection
+/// handlers, and batch workers.
+#[derive(Debug)]
+pub struct Metrics {
+    requests: Vec<AtomicU64>,
+    responses: Mutex<BTreeMap<u16, u64>>,
+    /// Scans rejected because the queue was full (answered 429).
+    pub rejected_queue_full: AtomicU64,
+    /// Scans whose deadline expired while queued (answered 504).
+    pub rejected_deadline: AtomicU64,
+    /// Successful model reloads.
+    pub reloads: AtomicU64,
+    /// Jobs currently waiting in the scan queue.
+    pub queue_depth: AtomicI64,
+    /// Enqueue→scored latency of scan requests, seconds.
+    pub scan_latency: Histogram,
+    /// Number of requests coalesced per forward batch.
+    pub batch_size: Histogram,
+}
+
+const LATENCY_BOUNDS: &[f64] = &[
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: ENDPOINTS.iter().map(|_| AtomicU64::new(0)).collect(),
+            responses: Mutex::new(BTreeMap::new()),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            queue_depth: AtomicI64::new(0),
+            scan_latency: Histogram::new(LATENCY_BOUNDS),
+            batch_size: Histogram::new(BATCH_BOUNDS),
+        }
+    }
+}
+
+impl Metrics {
+    /// Counts a request against its endpoint label (unknown paths go to
+    /// `other`).
+    pub fn count_request(&self, endpoint: &str) {
+        let idx = ENDPOINTS
+            .iter()
+            .position(|e| *e == endpoint)
+            .unwrap_or(ENDPOINTS.len() - 1);
+        self.requests[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a response by status code.
+    pub fn count_response(&self, status: u16) {
+        let mut map = self.responses.lock().unwrap_or_else(|e| e.into_inner());
+        *map.entry(status).or_insert(0) += 1;
+    }
+
+    /// Renders the Prometheus text exposition.
+    pub fn render(&self, model_version: u64) -> String {
+        let mut out = String::with_capacity(2048);
+        let w = &mut out;
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_requests_total HTTP requests received, by endpoint."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_requests_total counter");
+        for (i, ep) in ENDPOINTS.iter().enumerate() {
+            let n = self.requests[i].load(Ordering::Relaxed);
+            let _ = writeln!(w, "sevuldet_requests_total{{endpoint=\"{ep}\"}} {n}");
+        }
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_responses_total HTTP responses sent, by status code."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_responses_total counter");
+        {
+            let map = self.responses.lock().unwrap_or_else(|e| e.into_inner());
+            for (code, n) in map.iter() {
+                let _ = writeln!(w, "sevuldet_responses_total{{code=\"{code}\"}} {n}");
+            }
+        }
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_rejected_total Scan requests rejected before scoring, by reason."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_rejected_total counter");
+        let _ = writeln!(
+            w,
+            "sevuldet_rejected_total{{reason=\"queue_full\"}} {}",
+            self.rejected_queue_full.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            w,
+            "sevuldet_rejected_total{{reason=\"deadline\"}} {}",
+            self.rejected_deadline.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_model_reloads_total Successful model hot-reloads."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_model_reloads_total counter");
+        let _ = writeln!(
+            w,
+            "sevuldet_model_reloads_total {}",
+            self.reloads.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_model_version Monotonic version of the currently served model."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_model_version gauge");
+        let _ = writeln!(w, "sevuldet_model_version {model_version}");
+        let _ = writeln!(w, "# HELP sevuldet_queue_depth Scan jobs currently queued.");
+        let _ = writeln!(w, "# TYPE sevuldet_queue_depth gauge");
+        let _ = writeln!(
+            w,
+            "sevuldet_queue_depth {}",
+            self.queue_depth.load(Ordering::Relaxed).max(0)
+        );
+        self.scan_latency.render(
+            w,
+            "sevuldet_scan_latency_seconds",
+            "Enqueue-to-scored latency of scan requests.",
+        );
+        self.batch_size.render(
+            w,
+            "sevuldet_batch_size",
+            "Requests coalesced per forward batch.",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        let mut out = String::new();
+        h.render(&mut out, "x", "test");
+        assert!(out.contains("x_bucket{le=\"1\"} 1"));
+        assert!(out.contains("x_bucket{le=\"2\"} 2"));
+        assert!(out.contains("x_bucket{le=\"4\"} 3"));
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 4"));
+        assert!(out.contains("x_count 4"));
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn render_contains_every_series() {
+        let m = Metrics::default();
+        m.count_request("scan");
+        m.count_request("/nonsense");
+        m.count_response(200);
+        m.count_response(429);
+        m.scan_latency.observe(0.02);
+        m.batch_size.observe(4.0);
+        m.queue_depth.store(3, Ordering::Relaxed);
+        m.reloads.store(2, Ordering::Relaxed);
+        let text = m.render(7);
+        for needle in [
+            "sevuldet_requests_total{endpoint=\"scan\"} 1",
+            "sevuldet_requests_total{endpoint=\"other\"} 1",
+            "sevuldet_responses_total{code=\"200\"} 1",
+            "sevuldet_responses_total{code=\"429\"} 1",
+            "sevuldet_rejected_total{reason=\"queue_full\"} 0",
+            "sevuldet_model_reloads_total 2",
+            "sevuldet_model_version 7",
+            "sevuldet_queue_depth 3",
+            "sevuldet_scan_latency_seconds_bucket{le=\"0.025\"} 1",
+            "sevuldet_scan_latency_seconds_count 1",
+            "sevuldet_batch_size_bucket{le=\"4\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The model registry: one warm [`Detector`] behind an atomically swappable
+//! `Arc`, reloadable from disk while requests are in flight.
+//!
+//! `POST /reload` re-reads the model file and swaps the `Arc` under a short
+//! write lock. Batch workers snapshot the `Arc` once per batch, so a batch
+//! that started on the old model finishes on the old model — reloads never
+//! tear a forward pass and never drop in-flight requests.
+
+use sevuldet::{load_detector, Detector};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One loaded model generation.
+#[derive(Debug)]
+pub struct LoadedModel {
+    /// The warm detector (scoring takes `&self`; workers clone per shard).
+    pub detector: Detector,
+    /// Monotonic generation number, starting at 1 for the initial load.
+    pub version: u64,
+}
+
+/// A hot-reloadable model slot tied to a file path.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    path: PathBuf,
+    current: RwLock<Arc<LoadedModel>>,
+    next_version: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Loads the initial model from `path`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the file is unreadable or not a valid
+    /// saved detector.
+    pub fn open(path: impl AsRef<Path>) -> Result<ModelRegistry, String> {
+        let path = path.as_ref().to_path_buf();
+        let detector = read_model(&path)?;
+        Ok(ModelRegistry {
+            path,
+            current: RwLock::new(Arc::new(LoadedModel {
+                detector,
+                version: 1,
+            })),
+            next_version: AtomicU64::new(2),
+        })
+    }
+
+    /// The currently served model. Callers hold the `Arc` for as long as
+    /// they need the model; a concurrent reload swaps the slot without
+    /// invalidating it.
+    pub fn current(&self) -> Arc<LoadedModel> {
+        self.current
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Re-reads the model file and swaps it in, returning the new version.
+    /// On any failure the previous model keeps serving.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the file is unreadable or invalid.
+    pub fn reload(&self) -> Result<u64, String> {
+        let detector = read_model(&self.path)?;
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let loaded = Arc::new(LoadedModel { detector, version });
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = loaded;
+        Ok(version)
+    }
+
+    /// The path reloads are served from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn read_model(path: &Path) -> Result<Detector, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    load_detector(&text).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sevuldet::{save_detector, Detector, GadgetSpec, ModelKind, TrainConfig};
+    use sevuldet_dataset::{sard, SardConfig};
+
+    fn tiny_model_text(seed: u64) -> String {
+        let samples = sard::generate(&SardConfig {
+            per_category: 4,
+            seed,
+            ..SardConfig::default()
+        });
+        let corpus = GadgetSpec::path_sensitive().extract(&samples);
+        let cfg = TrainConfig {
+            embed_dim: 8,
+            w2v_epochs: 1,
+            epochs: 1,
+            cnn_channels: 6,
+            seed,
+            ..TrainConfig::quick()
+        };
+        let mut det = Detector::train(&corpus, ModelKind::SevulDet, &cfg);
+        save_detector(&mut det)
+    }
+
+    #[test]
+    fn reload_bumps_version_and_old_arc_survives() {
+        let dir = std::env::temp_dir().join(format!("svd-registry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.svd");
+        std::fs::write(&path, tiny_model_text(1)).unwrap();
+        let reg = ModelRegistry::open(&path).expect("initial load");
+        let before = reg.current();
+        assert_eq!(before.version, 1);
+
+        std::fs::write(&path, tiny_model_text(2)).unwrap();
+        let v = reg.reload().expect("reload");
+        assert_eq!(v, 2);
+        assert_eq!(reg.current().version, 2);
+        // The pre-reload handle still works: in-flight batches finish on the
+        // model they started with.
+        assert_eq!(before.version, 1);
+        let probs = before
+            .detector
+            .predict_batch(&[vec!["strcpy".to_string()]], 1);
+        assert_eq!(probs.len(), 1);
+
+        // A broken file fails the reload but keeps serving the old model.
+        std::fs::write(&path, "not a model").unwrap();
+        assert!(reg.reload().is_err());
+        assert_eq!(reg.current().version, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,366 @@
+//! The HTTP server: accept loop, connection handling, routing, and the
+//! graceful-shutdown choreography tying the queue, workers, and registry
+//! together.
+//!
+//! ## Endpoints
+//!
+//! | Method | Path       | Purpose                                           |
+//! |--------|------------|---------------------------------------------------|
+//! | POST   | `/scan`    | Scan C source: `{"source": "...", "name": "..."}` |
+//! | POST   | `/reload`  | Hot-swap the model from its file                  |
+//! | GET    | `/metrics` | Prometheus text exposition                        |
+//! | GET    | `/healthz` | Liveness + current model version                  |
+//!
+//! `/scan` answers `200` with a scan report, `400` on malformed requests,
+//! `422` when the source does not parse, `429` when the queue is full
+//! (backpressure), `503` while draining, and `504` when the per-request
+//! deadline expires before scoring.
+
+use crate::batch::{worker_loop, JobOutcome, JobQueue, ScanJob, SubmitError, WorkerConfig};
+use crate::http::{read_request, write_response, HttpError, ReadOutcome, Request};
+use crate::metrics::Metrics;
+use crate::registry::ModelRegistry;
+use sevuldet::Json;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tunables. The defaults suit the integration tests and small
+/// deployments; production front-ends should size `workers`, `max_batch`,
+/// and `queue_cap` to the hardware.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (`:0` picks a free port).
+    pub addr: String,
+    /// Batch worker threads draining the scan queue.
+    pub workers: usize,
+    /// Most requests coalesced into one forward batch.
+    pub max_batch: usize,
+    /// Bounded queue capacity; submissions beyond it get 429.
+    pub queue_cap: usize,
+    /// `par` sharding inside one forward batch (`0` = all cores).
+    pub inner_jobs: usize,
+    /// Socket read timeout per request.
+    pub read_timeout: Duration,
+    /// Default per-request deadline (queue wait + scoring).
+    pub deadline: Duration,
+    /// Test hook: artificial per-batch latency, simulating a slow model.
+    pub batch_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            workers: 2,
+            max_batch: 8,
+            queue_cap: 64,
+            inner_jobs: 1,
+            read_timeout: Duration::from_secs(5),
+            deadline: Duration::from_secs(10),
+            batch_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Everything the connection handlers share.
+struct Shared {
+    cfg: ServeConfig,
+    queue: JobQueue,
+    registry: ModelRegistry,
+    metrics: Arc<Metrics>,
+    draining: AtomicBool,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves the threads running detached.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    stop_accepting: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (useful with `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared metrics (e.g. for CLI status printing).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        self.shared.metrics.clone()
+    }
+
+    /// Graceful shutdown: stop accepting, reject new scans with 503, drain
+    /// every queued job through the workers, then join them. In-flight
+    /// requests receive their responses.
+    pub fn shutdown(mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.stop_accepting.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Half-close the queue: workers drain the backlog and exit.
+        self.shared.queue.close();
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds, spawns the accept loop and the batch workers, and returns.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn start(cfg: ServeConfig, registry: ModelRegistry) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let metrics = Arc::new(Metrics::default());
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(cfg.queue_cap, metrics.clone()),
+        registry,
+        metrics,
+        draining: AtomicBool::new(false),
+        cfg,
+    });
+
+    let worker_cfg = WorkerConfig {
+        max_batch: shared.cfg.max_batch,
+        inner_jobs: shared.cfg.inner_jobs,
+        batch_delay: shared.cfg.batch_delay,
+    };
+    let worker_threads: Vec<JoinHandle<()>> = (0..shared.cfg.workers.max(1))
+        .map(|i| {
+            let shared = shared.clone();
+            let worker_cfg = worker_cfg.clone();
+            std::thread::Builder::new()
+                .name(format!("svd-batch-{i}"))
+                .spawn(move || {
+                    worker_loop(
+                        &shared.queue,
+                        &shared.registry,
+                        &shared.metrics,
+                        &worker_cfg,
+                    )
+                })
+                .expect("spawn batch worker")
+        })
+        .collect();
+
+    let stop_accepting = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let shared = shared.clone();
+        let stop = stop_accepting.clone();
+        std::thread::Builder::new()
+            .name("svd-accept".to_string())
+            .spawn(move || accept_loop(listener, shared, stop))
+            .expect("spawn accept loop")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        stop_accepting,
+        accept_thread: Some(accept_thread),
+        worker_threads,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = shared.clone();
+                let _ = std::thread::Builder::new()
+                    .name("svd-conn".to_string())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader) {
+            Ok(ReadOutcome::Closed) => return,
+            Err(HttpError { status, msg }) => {
+                let body = Json::obj(vec![("error", Json::str(msg))]).to_string();
+                respond(&mut writer, shared, status, &body, true);
+                return;
+            }
+            Ok(ReadOutcome::Request(req)) => {
+                let keep_alive = req.keep_alive() && !shared.draining.load(Ordering::SeqCst);
+                let (status, content_type, body) = route(&req, shared);
+                shared.metrics.count_response(status);
+                let ok = write_response(
+                    &mut writer,
+                    status,
+                    content_type,
+                    body.as_bytes(),
+                    !keep_alive,
+                )
+                .is_ok();
+                if !ok || !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn respond(writer: &mut impl Write, shared: &Shared, status: u16, body: &str, close: bool) {
+    shared.metrics.count_response(status);
+    let _ = write_response(writer, status, "application/json", body.as_bytes(), close);
+}
+
+/// Routes one request, returning `(status, content type, body)`.
+fn route(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/scan") => {
+            shared.metrics.count_request("scan");
+            handle_scan(req, shared)
+        }
+        ("GET", "/metrics") => {
+            shared.metrics.count_request("metrics");
+            let version = shared.registry.current().version;
+            (
+                200,
+                "text/plain; version=0.0.4",
+                shared.metrics.render(version),
+            )
+        }
+        ("POST", "/reload") => {
+            shared.metrics.count_request("reload");
+            match shared.registry.reload() {
+                Ok(version) => {
+                    shared.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+                    (
+                        200,
+                        "application/json",
+                        Json::obj(vec![
+                            ("reloaded", Json::Bool(true)),
+                            ("version", Json::Num(version as f64)),
+                        ])
+                        .to_string(),
+                    )
+                }
+                Err(msg) => (500, "application/json", error_body(&msg)),
+            }
+        }
+        ("GET", "/healthz") => {
+            shared.metrics.count_request("healthz");
+            let version = shared.registry.current().version;
+            (
+                200,
+                "application/json",
+                Json::obj(vec![
+                    ("status", Json::str("ok")),
+                    ("model_version", Json::Num(version as f64)),
+                ])
+                .to_string(),
+            )
+        }
+        (_, "/scan" | "/reload" | "/metrics" | "/healthz") => {
+            shared.metrics.count_request("other");
+            (405, "application/json", error_body("method not allowed"))
+        }
+        _ => {
+            shared.metrics.count_request("other");
+            (404, "application/json", error_body("not found"))
+        }
+    }
+}
+
+fn error_body(msg: &str) -> String {
+    Json::obj(vec![("error", Json::str(msg))]).to_string()
+}
+
+fn handle_scan(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
+    if shared.draining.load(Ordering::SeqCst) {
+        return (503, "application/json", error_body("server draining"));
+    }
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return (400, "application/json", error_body("body is not UTF-8"));
+    };
+    let doc = match Json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return (
+                400,
+                "application/json",
+                error_body(&format!("invalid JSON: {e}")),
+            )
+        }
+    };
+    let Some(source) = doc.get("source").and_then(Json::as_str) else {
+        return (
+            400,
+            "application/json",
+            error_body("missing string field `source`"),
+        );
+    };
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("request")
+        .to_string();
+    // Per-request deadline override, capped at the server default so one
+    // client cannot park jobs in the queue for minutes.
+    let deadline_ms = req
+        .header("x-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|ms| Duration::from_millis(ms).min(shared.cfg.deadline))
+        .unwrap_or(shared.cfg.deadline);
+
+    let (resp_tx, resp_rx) = mpsc::channel();
+    let job = ScanJob {
+        name,
+        source: source.to_string(),
+        enqueued: Instant::now(),
+        deadline: Instant::now() + deadline_ms,
+        resp: resp_tx,
+    };
+    match shared.queue.submit(job) {
+        Err(SubmitError::Full) => return (429, "application/json", error_body("scan queue full")),
+        Err(SubmitError::ShuttingDown) => {
+            return (503, "application/json", error_body("server draining"))
+        }
+        Ok(()) => {}
+    }
+    // Wait for the worker. The margin over the deadline covers scoring time
+    // for a job popped just before its deadline, plus the test-hook delay.
+    let wait = deadline_ms + shared.cfg.batch_delay + Duration::from_secs(30);
+    match resp_rx.recv_timeout(wait) {
+        Ok(JobOutcome::Report(body)) => (200, "application/json", body),
+        Ok(JobOutcome::ParseError(body)) => (422, "application/json", body),
+        Ok(JobOutcome::DeadlineExceeded) => (
+            504,
+            "application/json",
+            error_body("deadline exceeded before scoring"),
+        ),
+        Err(_) => (
+            503,
+            "application/json",
+            error_body("scan worker unavailable"),
+        ),
+    }
+}
