@@ -53,12 +53,15 @@ pub use explain::{top_tokens, RankedToken};
 pub use export::{from_gadget_file, to_gadget_file};
 pub use json::{Json, JsonError};
 pub use metrics::Confusion;
-pub use par::{effective_jobs, parallel_map, parallel_map_with, sample_seed};
+pub use par::{
+    effective_jobs, parallel_map, parallel_map_with, parallel_map_with_state, sample_seed,
+};
 pub use persist::{load_detector, save_detector, PersistError};
 pub use pipeline::{cross_validate, run_split, Detector, GadgetSpec};
 pub use scan::{
-    error_json, prepare_source, score_prepared, score_source, Finding, PreparedGadget,
-    PreparedSource, ScanError, ScanReport,
+    error_json, prepare_source, score_prepared, score_prepared_mut, score_source, Finding,
+    PreparedGadget, PreparedSource, ScanError, ScanReport,
 };
+pub use sevuldet_nn::workspace_counters;
 pub use train::{evaluate_model, k_folds, stratified_split, subsample, train_model};
 pub use zoo::{build_model, AnyModel, ModelKind};

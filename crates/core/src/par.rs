@@ -106,6 +106,35 @@ where
         .collect()
 }
 
+/// Like [`parallel_map_with`], but the caller's own `state` is used directly
+/// — without cloning — when the work runs on the calling thread (`jobs <= 1`
+/// or a single item). Multi-threaded runs clone it once per worker, exactly
+/// like `parallel_map_with`. This is the right shape for "model + reusable
+/// scratch buffers" state: the sequential path keeps its buffers warm across
+/// every call instead of rebuilding them from a cold clone each time.
+///
+/// Results are bit-identical to `parallel_map_with(items, jobs, || state.clone(), f)`
+/// provided `f` leaves `state` observationally unchanged (e.g. gradients are
+/// extracted with `take_grads`, caches are mere scratch).
+pub fn parallel_map_with_state<T, U, S, F>(items: &[T], jobs: usize, state: &mut S, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    S: Clone + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
+    let effective = effective_jobs(jobs, items.len());
+    if effective <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(state, i, t))
+            .collect();
+    }
+    let shared: &S = state;
+    parallel_map_with(items, jobs, || shared.clone(), f)
+}
+
 /// Derives an independent RNG seed for one training sample from the run
 /// seed, the epoch, and the sample's position in the (shuffled) epoch order.
 /// Keying the dropout stream on the *position* rather than on how many
@@ -174,6 +203,34 @@ mod tests {
         // but never below one and never above the request.
         let n = inits.load(Ordering::SeqCst);
         assert!((1..=4).contains(&n), "init ran {n} times");
+    }
+
+    #[test]
+    fn parallel_map_with_state_matches_clone_based_path() {
+        let items: Vec<usize> = (0..41).collect();
+        // State counts how many items the owning worker has seen; outputs
+        // must not depend on jobs because f's result ignores the counter.
+        #[derive(Clone)]
+        struct Counter(usize);
+        let mut state = Counter(0);
+        let seq = parallel_map_with_state(&items, 1, &mut state, |s, i, &x| {
+            s.0 += 1;
+            (i, x * 3)
+        });
+        // jobs <= 1 must use the caller's state directly: every item
+        // accumulates into the one counter the caller handed in.
+        assert_eq!(state.0, items.len());
+        for jobs in [2, 3, 8] {
+            let mut st = Counter(0);
+            let par = parallel_map_with_state(&items, jobs, &mut st, |s, i, &x| {
+                s.0 += 1;
+                (i, x * 3)
+            });
+            assert_eq!(par, seq, "jobs={jobs}");
+            // Multi-threaded runs work on clones; the caller's state is
+            // left untouched.
+            assert_eq!(st.0, 0, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -222,6 +222,28 @@ impl Detector {
             .collect()
     }
 
+    /// Like [`Detector::predict_batch`], but for callers that own the
+    /// detector: when the work runs on the calling thread (`jobs` clamps to
+    /// one) the detector's own model computes the batch directly — no
+    /// replica clone per call — so its kernel workspace stays warm across
+    /// calls. Multi-threaded runs delegate to `predict_batch` unchanged.
+    /// Outputs are bit-identical either way: inference consumes no
+    /// randomness, and the forward math is the same.
+    pub fn predict_batch_mut(&mut self, streams: &[Vec<String>], jobs: usize) -> Vec<f64> {
+        if streams.is_empty() {
+            return Vec::new();
+        }
+        if crate::par::effective_jobs(jobs, streams.len()) > 1 {
+            return self.predict_batch(streams, jobs);
+        }
+        let ids: Vec<Vec<usize>> = streams.iter().map(|t| self.vocab.encode(t)).collect();
+        self.model
+            .forward_logits(&ids, false, &mut self.rng)
+            .into_iter()
+            .map(sigmoid)
+            .collect()
+    }
+
     /// Per-token attention weights of the last prediction, if the model has
     /// token attention (Fig. 6's hook).
     pub fn token_weights(&self) -> Option<Vec<f64>> {

@@ -177,12 +177,42 @@ pub fn score_prepared(
     prepared: &[PreparedSource],
     jobs: usize,
 ) -> Vec<ScanReport> {
-    let streams: Vec<Vec<String>> = prepared
+    let streams = gadget_streams(prepared);
+    let scores = detector.predict_batch(&streams, jobs);
+    assemble_reports(prepared, scores, detector.threshold())
+}
+
+/// Like [`score_prepared`], but for callers that *own* the detector (the
+/// CLI, a server worker's private replica): the forward pass goes through
+/// [`Detector::predict_batch_mut`], which at an effective thread count of
+/// one computes on the detector's own model — no replica clone per call, so
+/// its kernel workspace stays warm. Reports are bit-identical to
+/// [`score_prepared`] for every `jobs` value.
+pub fn score_prepared_mut(
+    detector: &mut Detector,
+    prepared: &[PreparedSource],
+    jobs: usize,
+) -> Vec<ScanReport> {
+    let streams = gadget_streams(prepared);
+    let scores = detector.predict_batch_mut(&streams, jobs);
+    assemble_reports(prepared, scores, detector.threshold())
+}
+
+/// Concatenates the gadget token streams of every prepared source, in order.
+fn gadget_streams(prepared: &[PreparedSource]) -> Vec<Vec<String>> {
+    prepared
         .iter()
         .flat_map(|p| p.gadgets.iter().map(|g| g.tokens.clone()))
-        .collect();
-    let scores = detector.predict_batch(&streams, jobs);
-    let threshold = detector.threshold();
+        .collect()
+}
+
+/// Splits a flat score vector back into per-source reports (the inverse of
+/// [`gadget_streams`]'s concatenation).
+fn assemble_reports(
+    prepared: &[PreparedSource],
+    scores: Vec<f64>,
+    threshold: f64,
+) -> Vec<ScanReport> {
     let mut cursor = scores.into_iter();
     prepared
         .iter()
@@ -319,6 +349,29 @@ mod tests {
             let par = score_prepared(&det, &prepared, jobs);
             for (a, b) in batched.iter().zip(&par) {
                 assert_eq!(a.to_json("x").to_string(), b.to_json("x").to_string());
+            }
+        }
+    }
+
+    #[test]
+    fn owned_detector_scoring_matches_shared() {
+        let mut det = tiny_detector();
+        let sources = [LEAKY, "int three() { return 3; }", LEAKY];
+        let prepared: Vec<PreparedSource> = sources
+            .iter()
+            .map(|s| prepare_source(s, 1).expect("parses"))
+            .collect();
+        let shared = score_prepared(&det, &prepared, 1);
+        for jobs in [1, 2, 4] {
+            // Repeated calls reuse the detector's warm buffers; every call
+            // must still reproduce the clone-based path bit for bit.
+            let owned = score_prepared_mut(&mut det, &prepared, jobs);
+            for (a, b) in shared.iter().zip(&owned) {
+                assert_eq!(
+                    a.to_json("x").to_string(),
+                    b.to_json("x").to_string(),
+                    "jobs={jobs}"
+                );
             }
         }
     }

@@ -18,7 +18,7 @@
 use crate::config::TrainConfig;
 use crate::corpus::{Encoded, GadgetCorpus};
 use crate::metrics::Confusion;
-use crate::par::{parallel_map_with, sample_seed};
+use crate::par::{parallel_map_with_state, sample_seed};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -61,19 +61,19 @@ pub fn train_model<M>(
             // (position in epoch order, corpus index) — the position keys
             // the sample's RNG and fixes its slot in the gradient merge.
             let batch: Vec<(usize, usize)> = (start..end).map(|pos| (pos, order[pos])).collect();
-            let grads = parallel_map_with(
-                &batch,
-                cfg.jobs,
-                || model.clone(),
-                |replica, _, &(pos, i)| {
+            // With one job the trainer's own model is the "replica": per-
+            // sample gradients are extracted by `take_grads` before the
+            // merge, so using it directly (no clone) leaves the math — and
+            // the bits — unchanged while keeping its scratch buffers warm.
+            let grads =
+                parallel_map_with_state(&batch, cfg.jobs, model, |replica, _, &(pos, i)| {
                     let mut rng = StdRng::seed_from_u64(sample_seed(cfg.seed, epoch, pos));
                     let label = if corpus.items[i].label { 1.0 } else { 0.0 };
                     let logit = replica.forward_logit(&encoded.ids[i], true, &mut rng);
                     let (_, dlogit) = bce_with_logits_weighted(logit, label, pos_weight);
                     replica.backward(dlogit / cfg.batch as f64);
                     replica.take_grads()
-                },
-            );
+                });
             // Fixed-order reduction: position 0's gradients first, always.
             for g in &grads {
                 model.add_grads(g);
@@ -100,16 +100,11 @@ where
     M: SequenceClassifier + Clone + Send + Sync,
 {
     let z = cfg.logit_threshold();
-    let verdicts = parallel_map_with(
-        test_idx,
-        cfg.jobs,
-        || model.clone(),
-        |replica, pos, &i| {
-            let mut rng = StdRng::seed_from_u64(sample_seed(cfg.seed ^ 0xe7a1, 0, pos));
-            let logit = replica.forward_logit(&encoded.ids[i], false, &mut rng);
-            (logit > z, corpus.items[i].label)
-        },
-    );
+    let verdicts = parallel_map_with_state(test_idx, cfg.jobs, model, |replica, pos, &i| {
+        let mut rng = StdRng::seed_from_u64(sample_seed(cfg.seed ^ 0xe7a1, 0, pos));
+        let logit = replica.forward_logit(&encoded.ids[i], false, &mut rng);
+        (logit > z, corpus.items[i].label)
+    });
     let mut confusion = Confusion::default();
     for (predicted, actual) in verdicts {
         confusion.record(predicted, actual);

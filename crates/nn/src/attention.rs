@@ -1,8 +1,16 @@
 //! The multilayer attention mechanism: token attention (Step IV) and the
 //! CBAM channel + spatial attention used during model training (Step V).
+//!
+//! Both blocks run on the kernel layer: token attention's projection and
+//! its weight/input gradients are single GEMMs (dense variants, since the
+//! loops they replace never skipped zeros), and every temporary lives in a
+//! caller-owned [`Workspace`] so a warmed-up pass allocates nothing. The
+//! per-element accumulation orders match the original loops, keeping
+//! results bit-identical.
 
+use crate::kernels::{self, Workspace};
 use crate::param::Param;
-use crate::tensor::{sigmoid, softmax, Tensor};
+use crate::tensor::{sigmoid, softmax_into, Tensor};
 use rand::rngs::StdRng;
 
 /// Token attention (Step IV, equations 1-4).
@@ -30,6 +38,17 @@ struct TokenAttCache {
     alpha: Vec<f64>,
 }
 
+impl TokenAttCache {
+    fn empty() -> TokenAttCache {
+        TokenAttCache {
+            x: Tensor::zeros(&[0, 0]),
+            u: Tensor::zeros(&[0, 0]),
+            scores: Vec::new(),
+            alpha: Vec::new(),
+        }
+    }
+}
+
 impl TokenAttention {
     /// Creates token attention over embedding dim `d` with attention dim `a`.
     pub fn new(d: usize, a: usize, rng: &mut StdRng) -> TokenAttention {
@@ -47,83 +66,110 @@ impl TokenAttention {
         self.cache.as_ref().map(|c| c.alpha.as_slice())
     }
 
-    /// Forward pass: `(L × D) → (L × D)` re-weighted embeddings.
-    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+    /// Forward pass into a caller-owned output: `(L × D) → (L × D)`
+    /// re-weighted embeddings.
+    pub fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, ws: &mut Workspace) {
         let l = x.rows();
+        let d = x.cols();
         let a_dim = self.w.w.rows();
-        let mut u = Tensor::zeros(&[l, a_dim]);
-        let mut scores = vec![0.0; l];
+        let mut cache = self.cache.take().unwrap_or_else(TokenAttCache::empty);
+        cache.x.copy_from(x);
+        // U = X·Wᵀ as one GEMM (the old path was a strict per-row matvec,
+        // hence the dense variant), then bias + tanh per element.
+        let mut wt = ws.acquire(d * a_dim);
+        kernels::transpose_into(&mut wt, self.w.w.data(), a_dim, d);
+        cache.u.resize(&[l, a_dim]);
+        cache.u.fill_zero();
+        kernels::gemm_acc_dense(cache.u.data_mut(), x.data(), &wt, l, d, a_dim);
+        ws.release(wt);
+        cache.scores.clear();
+        cache.scores.resize(l, 0.0);
         for t in 0..l {
-            let mut ut = self.w.w.matvec(x.row(t));
-            for (uo, bo) in ut.iter_mut().zip(self.b.w.data()) {
+            let urow = cache.u.row_mut(t);
+            for (uo, bo) in urow.iter_mut().zip(self.b.w.data()) {
                 *uo = (*uo + bo).tanh();
             }
-            scores[t] = ut.iter().zip(self.u_w.w.data()).map(|(a, b)| a * b).sum();
-            u.row_mut(t).copy_from_slice(&ut);
+            cache.scores[t] = urow.iter().zip(self.u_w.w.data()).map(|(a, b)| a * b).sum();
         }
-        let alpha = softmax(&scores);
-        let mut out = Tensor::zeros(x.shape());
+        softmax_into(&cache.scores, &mut cache.alpha);
+        out.resize(x.shape());
         for t in 0..l {
             let xr = x.row(t);
-            let orow = out.row_mut(t);
-            for (o, &v) in orow.iter_mut().zip(xr) {
-                *o = alpha[t] * v;
+            for (o, &v) in out.row_mut(t).iter_mut().zip(xr) {
+                *o = cache.alpha[t] * v;
             }
         }
-        self.cache = Some(TokenAttCache {
-            x: x.clone(),
-            u,
-            scores,
-            alpha,
-        });
+        self.cache = Some(cache);
+    }
+
+    /// Forward pass: `(L × D) → (L × D)` re-weighted embeddings.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        let mut out = Tensor::zeros(&[0, 0]);
+        self.forward_into(x, &mut out, &mut ws);
         out
     }
 
-    /// Backward pass; returns `dx`.
-    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("forward before backward");
+    /// Backward pass into a caller-owned `dx`.
+    pub fn backward_into(&mut self, dy: &Tensor, dx: &mut Tensor, ws: &mut Workspace) {
+        let cache = self.cache.take().expect("forward before backward");
         let l = cache.x.rows();
         let d = cache.x.cols();
         let a_dim = self.w.w.rows();
-        let _ = &cache.scores;
 
         // dα_t = Σ_d dy[t,d]·x[t,d];  dx (direct) = dy·α.
-        let mut dalpha = vec![0.0; l];
-        let mut dx = Tensor::zeros(&[l, d]);
+        let mut dalpha = ws.acquire(l);
+        dx.resize(&[l, d]);
         for t in 0..l {
             let mut s = 0.0;
+            let (dyr, xr) = (dy.row(t), cache.x.row(t));
+            let dxr = dx.row_mut(t);
             for j in 0..d {
-                s += dy.at(t, j) * cache.x.at(t, j);
-                dx.set(t, j, dy.at(t, j) * cache.alpha[t]);
+                s += dyr[j] * xr[j];
+                dxr[j] = dyr[j] * cache.alpha[t];
             }
             dalpha[t] = s;
         }
         // Softmax backward: ds_t = α_t (dα_t − Σ_k α_k dα_k).
-        let dot: f64 = cache.alpha.iter().zip(&dalpha).map(|(a, g)| a * g).sum();
-        let dscore: Vec<f64> = cache
-            .alpha
-            .iter()
-            .zip(&dalpha)
-            .map(|(a, g)| a * (g - dot))
-            .collect();
+        let dot: f64 = cache.alpha.iter().zip(&*dalpha).map(|(a, g)| a * g).sum();
 
-        // score_t = u_t · u_w with u_t = tanh(W x_t + b).
+        // score_t = u_t · u_w with u_t = tanh(W x_t + b): collect the
+        // pre-activation gradients dpre into an (L × A) matrix so the W
+        // and input gradients become two GEMMs below.
+        let mut dp = ws.acquire(l * a_dim);
         for t in 0..l {
+            let ds = cache.alpha[t] * (dalpha[t] - dot);
             let ut = cache.u.row(t);
             // du_w += ds_t · u_t
             for (g, &u) in self.u_w.g.data_mut().iter_mut().zip(ut) {
-                *g += dscore[t] * u;
+                *g += ds * u;
             }
             // du_t = ds_t · u_w, through tanh: dpre = du·(1−u²)
+            let dpr = &mut dp[t * a_dim..(t + 1) * a_dim];
             for ai in 0..a_dim {
-                let dpre = dscore[t] * self.u_w.w.data()[ai] * (1.0 - ut[ai] * ut[ai]);
+                let dpre = ds * self.u_w.w.data()[ai] * (1.0 - ut[ai] * ut[ai]);
                 self.b.g.data_mut()[ai] += dpre;
-                for j in 0..d {
-                    self.w.g.data_mut()[ai * d + j] += dpre * cache.x.at(t, j);
-                    dx.add_at(t, j, dpre * self.w.w.data()[ai * d + j]);
-                }
+                dpr[ai] = dpre;
             }
         }
+        // dW += dpᵀ·X (k-dim = t ascending) and dx += dp·W (k-dim = ai
+        // ascending) — the same per-element orders as the original nested
+        // loops, which never skipped, hence the dense variants.
+        let mut dpt = ws.acquire(a_dim * l);
+        kernels::transpose_into(&mut dpt, &dp, l, a_dim);
+        kernels::gemm_acc_dense(self.w.g.data_mut(), &dpt, cache.x.data(), a_dim, l, d);
+        kernels::gemm_acc_dense(dx.data_mut(), &dp, self.w.w.data(), l, a_dim, d);
+        ws.release(dpt);
+        ws.release(dp);
+        ws.release(dalpha);
+        self.cache = Some(cache);
+    }
+
+    /// Backward pass; returns `dx`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        let mut dx = Tensor::zeros(&[0, 0]);
+        self.backward_into(dy, &mut dx, &mut ws);
         dx
     }
 
@@ -175,6 +221,8 @@ struct CbamCache {
     amx: Vec<usize>,  // argmax over L per channel
     ha_pre: Vec<f64>, // (C/r) pre-relu (avg path)
     hm_pre: Vec<f64>, // (C/r) pre-relu (max path)
+    oa: Vec<f64>,     // (C) MLP output, avg path
+    om: Vec<f64>,     // (C) MLP output, max path
     mc: Vec<f64>,     // (C) channel gate
     f1: Tensor,       // after channel attention
     sa: Vec<f64>,     // (L) spatial mean
@@ -182,6 +230,28 @@ struct CbamCache {
     sam: Vec<usize>,  // argmax over C per position
     z: Vec<f64>,      // (L) conv pre-sigmoid
     ms: Vec<f64>,     // (L) spatial gate
+}
+
+impl CbamCache {
+    fn empty() -> CbamCache {
+        CbamCache {
+            f: Tensor::zeros(&[0, 0]),
+            avg: Vec::new(),
+            mx: Vec::new(),
+            amx: Vec::new(),
+            ha_pre: Vec::new(),
+            hm_pre: Vec::new(),
+            oa: Vec::new(),
+            om: Vec::new(),
+            mc: Vec::new(),
+            f1: Tensor::zeros(&[0, 0]),
+            sa: Vec::new(),
+            sm: Vec::new(),
+            sam: Vec::new(),
+            z: Vec::new(),
+            ms: Vec::new(),
+        }
+    }
 }
 
 impl Cbam {
@@ -220,72 +290,105 @@ impl Cbam {
         self.cache.as_ref().map(|c| c.ms.as_slice())
     }
 
-    fn mlp(&self, s: &[f64]) -> (Vec<f64>, Vec<f64>) {
-        let mut pre = self.w0.w.matvec(s);
+    /// The shared MLP: `o = W1·relu(W0·s + b0) + b1`, writing pre-relu and
+    /// output into caller buffers.
+    fn mlp_into(&self, s: &[f64], pre: &mut Vec<f64>, o: &mut Vec<f64>, ws: &mut Workspace) {
+        let h = self.w0.w.rows();
+        let c = self.w1.w.rows();
+        pre.clear();
+        pre.resize(h, 0.0);
+        kernels::matvec_into(pre, self.w0.w.data(), s, h, self.w0.w.cols());
         for (p, b) in pre.iter_mut().zip(self.b0.w.data()) {
             *p += b;
         }
-        let h: Vec<f64> = pre.iter().map(|&v| v.max(0.0)).collect();
-        let mut o = self.w1.w.matvec(&h);
+        let mut h_act = ws.acquire(h);
+        for (ha, p) in h_act.iter_mut().zip(pre.iter()) {
+            *ha = p.max(0.0);
+        }
+        o.clear();
+        o.resize(c, 0.0);
+        kernels::matvec_into(o, self.w1.w.data(), &h_act, c, h);
         for (p, b) in o.iter_mut().zip(self.b1.w.data()) {
             *p += b;
         }
-        (pre, o)
+        ws.release(h_act);
     }
 
-    /// Forward pass: `F → F'' = Ms(F') ⊗ F'`, `F' = Mc(F) ⊗ F`.
-    pub fn forward(&mut self, f: &Tensor) -> Tensor {
+    /// Forward pass into a caller-owned output:
+    /// `F → F'' = Ms(F') ⊗ F'`, `F' = Mc(F) ⊗ F`.
+    pub fn forward_into(&mut self, f: &Tensor, out: &mut Tensor, ws: &mut Workspace) {
         let (l, c) = (f.rows(), f.cols());
+        let mut cache = self.cache.take().unwrap_or_else(CbamCache::empty);
+        cache.f.copy_from(f);
         // ---- channel attention ----
-        let mut avg = vec![0.0; c];
-        let mut mx = vec![f64::NEG_INFINITY; c];
-        let mut amx = vec![0usize; c];
+        cache.avg.clear();
+        cache.avg.resize(c, 0.0);
+        cache.mx.clear();
+        cache.mx.resize(c, f64::NEG_INFINITY);
+        cache.amx.clear();
+        cache.amx.resize(c, 0);
         for t in 0..l {
             for ch in 0..c {
                 let v = f.at(t, ch);
-                avg[ch] += v;
-                if v > mx[ch] {
-                    mx[ch] = v;
-                    amx[ch] = t;
+                cache.avg[ch] += v;
+                if v > cache.mx[ch] {
+                    cache.mx[ch] = v;
+                    cache.amx[ch] = t;
                 }
             }
         }
-        for a in avg.iter_mut() {
+        for a in cache.avg.iter_mut() {
             *a /= l as f64;
         }
-        let (ha_pre, oa) = self.mlp(&avg);
-        let (hm_pre, om) = self.mlp(&mx);
-        let mc: Vec<f64> = oa.iter().zip(&om).map(|(a, m)| sigmoid(a + m)).collect();
-        let mut f1 = Tensor::zeros(&[l, c]);
+        let CbamCache {
+            avg,
+            mx,
+            ha_pre,
+            hm_pre,
+            oa,
+            om,
+            ..
+        } = &mut cache;
+        self.mlp_into(avg, ha_pre, oa, ws);
+        self.mlp_into(mx, hm_pre, om, ws);
+        cache.mc.clear();
+        cache
+            .mc
+            .extend(cache.oa.iter().zip(&cache.om).map(|(a, m)| sigmoid(a + m)));
+        cache.f1.resize(&[l, c]);
         for t in 0..l {
             for ch in 0..c {
-                f1.set(t, ch, f.at(t, ch) * mc[ch]);
+                cache.f1.set(t, ch, f.at(t, ch) * cache.mc[ch]);
             }
         }
         // ---- spatial attention ----
         // Sequential order pools the channel-gated map F'; the parallel
         // ablation pools the raw input F.
         let spatial_src = if self.order == CbamOrder::Sequential {
-            &f1
+            &cache.f1
         } else {
             f
         };
-        let mut sa = vec![0.0; l];
-        let mut sm = vec![f64::NEG_INFINITY; l];
-        let mut sam = vec![0usize; l];
+        cache.sa.clear();
+        cache.sa.resize(l, 0.0);
+        cache.sm.clear();
+        cache.sm.resize(l, f64::NEG_INFINITY);
+        cache.sam.clear();
+        cache.sam.resize(l, 0);
         for t in 0..l {
             for ch in 0..c {
                 let v = spatial_src.at(t, ch);
-                sa[t] += v;
-                if v > sm[t] {
-                    sm[t] = v;
-                    sam[t] = ch;
+                cache.sa[t] += v;
+                if v > cache.sm[t] {
+                    cache.sm[t] = v;
+                    cache.sam[t] = ch;
                 }
             }
-            sa[t] /= c as f64;
+            cache.sa[t] /= c as f64;
         }
         let pad = self.k / 2;
-        let mut z = vec![0.0; l];
+        cache.z.clear();
+        cache.z.resize(l, 0.0);
         for t in 0..l {
             let mut acc = self.bc.w.data()[0];
             for j in 0..self.k {
@@ -294,58 +397,52 @@ impl Cbam {
                     continue;
                 }
                 let s = src as usize;
-                acc += self.wc.w.data()[j * 2] * sa[s] + self.wc.w.data()[j * 2 + 1] * sm[s];
+                acc += self.wc.w.data()[j * 2] * cache.sa[s]
+                    + self.wc.w.data()[j * 2 + 1] * cache.sm[s];
             }
-            z[t] = acc;
+            cache.z[t] = acc;
         }
-        let ms: Vec<f64> = z.iter().map(|&v| sigmoid(v)).collect();
-        let mut out = Tensor::zeros(&[l, c]);
+        cache.ms.clear();
+        cache.ms.extend(cache.z.iter().map(|&v| sigmoid(v)));
+        out.resize(&[l, c]);
         for t in 0..l {
             for ch in 0..c {
-                out.set(t, ch, f1.at(t, ch) * ms[t]);
+                out.set(t, ch, cache.f1.at(t, ch) * cache.ms[t]);
             }
         }
-        self.cache = Some(CbamCache {
-            f: f.clone(),
-            avg,
-            mx,
-            amx,
-            ha_pre,
-            hm_pre,
-            mc,
-            f1,
-            sa,
-            sm,
-            sam,
-            z,
-            ms,
-        });
+        self.cache = Some(cache);
+    }
+
+    /// Forward pass: `F → F'' = Ms(F') ⊗ F'`, `F' = Mc(F) ⊗ F`.
+    pub fn forward(&mut self, f: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        let mut out = Tensor::zeros(&[0, 0]);
+        self.forward_into(f, &mut out, &mut ws);
         out
     }
 
-    /// Backward pass; returns `dF`.
-    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let cache = self.cache.clone().expect("forward before backward");
+    /// Backward pass into a caller-owned `dF`. The cache is borrowed in
+    /// place (the old implementation cloned it wholesale every call).
+    pub fn backward_into(&mut self, dy: &Tensor, df: &mut Tensor, ws: &mut Workspace) {
+        let cache = self.cache.take().expect("forward before backward");
         let (l, c) = (cache.f.rows(), cache.f.cols());
         let pad = self.k / 2;
 
         // ---- spatial attention backward ----
-        let mut dms = vec![0.0; l];
-        let mut df1 = Tensor::zeros(&[l, c]);
+        let mut dms = ws.acquire(l);
+        let mut df1 = ws.acquire(l * c);
         for t in 0..l {
             for ch in 0..c {
                 dms[t] += dy.at(t, ch) * cache.f1.at(t, ch);
-                df1.set(t, ch, dy.at(t, ch) * cache.ms[t]);
+                df1[t * c + ch] = dy.at(t, ch) * cache.ms[t];
             }
         }
-        let dz: Vec<f64> = dms
-            .iter()
-            .zip(&cache.ms)
-            .map(|(&g, &m)| g * m * (1.0 - m))
-            .collect();
-        let _ = &cache.z;
-        let mut dsa = vec![0.0; l];
-        let mut dsm = vec![0.0; l];
+        let mut dz = ws.acquire(l);
+        for (d, (&g, &m)) in dz.iter_mut().zip(dms.iter().zip(&cache.ms)) {
+            *d = g * m * (1.0 - m);
+        }
+        let mut dsa = ws.acquire(l);
+        let mut dsm = ws.acquire(l);
         for t in 0..l {
             if dz[t] == 0.0 {
                 continue;
@@ -365,7 +462,7 @@ impl Cbam {
         }
         // The spatial pooling gradient flows into F' (sequential) or
         // straight into F (parallel).
-        let mut df_spatial = Tensor::zeros(&[l, c]);
+        let mut df_spatial = ws.acquire(l * c);
         {
             let target = if self.order == CbamOrder::Sequential {
                 &mut df1
@@ -374,41 +471,39 @@ impl Cbam {
             };
             for t in 0..l {
                 for ch in 0..c {
-                    target.add_at(t, ch, dsa[t] / c as f64);
+                    target[t * c + ch] += dsa[t] / c as f64;
                 }
-                target.add_at(t, cache.sam[t], dsm[t]);
+                target[t * c + cache.sam[t]] += dsm[t];
             }
         }
 
         // ---- channel attention backward ----
-        let mut dmc = vec![0.0; c];
-        let mut df = Tensor::zeros(&[l, c]);
+        let mut dmc = ws.acquire(c);
+        df.resize(&[l, c]);
         for t in 0..l {
             for ch in 0..c {
-                dmc[ch] += df1.at(t, ch) * cache.f.at(t, ch);
-                df.set(t, ch, df1.at(t, ch) * cache.mc[ch]);
+                dmc[ch] += df1[t * c + ch] * cache.f.at(t, ch);
+                df.set(t, ch, df1[t * c + ch] * cache.mc[ch]);
             }
         }
-        let dzc: Vec<f64> = dmc
-            .iter()
-            .zip(&cache.mc)
-            .map(|(&g, &m)| g * m * (1.0 - m))
-            .collect();
+        let mut dzc = ws.acquire(c);
+        for (d, (&g, &m)) in dzc.iter_mut().zip(dmc.iter().zip(&cache.mc)) {
+            *d = g * m * (1.0 - m);
+        }
         // Two shared-MLP paths (avg & max).
         let h = self.w0.w.rows();
-        let mut davg = vec![0.0; c];
-        let mut dmx = vec![0.0; c];
-        for (path, (pre, pooled, dpool)) in [
+        let mut davg = ws.acquire(c);
+        let mut dmx = ws.acquire(c);
+        for (pre, pooled, dpool) in [
             (&cache.ha_pre, &cache.avg, &mut davg),
             (&cache.hm_pre, &cache.mx, &mut dmx),
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let _ = path;
+        ] {
             // dO = dzc (shape C) through W1.
-            let h_act: Vec<f64> = pre.iter().map(|&v| v.max(0.0)).collect();
-            let mut dh = vec![0.0; h];
+            let mut h_act = ws.acquire(h);
+            for (ha, p) in h_act.iter_mut().zip(pre.iter()) {
+                *ha = p.max(0.0);
+            }
+            let mut dh = ws.acquire(h);
             for co in 0..c {
                 self.b1.g.data_mut()[co] += dzc[co];
                 for hi in 0..h {
@@ -426,6 +521,8 @@ impl Cbam {
                     dpool[ci] += dh[hi] * self.w0.w.data()[hi * c + ci];
                 }
             }
+            ws.release(dh);
+            ws.release(h_act);
         }
         for ch in 0..c {
             for t in 0..l {
@@ -433,7 +530,28 @@ impl Cbam {
             }
             df.add_at(cache.amx[ch], ch, dmx[ch]);
         }
-        df.axpy(1.0, &df_spatial);
+        // df += df_spatial (the old code's axpy(1.0, ..)).
+        for (a, &b) in df.data_mut().iter_mut().zip(df_spatial.iter()) {
+            *a += 1.0 * b;
+        }
+        ws.release(dmx);
+        ws.release(davg);
+        ws.release(dzc);
+        ws.release(dmc);
+        ws.release(df_spatial);
+        ws.release(dsm);
+        ws.release(dsa);
+        ws.release(dz);
+        ws.release(df1);
+        ws.release(dms);
+        self.cache = Some(cache);
+    }
+
+    /// Backward pass; returns `dF`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        let mut df = Tensor::zeros(&[0, 0]);
+        self.backward_into(dy, &mut df, &mut ws);
         df
     }
 

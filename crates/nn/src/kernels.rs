@@ -1,0 +1,563 @@
+//! The kernel layer: register-tiled GEMM / matvec, im2col lowering, and a
+//! reusable [`Workspace`] scratch-buffer pool.
+//!
+//! Every routine here is **bit-identical** to the naive loop it replaces.
+//! The tiling only regroups the *output* dimensions (which rows/columns are
+//! produced together); the k-accumulation of every output element still runs
+//! in strictly ascending order with the same skip convention as the loop it
+//! replaced, so each element is the same left-to-right chain of `+=` on the
+//! same operands. That is what preserves the byte-identical-model
+//! determinism guarantee across `--jobs` values (see DESIGN.md).
+//!
+//! Two GEMM variants exist because the legacy loops had two skip
+//! conventions:
+//!
+//! * [`gemm_acc`] skips `a == 0.0` elements, matching `Tensor::matmul` and
+//!   the convolution loops (which skipped zero-padding / zero gradients);
+//! * [`gemm_acc_dense`] never skips, matching the `matvec`-based paths
+//!   (attention projections, RNN input projections) that always added every
+//!   term.
+//!
+//! Picking the variant that matches the replaced loop keeps the replacement
+//! exact even around signed zeros.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Workspace acquisitions served from the pool (no heap allocation).
+static WS_HITS: AtomicU64 = AtomicU64::new(0);
+/// Workspace acquisitions that had to allocate or grow a buffer.
+static WS_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide workspace reuse counters `(hits, misses)`. A *hit* is an
+/// `acquire` served entirely from pooled capacity; a *miss* allocated or
+/// grew. In an allocation-free steady state only hits accumulate, so the
+/// miss counter is a proxy for heap allocations on the forward path (the
+/// serve `/metrics` endpoint exports both).
+pub fn workspace_counters() -> (u64, u64) {
+    (
+        WS_HITS.load(Ordering::Relaxed),
+        WS_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// A pool of reusable `f64` scratch buffers for forward/backward passes.
+///
+/// `acquire` hands out a zeroed buffer of the requested length, reusing
+/// pooled capacity when possible; `release` returns it. Buffers are reused
+/// LIFO, so a fixed acquire/release sequence (one forward pass) settles
+/// into an allocation-free steady state after the first call.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f64>>,
+}
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new() -> Workspace {
+        Workspace { pool: Vec::new() }
+    }
+
+    /// A zero-filled buffer of length `len`, reusing pooled capacity.
+    pub fn acquire(&mut self, len: usize) -> Vec<f64> {
+        match self.pool.pop() {
+            Some(mut buf) => {
+                if buf.capacity() >= len {
+                    WS_HITS.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    WS_MISSES.fetch_add(1, Ordering::Relaxed);
+                }
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                WS_MISSES.fetch_add(1, Ordering::Relaxed);
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn release(&mut self, buf: Vec<f64>) {
+        self.pool.push(buf);
+    }
+}
+
+/// Cloning a workspace yields an *empty* pool: replicas (training workers,
+/// serve replicas) warm up their own buffers instead of copying scratch.
+impl Clone for Workspace {
+    fn clone(&self) -> Workspace {
+        Workspace::new()
+    }
+}
+
+/// How many output rows the GEMM/matvec kernels produce per pass over the
+/// shared operand. Tiling the *output* rows lets one streamed read of `b`
+/// (or `x`) feed several accumulator rows without touching the k-order.
+const MR: usize = 4;
+
+/// `out += a · b` for row-major `a (m×k)`, `b (k×n)`, `out (m×n)`,
+/// skipping `a` elements that are exactly `0.0` — the same convention as
+/// the naive `Tensor::matmul` loop this replaces. `out` must be
+/// caller-initialized (zeros for a plain product, bias for a fused one).
+///
+/// Bit-identity: for every `out[i][j]` the terms `a[i][p] * b[p][j]` are
+/// added in strictly ascending `p`, exactly like the naive loop; the MR-row
+/// blocking only changes which *rows* share a pass over `b`.
+pub fn gemm_acc(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    assert_eq!(out.len(), m * n, "gemm out {m}x{n}");
+    assert_eq!(a.len(), m * k, "gemm a {m}x{k}");
+    assert_eq!(b.len(), k * n, "gemm b {k}x{n}");
+    if n == 0 || k == 0 {
+        return;
+    }
+    let mut i = 0;
+    while i + MR <= m {
+        let (r0, rest) = out[i * n..(i + MR) * n].split_at_mut(n);
+        let (r1, rest) = rest.split_at_mut(n);
+        let (r2, r3) = rest.split_at_mut(n);
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        for p in 0..k {
+            let brow = &b[p * n..(p + 1) * n];
+            let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+            if v0 != 0.0 {
+                for (o, &bv) in r0.iter_mut().zip(brow) {
+                    *o += v0 * bv;
+                }
+            }
+            if v1 != 0.0 {
+                for (o, &bv) in r1.iter_mut().zip(brow) {
+                    *o += v1 * bv;
+                }
+            }
+            if v2 != 0.0 {
+                for (o, &bv) in r2.iter_mut().zip(brow) {
+                    *o += v2 * bv;
+                }
+            }
+            if v3 != 0.0 {
+                for (o, &bv) in r3.iter_mut().zip(brow) {
+                    *o += v3 * bv;
+                }
+            }
+        }
+        i += MR;
+    }
+    while i < m {
+        let orow = &mut out[i * n..(i + 1) * n];
+        let arow = &a[i * k..(i + 1) * k];
+        for (p, &v) in arow.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += v * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `out += a · b` with **no** zero-skip: every term is added, matching the
+/// paths that were previously built from `Tensor::matvec` per row (which
+/// never skipped). Same strict ascending-`p` accumulation as [`gemm_acc`].
+pub fn gemm_acc_dense(out: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    assert_eq!(out.len(), m * n, "gemm out {m}x{n}");
+    assert_eq!(a.len(), m * k, "gemm a {m}x{k}");
+    assert_eq!(b.len(), k * n, "gemm b {k}x{n}");
+    if n == 0 || k == 0 {
+        return;
+    }
+    let mut i = 0;
+    while i + MR <= m {
+        let (r0, rest) = out[i * n..(i + MR) * n].split_at_mut(n);
+        let (r1, rest) = rest.split_at_mut(n);
+        let (r2, r3) = rest.split_at_mut(n);
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        for p in 0..k {
+            let brow = &b[p * n..(p + 1) * n];
+            let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+            for (j, &bv) in brow.iter().enumerate() {
+                r0[j] += v0 * bv;
+                r1[j] += v1 * bv;
+                r2[j] += v2 * bv;
+                r3[j] += v3 * bv;
+            }
+        }
+        i += MR;
+    }
+    while i < m {
+        let orow = &mut out[i * n..(i + 1) * n];
+        let arow = &a[i * k..(i + 1) * k];
+        for (p, &v) in arow.iter().enumerate() {
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += v * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `y = a · x` for row-major `a (m×k)`: each `y[i]` is the strict
+/// left-to-right sum of `a[i][p] * x[p]`, bit-identical to the
+/// `.zip().map().sum()` it replaces — including the signed zero of the
+/// fold's `-0.0` neutral element (`Iterator::sum` for floats starts at
+/// `-0.0`, so an all-negative-zero row sums to `-0.0`). MR rows share each
+/// streamed pass over `x`.
+pub fn matvec_into(y: &mut [f64], a: &[f64], x: &[f64], m: usize, k: usize) {
+    assert_eq!(y.len(), m, "matvec y {m}");
+    assert_eq!(a.len(), m * k, "matvec a {m}x{k}");
+    assert_eq!(x.len(), k, "matvec x {k}");
+    let mut i = 0;
+    while i + MR <= m {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        let (mut s0, mut s1, mut s2, mut s3) = (-0.0, -0.0, -0.0, -0.0);
+        for (p, &xv) in x.iter().enumerate() {
+            s0 += a0[p] * xv;
+            s1 += a1[p] * xv;
+            s2 += a2[p] * xv;
+            s3 += a3[p] * xv;
+        }
+        y[i] = s0;
+        y[i + 1] = s1;
+        y[i + 2] = s2;
+        y[i + 3] = s3;
+        i += MR;
+    }
+    while i < m {
+        y[i] = a[i * k..(i + 1) * k]
+            .iter()
+            .zip(x)
+            .map(|(a, b)| a * b)
+            .sum();
+        i += 1;
+    }
+}
+
+/// Lowers a length-`l`, `c`-channel sequence to its im2col matrix for a
+/// width-`kw` same-padded 1-D convolution: row `t` holds the `kw`
+/// concatenated input rows the kernel window sees at position `t`, with
+/// out-of-range positions left at exactly `+0.0`.
+///
+/// `cols` must have length `l * kw * c`.
+pub fn im2col_into(cols: &mut [f64], x: &[f64], l: usize, c: usize, kw: usize) {
+    assert_eq!(cols.len(), l * kw * c, "im2col cols {l}x{}", kw * c);
+    assert_eq!(x.len(), l * c, "im2col x {l}x{c}");
+    let pad = (kw / 2) as isize;
+    cols.iter_mut().for_each(|v| *v = 0.0);
+    for t in 0..l {
+        let drow = &mut cols[t * kw * c..(t + 1) * kw * c];
+        for j in 0..kw {
+            let src = t as isize + j as isize - pad;
+            if src < 0 || src >= l as isize {
+                continue;
+            }
+            let s = src as usize;
+            drow[j * c..(j + 1) * c].copy_from_slice(&x[s * c..(s + 1) * c]);
+        }
+    }
+}
+
+/// `out (n×m) = transpose(a (m×n))`.
+pub fn transpose_into(out: &mut [f64], a: &[f64], m: usize, n: usize) {
+    assert_eq!(out.len(), m * n, "transpose out");
+    assert_eq!(a.len(), m * n, "transpose a");
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j];
+        }
+    }
+}
+
+/// The pre-kernel-layer naive loops, frozen verbatim as reference
+/// implementations for the bit-identity property tests. Not compiled into
+/// release builds.
+#[cfg(test)]
+pub mod reference {
+    /// The original `Tensor::matmul` triple loop (with its `a == 0.0` skip).
+    pub fn matmul_naive(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// A dense (never-skipping) matmul built the way the old code built
+    /// matrix products out of per-row `matvec` calls.
+    pub fn matmul_dense_naive(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                for j in 0..n {
+                    out[i * n + j] += av * b[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// The original `Tensor::matvec` (strict left-to-right fold per row).
+    pub fn matvec_naive(a: &[f64], x: &[f64], m: usize, k: usize) -> Vec<f64> {
+        (0..m)
+            .map(|i| {
+                a[i * k..(i + 1) * k]
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// The original `Conv1d::forward` four-deep scalar loop: same padding,
+    /// bias-initialized accumulator, out-of-range taps skipped.
+    pub fn conv1d_forward_naive(
+        x: &[f64],
+        w: &[f64],
+        bias: &[f64],
+        l: usize,
+        c_in: usize,
+        c_out: usize,
+        kw: usize,
+    ) -> Vec<f64> {
+        let pad = (kw / 2) as isize;
+        let mut out = vec![0.0; l * c_out];
+        for t in 0..l {
+            for co in 0..c_out {
+                let mut acc = bias[co];
+                for j in 0..kw {
+                    let src = t as isize + j as isize - pad;
+                    if src < 0 || src >= l as isize {
+                        continue;
+                    }
+                    let s = src as usize;
+                    for ci in 0..c_in {
+                        acc += x[s * c_in + ci] * w[co * (kw * c_in) + j * c_in + ci];
+                    }
+                }
+                out[t * c_out + co] = acc;
+            }
+        }
+        out
+    }
+
+    /// The original `Conv1d::backward` loops: `(db, dw, dx)` with the
+    /// `dy == 0.0` skip and out-of-range taps skipped.
+    #[allow(clippy::type_complexity)]
+    pub fn conv1d_backward_naive(
+        x: &[f64],
+        w: &[f64],
+        dy: &[f64],
+        l: usize,
+        c_in: usize,
+        c_out: usize,
+        kw: usize,
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let pad = (kw / 2) as isize;
+        let mut db = vec![0.0; c_out];
+        let mut dw = vec![0.0; c_out * kw * c_in];
+        let mut dx = vec![0.0; l * c_in];
+        for t in 0..l {
+            for co in 0..c_out {
+                let g = dy[t * c_out + co];
+                if g == 0.0 {
+                    continue;
+                }
+                db[co] += g;
+                for j in 0..kw {
+                    let src = t as isize + j as isize - pad;
+                    if src < 0 || src >= l as isize {
+                        continue;
+                    }
+                    let s = src as usize;
+                    let base = co * (kw * c_in) + j * c_in;
+                    for ci in 0..c_in {
+                        dw[base + ci] += g * x[s * c_in + ci];
+                        dx[s * c_in + ci] += g * w[base + ci];
+                    }
+                }
+            }
+        }
+        (db, dw, dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Values with exact zeros mixed in, so the skip conventions are
+    /// actually exercised.
+    fn value() -> BoxedStrategy<f64> {
+        prop_oneof![
+            2 => any::<f64>().prop_map(|v| (v - 0.5) * 4.0),
+            1 => Just(0.0),
+        ]
+        .boxed()
+    }
+
+    fn matrix(rows: usize, cols: usize) -> BoxedStrategy<Vec<f64>> {
+        let n = rows * cols;
+        proptest::collection::vec(value(), n..n + 1).boxed()
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn gemm_bit_identical_to_naive(dims in (0usize..9, 0usize..9, 0usize..9)) {
+            let (m, k, n) = dims;
+            let mut rng = TestRng::for_test(&format!("gemm-{m}-{k}-{n}"));
+            let a = matrix(m, k).generate(&mut rng);
+            let b = matrix(k, n).generate(&mut rng);
+            let mut out = vec![0.0; m * n];
+            gemm_acc(&mut out, &a, &b, m, k, n);
+            prop_assert_eq!(bits(&out), bits(&reference::matmul_naive(&a, &b, m, k, n)));
+        }
+
+        #[test]
+        fn dense_gemm_bit_identical_to_naive(dims in (0usize..9, 0usize..9, 0usize..9)) {
+            let (m, k, n) = dims;
+            let mut rng = TestRng::for_test(&format!("dgemm-{m}-{k}-{n}"));
+            let a = matrix(m, k).generate(&mut rng);
+            let b = matrix(k, n).generate(&mut rng);
+            let mut out = vec![0.0; m * n];
+            gemm_acc_dense(&mut out, &a, &b, m, k, n);
+            prop_assert_eq!(bits(&out), bits(&reference::matmul_dense_naive(&a, &b, m, k, n)));
+        }
+
+        #[test]
+        fn matvec_bit_identical_to_naive(dims in (0usize..11, 0usize..9)) {
+            let (m, k) = dims;
+            let mut rng = TestRng::for_test(&format!("matvec-{m}-{k}"));
+            let a = matrix(m, k).generate(&mut rng);
+            let x = matrix(k, 1).generate(&mut rng);
+            let mut y = vec![0.0; m];
+            matvec_into(&mut y, &a, &x, m, k);
+            prop_assert_eq!(bits(&y), bits(&reference::matvec_naive(&a, &x, m, k)));
+        }
+
+        #[test]
+        fn im2col_gemm_conv_bit_identical_to_naive(
+            dims in (0usize..7, 1usize..5, 1usize..5, 0usize..3),
+        ) {
+            let (l, c_in, c_out, half) = dims;
+            let kw = 2 * half + 1; // odd widths, matching Conv1d's contract
+            let mut rng = TestRng::for_test(&format!("conv-{l}-{c_in}-{c_out}-{kw}"));
+            let x = matrix(l, c_in).generate(&mut rng);
+            let w = matrix(c_out, kw * c_in).generate(&mut rng);
+            let bias = matrix(c_out, 1).generate(&mut rng);
+
+            // Forward: bias-initialized output + skip-GEMM over the im2col
+            // matrix, exactly how Conv1d::forward lowers it.
+            let kc = kw * c_in;
+            let mut cols = vec![0.0; l * kc];
+            im2col_into(&mut cols, &x, l, c_in, kw);
+            let mut wt = vec![0.0; kc * c_out];
+            transpose_into(&mut wt, &w, c_out, kc);
+            let mut out = vec![0.0; l * c_out];
+            for t in 0..l {
+                out[t * c_out..(t + 1) * c_out].copy_from_slice(&bias);
+            }
+            gemm_acc(&mut out, &cols, &wt, l, kc, c_out);
+            let naive = reference::conv1d_forward_naive(&x, &w, &bias, l, c_in, c_out, kw);
+            prop_assert_eq!(bits(&out), bits(&naive));
+
+            // Backward dx: im2col over dy against the tap-reversed weights,
+            // exactly how Conv1d::backward lowers it.
+            let dy = matrix(l, c_out).generate(&mut rng);
+            let kco = kw * c_out;
+            let mut ycols = vec![0.0; l * kco];
+            im2col_into(&mut ycols, &dy, l, c_out, kw);
+            let mut wflip = vec![0.0; kco * c_in];
+            for jr in 0..kw {
+                let j = kw - 1 - jr;
+                for co in 0..c_out {
+                    wflip[(jr * c_out + co) * c_in..(jr * c_out + co + 1) * c_in]
+                        .copy_from_slice(&w[co * kc + j * c_in..co * kc + (j + 1) * c_in]);
+                }
+            }
+            let mut dx = vec![0.0; l * c_in];
+            gemm_acc(&mut dx, &ycols, &wflip, l, kco, c_in);
+            // Backward dw: dyᵀ · cols.
+            let mut dyt = vec![0.0; c_out * l];
+            transpose_into(&mut dyt, &dy, l, c_out);
+            let mut dw = vec![0.0; c_out * kc];
+            gemm_acc(&mut dw, &dyt, &cols, c_out, l, kc);
+            let (_, ndw, ndx) = reference::conv1d_backward_naive(&x, &w, &dy, l, c_in, c_out, kw);
+            prop_assert_eq!(bits(&dx), bits(&ndx));
+            prop_assert_eq!(bits(&dw), bits(&ndw));
+        }
+    }
+
+    #[test]
+    fn workspace_reuses_capacity() {
+        let (h0, m0) = workspace_counters();
+        let mut ws = Workspace::new();
+        let a = ws.acquire(64); // miss: empty pool
+        ws.release(a);
+        let b = ws.acquire(32); // hit: pooled capacity suffices
+        assert!(b.iter().all(|&v| v == 0.0));
+        ws.release(b);
+        let (h1, m1) = workspace_counters();
+        assert!(h1 - h0 >= 1, "expected a pool hit");
+        assert!(m1 - m0 >= 1, "expected an initial miss");
+    }
+
+    #[test]
+    fn workspace_clone_starts_empty() {
+        let mut ws = Workspace::new();
+        let buf = ws.acquire(16);
+        ws.release(buf);
+        let clone = ws.clone();
+        assert!(clone.pool.is_empty());
+    }
+
+    #[test]
+    fn im2col_zero_pads_edges() {
+        // l=2, c=1, kw=3: window at t=0 pads the left tap, t=1 the right.
+        let mut cols = vec![f64::NAN; 6];
+        im2col_into(&mut cols, &[10.0, 20.0], 2, 1, 3);
+        assert_eq!(cols, vec![0.0, 10.0, 20.0, 10.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_shapes_are_safe() {
+        gemm_acc(&mut [], &[], &[], 0, 0, 0);
+        gemm_acc_dense(&mut [], &[], &[], 0, 3, 0);
+        matvec_into(&mut [], &[], &[], 0, 0);
+        im2col_into(&mut [], &[], 0, 1, 3);
+        let mut y = vec![f64::NAN; 2];
+        matvec_into(&mut y, &[], &[], 2, 0);
+        // k = 0: each row is an empty `.sum()`, which is -0.0 for floats.
+        assert_eq!(bits(&y), bits(&[-0.0, -0.0]));
+    }
+}

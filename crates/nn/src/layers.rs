@@ -1,7 +1,15 @@
 //! Basic layers: dense, ReLU, dropout, embedding, 1-D convolution, and
 //! spatial pyramid pooling. Every layer caches what its backward pass needs
 //! and accumulates parameter gradients into [`Param::g`].
+//!
+//! Each layer has two entry points: the original allocating `forward` /
+//! `backward` (kept for tests and gradient checks) and an `_into` /
+//! `_inplace` variant that writes into caller-owned buffers. The hot model
+//! paths use the latter exclusively, so a warmed-up forward+backward pass
+//! performs no heap allocation. Both variants produce bit-identical values
+//! (the allocating ones are thin wrappers).
 
+use crate::kernels::{self, Workspace};
 use crate::param::Param;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -27,22 +35,32 @@ impl Dense {
         }
     }
 
-    /// Forward pass.
-    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
-        self.cache_x = x.to_vec();
-        let mut y = self.w.w.matvec(x);
+    /// Forward pass writing into a caller-owned output buffer.
+    pub fn forward_into(&mut self, x: &[f64], y: &mut Vec<f64>) {
+        let (out, inp) = (self.w.w.rows(), self.w.w.cols());
+        assert_eq!(x.len(), inp);
+        self.cache_x.clear();
+        self.cache_x.extend_from_slice(x);
+        y.clear();
+        y.resize(out, 0.0);
+        kernels::matvec_into(y, self.w.w.data(), x, out, inp);
         for (yo, bo) in y.iter_mut().zip(self.b.w.data()) {
             *yo += bo;
         }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        let mut y = Vec::new();
+        self.forward_into(x, &mut y);
         y
     }
 
-    /// Backward pass: accumulates dW/db, returns dx.
-    pub fn backward(&mut self, dy: &[f64]) -> Vec<f64> {
+    /// Backward pass writing `dx` into a caller-owned buffer.
+    pub fn backward_into(&mut self, dy: &[f64], dx: &mut Vec<f64>) {
         let (out, inp) = (self.w.w.rows(), self.w.w.cols());
         assert_eq!(dy.len(), out);
         for i in 0..out {
-            self.b.w.len(); // no-op, keep shape obvious
             self.b.g.data_mut()[i] += dy[i];
             let gi = dy[i];
             let wrow = &mut self.w.g.data_mut()[i * inp..(i + 1) * inp];
@@ -50,13 +68,20 @@ impl Dense {
                 *gw += gi * x;
             }
         }
-        let mut dx = vec![0.0; inp];
+        dx.clear();
+        dx.resize(inp, 0.0);
         for i in 0..out {
             let wrow = &self.w.w.data()[i * inp..(i + 1) * inp];
             for (dxj, &w) in dx.iter_mut().zip(wrow) {
                 *dxj += dy[i] * w;
             }
         }
+    }
+
+    /// Backward pass: accumulates dW/db, returns dx.
+    pub fn backward(&mut self, dy: &[f64]) -> Vec<f64> {
+        let mut dx = Vec::new();
+        self.backward_into(dy, &mut dx);
         dx
     }
 
@@ -78,35 +103,68 @@ impl Relu {
         Relu::default()
     }
 
+    /// Forward pass rectifying `x` in place.
+    pub fn forward_inplace(&mut self, x: &mut Tensor) {
+        self.mask.clear();
+        self.mask.extend(x.data().iter().map(|&v| v > 0.0));
+        for v in x.data_mut() {
+            *v = v.max(0.0);
+        }
+    }
+
     /// Forward pass.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        self.mask = x.data().iter().map(|&v| v > 0.0).collect();
-        x.map(|v| v.max(0.0))
+        let mut y = x.clone();
+        self.forward_inplace(&mut y);
+        y
+    }
+
+    /// Backward pass masking `dy` in place.
+    pub fn backward_inplace(&self, dy: &mut Tensor) {
+        for (g, &m) in dy.data_mut().iter_mut().zip(&self.mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
     }
 
     /// Backward pass.
     pub fn backward(&self, dy: &Tensor) -> Tensor {
-        let data = dy
-            .data()
-            .iter()
-            .zip(&self.mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
-        Tensor::from_vec(dy.shape(), data)
+        let mut dx = dy.clone();
+        self.backward_inplace(&mut dx);
+        dx
+    }
+
+    /// Vector convenience forward, in place.
+    pub fn forward_vec_inplace(&mut self, x: &mut [f64]) {
+        self.mask.clear();
+        self.mask.extend(x.iter().map(|&v| v > 0.0));
+        for v in x.iter_mut() {
+            *v = v.max(0.0);
+        }
     }
 
     /// Vector convenience forward.
     pub fn forward_vec(&mut self, x: &[f64]) -> Vec<f64> {
-        self.mask = x.iter().map(|&v| v > 0.0).collect();
-        x.iter().map(|&v| v.max(0.0)).collect()
+        let mut y = x.to_vec();
+        self.forward_vec_inplace(&mut y);
+        y
+    }
+
+    /// Vector convenience backward, in place.
+    pub fn backward_vec_inplace(&self, dy: &mut [f64]) {
+        for (g, &m) in dy.iter_mut().zip(&self.mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
     }
 
     /// Vector convenience backward.
     pub fn backward_vec(&self, dy: &[f64]) -> Vec<f64> {
-        dy.iter()
-            .zip(&self.mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect()
+        let mut dx = dy.to_vec();
+        self.backward_vec_inplace(&mut dx);
+        dx
     }
 }
 
@@ -128,29 +186,45 @@ impl Dropout {
         }
     }
 
-    /// Forward pass; identity when `train` is false.
-    pub fn forward(&mut self, x: &[f64], train: bool, rng: &mut StdRng) -> Vec<f64> {
+    /// Forward pass scaling `x` in place; identity when `train` is false.
+    /// Consumes exactly the same RNG stream as the allocating variant.
+    pub fn forward_inplace(&mut self, x: &mut [f64], train: bool, rng: &mut StdRng) {
+        self.mask.clear();
         if !train || self.p == 0.0 {
-            self.mask = vec![1.0; x.len()];
-            return x.to_vec();
+            self.mask.resize(x.len(), 1.0);
+            return;
         }
         let keep = 1.0 - self.p;
-        self.mask = x
-            .iter()
-            .map(|_| {
-                if rng.gen::<f64>() < keep {
-                    1.0 / keep
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        x.iter().zip(&self.mask).map(|(&v, &m)| v * m).collect()
+        for v in x.iter_mut() {
+            let m = if rng.gen::<f64>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            };
+            self.mask.push(m);
+            *v *= m;
+        }
+    }
+
+    /// Forward pass; identity when `train` is false.
+    pub fn forward(&mut self, x: &[f64], train: bool, rng: &mut StdRng) -> Vec<f64> {
+        let mut y = x.to_vec();
+        self.forward_inplace(&mut y, train, rng);
+        y
+    }
+
+    /// Backward pass masking `dy` in place.
+    pub fn backward_inplace(&self, dy: &mut [f64]) {
+        for (g, &m) in dy.iter_mut().zip(&self.mask) {
+            *g *= m;
+        }
     }
 
     /// Backward pass.
     pub fn backward(&self, dy: &[f64]) -> Vec<f64> {
-        dy.iter().zip(&self.mask).map(|(&g, &m)| g * m).collect()
+        let mut dx = dy.to_vec();
+        self.backward_inplace(&mut dx);
+        dx
     }
 }
 
@@ -183,15 +257,24 @@ impl Embedding {
         self.table.w.rows()
     }
 
-    /// Looks up a sequence of ids (out-of-range ids map to row 0).
-    pub fn forward(&mut self, ids: &[usize]) -> Tensor {
-        self.cache_ids = ids.to_vec();
+    /// Looks up a sequence of ids into a caller-owned `(L × D)` tensor
+    /// (out-of-range ids map to row 0).
+    pub fn forward_into(&mut self, ids: &[usize], out: &mut Tensor) {
+        self.cache_ids.clear();
+        self.cache_ids.extend_from_slice(ids);
         let d = self.dim();
-        let mut out = Tensor::zeros(&[ids.len(), d]);
+        let vocab = self.vocab();
+        out.resize(&[ids.len(), d]);
         for (t, &id) in ids.iter().enumerate() {
-            let id = if id < self.vocab() { id } else { 0 };
+            let id = if id < vocab { id } else { 0 };
             out.row_mut(t).copy_from_slice(self.table.w.row(id));
         }
+    }
+
+    /// Looks up a sequence of ids (out-of-range ids map to row 0).
+    pub fn forward(&mut self, ids: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(&[0, 0]);
+        self.forward_into(ids, &mut out);
         out
     }
 
@@ -211,6 +294,14 @@ impl Embedding {
 }
 
 /// 1-D convolution over a `(L × C_in)` sequence with 'same' zero padding.
+///
+/// Forward and backward are lowered to im2col + one GEMM each (see
+/// `kernels`): forward multiplies the `(L × k·C_in)` im2col matrix of the
+/// input by the transposed kernel into a bias-initialized output; backward
+/// gets `dW` from `dyᵀ · cols` and `dx` from the im2col matrix of `dy`
+/// times the tap-reversed kernel. The accumulation order of every output
+/// element matches the original scalar loops, so results are bit-identical
+/// (the property tests in `kernels` pin this against the frozen loops).
 #[derive(Debug, Clone)]
 pub struct Conv1d {
     /// Kernel `(C_out × k × C_in)`.
@@ -220,7 +311,10 @@ pub struct Conv1d {
     k: usize,
     c_in: usize,
     c_out: usize,
-    cache_x: Tensor,
+    /// The `(L × k·C_in)` im2col matrix of the last input — the only
+    /// forward state backward needs (replacing the old full-input clone;
+    /// the GEMM-form weight gradient consumes it directly).
+    cols: Tensor,
 }
 
 impl Conv1d {
@@ -238,7 +332,7 @@ impl Conv1d {
             k,
             c_in,
             c_out,
-            cache_x: Tensor::zeros(&[0, 0]),
+            cols: Tensor::zeros(&[0, 0]),
         }
     }
 
@@ -247,60 +341,91 @@ impl Conv1d {
         self.c_out
     }
 
+    /// Forward pass into a caller-owned output: `(L × C_in) → (L × C_out)`.
+    pub fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, ws: &mut Workspace) {
+        assert_eq!(x.cols(), self.c_in);
+        let l = x.rows();
+        let kc = self.k * self.c_in;
+        self.cols.resize(&[l, kc]);
+        kernels::im2col_into(self.cols.data_mut(), x.data(), l, self.c_in, self.k);
+        let mut wt = ws.acquire(kc * self.c_out);
+        kernels::transpose_into(&mut wt, self.w.w.data(), self.c_out, kc);
+        out.resize(&[l, self.c_out]);
+        for t in 0..l {
+            out.row_mut(t).copy_from_slice(self.b.w.data());
+        }
+        kernels::gemm_acc(out.data_mut(), self.cols.data(), &wt, l, kc, self.c_out);
+        ws.release(wt);
+    }
+
     /// Forward pass: `(L × C_in) → (L × C_out)`.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.cols(), self.c_in);
-        self.cache_x = x.clone();
-        let l = x.rows();
-        let pad = self.k / 2;
-        let mut out = Tensor::zeros(&[l, self.c_out]);
-        for t in 0..l {
-            for co in 0..self.c_out {
-                let wrow = &self.w.w.data()[co * self.k * self.c_in..(co + 1) * self.k * self.c_in];
-                let mut acc = self.b.w.data()[co];
-                for j in 0..self.k {
-                    let src = t as isize + j as isize - pad as isize;
-                    if src < 0 || src >= l as isize {
-                        continue;
-                    }
-                    let xr = x.row(src as usize);
-                    let wr = &wrow[j * self.c_in..(j + 1) * self.c_in];
-                    for (a, b) in xr.iter().zip(wr) {
-                        acc += a * b;
+        let mut ws = Workspace::new();
+        let mut out = Tensor::zeros(&[0, 0]);
+        self.forward_into(x, &mut out, &mut ws);
+        out
+    }
+
+    /// Backward pass into a caller-owned `dx`: accumulates kernel/bias
+    /// grads.
+    pub fn backward_into(&mut self, dy: &Tensor, dx: &mut Tensor, ws: &mut Workspace) {
+        let l = self.cols.rows();
+        let kc = self.k * self.c_in;
+        let kco = self.k * self.c_out;
+        assert_eq!(dy.rows(), l);
+        assert_eq!(dy.cols(), self.c_out);
+        // Bias: per channel, positions in ascending order, zeros skipped —
+        // the original loop's accumulation order.
+        {
+            let bg = self.b.g.data_mut();
+            for t in 0..l {
+                for (g, &v) in bg.iter_mut().zip(dy.row(t)) {
+                    if v != 0.0 {
+                        *g += v;
                     }
                 }
-                out.set(t, co, acc);
             }
         }
-        out
+        // dW += dyᵀ · cols: the GEMM's k-dimension is t ascending with the
+        // dy == 0 skip, matching the original loop per kernel element.
+        let mut dyt = ws.acquire(self.c_out * l);
+        kernels::transpose_into(&mut dyt, dy.data(), l, self.c_out);
+        kernels::gemm_acc(
+            self.w.g.data_mut(),
+            &dyt,
+            self.cols.data(),
+            self.c_out,
+            l,
+            kc,
+        );
+        ws.release(dyt);
+        // dx = im2col(dy) · W_flip, where W_flip row (jr·C_out + co) is the
+        // kernel tap j = k−1−jr of output channel co. Ascending
+        // (jr, co) visits exactly the (source position, channel) pairs of
+        // the original scatter loop in the same order, with the same skips.
+        let mut ycols = ws.acquire(l * kco);
+        kernels::im2col_into(&mut ycols, dy.data(), l, self.c_out, self.k);
+        let mut wflip = ws.acquire(kco * self.c_in);
+        for jr in 0..self.k {
+            let j = self.k - 1 - jr;
+            for co in 0..self.c_out {
+                let src = &self.w.w.data()[co * kc + j * self.c_in..co * kc + (j + 1) * self.c_in];
+                wflip[(jr * self.c_out + co) * self.c_in..(jr * self.c_out + co + 1) * self.c_in]
+                    .copy_from_slice(src);
+            }
+        }
+        dx.resize(&[l, self.c_in]);
+        dx.fill_zero();
+        kernels::gemm_acc(dx.data_mut(), &ycols, &wflip, l, kco, self.c_in);
+        ws.release(wflip);
+        ws.release(ycols);
     }
 
     /// Backward pass: accumulates kernel/bias grads, returns `dx`.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let l = self.cache_x.rows();
-        let pad = self.k / 2;
-        let mut dx = Tensor::zeros(&[l, self.c_in]);
-        for t in 0..l {
-            for co in 0..self.c_out {
-                let g = dy.at(t, co);
-                if g == 0.0 {
-                    continue;
-                }
-                self.b.g.data_mut()[co] += g;
-                for j in 0..self.k {
-                    let src = t as isize + j as isize - pad as isize;
-                    if src < 0 || src >= l as isize {
-                        continue;
-                    }
-                    let s = src as usize;
-                    let base = co * self.k * self.c_in + j * self.c_in;
-                    for ci in 0..self.c_in {
-                        self.w.g.data_mut()[base + ci] += g * self.cache_x.at(s, ci);
-                        dx.add_at(s, ci, g * self.w.w.data()[base + ci]);
-                    }
-                }
-            }
-        }
+        let mut ws = Workspace::new();
+        let mut dx = Tensor::zeros(&[0, 0]);
+        self.backward_into(dy, &mut dx, &mut ws);
         dx
     }
 
@@ -321,7 +446,7 @@ pub struct Spp {
     /// Pyramid levels (segments per level).
     pub bins: Vec<usize>,
     argmax: Vec<usize>,
-    in_shape: Vec<usize>,
+    in_shape: [usize; 2],
 }
 
 impl Spp {
@@ -336,7 +461,7 @@ impl Spp {
         Spp {
             bins,
             argmax: Vec::new(),
-            in_shape: Vec::new(),
+            in_shape: [0, 0],
         }
     }
 
@@ -345,21 +470,22 @@ impl Spp {
         self.bins.iter().sum::<usize>() * channels
     }
 
-    /// Forward pass: `(L × C) → flat vector`.
+    /// Forward pass into a caller-owned buffer: `(L × C) → flat vector`.
     ///
     /// An empty input (a degenerate gadget that normalized to zero tokens)
     /// pools to an all-zero vector instead of panicking; `backward` then
     /// routes no gradient.
-    pub fn forward(&mut self, x: &Tensor) -> Vec<f64> {
+    pub fn forward_into(&mut self, x: &Tensor, out: &mut Vec<f64>) {
         let (l, c) = (x.rows(), x.cols());
-        self.in_shape = vec![l, c];
+        self.in_shape = [l, c];
         let total: usize = self.bins.iter().sum();
+        out.clear();
+        out.resize(total * c, 0.0);
+        self.argmax.clear();
         if l == 0 {
-            self.argmax = Vec::new();
-            return vec![0.0; total * c];
+            return;
         }
-        let mut out = vec![0.0; total * c];
-        let mut arg = vec![0usize; total * c];
+        self.argmax.resize(total * c, 0);
         let mut slot = 0;
         for &b in &self.bins {
             for seg in 0..b {
@@ -383,27 +509,40 @@ impl Spp {
                         }
                     }
                     out[slot * c + ch] = best;
-                    arg[slot * c + ch] = best_t;
+                    self.argmax[slot * c + ch] = best_t;
                 }
                 slot += 1;
             }
         }
-        self.argmax = arg;
+    }
+
+    /// Forward pass: `(L × C) → flat vector`.
+    pub fn forward(&mut self, x: &Tensor) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.forward_into(x, &mut out);
         out
     }
 
-    /// Backward pass: routes gradients to the argmax positions.
-    pub fn backward(&self, dy: &[f64]) -> Tensor {
-        let (l, c) = (self.in_shape[0], self.in_shape[1]);
-        let mut dx = Tensor::zeros(&[l, c]);
+    /// Backward pass into a caller-owned `dx`: routes gradients to the
+    /// argmax positions.
+    pub fn backward_into(&self, dy: &[f64], dx: &mut Tensor) {
+        let [l, c] = self.in_shape;
+        dx.resize(&[l, c]);
+        dx.fill_zero();
         if l == 0 {
-            return dx;
+            return;
         }
         for (i, &g) in dy.iter().enumerate() {
             let ch = i % c;
             let t = self.argmax[i];
             dx.add_at(t, ch, g);
         }
+    }
+
+    /// Backward pass: routes gradients to the argmax positions.
+    pub fn backward(&self, dy: &[f64]) -> Tensor {
+        let mut dx = Tensor::zeros(&[0, 0]);
+        self.backward_into(dy, &mut dx);
         dx
     }
 }
@@ -412,6 +551,7 @@ impl Spp {
 mod tests {
     use super::*;
     use crate::gradcheck::{check_input_grad_vec, check_param_grads};
+    use crate::kernels::reference;
     use rand::SeedableRng;
 
     #[test]
@@ -547,6 +687,60 @@ mod tests {
                 "dx[{i}]: {num} vs {}",
                 dx.data()[i]
             );
+        }
+    }
+
+    /// The full layer (not just the raw kernels) against the frozen naive
+    /// loops: forward, weight/bias/input grads, all `to_bits`-identical,
+    /// across lengths including the L=0 and L=1 edges.
+    #[test]
+    fn conv1d_bit_identical_to_frozen_naive_loops() {
+        for (l, c_in, c_out, k) in [(0, 2, 3, 3), (1, 1, 1, 1), (1, 2, 3, 5), (7, 3, 4, 3)] {
+            let mut rng = StdRng::seed_from_u64(42 + l as u64);
+            let mut conv = Conv1d::new(c_in, c_out, k, &mut rng);
+            let x = Tensor::from_vec(
+                &[l, c_in],
+                (0..l * c_in)
+                    .map(|i| ((i * 7 + 3) % 11) as f64 * 0.25 - 1.0)
+                    .collect(),
+            );
+            let dy = Tensor::from_vec(
+                &[l, c_out],
+                (0..l * c_out)
+                    .map(|i| {
+                        if i % 4 == 0 {
+                            0.0
+                        } else {
+                            (i % 5) as f64 * 0.5 - 1.0
+                        }
+                    })
+                    .collect(),
+            );
+            let y = conv.forward(&x);
+            let dx = conv.backward(&dy);
+            let naive_y = reference::conv1d_forward_naive(
+                x.data(),
+                conv.w.w.data(),
+                conv.b.w.data(),
+                l,
+                c_in,
+                c_out,
+                k,
+            );
+            let (ndb, ndw, ndx) = reference::conv1d_backward_naive(
+                x.data(),
+                conv.w.w.data(),
+                dy.data(),
+                l,
+                c_in,
+                c_out,
+                k,
+            );
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(y.data()), bits(&naive_y), "forward L={l}");
+            assert_eq!(bits(dx.data()), bits(&ndx), "dx L={l}");
+            assert_eq!(bits(conv.w.g.data()), bits(&ndw), "dw L={l}");
+            assert_eq!(bits(conv.b.g.data()), bits(&ndb), "db L={l}");
         }
     }
 

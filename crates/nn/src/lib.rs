@@ -29,6 +29,7 @@
 
 pub mod attention;
 pub mod gradcheck;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod models;
@@ -39,6 +40,7 @@ pub mod serialize;
 pub mod tensor;
 
 pub use attention::{Cbam, CbamOrder, TokenAttention};
+pub use kernels::{workspace_counters, Workspace};
 pub use layers::{Conv1d, Dense, Dropout, Embedding, Relu, Spp};
 pub use loss::{bce_with_logits, bce_with_logits_weighted};
 pub use models::{CnnConfig, RnnNet, SequenceClassifier, SevulDetCnn};
@@ -46,4 +48,4 @@ pub use optim::{Adam, Sgd};
 pub use param::Param;
 pub use rnn::{BiRnn, CellKind, Rnn};
 pub use serialize::{load_params, save_params, LoadError};
-pub use tensor::{sigmoid, softmax, Tensor};
+pub use tensor::{sigmoid, softmax, softmax_into, Tensor};

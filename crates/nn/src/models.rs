@@ -9,6 +9,7 @@
 //!   steps (the BLSTM/BGRU baselines; VulDeePecker ≈ BLSTM, SySeVR ≈ BGRU).
 
 use crate::attention::{Cbam, CbamOrder, TokenAttention};
+use crate::kernels::Workspace;
 use crate::layers::{Conv1d, Dense, Dropout, Embedding, Relu, Spp};
 use crate::param::Param;
 use crate::rnn::{BiRnn, CellKind};
@@ -153,6 +154,14 @@ pub struct SevulDetCnn {
     relu_fc2: Relu,
     fc3: Dense,
     cache_padded: Vec<usize>,
+    // Reused activation storage: `act_a` always holds the current
+    // activation; layers write into `act_b` and the two are swapped.
+    // Cloning a model starts it with fresh (empty) buffers.
+    ws: Workspace,
+    act_a: Tensor,
+    act_b: Tensor,
+    vec_a: Vec<f64>,
+    vec_b: Vec<f64>,
 }
 
 impl SevulDetCnn {
@@ -188,24 +197,29 @@ impl SevulDetCnn {
             relu_fc2: Relu::new(),
             fc3: Dense::new(64, 1, rng),
             cache_padded: Vec::new(),
+            ws: Workspace::new(),
+            act_a: Tensor::zeros(&[0, 0]),
+            act_b: Tensor::zeros(&[0, 0]),
+            vec_a: Vec::new(),
+            vec_b: Vec::new(),
             config,
         }
     }
 
-    fn prepare_ids(&self, ids: &[usize]) -> Vec<usize> {
+    fn prepare_ids_into(&mut self, ids: &[usize]) {
+        self.cache_padded.clear();
         match self.config.fixed_len {
             Some(l) => {
-                let mut v: Vec<usize> = ids.iter().copied().take(l).collect();
+                self.cache_padded.extend(ids.iter().copied().take(l));
                 // A degenerate fixed length of 0 still pads to one token so
                 // every downstream layer sees a non-empty sequence.
-                v.resize(l.max(1), 0);
-                v
+                self.cache_padded.resize(l.max(1), 0);
             }
             None => {
                 if ids.is_empty() {
-                    vec![0]
+                    self.cache_padded.push(0);
                 } else {
-                    ids.to_vec()
+                    self.cache_padded.extend_from_slice(ids);
                 }
             }
         }
@@ -214,47 +228,59 @@ impl SevulDetCnn {
 
 impl SequenceClassifier for SevulDetCnn {
     fn forward_logit(&mut self, ids: &[usize], train: bool, rng: &mut StdRng) -> f64 {
-        let ids = self.prepare_ids(ids);
-        self.cache_padded = ids.clone();
-        let x = self.emb.forward(&ids);
-        let x = match &mut self.tok_att {
-            Some(att) => att.forward(&x),
-            None => x,
-        };
-        let x = self.relu1.forward(&self.conv1.forward(&x));
-        let x = match &mut self.cbam {
-            Some(cbam) => cbam.forward(&x),
-            None => x,
-        };
-        let x = self.relu2.forward(&self.conv2.forward(&x));
-        let v = self.spp.forward(&x);
-        let v = self.relu_fc.forward_vec(&self.fc1.forward(&v));
-        let v = self.drop.forward(&v, train, rng);
-        let v = self.relu_fc2.forward_vec(&self.fc2.forward(&v));
-        self.fc3.forward(&v)[0]
+        self.prepare_ids_into(ids);
+        self.emb.forward_into(&self.cache_padded, &mut self.act_a);
+        if let Some(att) = &mut self.tok_att {
+            att.forward_into(&self.act_a, &mut self.act_b, &mut self.ws);
+            std::mem::swap(&mut self.act_a, &mut self.act_b);
+        }
+        self.conv1
+            .forward_into(&self.act_a, &mut self.act_b, &mut self.ws);
+        std::mem::swap(&mut self.act_a, &mut self.act_b);
+        self.relu1.forward_inplace(&mut self.act_a);
+        if let Some(cbam) = &mut self.cbam {
+            cbam.forward_into(&self.act_a, &mut self.act_b, &mut self.ws);
+            std::mem::swap(&mut self.act_a, &mut self.act_b);
+        }
+        self.conv2
+            .forward_into(&self.act_a, &mut self.act_b, &mut self.ws);
+        std::mem::swap(&mut self.act_a, &mut self.act_b);
+        self.relu2.forward_inplace(&mut self.act_a);
+        self.spp.forward_into(&self.act_a, &mut self.vec_a);
+        self.fc1.forward_into(&self.vec_a, &mut self.vec_b);
+        self.relu_fc.forward_vec_inplace(&mut self.vec_b);
+        self.drop.forward_inplace(&mut self.vec_b, train, rng);
+        self.fc2.forward_into(&self.vec_b, &mut self.vec_a);
+        self.relu_fc2.forward_vec_inplace(&mut self.vec_a);
+        self.fc3.forward_into(&self.vec_a, &mut self.vec_b);
+        self.vec_b[0]
     }
 
     fn backward(&mut self, dlogit: f64) {
-        let dv = self.fc3.backward(&[dlogit]);
-        let dv = self.relu_fc2.backward_vec(&dv);
-        let dv = self.fc2.backward(&dv);
-        let dv = self.drop.backward(&dv);
-        let dv = self.relu_fc.backward_vec(&dv);
-        let dv = self.fc1.backward(&dv);
-        let dx = self.spp.backward(&dv);
-        let dx = self.relu2.backward(&dx);
-        let dx = self.conv2.backward(&dx);
-        let dx = match &mut self.cbam {
-            Some(cbam) => cbam.backward(&dx),
-            None => dx,
-        };
-        let dx = self.relu1.backward(&dx);
-        let dx = self.conv1.backward(&dx);
-        let dx = match &mut self.tok_att {
-            Some(att) => att.backward(&dx),
-            None => dx,
-        };
-        self.emb.backward(&dx);
+        self.fc3.backward_into(&[dlogit], &mut self.vec_a);
+        self.relu_fc2.backward_vec_inplace(&mut self.vec_a);
+        self.fc2.backward_into(&self.vec_a, &mut self.vec_b);
+        self.drop.backward_inplace(&mut self.vec_b);
+        self.relu_fc.backward_vec_inplace(&mut self.vec_b);
+        self.fc1.backward_into(&self.vec_b, &mut self.vec_a);
+        self.spp.backward_into(&self.vec_a, &mut self.act_a);
+        self.relu2.backward_inplace(&mut self.act_a);
+        self.conv2
+            .backward_into(&self.act_a, &mut self.act_b, &mut self.ws);
+        std::mem::swap(&mut self.act_a, &mut self.act_b);
+        if let Some(cbam) = &mut self.cbam {
+            cbam.backward_into(&self.act_a, &mut self.act_b, &mut self.ws);
+            std::mem::swap(&mut self.act_a, &mut self.act_b);
+        }
+        self.relu1.backward_inplace(&mut self.act_a);
+        self.conv1
+            .backward_into(&self.act_a, &mut self.act_b, &mut self.ws);
+        std::mem::swap(&mut self.act_a, &mut self.act_b);
+        if let Some(att) = &mut self.tok_att {
+            att.backward_into(&self.act_a, &mut self.act_b, &mut self.ws);
+            std::mem::swap(&mut self.act_a, &mut self.act_b);
+        }
+        self.emb.backward(&self.act_a);
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -293,6 +319,11 @@ pub struct RnnNet {
     fc2: Dense,
     /// Predefined time steps τ.
     pub time_steps: usize,
+    ids_buf: Vec<usize>,
+    act: Tensor,
+    hvec: Vec<f64>,
+    vec_a: Vec<f64>,
+    vec_b: Vec<f64>,
 }
 
 impl RnnNet {
@@ -314,6 +345,11 @@ impl RnnNet {
             drop: Dropout::new(dropout),
             fc2: Dense::new(64, 1, rng),
             time_steps,
+            ids_buf: Vec::new(),
+            act: Tensor::zeros(&[0, 0]),
+            hvec: Vec::new(),
+            vec_a: Vec::new(),
+            vec_b: Vec::new(),
         }
     }
 }
@@ -324,24 +360,28 @@ impl SequenceClassifier for RnnNet {
         // are *masked* rather than zero-padded (running the cells over
         // hundreds of pad embeddings would corrupt the final state — Keras
         // masking semantics).
-        let mut padded: Vec<usize> = ids.iter().copied().take(self.time_steps).collect();
-        if padded.is_empty() {
-            padded.push(0);
+        self.ids_buf.clear();
+        self.ids_buf
+            .extend(ids.iter().copied().take(self.time_steps));
+        if self.ids_buf.is_empty() {
+            self.ids_buf.push(0);
         }
-        let x = self.emb.forward(&padded);
-        let h = self.rnn.forward(&x);
-        let v = self.relu.forward_vec(&self.fc1.forward(&h));
-        let v = self.drop.forward(&v, train, rng);
-        self.fc2.forward(&v)[0]
+        self.emb.forward_into(&self.ids_buf, &mut self.act);
+        self.rnn.forward_into(&self.act, &mut self.hvec);
+        self.fc1.forward_into(&self.hvec, &mut self.vec_a);
+        self.relu.forward_vec_inplace(&mut self.vec_a);
+        self.drop.forward_inplace(&mut self.vec_a, train, rng);
+        self.fc2.forward_into(&self.vec_a, &mut self.vec_b);
+        self.vec_b[0]
     }
 
     fn backward(&mut self, dlogit: f64) {
-        let dv = self.fc2.backward(&[dlogit]);
-        let dv = self.drop.backward(&dv);
-        let dv = self.relu.backward_vec(&dv);
-        let dh = self.fc1.backward(&dv);
-        let dx = self.rnn.backward(&dh);
-        self.emb.backward(&dx);
+        self.fc2.backward_into(&[dlogit], &mut self.vec_a);
+        self.drop.backward_inplace(&mut self.vec_a);
+        self.relu.backward_vec_inplace(&mut self.vec_a);
+        self.fc1.backward_into(&self.vec_a, &mut self.vec_b);
+        self.rnn.backward_into(&self.vec_b, &mut self.act);
+        self.emb.backward(&self.act);
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

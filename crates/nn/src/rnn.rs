@@ -3,7 +3,13 @@
 //! Tables II and V (VulDeePecker uses a BLSTM; SySeVR's best model is a
 //! BGRU). Both consume *fixed-length* token windows — the very limitation
 //! SPP removes.
+//!
+//! The input projection `Wx·x_t` for the whole sequence is one GEMM on the
+//! kernel layer, and all per-step state lives in structure-of-arrays caches
+//! that are reused across calls, so a warmed-up forward/backward pass
+//! allocates nothing.
 
+use crate::kernels::{self, Workspace};
 use crate::param::Param;
 use crate::tensor::{sigmoid, Tensor};
 use rand::rngs::StdRng;
@@ -29,16 +35,23 @@ pub struct Rnn {
     pub b: Param,
     h: usize,
     d: usize,
-    cache: Vec<StepCache>,
-}
-
-#[derive(Debug, Clone)]
-struct StepCache {
-    x: Vec<f64>,
-    h_prev: Vec<f64>,
-    c_prev: Vec<f64>, // LSTM only
-    gates: Vec<f64>,  // post-activation gates, layout by kind
-    c: Vec<f64>,      // LSTM cell state
+    // Structure-of-arrays step caches, reused across calls. `cache_h` and
+    // `cache_c` carry L+1 rows with row 0 the (zero) initial state, so step
+    // t reads row t and writes row t+1.
+    steps: usize,
+    cache_x: Tensor,     // (L × D)
+    cache_h: Tensor,     // (L+1 × H)
+    cache_c: Tensor,     // (L+1 × H), LSTM only
+    cache_gates: Tensor, // (L × G·H) post-activation
+    cache_px: Tensor,    // (L × G·H) batched Wx·x_t
+    cache_ph: Tensor,    // (L × G·H) Wh·h_{t-1} (GRU backward reads it)
+    scratch_pre: Vec<f64>,
+    scratch_dpre: Vec<f64>,
+    scratch_dpre_n_h: Vec<f64>,
+    scratch_dh: Vec<f64>,
+    scratch_dh_prev: Vec<f64>,
+    scratch_dc: Vec<f64>,
+    ws: Workspace,
 }
 
 impl Rnn {
@@ -62,7 +75,20 @@ impl Rnn {
             b,
             h,
             d,
-            cache: Vec::new(),
+            steps: 0,
+            cache_x: Tensor::zeros(&[0, 0]),
+            cache_h: Tensor::zeros(&[0, 0]),
+            cache_c: Tensor::zeros(&[0, 0]),
+            cache_gates: Tensor::zeros(&[0, 0]),
+            cache_px: Tensor::zeros(&[0, 0]),
+            cache_ph: Tensor::zeros(&[0, 0]),
+            scratch_pre: Vec::new(),
+            scratch_dpre: Vec::new(),
+            scratch_dpre_n_h: Vec::new(),
+            scratch_dh: Vec::new(),
+            scratch_dh_prev: Vec::new(),
+            scratch_dc: Vec::new(),
+            ws: Workspace::new(),
         }
     }
 
@@ -71,119 +97,167 @@ impl Rnn {
         self.h
     }
 
-    /// Runs the sequence, returning the final hidden state.
-    pub fn forward(&mut self, xs: &Tensor) -> Vec<f64> {
-        assert_eq!(xs.cols(), self.d);
-        self.cache.clear();
-        let mut h_prev = vec![0.0; self.h];
-        let mut c_prev = vec![0.0; self.h];
-        for t in 0..xs.rows() {
-            let x = xs.row(t).to_vec();
-            let (h_new, c_new, gates) = self.step(&x, &h_prev, &c_prev);
-            self.cache.push(StepCache {
-                x,
-                h_prev: h_prev.clone(),
-                c_prev: c_prev.clone(),
-                gates,
-                c: c_new.clone(),
-            });
-            h_prev = h_new;
-            c_prev = c_new;
+    fn gate_count(&self) -> usize {
+        match self.kind {
+            CellKind::Lstm => 4,
+            CellKind::Gru => 3,
         }
-        h_prev
     }
 
-    fn step(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    /// Runs the sequence, writing the final hidden state into `h_out`.
+    pub fn forward_into(&mut self, xs: &Tensor, h_out: &mut Vec<f64>) {
+        assert_eq!(xs.cols(), self.d);
+        let l = xs.rows();
         let h = self.h;
-        match self.kind {
-            CellKind::Lstm => {
-                // pre = Wx·x + Wh·h_prev + b, gate order [i, f, g, o].
-                let mut pre = self.wx.w.matvec(x);
-                let hp = self.wh.w.matvec(h_prev);
-                for i in 0..4 * h {
-                    pre[i] += hp[i] + self.b.w.data()[i];
+        let gh = self.gate_count() * h;
+        self.steps = l;
+        self.cache_x.copy_from(xs);
+        // Batched input projection: px = X·Wxᵀ as one GEMM over the whole
+        // sequence (dense — the per-step matvec it replaces never skipped).
+        let mut wxt = self.ws.acquire(self.d * gh);
+        kernels::transpose_into(&mut wxt, self.wx.w.data(), gh, self.d);
+        self.cache_px.resize(&[l, gh]);
+        self.cache_px.fill_zero();
+        kernels::gemm_acc_dense(self.cache_px.data_mut(), xs.data(), &wxt, l, self.d, gh);
+        self.ws.release(wxt);
+        self.cache_h.resize(&[l + 1, h]);
+        self.cache_h.fill_zero();
+        self.cache_c.resize(&[l + 1, h]);
+        self.cache_c.fill_zero();
+        self.cache_gates.resize(&[l, gh]);
+        self.cache_ph.resize(&[l, gh]);
+        for t in 0..l {
+            // ph_t = Wh·h_{t-1}.
+            kernels::matvec_into(
+                self.cache_ph.row_mut(t),
+                self.wh.w.data(),
+                self.cache_h.row(t),
+                gh,
+                h,
+            );
+            match self.kind {
+                CellKind::Lstm => {
+                    // pre = px + ph + b, gate order [i, f, g, o].
+                    self.scratch_pre.clear();
+                    self.scratch_pre.extend_from_slice(self.cache_px.row(t));
+                    {
+                        let ph = self.cache_ph.row(t);
+                        let b = self.b.w.data();
+                        for i in 0..gh {
+                            self.scratch_pre[i] += ph[i] + b[i];
+                        }
+                    }
+                    let pre = &self.scratch_pre;
+                    let gates = self.cache_gates.row_mut(t);
+                    for i in 0..h {
+                        gates[i] = sigmoid(pre[i]); // i
+                        gates[h + i] = sigmoid(pre[h + i]); // f
+                        gates[2 * h + i] = pre[2 * h + i].tanh(); // g
+                        gates[3 * h + i] = sigmoid(pre[3 * h + i]); // o
+                    }
+                    let (c_lo, c_hi) = self.cache_c.data_mut().split_at_mut((t + 1) * h);
+                    let c_prev = &c_lo[t * h..];
+                    let c = &mut c_hi[..h];
+                    let (_, h_hi) = self.cache_h.data_mut().split_at_mut((t + 1) * h);
+                    let hn = &mut h_hi[..h];
+                    for i in 0..h {
+                        c[i] = gates[h + i] * c_prev[i] + gates[i] * gates[2 * h + i];
+                        hn[i] = gates[3 * h + i] * c[i].tanh();
+                    }
                 }
-                let mut gates = vec![0.0; 4 * h];
-                for i in 0..h {
-                    gates[i] = sigmoid(pre[i]); // i
-                    gates[h + i] = sigmoid(pre[h + i]); // f
-                    gates[2 * h + i] = pre[2 * h + i].tanh(); // g
-                    gates[3 * h + i] = sigmoid(pre[3 * h + i]); // o
+                CellKind::Gru => {
+                    // Gate order [z, r, n]; n uses r∘(Wh·h_prev).
+                    let px = self.cache_px.row(t);
+                    let ph = self.cache_ph.row(t);
+                    let b = self.b.w.data();
+                    let gates = self.cache_gates.row_mut(t);
+                    let (h_lo, h_hi) = self.cache_h.data_mut().split_at_mut((t + 1) * h);
+                    let h_prev = &h_lo[t * h..];
+                    let hn = &mut h_hi[..h];
+                    for i in 0..h {
+                        gates[i] = sigmoid(px[i] + ph[i] + b[i]); // z
+                        gates[h + i] = sigmoid(px[h + i] + ph[h + i] + b[h + i]);
+                        // r
+                    }
+                    for i in 0..h {
+                        let n_pre = px[2 * h + i] + gates[h + i] * ph[2 * h + i] + b[2 * h + i];
+                        let n = n_pre.tanh();
+                        gates[2 * h + i] = n;
+                        hn[i] = (1.0 - gates[i]) * n + gates[i] * h_prev[i];
+                    }
                 }
-                let mut c = vec![0.0; h];
-                let mut hn = vec![0.0; h];
-                for i in 0..h {
-                    c[i] = gates[h + i] * c_prev[i] + gates[i] * gates[2 * h + i];
-                    hn[i] = gates[3 * h + i] * c[i].tanh();
-                }
-                (hn, c, gates)
-            }
-            CellKind::Gru => {
-                // Gate order [z, r, n]; n uses r∘h_prev.
-                let px = self.wx.w.matvec(x);
-                let ph = self.wh.w.matvec(h_prev);
-                let mut gates = vec![0.0; 3 * h];
-                for i in 0..h {
-                    gates[i] = sigmoid(px[i] + ph[i] + self.b.w.data()[i]); // z
-                    gates[h + i] = sigmoid(px[h + i] + ph[h + i] + self.b.w.data()[h + i]);
-                    // r
-                }
-                let mut hn = vec![0.0; h];
-                for i in 0..h {
-                    let n_pre =
-                        px[2 * h + i] + gates[h + i] * ph[2 * h + i] + self.b.w.data()[2 * h + i];
-                    let n = n_pre.tanh();
-                    gates[2 * h + i] = n;
-                    hn[i] = (1.0 - gates[i]) * n + gates[i] * h_prev[i];
-                }
-                (hn, vec![0.0; h], gates)
             }
         }
+        h_out.clear();
+        h_out.extend_from_slice(self.cache_h.row(l));
+    }
+
+    /// Runs the sequence, returning the final hidden state.
+    pub fn forward(&mut self, xs: &Tensor) -> Vec<f64> {
+        let mut h_out = Vec::new();
+        self.forward_into(xs, &mut h_out);
+        h_out
     }
 
     /// BPTT from a gradient on the *final* hidden state. Accumulates
-    /// parameter gradients; returns per-step input gradients `(L × D)`.
-    pub fn backward(&mut self, dh_last: &[f64]) -> Tensor {
-        let steps = self.cache.len();
+    /// parameter gradients; writes per-step input gradients `(L × D)` into
+    /// `dxs`.
+    pub fn backward_into(&mut self, dh_last: &[f64], dxs: &mut Tensor) {
+        let steps = self.steps;
         let h = self.h;
         let d = self.d;
-        let mut dxs = Tensor::zeros(&[steps, d]);
-        let mut dh = dh_last.to_vec();
-        let mut dc = vec![0.0; h];
+        let gh = self.gate_count() * h;
+        dxs.resize(&[steps, d]);
+        dxs.fill_zero();
+        self.scratch_dh.clear();
+        self.scratch_dh.extend_from_slice(dh_last);
+        self.scratch_dc.clear();
+        self.scratch_dc.resize(h, 0.0);
         for t in (0..steps).rev() {
-            let sc = self.cache[t].clone();
-            let mut dx = vec![0.0; d];
-            let mut dh_prev = vec![0.0; h];
+            self.scratch_dh_prev.clear();
+            self.scratch_dh_prev.resize(h, 0.0);
+            self.scratch_dpre.clear();
+            self.scratch_dpre.resize(gh, 0.0);
             match self.kind {
                 CellKind::Lstm => {
-                    let mut dpre = vec![0.0; 4 * h];
+                    let gates = self.cache_gates.row(t);
+                    let (c_row, c_prev) = (self.cache_c.row(t + 1), self.cache_c.row(t));
+                    let dh = &self.scratch_dh;
+                    let dc = &mut self.scratch_dc;
+                    let dpre = &mut self.scratch_dpre;
                     for i in 0..h {
-                        let o = sc.gates[3 * h + i];
-                        let tc = sc.c[i].tanh();
+                        let o = gates[3 * h + i];
+                        let tc = c_row[i].tanh();
                         let dci = dc[i] + dh[i] * o * (1.0 - tc * tc);
-                        let di = dci * sc.gates[2 * h + i];
-                        let df = dci * sc.c_prev[i];
-                        let dg = dci * sc.gates[i];
+                        let di = dci * gates[2 * h + i];
+                        let df = dci * c_prev[i];
+                        let dg = dci * gates[i];
                         let do_ = dh[i] * tc;
-                        dpre[i] = di * sc.gates[i] * (1.0 - sc.gates[i]);
-                        dpre[h + i] = df * sc.gates[h + i] * (1.0 - sc.gates[h + i]);
-                        dpre[2 * h + i] = dg * (1.0 - sc.gates[2 * h + i] * sc.gates[2 * h + i]);
+                        dpre[i] = di * gates[i] * (1.0 - gates[i]);
+                        dpre[h + i] = df * gates[h + i] * (1.0 - gates[h + i]);
+                        dpre[2 * h + i] = dg * (1.0 - gates[2 * h + i] * gates[2 * h + i]);
                         dpre[3 * h + i] = do_ * o * (1.0 - o);
-                        dc[i] = dci * sc.gates[h + i];
+                        dc[i] = dci * gates[h + i];
                     }
-                    self.accumulate(&dpre, &sc, &mut dx, &mut dh_prev);
                 }
                 CellKind::Gru => {
                     // Forward convention (PyTorch-style, r gates per output
-                    // unit): n_pre_i = px_i + r_i·ph_i + b_i.
-                    let ph = self.wh.w.matvec(&sc.h_prev);
-                    let mut dpre = vec![0.0; 3 * h]; // z_pre, r_pre, n_pre
-                    let mut dpre_n_h = vec![0.0; h]; // n_pre scaled by r (Wh path)
+                    // unit): n_pre_i = px_i + r_i·ph_i + b_i. ph comes from
+                    // the forward cache instead of a matvec recompute.
+                    self.scratch_dpre_n_h.clear();
+                    self.scratch_dpre_n_h.resize(h, 0.0);
+                    let gates = self.cache_gates.row(t);
+                    let ph = self.cache_ph.row(t);
+                    let h_prev = self.cache_h.row(t);
+                    let dh = &self.scratch_dh;
+                    let dh_prev = &mut self.scratch_dh_prev;
+                    let dpre = &mut self.scratch_dpre;
+                    let dpre_n_h = &mut self.scratch_dpre_n_h;
                     for i in 0..h {
-                        let z = sc.gates[i];
-                        let r = sc.gates[h + i];
-                        let n = sc.gates[2 * h + i];
-                        let dz = dh[i] * (sc.h_prev[i] - n);
+                        let z = gates[i];
+                        let r = gates[h + i];
+                        let n = gates[2 * h + i];
+                        let dz = dh[i] * (h_prev[i] - n);
                         let dn = dh[i] * (1.0 - z);
                         dh_prev[i] += dh[i] * z;
                         let dn_pre = dn * (1.0 - n * n);
@@ -193,53 +267,44 @@ impl Rnn {
                         dpre[2 * h + i] = dn_pre;
                         dpre_n_h[i] = dn_pre * r;
                     }
-                    for gi in 0..3 * h {
-                        let g = dpre[gi];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        self.b.g.data_mut()[gi] += g;
-                        for j in 0..d {
-                            self.wx.g.data_mut()[gi * d + j] += g * sc.x[j];
-                            dx[j] += g * self.wx.w.data()[gi * d + j];
-                        }
-                        // Wh path: n-rows use the r-scaled gradient.
-                        let gh = if gi >= 2 * h { dpre_n_h[gi - 2 * h] } else { g };
-                        for j in 0..h {
-                            self.wh.g.data_mut()[gi * h + j] += gh * sc.h_prev[j];
-                            dh_prev[j] += gh * self.wh.w.data()[gi * h + j];
-                        }
-                    }
                 }
             }
-            dxs.row_mut(t).copy_from_slice(&dx);
-            dh = dh_prev;
-            if self.kind == CellKind::Gru {
-                dc = vec![0.0; h];
+            // Shared per-step accumulation (zero pre-activation gradients
+            // contribute nothing and are skipped, as before).
+            let x_row = self.cache_x.row(t);
+            let hp_row = self.cache_h.row(t);
+            let dx = dxs.row_mut(t);
+            for gi in 0..gh {
+                let g = self.scratch_dpre[gi];
+                if g == 0.0 {
+                    continue;
+                }
+                self.b.g.data_mut()[gi] += g;
+                for j in 0..d {
+                    self.wx.g.data_mut()[gi * d + j] += g * x_row[j];
+                    dx[j] += g * self.wx.w.data()[gi * d + j];
+                }
+                // Wh path: GRU n-rows use the r-scaled gradient.
+                let gw = if self.kind == CellKind::Gru && gi >= 2 * h {
+                    self.scratch_dpre_n_h[gi - 2 * h]
+                } else {
+                    g
+                };
+                for j in 0..h {
+                    self.wh.g.data_mut()[gi * h + j] += gw * hp_row[j];
+                    self.scratch_dh_prev[j] += gw * self.wh.w.data()[gi * h + j];
+                }
             }
+            std::mem::swap(&mut self.scratch_dh, &mut self.scratch_dh_prev);
         }
-        dxs
     }
 
-    /// Shared accumulation for LSTM (linear pre-activations).
-    fn accumulate(&mut self, dpre: &[f64], sc: &StepCache, dx: &mut [f64], dh_prev: &mut [f64]) {
-        let d = self.d;
-        let h = self.h;
-        for gi in 0..dpre.len() {
-            let g = dpre[gi];
-            if g == 0.0 {
-                continue;
-            }
-            self.b.g.data_mut()[gi] += g;
-            for j in 0..d {
-                self.wx.g.data_mut()[gi * d + j] += g * sc.x[j];
-                dx[j] += g * self.wx.w.data()[gi * d + j];
-            }
-            for j in 0..h {
-                self.wh.g.data_mut()[gi * h + j] += g * sc.h_prev[j];
-                dh_prev[j] += g * self.wh.w.data()[gi * h + j];
-            }
-        }
+    /// BPTT from a gradient on the *final* hidden state; returns per-step
+    /// input gradients `(L × D)`.
+    pub fn backward(&mut self, dh_last: &[f64]) -> Tensor {
+        let mut dxs = Tensor::zeros(&[0, 0]);
+        self.backward_into(dh_last, &mut dxs);
+        dxs
     }
 
     /// The encoder's parameters.
@@ -256,6 +321,8 @@ pub struct BiRnn {
     pub fwd: Rnn,
     /// Backward-direction cell.
     pub bwd: Rnn,
+    rev: Tensor,
+    h_tmp: Vec<f64>,
 }
 
 impl BiRnn {
@@ -264,6 +331,8 @@ impl BiRnn {
         BiRnn {
             fwd: Rnn::new(kind, d, h, rng),
             bwd: Rnn::new(kind, d, h, rng),
+            rev: Tensor::zeros(&[0, 0]),
+            h_tmp: Vec::new(),
         }
     }
 
@@ -272,21 +341,40 @@ impl BiRnn {
         2 * self.fwd.hidden()
     }
 
+    /// Encodes a `(L × D)` sequence into a `2H` vector written to `out`.
+    pub fn forward_into(&mut self, xs: &Tensor, out: &mut Vec<f64>) {
+        self.fwd.forward_into(xs, out);
+        reverse_rows_into(xs, &mut self.rev);
+        self.bwd.forward_into(&self.rev, &mut self.h_tmp);
+        out.extend_from_slice(&self.h_tmp);
+    }
+
     /// Encodes a `(L × D)` sequence into a `2H` vector.
     pub fn forward(&mut self, xs: &Tensor) -> Vec<f64> {
-        let mut out = self.fwd.forward(xs);
-        let rev = reverse_rows(xs);
-        out.extend(self.bwd.forward(&rev));
+        let mut out = Vec::new();
+        self.forward_into(xs, &mut out);
         out
+    }
+
+    /// BPTT; writes the input gradient `(L × D)` into `dx`.
+    pub fn backward_into(&mut self, dout: &[f64], dx: &mut Tensor) {
+        let h = self.fwd.hidden();
+        self.fwd.backward_into(&dout[..h], dx);
+        self.bwd.backward_into(&dout[h..], &mut self.rev);
+        let l = dx.rows();
+        for t in 0..l {
+            let src = self.rev.row(l - 1 - t);
+            for (a, &b) in dx.row_mut(t).iter_mut().zip(src) {
+                *a += b;
+            }
+        }
     }
 
     /// BPTT; returns the input gradient `(L × D)`.
     pub fn backward(&mut self, dout: &[f64]) -> Tensor {
-        let h = self.fwd.hidden();
-        let dxf = self.fwd.backward(&dout[..h]);
-        let dxb = self.bwd.backward(&dout[h..]);
-        let dxb = reverse_rows(&dxb);
-        dxf.add(&dxb)
+        let mut dx = Tensor::zeros(&[0, 0]);
+        self.backward_into(dout, &mut dx);
+        dx
     }
 
     /// The encoder's parameters.
@@ -297,12 +385,18 @@ impl BiRnn {
     }
 }
 
-fn reverse_rows(x: &Tensor) -> Tensor {
+fn reverse_rows_into(x: &Tensor, out: &mut Tensor) {
     let (l, d) = (x.rows(), x.cols());
-    let mut out = Tensor::zeros(&[l, d]);
+    out.resize(&[l, d]);
     for t in 0..l {
         out.row_mut(t).copy_from_slice(x.row(l - 1 - t));
     }
+}
+
+#[cfg(test)]
+fn reverse_rows(x: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(&[0, 0]);
+    reverse_rows_into(x, &mut out);
     out
 }
 
@@ -437,5 +531,30 @@ mod tests {
     fn reverse_rows_flips() {
         let x = Tensor::from_vec(&[3, 1], vec![1., 2., 3.]);
         assert_eq!(reverse_rows(&x).data(), &[3., 2., 1.]);
+    }
+
+    #[test]
+    fn repeated_calls_reuse_buffers_and_match_fresh_state() {
+        // A warmed-up encoder (buffers already sized from a longer input)
+        // must produce exactly the results of a cold one.
+        for kind in [CellKind::Lstm, CellKind::Gru] {
+            let mut rng = StdRng::seed_from_u64(44);
+            let warm0 = Rnn::new(kind, 3, 4, &mut rng);
+            let mut warm = warm0.clone();
+            let long = sample(9, 3, 45);
+            warm.forward(&long);
+            warm.backward(&[1.0; 4]);
+            warm.wx.g.fill_zero();
+            warm.wh.g.fill_zero();
+            warm.b.g.fill_zero();
+            let mut cold = warm0;
+            let xs = sample(4, 3, 46);
+            let hw = warm.forward(&xs);
+            let hc = cold.forward(&xs);
+            assert_eq!(hw, hc, "{kind:?} forward diverged after buffer reuse");
+            let dw = warm.backward(&[1.0; 4]);
+            let dc = cold.backward(&[1.0; 4]);
+            assert_eq!(dw, dc, "{kind:?} backward diverged after buffer reuse");
+        }
     }
 }

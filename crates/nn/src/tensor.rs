@@ -133,19 +133,7 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
         let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::gemm_acc(&mut out, &self.data, &other.data, m, k, n);
         Tensor::from_vec(&[m, n], out)
     }
 
@@ -154,15 +142,9 @@ impl Tensor {
         assert_eq!(self.shape.len(), 2);
         let (m, k) = (self.shape[0], self.shape[1]);
         assert_eq!(k, v.len());
-        (0..m)
-            .map(|i| {
-                self.data[i * k..(i + 1) * k]
-                    .iter()
-                    .zip(v)
-                    .map(|(a, b)| a * b)
-                    .sum()
-            })
-            .collect()
+        let mut y = vec![0.0; m];
+        crate::kernels::matvec_into(&mut y, &self.data, v, m, k);
+        y
     }
 
     /// Transpose of a 2-D tensor.
@@ -244,6 +226,25 @@ impl Tensor {
         self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
     }
 
+    /// Changes the shape in place, reusing the existing allocation.
+    /// Elements past the old length are zero; elements within it keep
+    /// whatever they held, so callers must fully overwrite (or
+    /// [`fill_zero`](Tensor::fill_zero)) before reading.
+    pub fn resize(&mut self, shape: &[usize]) {
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        let n = shape.iter().product();
+        self.data.resize(n, 0.0);
+    }
+
+    /// Makes `self` a copy of `other`, reusing the existing allocation.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&other.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Reshapes to a new shape with the same element count.
     ///
     /// # Panics
@@ -276,10 +277,21 @@ impl fmt::Display for Tensor {
 
 /// Numerically stable softmax over a slice.
 pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    softmax_into(xs, &mut out);
+    out
+}
+
+/// [`softmax`] writing into a caller-owned buffer (same operation order,
+/// so the results are bit-identical).
+pub fn softmax_into(xs: &[f64], out: &mut Vec<f64>) {
     let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = xs.iter().map(|&x| (x - m).exp()).collect();
-    let s: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / s).collect()
+    out.clear();
+    out.extend(xs.iter().map(|&x| (x - m).exp()));
+    let s: f64 = out.iter().sum();
+    for e in out.iter_mut() {
+        *e /= s;
+    }
 }
 
 /// Stable sigmoid.

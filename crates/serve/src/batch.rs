@@ -7,13 +7,16 @@
 //! (blocking with a poll timeout), opportunistically drains up to
 //! `max_batch - 1` more, snapshots the current model `Arc` once, and scores
 //! the union of all gadget streams in the batch through
-//! [`sevuldet::score_prepared`] — the same function the CLI uses, so
-//! batching cannot change results. Responses travel back to the connection
-//! handler over a per-job channel.
+//! [`sevuldet::score_prepared_mut`] — the same function the CLI uses, so
+//! batching cannot change results. Each worker keeps a private detector
+//! replica keyed on the registry's model version: the replica (and the
+//! kernel workspace inside it) stays warm across batches and is only
+//! re-cloned when a hot-reload bumps the version. Responses travel back to
+//! the connection handler over a per-job channel.
 
 use crate::metrics::Metrics;
 use crate::registry::ModelRegistry;
-use sevuldet::{error_json, prepare_source, score_prepared, PreparedSource};
+use sevuldet::{error_json, prepare_source, score_prepared_mut, Detector, PreparedSource};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -126,6 +129,11 @@ pub fn worker_loop(
     metrics: &Metrics,
     cfg: &WorkerConfig,
 ) {
+    // This worker's warm detector replica, tagged with the model version it
+    // was cloned from. Scoring through `score_prepared_mut` needs `&mut`,
+    // and reusing one replica across batches keeps its scratch buffers
+    // allocated instead of cloning the registry's detector per batch.
+    let mut replica: Option<(u64, Detector)> = None;
     loop {
         // Pop one job (poll so a closed-but-empty queue is noticed), then
         // coalesce whatever else is already waiting, up to max_batch. The
@@ -177,7 +185,19 @@ pub fn worker_loop(
                 }
             }
         }
-        let mut reports = score_prepared(&model.detector, &prepared, cfg.inner_jobs).into_iter();
+        // Refresh the replica only when a reload bumped the version; the
+        // model `Arc` snapshot above pins which generation this batch uses.
+        if replica.as_ref().map(|(v, _)| *v) != Some(model.version) {
+            replica = Some((model.version, model.detector.clone()));
+        }
+        let (_, detector) = replica.as_mut().expect("replica just installed");
+        let forward_started = Instant::now();
+        let mut reports = score_prepared_mut(detector, &prepared, cfg.inner_jobs).into_iter();
+        if !prepared.is_empty() {
+            metrics
+                .forward_duration
+                .observe(forward_started.elapsed().as_secs_f64());
+        }
         for (job, outcome) in batch.into_iter().zip(outcomes) {
             let outcome = outcome.unwrap_or_else(|| {
                 let report = reports.next().expect("one report per prepared job");

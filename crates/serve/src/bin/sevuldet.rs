@@ -11,8 +11,8 @@
 //! ```
 
 use sevuldet::{
-    load_detector, prepare_source, save_detector, score_prepared, top_tokens, Detector, GadgetSpec,
-    Json, ModelKind, PreparedSource, ScanError, ScanReport, TrainConfig,
+    load_detector, prepare_source, save_detector, score_prepared_mut, top_tokens, Detector,
+    GadgetSpec, Json, ModelKind, PreparedSource, ScanError, ScanReport, TrainConfig,
 };
 use sevuldet_analysis::ProgramAnalysis;
 use sevuldet_dataset::{sard, SardConfig};
@@ -238,8 +238,8 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     let as_json = has_flag(args, "--json");
 
     // Load the model once and score every file in a single batched forward
-    // pass — the same `prepare_source`/`score_prepared` path the server's
-    // batch workers use, so CLI and server output cannot drift.
+    // pass — the same `prepare_source`/`score_prepared_mut` path the
+    // server's batch workers use, so CLI and server output cannot drift.
     let model_text =
         std::fs::read_to_string(&model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
     let mut detector = load_detector(&model_text).map_err(|e| e.to_string())?;
@@ -258,7 +258,9 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
             },
         }
     }
-    let mut reports = score_prepared(&detector, &prepared, jobs).into_iter();
+    // The CLI owns its detector, so score on it directly: at jobs = 1 this
+    // skips the per-call model clone entirely (same scores either way).
+    let mut reports = score_prepared_mut(&mut detector, &prepared, jobs).into_iter();
     let outcomes: Vec<FileScan> = outcomes
         .into_iter()
         .map(|o| o.unwrap_or_else(|| FileScan::Scanned(reports.next().expect("report"))))

@@ -86,6 +86,9 @@ pub struct Metrics {
     pub queue_depth: AtomicI64,
     /// Enqueue→scored latency of scan requests, seconds.
     pub scan_latency: Histogram,
+    /// Model-forward time of non-empty batches, seconds (the compute slice
+    /// of `scan_latency`, without queueing or parsing).
+    pub forward_duration: Histogram,
     /// Number of requests coalesced per forward batch.
     pub batch_size: Histogram,
 }
@@ -105,6 +108,7 @@ impl Default for Metrics {
             reloads: AtomicU64::new(0),
             queue_depth: AtomicI64::new(0),
             scan_latency: Histogram::new(LATENCY_BOUNDS),
+            forward_duration: Histogram::new(LATENCY_BOUNDS),
             batch_size: Histogram::new(BATCH_BOUNDS),
         }
     }
@@ -189,10 +193,29 @@ impl Metrics {
             "sevuldet_queue_depth {}",
             self.queue_depth.load(Ordering::Relaxed).max(0)
         );
+        let (ws_hits, ws_misses) = sevuldet::workspace_counters();
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_workspace_acquires_total Kernel workspace buffer acquisitions, by pool outcome (process-wide)."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_workspace_acquires_total counter");
+        let _ = writeln!(
+            w,
+            "sevuldet_workspace_acquires_total{{result=\"hit\"}} {ws_hits}"
+        );
+        let _ = writeln!(
+            w,
+            "sevuldet_workspace_acquires_total{{result=\"miss\"}} {ws_misses}"
+        );
         self.scan_latency.render(
             w,
             "sevuldet_scan_latency_seconds",
             "Enqueue-to-scored latency of scan requests.",
+        );
+        self.forward_duration.render(
+            w,
+            "sevuldet_forward_duration_seconds",
+            "Model-forward time of non-empty scan batches.",
         );
         self.batch_size.render(
             w,
@@ -231,6 +254,7 @@ mod tests {
         m.count_response(200);
         m.count_response(429);
         m.scan_latency.observe(0.02);
+        m.forward_duration.observe(0.004);
         m.batch_size.observe(4.0);
         m.queue_depth.store(3, Ordering::Relaxed);
         m.reloads.store(2, Ordering::Relaxed);
@@ -246,6 +270,10 @@ mod tests {
             "sevuldet_queue_depth 3",
             "sevuldet_scan_latency_seconds_bucket{le=\"0.025\"} 1",
             "sevuldet_scan_latency_seconds_count 1",
+            "sevuldet_forward_duration_seconds_bucket{le=\"0.005\"} 1",
+            "sevuldet_forward_duration_seconds_count 1",
+            "sevuldet_workspace_acquires_total{result=\"hit\"}",
+            "sevuldet_workspace_acquires_total{result=\"miss\"}",
             "sevuldet_batch_size_bucket{le=\"4\"} 1",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");

@@ -8,6 +8,11 @@
 //! statistical machinery: each benchmark is warmed up, then timed over
 //! enough iterations to fill a sampling window, and the mean time per
 //! iteration is printed.
+//!
+//! Like real criterion, passing `--test` on the bench binary's command line
+//! (`cargo bench -- --test`) switches to *test mode*: every routine runs
+//! exactly once, untimed, so CI can verify the benchmarks still execute
+//! without paying for warm-up and measurement windows.
 
 use std::time::{Duration, Instant};
 
@@ -35,6 +40,7 @@ pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -43,6 +49,7 @@ impl Default for Criterion {
             sample_size: 20,
             measurement_time: Duration::from_millis(300),
             warm_up_time: Duration::from_millis(50),
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -75,10 +82,12 @@ impl Criterion {
         let mut b = Bencher {
             warm_up: self.warm_up_time,
             window: self.measurement_time,
+            test_mode: self.test_mode,
             result: None,
         };
         f(&mut b);
         match b.result {
+            Some(_) if self.test_mode => println!("{id:<40} test mode: ran once, ok"),
             Some(r) => println!(
                 "{id:<40} time: {:>12} /iter  ({} iters)",
                 format_ns(r.ns_per_iter),
@@ -124,12 +133,21 @@ struct Measurement {
 pub struct Bencher {
     warm_up: Duration,
     window: Duration,
+    test_mode: bool,
     result: Option<Measurement>,
 }
 
 impl Bencher {
     /// Times `routine` repeatedly and records the mean time per call.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.result = Some(Measurement {
+                ns_per_iter: 0.0,
+                iters: 1,
+            });
+            return;
+        }
         // Warm-up: run until the warm-up window elapses (at least once).
         let start = Instant::now();
         let mut warm_iters: u64 = 0;
@@ -161,6 +179,14 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.result = Some(Measurement {
+                ns_per_iter: 0.0,
+                iters: 1,
+            });
+            return;
+        }
         // Warm-up.
         let mut timed = Duration::ZERO;
         let mut warm_iters: u64 = 0;
@@ -242,6 +268,29 @@ mod tests {
         let mut x = 0u64;
         c.bench_function("noop", |b| b.iter(|| x = x.wrapping_add(1)));
         assert!(x > 0, "routine actually ran");
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_exactly_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut calls = 0u64;
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1, "iter in test mode runs the routine once");
+        let mut batched_calls = 0u64;
+        c.bench_function("once_batched", |b| {
+            b.iter_batched(
+                || 3u64,
+                |v| {
+                    batched_calls += 1;
+                    v * 2
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(batched_calls, 1, "iter_batched in test mode runs once");
     }
 
     #[test]
