@@ -1,0 +1,351 @@
+//! Training checkpoints: crash-safe snapshots of a run's full state —
+//! model parameters, Adam moments, and the epoch/batch cursor — from which
+//! a killed run resumes to a **byte-identical** final model.
+//!
+//! ## Why resume is exact
+//!
+//! Everything the training loop consumes is either (a) re-derived
+//! deterministically from the config and corpus (word2vec table, encoded
+//! ids, pos-weight, the shuffle RNG — whose stream position is simply the
+//! epoch counter, so the resumed loop replays the shuffles of completed
+//! epochs before skipping them), or (b) persisted here in full precision
+//! (`{v:e}` formatting round-trips every finite `f64` exactly, the same
+//! guarantee `save_params` relies on). Per-sample dropout streams are
+//! position-seeded (see [`crate::par::sample_seed`]), not drawn from a
+//! shared stream, so skipping completed batches consumes nothing that later
+//! batches need.
+//!
+//! ## File format
+//!
+//! One file, `checkpoint.svc`, overwritten atomically
+//! ([`crate::integrity::atomic_write`]) and sealed with the CRC footer
+//! ([`crate::integrity::seal`]):
+//!
+//! ```text
+//! sevuldet-checkpoint v1
+//! fingerprint <sha256 of the run's identity>
+//! progress <epoch> <cursor>
+//! adam <t> <n>        ┐ optimizer state
+//! ...                 ┘ (3 lines per tensor)
+//! params <n>          ┐ model parameters
+//! ...                 ┘ (2 lines per param)
+//! sevuldet-footer crc32=........ len=....
+//! ```
+//!
+//! `progress epoch e cursor c` means: epochs `< e` are fully applied, and
+//! within epoch `e` the first `c` positions of that epoch's shuffled order
+//! are already consumed. The fingerprint binds the checkpoint to the run's
+//! hyper-parameters and training set, so resuming with different arguments
+//! is a typed error, not a silently-diverged model.
+
+use crate::config::TrainConfig;
+use crate::integrity::{self, SealError};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Checkpoints successfully written by this process (for `/metrics` and
+/// progress reporting).
+static CHECKPOINTS_WRITTEN: AtomicU64 = AtomicU64::new(0);
+
+/// Number of checkpoints this process has written so far.
+pub fn checkpoints_written() -> u64 {
+    CHECKPOINTS_WRITTEN.load(Ordering::Relaxed)
+}
+
+/// Name of the checkpoint file inside `--checkpoint-dir`.
+pub const CHECKPOINT_FILE: &str = "checkpoint.svc";
+
+const MAGIC: &str = "sevuldet-checkpoint v1";
+
+/// Where and how often the trainer checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Directory holding `checkpoint.svc` (created if missing).
+    pub dir: PathBuf,
+    /// Checkpoint every N optimizer steps; epoch boundaries always
+    /// checkpoint. `0` = epoch boundaries only.
+    pub every: usize,
+    /// Resume from an existing checkpoint when one is present (a missing
+    /// file is a fresh start, not an error).
+    pub resume: bool,
+}
+
+impl CheckpointSpec {
+    /// Path of the checkpoint file this spec reads and writes.
+    pub fn path(&self) -> PathBuf {
+        self.dir.join(CHECKPOINT_FILE)
+    }
+}
+
+/// A parsed checkpoint, ready to be loaded into a model and optimizer.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Identity of the run that wrote it (see [`fingerprint`]).
+    pub fingerprint: String,
+    /// First epoch that still has work.
+    pub epoch: usize,
+    /// Positions of `epoch`'s shuffled order already consumed.
+    pub cursor: usize,
+    /// Serialized Adam state ([`sevuldet_nn::Adam::export_state`]).
+    pub adam: String,
+    /// Serialized parameters ([`sevuldet_nn::save_params`]).
+    pub params: String,
+}
+
+/// Why a checkpoint could not be used.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The bytes are corrupt or structurally invalid (includes CRC
+    /// failures from the sealed footer).
+    Invalid(String),
+    /// The checkpoint belongs to a different run (seed, hyper-parameters,
+    /// or training set changed).
+    Mismatch {
+        /// Fingerprint the current run computes.
+        expected: String,
+        /// Fingerprint stored in the file.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Invalid(msg) => write!(f, "invalid checkpoint: {msg}"),
+            CheckpointError::Mismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint mismatch: run is {expected}, file is {found} — \
+                 it was written by a run with different arguments or data"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<SealError> for CheckpointError {
+    fn from(e: SealError) -> Self {
+        CheckpointError::Invalid(e.to_string())
+    }
+}
+
+/// The identity of a training run: every input that influences the final
+/// parameters. Two runs with equal fingerprints walk identical parameter
+/// trajectories, so resuming across them is sound; anything else must be
+/// rejected.
+pub fn fingerprint(cfg: &TrainConfig, train_idx: &[usize], corpus_len: usize) -> String {
+    let mut id = format!(
+        "seed={} epochs={} batch={} lr={:e} dropout={:e} embed={} w2v={} cnn={} rnnh={} rnns={} \
+         posw={:?} corpus={corpus_len} train={}",
+        cfg.seed,
+        cfg.epochs,
+        cfg.batch,
+        cfg.lr,
+        cfg.dropout,
+        cfg.embed_dim,
+        cfg.w2v_epochs,
+        cfg.cnn_channels,
+        cfg.rnn_hidden,
+        cfg.rnn_steps,
+        cfg.pos_weight,
+        train_idx.len(),
+    );
+    for i in train_idx {
+        id.push_str(&format!(" {i}"));
+    }
+    integrity::sha256_hex(id.as_bytes())
+}
+
+/// Writes a checkpoint atomically (temp file + fsync + rename): a crash at
+/// any instant leaves either the previous checkpoint or the new one, never
+/// a torn file.
+///
+/// # Errors
+///
+/// Any underlying I/O error (the directory is created if missing).
+pub fn save(
+    path: &Path,
+    fp: &str,
+    epoch: usize,
+    cursor: usize,
+    adam: &str,
+    params: &str,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&format!("fingerprint {fp}\n"));
+    out.push_str(&format!("progress {epoch} {cursor}\n"));
+    out.push_str(adam);
+    if !adam.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str(params);
+    let sealed = integrity::seal(out);
+    integrity::atomic_write(path, sealed.as_bytes())?;
+    CHECKPOINTS_WRITTEN.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Loads and verifies a checkpoint file. The caller compares
+/// [`Checkpoint::fingerprint`] against its own (or uses [`load_for`]).
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] when unreadable, [`CheckpointError::Invalid`]
+/// when corrupt (truncated, bit-flipped, or malformed).
+pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let text = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
+    let payload = integrity::unseal(&text)?;
+    let mut lines = payload.lines();
+    if lines.next() != Some(MAGIC) {
+        return Err(CheckpointError::Invalid("bad magic header".into()));
+    }
+    let fp = lines
+        .next()
+        .and_then(|l| l.strip_prefix("fingerprint "))
+        .ok_or_else(|| CheckpointError::Invalid("missing fingerprint".into()))?
+        .to_string();
+    let progress = lines
+        .next()
+        .and_then(|l| l.strip_prefix("progress "))
+        .ok_or_else(|| CheckpointError::Invalid("missing progress".into()))?;
+    let (epoch, cursor) = progress
+        .split_once(' ')
+        .and_then(|(e, c)| Some((e.parse().ok()?, c.parse().ok()?)))
+        .ok_or_else(|| CheckpointError::Invalid(format!("bad progress line `{progress}`")))?;
+    // The Adam block is self-delimiting: its header states the tensor
+    // count, and each tensor is exactly three lines.
+    let adam_head = lines
+        .next()
+        .ok_or_else(|| CheckpointError::Invalid("missing adam state".into()))?;
+    let n_tensors: usize = adam_head
+        .strip_prefix("adam ")
+        .and_then(|rest| rest.split_whitespace().nth(1))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| CheckpointError::Invalid(format!("bad adam header `{adam_head}`")))?;
+    let mut adam = String::from(adam_head);
+    adam.push('\n');
+    for _ in 0..n_tensors * 3 {
+        let l = lines
+            .next()
+            .ok_or_else(|| CheckpointError::Invalid("truncated adam state".into()))?;
+        adam.push_str(l);
+        adam.push('\n');
+    }
+    let params: String = lines.collect::<Vec<_>>().join("\n");
+    if !params.starts_with("params ") {
+        return Err(CheckpointError::Invalid("missing params block".into()));
+    }
+    Ok(Checkpoint {
+        fingerprint: fp,
+        epoch,
+        cursor,
+        adam,
+        params,
+    })
+}
+
+/// [`load`] plus the fingerprint check, mapping a missing file to
+/// `Ok(None)` (fresh start) and a mismatched run to a typed error.
+///
+/// # Errors
+///
+/// Everything [`load`] returns except not-found, plus
+/// [`CheckpointError::Mismatch`].
+pub fn load_for(path: &Path, expected_fp: &str) -> Result<Option<Checkpoint>, CheckpointError> {
+    let ckpt = match load(path) {
+        Ok(c) => c,
+        Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if ckpt.fingerprint != expected_fp {
+        return Err(CheckpointError::Mismatch {
+            expected: expected_fp.to_string(),
+            found: ckpt.fingerprint,
+        });
+    }
+    Ok(Some(ckpt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("svd-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let dir = tmpdir("rt");
+        let path = dir.join(CHECKPOINT_FILE);
+        let adam = "adam 7 1\nmoment 1 2\n1e0 -2.5e-1\n3e0 4e0\n";
+        let params = "params 1\nparam 1 2\n1e0 2e0\n";
+        save(&path, "fp-abc", 3, 17, adam, params).unwrap();
+        let c = load(&path).unwrap();
+        assert_eq!(c.fingerprint, "fp-abc");
+        assert_eq!((c.epoch, c.cursor), (3, 17));
+        assert_eq!(c.adam, adam);
+        assert_eq!(c.params, params.trim_end_matches('\n'));
+        assert!(load_for(&path, "fp-abc").unwrap().is_some());
+        assert!(matches!(
+            load_for(&path, "other-run").unwrap_err(),
+            CheckpointError::Mismatch { .. }
+        ));
+        assert!(load_for(&dir.join("absent.svc"), "fp-abc")
+            .unwrap()
+            .is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join(CHECKPOINT_FILE);
+        let adam = "adam 1 0\n";
+        let params = "params 0\n";
+        save(&path, "fp", 0, 0, adam, params).unwrap();
+        let good = std::fs::read_to_string(&path).unwrap();
+        // Truncation loses the footer.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(matches!(
+            load(&path).unwrap_err(),
+            CheckpointError::Invalid(_)
+        ));
+        // Bit flip fails the CRC.
+        let mut bytes = good.clone().into_bytes();
+        bytes[good.len() / 3] ^= 0x01;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            load(&path).unwrap_err(),
+            CheckpointError::Invalid(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_tracks_run_identity() {
+        let cfg = TrainConfig::quick();
+        let a = fingerprint(&cfg, &[0, 1, 2], 10);
+        assert_eq!(a, fingerprint(&cfg, &[0, 1, 2], 10), "deterministic");
+        let mut cfg2 = cfg.clone();
+        cfg2.seed ^= 1;
+        assert_ne!(a, fingerprint(&cfg2, &[0, 1, 2], 10), "seed matters");
+        assert_ne!(a, fingerprint(&cfg, &[0, 2, 1], 10), "order matters");
+        assert_ne!(a, fingerprint(&cfg, &[0, 1, 2], 11), "corpus matters");
+        // jobs is a runtime knob, not identity: results are bit-identical
+        // across thread counts, so resume across --jobs values is sound.
+        let mut cfg3 = cfg.clone();
+        cfg3.jobs = 4;
+        assert_eq!(a, fingerprint(&cfg3, &[0, 1, 2], 10));
+    }
+}

@@ -32,10 +32,13 @@
 //! println!("vulnerable: {verdict}");
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod corpus;
 pub mod explain;
 pub mod export;
+pub mod faults;
+pub mod integrity;
 pub mod json;
 pub mod metrics;
 pub mod par;
@@ -45,23 +48,30 @@ pub mod scan;
 pub mod train;
 pub mod zoo;
 
+pub use checkpoint::{CheckpointError, CheckpointSpec};
 pub use config::{global_seed, scale_factor, TrainConfig};
 pub use corpus::{
     encode, extract_gadgets, extract_gadgets_jobs, Encoded, GadgetCorpus, GadgetItem,
 };
 pub use explain::{top_tokens, RankedToken};
 pub use export::{from_gadget_file, to_gadget_file};
+pub use integrity::{atomic_write, crc32, sha256_hex};
 pub use json::{Json, JsonError};
 pub use metrics::Confusion;
 pub use par::{
     effective_jobs, parallel_map, parallel_map_with, parallel_map_with_state, sample_seed,
 };
-pub use persist::{load_detector, save_detector, PersistError};
+pub use persist::{
+    load_detector, load_detector_file, save_detector, save_detector_file, DetectorFileError,
+    PersistError,
+};
 pub use pipeline::{cross_validate, run_split, Detector, GadgetSpec};
 pub use scan::{
     error_json, prepare_source, score_prepared, score_prepared_mut, score_source, Finding,
     PreparedGadget, PreparedSource, ScanError, ScanReport,
 };
 pub use sevuldet_nn::workspace_counters;
-pub use train::{evaluate_model, k_folds, stratified_split, subsample, train_model};
+pub use train::{
+    evaluate_model, k_folds, stratified_split, subsample, train_model, train_model_checkpointed,
+};
 pub use zoo::{build_model, AnyModel, ModelKind};

@@ -2,19 +2,71 @@
 //! and configuration, including the decision threshold) round-trips through
 //! a line-oriented text format, so the CLI can train once and scan many
 //! times.
+//!
+//! ## Integrity (format v2)
+//!
+//! [`save_detector`] emits format v2: the v1 payload plus a sealed footer
+//! (see [`crate::integrity`]) carrying the payload length and a CRC-32.
+//! [`load_detector`] verifies the footer before parsing, so truncated or
+//! bit-flipped files are rejected with a typed [`PersistError`] instead of
+//! being deserialized into a silently-wrong model. Legacy v1 files (no
+//! footer) still load — the migration path for models saved before the
+//! footer existed — but any file whose header claims v2 **must** carry a
+//! valid footer.
+//!
+//! [`save_detector_file`] / [`load_detector_file`] add crash-safe atomic
+//! writes on top (temp file + fsync + rename).
 
 use crate::config::TrainConfig;
+use crate::integrity::{self, SealError};
 use crate::pipeline::Detector;
 use crate::zoo::ModelKind;
 use sevuldet_embedding::Vocab;
+use std::path::Path;
 
-/// Error produced when loading a saved detector.
+/// Why a saved detector could not be loaded. Each variant is a distinct
+/// failure class so callers (CLI exit codes, the serve reload endpoint) can
+/// react differently to corruption vs. format drift.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PersistError(pub String);
+pub enum PersistError {
+    /// The file does not start with a sevuldet detector header at all.
+    BadMagic,
+    /// A v2 file with no integrity footer — the tail was truncated away.
+    MissingFooter,
+    /// The integrity footer is present but malformed or inconsistent.
+    BadFooter(String),
+    /// The payload's CRC-32 disagrees with the footer (bit flip/tamper).
+    Checksum {
+        /// Checksum the footer claims.
+        stated: u32,
+        /// Checksum computed over the payload.
+        computed: u32,
+    },
+    /// A structural error in the payload (bad line, bad field, truncation
+    /// inside a legacy v1 file).
+    Format(String),
+    /// The parameters do not fit the architecture the header declares.
+    Model(String),
+}
 
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "detector load error: {}", self.0)
+        match self {
+            PersistError::BadMagic => write!(f, "detector load error: bad magic header"),
+            PersistError::MissingFooter => write!(
+                f,
+                "detector load error: integrity footer missing (truncated file?)"
+            ),
+            PersistError::BadFooter(msg) => {
+                write!(f, "detector load error: bad integrity footer: {msg}")
+            }
+            PersistError::Checksum { stated, computed } => write!(
+                f,
+                "detector load error: checksum mismatch (footer {stated:08x}, payload {computed:08x}) — file is corrupt"
+            ),
+            PersistError::Format(msg) => write!(f, "detector load error: {msg}"),
+            PersistError::Model(msg) => write!(f, "detector load error: {msg}"),
+        }
     }
 }
 
@@ -22,11 +74,42 @@ impl std::error::Error for PersistError {}
 
 impl From<sevuldet_nn::LoadError> for PersistError {
     fn from(e: sevuldet_nn::LoadError) -> Self {
-        PersistError(e.0)
+        PersistError::Model(e.0)
     }
 }
 
-const MAGIC: &str = "sevuldet-detector v1";
+impl From<SealError> for PersistError {
+    fn from(e: SealError) -> Self {
+        match e {
+            SealError::MissingFooter => PersistError::MissingFooter,
+            SealError::Checksum { stated, computed } => PersistError::Checksum { stated, computed },
+            other => PersistError::BadFooter(other.to_string()),
+        }
+    }
+}
+
+/// Loading a detector from disk can fail before the bytes are even parsed.
+#[derive(Debug)]
+pub enum DetectorFileError {
+    /// The file could not be read at all.
+    Io(std::io::Error),
+    /// The bytes were read but are not a valid saved detector.
+    Invalid(PersistError),
+}
+
+impl std::fmt::Display for DetectorFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectorFileError::Io(e) => write!(f, "reading model file: {e}"),
+            DetectorFileError::Invalid(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectorFileError {}
+
+const MAGIC_V1: &str = "sevuldet-detector v1";
+const MAGIC_V2: &str = "sevuldet-detector v2";
 
 fn kind_tag(kind: ModelKind) -> &'static str {
     match kind {
@@ -68,11 +151,11 @@ fn unhex(s: &str) -> Option<String> {
     String::from_utf8(bytes?).ok()
 }
 
-/// Serializes a trained detector.
+/// Serializes a trained detector (format v2: payload + integrity footer).
 pub fn save_detector(detector: &mut Detector) -> String {
     let (kind, cfg, vocab, params_text) = detector.persist_parts();
     let mut out = String::new();
-    out.push_str(MAGIC);
+    out.push_str(MAGIC_V2);
     out.push('\n');
     out.push_str(&format!("kind {}\n", kind_tag(kind)));
     out.push_str(&format!(
@@ -91,35 +174,53 @@ pub fn save_detector(detector: &mut Detector) -> String {
         out.push_str(&format!("{} {count}\n", hex(tok)));
     }
     out.push_str(&params_text);
-    out
+    integrity::seal(out)
 }
 
 /// Restores a detector saved by [`save_detector`].
 ///
+/// v2 input is checksum-verified before parsing; legacy v1 input (no
+/// footer) is parsed structurally, keeping old saved models loadable.
+///
 /// # Errors
 ///
-/// Returns [`PersistError`] on any structural mismatch.
+/// Returns a typed [`PersistError`]: integrity failures for corrupt v2
+/// files, [`PersistError::Format`] for structural mismatches,
+/// [`PersistError::Model`] when parameters do not fit the architecture.
 pub fn load_detector(text: &str) -> Result<Detector, PersistError> {
-    let mut lines = text.lines();
-    if lines.next() != Some(MAGIC) {
-        return Err(PersistError("bad magic header".into()));
+    let payload = if integrity::has_footer(text) {
+        integrity::unseal(text)?
+    } else {
+        // No footer: only the legacy v1 format may omit it. A v2 header
+        // without a footer means the file lost its tail.
+        if text.lines().next() == Some(MAGIC_V2) {
+            return Err(PersistError::MissingFooter);
+        }
+        text
+    };
+    let mut lines = payload.lines();
+    match lines.next() {
+        Some(MAGIC_V1) | Some(MAGIC_V2) => {}
+        _ => return Err(PersistError::BadMagic),
     }
     let kind_line = lines
         .next()
-        .ok_or_else(|| PersistError("missing kind".into()))?;
+        .ok_or_else(|| PersistError::Format("missing kind".into()))?;
     let kind = kind_line
         .strip_prefix("kind ")
         .and_then(kind_from_tag)
-        .ok_or_else(|| PersistError(format!("bad kind line `{kind_line}`")))?;
+        .ok_or_else(|| PersistError::Format(format!("bad kind line `{kind_line}`")))?;
     let cfg_line = lines
         .next()
         .and_then(|l| l.strip_prefix("config "))
-        .ok_or_else(|| PersistError("missing config".into()))?;
+        .ok_or_else(|| PersistError::Format("missing config".into()))?;
     let f: Vec<&str> = cfg_line.split_whitespace().collect();
     if f.len() != 8 {
-        return Err(PersistError(format!("bad config line `{cfg_line}`")));
+        return Err(PersistError::Format(format!(
+            "bad config line `{cfg_line}`"
+        )));
     }
-    let parse_err = |what: &str| PersistError(format!("bad config field {what}"));
+    let parse_err = |what: &str| PersistError::Format(format!("bad config field {what}"));
     let cfg = TrainConfig {
         embed_dim: f[0].parse().map_err(|_| parse_err("embed_dim"))?,
         cnn_channels: f[1].parse().map_err(|_| parse_err("cnn_channels"))?,
@@ -134,23 +235,23 @@ pub fn load_detector(text: &str) -> Result<Detector, PersistError> {
     let vocab_line = lines
         .next()
         .and_then(|l| l.strip_prefix("vocab "))
-        .ok_or_else(|| PersistError("missing vocab".into()))?;
+        .ok_or_else(|| PersistError::Format("missing vocab".into()))?;
     let n: usize = vocab_line
         .parse()
-        .map_err(|_| PersistError(format!("bad vocab count `{vocab_line}`")))?;
+        .map_err(|_| PersistError::Format(format!("bad vocab count `{vocab_line}`")))?;
     let mut entries = Vec::with_capacity(n);
     for _ in 0..n {
         let l = lines
             .next()
-            .ok_or_else(|| PersistError("truncated vocab".into()))?;
+            .ok_or_else(|| PersistError::Format("truncated vocab".into()))?;
         let (tok_hex, count) = l
             .split_once(' ')
-            .ok_or_else(|| PersistError(format!("bad vocab line `{l}`")))?;
-        let tok =
-            unhex(tok_hex).ok_or_else(|| PersistError(format!("bad token hex `{tok_hex}`")))?;
+            .ok_or_else(|| PersistError::Format(format!("bad vocab line `{l}`")))?;
+        let tok = unhex(tok_hex)
+            .ok_or_else(|| PersistError::Format(format!("bad token hex `{tok_hex}`")))?;
         let count: u64 = count
             .parse()
-            .map_err(|_| PersistError(format!("bad count in `{l}`")))?;
+            .map_err(|_| PersistError::Format(format!("bad count in `{l}`")))?;
         entries.push((tok, count));
     }
     let vocab = Vocab::from_entries(entries);
@@ -158,11 +259,50 @@ pub fn load_detector(text: &str) -> Result<Detector, PersistError> {
     Detector::from_persisted(kind, cfg, vocab, &params_text).map_err(PersistError::from)
 }
 
+/// Saves a detector to `path` crash-safely ([`integrity::atomic_write`]):
+/// a crash mid-save leaves the previous file intact, never a torn one.
+///
+/// # Errors
+///
+/// Any underlying I/O error.
+pub fn save_detector_file(detector: &mut Detector, path: &Path) -> std::io::Result<()> {
+    let text = save_detector(detector);
+    integrity::atomic_write(path, text.as_bytes())
+}
+
+/// Loads a detector from `path`, distinguishing I/O failures from corrupt
+/// or invalid content.
+///
+/// # Errors
+///
+/// [`DetectorFileError::Io`] when the file cannot be read,
+/// [`DetectorFileError::Invalid`] when its bytes are rejected.
+pub fn load_detector_file(path: &Path) -> Result<Detector, DetectorFileError> {
+    let text = std::fs::read_to_string(path).map_err(DetectorFileError::Io)?;
+    load_detector(&text).map_err(DetectorFileError::Invalid)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pipeline::GadgetSpec;
     use sevuldet_dataset::{sard, SardConfig};
+
+    fn tiny_detector() -> Detector {
+        let samples = sard::generate(&SardConfig {
+            per_category: 6,
+            ..SardConfig::default()
+        });
+        let corpus = GadgetSpec::path_sensitive().extract(&samples);
+        let cfg = TrainConfig {
+            embed_dim: 10,
+            w2v_epochs: 1,
+            epochs: 2,
+            cnn_channels: 8,
+            ..TrainConfig::quick()
+        };
+        Detector::train(&corpus, ModelKind::SevulDet, &cfg)
+    }
 
     #[test]
     fn detector_roundtrips_with_identical_predictions() {
@@ -202,8 +342,85 @@ mod tests {
 
     #[test]
     fn corrupted_input_is_rejected() {
-        assert!(load_detector("not a model").is_err());
-        assert!(load_detector(&format!("{MAGIC}\nkind unknown\n")).is_err());
-        assert!(load_detector(&format!("{MAGIC}\nkind sevuldet\nconfig 1 2\n")).is_err());
+        assert_eq!(
+            load_detector("not a model").unwrap_err(),
+            PersistError::BadMagic
+        );
+        assert!(matches!(
+            load_detector(&format!("{MAGIC_V1}\nkind unknown\n")).unwrap_err(),
+            PersistError::Format(_)
+        ));
+        assert!(matches!(
+            load_detector(&format!("{MAGIC_V1}\nkind sevuldet\nconfig 1 2\n")).unwrap_err(),
+            PersistError::Format(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_v2_file_is_rejected_with_typed_error() {
+        let saved = save_detector(&mut tiny_detector());
+        // Truncating anywhere loses the footer: MissingFooter, not garbage.
+        for frac in [0.2, 0.5, 0.9] {
+            let cut = &saved[..(saved.len() as f64 * frac) as usize];
+            assert_eq!(
+                load_detector(cut).unwrap_err(),
+                PersistError::MissingFooter,
+                "truncated at {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitflipped_v2_file_is_rejected_with_checksum_error() {
+        let saved = save_detector(&mut tiny_detector());
+        let mut bytes = saved.clone().into_bytes();
+        // Flip a bit in the middle of the payload (an ASCII digit of some
+        // weight), keeping the text valid UTF-8.
+        let i = bytes.len() / 2;
+        bytes[i] ^= 0x01;
+        let flipped = String::from_utf8(bytes).expect("still UTF-8");
+        if flipped == saved {
+            panic!("flip was a no-op");
+        }
+        assert!(matches!(
+            load_detector(&flipped).unwrap_err(),
+            PersistError::Checksum { .. }
+        ));
+    }
+
+    #[test]
+    fn legacy_v1_file_without_footer_still_loads() {
+        let mut det = tiny_detector();
+        let v2 = save_detector(&mut det);
+        let payload = integrity::unseal(&v2).expect("sealed");
+        // Rewrite the header to v1 and drop the footer — exactly what a
+        // pre-footer save looked like.
+        let legacy = payload.replacen(MAGIC_V2, MAGIC_V1, 1);
+        let mut restored = load_detector(&legacy).expect("legacy load");
+        let tokens = vec!["strcpy".to_string()];
+        assert!((det.predict(&tokens) - restored.predict(&tokens)).abs() < 1e-12);
+        // But a v2 header with its footer stripped is a truncation error.
+        assert_eq!(
+            load_detector(payload).unwrap_err(),
+            PersistError::MissingFooter
+        );
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_and_typed() {
+        let dir = std::env::temp_dir().join(format!("svd-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.svd");
+        let mut det = tiny_detector();
+        save_detector_file(&mut det, &path).expect("save");
+        let mut restored = load_detector_file(&path).expect("load");
+        let tokens = vec!["strcpy".to_string()];
+        assert!((det.predict(&tokens) - restored.predict(&tokens)).abs() < 1e-12);
+        // Missing file: Io, not Invalid.
+        assert!(matches!(
+            load_detector_file(&dir.join("nope.svd")).unwrap_err(),
+            DetectorFileError::Io(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

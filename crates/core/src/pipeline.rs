@@ -129,17 +129,38 @@ impl std::fmt::Debug for Detector {
 impl Detector {
     /// Trains a detector of the given kind on an entire gadget corpus.
     pub fn train(corpus: &GadgetCorpus, model_kind: ModelKind, cfg: &TrainConfig) -> Detector {
+        Self::train_with_checkpoints(corpus, model_kind, cfg, None)
+            .expect("training without checkpoints cannot fail")
+    }
+
+    /// [`Detector::train`] with crash-safe checkpointing (see
+    /// [`crate::train::train_model_checkpointed`]). The word2vec embedding
+    /// and corpus encoding are deterministic functions of the config and
+    /// corpus, so a resumed run re-derives them instead of persisting them
+    /// — only the network parameters, optimizer moments, and cursor live in
+    /// the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint I/O failures, corrupt checkpoints, and fingerprint
+    /// mismatches. `None` never fails.
+    pub fn train_with_checkpoints(
+        corpus: &GadgetCorpus,
+        model_kind: ModelKind,
+        cfg: &TrainConfig,
+        ckpt: Option<&crate::checkpoint::CheckpointSpec>,
+    ) -> Result<Detector, crate::checkpoint::CheckpointError> {
         let encoded = encode(corpus, cfg);
         let mut model = build_model(model_kind, encoded.table.clone(), cfg);
         let all: Vec<usize> = (0..corpus.len()).collect();
-        train_model(&mut model, corpus, &encoded, &all, cfg);
-        Detector {
+        crate::train::train_model_checkpointed(&mut model, corpus, &encoded, &all, cfg, ckpt)?;
+        Ok(Detector {
             model,
             kind: model_kind,
             vocab: encoded.vocab,
             cfg: cfg.clone(),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xdec0),
-        }
+        })
     }
 
     /// Decomposes the detector for persistence: `(kind, config, vocab,

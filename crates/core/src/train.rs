@@ -15,14 +15,16 @@
 //! The `jobs = 1` path runs through the same extract-and-merge code, which
 //! is what makes the equivalence trivial rather than approximate.
 
+use crate::checkpoint::{self, CheckpointError, CheckpointSpec};
 use crate::config::TrainConfig;
 use crate::corpus::{Encoded, GadgetCorpus};
+use crate::faults;
 use crate::metrics::Confusion;
 use crate::par::{parallel_map_with_state, sample_seed};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use sevuldet_nn::{bce_with_logits_weighted, Adam, SequenceClassifier};
+use sevuldet_nn::{bce_with_logits_weighted, save_params, Adam, SequenceClassifier};
 
 /// Trains a model on the items selected by `train_idx`.
 ///
@@ -44,6 +46,37 @@ pub fn train_model<M>(
 ) where
     M: SequenceClassifier + Clone + Send + Sync,
 {
+    train_model_checkpointed(model, corpus, encoded, train_idx, cfg, None)
+        .expect("training without checkpoints cannot fail");
+}
+
+/// [`train_model`] with optional crash-safe checkpointing.
+///
+/// With a [`CheckpointSpec`], the run's state (parameters, Adam moments,
+/// epoch/batch cursor) is snapshotted to `<dir>/checkpoint.svc` — atomically
+/// and checksummed — every `spec.every` optimizer steps and at every epoch
+/// boundary. With `spec.resume`, an existing checkpoint of the *same run*
+/// (verified by fingerprint) is loaded and training continues from its
+/// cursor; because every random stream is either position-seeded or
+/// replayed (see [`crate::checkpoint`]), the resumed run's final parameters
+/// are bit-identical to an uninterrupted run's, for every `cfg.jobs`.
+///
+/// # Errors
+///
+/// Checkpoint I/O failures, corrupt checkpoint files, and fingerprint
+/// mismatches (resuming with different arguments or data). `None` never
+/// fails.
+pub fn train_model_checkpointed<M>(
+    model: &mut M,
+    corpus: &GadgetCorpus,
+    encoded: &Encoded,
+    train_idx: &[usize],
+    cfg: &TrainConfig,
+    spec: Option<&CheckpointSpec>,
+) -> Result<(), CheckpointError>
+where
+    M: SequenceClassifier + Clone + Send + Sync,
+{
     let mut shuffle_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5151);
     let mut opt = Adam::new(cfg.lr);
     let pos = train_idx.iter().filter(|&&i| corpus.items[i].label).count();
@@ -52,10 +85,61 @@ pub fn train_model<M>(
         .pos_weight
         .unwrap_or_else(|| ((neg.max(1) as f64) / (pos.max(1) as f64)).clamp(1.0, 10.0));
 
+    let fp = spec.map(|_| checkpoint::fingerprint(cfg, train_idx, corpus.len()));
+    let (mut start_epoch, mut start_cursor) = (0usize, 0usize);
+    if let (Some(spec), Some(fp)) = (spec, fp.as_deref()) {
+        if spec.resume {
+            if let Some(ckpt) = checkpoint::load_for(&spec.path(), fp)? {
+                sevuldet_nn::load_params(&mut model.params_mut(), &ckpt.params)
+                    .map_err(|e| CheckpointError::Invalid(e.0))?;
+                opt.import_state(&ckpt.adam)
+                    .map_err(|e| CheckpointError::Invalid(e.0))?;
+                start_epoch = ckpt.epoch;
+                start_cursor = ckpt.cursor;
+            }
+        }
+    }
+    let save_ckpt = |model: &mut M, opt: &Adam, epoch: usize, cursor: usize| {
+        let (Some(spec), Some(fp)) = (spec, fp.as_deref()) else {
+            return Ok(());
+        };
+        let params: Vec<&sevuldet_nn::Param> =
+            model.params_mut().into_iter().map(|p| &*p).collect();
+        let params_text = save_params(&params);
+        checkpoint::save(
+            &spec.path(),
+            fp,
+            epoch,
+            cursor,
+            &opt.export_state(),
+            &params_text,
+        )
+        .map_err(CheckpointError::Io)
+    };
+
+    let mut steps = 0usize;
     let mut order: Vec<usize> = train_idx.to_vec();
     for epoch in 0..cfg.epochs {
+        // Shuffle even the epochs a resume skips: the shuffle RNG's stream
+        // position must equal the epoch counter for the resumed order to
+        // match the uninterrupted run's.
         order.shuffle(&mut shuffle_rng);
-        let mut start = 0usize;
+        if epoch < start_epoch {
+            continue;
+        }
+        let mut start = if epoch == start_epoch {
+            start_cursor
+        } else {
+            0
+        };
+        // A stale cursor beyond this epoch's length would silently skip an
+        // epoch's tail; the fingerprint should prevent it, but check anyway.
+        if start > order.len() {
+            return Err(CheckpointError::Invalid(format!(
+                "cursor {start} beyond epoch length {}",
+                order.len()
+            )));
+        }
         while start < order.len() {
             let end = (start + cfg.batch).min(order.len());
             // (position in epoch order, corpus index) — the position keys
@@ -80,8 +164,24 @@ pub fn train_model<M>(
             }
             opt.step(&mut model.params_mut());
             start = end;
+            steps += 1;
+            // The kill point sits *before* the checkpoint save: dying here
+            // loses this batch's snapshot and the resumed run must replay
+            // it from the previous checkpoint — the harder invariant.
+            faults::hit("batch_boundary");
+            if let Some(spec) = spec {
+                if spec.every > 0 && steps.is_multiple_of(spec.every) && start < order.len() {
+                    save_ckpt(model, &opt, epoch, start)?;
+                }
+            }
+        }
+        faults::hit("epoch_boundary");
+        // Epoch-end checkpoint: next run starts the following epoch clean.
+        if epoch + 1 < cfg.epochs {
+            save_ckpt(model, &opt, epoch + 1, 0)?;
         }
     }
+    Ok(())
 }
 
 /// Evaluates a model on the items selected by `test_idx`, thresholding the
@@ -190,7 +290,10 @@ pub fn k_folds(idx: &[usize], k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::corpus::GadgetItem;
+    use crate::corpus::{encode, GadgetItem};
+    use crate::zoo::{build_model, ModelKind};
+    use std::path::PathBuf;
+
     use sevuldet_dataset::Origin;
     use sevuldet_gadget::Category;
 
@@ -206,6 +309,133 @@ mod tests {
             })
             .collect();
         GadgetCorpus { items }
+    }
+
+    fn varied_corpus(n: usize) -> GadgetCorpus {
+        let words = ["strcpy", "memcpy", "buf", "len", "if", "call"];
+        let items = (0..n)
+            .map(|i| GadgetItem {
+                tokens: (0..4 + i % 5)
+                    .map(|j| words[(i * 3 + j) % words.len()].to_string())
+                    .collect(),
+                label: i % 3 == 0,
+                category: Category::Fc,
+                program_id: format!("p{i}"),
+                key_line: 1,
+                origin: Origin::SardSim,
+            })
+            .collect();
+        GadgetCorpus { items }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("svd-train-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn params_text<M: SequenceClassifier>(model: &mut M) -> String {
+        let params: Vec<&sevuldet_nn::Param> =
+            model.params_mut().into_iter().map(|p| &*p).collect();
+        save_params(&params)
+    }
+
+    /// Resuming from a checkpoint — mid-epoch or at an epoch boundary, at
+    /// any `jobs` — finishes with parameters bit-identical to the
+    /// uninterrupted run. A full checkpointed run conveniently leaves its
+    /// *last* snapshot on disk (the final batch is never followed by a
+    /// save), which is exactly the state a killed run would resume from.
+    #[test]
+    fn checkpointed_resume_is_bit_identical() {
+        let corpus = varied_corpus(24);
+        let cfg = TrainConfig {
+            embed_dim: 8,
+            w2v_epochs: 1,
+            epochs: 3,
+            batch: 4,
+            cnn_channels: 6,
+            rnn_hidden: 6,
+            rnn_steps: 20,
+            ..TrainConfig::quick()
+        };
+        let encoded = encode(&corpus, &cfg);
+        let idx: Vec<usize> = (0..corpus.len()).collect();
+
+        let mut reference = build_model(ModelKind::SevulDet, encoded.table.clone(), &cfg);
+        train_model(&mut reference, &corpus, &encoded, &idx, &cfg);
+        let want = params_text(&mut reference);
+
+        // `every` 1 leaves a mid-epoch snapshot; 0 leaves an epoch-boundary
+        // one. Resume each at a different jobs count than it was written at.
+        for (every, resume_jobs) in [(1usize, 2usize), (0, 1)] {
+            let spec = CheckpointSpec {
+                dir: tmpdir(&format!("resume-{every}")),
+                every,
+                resume: true,
+            };
+            let mut first = build_model(ModelKind::SevulDet, encoded.table.clone(), &cfg);
+            train_model_checkpointed(&mut first, &corpus, &encoded, &idx, &cfg, Some(&spec))
+                .unwrap();
+            assert_eq!(params_text(&mut first), want, "checkpointing changed math");
+            let ckpt = checkpoint::load(&spec.path()).unwrap();
+            assert!(
+                ckpt.epoch < cfg.epochs,
+                "a resumable snapshot must precede the end"
+            );
+
+            let cfg2 = TrainConfig {
+                jobs: resume_jobs,
+                ..cfg.clone()
+            };
+            let mut resumed = build_model(ModelKind::SevulDet, encoded.table.clone(), &cfg2);
+            train_model_checkpointed(&mut resumed, &corpus, &encoded, &idx, &cfg2, Some(&spec))
+                .unwrap();
+            assert_eq!(
+                params_text(&mut resumed),
+                want,
+                "resume from (epoch {}, cursor {}) at jobs {resume_jobs} diverged",
+                ckpt.epoch,
+                ckpt.cursor
+            );
+            std::fs::remove_dir_all(&spec.dir).ok();
+        }
+    }
+
+    /// A checkpoint from a run with different arguments is rejected, not
+    /// silently resumed into a diverged model.
+    #[test]
+    fn resume_with_changed_args_is_rejected() {
+        let corpus = varied_corpus(12);
+        let cfg = TrainConfig {
+            embed_dim: 8,
+            w2v_epochs: 1,
+            epochs: 2,
+            batch: 4,
+            cnn_channels: 6,
+            rnn_hidden: 6,
+            rnn_steps: 20,
+            ..TrainConfig::quick()
+        };
+        let encoded = encode(&corpus, &cfg);
+        let idx: Vec<usize> = (0..corpus.len()).collect();
+        let spec = CheckpointSpec {
+            dir: tmpdir("mismatch"),
+            every: 1,
+            resume: true,
+        };
+        let mut m = build_model(ModelKind::SevulDet, encoded.table.clone(), &cfg);
+        train_model_checkpointed(&mut m, &corpus, &encoded, &idx, &cfg, Some(&spec)).unwrap();
+
+        let cfg2 = TrainConfig {
+            seed: cfg.seed ^ 7,
+            ..cfg.clone()
+        };
+        let mut m2 = build_model(ModelKind::SevulDet, encoded.table.clone(), &cfg2);
+        let err = train_model_checkpointed(&mut m2, &corpus, &encoded, &idx, &cfg2, Some(&spec))
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err}");
+        std::fs::remove_dir_all(&spec.dir).ok();
     }
 
     #[test]

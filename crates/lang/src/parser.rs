@@ -30,10 +30,19 @@ pub fn parse(src: &str) -> ParseResult<Program> {
     Parser::new(tokens).program()
 }
 
+/// Hard cap on parser recursion (statement nesting + expression nesting
+/// combined). Recursive descent uses the call stack, so pathological inputs
+/// — thousands of `{`, `(`, or unary operators — would otherwise overflow
+/// it and abort the process instead of returning a parse error. 300 keeps
+/// 200-deep real-world expressions parseable (pinned by the grammar suite)
+/// with ample stack margin on 2 MiB worker threads.
+const MAX_DEPTH: usize = 300;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     next_stmt_id: u32,
+    depth: usize,
 }
 
 impl Parser {
@@ -42,7 +51,22 @@ impl Parser {
             tokens,
             pos: 0,
             next_stmt_id: 0,
+            depth: 0,
         }
+    }
+
+    /// Bumps the recursion depth, failing with a parse error (not a stack
+    /// overflow) past [`MAX_DEPTH`]. Paired with a manual decrement in the
+    /// guarded entry points.
+    fn enter(&mut self) -> ParseResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(ParseError::new(
+                format!("nesting too deep (limit {MAX_DEPTH})"),
+                self.peek().span,
+            ));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> &Token {
@@ -364,6 +388,13 @@ impl Parser {
     /// Parses a statement; single non-block bodies of control statements are
     /// wrapped into one-statement blocks by `body_block`.
     fn stmt(&mut self) -> ParseResult<Stmt> {
+        self.enter()?;
+        let result = self.stmt_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn stmt_inner(&mut self) -> ParseResult<Stmt> {
         let id = self.fresh_stmt_id();
         let start = self.peek().span;
         let kind_span: (StmtKind, Span) = match &self.peek().kind {
@@ -613,6 +644,13 @@ impl Parser {
     }
 
     fn assignment_expr(&mut self) -> ParseResult<Expr> {
+        self.enter()?;
+        let result = self.assignment_expr_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn assignment_expr_inner(&mut self) -> ParseResult<Expr> {
         let lhs = self.ternary_expr()?;
         let op = match &self.peek().kind {
             TokenKind::Punct(Punct::Eq) => Some(AssignOp::Assign),
@@ -709,6 +747,10 @@ impl Parser {
         Ok(lhs)
     }
 
+    // Charges the depth guard only on actual self-recursion (a unary
+    // operator chain like `!!!!x`); the pass-through to `postfix_expr` is
+    // free so a parenthesized expression costs one depth unit per level
+    // (in `assignment_expr`), not two.
     fn unary_expr(&mut self) -> ParseResult<Expr> {
         let start = self.peek().span;
         let op = match &self.peek().kind {
@@ -722,7 +764,10 @@ impl Parser {
         };
         if let Some(op) = op {
             self.bump();
-            let expr = self.unary_expr()?;
+            self.enter()?;
+            let expr = self.unary_expr();
+            self.depth -= 1;
+            let expr = expr?;
             let span = start.merge(expr.span);
             return Ok(Expr {
                 kind: ExprKind::Unary {
@@ -735,7 +780,10 @@ impl Parser {
         if self.peek().is_punct(Punct::PlusPlus) || self.peek().is_punct(Punct::MinusMinus) {
             let inc = self.peek().is_punct(Punct::PlusPlus);
             self.bump();
-            let expr = self.unary_expr()?;
+            self.enter()?;
+            let expr = self.unary_expr();
+            self.depth -= 1;
+            let expr = expr?;
             let span = start.merge(expr.span);
             return Ok(Expr {
                 kind: ExprKind::PreIncDec {
@@ -943,6 +991,40 @@ fn const_eval(e: &Expr) -> Option<i64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        // Each case recurses through a different guarded entry point:
+        // blocks through stmt(), parens through assignment_expr(), unary
+        // chains through unary_expr(). 10_000 levels would overflow the
+        // stack without the depth cap.
+        let blocks = format!(
+            "void f() {{ {} {} }}",
+            "{".repeat(10_000),
+            "}".repeat(10_000)
+        );
+        let parens = format!(
+            "int g() {{ return {}1{}; }}",
+            "(".repeat(10_000),
+            ")".repeat(10_000)
+        );
+        let unary = format!("int h(int x) {{ return {}x; }}", "!".repeat(10_000));
+        for src in [blocks, parens, unary] {
+            let err = parse(&src).expect_err("deep nesting must be rejected");
+            assert!(
+                err.message.contains("nesting too deep"),
+                "unexpected error: {}",
+                err.message
+            );
+        }
+        // Realistic nesting stays well inside the limit.
+        let ok = format!(
+            "void k() {{ {} x = 1; {} }}",
+            "{".repeat(50),
+            "}".repeat(50)
+        );
+        parse(&ok).expect("moderate nesting parses");
+    }
 
     #[test]
     fn parses_function_with_params() {

@@ -15,8 +15,12 @@
 //! the connection handler over a per-job channel.
 
 use crate::metrics::Metrics;
-use crate::registry::ModelRegistry;
-use sevuldet::{error_json, prepare_source, score_prepared_mut, Detector, PreparedSource};
+use crate::registry::{LoadedModel, ModelRegistry};
+use sevuldet::faults;
+use sevuldet::{
+    error_json, prepare_source, score_prepared_mut, Detector, PreparedSource, ScanReport,
+};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -46,6 +50,9 @@ pub enum JobOutcome {
     ParseError(String),
     /// The deadline expired while the job was queued (status 504).
     DeadlineExceeded,
+    /// Scoring this request panicked even in isolation — a poison input
+    /// (status 500). Other requests in the same batch are unaffected.
+    Panicked,
 }
 
 /// Why a submission was not accepted.
@@ -169,6 +176,7 @@ pub fn worker_loop(
         let now = Instant::now();
         let mut outcomes: Vec<Option<JobOutcome>> = Vec::with_capacity(batch.len());
         let mut prepared: Vec<PreparedSource> = Vec::new();
+        let mut prepared_names: Vec<String> = Vec::new();
         for job in &batch {
             if now > job.deadline {
                 metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
@@ -177,6 +185,7 @@ pub fn worker_loop(
                 match prepare_source(&job.source, 1) {
                     Ok(p) => {
                         prepared.push(p);
+                        prepared_names.push(job.name.clone());
                         outcomes.push(None); // filled from the scored batch
                     }
                     Err(e) => outcomes.push(Some(JobOutcome::ParseError(
@@ -185,23 +194,27 @@ pub fn worker_loop(
                 }
             }
         }
-        // Refresh the replica only when a reload bumped the version; the
-        // model `Arc` snapshot above pins which generation this batch uses.
-        if replica.as_ref().map(|(v, _)| *v) != Some(model.version) {
-            replica = Some((model.version, model.detector.clone()));
-        }
-        let (_, detector) = replica.as_mut().expect("replica just installed");
         let forward_started = Instant::now();
-        let mut reports = score_prepared_mut(detector, &prepared, cfg.inner_jobs).into_iter();
+        let scored = score_batch_isolated(
+            &mut replica,
+            &model,
+            &prepared,
+            &prepared_names,
+            cfg.inner_jobs,
+            metrics,
+        );
         if !prepared.is_empty() {
             metrics
                 .forward_duration
                 .observe(forward_started.elapsed().as_secs_f64());
         }
+        let mut reports = scored.into_iter();
         for (job, outcome) in batch.into_iter().zip(outcomes) {
             let outcome = outcome.unwrap_or_else(|| {
-                let report = reports.next().expect("one report per prepared job");
-                JobOutcome::Report(report.to_json(&job.name).to_string())
+                match reports.next().expect("one slot per prepared job") {
+                    Some(report) => JobOutcome::Report(report.to_json(&job.name).to_string()),
+                    None => JobOutcome::Panicked,
+                }
             });
             if matches!(outcome, JobOutcome::Report(_) | JobOutcome::ParseError(_)) {
                 metrics
@@ -211,6 +224,76 @@ pub fn worker_loop(
             // A handler that gave up (client timeout) just drops its
             // receiver; that is not a worker error.
             let _ = job.resp.send(outcome);
+        }
+    }
+}
+
+/// Scores a prepared batch with panic isolation: the forward pass runs
+/// under `catch_unwind`, and when it panics the batch is bisected and each
+/// half retried, recursively, until the poison request is cornered alone —
+/// it gets `None` (answered 500 upstream); every other request still gets
+/// its report. Because [`score_prepared_mut`] is batching-invariant (pinned
+/// by the serve integration tests), the surviving requests' reports are
+/// byte-identical to what the unsplit batch would have produced.
+///
+/// The worker's warm replica may be torn mid-forward by a panic, so it is
+/// dropped and re-cloned from the batch's pinned model `Arc` before any
+/// retry. `worker_panics` counts every caught panic (so one poison request
+/// in a batch of N bumps it ~log2(N) times as the bisection corners it).
+fn score_batch_isolated(
+    replica: &mut Option<(u64, Detector)>,
+    model: &Arc<LoadedModel>,
+    prepared: &[PreparedSource],
+    names: &[String],
+    inner_jobs: usize,
+    metrics: &Metrics,
+) -> Vec<Option<ScanReport>> {
+    if prepared.is_empty() {
+        return Vec::new();
+    }
+    // Refresh the replica only when missing (first batch, or dropped after
+    // a panic) or when a reload bumped the version; the model `Arc`
+    // snapshot pins which generation this whole batch uses.
+    if replica.as_ref().map(|(v, _)| *v) != Some(model.version) {
+        *replica = Some((model.version, model.detector.clone()));
+    }
+    let result = {
+        let (_, detector) = replica.as_mut().expect("replica just installed");
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            // Test hook: `worker_forward=panic@NAME` simulates a poison
+            // request without needing a real model-crashing input.
+            faults::hit_hint("worker_forward", &names.join("\n"));
+            score_prepared_mut(detector, prepared, inner_jobs)
+        }))
+    };
+    match result {
+        Ok(reports) => reports.into_iter().map(Some).collect(),
+        Err(_) => {
+            metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+            // The replica was mid-forward when the panic unwound; its
+            // internal scratch state is suspect, so rebuild before retrying.
+            *replica = None;
+            if prepared.len() == 1 {
+                return vec![None];
+            }
+            let mid = prepared.len() / 2;
+            let mut out = score_batch_isolated(
+                replica,
+                model,
+                &prepared[..mid],
+                &names[..mid],
+                inner_jobs,
+                metrics,
+            );
+            out.extend(score_batch_isolated(
+                replica,
+                model,
+                &prepared[mid..],
+                &names[mid..],
+                inner_jobs,
+                metrics,
+            ));
+            out
         }
     }
 }

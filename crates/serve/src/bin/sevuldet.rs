@@ -4,22 +4,106 @@
 //!
 //! ```text
 //! sevuldet train --out model.svd [--per-category 60] [--epochs 24] [--seed 42] [--jobs N]
+//!                [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //! sevuldet scan <file.c> [<file2.c> ...] --model model.svd [--top 5] [--jobs N] [--json]
 //! sevuldet serve --model model.svd [--addr 127.0.0.1:8080] [--workers N] [--max-batch N]
 //!                [--queue-cap N] [--deadline-ms N] [--jobs N]
 //! sevuldet gadgets <file.c> [--classic]
 //! ```
+//!
+//! ## Exit codes
+//!
+//! Failure classes map to distinct process exit codes so supervisors and
+//! scripts can react without parsing stderr: `0` success, `1` scan findings
+//! failed / generic failure, `2` usage (bad flags or arguments), `3` I/O
+//! (unreadable or unwritable files), `4` corrupt or mismatched data (failed
+//! checksum, bad model file, checkpoint from a different run), `5` network
+//! bind failure.
 
+use sevuldet::checkpoint::CheckpointSpec;
 use sevuldet::{
-    load_detector, prepare_source, save_detector, score_prepared_mut, top_tokens, Detector,
-    GadgetSpec, Json, ModelKind, PreparedSource, ScanError, ScanReport, TrainConfig,
+    load_detector_file, prepare_source, save_detector_file, score_prepared_mut, top_tokens,
+    CheckpointError, Detector, DetectorFileError, GadgetSpec, Json, ModelKind, PreparedSource,
+    ScanError, ScanReport, TrainConfig,
 };
 use sevuldet_analysis::ProgramAnalysis;
 use sevuldet_dataset::{sard, SardConfig};
 use sevuldet_gadget::{build_gadget, find_special_tokens, GadgetKind};
-use sevuldet_serve::{registry::ModelRegistry, server, signal, ServeConfig};
+use sevuldet_serve::{
+    registry::{ModelRegistry, RegistryError},
+    server, signal, ServeConfig,
+};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// A CLI failure, classified for its exit code.
+enum CliError {
+    /// Bad flags or arguments (exit 2).
+    Usage(String),
+    /// File I/O failure (exit 3).
+    Io(String),
+    /// Corrupt or mismatched data: failed checksum, invalid model or
+    /// checkpoint, wrong-run resume (exit 4).
+    Corrupt(String),
+    /// Could not bind the serve address (exit 5).
+    Bind(String),
+    /// Everything else, e.g. some scanned files failed (exit 1).
+    Other(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Other(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Corrupt(_) => 4,
+            CliError::Bind(_) => 5,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m)
+            | CliError::Io(m)
+            | CliError::Corrupt(m)
+            | CliError::Bind(m)
+            | CliError::Other(m) => m,
+        }
+    }
+}
+
+impl From<DetectorFileError> for CliError {
+    fn from(e: DetectorFileError) -> Self {
+        match e {
+            DetectorFileError::Io(_) => CliError::Io(e.to_string()),
+            DetectorFileError::Invalid(_) => CliError::Corrupt(e.to_string()),
+        }
+    }
+}
+
+impl From<CheckpointError> for CliError {
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            CheckpointError::Io(_) => CliError::Io(e.to_string()),
+            CheckpointError::Invalid(_) | CheckpointError::Mismatch { .. } => {
+                CliError::Corrupt(e.to_string())
+            }
+        }
+    }
+}
+
+impl From<RegistryError> for CliError {
+    fn from(e: RegistryError) -> Self {
+        match e {
+            RegistryError::Io(_) => CliError::Io(e.to_string()),
+            RegistryError::Invalid(_) | RegistryError::SmokeTest(_) => {
+                CliError::Corrupt(e.to_string())
+            }
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,7 +115,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage:");
             eprintln!(
-                "  sevuldet train --out <model> [--per-category N] [--epochs N] [--seed N] [--jobs N]"
+                "  sevuldet train --out <model> [--per-category N] [--epochs N] [--seed N] [--jobs N] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]"
             );
             eprintln!(
                 "  sevuldet scan <file.c> [<file2.c> ...] --model <model> [--top N] [--jobs N] [--json]"
@@ -46,8 +130,8 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -118,6 +202,18 @@ const FLAGS: &[FlagSpec] = &[
         name: "--deadline-ms",
         takes_value: true,
     },
+    FlagSpec {
+        name: "--checkpoint-dir",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--checkpoint-every",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--resume",
+        takes_value: false,
+    },
 ];
 
 fn spec(name: &str) -> Option<&'static FlagSpec> {
@@ -184,13 +280,30 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
     }
 }
 
-fn cmd_train(args: &[String]) -> Result<(), String> {
-    check_args(args)?;
-    let out = flag(args, "--out").ok_or("train needs --out <path>")?;
-    let per_category: usize = parse_flag(args, "--per-category", 60)?;
-    let seed: u64 = parse_flag(args, "--seed", 42)?;
-    let epochs: usize = parse_flag(args, "--epochs", 24)?;
-    let jobs: usize = parse_flag(args, "--jobs", 1)?;
+fn cmd_train(args: &[String]) -> Result<(), CliError> {
+    check_args(args).map_err(CliError::Usage)?;
+    let out =
+        flag(args, "--out").ok_or_else(|| CliError::Usage("train needs --out <path>".into()))?;
+    let per_category: usize = parse_flag(args, "--per-category", 60).map_err(CliError::Usage)?;
+    let seed: u64 = parse_flag(args, "--seed", 42).map_err(CliError::Usage)?;
+    let epochs: usize = parse_flag(args, "--epochs", 24).map_err(CliError::Usage)?;
+    let jobs: usize = parse_flag(args, "--jobs", 1).map_err(CliError::Usage)?;
+    let checkpoint_every: usize =
+        parse_flag(args, "--checkpoint-every", 0).map_err(CliError::Usage)?;
+    let resume = has_flag(args, "--resume");
+    let ckpt = match flag(args, "--checkpoint-dir") {
+        Some(dir) => Some(CheckpointSpec {
+            dir: PathBuf::from(dir),
+            every: checkpoint_every,
+            resume,
+        }),
+        None if resume || checkpoint_every > 0 => {
+            return Err(CliError::Usage(
+                "--resume/--checkpoint-every need --checkpoint-dir <dir>".into(),
+            ))
+        }
+        None => None,
+    };
 
     let samples = sard::generate(&SardConfig {
         per_category,
@@ -212,9 +325,10 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         jobs,
         ..TrainConfig::quick()
     };
-    let mut detector = Detector::train(&corpus, ModelKind::SevulDet, &cfg);
-    let text = save_detector(&mut detector);
-    std::fs::write(&out, text).map_err(|e| format!("writing {out}: {e}"))?;
+    let mut detector =
+        Detector::train_with_checkpoints(&corpus, ModelKind::SevulDet, &cfg, ckpt.as_ref())?;
+    save_detector_file(&mut detector, std::path::Path::new(&out))
+        .map_err(|e| CliError::Io(format!("writing {out}: {e}")))?;
     eprintln!("saved model to {out}");
     Ok(())
 }
@@ -226,23 +340,23 @@ enum FileScan {
     Unreadable(String),
 }
 
-fn cmd_scan(args: &[String]) -> Result<(), String> {
-    check_args(args)?;
+fn cmd_scan(args: &[String]) -> Result<(), CliError> {
+    check_args(args).map_err(CliError::Usage)?;
     let files: Vec<String> = positionals(args).into_iter().cloned().collect();
     if files.is_empty() {
-        return Err("scan needs at least one <file.c>".into());
+        return Err(CliError::Usage("scan needs at least one <file.c>".into()));
     }
-    let model_path = flag(args, "--model").ok_or("scan needs --model <path>")?;
-    let top: usize = parse_flag(args, "--top", 0)?;
-    let jobs: usize = parse_flag(args, "--jobs", 1)?;
+    let model_path =
+        flag(args, "--model").ok_or_else(|| CliError::Usage("scan needs --model <path>".into()))?;
+    let top: usize = parse_flag(args, "--top", 0).map_err(CliError::Usage)?;
+    let jobs: usize = parse_flag(args, "--jobs", 1).map_err(CliError::Usage)?;
     let as_json = has_flag(args, "--json");
 
     // Load the model once and score every file in a single batched forward
     // pass — the same `prepare_source`/`score_prepared_mut` path the
     // server's batch workers use, so CLI and server output cannot drift.
-    let model_text =
-        std::fs::read_to_string(&model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
-    let mut detector = load_detector(&model_text).map_err(|e| e.to_string())?;
+    // An unreadable file and a corrupt one exit with different codes.
+    let mut detector = load_detector_file(std::path::Path::new(&model_path))?;
 
     let mut outcomes: Vec<Option<FileScan>> = Vec::with_capacity(files.len());
     let mut prepared: Vec<PreparedSource> = Vec::new();
@@ -298,10 +412,10 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
         .filter(|o| !matches!(o, FileScan::Scanned(_)))
         .count();
     if failures > 0 {
-        return Err(format!(
+        return Err(CliError::Other(format!(
             "{failures}/{} file(s) could not be scanned",
             files.len()
-        ));
+        )));
     }
     Ok(())
 }
@@ -343,20 +457,24 @@ fn print_human_report(file: &str, report: &ScanReport, detector: &mut Detector, 
     );
 }
 
-fn cmd_serve(args: &[String]) -> Result<(), String> {
-    check_args(args)?;
-    let model_path = flag(args, "--model").ok_or("serve needs --model <path>")?;
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    check_args(args).map_err(CliError::Usage)?;
+    let model_path = flag(args, "--model")
+        .ok_or_else(|| CliError::Usage("serve needs --model <path>".into()))?;
     let cfg = ServeConfig {
         addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".to_string()),
-        workers: parse_flag(args, "--workers", 2)?,
-        max_batch: parse_flag(args, "--max-batch", 8)?,
-        queue_cap: parse_flag(args, "--queue-cap", 64)?,
-        inner_jobs: parse_flag(args, "--jobs", 1)?,
-        deadline: Duration::from_millis(parse_flag(args, "--deadline-ms", 10_000)?),
+        workers: parse_flag(args, "--workers", 2).map_err(CliError::Usage)?,
+        max_batch: parse_flag(args, "--max-batch", 8).map_err(CliError::Usage)?,
+        queue_cap: parse_flag(args, "--queue-cap", 64).map_err(CliError::Usage)?,
+        inner_jobs: parse_flag(args, "--jobs", 1).map_err(CliError::Usage)?,
+        deadline: Duration::from_millis(
+            parse_flag(args, "--deadline-ms", 10_000).map_err(CliError::Usage)?,
+        ),
         ..ServeConfig::default()
     };
     let registry = ModelRegistry::open(&model_path)?;
-    let handle = server::start(cfg, registry).map_err(|e| format!("binding server: {e}"))?;
+    let handle =
+        server::start(cfg, registry).map_err(|e| CliError::Bind(format!("binding server: {e}")))?;
     signal::install();
     eprintln!(
         "sevuldet-serve listening on http://{} (model {model_path}; POST /scan, POST /reload, GET /metrics, GET /healthz)",
@@ -371,17 +489,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gadgets(args: &[String]) -> Result<(), String> {
-    check_args(args)?;
+fn cmd_gadgets(args: &[String]) -> Result<(), CliError> {
+    check_args(args).map_err(CliError::Usage)?;
     let files = positionals(args);
-    let file = files.first().ok_or("gadgets needs a <file.c>")?.to_string();
+    let file = files
+        .first()
+        .ok_or_else(|| CliError::Usage("gadgets needs a <file.c>".into()))?
+        .to_string();
     let kind = if has_flag(args, "--classic") {
         GadgetKind::Classic
     } else {
         GadgetKind::PathSensitive
     };
-    let source = std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?;
-    let program = sevuldet_lang::parse(&source).map_err(|e| e.to_string())?;
+    let source =
+        std::fs::read_to_string(&file).map_err(|e| CliError::Io(format!("reading {file}: {e}")))?;
+    let program = sevuldet_lang::parse(&source).map_err(|e| CliError::Other(e.to_string()))?;
     let analysis = ProgramAnalysis::analyze(&program);
     let specials = find_special_tokens(&program, &analysis);
     let gadget_spec = GadgetSpec::path_sensitive();

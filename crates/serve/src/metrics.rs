@@ -82,6 +82,13 @@ pub struct Metrics {
     pub rejected_deadline: AtomicU64,
     /// Successful model reloads.
     pub reloads: AtomicU64,
+    /// Rejected model reloads (missing, corrupt, or invalid candidate); the
+    /// previous model kept serving.
+    pub reload_failures: AtomicU64,
+    /// Forward passes that panicked inside a batch worker and were isolated
+    /// by bisection (counted once per caught panic, so a single poison
+    /// request in a batch of N increments this ~log2(N) times).
+    pub worker_panics: AtomicU64,
     /// Jobs currently waiting in the scan queue.
     pub queue_depth: AtomicI64,
     /// Enqueue→scored latency of scan requests, seconds.
@@ -106,6 +113,8 @@ impl Default for Metrics {
             rejected_queue_full: AtomicU64::new(0),
             rejected_deadline: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            reload_failures: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             queue_depth: AtomicI64::new(0),
             scan_latency: Histogram::new(LATENCY_BOUNDS),
             forward_duration: Histogram::new(LATENCY_BOUNDS),
@@ -179,6 +188,36 @@ impl Metrics {
             w,
             "sevuldet_model_reloads_total {}",
             self.reloads.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_reload_failures_total Model reloads rejected (old model kept serving)."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_reload_failures_total counter");
+        let _ = writeln!(
+            w,
+            "sevuldet_reload_failures_total {}",
+            self.reload_failures.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_worker_panics_total Forward passes that panicked in a batch worker and were isolated."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_worker_panics_total counter");
+        let _ = writeln!(
+            w,
+            "sevuldet_worker_panics_total {}",
+            self.worker_panics.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_checkpoints_written_total Training checkpoints written by this process."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_checkpoints_written_total counter");
+        let _ = writeln!(
+            w,
+            "sevuldet_checkpoints_written_total {}",
+            sevuldet::checkpoint::checkpoints_written()
         );
         let _ = writeln!(
             w,
@@ -258,8 +297,13 @@ mod tests {
         m.batch_size.observe(4.0);
         m.queue_depth.store(3, Ordering::Relaxed);
         m.reloads.store(2, Ordering::Relaxed);
+        m.reload_failures.store(5, Ordering::Relaxed);
+        m.worker_panics.store(1, Ordering::Relaxed);
         let text = m.render(7);
         for needle in [
+            "sevuldet_reload_failures_total 5",
+            "sevuldet_worker_panics_total 1",
+            "sevuldet_checkpoints_written_total",
             "sevuldet_requests_total{endpoint=\"scan\"} 1",
             "sevuldet_requests_total{endpoint=\"other\"} 1",
             "sevuldet_responses_total{code=\"200\"} 1",

@@ -1,15 +1,48 @@
 //! The model registry: one warm [`Detector`] behind an atomically swappable
 //! `Arc`, reloadable from disk while requests are in flight.
 //!
-//! `POST /reload` re-reads the model file and swaps the `Arc` under a short
-//! write lock. Batch workers snapshot the `Arc` once per batch, so a batch
-//! that started on the old model finishes on the old model — reloads never
-//! tear a forward pass and never drop in-flight requests.
+//! `POST /reload` re-reads the model file, **validates the candidate** —
+//! the sealed-footer checksum via [`sevuldet::load_detector`], plus a smoke
+//! forward pass proving it can actually score — and only then swaps the
+//! `Arc` under a short write lock. A candidate that is missing, corrupt, or
+//! structurally wrong for its declared architecture is rejected with a
+//! typed [`RegistryError`] and the previous model keeps serving. Batch
+//! workers snapshot the `Arc` once per batch, so a batch that started on
+//! the old model finishes on the old model — reloads never tear a forward
+//! pass and never drop in-flight requests.
 
-use sevuldet::{load_detector, Detector};
+use sevuldet::{load_detector, Detector, PersistError};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Why a model could not be (re)loaded. The old model keeps serving in
+/// every case.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The model file could not be read.
+    Io(std::io::Error),
+    /// The bytes are not a valid saved detector (bad magic, failed
+    /// checksum, truncation, wrong-architecture parameters, ...).
+    Invalid(PersistError),
+    /// The detector deserialized but failed the smoke forward pass
+    /// (panicked or produced a non-probability) — never swap it in.
+    SmokeTest(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "reading model file: {e}"),
+            RegistryError::Invalid(e) => write!(f, "{e}"),
+            RegistryError::SmokeTest(msg) => {
+                write!(f, "candidate model failed smoke test: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
 
 /// One loaded model generation.
 #[derive(Debug)]
@@ -29,13 +62,13 @@ pub struct ModelRegistry {
 }
 
 impl ModelRegistry {
-    /// Loads the initial model from `path`.
+    /// Loads and validates the initial model from `path`.
     ///
     /// # Errors
     ///
-    /// A human-readable message when the file is unreadable or not a valid
-    /// saved detector.
-    pub fn open(path: impl AsRef<Path>) -> Result<ModelRegistry, String> {
+    /// A typed [`RegistryError`] when the file is unreadable, invalid, or
+    /// fails the smoke forward pass.
+    pub fn open(path: impl AsRef<Path>) -> Result<ModelRegistry, RegistryError> {
         let path = path.as_ref().to_path_buf();
         let detector = read_model(&path)?;
         Ok(ModelRegistry {
@@ -58,13 +91,14 @@ impl ModelRegistry {
             .clone()
     }
 
-    /// Re-reads the model file and swaps it in, returning the new version.
-    /// On any failure the previous model keeps serving.
+    /// Re-reads and validates the model file, swapping it in only on
+    /// success; the new version number is returned. On any failure the
+    /// previous model keeps serving, untouched.
     ///
     /// # Errors
     ///
-    /// A human-readable message when the file is unreadable or invalid.
-    pub fn reload(&self) -> Result<u64, String> {
+    /// A typed [`RegistryError`] (see [`ModelRegistry::open`]).
+    pub fn reload(&self) -> Result<u64, RegistryError> {
         let detector = read_model(&self.path)?;
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         let loaded = Arc::new(LoadedModel { detector, version });
@@ -78,10 +112,31 @@ impl ModelRegistry {
     }
 }
 
-fn read_model(path: &Path) -> Result<Detector, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-    load_detector(&text).map_err(|e| e.to_string())
+fn read_model(path: &Path) -> Result<Detector, RegistryError> {
+    let text = std::fs::read_to_string(path).map_err(RegistryError::Io)?;
+    let detector = load_detector(&text).map_err(RegistryError::Invalid)?;
+    smoke_test(detector)
+}
+
+/// One tiny forward pass before a candidate may serve: a model that
+/// deserialized cleanly can still blow up at score time (NaN weights, an
+/// internal inconsistency the shape checks cannot see). Panics are caught
+/// so a pathological candidate cannot take down the reload path itself.
+fn smoke_test(detector: Detector) -> Result<Detector, RegistryError> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let probe = vec![vec!["strcpy".to_string(), "buf".to_string()]];
+        let probs = detector.predict_batch(&probe, 1);
+        (probs.len(), probs.first().copied())
+    }));
+    match result {
+        Ok((1, Some(p))) if p.is_finite() && (0.0..=1.0).contains(&p) => Ok(detector),
+        Ok((_, p)) => Err(RegistryError::SmokeTest(format!(
+            "probe scored {p:?}, want one probability in [0, 1]"
+        ))),
+        Err(_) => Err(RegistryError::SmokeTest(
+            "probe forward pass panicked".into(),
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -131,9 +186,18 @@ mod tests {
             .predict_batch(&[vec!["strcpy".to_string()]], 1);
         assert_eq!(probs.len(), 1);
 
-        // A broken file fails the reload but keeps serving the old model.
+        // A broken file fails the reload with a typed error but keeps
+        // serving the old model.
         std::fs::write(&path, "not a model").unwrap();
-        assert!(reg.reload().is_err());
+        assert!(matches!(
+            reg.reload().unwrap_err(),
+            RegistryError::Invalid(PersistError::BadMagic)
+        ));
+        assert_eq!(reg.current().version, 2);
+
+        // A deleted file is an I/O error, also non-fatal.
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(reg.reload().unwrap_err(), RegistryError::Io(_)));
         assert_eq!(reg.current().version, 2);
         std::fs::remove_dir_all(&dir).ok();
     }

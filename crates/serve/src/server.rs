@@ -7,14 +7,18 @@
 //! | Method | Path       | Purpose                                           |
 //! |--------|------------|---------------------------------------------------|
 //! | POST   | `/scan`    | Scan C source: `{"source": "...", "name": "..."}` |
-//! | POST   | `/reload`  | Hot-swap the model from its file                  |
+//! | POST   | `/reload`  | Hot-swap the model from its file (validated)      |
 //! | GET    | `/metrics` | Prometheus text exposition                        |
-//! | GET    | `/healthz` | Liveness + current model version                  |
+//! | GET    | `/healthz` | Liveness + readiness + current model version      |
 //!
 //! `/scan` answers `200` with a scan report, `400` on malformed requests,
 //! `422` when the source does not parse, `429` when the queue is full
-//! (backpressure), `503` while draining, and `504` when the per-request
-//! deadline expires before scoring.
+//! (backpressure), `500` when scoring the request panicked (isolated from
+//! its batch), `503` while draining, and `504` when the per-request
+//! deadline expires before scoring. `/reload` answers `422` when the
+//! candidate model is rejected (missing, corrupt, or failing its smoke
+//! forward pass) — the old model keeps serving. `/healthz` answers `503`
+//! with `"draining"` once shutdown has begun.
 
 use crate::batch::{worker_loop, JobOutcome, JobQueue, ScanJob, SubmitError, WorkerConfig};
 use crate::http::{read_request, write_response, HttpError, ReadOutcome, Request};
@@ -263,11 +267,29 @@ fn route(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
                         .to_string(),
                     )
                 }
-                Err(msg) => (500, "application/json", error_body(&msg)),
+                // The candidate was unreadable, corrupt, or failed its
+                // smoke test: the old model keeps serving, the rejection is
+                // counted, and the client gets 422 with the typed reason.
+                Err(e) => {
+                    shared
+                        .metrics
+                        .reload_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    (422, "application/json", error_body(&e.to_string()))
+                }
             }
         }
         ("GET", "/healthz") => {
             shared.metrics.count_request("healthz");
+            // Liveness + readiness in one: a draining server answers but is
+            // not ready for new work (load balancers should stop routing).
+            if shared.draining.load(Ordering::SeqCst) {
+                return (
+                    503,
+                    "application/json",
+                    Json::obj(vec![("status", Json::str("draining"))]).to_string(),
+                );
+            }
             let version = shared.registry.current().version;
             (
                 200,
@@ -356,6 +378,11 @@ fn handle_scan(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
             504,
             "application/json",
             error_body("deadline exceeded before scoring"),
+        ),
+        Ok(JobOutcome::Panicked) => (
+            500,
+            "application/json",
+            error_body("scoring this request failed; it was isolated from its batch"),
         ),
         Err(_) => (
             503,
