@@ -65,12 +65,21 @@ pub struct ProgramAnalysis {
 impl ProgramAnalysis {
     /// Analyzes every function of a program.
     pub fn analyze(program: &Program) -> ProgramAnalysis {
-        let cfgs = cfg::build_all(program);
-        let callgraph = CallGraph::build(program, &cfgs);
-        let pdgs = cfgs
-            .into_iter()
-            .map(|(name, cfg)| (name, Pdg::from_cfg(cfg)))
-            .collect();
+        let _t = sevuldet_trace::span!("analysis");
+        let cfgs = {
+            let _t = sevuldet_trace::span!("analysis.cfg");
+            cfg::build_all(program)
+        };
+        let callgraph = {
+            let _t = sevuldet_trace::span!("analysis.callgraph");
+            CallGraph::build(program, &cfgs)
+        };
+        let pdgs = {
+            let _t = sevuldet_trace::span!("analysis.pdg");
+            cfgs.into_iter()
+                .map(|(name, cfg)| (name, Pdg::from_cfg(cfg)))
+                .collect()
+        };
         ProgramAnalysis { pdgs, callgraph }
     }
 

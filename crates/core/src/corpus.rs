@@ -86,6 +86,7 @@ pub fn extract_gadgets_jobs(
     slice: &SliceConfig,
     jobs: usize,
 ) -> GadgetCorpus {
+    let _t = sevuldet_trace::span!("core.extract");
     let per_sample: Vec<Vec<(String, GadgetItem)>> = parallel_map(samples, jobs, |_, sample| {
         let mut items = Vec::new();
         let Ok(program) = sevuldet_lang::parse(&sample.source) else {
@@ -126,6 +127,7 @@ pub fn extract_gadgets_jobs(
             }
         }
     }
+    sevuldet_trace::counter("gadgets", corpus.items.len() as f64);
     corpus
 }
 
@@ -144,6 +146,7 @@ pub struct Encoded {
 /// Trains word2vec on the corpus and encodes every gadget (Step IV's
 /// pre-trained embedding).
 pub fn encode(corpus: &GadgetCorpus, config: &TrainConfig) -> Encoded {
+    let _t = sevuldet_trace::span!("core.encode");
     let token_refs: Vec<&[String]> = corpus.items.iter().map(|i| i.tokens.as_slice()).collect();
     let vocab = Vocab::build(token_refs.iter().copied(), 1);
     // Per-gadget id lookup is embarrassingly parallel; outputs come back in

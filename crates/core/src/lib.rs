@@ -44,9 +44,15 @@ pub mod metrics;
 pub mod par;
 pub mod persist;
 pub mod pipeline;
+#[deny(missing_docs)]
 pub mod scan;
 pub mod train;
 pub mod zoo;
+
+/// Span/event tracing for the whole pipeline — re-exported so `sevuldet`
+/// users reach it as `sevuldet::trace` (it lives in its own bottom-of-stack
+/// crate, `sevuldet-trace`, so every layer below `core` can emit spans too).
+pub use sevuldet_trace as trace;
 
 pub use checkpoint::{CheckpointError, CheckpointSpec};
 pub use config::{global_seed, scale_factor, TrainConfig};

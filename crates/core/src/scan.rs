@@ -9,6 +9,30 @@
 //! The phases mirror the detection half of the paper's Fig. 2: parse →
 //! program analysis → special tokens → path-sensitive gadgets → normalize →
 //! encode → SPP-CNN forward → threshold.
+//!
+//! The model-free half runs standalone — useful for inspecting what the
+//! detector would actually look at:
+//!
+//! ```
+//! let src = r#"
+//! void copy(char *dest, char *data) {
+//!     int n = atoi(data);
+//!     strncpy(dest, data, n);
+//! }"#;
+//! let prepared = sevuldet::prepare_source(src, 1).expect("parses");
+//! // `strncpy` is a function-call (FC) special token, so at least one
+//! // gadget comes back, carrying its normalized token stream.
+//! assert!(!prepared.gadgets.is_empty());
+//! let g = prepared
+//!     .gadgets
+//!     .iter()
+//!     .find(|g| g.name == "strncpy")
+//!     .expect("strncpy gadget");
+//! assert_eq!(g.category, "FC");
+//! assert!(g.tokens.iter().any(|t| t == "strncpy"));
+//! // Unparseable input is a typed error, not a silent empty result.
+//! assert!(sevuldet::prepare_source("int }{", 1).is_err());
+//! ```
 
 use crate::json::Json;
 use crate::par::parallel_map;
@@ -149,6 +173,7 @@ pub fn error_json(name: &str, error: &ScanError) -> Json {
 ///
 /// [`ScanError::Parse`] when the source is not valid mini-C.
 pub fn prepare_source(source: &str, jobs: usize) -> Result<PreparedSource, ScanError> {
+    let _t = sevuldet_trace::span!("scan.prepare");
     let program = sevuldet_lang::parse(source).map_err(|e| ScanError::Parse(e.to_string()))?;
     let analysis = ProgramAnalysis::analyze(&program);
     let specials = find_special_tokens(&program, &analysis);
@@ -163,6 +188,7 @@ pub fn prepare_source(source: &str, jobs: usize) -> Result<PreparedSource, ScanE
             tokens: Normalizer::normalize_gadget(&gadget).tokens(),
         }
     });
+    sevuldet_trace::counter("scan.gadgets", gadgets.len() as f64);
     Ok(PreparedSource { gadgets })
 }
 
@@ -177,6 +203,7 @@ pub fn score_prepared(
     prepared: &[PreparedSource],
     jobs: usize,
 ) -> Vec<ScanReport> {
+    let _t = sevuldet_trace::span!("scan.score");
     let streams = gadget_streams(prepared);
     let scores = detector.predict_batch(&streams, jobs);
     assemble_reports(prepared, scores, detector.threshold())
@@ -193,6 +220,7 @@ pub fn score_prepared_mut(
     prepared: &[PreparedSource],
     jobs: usize,
 ) -> Vec<ScanReport> {
+    let _t = sevuldet_trace::span!("scan.score");
     let streams = gadget_streams(prepared);
     let scores = detector.predict_batch_mut(&streams, jobs);
     assemble_reports(prepared, scores, detector.threshold())

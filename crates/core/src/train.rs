@@ -127,6 +127,7 @@ where
         if epoch < start_epoch {
             continue;
         }
+        let _epoch_span = sevuldet_trace::span!("train.epoch");
         let mut start = if epoch == start_epoch {
             start_cursor
         } else {
@@ -141,6 +142,7 @@ where
             )));
         }
         while start < order.len() {
+            let _batch_span = sevuldet_trace::span!("train.batch");
             let end = (start + cfg.batch).min(order.len());
             // (position in epoch order, corpus index) — the position keys
             // the sample's RNG and fixes its slot in the gradient merge.
@@ -171,13 +173,15 @@ where
             faults::hit("batch_boundary");
             if let Some(spec) = spec {
                 if spec.every > 0 && steps.is_multiple_of(spec.every) && start < order.len() {
+                    let _t = sevuldet_trace::span!("train.checkpoint");
                     save_ckpt(model, &opt, epoch, start)?;
                 }
             }
         }
         faults::hit("epoch_boundary");
         // Epoch-end checkpoint: next run starts the following epoch clean.
-        if epoch + 1 < cfg.epochs {
+        if epoch + 1 < cfg.epochs && spec.is_some() {
+            let _t = sevuldet_trace::span!("train.checkpoint");
             save_ckpt(model, &opt, epoch + 1, 0)?;
         }
     }
@@ -199,6 +203,7 @@ pub fn evaluate_model<M>(
 where
     M: SequenceClassifier + Clone + Send + Sync,
 {
+    let _t = sevuldet_trace::span!("train.eval");
     let z = cfg.logit_threshold();
     let verdicts = parallel_map_with_state(test_idx, cfg.jobs, model, |replica, pos, &i| {
         let mut rng = StdRng::seed_from_u64(sample_seed(cfg.seed ^ 0xe7a1, 0, pos));

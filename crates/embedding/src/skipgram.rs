@@ -57,6 +57,7 @@ impl SkipGram {
         config: &SkipGramConfig,
         rng: &mut StdRng,
     ) -> SkipGram {
+        let _t = sevuldet_trace::span!("embed.w2v");
         let v = vocab.len();
         let d = config.dim;
         let mut model = SkipGram {
@@ -151,7 +152,8 @@ impl SkipGram {
 }
 
 /// A tiny decoupling shim so this crate does not depend on `sevuldet-nn`:
-/// the core crate converts [`Table`] into an `sevuldet_nn::Tensor`.
+/// the core crate converts [`sevuldet_nn_table::Table`] into an
+/// `sevuldet_nn::Tensor`.
 pub mod sevuldet_nn_table {
     /// A plain row-major matrix.
     #[derive(Debug, Clone)]

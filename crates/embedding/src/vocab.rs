@@ -23,6 +23,7 @@ impl Vocab {
     /// Builds a vocabulary from token sequences, keeping tokens that occur
     /// at least `min_count` times.
     pub fn build<'a>(corpus: impl IntoIterator<Item = &'a [String]>, min_count: u64) -> Vocab {
+        let _t = sevuldet_trace::span!("embed.vocab");
         let mut freq: HashMap<String, u64> = HashMap::new();
         for seq in corpus {
             for t in seq {

@@ -23,6 +23,7 @@ pub fn build_gadget(
     kind: GadgetKind,
     slice_cfg: &SliceConfig,
 ) -> CodeGadget {
+    let _t = sevuldet_trace::span!("gadget.assemble");
     let slice = two_way_slice(analysis, &token.func, token.node, slice_cfg);
 
     // Group slice nodes per function; one gadget line per source line

@@ -27,6 +27,7 @@ impl Normalizer {
     /// Normalizes a whole gadget, producing a fresh mapping (two gadgets
     /// never share placeholder assignments, mirroring the paper).
     pub fn normalize_gadget(gadget: &CodeGadget) -> CodeGadget {
+        let _t = sevuldet_trace::span!("gadget.normalize");
         let mut n = Normalizer::new();
         let lines = gadget
             .lines

@@ -84,6 +84,7 @@ pub fn two_way_slice(
     seed: NodeId,
     config: &SliceConfig,
 ) -> Slice {
+    let _t = sevuldet_trace::span!("gadget.slice");
     let mut nodes = BTreeSet::new();
     backward(analysis, func, seed, config, &mut nodes);
     forward(analysis, func, seed, config, &mut nodes);

@@ -32,6 +32,7 @@ pub struct SpecialToken {
 /// Scans a whole program for special tokens, using the PDGs in `analysis` to
 /// locate the CFG node of each occurrence.
 pub fn find_special_tokens(program: &Program, analysis: &ProgramAnalysis) -> Vec<SpecialToken> {
+    let _t = sevuldet_trace::span!("gadget.specials");
     let mut out = Vec::new();
     for f in program.functions() {
         let Some(pdg) = analysis.pdg(&f.name) else {

@@ -382,6 +382,7 @@ impl<'src> Lexer<'src> {
 /// assert_eq!(toks.len(), 6); // int, x, =, 1, ;, EOF
 /// ```
 pub fn tokenize(src: &str) -> ParseResult<Vec<Token>> {
+    let _t = sevuldet_trace::span!("lang.lex");
     Lexer::new(src).tokenize()
 }
 

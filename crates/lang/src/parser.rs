@@ -27,6 +27,7 @@ use crate::token::{Keyword, Punct, Token, TokenKind};
 /// ```
 pub fn parse(src: &str) -> ParseResult<Program> {
     let tokens = tokenize(src)?;
+    let _t = sevuldet_trace::span!("lang.parse");
     Parser::new(tokens).program()
 }
 

@@ -228,25 +228,41 @@ impl SevulDetCnn {
 
 impl SequenceClassifier for SevulDetCnn {
     fn forward_logit(&mut self, ids: &[usize], train: bool, rng: &mut StdRng) -> f64 {
-        self.prepare_ids_into(ids);
-        self.emb.forward_into(&self.cache_padded, &mut self.act_a);
+        let _fwd = sevuldet_trace::span!("nn.forward");
+        {
+            let _t = sevuldet_trace::span!("nn.embedding");
+            self.prepare_ids_into(ids);
+            self.emb.forward_into(&self.cache_padded, &mut self.act_a);
+        }
         if let Some(att) = &mut self.tok_att {
+            let _t = sevuldet_trace::span!("nn.token_att");
             att.forward_into(&self.act_a, &mut self.act_b, &mut self.ws);
             std::mem::swap(&mut self.act_a, &mut self.act_b);
         }
-        self.conv1
-            .forward_into(&self.act_a, &mut self.act_b, &mut self.ws);
-        std::mem::swap(&mut self.act_a, &mut self.act_b);
-        self.relu1.forward_inplace(&mut self.act_a);
+        {
+            let _t = sevuldet_trace::span!("nn.conv1");
+            self.conv1
+                .forward_into(&self.act_a, &mut self.act_b, &mut self.ws);
+            std::mem::swap(&mut self.act_a, &mut self.act_b);
+            self.relu1.forward_inplace(&mut self.act_a);
+        }
         if let Some(cbam) = &mut self.cbam {
+            let _t = sevuldet_trace::span!("nn.cbam");
             cbam.forward_into(&self.act_a, &mut self.act_b, &mut self.ws);
             std::mem::swap(&mut self.act_a, &mut self.act_b);
         }
-        self.conv2
-            .forward_into(&self.act_a, &mut self.act_b, &mut self.ws);
-        std::mem::swap(&mut self.act_a, &mut self.act_b);
-        self.relu2.forward_inplace(&mut self.act_a);
-        self.spp.forward_into(&self.act_a, &mut self.vec_a);
+        {
+            let _t = sevuldet_trace::span!("nn.conv2");
+            self.conv2
+                .forward_into(&self.act_a, &mut self.act_b, &mut self.ws);
+            std::mem::swap(&mut self.act_a, &mut self.act_b);
+            self.relu2.forward_inplace(&mut self.act_a);
+        }
+        {
+            let _t = sevuldet_trace::span!("nn.spp");
+            self.spp.forward_into(&self.act_a, &mut self.vec_a);
+        }
+        let _t = sevuldet_trace::span!("nn.dense");
         self.fc1.forward_into(&self.vec_a, &mut self.vec_b);
         self.relu_fc.forward_vec_inplace(&mut self.vec_b);
         self.drop.forward_inplace(&mut self.vec_b, train, rng);
@@ -257,29 +273,45 @@ impl SequenceClassifier for SevulDetCnn {
     }
 
     fn backward(&mut self, dlogit: f64) {
-        self.fc3.backward_into(&[dlogit], &mut self.vec_a);
-        self.relu_fc2.backward_vec_inplace(&mut self.vec_a);
-        self.fc2.backward_into(&self.vec_a, &mut self.vec_b);
-        self.drop.backward_inplace(&mut self.vec_b);
-        self.relu_fc.backward_vec_inplace(&mut self.vec_b);
-        self.fc1.backward_into(&self.vec_b, &mut self.vec_a);
-        self.spp.backward_into(&self.vec_a, &mut self.act_a);
-        self.relu2.backward_inplace(&mut self.act_a);
-        self.conv2
-            .backward_into(&self.act_a, &mut self.act_b, &mut self.ws);
-        std::mem::swap(&mut self.act_a, &mut self.act_b);
+        let _bwd = sevuldet_trace::span!("nn.backward");
+        {
+            let _t = sevuldet_trace::span!("nn.dense");
+            self.fc3.backward_into(&[dlogit], &mut self.vec_a);
+            self.relu_fc2.backward_vec_inplace(&mut self.vec_a);
+            self.fc2.backward_into(&self.vec_a, &mut self.vec_b);
+            self.drop.backward_inplace(&mut self.vec_b);
+            self.relu_fc.backward_vec_inplace(&mut self.vec_b);
+            self.fc1.backward_into(&self.vec_b, &mut self.vec_a);
+        }
+        {
+            let _t = sevuldet_trace::span!("nn.spp");
+            self.spp.backward_into(&self.vec_a, &mut self.act_a);
+        }
+        {
+            let _t = sevuldet_trace::span!("nn.conv2");
+            self.relu2.backward_inplace(&mut self.act_a);
+            self.conv2
+                .backward_into(&self.act_a, &mut self.act_b, &mut self.ws);
+            std::mem::swap(&mut self.act_a, &mut self.act_b);
+        }
         if let Some(cbam) = &mut self.cbam {
+            let _t = sevuldet_trace::span!("nn.cbam");
             cbam.backward_into(&self.act_a, &mut self.act_b, &mut self.ws);
             std::mem::swap(&mut self.act_a, &mut self.act_b);
         }
-        self.relu1.backward_inplace(&mut self.act_a);
-        self.conv1
-            .backward_into(&self.act_a, &mut self.act_b, &mut self.ws);
-        std::mem::swap(&mut self.act_a, &mut self.act_b);
+        {
+            let _t = sevuldet_trace::span!("nn.conv1");
+            self.relu1.backward_inplace(&mut self.act_a);
+            self.conv1
+                .backward_into(&self.act_a, &mut self.act_b, &mut self.ws);
+            std::mem::swap(&mut self.act_a, &mut self.act_b);
+        }
         if let Some(att) = &mut self.tok_att {
+            let _t = sevuldet_trace::span!("nn.token_att");
             att.backward_into(&self.act_a, &mut self.act_b, &mut self.ws);
             std::mem::swap(&mut self.act_a, &mut self.act_b);
         }
+        let _t = sevuldet_trace::span!("nn.embedding");
         self.emb.backward(&self.act_a);
     }
 
@@ -360,6 +392,7 @@ impl SequenceClassifier for RnnNet {
         // are *masked* rather than zero-padded (running the cells over
         // hundreds of pad embeddings would corrupt the final state — Keras
         // masking semantics).
+        let _fwd = sevuldet_trace::span!("nn.forward");
         self.ids_buf.clear();
         self.ids_buf
             .extend(ids.iter().copied().take(self.time_steps));
@@ -376,6 +409,7 @@ impl SequenceClassifier for RnnNet {
     }
 
     fn backward(&mut self, dlogit: f64) {
+        let _bwd = sevuldet_trace::span!("nn.backward");
         self.fc2.backward_into(&[dlogit], &mut self.vec_a);
         self.drop.backward_inplace(&mut self.vec_a);
         self.relu.backward_vec_inplace(&mut self.vec_a);

@@ -149,6 +149,7 @@ pub fn worker_loop(
             let rx = queue.rx.lock().unwrap_or_else(|e| e.into_inner());
             match rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(first) => {
+                    let _t = sevuldet::trace::span!("serve.batch_assembly");
                     let mut batch = vec![first];
                     while batch.len() < cfg.max_batch.max(1) {
                         match rx.try_recv() {
@@ -178,6 +179,12 @@ pub fn worker_loop(
         let mut prepared: Vec<PreparedSource> = Vec::new();
         let mut prepared_names: Vec<String> = Vec::new();
         for job in &batch {
+            // Enqueue happened on a connection-handler thread, so an RAII
+            // guard cannot cover the wait; record the measured gap instead.
+            sevuldet::trace::observe_duration(
+                "serve.queue_wait",
+                now.saturating_duration_since(job.enqueued).as_nanos() as u64,
+            );
             if now > job.deadline {
                 metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
                 outcomes.push(Some(JobOutcome::DeadlineExceeded));
@@ -195,19 +202,23 @@ pub fn worker_loop(
             }
         }
         let forward_started = Instant::now();
-        let scored = score_batch_isolated(
-            &mut replica,
-            &model,
-            &prepared,
-            &prepared_names,
-            cfg.inner_jobs,
-            metrics,
-        );
+        let scored = {
+            let _t = sevuldet::trace::span!("serve.forward");
+            score_batch_isolated(
+                &mut replica,
+                &model,
+                &prepared,
+                &prepared_names,
+                cfg.inner_jobs,
+                metrics,
+            )
+        };
         if !prepared.is_empty() {
             metrics
                 .forward_duration
                 .observe(forward_started.elapsed().as_secs_f64());
         }
+        let _respond_span = sevuldet::trace::span!("serve.respond");
         let mut reports = scored.into_iter();
         for (job, outcome) in batch.into_iter().zip(outcomes) {
             let outcome = outcome.unwrap_or_else(|| {

@@ -5,7 +5,9 @@
 //! ```text
 //! sevuldet train --out model.svd [--per-category 60] [--epochs 24] [--seed 42] [--jobs N]
 //!                [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+//!                [--profile] [--trace-out trace.json]
 //! sevuldet scan <file.c> [<file2.c> ...] --model model.svd [--top 5] [--jobs N] [--json]
+//!                [--profile] [--trace-out trace.json]
 //! sevuldet serve --model model.svd [--addr 127.0.0.1:8080] [--workers N] [--max-batch N]
 //!                [--queue-cap N] [--deadline-ms N] [--jobs N]
 //! sevuldet gadgets <file.c> [--classic]
@@ -115,10 +117,10 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage:");
             eprintln!(
-                "  sevuldet train --out <model> [--per-category N] [--epochs N] [--seed N] [--jobs N] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]"
+                "  sevuldet train --out <model> [--per-category N] [--epochs N] [--seed N] [--jobs N] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--profile] [--trace-out FILE]"
             );
             eprintln!(
-                "  sevuldet scan <file.c> [<file2.c> ...] --model <model> [--top N] [--jobs N] [--json]"
+                "  sevuldet scan <file.c> [<file2.c> ...] --model <model> [--top N] [--jobs N] [--json] [--profile] [--trace-out FILE]"
             );
             eprintln!(
                 "  sevuldet serve --model <model> [--addr host:port] [--workers N] [--max-batch N] [--queue-cap N] [--deadline-ms N] [--jobs N]"
@@ -214,6 +216,14 @@ const FLAGS: &[FlagSpec] = &[
         name: "--resume",
         takes_value: false,
     },
+    FlagSpec {
+        name: "--profile",
+        takes_value: false,
+    },
+    FlagSpec {
+        name: "--trace-out",
+        takes_value: true,
+    },
 ];
 
 fn spec(name: &str) -> Option<&'static FlagSpec> {
@@ -280,8 +290,40 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
     }
 }
 
+/// Reads the shared tracing flags and turns span recording on when either
+/// is present. Returns `(--profile, --trace-out path)`.
+fn trace_flags(args: &[String]) -> (bool, Option<String>) {
+    let profile = has_flag(args, "--profile");
+    let trace_out = flag(args, "--trace-out");
+    if profile || trace_out.is_some() {
+        sevuldet::trace::set_recording(true);
+    }
+    (profile, trace_out)
+}
+
+/// Collects the recording and emits the requested sinks: the per-stage
+/// self/total table on stderr (`--profile`) and/or a Chrome `trace_event`
+/// JSON file (`--trace-out`, loadable in `chrome://tracing` or Perfetto).
+fn emit_trace(profile: bool, trace_out: Option<&str>) -> Result<(), CliError> {
+    if !profile && trace_out.is_none() {
+        return Ok(());
+    }
+    let tr = sevuldet::trace::take();
+    sevuldet::trace::set_recording(false);
+    if profile {
+        eprint!("{}", tr.profile_table());
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, tr.chrome_json())
+            .map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
+        eprintln!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+    Ok(())
+}
+
 fn cmd_train(args: &[String]) -> Result<(), CliError> {
     check_args(args).map_err(CliError::Usage)?;
+    let (profile, trace_out) = trace_flags(args);
     let out =
         flag(args, "--out").ok_or_else(|| CliError::Usage("train needs --out <path>".into()))?;
     let per_category: usize = parse_flag(args, "--per-category", 60).map_err(CliError::Usage)?;
@@ -330,6 +372,7 @@ fn cmd_train(args: &[String]) -> Result<(), CliError> {
     save_detector_file(&mut detector, std::path::Path::new(&out))
         .map_err(|e| CliError::Io(format!("writing {out}: {e}")))?;
     eprintln!("saved model to {out}");
+    emit_trace(profile, trace_out.as_deref())?;
     Ok(())
 }
 
@@ -342,6 +385,7 @@ enum FileScan {
 
 fn cmd_scan(args: &[String]) -> Result<(), CliError> {
     check_args(args).map_err(CliError::Usage)?;
+    let (profile, trace_out) = trace_flags(args);
     let files: Vec<String> = positionals(args).into_iter().cloned().collect();
     if files.is_empty() {
         return Err(CliError::Usage("scan needs at least one <file.c>".into()));
@@ -407,6 +451,7 @@ fn cmd_scan(args: &[String]) -> Result<(), CliError> {
         }
     }
 
+    emit_trace(profile, trace_out.as_deref())?;
     let failures = outcomes
         .iter()
         .filter(|o| !matches!(o, FileScan::Scanned(_)))

@@ -234,11 +234,32 @@ pub fn write_response(
     body: &[u8],
     close: bool,
 ) -> std::io::Result<()> {
+    write_response_with_headers(stream, status, content_type, body, &[], close)
+}
+
+/// [`write_response`] with extra response headers (e.g. `X-Trace-Id`).
+/// Header names and values must already be valid HTTP header text.
+///
+/// # Errors
+///
+/// Propagates socket write failures (the caller drops the connection).
+pub fn write_response_with_headers(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra: &[(&str, &str)],
+    close: bool,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
     let mut head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(status),
         body.len()
     );
+    for (name, value) in extra {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
     if close {
         head.push_str("Connection: close\r\n");
     }

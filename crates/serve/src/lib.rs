@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! # sevuldet-serve
 //!
 //! A long-running, batched inference server for the SEVulDet detector — the

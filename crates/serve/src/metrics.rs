@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// A fixed-bucket histogram. Observed values are accumulated as cumulative
 /// bucket counts at render time; the running sum is kept in fixed-point
@@ -54,16 +54,28 @@ impl Histogram {
     fn render(&self, out: &mut String, name: &str, help: &str) {
         let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} histogram");
+        self.render_series(out, name, None);
+    }
+
+    /// One histogram's series, optionally carrying an extra label (e.g.
+    /// `stage="nn.conv1"`) merged before `le` — lets several histograms
+    /// share one metric name, as the per-stage family does.
+    fn render_series(&self, out: &mut String, name: &str, label: Option<&str>) {
+        let le = |b: &str| match label {
+            Some(l) => format!("{{{l},le=\"{b}\"}}"),
+            None => format!("{{le=\"{b}\"}}"),
+        };
         let mut cumulative = 0u64;
         for (i, bound) in self.bounds.iter().enumerate() {
             cumulative += self.buckets[i].load(Ordering::Relaxed);
-            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_bucket{} {cumulative}", le(&bound.to_string()));
         }
         cumulative += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_bucket{} {cumulative}", le("+Inf"));
         let sum = self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
-        let _ = writeln!(out, "{name}_sum {sum}");
-        let _ = writeln!(out, "{name}_count {}", self.count());
+        let suffix = label.map(|l| format!("{{{l}}}")).unwrap_or_default();
+        let _ = writeln!(out, "{name}_sum{suffix} {sum}");
+        let _ = writeln!(out, "{name}_count{suffix} {}", self.count());
     }
 }
 
@@ -98,12 +110,20 @@ pub struct Metrics {
     pub forward_duration: Histogram,
     /// Number of requests coalesced per forward batch.
     pub batch_size: Histogram,
+    /// Per-pipeline-stage durations, one histogram per span name, fed by
+    /// the trace layer's observer hook (see [`Metrics::observe_stage`]).
+    /// Series appear lazily as stages first fire.
+    stage_durations: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
 }
 
 const LATENCY_BOUNDS: &[f64] = &[
     0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 ];
 const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+/// Stage durations range from microseconds (lexing a small source) to
+/// seconds (a full forward batch), so the buckets start far below
+/// [`LATENCY_BOUNDS`].
+const STAGE_BOUNDS: &[f64] = &[0.000001, 0.00001, 0.0001, 0.001, 0.01, 0.1, 1.0, 10.0];
 
 impl Default for Metrics {
     fn default() -> Self {
@@ -119,6 +139,7 @@ impl Default for Metrics {
             scan_latency: Histogram::new(LATENCY_BOUNDS),
             forward_duration: Histogram::new(LATENCY_BOUNDS),
             batch_size: Histogram::new(BATCH_BOUNDS),
+            stage_durations: RwLock::new(BTreeMap::new()),
         }
     }
 }
@@ -132,6 +153,32 @@ impl Metrics {
             .position(|e| *e == endpoint)
             .unwrap_or(ENDPOINTS.len() - 1);
         self.requests[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one pipeline-stage duration (nanoseconds) against the
+    /// stage's histogram, creating it on first sight. This is the trace
+    /// observer's target: `server::start` registers
+    /// `sevuldet::trace::add_observer` to call it on every span close, so
+    /// `/metrics` exports stage costs without span recording being on.
+    pub fn observe_stage(&self, stage: &'static str, dur_ns: u64) {
+        let secs = dur_ns as f64 / 1e9;
+        let existing = {
+            let map = self
+                .stage_durations
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            map.get(stage).cloned()
+        };
+        match existing {
+            Some(h) => h.observe(secs),
+            None => self
+                .stage_durations
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .entry(stage)
+                .or_insert_with(|| Arc::new(Histogram::new(STAGE_BOUNDS)))
+                .observe(secs),
+        }
     }
 
     /// Counts a response by status code.
@@ -261,6 +308,24 @@ impl Metrics {
             "sevuldet_batch_size",
             "Requests coalesced per forward batch.",
         );
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_stage_duration_seconds Pipeline stage durations by trace span name."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_stage_duration_seconds histogram");
+        {
+            let map = self
+                .stage_durations
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            for (stage, h) in map.iter() {
+                h.render_series(
+                    w,
+                    "sevuldet_stage_duration_seconds",
+                    Some(&format!("stage=\"{stage}\"")),
+                );
+            }
+        }
         out
     }
 }
@@ -322,5 +387,27 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
+    }
+
+    #[test]
+    fn stage_histograms_render_labeled_series_per_stage() {
+        let m = Metrics::default();
+        m.observe_stage("serve.forward", 2_000_000); // 2 ms
+        m.observe_stage("serve.forward", 40_000_000); // 40 ms
+        m.observe_stage("serve.queue_wait", 500); // 0.5 µs
+        let text = m.render(1);
+        for needle in [
+            "# TYPE sevuldet_stage_duration_seconds histogram",
+            "sevuldet_stage_duration_seconds_bucket{stage=\"serve.forward\",le=\"0.01\"} 1",
+            "sevuldet_stage_duration_seconds_bucket{stage=\"serve.forward\",le=\"0.1\"} 2",
+            "sevuldet_stage_duration_seconds_bucket{stage=\"serve.forward\",le=\"+Inf\"} 2",
+            "sevuldet_stage_duration_seconds_count{stage=\"serve.forward\"} 2",
+            "sevuldet_stage_duration_seconds_bucket{stage=\"serve.queue_wait\",le=\"0.000001\"} 1",
+            "sevuldet_stage_duration_seconds_count{stage=\"serve.queue_wait\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+        // A stage never observed renders nothing under its label.
+        assert!(!text.contains("stage=\"nn.forward\""));
     }
 }

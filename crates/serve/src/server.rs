@@ -21,7 +21,7 @@
 //! with `"draining"` once shutdown has begun.
 
 use crate::batch::{worker_loop, JobOutcome, JobQueue, ScanJob, SubmitError, WorkerConfig};
-use crate::http::{read_request, write_response, HttpError, ReadOutcome, Request};
+use crate::http::{read_request, write_response_with_headers, HttpError, ReadOutcome, Request};
 use crate::metrics::Metrics;
 use crate::registry::ModelRegistry;
 use sevuldet::Json;
@@ -87,6 +87,9 @@ pub struct ServerHandle {
     stop_accepting: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
+    /// The trace observer feeding `sevuldet_stage_duration_seconds`;
+    /// unregistered on shutdown (tests run several servers per process).
+    observer: sevuldet::trace::ObserverId,
 }
 
 impl ServerHandle {
@@ -114,6 +117,7 @@ impl ServerHandle {
         for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
+        sevuldet::trace::remove_observer(self.observer);
     }
 }
 
@@ -128,6 +132,13 @@ pub fn start(cfg: ServeConfig, registry: ModelRegistry) -> std::io::Result<Serve
     listener.set_nonblocking(true)?;
 
     let metrics = Arc::new(Metrics::default());
+    // Every span closed anywhere in the process — batch workers, the
+    // pipeline crates under them — lands in this server's per-stage
+    // histograms. Recording stays off; the observer path alone feeds it.
+    let observer = {
+        let metrics = metrics.clone();
+        sevuldet::trace::add_observer(move |stage, dur_ns| metrics.observe_stage(stage, dur_ns))
+    };
     let shared = Arc::new(Shared {
         queue: JobQueue::new(cfg.queue_cap, metrics.clone()),
         registry,
@@ -175,6 +186,7 @@ pub fn start(cfg: ServeConfig, registry: ModelRegistry) -> std::io::Result<Serve
         stop_accepting,
         accept_thread: Some(accept_thread),
         worker_threads,
+        observer,
     })
 }
 
@@ -212,14 +224,19 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 return;
             }
             Ok(ReadOutcome::Request(req)) => {
+                // Every response carries a unique trace id, so a client
+                // report ("request abc123 was slow") can be lined up with
+                // server-side logs and traces.
+                let trace_id = sevuldet::trace::next_trace_id();
                 let keep_alive = req.keep_alive() && !shared.draining.load(Ordering::SeqCst);
                 let (status, content_type, body) = route(&req, shared);
                 shared.metrics.count_response(status);
-                let ok = write_response(
+                let ok = write_response_with_headers(
                     &mut writer,
                     status,
                     content_type,
                     body.as_bytes(),
+                    &[("X-Trace-Id", &trace_id)],
                     !keep_alive,
                 )
                 .is_ok();
@@ -233,7 +250,15 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 
 fn respond(writer: &mut impl Write, shared: &Shared, status: u16, body: &str, close: bool) {
     shared.metrics.count_response(status);
-    let _ = write_response(writer, status, "application/json", body.as_bytes(), close);
+    let trace_id = sevuldet::trace::next_trace_id();
+    let _ = write_response_with_headers(
+        writer,
+        status,
+        "application/json",
+        body.as_bytes(),
+        &[("X-Trace-Id", &trace_id)],
+        close,
+    );
 }
 
 /// Routes one request, returning `(status, content type, body)`.

@@ -85,14 +85,15 @@ fn test_config() -> ServeConfig {
     }
 }
 
-/// Minimal HTTP/1.1 client: one request, `Connection: close`, full read.
-fn request(
+/// Minimal HTTP/1.1 client: one request, `Connection: close`, full raw
+/// response (status line + headers + body).
+fn request_raw(
     addr: SocketAddr,
     method: &str,
     path: &str,
     body: &str,
     extra_headers: &str,
-) -> (u16, String) {
+) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
@@ -104,6 +105,18 @@ fn request(
     stream.write_all(req.as_bytes()).expect("send");
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("read response");
+    raw
+}
+
+/// [`request_raw`] reduced to the pieces most tests want.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    extra_headers: &str,
+) -> (u16, String) {
+    let raw = request_raw(addr, method, path, body, extra_headers);
     let status: u16 = raw
         .split_whitespace()
         .nth(1)
@@ -201,9 +214,51 @@ fn metrics_expose_requests_latency_batches_and_queue() {
         "sevuldet_model_reloads_total 0",
         "sevuldet_model_version 1",
         "sevuldet_rejected_total{reason=\"queue_full\"} 0",
+        // Per-stage duration histograms, fed by the trace observer even
+        // though span *recording* stays off in serve.
+        "sevuldet_stage_duration_seconds_bucket{stage=\"serve.forward\",le=\"+Inf\"}",
+        "sevuldet_stage_duration_seconds_count{stage=\"serve.queue_wait\"}",
+        "sevuldet_stage_duration_seconds_count{stage=\"serve.batch_assembly\"}",
     ] {
         assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
     }
+    handle.shutdown();
+}
+
+#[test]
+fn every_response_carries_a_unique_trace_id() {
+    let (handle, _path) = serve("traceid", test_config());
+    let addr = handle.addr();
+
+    let trace_id = |raw: &str| -> String {
+        raw.lines()
+            .find_map(|l| l.strip_prefix("X-Trace-Id: "))
+            .unwrap_or_else(|| panic!("no X-Trace-Id header in:\n{raw}"))
+            .trim()
+            .to_string()
+    };
+
+    let a = trace_id(&request_raw(
+        addr,
+        "POST",
+        "/scan",
+        &scan_body(LEAKY, "x.c"),
+        "",
+    ));
+    let b = trace_id(&request_raw(addr, "GET", "/healthz", "", ""));
+    // Even protocol errors are tagged.
+    let c = trace_id(&request_raw(addr, "PATCH", "/scan", "", ""));
+
+    for id in [&a, &b, &c] {
+        // Shape: `xxxxxxxx-xxxxxx` (process fingerprint + sequence).
+        let (fp, seq) = id.split_once('-').expect("fingerprint-seq shape");
+        assert!(fp.chars().all(|c| c.is_ascii_hexdigit()), "bad id {id}");
+        assert!(seq.chars().all(|c| c.is_ascii_hexdigit()), "bad id {id}");
+    }
+    assert_ne!(a, b);
+    assert_ne!(b, c);
+    assert_ne!(a, c);
+
     handle.shutdown();
 }
 
