@@ -7,11 +7,18 @@
 //! module is `cfg(test)` and invisible to benches). Sizes mirror the real
 //! model: conv1 of the default CNN sees `c_in = 30, c_out = 32, k = 3` over
 //! a few hundred tokens.
+//!
+//! The GEMM and matvec groups additionally run the f32/SIMD and int8
+//! inference tiers (`sevuldet_nn::kernels_f32`) on the same shapes, so
+//! `cargo bench --bench kernels` (and its `-- --test` smoke mode) exercises
+//! all three precision tiers side by side. The int8 entries include the
+//! per-forward activation quantization, matching what the inference engine
+//! actually pays.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sevuldet_nn::{kernels, Conv1d, Tensor, Workspace};
+use sevuldet_nn::{kernels, kernels_f32 as kf, Conv1d, Tensor, Workspace};
 
 const L: usize = 256;
 const C_IN: usize = 30;
@@ -118,6 +125,34 @@ fn bench_matmul(c: &mut Criterion) {
             std::hint::black_box(out[0])
         })
     });
+    let a32: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+    let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+    let mut out32 = vec![0.0f32; L * C_OUT];
+    group.bench_function("f32_simd", |bch| {
+        bch.iter(|| {
+            out32.iter_mut().for_each(|v| *v = 0.0);
+            kf::gemm_f32(&mut out32, &a32, &b32, L, k, C_OUT);
+            std::hint::black_box(out32[0])
+        })
+    });
+    let sa = kf::max_abs_f32(&a32) / 127.0;
+    let sb = kf::max_abs_f32(&b32) / 127.0;
+    let mut qb = Vec::new();
+    kf::quantize_i8(&mut qb, &b32, sb); // weights: quantized once at load
+    let mut qa = Vec::new();
+    let mut qacc = vec![0i32; L * C_OUT];
+    group.bench_function("int8_simd", |bch| {
+        bch.iter(|| {
+            kf::quantize_i8(&mut qa, &a32, sa); // activations: per forward
+            qacc.iter_mut().for_each(|v| *v = 0);
+            kf::gemm_i8(&mut qacc, &qa, &qb, L, k, C_OUT);
+            let f = sa * sb;
+            for (o, &v) in out32.iter_mut().zip(qacc.iter()) {
+                *o = v as f32 * f;
+            }
+            std::hint::black_box(out32[0])
+        })
+    });
     group.finish();
 }
 
@@ -199,6 +234,32 @@ fn bench_matvec(c: &mut Criterion) {
         bch.iter(|| {
             kernels::matvec_into(&mut y, &a, &x, m, k);
             std::hint::black_box(y[0])
+        })
+    });
+    let a32: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+    let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+    let mut y32 = vec![0.0f32; m];
+    group.bench_function("f32_simd", |bch| {
+        bch.iter(|| {
+            kf::matvec_f32(&mut y32, &a32, &x32, m, k);
+            std::hint::black_box(y32[0])
+        })
+    });
+    let sa = kf::max_abs_f32(&a32) / 127.0;
+    let sx = kf::max_abs_f32(&x32) / 127.0;
+    let mut qa = Vec::new();
+    kf::quantize_i8(&mut qa, &a32, sa); // weights: quantized once at load
+    let mut qx = Vec::new();
+    let mut qacc = vec![0i32; m];
+    group.bench_function("int8_simd", |bch| {
+        bch.iter(|| {
+            kf::quantize_i8(&mut qx, &x32, sx); // activations: per forward
+            kf::matvec_i8(&mut qacc, &qa, &qx, m, k);
+            let f = sa * sx;
+            for (o, &v) in y32.iter_mut().zip(qacc.iter()) {
+                *o = v as f32 * f;
+            }
+            std::hint::black_box(y32[0])
         })
     });
     group.finish();

@@ -71,12 +71,12 @@ pub use persist::{
     load_detector, load_detector_file, save_detector, save_detector_file, DetectorFileError,
     PersistError,
 };
-pub use pipeline::{cross_validate, run_split, Detector, GadgetSpec};
+pub use pipeline::{cross_validate, run_split, Detector, GadgetSpec, PrecisionError};
 pub use scan::{
     error_json, prepare_source, score_prepared, score_prepared_mut, score_source, Finding,
-    PreparedGadget, PreparedSource, ScanError, ScanReport,
+    FindingStatus, PreparedGadget, PreparedSource, ScanError, ScanReport,
 };
-pub use sevuldet_nn::workspace_counters;
+pub use sevuldet_nn::{simd_level, workspace_counters, Precision};
 pub use train::{
     evaluate_model, k_folds, stratified_split, subsample, train_model, train_model_checkpointed,
 };

@@ -3,16 +3,18 @@
 //! a line-oriented text format, so the CLI can train once and scan many
 //! times.
 //!
-//! ## Integrity (format v2)
+//! ## Integrity (formats v2/v3)
 //!
-//! [`save_detector`] emits format v2: the v1 payload plus a sealed footer
-//! (see [`crate::integrity`]) carrying the payload length and a CRC-32.
-//! [`load_detector`] verifies the footer before parsing, so truncated or
-//! bit-flipped files are rejected with a typed [`PersistError`] instead of
-//! being deserialized into a silently-wrong model. Legacy v1 files (no
-//! footer) still load — the migration path for models saved before the
-//! footer existed — but any file whose header claims v2 **must** carry a
-//! valid footer.
+//! [`save_detector`] emits format v3: the v1 payload plus a sealed footer
+//! (see [`crate::integrity`]) carrying the payload length and a CRC-32,
+//! and — for CNN-family models — an optional `calibration` section holding
+//! the int8 activation scales recorded at export time. [`load_detector`]
+//! verifies the footer before parsing, so truncated or bit-flipped files
+//! are rejected with a typed [`PersistError`] instead of being
+//! deserialized into a silently-wrong model. Legacy v1 files (no footer)
+//! and v2 files (no calibration section) still load — a v2-era model just
+//! cannot run the int8 tier until re-exported — but any file whose header
+//! claims v2 or v3 **must** carry a valid footer.
 //!
 //! [`save_detector_file`] / [`load_detector_file`] add crash-safe atomic
 //! writes on top (temp file + fsync + rename).
@@ -110,6 +112,7 @@ impl std::error::Error for DetectorFileError {}
 
 const MAGIC_V1: &str = "sevuldet-detector v1";
 const MAGIC_V2: &str = "sevuldet-detector v2";
+const MAGIC_V3: &str = "sevuldet-detector v3";
 
 fn kind_tag(kind: ModelKind) -> &'static str {
     match kind {
@@ -151,11 +154,19 @@ fn unhex(s: &str) -> Option<String> {
     String::from_utf8(bytes?).ok()
 }
 
-/// Serializes a trained detector (format v2: payload + integrity footer).
+/// Serializes a trained detector (format v3: payload + integrity footer,
+/// plus the int8 calibration section for CNN-family models — computed here
+/// from the deterministic calibration batch when not already present).
 pub fn save_detector(detector: &mut Detector) -> String {
+    if detector.supports_fast_tiers() && detector.calibration().is_none() {
+        detector
+            .calibrate()
+            .expect("calibrating a CNN-family model is infallible");
+    }
+    let calibration: Option<Vec<f64>> = detector.calibration().map(<[f64]>::to_vec);
     let (kind, cfg, vocab, params_text) = detector.persist_parts();
     let mut out = String::new();
-    out.push_str(MAGIC_V2);
+    out.push_str(MAGIC_V3);
     out.push('\n');
     out.push_str(&format!("kind {}\n", kind_tag(kind)));
     out.push_str(&format!(
@@ -172,6 +183,13 @@ pub fn save_detector(detector: &mut Detector) -> String {
     out.push_str(&format!("vocab {}\n", vocab.len().saturating_sub(2)));
     for (tok, count) in vocab.entries() {
         out.push_str(&format!("{} {count}\n", hex(tok)));
+    }
+    if let Some(scales) = calibration {
+        out.push_str(&format!("calibration {}", scales.len()));
+        for s in scales {
+            out.push_str(&format!(" {s:e}"));
+        }
+        out.push('\n');
     }
     out.push_str(&params_text);
     integrity::seal(out)
@@ -191,16 +209,16 @@ pub fn load_detector(text: &str) -> Result<Detector, PersistError> {
     let payload = if integrity::has_footer(text) {
         integrity::unseal(text)?
     } else {
-        // No footer: only the legacy v1 format may omit it. A v2 header
+        // No footer: only the legacy v1 format may omit it. A v2/v3 header
         // without a footer means the file lost its tail.
-        if text.lines().next() == Some(MAGIC_V2) {
+        if matches!(text.lines().next(), Some(MAGIC_V2) | Some(MAGIC_V3)) {
             return Err(PersistError::MissingFooter);
         }
         text
     };
     let mut lines = payload.lines();
     match lines.next() {
-        Some(MAGIC_V1) | Some(MAGIC_V2) => {}
+        Some(MAGIC_V1) | Some(MAGIC_V2) | Some(MAGIC_V3) => {}
         _ => return Err(PersistError::BadMagic),
     }
     let kind_line = lines
@@ -255,8 +273,36 @@ pub fn load_detector(text: &str) -> Result<Detector, PersistError> {
         entries.push((tok, count));
     }
     let vocab = Vocab::from_entries(entries);
+    // Optional v3 section between vocab and parameters: `calibration N s…`.
+    // Tolerated under any header so a hand-downgraded file keeps loading.
+    let mut calibration: Option<Vec<f64>> = None;
+    let mut peek = lines.clone();
+    if let Some(rest) = peek.next().and_then(|l| l.strip_prefix("calibration ")) {
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        let count: usize = fields
+            .first()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| PersistError::Format(format!("bad calibration count `{rest}`")))?;
+        if fields.len() != count + 1 {
+            return Err(PersistError::Format(format!(
+                "calibration section claims {count} scales, has {}",
+                fields.len().saturating_sub(1)
+            )));
+        }
+        let scales: Result<Vec<f64>, _> = fields[1..].iter().map(|s| s.parse()).collect();
+        calibration = Some(
+            scales
+                .map_err(|_| PersistError::Format(format!("bad calibration scale in `{rest}`")))?,
+        );
+        lines = peek;
+    }
     let params_text: String = lines.collect::<Vec<_>>().join("\n");
-    Detector::from_persisted(kind, cfg, vocab, &params_text).map_err(PersistError::from)
+    let mut det =
+        Detector::from_persisted(kind, cfg, vocab, &params_text).map_err(PersistError::from)?;
+    if let Some(scales) = calibration {
+        det.set_calibration(scales);
+    }
+    Ok(det)
 }
 
 /// Saves a detector to `path` crash-safely ([`integrity::atomic_write`]):
@@ -395,15 +441,45 @@ mod tests {
         let payload = integrity::unseal(&v2).expect("sealed");
         // Rewrite the header to v1 and drop the footer — exactly what a
         // pre-footer save looked like.
-        let legacy = payload.replacen(MAGIC_V2, MAGIC_V1, 1);
+        let legacy = payload.replacen(MAGIC_V3, MAGIC_V1, 1);
         let mut restored = load_detector(&legacy).expect("legacy load");
         let tokens = vec!["strcpy".to_string()];
         assert!((det.predict(&tokens) - restored.predict(&tokens)).abs() < 1e-12);
-        // But a v2 header with its footer stripped is a truncation error.
+        // But a current header with its footer stripped is a truncation error.
         assert_eq!(
             load_detector(payload).unwrap_err(),
             PersistError::MissingFooter
         );
+    }
+
+    #[test]
+    fn calibration_rides_v3_and_int8_requires_it() {
+        use sevuldet_nn::Precision;
+        let mut det = tiny_detector();
+        let saved = save_detector(&mut det);
+        let mut restored = load_detector(&saved).expect("v3 load");
+        assert!(restored.calibration().is_some(), "v3 carries calibration");
+        restored
+            .set_precision(Precision::Int8)
+            .expect("int8 after a v3 load");
+        // Strip the calibration line — what a v2-era save looks like: the
+        // model still loads, f32 still works, int8 is a typed error telling
+        // the operator to re-export.
+        let payload = integrity::unseal(&saved).expect("sealed");
+        let stripped: String = payload
+            .lines()
+            .filter(|l| !l.starts_with("calibration "))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let mut old = load_detector(&integrity::seal(stripped)).expect("v2-era load");
+        assert!(old.calibration().is_none());
+        assert!(old.set_precision(Precision::Int8).is_err());
+        old.set_precision(Precision::F32)
+            .expect("f32 needs no calibration");
+        // Fast-tier predictions stay close to the f64 reference.
+        let tokens = vec!["strcpy".to_string(), "buf".to_string()];
+        let reference = det.predict(&tokens);
+        assert!((old.predict(&tokens) - reference).abs() < 1e-3);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use sevuldet_dataset::ProgramSample;
 use sevuldet_embedding::Vocab;
 use sevuldet_gadget::{GadgetKind, SliceConfig};
-use sevuldet_nn::{sigmoid, SequenceClassifier};
+use sevuldet_nn::{sigmoid, FastCnn, Precision, SequenceClassifier};
 
 /// How gadgets are produced for an experiment. VulDeePecker-style runs use
 /// data-dependence-only classic gadgets; SySeVR-style runs use classic
@@ -108,6 +108,31 @@ pub fn cross_validate(
     (per_fold, merged)
 }
 
+/// Why a detector could not switch to a requested precision tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrecisionError {
+    /// The fast tiers only exist for the CNN family; RNN baselines stay f64.
+    UnsupportedModel(ModelKind),
+    /// The engine refused to build (e.g. int8 without persisted calibration).
+    Engine(sevuldet_nn::EngineError),
+}
+
+impl std::fmt::Display for PrecisionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrecisionError::UnsupportedModel(kind) => {
+                write!(
+                    f,
+                    "{kind} has no fast-tier engine; only the CNN family does"
+                )
+            }
+            PrecisionError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrecisionError {}
+
 /// A trained detector bundling the model with its vocabulary, usable on new
 /// programs (the detection phase, and the Table VI transfer experiment).
 /// `Clone` gives the batch-prediction path its per-worker replicas.
@@ -118,6 +143,9 @@ pub struct Detector {
     vocab: Vocab,
     cfg: TrainConfig,
     rng: StdRng,
+    precision: Precision,
+    engine: Option<FastCnn>,
+    calibration: Option<Vec<f64>>,
 }
 
 impl std::fmt::Debug for Detector {
@@ -160,6 +188,9 @@ impl Detector {
             vocab: encoded.vocab,
             cfg: cfg.clone(),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xdec0),
+            precision: Precision::F64,
+            engine: None,
+            calibration: None,
         })
     }
 
@@ -193,13 +224,86 @@ impl Detector {
             vocab,
             cfg: cfg.clone(),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xdec0),
+            precision: Precision::F64,
+            engine: None,
+            calibration: None,
         })
+    }
+
+    /// Switches the inference tier. `f64` restores the bit-exact reference
+    /// path; `f32` and `int8` build a [`FastCnn`] engine from the current
+    /// parameters (weights converted once, here). Training always runs f64
+    /// regardless of this setting.
+    ///
+    /// # Errors
+    ///
+    /// [`PrecisionError::UnsupportedModel`] for the RNN baselines, and
+    /// [`PrecisionError::Engine`] when int8 is requested on a model without
+    /// persisted calibration scales (re-export the model to embed them).
+    pub fn set_precision(&mut self, precision: Precision) -> Result<(), PrecisionError> {
+        if precision == Precision::F64 {
+            self.engine = None;
+            self.precision = Precision::F64;
+            return Ok(());
+        }
+        let cnn = match &mut self.model {
+            AnyModel::Cnn(c) => c,
+            AnyModel::Rnn(_) => return Err(PrecisionError::UnsupportedModel(self.kind)),
+        };
+        self.engine = Some(
+            FastCnn::from_cnn(cnn, precision, self.calibration.as_deref())
+                .map_err(PrecisionError::Engine)?,
+        );
+        self.precision = precision;
+        Ok(())
+    }
+
+    /// The tier inference currently runs at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Computes and stores the int8 activation scales from a deterministic
+    /// calibration batch (id sequences spanning the vocabulary). Called at
+    /// export time; the scales ride the v3 model format.
+    ///
+    /// # Errors
+    ///
+    /// [`PrecisionError::UnsupportedModel`] for the RNN baselines.
+    pub fn calibrate(&mut self) -> Result<(), PrecisionError> {
+        let vocab_len = self.vocab.len();
+        let cnn = match &mut self.model {
+            AnyModel::Cnn(c) => c,
+            AnyModel::Rnn(_) => return Err(PrecisionError::UnsupportedModel(self.kind)),
+        };
+        let probes = calibration_probes(vocab_len);
+        let scales = sevuldet_nn::calibrate(cnn, &probes).map_err(PrecisionError::Engine)?;
+        self.calibration = Some(scales);
+        Ok(())
+    }
+
+    /// The persisted int8 activation scales, if any.
+    pub fn calibration(&self) -> Option<&[f64]> {
+        self.calibration.as_deref()
+    }
+
+    /// Installs activation scales read back from a persisted model.
+    pub(crate) fn set_calibration(&mut self, scales: Vec<f64>) {
+        self.calibration = Some(scales);
+    }
+
+    /// Whether this detector's model family supports the f32/int8 engines.
+    pub fn supports_fast_tiers(&self) -> bool {
+        matches!(self.model, AnyModel::Cnn(_))
     }
 
     /// Probability that a normalized gadget token stream is vulnerable.
     pub fn predict(&mut self, tokens: &[String]) -> f64 {
         let ids = self.vocab.encode(tokens);
-        sigmoid(self.model.forward_logit(&ids, false, &mut self.rng))
+        match &mut self.engine {
+            Some(eng) => sigmoid(eng.forward_logit(&ids)),
+            None => sigmoid(self.model.forward_logit(&ids, false, &mut self.rng)),
+        }
     }
 
     /// Binary verdict at the configured threshold (paper: sigmoid > 0.8).
@@ -232,11 +336,18 @@ impl Detector {
         let per_worker: Vec<Vec<f64>> = parallel_map(&workers, jobs, |_, &w| {
             let shard: Vec<Vec<usize>> = ids.iter().skip(w).step_by(jobs).cloned().collect();
             let mut det = self.clone();
-            det.model
-                .forward_logits(&shard, false, &mut det.rng)
-                .into_iter()
-                .map(sigmoid)
-                .collect()
+            match &mut det.engine {
+                Some(eng) => shard
+                    .iter()
+                    .map(|s| sigmoid(eng.forward_logit(s)))
+                    .collect(),
+                None => det
+                    .model
+                    .forward_logits(&shard, false, &mut det.rng)
+                    .into_iter()
+                    .map(sigmoid)
+                    .collect(),
+            }
         });
         (0..ids.len())
             .map(|i| per_worker[i % jobs][i / jobs])
@@ -258,11 +369,15 @@ impl Detector {
             return self.predict_batch(streams, jobs);
         }
         let ids: Vec<Vec<usize>> = streams.iter().map(|t| self.vocab.encode(t)).collect();
-        self.model
-            .forward_logits(&ids, false, &mut self.rng)
-            .into_iter()
-            .map(sigmoid)
-            .collect()
+        match &mut self.engine {
+            Some(eng) => ids.iter().map(|s| sigmoid(eng.forward_logit(s))).collect(),
+            None => self
+                .model
+                .forward_logits(&ids, false, &mut self.rng)
+                .into_iter()
+                .map(sigmoid)
+                .collect(),
+        }
     }
 
     /// Per-token attention weights of the last prediction, if the model has
@@ -288,6 +403,16 @@ impl Detector {
     pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
         self.vocab.encode(tokens)
     }
+}
+
+/// Deterministic calibration batch: id sequences sweeping the vocabulary
+/// with varying strides, so each quantized site sees representative
+/// activation magnitudes without needing the training corpus at hand.
+fn calibration_probes(vocab_len: usize) -> Vec<Vec<usize>> {
+    let v = vocab_len.max(1);
+    (0..8)
+        .map(|i| (0..32).map(|j| (1 + i * 31 + j * 7) % v).collect())
+        .collect()
 }
 
 /// Re-export for harnesses that need the raw encoding step.

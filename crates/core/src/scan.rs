@@ -45,12 +45,18 @@ use sevuldet_gadget::{build_gadget, find_special_tokens, Normalizer};
 pub enum ScanError {
     /// The source did not parse as mini-C.
     Parse(String),
+    /// The scoring backend broke an internal invariant (e.g. returned a
+    /// mismatched score count). A bug report, not a property of the input —
+    /// callers should surface it as an internal error, not reject the
+    /// request.
+    Internal(String),
 }
 
 impl std::fmt::Display for ScanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScanError::Parse(msg) => write!(f, "parse error: {msg}"),
+            ScanError::Internal(msg) => write!(f, "internal scan error: {msg}"),
         }
     }
 }
@@ -79,6 +85,27 @@ pub struct PreparedSource {
     pub gadgets: Vec<PreparedGadget>,
 }
 
+/// How a gadget's score came out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingStatus {
+    /// The model produced a finite probability; `flagged` is meaningful.
+    Scored,
+    /// The model produced a non-finite score (NaN/±∞ — more reachable on
+    /// the f32/int8 tiers). Reported as a per-gadget error, never as
+    /// "clean": `flagged` is forced `false` and the JSON score is `null`.
+    InvalidScore,
+}
+
+impl FindingStatus {
+    /// The JSON spelling of the status.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FindingStatus::Scored => "scored",
+            FindingStatus::InvalidScore => "invalid_score",
+        }
+    }
+}
+
 /// One scored gadget in a [`ScanReport`].
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -88,10 +115,13 @@ pub struct Finding {
     pub category: &'static str,
     /// The special token's name.
     pub name: String,
-    /// Sigmoid probability the gadget is vulnerable.
+    /// Sigmoid probability the gadget is vulnerable (NaN when
+    /// `status == InvalidScore`).
     pub score: f64,
-    /// `score > threshold`.
+    /// `score > threshold` — always `false` for an invalid score.
     pub flagged: bool,
+    /// Whether the score is trustworthy.
+    pub status: FindingStatus,
     /// The normalized gadget tokens (kept for attention ranking).
     pub tokens: Vec<String>,
 }
@@ -118,21 +148,34 @@ impl ScanReport {
         self.findings.iter().filter(|f| f.flagged).count()
     }
 
+    /// Number of findings whose score came back non-finite.
+    pub fn invalid(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.status == FindingStatus::InvalidScore)
+            .count()
+    }
+
     /// The report as a JSON tree. `name` labels the source (file path or
     /// request name); the shape is the serving API's response schema:
     ///
     /// ```json
-    /// {"name":"x.c","status":"scanned","gadgets":2,"flagged":1,
+    /// {"name":"x.c","status":"scanned","gadgets":2,"flagged":1,"invalid":0,
     ///  "threshold":0.8,
     ///  "findings":[{"line":3,"category":"FC","name":"strcpy",
-    ///               "score":0.93,"flagged":true}]}
+    ///               "score":0.93,"flagged":true,"status":"scored"}]}
     /// ```
+    ///
+    /// A finding with a non-finite score serializes `"score":null` and
+    /// `"status":"invalid_score"` — JSON has no NaN, and a silent `false`
+    /// flag would misreport the gadget as clean.
     pub fn to_json(&self, name: &str) -> Json {
         Json::obj(vec![
             ("name", Json::str(name)),
             ("status", Json::str("scanned")),
             ("gadgets", Json::Num(self.gadgets() as f64)),
             ("flagged", Json::Num(self.flagged() as f64)),
+            ("invalid", Json::Num(self.invalid() as f64)),
             ("threshold", Json::Num(self.threshold)),
             (
                 "findings",
@@ -144,8 +187,16 @@ impl ScanReport {
                                 ("line", Json::Num(f.line as f64)),
                                 ("category", Json::str(f.category)),
                                 ("name", Json::str(&*f.name)),
-                                ("score", Json::Num(f.score)),
+                                (
+                                    "score",
+                                    if f.status == FindingStatus::Scored {
+                                        Json::Num(f.score)
+                                    } else {
+                                        Json::Null
+                                    },
+                                ),
                                 ("flagged", Json::Bool(f.flagged)),
+                                ("status", Json::str(f.status.as_str())),
                             ])
                         })
                         .collect(),
@@ -198,11 +249,17 @@ pub fn prepare_source(source: &str, jobs: usize) -> Result<PreparedSource, ScanE
 /// `par`), and split back per source. Reports are in input order and
 /// identical for every `jobs` value and every way of batching the same
 /// sources — the invariant the serving layer's determinism test pins down.
+///
+/// # Errors
+///
+/// [`ScanError::Internal`] when the model returns a score count that does
+/// not match the gadget count — an invariant violation surfaced as a clean
+/// error instead of a panic.
 pub fn score_prepared(
     detector: &Detector,
     prepared: &[PreparedSource],
     jobs: usize,
-) -> Vec<ScanReport> {
+) -> Result<Vec<ScanReport>, ScanError> {
     let _t = sevuldet_trace::span!("scan.score");
     let streams = gadget_streams(prepared);
     let scores = detector.predict_batch(&streams, jobs);
@@ -215,11 +272,16 @@ pub fn score_prepared(
 /// one computes on the detector's own model — no replica clone per call, so
 /// its kernel workspace stays warm. Reports are bit-identical to
 /// [`score_prepared`] for every `jobs` value.
+///
+/// # Errors
+///
+/// [`ScanError::Internal`] on a score-count mismatch, as in
+/// [`score_prepared`].
 pub fn score_prepared_mut(
     detector: &mut Detector,
     prepared: &[PreparedSource],
     jobs: usize,
-) -> Vec<ScanReport> {
+) -> Result<Vec<ScanReport>, ScanError> {
     let _t = sevuldet_trace::span!("scan.score");
     let streams = gadget_streams(prepared);
     let scores = detector.predict_batch_mut(&streams, jobs);
@@ -240,9 +302,16 @@ fn assemble_reports(
     prepared: &[PreparedSource],
     scores: Vec<f64>,
     threshold: f64,
-) -> Vec<ScanReport> {
+) -> Result<Vec<ScanReport>, ScanError> {
+    let expected: usize = prepared.iter().map(|p| p.gadgets.len()).sum();
+    if scores.len() != expected {
+        return Err(ScanError::Internal(format!(
+            "model returned {} scores for {expected} gadgets",
+            scores.len()
+        )));
+    }
     let mut cursor = scores.into_iter();
-    prepared
+    Ok(prepared
         .iter()
         .map(|p| ScanReport {
             threshold,
@@ -250,35 +319,45 @@ fn assemble_reports(
                 .gadgets
                 .iter()
                 .map(|g| {
-                    let score = cursor.next().expect("one score per gadget");
+                    // The count was validated above, so the cursor cannot run
+                    // dry; the NaN fallback keeps even that impossible case a
+                    // reported error instead of a panic.
+                    let score = cursor.next().unwrap_or(f64::NAN);
+                    let status = if score.is_finite() {
+                        FindingStatus::Scored
+                    } else {
+                        FindingStatus::InvalidScore
+                    };
                     Finding {
                         line: g.line,
                         category: g.category,
                         name: g.name.clone(),
                         score,
-                        flagged: score > threshold,
+                        flagged: status == FindingStatus::Scored && score > threshold,
+                        status,
                         tokens: g.tokens.clone(),
                     }
                 })
                 .collect(),
         })
-        .collect()
+        .collect())
 }
 
 /// Scans one source end to end: [`prepare_source`] + [`score_prepared`].
 ///
 /// # Errors
 ///
-/// [`ScanError::Parse`] when the source is not valid mini-C.
+/// [`ScanError::Parse`] when the source is not valid mini-C;
+/// [`ScanError::Internal`] when scoring breaks an internal invariant.
 pub fn score_source(
     detector: &Detector,
     source: &str,
     jobs: usize,
 ) -> Result<ScanReport, ScanError> {
     let prepared = prepare_source(source, jobs)?;
-    Ok(score_prepared(detector, &[prepared], jobs)
+    score_prepared(detector, &[prepared], jobs)?
         .pop()
-        .expect("one report per source"))
+        .ok_or_else(|| ScanError::Internal("no report produced".into()))
 }
 
 #[cfg(test)]
@@ -325,9 +404,11 @@ mod tests {
         for f in &report.findings {
             assert!(f.line >= 1);
             assert!((0.0..=1.0).contains(&f.score));
+            assert_eq!(f.status, FindingStatus::Scored);
             assert_eq!(f.flagged, f.score > report.threshold);
             assert!(!f.tokens.is_empty());
         }
+        assert_eq!(report.invalid(), 0);
         // Source order: lines never decrease out of special-token order.
         let json = report.to_json("leaky.c").to_string();
         assert!(json.contains("\"status\":\"scanned\""));
@@ -350,9 +431,46 @@ mod tests {
     fn parse_failure_is_a_scan_error() {
         let det = tiny_detector();
         let err = score_source(&det, "this is not C at all {{{", 1).unwrap_err();
-        let ScanError::Parse(_) = err;
+        assert!(matches!(err, ScanError::Parse(_)));
         let json = error_json("bad.c", &err).to_string();
         assert!(json.contains("\"status\":\"error\""));
+    }
+
+    #[test]
+    fn non_finite_scores_become_typed_errors_not_clean() {
+        let prepared = prepare_source(LEAKY, 1).expect("parses");
+        let n = prepared.gadgets.len();
+        assert!(n >= 2, "motivating example has at least two gadgets");
+        // Hand the assembler a NaN in slot 0 and confident scores elsewhere.
+        let mut scores = vec![0.9; n];
+        scores[0] = f64::NAN;
+        let prepared = [prepared];
+        let reports = assemble_reports(&prepared, scores, 0.5).expect("count matches");
+        let report = &reports[0];
+        let bad = &report.findings[0];
+        assert_eq!(bad.status, FindingStatus::InvalidScore);
+        assert!(
+            !bad.flagged,
+            "a NaN score must never read as clean-or-flagged"
+        );
+        assert_eq!(report.invalid(), 1);
+        assert_eq!(report.flagged(), n - 1);
+        for f in &report.findings[1..] {
+            assert_eq!(f.status, FindingStatus::Scored);
+            assert!(f.flagged);
+        }
+        let json = report.to_json("nan.c").to_string();
+        assert!(json.contains("\"status\":\"invalid_score\""));
+        assert!(json.contains("\"score\":null"));
+        assert!(json.contains("\"invalid\":1"));
+    }
+
+    #[test]
+    fn score_count_mismatch_is_internal_error_not_panic() {
+        let prepared = [prepare_source(LEAKY, 1).expect("parses")];
+        let err = assemble_reports(&prepared, vec![0.5], 0.5).unwrap_err();
+        assert!(matches!(err, ScanError::Internal(_)));
+        assert!(err.to_string().contains("internal scan error"));
     }
 
     #[test]
@@ -363,7 +481,7 @@ mod tests {
             .iter()
             .map(|s| prepare_source(s, 1).expect("parses"))
             .collect();
-        let batched = score_prepared(&det, &prepared, 1);
+        let batched = score_prepared(&det, &prepared, 1).expect("scores");
         for (src, batch_report) in sources.iter().zip(&batched) {
             let solo = score_source(&det, src, 1).expect("scans");
             assert_eq!(
@@ -374,7 +492,7 @@ mod tests {
         }
         // And thread count must not either.
         for jobs in [2, 4] {
-            let par = score_prepared(&det, &prepared, jobs);
+            let par = score_prepared(&det, &prepared, jobs).expect("scores");
             for (a, b) in batched.iter().zip(&par) {
                 assert_eq!(a.to_json("x").to_string(), b.to_json("x").to_string());
             }
@@ -389,11 +507,11 @@ mod tests {
             .iter()
             .map(|s| prepare_source(s, 1).expect("parses"))
             .collect();
-        let shared = score_prepared(&det, &prepared, 1);
+        let shared = score_prepared(&det, &prepared, 1).expect("scores");
         for jobs in [1, 2, 4] {
             // Repeated calls reuse the detector's warm buffers; every call
             // must still reproduce the clone-based path bit for bit.
-            let owned = score_prepared_mut(&mut det, &prepared, jobs);
+            let owned = score_prepared_mut(&mut det, &prepared, jobs).expect("scores");
             for (a, b) in shared.iter().zip(&owned) {
                 assert_eq!(
                     a.to_json("x").to_string(),

@@ -1,0 +1,861 @@
+//! Precision-tiered inference engine for the SPP-CNN.
+//!
+//! [`FastCnn`] is an inference-only mirror of [`crate::models::SevulDetCnn`]
+//! whose weights are converted **once** at load time: to f32 for the f32
+//! tier, and additionally to symmetric per-tensor int8 for the int8 tier.
+//! The forward pass mirrors the f64 graph layer for layer (same padding,
+//! same SPP segment boundaries, same gate formulas), but runs the five hot
+//! GEMM/matvec products through [`crate::kernels_f32`], so it makes no
+//! bit-identity promise — the f64 path in `models.rs` remains the exact
+//! training/reference backend.
+//!
+//! Int8 quantizes the five large products (conv1, conv2, fc1, fc2, fc3);
+//! everything in between (attention gates, CBAM, SPP, activations) stays
+//! f32, which keeps the tier's error dominated by the two rounding steps of
+//! each quantized product. Activation scales come from a calibration batch
+//! recorded at export time (see [`calibrate`]) and persisted as the
+//! optional v3 section of the sealed model format.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::attention::CbamOrder;
+use crate::kernels_f32 as kf;
+use crate::models::{SequenceClassifier, SevulDetCnn};
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// Number of quantized activation sites: conv1 input columns, conv2 input
+/// columns, and the fc1/fc2/fc3 input vectors. A persisted calibration
+/// section must carry exactly this many scales.
+pub const QUANT_SITES: usize = 5;
+
+/// The compute tier a detector runs its forward pass on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Bit-exact f64 reference path (training and default inference).
+    F64,
+    /// f32 weights/activations with SIMD kernels.
+    F32,
+    /// Int8 weights + quantized activations at the five large products.
+    Int8,
+}
+
+impl Precision {
+    /// The CLI / metrics-label spelling of the tier.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Precision, String> {
+        match s {
+            "f64" => Ok(Precision::F64),
+            "f32" => Ok(Precision::F32),
+            "int8" => Ok(Precision::Int8),
+            other => Err(format!(
+                "unknown precision '{other}' (expected f64, f32, or int8)"
+            )),
+        }
+    }
+}
+
+/// Why a fast-tier engine could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// int8 was requested but the model carries no calibration scales
+    /// (saved before the v3 format, or never calibrated) — re-export the
+    /// model to embed them.
+    MissingCalibration,
+    /// A calibration section was present but had the wrong number of
+    /// scales for this engine.
+    BadCalibration {
+        /// How many scales the section carried (expected [`QUANT_SITES`]).
+        got: usize,
+    },
+    /// `Precision::F64` was requested; the engine only implements the fast
+    /// tiers — the f64 path is the model itself.
+    NotAFastTier,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::MissingCalibration => write!(
+                f,
+                "model has no int8 calibration scales; re-export it with a v3-format save"
+            ),
+            EngineError::BadCalibration { got } => write!(
+                f,
+                "calibration section has {got} scales, expected {QUANT_SITES}"
+            ),
+            EngineError::NotAFastTier => {
+                write!(f, "f64 is the reference path, not an engine tier")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[derive(Debug, Clone)]
+struct QuantWeights {
+    q: Vec<i8>,
+    scale: f32,
+}
+
+fn quantize_weights(w: &[f32]) -> QuantWeights {
+    let scale = kf::max_abs_f32(w) / 127.0;
+    let mut q = Vec::new();
+    kf::quantize_i8(&mut q, w, scale);
+    QuantWeights { q, scale }
+}
+
+#[derive(Debug, Clone)]
+struct TokAttF32 {
+    /// Pre-transposed projection, `(D × A)`.
+    wt: Vec<f32>,
+    b: Vec<f32>,
+    u_w: Vec<f32>,
+    a_dim: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ConvF32 {
+    /// Pre-transposed weights, `(kw·c_in × c_out)`.
+    wt: Vec<f32>,
+    bias: Vec<f32>,
+    c_in: usize,
+    c_out: usize,
+    kw: usize,
+    q: Option<QuantWeights>,
+}
+
+#[derive(Debug, Clone)]
+struct DenseF32 {
+    /// Row-major `(rows × cols)`, as stored.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    rows: usize,
+    cols: usize,
+    q: Option<QuantWeights>,
+}
+
+#[derive(Debug, Clone)]
+struct CbamF32 {
+    order: CbamOrder,
+    w0: Vec<f32>,
+    b0: Vec<f32>,
+    w1: Vec<f32>,
+    b1: Vec<f32>,
+    wc: Vec<f32>,
+    bc: f32,
+    h: usize,
+    c: usize,
+    k: usize,
+}
+
+/// The fast-tier inference engine: f32 (optionally int8-quantized) mirror
+/// of the SPP-CNN forward pass. Cloning clones weights and (small) scratch,
+/// so serve replicas and scan worker shards each get an independent engine.
+#[derive(Debug, Clone)]
+pub struct FastCnn {
+    precision: Precision,
+    fixed_len: Option<usize>,
+    spp_bins: Vec<usize>,
+    emb: Vec<f32>,
+    vocab: usize,
+    d: usize,
+    tok: Option<TokAttF32>,
+    conv1: ConvF32,
+    cbam: Option<CbamF32>,
+    conv2: ConvF32,
+    fc1: DenseF32,
+    fc2: DenseF32,
+    fc3: DenseF32,
+    act_scales: Option<[f32; QUANT_SITES]>,
+    recording: bool,
+    maxabs: [f32; QUANT_SITES],
+    // Scratch, reused across forward calls.
+    padded: Vec<usize>,
+    x: Vec<f32>,
+    y: Vec<f32>,
+    cols: Vec<f32>,
+    qa: Vec<i8>,
+    qacc: Vec<i32>,
+    va: Vec<f32>,
+    vb: Vec<f32>,
+    scores: Vec<f32>,
+    alpha: Vec<f32>,
+}
+
+fn to_f32(t: &Tensor) -> Vec<f32> {
+    t.data().iter().map(|&v| v as f32).collect()
+}
+
+fn transposed_f32(p: &Param, rows: usize, cols: usize) -> Vec<f32> {
+    let src = to_f32(&p.w);
+    let mut out = vec![0.0f32; rows * cols];
+    kf::transpose_f32(&mut out, &src, rows, cols);
+    out
+}
+
+fn sigmoid_f32(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn softmax_f32(scores: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    if scores.is_empty() {
+        return;
+    }
+    let mx = scores.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    out.extend(scores.iter().map(|&v| (v - mx).exp()));
+    let sum: f32 = out.iter().sum();
+    for v in out.iter_mut() {
+        *v /= sum;
+    }
+}
+
+fn relu_f32(v: &mut [f32]) {
+    for x in v {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+}
+
+/// The activation scale actually used to quantize one tensor: the persisted
+/// calibration scale, widened only when the live tensor's range exceeds
+/// what calibration saw. Without this guard an activation outside the
+/// calibrated envelope saturates at ±127, which can silently collapse a
+/// strongly negative logit to ~0 — a catastrophic, input-dependent error.
+/// With it the persisted scale is the common deterministic path and the
+/// widening engages only on out-of-envelope inputs.
+fn effective_scale(calibrated: f32, live: &[f32]) -> f32 {
+    let m = kf::max_abs_f32(live);
+    if m > calibrated * 127.0 {
+        m / 127.0
+    } else {
+        calibrated
+    }
+}
+
+/// One im2col + GEMM convolution at the engine's tier. `out` ends up
+/// `(l × c_out)` bias-initialized plus the product; `cols` keeps the im2col
+/// matrix (the caller records its max-abs when calibrating).
+#[allow(clippy::too_many_arguments)]
+fn conv_forward(
+    conv: &ConvF32,
+    act_scale: Option<f32>,
+    x: &[f32],
+    l: usize,
+    cols: &mut Vec<f32>,
+    qa: &mut Vec<i8>,
+    qacc: &mut Vec<i32>,
+    out: &mut Vec<f32>,
+) {
+    let kc = conv.kw * conv.c_in;
+    cols.clear();
+    cols.resize(l * kc, 0.0);
+    kf::im2col_f32(cols, x, l, conv.c_in, conv.kw);
+    out.clear();
+    out.resize(l * conv.c_out, 0.0);
+    for t in 0..l {
+        out[t * conv.c_out..(t + 1) * conv.c_out].copy_from_slice(&conv.bias);
+    }
+    match (&conv.q, act_scale) {
+        (Some(qw), Some(sx)) => {
+            let sx = effective_scale(sx, cols);
+            kf::quantize_i8(qa, cols, sx);
+            qacc.clear();
+            qacc.resize(l * conv.c_out, 0);
+            kf::gemm_i8(qacc, qa, &qw.q, l, kc, conv.c_out);
+            let f = sx * qw.scale;
+            for (o, &acc) in out.iter_mut().zip(qacc.iter()) {
+                *o += acc as f32 * f;
+            }
+        }
+        _ => kf::gemm_f32(out, cols, &conv.wt, l, kc, conv.c_out),
+    }
+}
+
+/// One dense layer at the engine's tier: `out = W·x + b`.
+fn dense_forward(
+    dn: &DenseF32,
+    act_scale: Option<f32>,
+    x: &[f32],
+    qa: &mut Vec<i8>,
+    qacc: &mut Vec<i32>,
+    out: &mut Vec<f32>,
+) {
+    out.clear();
+    out.resize(dn.rows, 0.0);
+    match (&dn.q, act_scale) {
+        (Some(qw), Some(sx)) => {
+            let sx = effective_scale(sx, x);
+            kf::quantize_i8(qa, x, sx);
+            qacc.clear();
+            qacc.resize(dn.rows, 0);
+            kf::matvec_i8(qacc, &qw.q, qa, dn.rows, dn.cols);
+            let f = sx * qw.scale;
+            for ((o, &acc), &b) in out.iter_mut().zip(qacc.iter()).zip(&dn.b) {
+                *o = acc as f32 * f + b;
+            }
+        }
+        _ => {
+            kf::matvec_f32(out, &dn.w, x, dn.rows, dn.cols);
+            for (o, &b) in out.iter_mut().zip(&dn.b) {
+                *o += b;
+            }
+        }
+    }
+}
+
+/// The CBAM gates in f32: channel MLP gate then spatial conv gate, same
+/// formulas and the same sequential/parallel source convention as the f64
+/// block. Small per-call vectors (≤ channel count) are allocated locally —
+/// the conv GEMMs dominate this path. Input is `x (l×c)`; output lands in
+/// `y`.
+fn cbam_forward(cb: &CbamF32, x: &[f32], y: &mut Vec<f32>, l: usize) {
+    let (c, h, k) = (cb.c, cb.h, cb.k);
+    let mut avg = vec![0.0f32; c];
+    let mut mx = vec![f32::NEG_INFINITY; c];
+    for t in 0..l {
+        for ch in 0..c {
+            let v = x[t * c + ch];
+            avg[ch] += v;
+            if v > mx[ch] {
+                mx[ch] = v;
+            }
+        }
+    }
+    for a in avg.iter_mut() {
+        *a /= l as f32;
+    }
+    let mlp = |s: &[f32]| -> Vec<f32> {
+        let mut pre = vec![0.0f32; h];
+        kf::matvec_f32(&mut pre, &cb.w0, s, h, c);
+        for (p, &b) in pre.iter_mut().zip(&cb.b0) {
+            *p = (*p + b).max(0.0);
+        }
+        let mut o = vec![0.0f32; c];
+        kf::matvec_f32(&mut o, &cb.w1, &pre, c, h);
+        for (p, &b) in o.iter_mut().zip(&cb.b1) {
+            *p += b;
+        }
+        o
+    };
+    let oa = mlp(&avg);
+    let om = mlp(&mx);
+    let mc: Vec<f32> = oa
+        .iter()
+        .zip(&om)
+        .map(|(a, m)| sigmoid_f32(a + m))
+        .collect();
+    y.clear();
+    y.resize(l * c, 0.0);
+    for t in 0..l {
+        for ch in 0..c {
+            y[t * c + ch] = x[t * c + ch] * mc[ch];
+        }
+    }
+    let mut sa = vec![0.0f32; l];
+    let mut sm = vec![f32::NEG_INFINITY; l];
+    {
+        let src: &[f32] = if cb.order == CbamOrder::Sequential {
+            y
+        } else {
+            x
+        };
+        for t in 0..l {
+            for ch in 0..c {
+                let v = src[t * c + ch];
+                sa[t] += v;
+                if v > sm[t] {
+                    sm[t] = v;
+                }
+            }
+            sa[t] /= c as f32;
+        }
+    }
+    let pad = (k / 2) as isize;
+    for t in 0..l {
+        let mut acc = cb.bc;
+        for j in 0..k {
+            let src = t as isize + j as isize - pad;
+            if src < 0 || src >= l as isize {
+                continue;
+            }
+            let s = src as usize;
+            acc += cb.wc[j * 2] * sa[s] + cb.wc[j * 2 + 1] * sm[s];
+        }
+        let ms = sigmoid_f32(acc);
+        for ch in 0..c {
+            y[t * c + ch] *= ms;
+        }
+    }
+}
+
+fn spp_forward(bins: &[usize], x: &[f32], l: usize, c: usize, out: &mut Vec<f32>) {
+    let total: usize = bins.iter().sum();
+    out.clear();
+    out.resize(total * c, 0.0);
+    if l == 0 {
+        return;
+    }
+    let mut slot = 0;
+    for &b in bins {
+        for seg in 0..b {
+            // Same integer segment boundaries as the f64 Spp layer.
+            let start = (seg * l) / b;
+            let mut end = ((seg + 1) * l) / b;
+            if end <= start {
+                end = (start + 1).min(l);
+            }
+            let start = start.min(l - 1);
+            for ch in 0..c {
+                let mut best = f32::NEG_INFINITY;
+                for t in start..end.max(start + 1) {
+                    let v = x[t * c + ch];
+                    if v > best {
+                        best = v;
+                    }
+                }
+                out[slot * c + ch] = best;
+            }
+            slot += 1;
+        }
+    }
+}
+
+impl FastCnn {
+    /// Builds a fast-tier engine from a model's parameters (converted once
+    /// here; the model itself is unchanged — `&mut` only because the pinned
+    /// parameter order is exposed through `params_mut`). Int8 requires the
+    /// model's persisted calibration scales.
+    pub fn from_cnn(
+        model: &mut SevulDetCnn,
+        precision: Precision,
+        calibration: Option<&[f64]>,
+    ) -> Result<FastCnn, EngineError> {
+        if precision == Precision::F64 {
+            return Err(EngineError::NotAFastTier);
+        }
+        let act_scales = if precision == Precision::Int8 {
+            let c = calibration.ok_or(EngineError::MissingCalibration)?;
+            if c.len() != QUANT_SITES {
+                return Err(EngineError::BadCalibration { got: c.len() });
+            }
+            let mut s = [0.0f32; QUANT_SITES];
+            for (dst, &v) in s.iter_mut().zip(c) {
+                *dst = v as f32;
+            }
+            Some(s)
+        } else {
+            None
+        };
+        let cfg = model.config().clone();
+        let params = model.params_mut();
+        let mut it = params.into_iter();
+        let mut next = move |what: &str| -> &mut Param {
+            it.next().unwrap_or_else(|| {
+                // The order and count are pinned by the persistence tests;
+                // running out here means the architecture changed without
+                // updating the engine.
+                panic!("params_mut exhausted before {what}")
+            })
+        };
+        let emb_p = next("embedding table");
+        let (vocab, d) = (emb_p.w.rows(), emb_p.w.cols());
+        let emb = to_f32(&emb_p.w);
+        let tok = if cfg.token_attention {
+            let w = next("token-attention w");
+            let a_dim = w.w.rows();
+            let wt = transposed_f32(w, a_dim, w.w.cols());
+            let b = to_f32(&next("token-attention b").w);
+            let u_w = to_f32(&next("token-attention u_w").w);
+            Some(TokAttF32 { wt, b, u_w, a_dim })
+        } else {
+            None
+        };
+        let quant = precision == Precision::Int8;
+        let conv = |w: &Param, bias: &Param, c_in: usize| -> ConvF32 {
+            let c_out = w.w.rows();
+            let kc = w.w.cols();
+            let wt = {
+                let src = to_f32(&w.w);
+                let mut t = vec![0.0f32; kc * c_out];
+                kf::transpose_f32(&mut t, &src, c_out, kc);
+                t
+            };
+            let q = quant.then(|| quantize_weights(&wt));
+            ConvF32 {
+                wt,
+                bias: to_f32(&bias.w),
+                c_in,
+                c_out,
+                kw: kc / c_in,
+                q,
+            }
+        };
+        let c1w = next("conv1 w");
+        let c = c1w.w.rows();
+        let conv1 = {
+            let w = &*c1w;
+            let bias = next("conv1 b");
+            conv(w, bias, d)
+        };
+        let cbam = if cfg.cbam {
+            let w0 = next("cbam w0");
+            let h = w0.w.rows();
+            let w0 = to_f32(&w0.w);
+            let b0 = to_f32(&next("cbam b0").w);
+            let w1 = to_f32(&next("cbam w1").w);
+            let b1 = to_f32(&next("cbam b1").w);
+            let wc_p = next("cbam wc");
+            let k = wc_p.w.rows();
+            let wc = to_f32(&wc_p.w);
+            let bc = next("cbam bc").w.data()[0] as f32;
+            Some(CbamF32 {
+                order: cfg.cbam_order,
+                w0,
+                b0,
+                w1,
+                b1,
+                wc,
+                bc,
+                h,
+                c,
+                k,
+            })
+        } else {
+            None
+        };
+        let conv2 = {
+            let w = next("conv2 w");
+            let w = &*w;
+            let bias = next("conv2 b");
+            conv(w, bias, c)
+        };
+        let dense = |w: &Param, b: &Param| -> DenseF32 {
+            let (rows, cols) = (w.w.rows(), w.w.cols());
+            let w = to_f32(&w.w);
+            let q = quant.then(|| quantize_weights(&w));
+            DenseF32 {
+                w,
+                b: to_f32(&b.w),
+                rows,
+                cols,
+                q,
+            }
+        };
+        let fc1 = {
+            let w = next("fc1 w");
+            let w = &*w;
+            let b = next("fc1 b");
+            dense(w, b)
+        };
+        let fc2 = {
+            let w = next("fc2 w");
+            let w = &*w;
+            let b = next("fc2 b");
+            dense(w, b)
+        };
+        let fc3 = {
+            let w = next("fc3 w");
+            let w = &*w;
+            let b = next("fc3 b");
+            dense(w, b)
+        };
+        Ok(FastCnn {
+            precision,
+            fixed_len: cfg.fixed_len,
+            spp_bins: cfg.spp_bins.clone(),
+            emb,
+            vocab,
+            d,
+            tok,
+            conv1,
+            cbam,
+            conv2,
+            fc1,
+            fc2,
+            fc3,
+            act_scales,
+            recording: false,
+            maxabs: [0.0; QUANT_SITES],
+            padded: Vec::new(),
+            x: Vec::new(),
+            y: Vec::new(),
+            cols: Vec::new(),
+            qa: Vec::new(),
+            qacc: Vec::new(),
+            va: Vec::new(),
+            vb: Vec::new(),
+            scores: Vec::new(),
+            alpha: Vec::new(),
+        })
+    }
+
+    /// The tier this engine runs at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Inference forward pass: token ids to the raw (pre-sigmoid) logit,
+    /// widened back to f64 for downstream thresholding.
+    pub fn forward_logit(&mut self, ids: &[usize]) -> f64 {
+        // Same padding convention as SevulDetCnn::prepare_ids_into.
+        self.padded.clear();
+        match self.fixed_len {
+            Some(l) => {
+                self.padded.extend(ids.iter().copied().take(l));
+                self.padded.resize(l.max(1), 0);
+            }
+            None => {
+                if ids.is_empty() {
+                    self.padded.push(0);
+                } else {
+                    self.padded.extend_from_slice(ids);
+                }
+            }
+        }
+        let l = self.padded.len();
+        let d = self.d;
+        self.x.clear();
+        self.x.resize(l * d, 0.0);
+        for (t, &id) in self.padded.iter().enumerate() {
+            let row = if id < self.vocab { id } else { 0 };
+            self.x[t * d..(t + 1) * d].copy_from_slice(&self.emb[row * d..(row + 1) * d]);
+        }
+        if let Some(tok) = &self.tok {
+            let a_dim = tok.a_dim;
+            self.y.clear();
+            self.y.resize(l * a_dim, 0.0);
+            kf::gemm_f32(&mut self.y, &self.x, &tok.wt, l, d, a_dim);
+            self.scores.clear();
+            self.scores.resize(l, 0.0);
+            for t in 0..l {
+                let urow = &mut self.y[t * a_dim..(t + 1) * a_dim];
+                for (u, &b) in urow.iter_mut().zip(&tok.b) {
+                    *u = (*u + b).tanh();
+                }
+                self.scores[t] = urow.iter().zip(&tok.u_w).map(|(a, b)| a * b).sum();
+            }
+            softmax_f32(&self.scores, &mut self.alpha);
+            for t in 0..l {
+                let a = self.alpha[t];
+                for v in &mut self.x[t * d..(t + 1) * d] {
+                    *v *= a;
+                }
+            }
+        }
+        let c = self.conv1.c_out;
+        conv_forward(
+            &self.conv1,
+            self.act_scales.map(|s| s[0]),
+            &self.x[..l * d],
+            l,
+            &mut self.cols,
+            &mut self.qa,
+            &mut self.qacc,
+            &mut self.y,
+        );
+        if self.recording {
+            self.maxabs[0] = self.maxabs[0].max(kf::max_abs_f32(&self.cols));
+        }
+        std::mem::swap(&mut self.x, &mut self.y);
+        relu_f32(&mut self.x[..l * c]);
+        if let Some(cb) = &self.cbam {
+            cbam_forward(cb, &self.x[..l * c], &mut self.y, l);
+            std::mem::swap(&mut self.x, &mut self.y);
+        }
+        conv_forward(
+            &self.conv2,
+            self.act_scales.map(|s| s[1]),
+            &self.x[..l * c],
+            l,
+            &mut self.cols,
+            &mut self.qa,
+            &mut self.qacc,
+            &mut self.y,
+        );
+        if self.recording {
+            self.maxabs[1] = self.maxabs[1].max(kf::max_abs_f32(&self.cols));
+        }
+        std::mem::swap(&mut self.x, &mut self.y);
+        relu_f32(&mut self.x[..l * c]);
+        spp_forward(&self.spp_bins, &self.x[..l * c], l, c, &mut self.va);
+        if self.recording {
+            self.maxabs[2] = self.maxabs[2].max(kf::max_abs_f32(&self.va));
+        }
+        dense_forward(
+            &self.fc1,
+            self.act_scales.map(|s| s[2]),
+            &self.va,
+            &mut self.qa,
+            &mut self.qacc,
+            &mut self.vb,
+        );
+        relu_f32(&mut self.vb);
+        if self.recording {
+            self.maxabs[3] = self.maxabs[3].max(kf::max_abs_f32(&self.vb));
+        }
+        dense_forward(
+            &self.fc2,
+            self.act_scales.map(|s| s[3]),
+            &self.vb,
+            &mut self.qa,
+            &mut self.qacc,
+            &mut self.va,
+        );
+        relu_f32(&mut self.va);
+        if self.recording {
+            self.maxabs[4] = self.maxabs[4].max(kf::max_abs_f32(&self.va));
+        }
+        dense_forward(
+            &self.fc3,
+            self.act_scales.map(|s| s[4]),
+            &self.va,
+            &mut self.qa,
+            &mut self.qacc,
+            &mut self.vb,
+        );
+        self.vb[0] as f64
+    }
+}
+
+/// Runs a calibration batch through a temporary f32 engine and returns the
+/// [`QUANT_SITES`] symmetric activation scales (`max|v| / 127` per site; an
+/// all-zero site falls back to scale 1.0). Called at export time; the
+/// scales ride the sealed v3 model format.
+pub fn calibrate(model: &mut SevulDetCnn, probes: &[Vec<usize>]) -> Result<Vec<f64>, EngineError> {
+    let mut eng = FastCnn::from_cnn(model, Precision::F32, None)?;
+    eng.recording = true;
+    eng.maxabs = [0.0; QUANT_SITES];
+    for p in probes {
+        eng.forward_logit(p);
+    }
+    Ok(eng
+        .maxabs
+        .iter()
+        .map(|&m| if m > 0.0 { (m / 127.0) as f64 } else { 1.0 })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::CnnConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sigmoid(x: f64) -> f64 {
+        if x >= 0.0 {
+            1.0 / (1.0 + (-x).exp())
+        } else {
+            let e = x.exp();
+            e / (1.0 + e)
+        }
+    }
+
+    fn tiny_model() -> SevulDetCnn {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (v, d) = (12, 8);
+        let data: Vec<f64> = (0..v * d).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let table = Tensor::from_vec(&[v, d], data);
+        let cfg = CnnConfig {
+            channels: 8,
+            cbam_reduction: 2,
+            cbam_kernel: 3,
+            spp_bins: vec![2, 1],
+            ..CnnConfig::default()
+        };
+        SevulDetCnn::new(table, cfg, &mut rng)
+    }
+
+    fn sequences() -> Vec<Vec<usize>> {
+        vec![
+            vec![1, 2, 3, 4, 5],
+            vec![0, 0, 0],
+            vec![7, 7, 2, 9, 1, 4, 3, 8, 11, 6],
+            vec![],
+            vec![99, 3], // out-of-range id falls back to row 0
+        ]
+    }
+
+    #[test]
+    fn f32_engine_tracks_f64_scores() {
+        let mut model = tiny_model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let want: Vec<f64> = sequences()
+            .iter()
+            .map(|s| model.forward_logit(s, false, &mut rng))
+            .collect();
+        let mut eng = FastCnn::from_cnn(&mut model, Precision::F32, None).unwrap();
+        for (s, w) in sequences().iter().zip(&want) {
+            let got = eng.forward_logit(s);
+            assert!(
+                (sigmoid(got) - sigmoid(*w)).abs() < 1e-3,
+                "f32 score drifted: got logit {got}, want {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_engine_tracks_f64_scores_after_calibration() {
+        let mut model = tiny_model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let want: Vec<f64> = sequences()
+            .iter()
+            .map(|s| model.forward_logit(s, false, &mut rng))
+            .collect();
+        let cal = calibrate(&mut model, &sequences()).unwrap();
+        assert_eq!(cal.len(), QUANT_SITES);
+        let mut eng = FastCnn::from_cnn(&mut model, Precision::Int8, Some(&cal)).unwrap();
+        for (s, w) in sequences().iter().zip(&want) {
+            let got = eng.forward_logit(s);
+            assert!(
+                (sigmoid(got) - sigmoid(*w)).abs() < 5e-2,
+                "int8 score drifted: got logit {got}, want {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_without_calibration_is_an_error() {
+        let mut model = tiny_model();
+        let err = FastCnn::from_cnn(&mut model, Precision::Int8, None).unwrap_err();
+        assert_eq!(err, EngineError::MissingCalibration);
+        let err = FastCnn::from_cnn(&mut model, Precision::Int8, Some(&[1.0; 3])).unwrap_err();
+        assert_eq!(err, EngineError::BadCalibration { got: 3 });
+    }
+
+    #[test]
+    fn precision_parses_and_prints() {
+        assert_eq!("f64".parse::<Precision>().unwrap(), Precision::F64);
+        assert_eq!("f32".parse::<Precision>().unwrap(), Precision::F32);
+        assert_eq!("int8".parse::<Precision>().unwrap(), Precision::Int8);
+        assert!("fp16".parse::<Precision>().is_err());
+        assert_eq!(Precision::Int8.to_string(), "int8");
+    }
+}

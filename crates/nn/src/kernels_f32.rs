@@ -1,0 +1,601 @@
+//! The fast inference tiers of the kernel layer: f32 SIMD GEMM / matvec /
+//! im2col plus int8 integer GEMM / matvec with i32 accumulation.
+//!
+//! Unlike [`crate::kernels`], nothing here promises bit-identity with the
+//! f64 reference loops — these routines trade exact accumulation order for
+//! memory traffic (f32 halves it, int8 quarters it) and for SIMD width. On
+//! x86-64 the hot loops dispatch at runtime to AVX2+FMA bodies when the CPU
+//! supports them; everywhere else (and on other architectures) a manually
+//! 4-wide-unrolled scalar body runs instead. Dispatch is cached in a
+//! `OnceLock`, so the feature probe costs one atomic load per call.
+//!
+//! Accuracy envelope (asserted by the round-trip proptests below and by the
+//! `precision_tiers` integration test):
+//!
+//! * f32: per-element GEMM error is bounded by `k · ε_f32 · max|a|·max|b|`
+//!   (≈ 1e-5 relative at the model's `k = 90`); end-to-end sigmoid scores
+//!   stay within `1e-3` of the f64 reference.
+//! * int8: symmetric per-tensor quantization `q = round(v / s)` clamped to
+//!   `[-127, 127]`; products accumulate exactly in i32, so all error comes
+//!   from the two rounding steps. End-to-end sigmoid scores stay within
+//!   `1e-1` of the f64 reference (well-trained models typically land far
+//!   inside that; the bound covers per-tensor scale granularity across all
+//!   five quantized products).
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+#[cfg(target_arch = "x86_64")]
+use std::sync::OnceLock;
+
+/// Whether the AVX2+FMA fast paths are active on this machine. Returns
+/// `"avx2+fma"` or `"scalar"`; surfaced in benches and `/metrics` notes so
+/// recorded numbers say which body produced them.
+pub fn simd_level() -> &'static str {
+    if avx2_fma() {
+        "avx2+fma"
+    } else {
+        "scalar"
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_fma() -> bool {
+    static CACHED: OnceLock<bool> = OnceLock::new();
+    *CACHED.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_fma() -> bool {
+    false
+}
+
+// ---- f32 kernels ----
+
+/// `out += a · b` for row-major f32 `a (m×k)`, `b (k×n)`, `out (m×n)`.
+/// `out` must be caller-initialized (zeros, or bias rows for a fused
+/// conv/dense product). No zero-skip: every term is accumulated.
+pub fn gemm_f32(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(out.len(), m * n, "gemm_f32 out {m}x{n}");
+    assert_eq!(a.len(), m * k, "gemm_f32 a {m}x{k}");
+    assert_eq!(b.len(), k * n, "gemm_f32 b {k}x{n}");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma() {
+        // SAFETY: avx2+fma verified at runtime; slice lengths asserted above.
+        unsafe { gemm_f32_avx2(out, a, b, m, k, n) };
+        return;
+    }
+    gemm_f32_scalar(out, a, b, m, k, n);
+}
+
+/// Scalar body: per output row, broadcast each `a[i][p]` over a 4-wide
+/// unrolled pass of `b`'s row `p`.
+fn gemm_f32_scalar(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            let brow = &b[p * n..(p + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                orow[j] += av * brow[j];
+                orow[j + 1] += av * brow[j + 1];
+                orow[j + 2] += av * brow[j + 2];
+                orow[j + 3] += av * brow[j + 3];
+                j += 4;
+            }
+            while j < n {
+                orow[j] += av * brow[j];
+                j += 1;
+            }
+        }
+    }
+}
+
+/// AVX2+FMA body: each 8-column strip of an output row is a register
+/// accumulator over the whole k-loop, so `out` is loaded and stored once
+/// per strip instead of once per `p` — `b` (k×n ≈ 11 KiB at model shape)
+/// streams from L1.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gemm_f32_avx2(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = a.as_ptr().add(i * k);
+        let orow = out.as_mut_ptr().add(i * n);
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut acc = _mm256_loadu_ps(orow.add(j));
+            let mut bp = b.as_ptr().add(j);
+            for p in 0..k {
+                acc = _mm256_fmadd_ps(_mm256_set1_ps(*arow.add(p)), _mm256_loadu_ps(bp), acc);
+                bp = bp.add(n);
+            }
+            _mm256_storeu_ps(orow.add(j), acc);
+            j += 8;
+        }
+        while j < n {
+            let mut s = *orow.add(j);
+            for p in 0..k {
+                s += *arow.add(p) * *b.get_unchecked(p * n + j);
+            }
+            *orow.add(j) = s;
+            j += 1;
+        }
+    }
+}
+
+/// `y = a · x` for row-major f32 `a (m×k)` and `x (k)`. Overwrites `y`.
+pub fn matvec_f32(y: &mut [f32], a: &[f32], x: &[f32], m: usize, k: usize) {
+    assert_eq!(y.len(), m, "matvec_f32 y {m}");
+    assert_eq!(a.len(), m * k, "matvec_f32 a {m}x{k}");
+    assert_eq!(x.len(), k, "matvec_f32 x {k}");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma() {
+        // SAFETY: avx2+fma verified at runtime; slice lengths asserted above.
+        unsafe { matvec_f32_avx2(y, a, x, m, k) };
+        return;
+    }
+    matvec_f32_scalar(y, a, x, m, k);
+}
+
+/// Scalar body: four independent accumulators per row hide the FP add
+/// latency chain; the tail folds in whatever is left.
+fn matvec_f32_scalar(y: &mut [f32], a: &[f32], x: &[f32], m: usize, k: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let mut p = 0;
+        while p + 4 <= k {
+            s0 += arow[p] * x[p];
+            s1 += arow[p + 1] * x[p + 1];
+            s2 += arow[p + 2] * x[p + 2];
+            s3 += arow[p + 3] * x[p + 3];
+            p += 4;
+        }
+        let mut s = (s0 + s1) + (s2 + s3);
+        while p < k {
+            s += arow[p] * x[p];
+            p += 1;
+        }
+        y[i] = s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn matvec_f32_avx2(y: &mut [f32], a: &[f32], x: &[f32], m: usize, k: usize) {
+    for i in 0..m {
+        let arow = a.as_ptr().add(i * k);
+        let mut acc = _mm256_setzero_ps();
+        let mut p = 0;
+        while p + 8 <= k {
+            acc = _mm256_fmadd_ps(
+                _mm256_loadu_ps(arow.add(p)),
+                _mm256_loadu_ps(x.as_ptr().add(p)),
+                acc,
+            );
+            p += 8;
+        }
+        let mut s = hsum256_ps(acc);
+        while p < k {
+            s += *arow.add(p) * *x.get_unchecked(p);
+            p += 1;
+        }
+        *y.get_unchecked_mut(i) = s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum256_ps(v: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps(v, 1);
+    let s = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    _mm_cvtss_f32(s)
+}
+
+/// f32 im2col: lowers `x (l×c)` into `cols (l × kw·c)` with same-padding
+/// (`pad = kw/2`); out-of-range taps are written as zero. `cols` must be
+/// pre-sized to `l · kw · c`. Same layout as the f64 `im2col_into`.
+pub fn im2col_f32(cols: &mut [f32], x: &[f32], l: usize, c: usize, kw: usize) {
+    let kc = kw * c;
+    assert_eq!(cols.len(), l * kc, "im2col_f32 cols {l}x{kc}");
+    assert_eq!(x.len(), l * c, "im2col_f32 x {l}x{c}");
+    let pad = (kw / 2) as isize;
+    for t in 0..l {
+        let dst = &mut cols[t * kc..(t + 1) * kc];
+        for j in 0..kw {
+            let src = t as isize + j as isize - pad;
+            let tap = &mut dst[j * c..(j + 1) * c];
+            if src < 0 || src >= l as isize {
+                tap.fill(0.0);
+            } else {
+                let s = src as usize;
+                tap.copy_from_slice(&x[s * c..(s + 1) * c]);
+            }
+        }
+    }
+}
+
+/// f32 transpose: `out (n×m)` = `a (m×n)`ᵀ. `out` must be pre-sized.
+pub fn transpose_f32(out: &mut [f32], a: &[f32], m: usize, n: usize) {
+    assert_eq!(out.len(), m * n, "transpose_f32 out {n}x{m}");
+    assert_eq!(a.len(), m * n, "transpose_f32 a {m}x{n}");
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j];
+        }
+    }
+}
+
+// ---- int8 kernels ----
+
+/// Largest absolute value in `src` (0.0 for an empty slice). The symmetric
+/// calibration scale for a tensor is `max_abs / 127`.
+pub fn max_abs_f32(src: &[f32]) -> f32 {
+    src.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+/// Symmetric per-tensor quantization: `q = round(v / scale)` clamped to
+/// `[-127, 127]`. `out` is cleared and refilled; a non-positive `scale`
+/// maps everything to zero (the tensor was all-zero at calibration).
+pub fn quantize_i8(out: &mut Vec<i8>, src: &[f32], scale: f32) {
+    out.clear();
+    if scale <= 0.0 {
+        out.resize(src.len(), 0);
+        return;
+    }
+    let inv = 1.0 / scale;
+    out.extend(
+        src.iter()
+            .map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8),
+    );
+}
+
+/// `out += a · b` for row-major int8 `a (m×k)`, `b (k×n)` accumulating
+/// exactly into i32 `out (m×n)`. `out` must be caller-initialized.
+pub fn gemm_i8(out: &mut [i32], a: &[i8], b: &[i8], m: usize, k: usize, n: usize) {
+    assert_eq!(out.len(), m * n, "gemm_i8 out {m}x{n}");
+    assert_eq!(a.len(), m * k, "gemm_i8 a {m}x{k}");
+    assert_eq!(b.len(), k * n, "gemm_i8 b {k}x{n}");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma() {
+        // SAFETY: avx2 verified at runtime; slice lengths asserted above.
+        unsafe { gemm_i8_avx2(out, a, b, m, k, n) };
+        return;
+    }
+    gemm_i8_scalar(out, a, b, m, k, n);
+}
+
+fn gemm_i8_scalar(out: &mut [i32], a: &[i8], b: &[i8], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0 {
+                continue;
+            }
+            let av = av as i32;
+            let brow = &b[p * n..(p + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                orow[j] += av * brow[j] as i32;
+                orow[j + 1] += av * brow[j + 1] as i32;
+                orow[j + 2] += av * brow[j + 2] as i32;
+                orow[j + 3] += av * brow[j + 3] as i32;
+                j += 4;
+            }
+            while j < n {
+                orow[j] += av * brow[j] as i32;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// AVX2 body: 8-wide i32 strip accumulators; each `b` octet is widened
+/// with `cvtepi8_epi32` and multiplied against the broadcast `a` element.
+/// Integer adds are exact, so this matches the scalar body bit-for-bit.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_i8_avx2(out: &mut [i32], a: &[i8], b: &[i8], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = a.as_ptr().add(i * k);
+        let orow = out.as_mut_ptr().add(i * n);
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut acc = _mm256_loadu_si256(orow.add(j) as *const __m256i);
+            for p in 0..k {
+                let av = _mm256_set1_epi32(*arow.add(p) as i32);
+                let bv = _mm256_cvtepi8_epi32(_mm_loadl_epi64(
+                    b.as_ptr().add(p * n + j) as *const __m128i
+                ));
+                acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(av, bv));
+            }
+            _mm256_storeu_si256(orow.add(j) as *mut __m256i, acc);
+            j += 8;
+        }
+        while j < n {
+            let mut s = *orow.add(j);
+            for p in 0..k {
+                s += (*arow.add(p) as i32) * (*b.get_unchecked(p * n + j) as i32);
+            }
+            *orow.add(j) = s;
+            j += 1;
+        }
+    }
+}
+
+/// `y = a · x` for row-major int8 `a (m×k)`, `x (k)`, exact i32 sums.
+/// Overwrites `y`.
+pub fn matvec_i8(y: &mut [i32], a: &[i8], x: &[i8], m: usize, k: usize) {
+    assert_eq!(y.len(), m, "matvec_i8 y {m}");
+    assert_eq!(a.len(), m * k, "matvec_i8 a {m}x{k}");
+    assert_eq!(x.len(), k, "matvec_i8 x {k}");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma() {
+        // SAFETY: avx2 verified at runtime; slice lengths asserted above.
+        unsafe { matvec_i8_avx2(y, a, x, m, k) };
+        return;
+    }
+    matvec_i8_scalar(y, a, x, m, k);
+}
+
+fn matvec_i8_scalar(y: &mut [i32], a: &[i8], x: &[i8], m: usize, k: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let (mut s0, mut s1, mut s2, mut s3) = (0i32, 0i32, 0i32, 0i32);
+        let mut p = 0;
+        while p + 4 <= k {
+            s0 += arow[p] as i32 * x[p] as i32;
+            s1 += arow[p + 1] as i32 * x[p + 1] as i32;
+            s2 += arow[p + 2] as i32 * x[p + 2] as i32;
+            s3 += arow[p + 3] as i32 * x[p + 3] as i32;
+            p += 4;
+        }
+        let mut s = s0 + s1 + s2 + s3;
+        while p < k {
+            s += arow[p] as i32 * x[p] as i32;
+            p += 1;
+        }
+        y[i] = s;
+    }
+}
+
+/// AVX2 body: i8 pairs widen to i16 and `madd_epi16` folds them into i32
+/// lanes (products are ≤ 127², so the i16→i32 pairwise sum cannot
+/// overflow).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matvec_i8_avx2(y: &mut [i32], a: &[i8], x: &[i8], m: usize, k: usize) {
+    for i in 0..m {
+        let arow = a.as_ptr().add(i * k);
+        let mut acc = _mm256_setzero_si256();
+        let mut p = 0;
+        while p + 16 <= k {
+            let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(arow.add(p) as *const __m128i));
+            let vx = _mm256_cvtepi8_epi16(_mm_loadu_si128(x.as_ptr().add(p) as *const __m128i));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vx));
+            p += 16;
+        }
+        let mut s = hsum256_epi32(acc);
+        while p < k {
+            s += (*arow.add(p) as i32) * (*x.get_unchecked(p) as i32);
+            p += 1;
+        }
+        *y.get_unchecked_mut(i) = s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum256_epi32(v: __m256i) -> i32 {
+    let lo = _mm256_castsi256_si128(v);
+    let hi = _mm256_extracti128_si256(v, 1);
+    let s = _mm_add_epi32(lo, hi);
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b0100_1110));
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b1011_0001));
+    _mm_cvtsi128_si32(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn value() -> BoxedStrategy<f64> {
+        prop_oneof![
+            2 => any::<f64>().prop_map(|v| (v - 0.5) * 4.0),
+            1 => Just(0.0),
+        ]
+        .boxed()
+    }
+
+    fn matrix(rows: usize, cols: usize) -> BoxedStrategy<Vec<f64>> {
+        let n = rows * cols;
+        proptest::collection::vec(value(), n..n + 1).boxed()
+    }
+
+    fn to_f32(v: &[f64]) -> Vec<f32> {
+        v.iter().map(|&x| x as f32).collect()
+    }
+
+    /// f64 dense matmul reference (no zero-skip, like `gemm_f32`).
+    fn matmul_f64(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    out[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// f32↔f64 round trip: downcast the operands, run the f32 kernel,
+        /// and check every element against the f64 product of the *same*
+        /// downcast operands within the documented envelope
+        /// `k · ε_f32 · max|a| · max|b|` (with a small absolute floor).
+        #[test]
+        fn gemm_f32_within_envelope_of_f64(dims in (0usize..9, 0usize..17, 0usize..12)) {
+            let (m, k, n) = dims;
+            let mut rng = TestRng::for_test(&format!("gemm-f32-{m}-{k}-{n}"));
+            let a = matrix(m, k).generate(&mut rng);
+            let b = matrix(k, n).generate(&mut rng);
+            let (a32, b32) = (to_f32(&a), to_f32(&b));
+            let a64: Vec<f64> = a32.iter().map(|&v| v as f64).collect();
+            let b64: Vec<f64> = b32.iter().map(|&v| v as f64).collect();
+            let mut out = vec![0.0f32; m * n];
+            gemm_f32(&mut out, &a32, &b32, m, k, n);
+            let exact = matmul_f64(&a64, &b64, m, k, n);
+            let amax = a.iter().fold(0.0f64, |s, &v| s.max(v.abs()));
+            let bmax = b.iter().fold(0.0f64, |s, &v| s.max(v.abs()));
+            let tol = (k as f64) * (f32::EPSILON as f64) * amax * bmax + 1e-6;
+            for (got, want) in out.iter().zip(&exact) {
+                prop_assert!(
+                    ((*got as f64) - want).abs() <= tol,
+                    "got {got}, want {want}, tol {tol}"
+                );
+            }
+        }
+
+        #[test]
+        fn matvec_f32_within_envelope_of_f64(dims in (0usize..11, 0usize..40)) {
+            let (m, k) = dims;
+            let mut rng = TestRng::for_test(&format!("matvec-f32-{m}-{k}"));
+            let a32 = to_f32(&matrix(m, k).generate(&mut rng));
+            let x32 = to_f32(&matrix(k, 1).generate(&mut rng));
+            let mut y = vec![0.0f32; m];
+            matvec_f32(&mut y, &a32, &x32, m, k);
+            let a64: Vec<f64> = a32.iter().map(|&v| v as f64).collect();
+            let x64: Vec<f64> = x32.iter().map(|&v| v as f64).collect();
+            let amax = a64.iter().fold(0.0f64, |s, &v| s.max(v.abs()));
+            let xmax = x64.iter().fold(0.0f64, |s, &v| s.max(v.abs()));
+            let tol = (k as f64) * (f32::EPSILON as f64) * amax * xmax + 1e-6;
+            for i in 0..m {
+                let want: f64 = (0..k).map(|p| a64[i * k + p] * x64[p]).sum();
+                prop_assert!(
+                    ((y[i] as f64) - want).abs() <= tol,
+                    "row {i}: got {}, want {want}, tol {tol}", y[i]
+                );
+            }
+        }
+
+        /// The int8 SIMD and scalar bodies are exact integer arithmetic, so
+        /// they must agree bit-for-bit with a naive i32 loop.
+        #[test]
+        fn gemm_i8_matches_naive_i32(dims in (0usize..9, 0usize..40, 0usize..12)) {
+            let (m, k, n) = dims;
+            let mut rng = TestRng::for_test(&format!("gemm-i8-{m}-{k}-{n}"));
+            let a: Vec<i8> = matrix(m, k).generate(&mut rng)
+                .iter().map(|&v| (v * 50.0).clamp(-127.0, 127.0) as i8).collect();
+            let b: Vec<i8> = matrix(k, n).generate(&mut rng)
+                .iter().map(|&v| (v * 50.0).clamp(-127.0, 127.0) as i8).collect();
+            let mut out = vec![0i32; m * n];
+            gemm_i8(&mut out, &a, &b, m, k, n);
+            let mut want = vec![0i32; m * n];
+            for i in 0..m {
+                for p in 0..k {
+                    for j in 0..n {
+                        want[i * n + j] += a[i * k + p] as i32 * b[p * n + j] as i32;
+                    }
+                }
+            }
+            prop_assert_eq!(out, want);
+        }
+
+        #[test]
+        fn matvec_i8_matches_naive_i32(dims in (0usize..11, 0usize..40)) {
+            let (m, k) = dims;
+            let mut rng = TestRng::for_test(&format!("matvec-i8-{m}-{k}"));
+            let a: Vec<i8> = matrix(m, k).generate(&mut rng)
+                .iter().map(|&v| (v * 50.0).clamp(-127.0, 127.0) as i8).collect();
+            let x: Vec<i8> = matrix(k, 1).generate(&mut rng)
+                .iter().map(|&v| (v * 50.0).clamp(-127.0, 127.0) as i8).collect();
+            let mut y = vec![0i32; m];
+            matvec_i8(&mut y, &a, &x, m, k);
+            let want: Vec<i32> = (0..m)
+                .map(|i| (0..k).map(|p| a[i * k + p] as i32 * x[p] as i32).sum())
+                .collect();
+            prop_assert_eq!(y, want);
+        }
+    }
+
+    #[test]
+    fn empty_and_k0_shapes_are_safe() {
+        // m = n = k = 0 and k = 0 with live rows: no panic, no writes.
+        gemm_f32(&mut [], &[], &[], 0, 0, 0);
+        gemm_f32(&mut [], &[], &[], 0, 3, 0);
+        let mut out = vec![7.0f32; 4];
+        gemm_f32(&mut out, &[], &[], 2, 0, 2);
+        assert_eq!(out, vec![7.0; 4], "k=0 leaves the bias-initialized out");
+        gemm_i8(&mut [], &[], &[], 0, 0, 0);
+        let mut oi = vec![3i32; 4];
+        gemm_i8(&mut oi, &[], &[], 2, 0, 2);
+        assert_eq!(oi, vec![3; 4]);
+        matvec_f32(&mut [], &[], &[], 0, 0);
+        matvec_i8(&mut [], &[], &[], 0, 0);
+        // k = 0 matvec rows are empty sums: exact zero.
+        let mut y = vec![f32::NAN; 2];
+        matvec_f32(&mut y, &[], &[], 2, 0);
+        assert_eq!(y, vec![0.0, 0.0]);
+        im2col_f32(&mut [], &[], 0, 1, 3);
+    }
+
+    #[test]
+    fn single_element_matvec() {
+        let mut y = vec![0.0f32; 1];
+        matvec_f32(&mut y, &[3.0], &[-2.0], 1, 1);
+        assert_eq!(y, vec![-6.0]);
+        let mut yi = vec![0i32; 1];
+        matvec_i8(&mut yi, &[-7], &[9], 1, 1);
+        assert_eq!(yi, vec![-63]);
+    }
+
+    #[test]
+    fn im2col_f32_zero_pads_edges() {
+        let mut cols = vec![f32::NAN; 6];
+        im2col_f32(&mut cols, &[10.0, 20.0], 2, 1, 3);
+        assert_eq!(cols, vec![0.0, 10.0, 20.0, 10.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_f32_round_trips() {
+        let a = vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
+        let mut t = vec![0.0f32; 6];
+        transpose_f32(&mut t, &a, 2, 3);
+        assert_eq!(t, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        let mut back = vec![0.0f32; 6];
+        transpose_f32(&mut back, &t, 3, 2);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn quantize_round_trips_within_one_step() {
+        let src = vec![0.5f32, -1.25, 0.0, 2.0, -2.0, 1.99];
+        let scale = max_abs_f32(&src) / 127.0;
+        let mut q = Vec::new();
+        quantize_i8(&mut q, &src, scale);
+        for (&v, &qi) in src.iter().zip(&q) {
+            let back = qi as f32 * scale;
+            assert!(
+                (back - v).abs() <= scale * 0.5 + 1e-7,
+                "v {v} -> q {qi} -> {back} (scale {scale})"
+            );
+        }
+        // Degenerate all-zero tensor: scale 0 quantizes to zeros.
+        quantize_i8(&mut q, &[0.0, 0.0], 0.0);
+        assert_eq!(q, vec![0, 0]);
+    }
+}

@@ -28,8 +28,10 @@
 //! ```
 
 pub mod attention;
+pub mod engine;
 pub mod gradcheck;
 pub mod kernels;
+pub mod kernels_f32;
 pub mod layers;
 pub mod loss;
 pub mod models;
@@ -40,7 +42,9 @@ pub mod serialize;
 pub mod tensor;
 
 pub use attention::{Cbam, CbamOrder, TokenAttention};
+pub use engine::{calibrate, EngineError, FastCnn, Precision, QUANT_SITES};
 pub use kernels::{workspace_counters, Workspace};
+pub use kernels_f32::simd_level;
 pub use layers::{Conv1d, Dense, Dropout, Embedding, Relu, Spp};
 pub use loss::{bce_with_logits, bce_with_logits_weighted};
 pub use models::{CnnConfig, RnnNet, SequenceClassifier, SevulDetCnn};

@@ -206,6 +206,12 @@ impl SevulDetCnn {
         }
     }
 
+    /// The configuration this network was built with (the precision engine
+    /// reads it to mirror the architecture).
+    pub fn config(&self) -> &CnnConfig {
+        &self.config
+    }
+
     fn prepare_ids_into(&mut self, ids: &[usize]) {
         self.cache_padded.clear();
         match self.config.fixed_len {

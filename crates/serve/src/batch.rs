@@ -53,6 +53,10 @@ pub enum JobOutcome {
     /// Scoring this request panicked even in isolation — a poison input
     /// (status 500). Other requests in the same batch are unaffected.
     Panicked,
+    /// The scoring pipeline broke an internal invariant (e.g. returned the
+    /// wrong number of scores). A server bug, answered as a clean 500 —
+    /// never via the panic machinery.
+    Internal(String),
 }
 
 /// Why a submission was not accepted.
@@ -221,11 +225,17 @@ pub fn worker_loop(
         let _respond_span = sevuldet::trace::span!("serve.respond");
         let mut reports = scored.into_iter();
         for (job, outcome) in batch.into_iter().zip(outcomes) {
-            let outcome = outcome.unwrap_or_else(|| {
-                match reports.next().expect("one slot per prepared job") {
-                    Some(report) => JobOutcome::Report(report.to_json(&job.name).to_string()),
-                    None => JobOutcome::Panicked,
+            let outcome = outcome.unwrap_or_else(|| match reports.next() {
+                Some(SlotOutcome::Report(report)) => {
+                    JobOutcome::Report(report.to_json(&job.name).to_string())
                 }
+                Some(SlotOutcome::Panicked) => JobOutcome::Panicked,
+                Some(SlotOutcome::Internal(msg)) => JobOutcome::Internal(msg),
+                // A missing slot is itself an invariant break: answer this
+                // job with a clean 500 instead of panicking the worker.
+                None => JobOutcome::Internal(
+                    "scoring produced no result slot for a prepared job".into(),
+                ),
             });
             if matches!(outcome, JobOutcome::Report(_) | JobOutcome::ParseError(_)) {
                 metrics
@@ -239,13 +249,31 @@ pub fn worker_loop(
     }
 }
 
+/// Per-source result of one isolated batch forward.
+#[derive(Debug)]
+enum SlotOutcome {
+    /// Scored normally.
+    Report(ScanReport),
+    /// Cornered as the poison request of a panicking batch.
+    Panicked,
+    /// The scoring pipeline returned a typed internal error ([`ScanError`]'s
+    /// `Internal` variant) — reported once, cleanly, without riding the
+    /// catch_unwind/bisection machinery.
+    Internal(String),
+}
+
 /// Scores a prepared batch with panic isolation: the forward pass runs
 /// under `catch_unwind`, and when it panics the batch is bisected and each
 /// half retried, recursively, until the poison request is cornered alone —
-/// it gets `None` (answered 500 upstream); every other request still gets
-/// its report. Because [`score_prepared_mut`] is batching-invariant (pinned
-/// by the serve integration tests), the surviving requests' reports are
-/// byte-identical to what the unsplit batch would have produced.
+/// it gets [`SlotOutcome::Panicked`] (answered 500 upstream); every other
+/// request still gets its report. Because [`score_prepared_mut`] is
+/// batching-invariant (pinned by the serve integration tests), the
+/// surviving requests' reports are byte-identical to what the unsplit batch
+/// would have produced.
+///
+/// A typed [`sevuldet::ScanError::Internal`] from the scorer is *not* a
+/// panic: the whole batch is answered [`SlotOutcome::Internal`] directly —
+/// one clean 500 per affected request, no bisection.
 ///
 /// The worker's warm replica may be torn mid-forward by a panic, so it is
 /// dropped and re-cloned from the batch's pinned model `Arc` before any
@@ -258,7 +286,7 @@ fn score_batch_isolated(
     names: &[String],
     inner_jobs: usize,
     metrics: &Metrics,
-) -> Vec<Option<ScanReport>> {
+) -> Vec<SlotOutcome> {
     if prepared.is_empty() {
         return Vec::new();
     }
@@ -278,14 +306,35 @@ fn score_batch_isolated(
         }))
     };
     match result {
-        Ok(reports) => reports.into_iter().map(Some).collect(),
+        Ok(Ok(reports)) if reports.len() == prepared.len() => {
+            reports.into_iter().map(SlotOutcome::Report).collect()
+        }
+        Ok(Ok(reports)) => {
+            // One report per prepared source is the scorer's contract;
+            // answer every slot with a clean 500 rather than guessing at an
+            // alignment.
+            let msg = format!(
+                "scorer returned {} reports for {} sources",
+                reports.len(),
+                prepared.len()
+            );
+            (0..prepared.len())
+                .map(|_| SlotOutcome::Internal(msg.clone()))
+                .collect()
+        }
+        Ok(Err(e)) => {
+            let msg = e.to_string();
+            (0..prepared.len())
+                .map(|_| SlotOutcome::Internal(msg.clone()))
+                .collect()
+        }
         Err(_) => {
             metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
             // The replica was mid-forward when the panic unwound; its
             // internal scratch state is suspect, so rebuild before retrying.
             *replica = None;
             if prepared.len() == 1 {
-                return vec![None];
+                return vec![SlotOutcome::Panicked];
             }
             let mid = prepared.len() / 2;
             let mut out = score_batch_isolated(

@@ -7,9 +7,9 @@
 //!                [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //!                [--profile] [--trace-out trace.json]
 //! sevuldet scan <file.c> [<file2.c> ...] --model model.svd [--top 5] [--jobs N] [--json]
-//!                [--profile] [--trace-out trace.json]
+//!                [--precision f64|f32|int8] [--profile] [--trace-out trace.json]
 //! sevuldet serve --model model.svd [--addr 127.0.0.1:8080] [--workers N] [--max-batch N]
-//!                [--queue-cap N] [--deadline-ms N] [--jobs N]
+//!                [--queue-cap N] [--deadline-ms N] [--jobs N] [--precision f64|f32|int8]
 //! sevuldet gadgets <file.c> [--classic]
 //! ```
 //!
@@ -25,8 +25,8 @@
 use sevuldet::checkpoint::CheckpointSpec;
 use sevuldet::{
     load_detector_file, prepare_source, save_detector_file, score_prepared_mut, top_tokens,
-    CheckpointError, Detector, DetectorFileError, GadgetSpec, Json, ModelKind, PreparedSource,
-    ScanError, ScanReport, TrainConfig,
+    CheckpointError, Detector, DetectorFileError, GadgetSpec, Json, ModelKind, Precision,
+    PreparedSource, ScanError, ScanReport, TrainConfig,
 };
 use sevuldet_analysis::ProgramAnalysis;
 use sevuldet_dataset::{sard, SardConfig};
@@ -100,9 +100,9 @@ impl From<RegistryError> for CliError {
     fn from(e: RegistryError) -> Self {
         match e {
             RegistryError::Io(_) => CliError::Io(e.to_string()),
-            RegistryError::Invalid(_) | RegistryError::SmokeTest(_) => {
-                CliError::Corrupt(e.to_string())
-            }
+            RegistryError::Invalid(_)
+            | RegistryError::SmokeTest(_)
+            | RegistryError::Precision(_) => CliError::Corrupt(e.to_string()),
         }
     }
 }
@@ -120,10 +120,10 @@ fn main() -> ExitCode {
                 "  sevuldet train --out <model> [--per-category N] [--epochs N] [--seed N] [--jobs N] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--profile] [--trace-out FILE]"
             );
             eprintln!(
-                "  sevuldet scan <file.c> [<file2.c> ...] --model <model> [--top N] [--jobs N] [--json] [--profile] [--trace-out FILE]"
+                "  sevuldet scan <file.c> [<file2.c> ...] --model <model> [--top N] [--jobs N] [--json] [--precision f64|f32|int8] [--profile] [--trace-out FILE]"
             );
             eprintln!(
-                "  sevuldet serve --model <model> [--addr host:port] [--workers N] [--max-batch N] [--queue-cap N] [--deadline-ms N] [--jobs N]"
+                "  sevuldet serve --model <model> [--addr host:port] [--workers N] [--max-batch N] [--queue-cap N] [--deadline-ms N] [--jobs N] [--precision f64|f32|int8]"
             );
             eprintln!("  sevuldet gadgets <file.c> [--classic]");
             return ExitCode::from(2);
@@ -224,6 +224,10 @@ const FLAGS: &[FlagSpec] = &[
         name: "--trace-out",
         takes_value: true,
     },
+    FlagSpec {
+        name: "--precision",
+        takes_value: true,
+    },
 ];
 
 fn spec(name: &str) -> Option<&'static FlagSpec> {
@@ -287,6 +291,16 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
     match flag(args, name) {
         Some(v) => v.parse().map_err(|_| format!("bad {name} `{v}`")),
         None => Ok(default),
+    }
+}
+
+/// Parses `--precision` (default: the bit-exact f64 reference tier).
+fn precision_flag(args: &[String]) -> Result<Precision, CliError> {
+    match flag(args, "--precision") {
+        None => Ok(Precision::F64),
+        Some(v) => v
+            .parse()
+            .map_err(|e: String| CliError::Usage(format!("bad --precision: {e}"))),
     }
 }
 
@@ -395,12 +409,16 @@ fn cmd_scan(args: &[String]) -> Result<(), CliError> {
     let top: usize = parse_flag(args, "--top", 0).map_err(CliError::Usage)?;
     let jobs: usize = parse_flag(args, "--jobs", 1).map_err(CliError::Usage)?;
     let as_json = has_flag(args, "--json");
+    let precision = precision_flag(args)?;
 
     // Load the model once and score every file in a single batched forward
     // pass — the same `prepare_source`/`score_prepared_mut` path the
     // server's batch workers use, so CLI and server output cannot drift.
     // An unreadable file and a corrupt one exit with different codes.
     let mut detector = load_detector_file(std::path::Path::new(&model_path))?;
+    detector
+        .set_precision(precision)
+        .map_err(|e| CliError::Corrupt(format!("--precision {precision}: {e}")))?;
 
     let mut outcomes: Vec<Option<FileScan>> = Vec::with_capacity(files.len());
     let mut prepared: Vec<PreparedSource> = Vec::new();
@@ -417,19 +435,66 @@ fn cmd_scan(args: &[String]) -> Result<(), CliError> {
         }
     }
     // The CLI owns its detector, so score on it directly: at jobs = 1 this
-    // skips the per-call model clone entirely (same scores either way).
-    let mut reports = score_prepared_mut(&mut detector, &prepared, jobs).into_iter();
+    // skips the per-call model clone entirely (same scores either way). A
+    // typed internal scoring error marks every prepared file failed instead
+    // of panicking the process.
+    let mut reports = match score_prepared_mut(&mut detector, &prepared, jobs) {
+        Ok(reports) => reports.into_iter(),
+        Err(e) => {
+            let outcomes: Vec<FileScan> = outcomes
+                .into_iter()
+                .map(|o| o.unwrap_or(FileScan::Failed(e.clone())))
+                .collect();
+            return finish_scan(
+                &files,
+                &outcomes,
+                &mut detector,
+                as_json,
+                top,
+                profile,
+                trace_out.as_deref(),
+            );
+        }
+    };
     let outcomes: Vec<FileScan> = outcomes
         .into_iter()
-        .map(|o| o.unwrap_or_else(|| FileScan::Scanned(reports.next().expect("report"))))
+        .map(|o| {
+            o.unwrap_or_else(|| match reports.next() {
+                Some(report) => FileScan::Scanned(report),
+                None => FileScan::Failed(ScanError::Internal(
+                    "no report produced for prepared file".into(),
+                )),
+            })
+        })
         .collect();
+    finish_scan(
+        &files,
+        &outcomes,
+        &mut detector,
+        as_json,
+        top,
+        profile,
+        trace_out.as_deref(),
+    )
+}
 
+/// Prints scan outcomes (JSON or human), emits traces, and maps failures to
+/// the exit code.
+fn finish_scan(
+    files: &[String],
+    outcomes: &[FileScan],
+    detector: &mut Detector,
+    as_json: bool,
+    top: usize,
+    profile: bool,
+    trace_out: Option<&str>,
+) -> Result<(), CliError> {
     if as_json {
         // One JSON array, one element per file, same report schema as the
         // server; "clean" (scanned, no findings) is distinct from "error".
         let docs: Vec<Json> = files
             .iter()
-            .zip(&outcomes)
+            .zip(outcomes)
             .map(|(file, outcome)| match outcome {
                 FileScan::Scanned(report) => report.to_json(file),
                 FileScan::Failed(e) => sevuldet::error_json(file, e),
@@ -442,16 +507,16 @@ fn cmd_scan(args: &[String]) -> Result<(), CliError> {
             .collect();
         println!("{}", Json::Arr(docs));
     } else {
-        for (file, outcome) in files.iter().zip(&outcomes) {
+        for (file, outcome) in files.iter().zip(outcomes) {
             match outcome {
                 FileScan::Unreadable(msg) => eprintln!("{file}: not scanned: {msg}"),
                 FileScan::Failed(e) => eprintln!("{file}: not scanned: {e}"),
-                FileScan::Scanned(report) => print_human_report(file, report, &mut detector, top),
+                FileScan::Scanned(report) => print_human_report(file, report, detector, top),
             }
         }
     }
 
-    emit_trace(profile, trace_out.as_deref())?;
+    emit_trace(profile, trace_out)?;
     let failures = outcomes
         .iter()
         .filter(|o| !matches!(o, FileScan::Scanned(_)))
@@ -517,12 +582,13 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         ),
         ..ServeConfig::default()
     };
-    let registry = ModelRegistry::open(&model_path)?;
+    let precision = precision_flag(args)?;
+    let registry = ModelRegistry::open_with_precision(&model_path, precision)?;
     let handle =
         server::start(cfg, registry).map_err(|e| CliError::Bind(format!("binding server: {e}")))?;
     signal::install();
     eprintln!(
-        "sevuldet-serve listening on http://{} (model {model_path}; POST /scan, POST /reload, GET /metrics, GET /healthz)",
+        "sevuldet-serve listening on http://{} (model {model_path}, precision {precision}; POST /scan, POST /reload, GET /metrics, GET /healthz)",
         handle.addr()
     );
     while !signal::termination_requested() {

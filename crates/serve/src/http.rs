@@ -122,6 +122,12 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<ReadOutcome, HttpError>
         headers,
         body: Vec::new(),
     };
+    // RFC 7230 §3.3.2: multiple message-framing headers with differing
+    // values are a request-smuggling vector — `Request::header` returns the
+    // first match, so a proxy that honors the *last* would read a different
+    // body boundary. Reject conflicts outright; identical repeats collapse.
+    reject_conflicting_duplicates(&req, "content-length")?;
+    reject_conflicting_duplicates(&req, "transfer-encoding")?;
     if req
         .header("transfer-encoding")
         .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
@@ -142,6 +148,24 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<ReadOutcome, HttpError>
         .read_exact(&mut body)
         .map_err(|e| io_error(e, "reading body"))?;
     Ok(ReadOutcome::Request(Request { body, ..req }))
+}
+
+/// Rejects a request that repeats the message-framing header `name` with
+/// conflicting values (case-insensitive compare, since `Transfer-Encoding`
+/// tokens are case-insensitive). Identical duplicates are tolerated.
+fn reject_conflicting_duplicates(req: &Request, name: &str) -> Result<(), HttpError> {
+    let mut values = req
+        .headers
+        .iter()
+        .filter(|(k, _)| k == name)
+        .map(|(_, v)| v);
+    let Some(first) = values.next() else {
+        return Ok(());
+    };
+    if values.any(|v| !v.eq_ignore_ascii_case(first)) {
+        return Err(HttpError::new(400, format!("conflicting duplicate {name}")));
+    }
+    Ok(())
 }
 
 /// Reads one `\r\n`- (or `\n`-) terminated line into `line` (terminator
@@ -323,6 +347,30 @@ mod tests {
                 .status,
             501
         );
+    }
+
+    #[test]
+    fn conflicting_framing_duplicates_get_400() {
+        // Smuggling shape: a first-match parser reads 5 body bytes, a
+        // last-match proxy would read 9999 — must die with 400.
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 9999\r\n\r\nhello";
+        let err = parse(raw).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.msg.contains("content-length"));
+        let raw = "POST / HTTP/1.1\r\nTransfer-Encoding: identity\r\n\
+                   Transfer-Encoding: chunked\r\n\r\n";
+        let err = parse(raw).unwrap_err();
+        assert_eq!(err.status, 400, "conflict beats the 501 chunked answer");
+        assert!(err.msg.contains("transfer-encoding"));
+    }
+
+    #[test]
+    fn identical_framing_duplicates_are_tolerated() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        let ReadOutcome::Request(req) = parse(raw).unwrap() else {
+            panic!("expected request");
+        };
+        assert_eq!(req.body, b"hello");
     }
 
     #[test]

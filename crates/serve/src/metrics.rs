@@ -187,8 +187,10 @@ impl Metrics {
         *map.entry(status).or_insert(0) += 1;
     }
 
-    /// Renders the Prometheus text exposition.
-    pub fn render(&self, model_version: u64) -> String {
+    /// Renders the Prometheus text exposition. `precision` is the serving
+    /// precision tier's name (`f64`/`f32`/`int8`), exported as a labeled
+    /// info-style gauge so dashboards can tell fast-tier replicas apart.
+    pub fn render(&self, model_version: u64, precision: &str) -> String {
         let mut out = String::with_capacity(2048);
         let w = &mut out;
         let _ = writeln!(
@@ -272,6 +274,12 @@ impl Metrics {
         );
         let _ = writeln!(w, "# TYPE sevuldet_model_version gauge");
         let _ = writeln!(w, "sevuldet_model_version {model_version}");
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_precision_tier Serving precision tier (info gauge, always 1)."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_precision_tier gauge");
+        let _ = writeln!(w, "sevuldet_precision_tier{{tier=\"{precision}\"}} 1");
         let _ = writeln!(w, "# HELP sevuldet_queue_depth Scan jobs currently queued.");
         let _ = writeln!(w, "# TYPE sevuldet_queue_depth gauge");
         let _ = writeln!(
@@ -364,8 +372,9 @@ mod tests {
         m.reloads.store(2, Ordering::Relaxed);
         m.reload_failures.store(5, Ordering::Relaxed);
         m.worker_panics.store(1, Ordering::Relaxed);
-        let text = m.render(7);
+        let text = m.render(7, "int8");
         for needle in [
+            "sevuldet_precision_tier{tier=\"int8\"} 1",
             "sevuldet_reload_failures_total 5",
             "sevuldet_worker_panics_total 1",
             "sevuldet_checkpoints_written_total",
@@ -395,7 +404,7 @@ mod tests {
         m.observe_stage("serve.forward", 2_000_000); // 2 ms
         m.observe_stage("serve.forward", 40_000_000); // 40 ms
         m.observe_stage("serve.queue_wait", 500); // 0.5 µs
-        let text = m.render(1);
+        let text = m.render(1, "f64");
         for needle in [
             "# TYPE sevuldet_stage_duration_seconds histogram",
             "sevuldet_stage_duration_seconds_bucket{stage=\"serve.forward\",le=\"0.01\"} 1",

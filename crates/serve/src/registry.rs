@@ -11,7 +11,7 @@
 //! the old model finishes on the old model — reloads never tear a forward
 //! pass and never drop in-flight requests.
 
-use sevuldet::{load_detector, Detector, PersistError};
+use sevuldet::{load_detector, Detector, PersistError, Precision};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -28,6 +28,10 @@ pub enum RegistryError {
     /// The detector deserialized but failed the smoke forward pass
     /// (panicked or produced a non-probability) — never swap it in.
     SmokeTest(String),
+    /// The detector cannot serve at the requested precision tier (e.g. int8
+    /// asked of a model saved without calibration scales, or a fast tier
+    /// asked of an architecture without an inference engine).
+    Precision(String),
 }
 
 impl std::fmt::Display for RegistryError {
@@ -37,6 +41,9 @@ impl std::fmt::Display for RegistryError {
             RegistryError::Invalid(e) => write!(f, "{e}"),
             RegistryError::SmokeTest(msg) => {
                 write!(f, "candidate model failed smoke test: {msg}")
+            }
+            RegistryError::Precision(msg) => {
+                write!(f, "model cannot serve at requested precision: {msg}")
             }
         }
     }
@@ -59,18 +66,36 @@ pub struct ModelRegistry {
     path: PathBuf,
     current: RwLock<Arc<LoadedModel>>,
     next_version: AtomicU64,
+    precision: Precision,
 }
 
 impl ModelRegistry {
-    /// Loads and validates the initial model from `path`.
+    /// Loads and validates the initial model from `path` at the f64
+    /// reference precision.
     ///
     /// # Errors
     ///
     /// A typed [`RegistryError`] when the file is unreadable, invalid, or
     /// fails the smoke forward pass.
     pub fn open(path: impl AsRef<Path>) -> Result<ModelRegistry, RegistryError> {
+        ModelRegistry::open_with_precision(path, Precision::F64)
+    }
+
+    /// [`ModelRegistry::open`], but every load (initial and reload) serves
+    /// at `precision`. The smoke test runs *after* the tier switch, so a
+    /// candidate that cannot score at the serving precision is rejected the
+    /// same way a corrupt file is.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::open`], plus [`RegistryError::Precision`] when
+    /// the model cannot run at `precision`.
+    pub fn open_with_precision(
+        path: impl AsRef<Path>,
+        precision: Precision,
+    ) -> Result<ModelRegistry, RegistryError> {
         let path = path.as_ref().to_path_buf();
-        let detector = read_model(&path)?;
+        let detector = read_model(&path, precision)?;
         Ok(ModelRegistry {
             path,
             current: RwLock::new(Arc::new(LoadedModel {
@@ -78,7 +103,13 @@ impl ModelRegistry {
                 version: 1,
             })),
             next_version: AtomicU64::new(2),
+            precision,
         })
+    }
+
+    /// The precision tier every load serves at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The currently served model. Callers hold the `Arc` for as long as
@@ -99,7 +130,7 @@ impl ModelRegistry {
     ///
     /// A typed [`RegistryError`] (see [`ModelRegistry::open`]).
     pub fn reload(&self) -> Result<u64, RegistryError> {
-        let detector = read_model(&self.path)?;
+        let detector = read_model(&self.path, self.precision)?;
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         let loaded = Arc::new(LoadedModel { detector, version });
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = loaded;
@@ -112,9 +143,12 @@ impl ModelRegistry {
     }
 }
 
-fn read_model(path: &Path) -> Result<Detector, RegistryError> {
+fn read_model(path: &Path, precision: Precision) -> Result<Detector, RegistryError> {
     let text = std::fs::read_to_string(path).map_err(RegistryError::Io)?;
-    let detector = load_detector(&text).map_err(RegistryError::Invalid)?;
+    let mut detector = load_detector(&text).map_err(RegistryError::Invalid)?;
+    detector
+        .set_precision(precision)
+        .map_err(|e| RegistryError::Precision(e.to_string()))?;
     smoke_test(detector)
 }
 
@@ -162,6 +196,23 @@ mod tests {
         };
         let mut det = Detector::train(&corpus, ModelKind::SevulDet, &cfg);
         save_detector(&mut det)
+    }
+
+    #[test]
+    fn registry_opens_at_fast_precision_tiers() {
+        let dir = std::env::temp_dir().join(format!("svd-registry-prec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.svd");
+        std::fs::write(&path, tiny_model_text(3)).unwrap();
+        for precision in [Precision::F32, Precision::Int8] {
+            let reg = ModelRegistry::open_with_precision(&path, precision)
+                .unwrap_or_else(|e| panic!("open at {precision}: {e}"));
+            assert_eq!(reg.precision(), precision);
+            // The smoke test already proved the tier scores a probability;
+            // reloads keep the tier.
+            assert_eq!(reg.reload().expect("reload keeps tier"), 2);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -271,10 +271,11 @@ fn route(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
         ("GET", "/metrics") => {
             shared.metrics.count_request("metrics");
             let version = shared.registry.current().version;
+            let precision = shared.registry.precision();
             (
                 200,
                 "text/plain; version=0.0.4",
-                shared.metrics.render(version),
+                shared.metrics.render(version, precision.as_str()),
             )
         }
         ("POST", "/reload") => {
@@ -408,6 +409,11 @@ fn handle_scan(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
             500,
             "application/json",
             error_body("scoring this request failed; it was isolated from its batch"),
+        ),
+        Ok(JobOutcome::Internal(msg)) => (
+            500,
+            "application/json",
+            error_body(&format!("internal scoring error: {msg}")),
         ),
         Err(_) => (
             503,
