@@ -65,7 +65,7 @@ impl std::error::Error for ScanError {}
 
 /// One gadget extracted from a source, ready to be scored: where it came
 /// from plus its normalized token stream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PreparedGadget {
     /// 1-based source line of the special token.
     pub line: u32,
@@ -79,7 +79,7 @@ pub struct PreparedGadget {
 
 /// A parsed-and-sliced source: everything that can be computed without the
 /// model. Produced by [`prepare_source`], consumed by [`score_prepared`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PreparedSource {
     /// One entry per special token, in source order.
     pub gadgets: Vec<PreparedGadget>,

@@ -1,0 +1,495 @@
+//! The persistent artifact store: one sealed file per `(content hash,
+//! pipeline fingerprint)` key holding a serialized [`PreparedSource`].
+//!
+//! Every entry rides the crash-safety machinery from
+//! `sevuldet::integrity`: the payload is CRC-32 sealed ([`seal`]) and
+//! written with the temp-file + fsync + atomic-rename protocol
+//! ([`atomic_write`]), so a reader sees either a complete, checksummed
+//! entry or nothing. The reader side inverts the contract deliberately:
+//! a corrupt, truncated, or version-skewed entry is **silently treated as
+//! a miss** (and deleted, so it cannot rot in place) — a cache must never
+//! turn disk damage into a scan failure when recomputing is always
+//! possible.
+//!
+//! ## Entry format (`<key>.svdc`)
+//!
+//! ```text
+//! sevuldet-query-cache v1
+//! spec <pipeline fingerprint>
+//! source sha256=<hex of the source bytes>
+//! gadgets <count>
+//! g <line> <category> <name>
+//! t <token> <token> ...
+//! ...one g/t pair per gadget...
+//! sevuldet-footer crc32=XXXXXXXX len=NNNN
+//! ```
+//!
+//! Names and tokens are percent-escaped (`%`, space, and ASCII control
+//! bytes), keeping the format line-oriented and greppable. The file name
+//! *is* the cache key: `sha256(version || fingerprint || source)`, so a
+//! pipeline-shape change or a source edit can never alias an old entry.
+
+use crate::stats;
+use sevuldet::integrity::{atomic_write, seal, sha256_hex, unseal};
+use sevuldet::{PreparedGadget, PreparedSource};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Format version; bumping it orphans (and lazily replaces) every existing
+/// entry, because the version participates in the key hash *and* the
+/// header check.
+pub const FORMAT_VERSION: &str = "v1";
+
+/// Extension of store entries (everything else in the directory is
+/// ignored, so a cache dir can be shared with other artifacts).
+pub const ENTRY_EXT: &str = "svdc";
+
+const MAGIC: &str = "sevuldet-query-cache";
+
+/// The outcome of verifying one entry (the `cache verify` subcommand).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryStatus {
+    /// Seal and header both check out.
+    Ok,
+    /// The CRC-32 seal rejected the bytes (truncation, bit flip).
+    Corrupt(String),
+    /// Sealed fine but the header is from another format version or an
+    /// unparseable shape — recomputed on next use.
+    Stale(String),
+    /// The entry could not be read at all.
+    Unreadable(String),
+}
+
+/// Aggregate numbers for `cache stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of `.svdc` entries present.
+    pub entries: u64,
+    /// Their total size in bytes.
+    pub bytes: u64,
+}
+
+/// A directory of sealed artifact entries with a size budget.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    /// Soft size cap in bytes; 0 means unbounded.
+    max_bytes: u64,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) the store at `dir`. `max_bytes` of 0
+    /// disables eviction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures — an unwritable cache dir is
+    /// an operator error, unlike a damaged entry.
+    pub fn open(dir: &Path, max_bytes: u64) -> io::Result<ArtifactStore> {
+        std::fs::create_dir_all(dir)?;
+        let store = ArtifactStore {
+            dir: dir.to_path_buf(),
+            max_bytes,
+        };
+        stats::set_size(store.stats().bytes);
+        Ok(store)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cache key for a source under a pipeline fingerprint: the entry
+    /// file stem.
+    pub fn key(source: &str, fingerprint: &str) -> String {
+        let mut data = Vec::with_capacity(
+            MAGIC.len() + FORMAT_VERSION.len() + fingerprint.len() + source.len() + 3,
+        );
+        data.extend_from_slice(MAGIC.as_bytes());
+        data.push(0);
+        data.extend_from_slice(FORMAT_VERSION.as_bytes());
+        data.push(0);
+        data.extend_from_slice(fingerprint.as_bytes());
+        data.push(0);
+        data.extend_from_slice(source.as_bytes());
+        sha256_hex(&data)
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.{ENTRY_EXT}"))
+    }
+
+    /// Loads an entry, or `None` when it is absent, corrupt, truncated, or
+    /// from another format/fingerprint — *silent recompute* semantics. A
+    /// damaged entry is removed so the next save rewrites it cleanly.
+    pub fn load(&self, key: &str, fingerprint: &str) -> Option<PreparedSource> {
+        let _t = sevuldet_trace::span!("query.store.load");
+        let path = self.entry_path(key);
+        let text = std::fs::read_to_string(&path).ok()?;
+        match unseal(&text).ok().and_then(|p| decode(p, fingerprint)) {
+            Some(prepared) => Some(prepared),
+            None => {
+                let len = text.len() as i64;
+                if std::fs::remove_file(&path).is_ok() {
+                    stats::add_size(-len);
+                }
+                None
+            }
+        }
+    }
+
+    /// Serializes, seals, and atomically writes one entry, then enforces
+    /// the size budget. Write failures are swallowed (a read-only cache
+    /// degrades to recompute-every-time; it must not fail the scan).
+    pub fn save(&self, key: &str, fingerprint: &str, source: &str, prepared: &PreparedSource) {
+        let _t = sevuldet_trace::span!("query.store.save");
+        let sealed = seal(encode(fingerprint, source, prepared));
+        let path = self.entry_path(key);
+        let existed = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0) as i64;
+        if atomic_write(&path, sealed.as_bytes()).is_ok() {
+            stats::add_size(sealed.len() as i64 - existed);
+            self.evict_to_budget(key);
+        }
+    }
+
+    /// Evicts oldest-modified entries until the store fits `max_bytes`,
+    /// never evicting `keep_key` (the entry just written).
+    fn evict_to_budget(&self, keep_key: &str) {
+        if self.max_bytes == 0 {
+            return;
+        }
+        let mut entries = self.list_entries();
+        let mut total: u64 = entries.iter().map(|e| e.len).sum();
+        if total <= self.max_bytes {
+            return;
+        }
+        // Oldest first; ties broken by name for determinism.
+        entries.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.path.cmp(&b.path)));
+        let keep = self.entry_path(keep_key);
+        let mut evicted = 0u64;
+        for e in entries {
+            if total <= self.max_bytes {
+                break;
+            }
+            if e.path == keep {
+                continue;
+            }
+            if std::fs::remove_file(&e.path).is_ok() {
+                total = total.saturating_sub(e.len);
+                stats::add_size(-(e.len as i64));
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            stats::evicted(evicted);
+        }
+    }
+
+    /// Counts entries and bytes currently present.
+    pub fn stats(&self) -> StoreStats {
+        let entries = self.list_entries();
+        StoreStats {
+            entries: entries.len() as u64,
+            bytes: entries.iter().map(|e| e.len).sum(),
+        }
+    }
+
+    /// Removes every entry, returning how many were deleted and how many
+    /// bytes they held.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first deletion failure (`cache clear` wants a loud
+    /// error, unlike the scan path).
+    pub fn clear(&self) -> io::Result<StoreStats> {
+        let mut removed = StoreStats::default();
+        for e in self.list_entries() {
+            std::fs::remove_file(&e.path)?;
+            removed.entries += 1;
+            removed.bytes += e.len;
+            stats::add_size(-(e.len as i64));
+        }
+        Ok(removed)
+    }
+
+    /// Verifies the seal and header of every entry, in name order.
+    pub fn verify(&self) -> Vec<(String, EntryStatus)> {
+        let mut entries = self.list_entries();
+        entries.sort_by(|a, b| a.path.cmp(&b.path));
+        entries
+            .into_iter()
+            .map(|e| {
+                let name = e
+                    .path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                let status = match std::fs::read_to_string(&e.path) {
+                    Err(err) => EntryStatus::Unreadable(err.to_string()),
+                    Ok(text) => match unseal(&text) {
+                        Err(err) => EntryStatus::Corrupt(err.to_string()),
+                        Ok(payload) => match check_header(payload) {
+                            Ok(()) => EntryStatus::Ok,
+                            Err(msg) => EntryStatus::Stale(msg),
+                        },
+                    },
+                };
+                (name, status)
+            })
+            .collect()
+    }
+
+    fn list_entries(&self) -> Vec<EntryMeta> {
+        let Ok(read) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        read.filter_map(|e| {
+            let e = e.ok()?;
+            let path = e.path();
+            if path.extension().and_then(|x| x.to_str()) != Some(ENTRY_EXT) {
+                return None;
+            }
+            let meta = e.metadata().ok()?;
+            Some(EntryMeta {
+                len: meta.len(),
+                mtime: meta.modified().ok(),
+                path,
+            })
+        })
+        .collect()
+    }
+}
+
+struct EntryMeta {
+    path: PathBuf,
+    len: u64,
+    mtime: Option<std::time::SystemTime>,
+}
+
+/// Percent-escapes `%`, space, and ASCII control bytes so names and tokens
+/// fit a space-separated line format.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        if b == b'%' || b == b' ' || b < 0x21 {
+            out.push('%');
+            out.push_str(&format!("{b:02x}"));
+        } else {
+            out.push(b as char);
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Maps a category abbreviation back to the `&'static str` the scan layer
+/// uses (the strings must be pointer-stable across the process).
+fn category_static(abbrev: &str) -> Option<&'static str> {
+    match abbrev {
+        "FC" => Some("FC"),
+        "AU" => Some("AU"),
+        "PU" => Some("PU"),
+        "AE" => Some("AE"),
+        _ => None,
+    }
+}
+
+fn encode(fingerprint: &str, source: &str, prepared: &PreparedSource) -> String {
+    let mut out = String::with_capacity(256 + prepared.gadgets.len() * 128);
+    out.push_str(&format!("{MAGIC} {FORMAT_VERSION}\n"));
+    out.push_str(&format!("spec {}\n", escape(fingerprint)));
+    out.push_str(&format!(
+        "source sha256={}\n",
+        sha256_hex(source.as_bytes())
+    ));
+    out.push_str(&format!("gadgets {}\n", prepared.gadgets.len()));
+    for g in &prepared.gadgets {
+        out.push_str(&format!(
+            "g {} {} {}\n",
+            g.line,
+            g.category,
+            escape(&g.name)
+        ));
+        out.push('t');
+        for t in &g.tokens {
+            out.push(' ');
+            out.push_str(&escape(t));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Validates only the magic/version line (what `verify` calls "stale" vs
+/// "ok"; fingerprint mismatches are impossible by keying but checked by
+/// [`decode`] anyway).
+fn check_header(payload: &str) -> Result<(), String> {
+    let first = payload.lines().next().unwrap_or_default();
+    if first == format!("{MAGIC} {FORMAT_VERSION}") {
+        Ok(())
+    } else {
+        Err(format!("unrecognized header `{first}`"))
+    }
+}
+
+fn decode(payload: &str, fingerprint: &str) -> Option<PreparedSource> {
+    let mut lines = payload.lines();
+    if lines.next()? != format!("{MAGIC} {FORMAT_VERSION}") {
+        return None;
+    }
+    let spec = lines.next()?.strip_prefix("spec ")?;
+    if unescape(spec)? != fingerprint {
+        return None;
+    }
+    lines.next()?.strip_prefix("source sha256=")?;
+    let count: usize = lines.next()?.strip_prefix("gadgets ")?.parse().ok()?;
+    let mut gadgets = Vec::with_capacity(count);
+    for _ in 0..count {
+        let g = lines.next()?.strip_prefix("g ")?;
+        let mut fields = g.splitn(3, ' ');
+        let line: u32 = fields.next()?.parse().ok()?;
+        let category = category_static(fields.next()?)?;
+        let name = unescape(fields.next()?)?;
+        let t = lines.next()?;
+        let rest = t
+            .strip_prefix("t")
+            .filter(|r| r.is_empty() || r.starts_with(' '))?;
+        let tokens = rest
+            .split_ascii_whitespace()
+            .map(unescape)
+            .collect::<Option<Vec<String>>>()?;
+        gadgets.push(PreparedGadget {
+            line,
+            category,
+            name,
+            tokens,
+        });
+    }
+    if lines.next().is_some() {
+        return None; // trailing garbage: treat as damage
+    }
+    Some(PreparedSource { gadgets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PreparedSource {
+        PreparedSource {
+            gadgets: vec![
+                PreparedGadget {
+                    line: 3,
+                    category: "FC",
+                    name: "strcpy".into(),
+                    tokens: vec!["strcpy".into(), "(".into(), "var1".into(), ")".into()],
+                },
+                PreparedGadget {
+                    line: 7,
+                    category: "AE",
+                    name: "weird %name\t".into(),
+                    tokens: vec!["a b".into(), "%".into()],
+                },
+            ],
+        }
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("svd-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let p = sample();
+        let decoded = decode(&encode("fp", "src", &p), "fp").expect("decodes");
+        assert_eq!(decoded.gadgets.len(), p.gadgets.len());
+        for (a, b) in decoded.gadgets.iter().zip(&p.gadgets) {
+            assert_eq!(a.line, b.line);
+            assert_eq!(a.category, b.category);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.tokens, b.tokens);
+        }
+    }
+
+    #[test]
+    fn wrong_fingerprint_or_version_is_a_miss() {
+        let p = sample();
+        let enc = encode("fp", "src", &p);
+        assert!(decode(&enc, "other-fp").is_none());
+        let skewed = enc.replace("cache v1", "cache v0");
+        assert!(decode(&skewed, "fp").is_none());
+        assert!(check_header(&skewed).is_err());
+        assert!(check_header(&enc).is_ok());
+    }
+
+    #[test]
+    fn save_load_and_damage_fallback() {
+        let dir = tmp("roundtrip");
+        let store = ArtifactStore::open(&dir, 0).expect("open");
+        let p = sample();
+        let key = ArtifactStore::key("int main() {}", "fp");
+        assert!(store.load(&key, "fp").is_none());
+        store.save(&key, "fp", "int main() {}", &p);
+        let loaded = store.load(&key, "fp").expect("hit");
+        assert_eq!(loaded.gadgets[1].name, p.gadgets[1].name);
+        assert_eq!(store.stats().entries, 1);
+        for (_, status) in store.verify() {
+            assert_eq!(status, EntryStatus::Ok);
+        }
+
+        // Flip one payload byte: load treats it as a miss AND removes it.
+        let path = dir.join(format!("{key}.{ENTRY_EXT}"));
+        let mut bytes = std::fs::read(&path).expect("entry");
+        bytes[40] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        assert!(store.load(&key, "fp").is_none());
+        assert!(!path.exists(), "damaged entry is deleted");
+        assert_eq!(store.stats().entries, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clear_and_eviction_respect_budget() {
+        let dir = tmp("evict");
+        // ~200 bytes per entry; cap at 3 entries' worth.
+        let p = sample();
+        let one = seal(encode("fp", "s0", &p)).len() as u64;
+        let store = ArtifactStore::open(&dir, 3 * one + 10).expect("open");
+        let before = crate::stats::counters().evictions;
+        for i in 0..5 {
+            let src = format!("s{i}");
+            let key = ArtifactStore::key(&src, "fp");
+            store.save(&key, "fp", &src, &p);
+        }
+        let s = store.stats();
+        assert!(s.bytes <= 3 * one + 10, "{} > budget", s.bytes);
+        assert!(s.entries < 5);
+        assert!(crate::stats::counters().evictions > before);
+        // The most recent entry always survives its own save.
+        let key4 = ArtifactStore::key("s4", "fp");
+        assert!(store.load(&key4, "fp").is_some());
+        let cleared = store.clear().expect("clear");
+        assert_eq!(cleared.entries, store.stats().entries + cleared.entries);
+        assert_eq!(store.stats().entries, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

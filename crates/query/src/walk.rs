@@ -1,0 +1,150 @@
+//! Deterministic input expansion for `sevuldet scan`: positional arguments
+//! may be files *or* directories; directories are walked recursively in
+//! sorted order, and the combined list is deduplicated by canonical path so
+//! overlapping arguments (`scan src src/util.c .`) cannot yield duplicate
+//! or reordered findings.
+
+use std::collections::HashSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: VCS metadata, build output, and
+/// editor droppings carry no scannable source and routinely hold huge trees.
+const SKIP_DIRS: [&str; 4] = ["target", "node_modules", ".git", ".svn"];
+
+/// Expands scan positionals into a deterministic, duplicate-free file list.
+///
+/// * A file argument is kept as given (any extension — naming a file is an
+///   explicit request to scan it).
+/// * A directory argument is walked recursively; only `*.c` files are
+///   collected, entries are visited in byte-sorted order, hidden entries
+///   (`.name`) and VCS/build directories (`target`, `node_modules`, `.git`,
+///   `.svn`) are skipped, and symlinked directories are not followed (cycle
+///   safety).
+/// * The combined list is deduplicated by canonical path,
+///   first-occurrence-wins, preserving the spelling the user (or the walk)
+///   produced first — so reports are stable however the arguments overlap.
+///
+/// # Errors
+///
+/// Fails on a nonexistent argument or an unreadable directory; a file that
+/// vanishes mid-walk is skipped, not fatal.
+pub fn expand_paths(args: &[String]) -> io::Result<Vec<PathBuf>> {
+    let mut out: Vec<PathBuf> = Vec::new();
+    for arg in args {
+        let path = Path::new(arg);
+        let meta = fs::metadata(path).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("cannot read input {}: {e}", path.display()),
+            )
+        })?;
+        if meta.is_dir() {
+            walk_dir(path, &mut out)?;
+        } else {
+            out.push(path.to_path_buf());
+        }
+    }
+    // Canonical-path dedupe, first occurrence wins. Canonicalization can
+    // fail for races (file deleted since the walk); fall back to the lexical
+    // path so the scan still reports the I/O error per-file downstream.
+    let mut seen: HashSet<PathBuf> = HashSet::new();
+    out.retain(|p| {
+        let canon = fs::canonicalize(p).unwrap_or_else(|_| p.clone());
+        seen.insert(canon)
+    });
+    Ok(out)
+}
+
+/// Depth-first sorted walk collecting `*.c` files.
+fn walk_dir(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("cannot read directory {}: {e}", dir.display()),
+            )
+        })?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        if name.starts_with('.') {
+            continue;
+        }
+        // symlink_metadata: do not follow symlinked directories (cycles).
+        let meta = match fs::symlink_metadata(&path) {
+            Ok(m) => m,
+            Err(_) => continue,
+        };
+        if meta.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                walk_dir(&path, out)?;
+            }
+        } else if meta.is_file() && name.ends_with(".c") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sevuldet-walk-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn walks_sorted_filters_and_dedupes() {
+        let dir = tmpdir("basic");
+        fs::create_dir_all(dir.join("sub")).unwrap();
+        fs::create_dir_all(dir.join(".hidden")).unwrap();
+        fs::create_dir_all(dir.join("target")).unwrap();
+        fs::write(dir.join("b.c"), "int b;").unwrap();
+        fs::write(dir.join("a.c"), "int a;").unwrap();
+        fs::write(dir.join("notes.txt"), "no").unwrap();
+        fs::write(dir.join("sub/c.c"), "int c;").unwrap();
+        fs::write(dir.join(".hidden/d.c"), "int d;").unwrap();
+        fs::write(dir.join("target/e.c"), "int e;").unwrap();
+
+        let args = vec![
+            dir.to_str().unwrap().to_string(),
+            // Overlapping explicit file + repeated dir: all collapse away.
+            dir.join("a.c").to_str().unwrap().to_string(),
+            dir.to_str().unwrap().to_string(),
+        ];
+        let got = expand_paths(&args).unwrap();
+        let names: Vec<String> = got
+            .iter()
+            .map(|p| {
+                p.strip_prefix(&dir)
+                    .unwrap()
+                    .to_str()
+                    .unwrap()
+                    .replace('\\', "/")
+            })
+            .collect();
+        assert_eq!(names, vec!["a.c", "b.c", "sub/c.c"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explicit_file_kept_missing_arg_errors() {
+        let dir = tmpdir("explicit");
+        fs::write(dir.join("keep.cpp"), "x").unwrap();
+        let got = expand_paths(&[dir.join("keep.cpp").to_str().unwrap().to_string()]).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(expand_paths(&[dir.join("nope.c").to_str().unwrap().to_string()]).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

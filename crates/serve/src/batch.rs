@@ -17,9 +17,8 @@
 use crate::metrics::Metrics;
 use crate::registry::{LoadedModel, ModelRegistry};
 use sevuldet::faults;
-use sevuldet::{
-    error_json, prepare_source, score_prepared_mut, Detector, PreparedSource, ScanReport,
-};
+use sevuldet::{error_json, score_prepared_mut, Detector, PreparedSource, ScanReport};
+use sevuldet_query::QueryEngine;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
@@ -130,6 +129,9 @@ pub struct WorkerConfig {
     pub inner_jobs: usize,
     /// Test hook: artificial latency per batch, simulating a slow model.
     pub batch_delay: Duration,
+    /// The shared incremental query engine every prepare goes through
+    /// (memoized, and persistent when the server has a `--cache-dir`).
+    pub engine: Arc<QueryEngine>,
 }
 
 /// One worker's drain-coalesce-score loop. Returns when the queue is closed
@@ -193,7 +195,10 @@ pub fn worker_loop(
                 metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
                 outcomes.push(Some(JobOutcome::DeadlineExceeded));
             } else {
-                match prepare_source(&job.source, 1) {
+                // Through the shared engine: byte-identical to a direct
+                // `prepare_source`, but repeat sources hit the memo (and
+                // the persistent store when the server has one).
+                match cfg.engine.prepare(&job.source, 1) {
                     Ok(p) => {
                         prepared.push(p);
                         prepared_names.push(job.name.clone());

@@ -6,12 +6,22 @@
 //! sevuldet train --out model.svd [--per-category 60] [--epochs 24] [--seed 42] [--jobs N]
 //!                [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //!                [--profile] [--trace-out trace.json]
-//! sevuldet scan <file.c> [<file2.c> ...] --model model.svd [--top 5] [--jobs N] [--json]
-//!                [--precision f64|f32|int8] [--profile] [--trace-out trace.json]
+//! sevuldet scan <file-or-dir> [...] --model model.svd [--top 5] [--jobs N] [--json]
+//!                [--precision f64|f32|int8] [--cache-dir DIR | --no-cache]
+//!                [--cache-max-bytes N] [--profile] [--trace-out trace.json]
 //! sevuldet serve --model model.svd [--addr 127.0.0.1:8080] [--workers N] [--max-batch N]
 //!                [--queue-cap N] [--deadline-ms N] [--jobs N] [--precision f64|f32|int8]
+//!                [--cache-dir DIR | --no-cache] [--cache-max-bytes N]
+//! sevuldet cache <stats|clear|verify> --cache-dir DIR
 //! sevuldet gadgets <file.c> [--classic]
 //! ```
+//!
+//! Scan positionals may be directories: each is walked recursively for
+//! `*.c` files in sorted order, and the combined list is deduplicated by
+//! canonical path so overlapping arguments cannot duplicate findings.
+//! `--cache-dir` (or the `SEVULDET_CACHE_DIR` environment variable) turns
+//! on the incremental artifact cache; reports are byte-identical with the
+//! cache on, off, or damaged.
 //!
 //! ## Exit codes
 //!
@@ -31,6 +41,7 @@ use sevuldet::{
 use sevuldet_analysis::ProgramAnalysis;
 use sevuldet_dataset::{sard, SardConfig};
 use sevuldet_gadget::{build_gadget, find_special_tokens, GadgetKind};
+use sevuldet_query::{ArtifactStore, EntryStatus, QueryConfig, QueryEngine};
 use sevuldet_serve::{
     registry::{ModelRegistry, RegistryError},
     server, signal, ServeConfig,
@@ -113,6 +124,7 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("gadgets") => cmd_gadgets(&args[1..]),
         _ => {
             eprintln!("usage:");
@@ -120,11 +132,12 @@ fn main() -> ExitCode {
                 "  sevuldet train --out <model> [--per-category N] [--epochs N] [--seed N] [--jobs N] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--profile] [--trace-out FILE]"
             );
             eprintln!(
-                "  sevuldet scan <file.c> [<file2.c> ...] --model <model> [--top N] [--jobs N] [--json] [--precision f64|f32|int8] [--profile] [--trace-out FILE]"
+                "  sevuldet scan <file-or-dir> [...] --model <model> [--top N] [--jobs N] [--json] [--precision f64|f32|int8] [--cache-dir DIR | --no-cache] [--cache-max-bytes N] [--profile] [--trace-out FILE]"
             );
             eprintln!(
-                "  sevuldet serve --model <model> [--addr host:port] [--workers N] [--max-batch N] [--queue-cap N] [--deadline-ms N] [--jobs N] [--precision f64|f32|int8]"
+                "  sevuldet serve --model <model> [--addr host:port] [--workers N] [--max-batch N] [--queue-cap N] [--deadline-ms N] [--jobs N] [--precision f64|f32|int8] [--cache-dir DIR | --no-cache] [--cache-max-bytes N]"
             );
+            eprintln!("  sevuldet cache <stats|clear|verify> --cache-dir <dir>");
             eprintln!("  sevuldet gadgets <file.c> [--classic]");
             return ExitCode::from(2);
         }
@@ -226,6 +239,18 @@ const FLAGS: &[FlagSpec] = &[
     },
     FlagSpec {
         name: "--precision",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--cache-dir",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--no-cache",
+        takes_value: false,
+    },
+    FlagSpec {
+        name: "--cache-max-bytes",
         takes_value: true,
     },
 ];
@@ -397,12 +422,78 @@ enum FileScan {
     Unreadable(String),
 }
 
+/// Resolves the cache directory from `--cache-dir`, falling back to the
+/// `SEVULDET_CACHE_DIR` environment variable. `--no-cache` wins over both
+/// (and conflicts with an explicit `--cache-dir`).
+fn cache_dir_setting(args: &[String]) -> Result<Option<PathBuf>, CliError> {
+    let explicit = flag(args, "--cache-dir").map(PathBuf::from);
+    if has_flag(args, "--no-cache") {
+        if explicit.is_some() {
+            return Err(CliError::Usage(
+                "--no-cache conflicts with --cache-dir".into(),
+            ));
+        }
+        return Ok(None);
+    }
+    Ok(explicit.or_else(|| {
+        std::env::var_os("SEVULDET_CACHE_DIR")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    }))
+}
+
+/// Builds the scan's query engine when caching is configured.
+fn scan_engine(args: &[String]) -> Result<Option<QueryEngine>, CliError> {
+    let Some(dir) = cache_dir_setting(args)? else {
+        return Ok(None);
+    };
+    let max_bytes: u64 = parse_flag(args, "--cache-max-bytes", 0).map_err(CliError::Usage)?;
+    let config = QueryConfig {
+        cache_dir: Some(dir.clone()),
+        max_bytes,
+        ..QueryConfig::default()
+    };
+    QueryEngine::open(&config)
+        .map(Some)
+        .map_err(|e| CliError::Io(format!("opening cache dir {}: {e}", dir.display())))
+}
+
+/// One-line cache summary for `--profile` (printed only when an engine ran).
+fn profile_cache_summary() {
+    let c = sevuldet_query::counters();
+    eprintln!(
+        "cache: {} hit(s) ({} mem, {} disk, {} fn-reuse), {} miss(es), {} eviction(s), {} bytes on disk",
+        c.hits(),
+        c.hits_mem,
+        c.hits_disk,
+        c.hits_func,
+        c.misses,
+        c.evictions,
+        c.size_bytes
+    );
+}
+
 fn cmd_scan(args: &[String]) -> Result<(), CliError> {
     check_args(args).map_err(CliError::Usage)?;
     let (profile, trace_out) = trace_flags(args);
-    let files: Vec<String> = positionals(args).into_iter().cloned().collect();
+    let raw: Vec<String> = positionals(args).into_iter().cloned().collect();
+    if raw.is_empty() {
+        return Err(CliError::Usage(
+            "scan needs at least one <file-or-dir>".into(),
+        ));
+    }
+    // Expand directories (recursive, sorted) and collapse overlapping
+    // arguments by canonical path, so findings are deterministic however
+    // the inputs are spelled.
+    let files: Vec<String> = sevuldet_query::expand_paths(&raw)
+        .map_err(|e| CliError::Io(e.to_string()))?
+        .into_iter()
+        .map(|p| p.display().to_string())
+        .collect();
     if files.is_empty() {
-        return Err(CliError::Usage("scan needs at least one <file.c>".into()));
+        return Err(CliError::Other(
+            "no .c files found under the given paths".into(),
+        ));
     }
     let model_path =
         flag(args, "--model").ok_or_else(|| CliError::Usage("scan needs --model <path>".into()))?;
@@ -410,6 +501,7 @@ fn cmd_scan(args: &[String]) -> Result<(), CliError> {
     let jobs: usize = parse_flag(args, "--jobs", 1).map_err(CliError::Usage)?;
     let as_json = has_flag(args, "--json");
     let precision = precision_flag(args)?;
+    let engine = scan_engine(args)?;
 
     // Load the model once and score every file in a single batched forward
     // pass — the same `prepare_source`/`score_prepared_mut` path the
@@ -425,14 +517,24 @@ fn cmd_scan(args: &[String]) -> Result<(), CliError> {
     for file in &files {
         match std::fs::read_to_string(file) {
             Err(e) => outcomes.push(Some(FileScan::Unreadable(format!("reading {file}: {e}")))),
-            Ok(source) => match prepare_source(&source, jobs) {
-                Ok(p) => {
-                    prepared.push(p);
-                    outcomes.push(None);
+            Ok(source) => {
+                // Same front half either way; the engine just memoizes it.
+                let result = match &engine {
+                    Some(engine) => engine.prepare(&source, jobs),
+                    None => prepare_source(&source, jobs),
+                };
+                match result {
+                    Ok(p) => {
+                        prepared.push(p);
+                        outcomes.push(None);
+                    }
+                    Err(e) => outcomes.push(Some(FileScan::Failed(e))),
                 }
-                Err(e) => outcomes.push(Some(FileScan::Failed(e))),
-            },
+            }
         }
+    }
+    if profile && engine.is_some() {
+        profile_cache_summary();
     }
     // The CLI owns its detector, so score on it directly: at jobs = 1 this
     // skips the per-call model clone entirely (same scores either way). A
@@ -580,6 +682,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         deadline: Duration::from_millis(
             parse_flag(args, "--deadline-ms", 10_000).map_err(CliError::Usage)?,
         ),
+        cache_dir: cache_dir_setting(args)?,
+        cache_max_bytes: parse_flag(args, "--cache-max-bytes", 0).map_err(CliError::Usage)?,
         ..ServeConfig::default()
     };
     let precision = precision_flag(args)?;
@@ -598,6 +702,88 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     handle.shutdown();
     eprintln!("drained; bye");
     Ok(())
+}
+
+/// `sevuldet cache <stats|clear|verify> --cache-dir DIR` — inspect and
+/// maintain the persistent artifact store. Exit codes follow the global
+/// scheme: `2` for usage mistakes, `3` for I/O failures, and `verify`
+/// exits `4` when any entry is damaged (after listing every one).
+fn cmd_cache(args: &[String]) -> Result<(), CliError> {
+    check_args(args).map_err(CliError::Usage)?;
+    let subs = positionals(args);
+    let sub = subs
+        .first()
+        .ok_or_else(|| CliError::Usage("cache needs a subcommand: stats, clear, or verify".into()))?
+        .as_str();
+    let dir = cache_dir_setting(args)?.ok_or_else(|| {
+        CliError::Usage("cache needs --cache-dir <dir> (or SEVULDET_CACHE_DIR)".into())
+    })?;
+    let store = ArtifactStore::open(&dir, 0)
+        .map_err(|e| CliError::Io(format!("opening cache dir {}: {e}", dir.display())))?;
+    match sub {
+        "stats" => {
+            let s = store.stats();
+            println!(
+                "{}: {} entr{}, {} bytes",
+                dir.display(),
+                s.entries,
+                if s.entries == 1 { "y" } else { "ies" },
+                s.bytes
+            );
+            Ok(())
+        }
+        "clear" => {
+            let s = store
+                .clear()
+                .map_err(|e| CliError::Io(format!("clearing {}: {e}", dir.display())))?;
+            println!(
+                "removed {} entr{} ({} bytes)",
+                s.entries,
+                if s.entries == 1 { "y" } else { "ies" },
+                s.bytes
+            );
+            Ok(())
+        }
+        "verify" => {
+            let results = store.verify();
+            let mut bad = 0usize;
+            for (name, status) in &results {
+                match status {
+                    EntryStatus::Ok => println!("{name}: ok"),
+                    EntryStatus::Stale(why) => {
+                        bad += 1;
+                        println!("{name}: stale ({why})");
+                    }
+                    EntryStatus::Corrupt(why) => {
+                        bad += 1;
+                        println!("{name}: corrupt ({why})");
+                    }
+                    EntryStatus::Unreadable(why) => {
+                        bad += 1;
+                        println!("{name}: unreadable ({why})");
+                    }
+                }
+            }
+            println!(
+                "{} entr{} checked, {bad} bad",
+                results.len(),
+                if results.len() == 1 { "y" } else { "ies" }
+            );
+            if bad > 0 {
+                // Damaged entries are self-healing on the scan path (they
+                // recompute); verify still reports them loudly.
+                return Err(CliError::Corrupt(format!(
+                    "{bad} damaged cache entr{} under {}",
+                    if bad == 1 { "y" } else { "ies" },
+                    dir.display()
+                )));
+            }
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown cache subcommand `{other}` (expected stats, clear, or verify)"
+        ))),
+    }
 }
 
 fn cmd_gadgets(args: &[String]) -> Result<(), CliError> {

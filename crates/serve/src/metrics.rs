@@ -301,6 +301,45 @@ impl Metrics {
             w,
             "sevuldet_workspace_acquires_total{{result=\"miss\"}} {ws_misses}"
         );
+        let qc = sevuldet_query::counters();
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_query_cache_hits_total Incremental-query cache hits, by tier (process-wide)."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_query_cache_hits_total counter");
+        let _ = writeln!(
+            w,
+            "sevuldet_query_cache_hits_total{{tier=\"memory\"}} {}",
+            qc.hits_mem
+        );
+        let _ = writeln!(
+            w,
+            "sevuldet_query_cache_hits_total{{tier=\"disk\"}} {}",
+            qc.hits_disk
+        );
+        let _ = writeln!(
+            w,
+            "sevuldet_query_cache_hits_total{{tier=\"function\"}} {}",
+            qc.hits_func
+        );
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_query_cache_misses_total Incremental-query cache misses (full recomputes, process-wide)."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_query_cache_misses_total counter");
+        let _ = writeln!(w, "sevuldet_query_cache_misses_total {}", qc.misses);
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_query_cache_evictions_total Cache entries evicted for size pressure (process-wide)."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_query_cache_evictions_total counter");
+        let _ = writeln!(w, "sevuldet_query_cache_evictions_total {}", qc.evictions);
+        let _ = writeln!(
+            w,
+            "# HELP sevuldet_cache_size_bytes Persistent artifact store size on disk."
+        );
+        let _ = writeln!(w, "# TYPE sevuldet_cache_size_bytes gauge");
+        let _ = writeln!(w, "sevuldet_cache_size_bytes {}", qc.size_bytes);
         self.scan_latency.render(
             w,
             "sevuldet_scan_latency_seconds",
@@ -392,6 +431,12 @@ mod tests {
             "sevuldet_forward_duration_seconds_count 1",
             "sevuldet_workspace_acquires_total{result=\"hit\"}",
             "sevuldet_workspace_acquires_total{result=\"miss\"}",
+            "sevuldet_query_cache_hits_total{tier=\"memory\"}",
+            "sevuldet_query_cache_hits_total{tier=\"disk\"}",
+            "sevuldet_query_cache_hits_total{tier=\"function\"}",
+            "sevuldet_query_cache_misses_total",
+            "sevuldet_query_cache_evictions_total",
+            "sevuldet_cache_size_bytes",
             "sevuldet_batch_size_bucket{le=\"4\"} 1",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");

@@ -25,8 +25,10 @@ use crate::http::{read_request, write_response_with_headers, HttpError, ReadOutc
 use crate::metrics::Metrics;
 use crate::registry::ModelRegistry;
 use sevuldet::Json;
+use sevuldet_query::{QueryConfig, QueryEngine};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -53,6 +55,11 @@ pub struct ServeConfig {
     pub deadline: Duration,
     /// Test hook: artificial per-batch latency, simulating a slow model.
     pub batch_delay: Duration,
+    /// Persistent artifact-cache directory for `/scan` prepares; `None`
+    /// keeps the query engine's memoization in-memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// On-disk cache budget in bytes (0 = unbounded).
+    pub cache_max_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +73,8 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(5),
             deadline: Duration::from_secs(10),
             batch_delay: Duration::ZERO,
+            cache_dir: None,
+            cache_max_bytes: 0,
         }
     }
 }
@@ -131,6 +140,17 @@ pub fn start(cfg: ServeConfig, registry: ModelRegistry) -> std::io::Result<Serve
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
+    // One query engine shared by every batch worker: repeat scans of the
+    // same source (clients retrying, fleets posting identical files) are
+    // served from the memo, and `--cache-dir` adds the persistent tier.
+    // A cache-dir that cannot be created is a startup error, like a bad
+    // bind address; after startup, cache damage only ever means recompute.
+    let engine = Arc::new(QueryEngine::open(&QueryConfig {
+        cache_dir: cfg.cache_dir.clone(),
+        max_bytes: cfg.cache_max_bytes,
+        ..QueryConfig::default()
+    })?);
+
     let metrics = Arc::new(Metrics::default());
     // Every span closed anywhere in the process — batch workers, the
     // pipeline crates under them — lands in this server's per-stage
@@ -151,6 +171,7 @@ pub fn start(cfg: ServeConfig, registry: ModelRegistry) -> std::io::Result<Serve
         max_batch: shared.cfg.max_batch,
         inner_jobs: shared.cfg.inner_jobs,
         batch_delay: shared.cfg.batch_delay,
+        engine,
     };
     let worker_threads: Vec<JoinHandle<()>> = (0..shared.cfg.workers.max(1))
         .map(|i| {

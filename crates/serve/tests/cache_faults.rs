@@ -1,0 +1,315 @@
+//! Subprocess cache-robustness suite, extending the fault-injection
+//! pattern to the incremental artifact cache: the real `sevuldet` binary
+//! is run with `--cache-dir`, killed mid-cache-write, fed corrupted
+//! entries, and handed overlapping path arguments — and in every case the
+//! `--json` report must be byte-identical to a cache-less run. Also pins
+//! the `cache` subcommand's typed exit codes.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+const BIN: &str = env!("CARGO_BIN_EXE_sevuldet");
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "svd-cf-{}-{}-{tag}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Runs the binary with a clean cache/failpoint environment unless
+/// overridden.
+fn run(args: &[&str], failpoints: Option<&str>) -> Output {
+    let mut cmd = Command::new(BIN);
+    cmd.args(args)
+        .env_remove("SEVULDET_CACHE_DIR")
+        .env_remove("SEVULDET_FAILPOINTS");
+    if let Some(spec) = failpoints {
+        cmd.env("SEVULDET_FAILPOINTS", spec);
+    }
+    cmd.output().expect("spawn sevuldet")
+}
+
+/// One tiny model shared by every test (training dominates test time).
+fn model() -> &'static str {
+    static CELL: OnceLock<String> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let dir = tmpdir("model");
+        let path = dir.join("model.svd").display().to_string();
+        let out = run(
+            &[
+                "train",
+                "--per-category",
+                "2",
+                "--epochs",
+                "1",
+                "--seed",
+                "9",
+                "--out",
+                &path,
+            ],
+            None,
+        );
+        assert!(out.status.success(), "shared train failed");
+        path
+    })
+}
+
+/// A small source tree: one file with a real finding-bearing gadget, one
+/// clean file, one in a subdirectory.
+fn write_tree(dir: &Path) {
+    std::fs::create_dir_all(dir.join("sub")).unwrap();
+    std::fs::write(
+        dir.join("a.c"),
+        "void copy(char *dst, char *src) {\n    strcpy(dst, src);\n}\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("b.c"), "int main() { return 0; }\n").unwrap();
+    std::fs::write(
+        dir.join("sub").join("c.c"),
+        "void use(char *p, int n) {\n    if (n < 8) {\n        memcpy(p, p, n);\n    }\n}\n",
+    )
+    .unwrap();
+}
+
+fn scan_json(tree: &Path, cache: Option<&Path>, failpoints: Option<&str>) -> Output {
+    let tree = tree.display().to_string();
+    let mut args = vec!["scan", &tree, "--model", model(), "--json"];
+    let cache_str;
+    match cache {
+        Some(dir) => {
+            cache_str = dir.display().to_string();
+            args.push("--cache-dir");
+            args.push(&cache_str);
+        }
+        None => args.push("--no-cache"),
+    }
+    run(&args, failpoints)
+}
+
+fn cache_entries(cache: &Path) -> Vec<PathBuf> {
+    let Ok(read) = std::fs::read_dir(cache) else {
+        return Vec::new();
+    };
+    let mut v: Vec<PathBuf> = read
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "svdc"))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn reports_identical_cold_warm_and_after_corruption() {
+    let tree = tmpdir("tree-corrupt");
+    let cache = tmpdir("cache-corrupt");
+    write_tree(&tree);
+
+    let baseline = scan_json(&tree, None, None);
+    assert!(baseline.status.success(), "cache-less scan failed");
+    assert!(!baseline.stdout.is_empty());
+
+    let cold = scan_json(&tree, Some(&cache), None);
+    assert!(cold.status.success());
+    assert_eq!(cold.stdout, baseline.stdout, "cold cached scan diverged");
+    let entries = cache_entries(&cache);
+    assert_eq!(entries.len(), 3, "one entry per scanned file");
+
+    let warm = scan_json(&tree, Some(&cache), None);
+    assert_eq!(warm.stdout, baseline.stdout, "warm cached scan diverged");
+
+    // Flip a byte in the middle of every entry: the scan must silently
+    // recompute, byte-identical, and `cache verify` must flag the damage
+    // first (exit 4) and pass after the scan healed the store (exit 0).
+    for path in &entries {
+        let mut bytes = std::fs::read(path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(path, bytes).unwrap();
+    }
+    let cache_str = cache.display().to_string();
+    let verify = run(&["cache", "verify", "--cache-dir", &cache_str], None);
+    assert_eq!(
+        verify.status.code(),
+        Some(4),
+        "verify must exit 4 on damaged entries"
+    );
+    let damaged = scan_json(&tree, Some(&cache), None);
+    assert!(damaged.status.success());
+    assert_eq!(
+        damaged.stdout, baseline.stdout,
+        "scan over a corrupted cache diverged"
+    );
+    let verify = run(&["cache", "verify", "--cache-dir", &cache_str], None);
+    assert_eq!(
+        verify.status.code(),
+        Some(0),
+        "store must be healed after the recompute: {}",
+        String::from_utf8_lossy(&verify.stdout)
+    );
+    std::fs::remove_dir_all(&tree).ok();
+    std::fs::remove_dir_all(&cache).ok();
+}
+
+#[test]
+fn crash_mid_cache_write_leaves_no_torn_entry() {
+    let tree = tmpdir("tree-midwrite");
+    let cache = tmpdir("cache-midwrite");
+    write_tree(&tree);
+    let baseline = scan_json(&tree, None, None);
+    assert!(baseline.status.success());
+
+    // `save_midwrite` fires inside `atomic_write` — the first cache-entry
+    // save aborts the scan partway through.
+    let killed = scan_json(&tree, Some(&cache), Some("save_midwrite=abort"));
+    assert!(!killed.status.success(), "failpoint must abort the scan");
+    assert!(
+        cache_entries(&cache).is_empty(),
+        "a mid-write crash must not commit an entry at its final path"
+    );
+
+    // Recovery needs nothing: the next scan recomputes, matches the
+    // cache-less report, and leaves a clean store behind.
+    let recovered = scan_json(&tree, Some(&cache), None);
+    assert!(recovered.status.success());
+    assert_eq!(
+        recovered.stdout, baseline.stdout,
+        "post-crash scan diverged"
+    );
+    assert_eq!(cache_entries(&cache).len(), 3);
+    let cache_str = cache.display().to_string();
+    assert_eq!(
+        run(&["cache", "verify", "--cache-dir", &cache_str], None)
+            .status
+            .code(),
+        Some(0)
+    );
+    std::fs::remove_dir_all(&tree).ok();
+    std::fs::remove_dir_all(&cache).ok();
+}
+
+#[test]
+fn overlapping_path_arguments_scan_each_file_once_in_stable_order() {
+    let tree = tmpdir("tree-overlap");
+    write_tree(&tree);
+    let tree_str = tree.display().to_string();
+    let a = tree.join("a.c").display().to_string();
+    let sub = tree.join("sub").display().to_string();
+
+    let plain = run(&["scan", &tree_str, "--model", model(), "--json"], None);
+    assert!(plain.status.success());
+    // Dir + explicit member + subdir + dir again: same set, same order.
+    let overlapping = run(
+        &[
+            "scan",
+            &tree_str,
+            &a,
+            &sub,
+            &tree_str,
+            "--model",
+            model(),
+            "--json",
+        ],
+        None,
+    );
+    assert!(overlapping.status.success());
+    assert_eq!(
+        overlapping.stdout, plain.stdout,
+        "overlapping arguments changed the report"
+    );
+    // And each file appears exactly once.
+    let text = String::from_utf8(plain.stdout).unwrap();
+    for name in ["a.c", "b.c", "c.c"] {
+        assert_eq!(
+            text.matches(name).count(),
+            1,
+            "{name} should appear exactly once in:\n{text}"
+        );
+    }
+    std::fs::remove_dir_all(&tree).ok();
+}
+
+#[test]
+fn cache_subcommand_exit_codes_follow_the_scheme() {
+    let cache = tmpdir("cache-codes");
+    let cache_str = cache.display().to_string();
+    let code = |args: &[&str]| run(args, None).status.code();
+
+    // Usage errors: 2.
+    assert_eq!(code(&["cache"]), Some(2), "cache without subcommand");
+    assert_eq!(code(&["cache", "stats"]), Some(2), "stats without dir");
+    assert_eq!(
+        code(&["cache", "defrag", "--cache-dir", &cache_str]),
+        Some(2),
+        "unknown subcommand"
+    );
+    let tree = tmpdir("tree-codes");
+    write_tree(&tree);
+    let tree_str = tree.display().to_string();
+    assert_eq!(
+        code(&[
+            "scan",
+            &tree_str,
+            "--model",
+            model(),
+            "--cache-dir",
+            &cache_str,
+            "--no-cache",
+        ]),
+        Some(2),
+        "--no-cache conflicts with --cache-dir"
+    );
+
+    // Healthy flows: 0.
+    assert_eq!(
+        code(&["cache", "stats", "--cache-dir", &cache_str]),
+        Some(0)
+    );
+    assert!(scan_json(&tree, Some(&cache), None).status.success());
+    let stats = run(&["cache", "stats", "--cache-dir", &cache_str], None);
+    assert_eq!(stats.status.code(), Some(0));
+    assert!(
+        String::from_utf8_lossy(&stats.stdout).contains("3 entries"),
+        "stats should count the scanned files: {}",
+        String::from_utf8_lossy(&stats.stdout)
+    );
+    assert_eq!(
+        code(&["cache", "verify", "--cache-dir", &cache_str]),
+        Some(0)
+    );
+
+    // A truncated entry: verify 4, clear 0, then verify 0 on empty.
+    let entry = cache_entries(&cache).pop().expect("entry");
+    let bytes = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+    assert_eq!(
+        code(&["cache", "verify", "--cache-dir", &cache_str]),
+        Some(4)
+    );
+    assert_eq!(
+        code(&["cache", "clear", "--cache-dir", &cache_str]),
+        Some(0)
+    );
+    assert!(cache_entries(&cache).is_empty());
+    assert_eq!(
+        code(&["cache", "verify", "--cache-dir", &cache_str]),
+        Some(0)
+    );
+
+    // The environment fallback works like the flag.
+    let env_stats = Command::new(BIN)
+        .args(["cache", "stats"])
+        .env("SEVULDET_CACHE_DIR", &cache_str)
+        .env_remove("SEVULDET_FAILPOINTS")
+        .output()
+        .expect("spawn sevuldet");
+    assert_eq!(env_stats.status.code(), Some(0));
+    std::fs::remove_dir_all(&tree).ok();
+    std::fs::remove_dir_all(&cache).ok();
+}
