@@ -1,21 +1,25 @@
-//! End-to-end throughput of `sevuldet serve`: a burst of concurrent
-//! `POST /scan` requests against a live server at `max_batch` 1, 4, and 16.
-//! Each iteration fires 16 clients at once and waits for all responses, so
-//! ms/iter divided into 16 gives requests/second. Larger `max_batch` lets
-//! one worker coalesce the burst into fewer forward passes; on a single-core
-//! host the delta quantifies per-pass overhead rather than parallel speedup.
+//! End-to-end throughput of `sevuldet serve` across its two I/O models: a
+//! burst of concurrent `POST /scan` requests against a live server, over
+//! fresh connections (one TCP handshake per request — the worst case) and
+//! over keep-alive connections (the fleet-realistic case the event loop is
+//! built for). Each iteration fires 16 clients; fresh-connection clients
+//! send one request each, keep-alive clients send four on one connection.
+//! ms/iter divided into the request count gives requests/second. The
+//! `io_threads` and `io_eventloop` variants answer byte-identically (the
+//! integration suite asserts it); this bench quantifies the cost of the
+//! path, not the payload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sevuldet::{save_detector, Detector, GadgetSpec, Json, ModelKind, TrainConfig};
 use sevuldet_dataset::{sard, SardConfig};
 use sevuldet_serve::registry::ModelRegistry;
-use sevuldet_serve::server::{start, ServeConfig, ServerHandle};
-use std::io::{Read, Write};
+use sevuldet_serve::server::{start, IoModel, ServeConfig, ServerHandle};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
 
 const BURST: usize = 16;
-const BATCHES: &[usize] = &[1, 4, 16];
+const KEEPALIVE_REQS: usize = 4;
 
 const SOURCE: &str = r#"void process(char *dest, char *data) {
     int n = atoi(data);
@@ -48,19 +52,28 @@ fn model_path() -> PathBuf {
     path
 }
 
-fn spawn_server(max_batch: usize, path: &Path) -> ServerHandle {
+fn spawn_server(io_model: IoModel, path: &Path) -> ServerHandle {
     let registry = ModelRegistry::open(path).expect("model loads");
     start(
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
-            max_batch,
+            max_batch: 16,
             queue_cap: 64,
+            io_model,
             ..ServeConfig::default()
         },
         registry,
     )
     .expect("server binds")
+}
+
+fn io_variants() -> Vec<(&'static str, IoModel)> {
+    let mut v = vec![("io_threads", IoModel::Threads)];
+    if cfg!(target_os = "linux") {
+        v.push(("io_eventloop", IoModel::EventLoop));
+    }
+    v
 }
 
 /// One request over a fresh connection; panics on anything but 200.
@@ -76,18 +89,51 @@ fn scan_once(addr: SocketAddr, body: &str) {
     assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
 }
 
-fn bench_serve_burst(c: &mut Criterion) {
+/// `n` sequential requests on one keep-alive connection; panics on anything
+/// but 200s.
+fn scan_keepalive(addr: SocketAddr, body: &str, n: usize) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let req = format!(
+        "POST /scan HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    for _ in 0..n {
+        writer.write_all(req.as_bytes()).expect("send");
+        let mut status = String::new();
+        reader.read_line(&mut status).expect("status line");
+        assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+        let mut len = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header line");
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line.trim_end().strip_prefix("Content-Length: ") {
+                len = v.parse().expect("content length");
+            }
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).expect("body");
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
     let path = model_path();
     let body = Json::obj(vec![
         ("source", Json::str(SOURCE)),
         ("name", Json::str("bench.c")),
     ])
     .to_string();
-    let mut group = c.benchmark_group("serve_burst16");
-    for &max_batch in BATCHES {
-        let handle = spawn_server(max_batch, &path);
+
+    // Fresh connection per request: pays a TCP handshake every time.
+    let mut group = c.benchmark_group("serve_burst16_fresh");
+    for (name, io_model) in io_variants() {
+        let handle = spawn_server(io_model, &path);
         let addr = handle.addr();
-        group.bench_function(format!("batch{max_batch}"), |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let clients: Vec<_> = (0..BURST)
                     .map(|_| {
@@ -103,11 +149,34 @@ fn bench_serve_burst(c: &mut Criterion) {
         handle.shutdown();
     }
     group.finish();
+
+    // Keep-alive: one connection, several requests — the fleet-realistic
+    // shape (and 4x the requests per iteration).
+    let mut group = c.benchmark_group("serve_burst16_keepalive4");
+    for (name, io_model) in io_variants() {
+        let handle = spawn_server(io_model, &path);
+        let addr = handle.addr();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let clients: Vec<_> = (0..BURST)
+                    .map(|_| {
+                        let body = body.clone();
+                        std::thread::spawn(move || scan_keepalive(addr, &body, KEEPALIVE_REQS))
+                    })
+                    .collect();
+                for t in clients {
+                    t.join().expect("client thread");
+                }
+            })
+        });
+        handle.shutdown();
+    }
+    group.finish();
 }
 
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_serve_burst
+    targets = bench_serve
 );
 criterion_main!(benches);

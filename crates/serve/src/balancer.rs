@@ -1,0 +1,858 @@
+//! The fleet front end: `sevuldet balance` runs one of these in front of N
+//! `sevuldet serve --shard i/N` processes.
+//!
+//! Client connections ride the same epoll event loop as the single-process
+//! server (`crate::eventloop`), so the balancer itself holds 10k+ open
+//! connections on one thread. Completed requests are routed:
+//!
+//! * `POST /scan` — **consistent-hash** by the sha-256 digest of the
+//!   request's `source` field, so repeated scans of the same file always
+//!   land on the same shard and its `sevuldet-query` artifact cache stays
+//!   hot (a request whose body does not parse falls back to round-robin;
+//!   the shard answers it `400` exactly as it would have locally);
+//! * `POST /reload` — **broadcast** to every healthy shard, with an
+//!   aggregated JSON answer (`200` only when every shard reloads);
+//! * `GET /healthz`, `GET /metrics` — answered by the balancer itself
+//!   (fleet health summary and routing counters);
+//! * everything else — **round-robin** over healthy shards, so probes and
+//!   unknown paths get the shard's own byte-identical answer.
+//!
+//! A health thread polls each shard's `/healthz` on an interval:
+//! `fail_after` consecutive failures eject a shard from both rotations
+//! (consistent-hash points included — its keyspace redistributes), and
+//! `recover_after` consecutive successes readmit it. A draining shard
+//! (`503` from `/healthz`) counts as failed, which is what makes rolling
+//! restarts invisible to clients.
+//!
+//! Forwarding is done by a small pool of blocking forwarder threads, each
+//! holding one keep-alive connection per shard (reconnect-once on a stale
+//! connection, then `502 shard unavailable`).
+
+use crate::eventloop::{
+    start_event_loop, Completer, CompleterSource, EventLoopHandle, Handler, LoopConfig, Response,
+};
+use crate::http::Request;
+use crate::metrics::ConnCounters;
+use sevuldet::{sha256_hex, Json};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Virtual nodes per shard on the consistent-hash ring. More points mean a
+/// smoother keyspace split and smaller reshuffles on ejection.
+const VNODES: usize = 64;
+
+/// Balancer tunables.
+#[derive(Debug, Clone)]
+pub struct BalancerConfig {
+    /// Bind address for the client-facing listener (`:0` picks a port).
+    pub addr: String,
+    /// Shard addresses, e.g. `["127.0.0.1:9001", "127.0.0.1:9002"]`.
+    pub shards: Vec<String>,
+    /// How often each shard's `/healthz` is polled.
+    pub health_interval: Duration,
+    /// Consecutive probe failures before a shard is ejected.
+    pub fail_after: u32,
+    /// Consecutive probe successes before an ejected shard is readmitted.
+    pub recover_after: u32,
+    /// Blocking forwarder threads (each keeps one connection per shard).
+    pub forwarders: usize,
+    /// TCP connect timeout towards a shard.
+    pub connect_timeout: Duration,
+    /// Read timeout while waiting for a shard's response.
+    pub backend_timeout: Duration,
+    /// Client header deadline (`408` past it), as on the serve loop.
+    pub header_deadline: Duration,
+    /// Open client connection cap.
+    pub max_connections: usize,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            shards: Vec::new(),
+            health_interval: Duration::from_millis(500),
+            fail_after: 2,
+            recover_after: 2,
+            forwarders: 8,
+            connect_timeout: Duration::from_secs(1),
+            backend_timeout: Duration::from_secs(30),
+            header_deadline: Duration::from_secs(5),
+            max_connections: 16_384,
+        }
+    }
+}
+
+/// How a request was routed (the `mode` label on the routed counter).
+#[derive(Debug, Clone, Copy)]
+enum RouteMode {
+    Hash,
+    RoundRobin,
+    Broadcast,
+}
+
+/// Per-shard routing/health counters.
+struct ShardStats {
+    addr: String,
+    routed_hash: AtomicU64,
+    routed_rr: AtomicU64,
+    routed_broadcast: AtomicU64,
+    ejections: AtomicU64,
+    healthy: AtomicBool,
+}
+
+impl ShardStats {
+    fn new(addr: String) -> ShardStats {
+        ShardStats {
+            addr,
+            routed_hash: AtomicU64::new(0),
+            routed_rr: AtomicU64::new(0),
+            routed_broadcast: AtomicU64::new(0),
+            ejections: AtomicU64::new(0),
+            // Optimistic start: shards are routable until the health thread
+            // finds otherwise, so a balancer started moments before its
+            // fleet does not blackhole the first interval.
+            healthy: AtomicBool::new(true),
+        }
+    }
+
+    fn count_routed(&self, mode: RouteMode) {
+        let c = match mode {
+            RouteMode::Hash => &self.routed_hash,
+            RouteMode::RoundRobin => &self.routed_rr,
+            RouteMode::Broadcast => &self.routed_broadcast,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Everything the handler, health thread, and forwarders share.
+struct Fleet {
+    cfg: BalancerConfig,
+    shards: Vec<ShardStats>,
+    /// Consistent-hash ring over *healthy* shards: `(point, shard index)`
+    /// sorted by point. Rebuilt on every health transition.
+    ring: RwLock<Vec<(u64, usize)>>,
+    /// Round-robin cursor.
+    rr_next: AtomicUsize,
+    /// Client-facing response statuses (the balancer's own `/metrics`).
+    responses: [AtomicU64; 6],
+    conn: ConnCounters,
+    draining: Arc<AtomicBool>,
+}
+
+impl Fleet {
+    fn healthy_indices(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&i| self.shards[i].healthy.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    fn rebuild_ring(&self) {
+        let mut ring = Vec::new();
+        for i in self.healthy_indices() {
+            for v in 0..VNODES {
+                ring.push((hash_point(&format!("{}#{v}", self.shards[i].addr)), i));
+            }
+        }
+        ring.sort_unstable();
+        *self.ring.write().unwrap_or_else(|e| e.into_inner()) = ring;
+    }
+
+    /// The shard owning `key` on the ring, or `None` with no healthy shard.
+    fn route_hash(&self, key: u64) -> Option<usize> {
+        let ring = self.ring.read().unwrap_or_else(|e| e.into_inner());
+        if ring.is_empty() {
+            return None;
+        }
+        let at = ring.partition_point(|&(p, _)| p < key);
+        Some(if at == ring.len() {
+            ring[0].1
+        } else {
+            ring[at].1
+        })
+    }
+
+    fn route_rr(&self) -> Option<usize> {
+        let healthy = self.healthy_indices();
+        if healthy.is_empty() {
+            return None;
+        }
+        let n = self.rr_next.fetch_add(1, Ordering::Relaxed);
+        Some(healthy[n % healthy.len()])
+    }
+
+    fn count_response(&self, status: u16) {
+        let idx = match status {
+            200..=299 => 0,
+            400..=499 => 1,
+            500..=599 => 2,
+            _ => 3,
+        };
+        self.responses[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn render_metrics(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# HELP sevuldet_balancer_routed_total Requests routed to each shard, by routing mode.\n\
+             # TYPE sevuldet_balancer_routed_total counter\n",
+        );
+        for s in &self.shards {
+            for (mode, c) in [
+                ("hash", &s.routed_hash),
+                ("rr", &s.routed_rr),
+                ("broadcast", &s.routed_broadcast),
+            ] {
+                out.push_str(&format!(
+                    "sevuldet_balancer_routed_total{{shard=\"{}\",mode=\"{mode}\"}} {}\n",
+                    s.addr,
+                    c.load(Ordering::Relaxed)
+                ));
+            }
+        }
+        out.push_str(
+            "# HELP sevuldet_balancer_ejections_total Health-check ejections per shard.\n\
+             # TYPE sevuldet_balancer_ejections_total counter\n",
+        );
+        for s in &self.shards {
+            out.push_str(&format!(
+                "sevuldet_balancer_ejections_total{{shard=\"{}\"}} {}\n",
+                s.addr,
+                s.ejections.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            "# HELP sevuldet_balancer_shard_healthy Whether each shard is currently in rotation.\n\
+             # TYPE sevuldet_balancer_shard_healthy gauge\n",
+        );
+        for s in &self.shards {
+            out.push_str(&format!(
+                "sevuldet_balancer_shard_healthy{{shard=\"{}\"}} {}\n",
+                s.addr,
+                if s.healthy.load(Ordering::SeqCst) {
+                    1
+                } else {
+                    0
+                }
+            ));
+        }
+        out.push_str(
+            "# HELP sevuldet_balancer_responses_total Client-facing responses by status class.\n\
+             # TYPE sevuldet_balancer_responses_total counter\n",
+        );
+        for (i, class) in ["2xx", "4xx", "5xx", "other"].iter().enumerate() {
+            out.push_str(&format!(
+                "sevuldet_balancer_responses_total{{class=\"{class}\"}} {}\n",
+                self.responses[i].load(Ordering::Relaxed)
+            ));
+        }
+        self.conn.render(&mut out);
+        out
+    }
+}
+
+/// A point on the ring: the first 16 hex digits of a sha-256, as u64.
+fn hash_point(s: &str) -> u64 {
+    u64::from_str_radix(&sha256_hex(s.as_bytes())[..16], 16).unwrap_or(0)
+}
+
+/// One forwarded request, handed to the forwarder pool.
+struct ForwardJob {
+    shard: usize,
+    mode: RouteMode,
+    request: Vec<u8>,
+    completer: Completer,
+}
+
+/// A running balancer.
+pub struct BalancerHandle {
+    addr: SocketAddr,
+    fleet: Arc<Fleet>,
+    event_loop: Option<EventLoopHandle>,
+    health_thread: Option<JoinHandle<()>>,
+    forwarder_threads: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    jobs_tx: Option<Sender<ForwardJob>>,
+}
+
+impl BalancerHandle {
+    /// The actual bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, answer in-flight forwards, stop
+    /// the health thread and forwarders.
+    pub fn shutdown(mut self) {
+        self.fleet.draining.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(lh) = self.event_loop.take() {
+            lh.wake.wake();
+            let _ = lh.thread.join();
+        }
+        // Closing the channel ends the forwarder loops once drained; every
+        // in-flight job still answers (into a dead loop, harmlessly).
+        drop(self.jobs_tx.take());
+        for t in self.forwarder_threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.health_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds the client listener and spawns the loop, health, and forwarder
+/// threads.
+///
+/// # Errors
+///
+/// Propagates bind failures; an empty shard list is `InvalidInput`.
+pub fn start(cfg: BalancerConfig) -> std::io::Result<BalancerHandle> {
+    if cfg.shards.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "balancer needs at least one shard address",
+        ));
+    }
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let _ = crate::sys::raise_nofile_limit();
+
+    let fleet = Arc::new(Fleet {
+        shards: cfg.shards.iter().cloned().map(ShardStats::new).collect(),
+        ring: RwLock::new(Vec::new()),
+        rr_next: AtomicUsize::new(0),
+        responses: Default::default(),
+        conn: ConnCounters::default(),
+        draining: Arc::new(AtomicBool::new(false)),
+        cfg,
+    });
+    fleet.rebuild_ring();
+
+    let (jobs_tx, jobs_rx) = mpsc::channel::<ForwardJob>();
+    let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+    let forwarder_threads: Vec<JoinHandle<()>> = (0..fleet.cfg.forwarders.max(1))
+        .map(|i| {
+            let fleet = fleet.clone();
+            let rx = jobs_rx.clone();
+            std::thread::Builder::new()
+                .name(format!("svd-forward-{i}"))
+                .spawn(move || forwarder_loop(&fleet, &rx))
+                .expect("spawn forwarder")
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let health_thread = {
+        let fleet = fleet.clone();
+        let stop = stop.clone();
+        std::thread::Builder::new()
+            .name("svd-health".to_string())
+            .spawn(move || health_loop(&fleet, &stop))
+            .expect("spawn health thread")
+    };
+
+    let handler = Arc::new(BalancerHandler {
+        fleet: fleet.clone(),
+        jobs_tx: jobs_tx.clone(),
+    });
+    let loop_cfg = LoopConfig {
+        header_deadline: fleet.cfg.header_deadline,
+        max_connections: fleet.cfg.max_connections,
+        drain_grace: Duration::from_secs(30),
+        sock_buf_bytes: None,
+    };
+    let lh = start_event_loop(listener, handler, fleet.draining.clone(), loop_cfg)?;
+
+    Ok(BalancerHandle {
+        addr,
+        fleet,
+        event_loop: Some(lh),
+        health_thread: Some(health_thread),
+        forwarder_threads,
+        stop: stop.clone(),
+        jobs_tx: Some(jobs_tx),
+    })
+}
+
+/// The event loop's view of the balancer.
+struct BalancerHandler {
+    fleet: Arc<Fleet>,
+    jobs_tx: Sender<ForwardJob>,
+}
+
+impl BalancerHandler {
+    /// Queues a forward towards `shard`, or answers 503 when the pool is
+    /// gone (shutdown race).
+    fn forward(&self, shard: usize, mode: RouteMode, req: &Request, completer: Completer) {
+        self.fleet.shards[shard].count_routed(mode);
+        let job = ForwardJob {
+            shard,
+            mode,
+            request: serialize_request(req, &self.fleet.shards[shard].addr),
+            completer,
+        };
+        if let Err(mpsc::SendError(job)) = self.jobs_tx.send(job) {
+            job.completer
+                .complete(Response::error(503, "balancer draining"));
+        }
+    }
+}
+
+impl Handler for BalancerHandler {
+    fn handle(&self, req: &Request, completer: CompleterSource<'_>) -> Option<Response> {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/scan") => {
+                // Hash-route by source digest so one file's repeat scans
+                // always hit the same shard's warm cache. A body the
+                // balancer cannot read falls back to round-robin: the
+                // shard produces the byte-identical 400 the single-process
+                // server would.
+                let key = std::str::from_utf8(&req.body)
+                    .ok()
+                    .and_then(|text| Json::parse(text).ok())
+                    .and_then(|doc| doc.get("source").and_then(Json::as_str).map(str::to_string))
+                    .map(|source| hash_point(&sha256_hex(source.as_bytes())));
+                let (shard, mode) = match key {
+                    Some(key) => (self.fleet.route_hash(key), RouteMode::Hash),
+                    None => (self.fleet.route_rr(), RouteMode::RoundRobin),
+                };
+                let Some(shard) = shard else {
+                    return Some(Response::error(503, "no healthy shards"));
+                };
+                self.forward(shard, mode, req, completer.take());
+                None
+            }
+            ("POST", "/reload") => {
+                // Broadcast: every healthy shard reloads; the aggregate is
+                // 200 only when all of them did.
+                let healthy = self.fleet.healthy_indices();
+                if healthy.is_empty() {
+                    return Some(Response::error(503, "no healthy shards"));
+                }
+                let completer = completer.take();
+                let fleet = self.fleet.clone();
+                let request = serialize_request(req, "broadcast");
+                for &i in &healthy {
+                    fleet.shards[i].count_routed(RouteMode::Broadcast);
+                }
+                // Reloads take real time (model load + smoke test) and go
+                // to several shards; run the fan-out off the loop thread.
+                let spawned = std::thread::Builder::new()
+                    .name("svd-broadcast".to_string())
+                    .spawn(move || {
+                        let resp = broadcast_reload(&fleet, &healthy, &request);
+                        completer.complete(resp);
+                    });
+                if spawned.is_err() {
+                    // The dropped completer answers 503.
+                }
+                None
+            }
+            ("GET", "/healthz") => {
+                if self.fleet.draining.load(Ordering::SeqCst) {
+                    return Some(Response::json(
+                        503,
+                        Json::obj(vec![("status", Json::str("draining"))]).to_string(),
+                    ));
+                }
+                let healthy = self.fleet.healthy_indices().len();
+                let total = self.fleet.shards.len();
+                let status = if healthy > 0 { 200 } else { 503 };
+                Some(Response::json(
+                    status,
+                    Json::obj(vec![
+                        (
+                            "status",
+                            Json::str(if healthy > 0 {
+                                "ok"
+                            } else {
+                                "no healthy shards"
+                            }),
+                        ),
+                        ("healthy_shards", Json::Num(healthy as f64)),
+                        ("total_shards", Json::Num(total as f64)),
+                    ])
+                    .to_string(),
+                ))
+            }
+            ("GET", "/metrics") => Some(Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4".to_string(),
+                body: self.fleet.render_metrics().into_bytes(),
+                extra: Vec::new(),
+            }),
+            (_, "/healthz" | "/metrics") => Some(Response::error(405, "method not allowed")),
+            _ => {
+                // Unknown paths and probe traffic round-robin to a shard,
+                // which answers exactly as it would have locally (404s
+                // included).
+                let Some(shard) = self.fleet.route_rr() else {
+                    return Some(Response::error(503, "no healthy shards"));
+                };
+                self.forward(shard, RouteMode::RoundRobin, req, completer.take());
+                None
+            }
+        }
+    }
+
+    fn count_response(&self, status: u16) {
+        self.fleet.count_response(status);
+    }
+
+    fn conn_counters(&self) -> &ConnCounters {
+        &self.fleet.conn
+    }
+}
+
+/// Re-serializes a parsed client request for a shard, preserving the
+/// headers that matter (deadline propagation) and normalizing the rest.
+fn serialize_request(req: &Request, host: &str) -> Vec<u8> {
+    let mut out = format!(
+        "{} {} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\n",
+        req.method,
+        req.path,
+        req.body.len()
+    );
+    if let Some(v) = req.header("x-deadline-ms") {
+        out.push_str(&format!("X-Deadline-Ms: {v}\r\n"));
+    }
+    if let Some(v) = req.header("content-type") {
+        out.push_str(&format!("Content-Type: {v}\r\n"));
+    }
+    out.push_str("\r\n");
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(&req.body);
+    bytes
+}
+
+/// A parsed shard response.
+struct ShardResponse {
+    status: u16,
+    content_type: String,
+    body: Vec<u8>,
+    /// The shard asked to close the connection (honored by dropping it
+    /// from the keep-alive cache).
+    close: bool,
+}
+
+/// One forwarder thread: pops jobs, forwards over cached keep-alive
+/// connections (reconnect-once on stale), answers through the completer.
+fn forwarder_loop(fleet: &Fleet, rx: &Mutex<Receiver<ForwardJob>>) {
+    let mut conns: HashMap<usize, TcpStream> = HashMap::new();
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            return; // channel closed: shutdown
+        };
+        let addr = &fleet.shards[job.shard].addr;
+        match forward_with_retry(fleet, &mut conns, job.shard, &job.request) {
+            Ok(sr) => {
+                let mut resp = Response {
+                    status: sr.status,
+                    content_type: sr.content_type,
+                    body: sr.body,
+                    extra: vec![("X-Sevuldet-Shard".to_string(), addr.clone())],
+                };
+                if let RouteMode::Hash = job.mode {
+                    resp.extra
+                        .push(("X-Sevuldet-Route".to_string(), "hash".to_string()));
+                }
+                if sr.close {
+                    conns.remove(&job.shard);
+                }
+                job.completer.complete(resp);
+            }
+            Err(_) => {
+                conns.remove(&job.shard);
+                job.completer
+                    .complete(Response::error(502, "shard unavailable"));
+            }
+        }
+    }
+}
+
+/// Forwards over the cached connection, reconnecting once if the cached one
+/// turns out stale (shard restarted between requests).
+fn forward_with_retry(
+    fleet: &Fleet,
+    conns: &mut HashMap<usize, TcpStream>,
+    shard: usize,
+    request: &[u8],
+) -> std::io::Result<ShardResponse> {
+    let addr = &fleet.shards[shard].addr;
+    if let Some(conn) = conns.get_mut(&shard) {
+        if let Ok(resp) = forward_once(conn, request) {
+            return Ok(resp);
+        }
+        conns.remove(&shard);
+    }
+    let mut conn = connect(addr, fleet.cfg.connect_timeout, fleet.cfg.backend_timeout)?;
+    let resp = forward_once(&mut conn, request)?;
+    conns.insert(shard, conn);
+    Ok(resp)
+}
+
+fn connect(
+    addr: &str,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> std::io::Result<TcpStream> {
+    let sock_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "unresolvable shard")
+    })?;
+    let conn = TcpStream::connect_timeout(&sock_addr, connect_timeout)?;
+    conn.set_read_timeout(Some(read_timeout))?;
+    conn.set_nodelay(true)?;
+    Ok(conn)
+}
+
+/// Writes one request and reads one response (blocking, bounded by the
+/// stream's read timeout).
+fn forward_once(conn: &mut TcpStream, request: &[u8]) -> std::io::Result<ShardResponse> {
+    conn.write_all(request)?;
+    read_response(conn)
+}
+
+/// Minimal HTTP/1.1 response reader: status line, headers, content-length
+/// body.
+fn read_response(conn: &mut TcpStream) -> std::io::Result<ShardResponse> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut reader = BufReader::new(conn);
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(bad("shard closed before responding"));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_type = "application/json".to_string();
+    let mut content_length = 0usize;
+    let mut close = false;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("shard closed mid-headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-type") {
+                content_type = value.to_string();
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close")
+            {
+                close = true;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(ShardResponse {
+        status,
+        content_type,
+        body,
+        close,
+    })
+}
+
+/// Fans a reload out to every healthy shard (its own short-lived
+/// connections; reloads are rare) and aggregates.
+fn broadcast_reload(fleet: &Fleet, healthy: &[usize], request: &[u8]) -> Response {
+    let mut results = Vec::new();
+    let mut all_ok = true;
+    for &i in healthy {
+        let addr = &fleet.shards[i].addr;
+        let outcome = connect(addr, fleet.cfg.connect_timeout, fleet.cfg.backend_timeout)
+            .and_then(|mut conn| forward_once(&mut conn, request));
+        let (status, body) = match outcome {
+            Ok(sr) => (sr.status, String::from_utf8(sr.body).unwrap_or_default()),
+            Err(e) => (0, format!("{{\"error\":\"{e}\"}}")),
+        };
+        if status != 200 {
+            all_ok = false;
+        }
+        results.push(Json::obj(vec![
+            ("shard", Json::str(addr.as_str())),
+            ("status", Json::Num(status as f64)),
+            (
+                "body",
+                Json::parse(&body).unwrap_or_else(|_| Json::str(body.as_str())),
+            ),
+        ]));
+    }
+    let status = if all_ok { 200 } else { 502 };
+    Response::json(
+        status,
+        Json::obj(vec![
+            ("reloaded", Json::Bool(all_ok)),
+            ("shards", Json::Arr(results)),
+        ])
+        .to_string(),
+    )
+}
+
+/// The health thread: probes every shard's `/healthz` each interval and
+/// flips rotation membership on `fail_after`/`recover_after` streaks.
+fn health_loop(fleet: &Fleet, stop: &AtomicBool) {
+    let mut fail_streak = vec![0u32; fleet.shards.len()];
+    let mut ok_streak = vec![0u32; fleet.shards.len()];
+    while !stop.load(Ordering::SeqCst) {
+        let mut changed = false;
+        for (i, shard) in fleet.shards.iter().enumerate() {
+            let ok = probe(&shard.addr, fleet.cfg.connect_timeout);
+            if ok {
+                ok_streak[i] += 1;
+                fail_streak[i] = 0;
+            } else {
+                fail_streak[i] += 1;
+                ok_streak[i] = 0;
+            }
+            let healthy = shard.healthy.load(Ordering::SeqCst);
+            if healthy && fail_streak[i] >= fleet.cfg.fail_after {
+                shard.healthy.store(false, Ordering::SeqCst);
+                shard.ejections.fetch_add(1, Ordering::Relaxed);
+                changed = true;
+            } else if !healthy && ok_streak[i] >= fleet.cfg.recover_after {
+                shard.healthy.store(true, Ordering::SeqCst);
+                changed = true;
+            }
+        }
+        if changed {
+            fleet.rebuild_ring();
+        }
+        // Sleep in small slices so shutdown is prompt.
+        let mut slept = Duration::ZERO;
+        while slept < fleet.cfg.health_interval && !stop.load(Ordering::SeqCst) {
+            let slice = Duration::from_millis(50).min(fleet.cfg.health_interval - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+    }
+}
+
+/// One `/healthz` probe. A draining shard (503) counts as down, which is
+/// what routes traffic away during a rolling restart.
+fn probe(addr: &str, timeout: Duration) -> bool {
+    let Ok(mut conn) = connect(addr, timeout, timeout) else {
+        return false;
+    };
+    let req = format!("GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    if conn.write_all(req.as_bytes()).is_err() {
+        return false;
+    }
+    matches!(read_response(&mut conn), Ok(sr) if sr.status == 200)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_routes_consistently_and_redistributes_on_ejection() {
+        let fleet = Fleet {
+            cfg: BalancerConfig {
+                shards: vec!["a:1".into(), "b:1".into(), "c:1".into()],
+                ..BalancerConfig::default()
+            },
+            shards: vec![
+                ShardStats::new("a:1".into()),
+                ShardStats::new("b:1".into()),
+                ShardStats::new("c:1".into()),
+            ],
+            ring: RwLock::new(Vec::new()),
+            rr_next: AtomicUsize::new(0),
+            responses: Default::default(),
+            conn: ConnCounters::default(),
+            draining: Arc::new(AtomicBool::new(false)),
+        };
+        fleet.rebuild_ring();
+
+        let keys: Vec<u64> = (0..1000u64)
+            .map(|i| hash_point(&format!("key-{i}")))
+            .collect();
+        let before: Vec<usize> = keys.iter().map(|&k| fleet.route_hash(k).unwrap()).collect();
+        // Same key, same shard — every time.
+        let again: Vec<usize> = keys.iter().map(|&k| fleet.route_hash(k).unwrap()).collect();
+        assert_eq!(before, again);
+        // All three shards own some keyspace.
+        for shard in 0..3 {
+            assert!(before.contains(&shard), "shard {shard} owns no keys");
+        }
+
+        // Ejecting shard 1 moves only its keys; everyone else's stay put.
+        fleet.shards[1].healthy.store(false, Ordering::SeqCst);
+        fleet.rebuild_ring();
+        let after: Vec<usize> = keys.iter().map(|&k| fleet.route_hash(k).unwrap()).collect();
+        for (i, (&b, &a)) in before.iter().zip(&after).enumerate() {
+            if b != 1 {
+                assert_eq!(b, a, "key {i} moved although its shard stayed healthy");
+            } else {
+                assert_ne!(a, 1, "key {i} still routed to the ejected shard");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_healthy_shards_only() {
+        let fleet = Fleet {
+            cfg: BalancerConfig {
+                shards: vec!["a:1".into(), "b:1".into(), "c:1".into()],
+                ..BalancerConfig::default()
+            },
+            shards: vec![
+                ShardStats::new("a:1".into()),
+                ShardStats::new("b:1".into()),
+                ShardStats::new("c:1".into()),
+            ],
+            ring: RwLock::new(Vec::new()),
+            rr_next: AtomicUsize::new(0),
+            responses: Default::default(),
+            conn: ConnCounters::default(),
+            draining: Arc::new(AtomicBool::new(false)),
+        };
+        fleet.shards[1].healthy.store(false, Ordering::SeqCst);
+        let picks: Vec<usize> = (0..6).map(|_| fleet.route_rr().unwrap()).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2, 0, 2]);
+        fleet.shards[0].healthy.store(false, Ordering::SeqCst);
+        fleet.shards[2].healthy.store(false, Ordering::SeqCst);
+        assert!(fleet.route_rr().is_none());
+    }
+
+    #[test]
+    fn serialized_requests_carry_deadline_and_content_type() {
+        let req = Request {
+            method: "POST".to_string(),
+            path: "/scan".to_string(),
+            headers: vec![
+                ("x-deadline-ms".to_string(), "250".to_string()),
+                ("content-type".to_string(), "application/json".to_string()),
+            ],
+            body: b"{\"source\":\"int main(){}\"}".to_vec(),
+        };
+        let bytes = serialize_request(&req, "127.0.0.1:9001");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("POST /scan HTTP/1.1\r\n"), "{text}");
+        assert!(text.contains("Host: 127.0.0.1:9001\r\n"));
+        assert!(text.contains("X-Deadline-Ms: 250\r\n"));
+        assert!(text.contains("Content-Length: 25\r\n"));
+        assert!(text.ends_with("{\"source\":\"int main(){}\"}"));
+    }
+}

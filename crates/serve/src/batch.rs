@@ -25,6 +25,40 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendErr
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// How a finished job's outcome travels back to whoever submitted it. The
+/// thread-per-connection path wraps an `mpsc::Sender` the handler blocks
+/// on; the event loop wraps a completion-queue send plus a loop wakeup.
+/// Dropping a `Responder` unsent is safe either way: the threaded handler's
+/// `recv` fails over to 503, and the event loop's completer answers 503
+/// from its own drop guard.
+pub struct Responder(Box<dyn FnOnce(JobOutcome) + Send>);
+
+impl Responder {
+    /// Wraps an arbitrary delivery function.
+    pub fn new(f: impl FnOnce(JobOutcome) + Send + 'static) -> Responder {
+        Responder(Box::new(f))
+    }
+
+    /// The classic channel delivery (a handler blocked on the paired
+    /// receiver). A dropped receiver is not an error.
+    pub fn channel(tx: Sender<JobOutcome>) -> Responder {
+        Responder::new(move |outcome| {
+            let _ = tx.send(outcome);
+        })
+    }
+
+    /// Delivers the outcome.
+    pub fn send(self, outcome: JobOutcome) {
+        (self.0)(outcome);
+    }
+}
+
+impl std::fmt::Debug for Responder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Responder(..)")
+    }
+}
+
 /// One scan request in flight.
 #[derive(Debug)]
 pub struct ScanJob {
@@ -36,8 +70,8 @@ pub struct ScanJob {
     pub enqueued: Instant,
     /// Absolute deadline; jobs popped after it are answered 504 unscored.
     pub deadline: Instant,
-    /// Where the outcome goes (the connection handler blocks on this).
-    pub resp: Sender<JobOutcome>,
+    /// Where the outcome goes.
+    pub resp: Responder,
 }
 
 /// What became of a scan job.
@@ -56,6 +90,11 @@ pub enum JobOutcome {
     /// wrong number of scores). A server bug, answered as a clean 500 —
     /// never via the panic machinery.
     Internal(String),
+    /// The queue refused the job (429 on backpressure, 503 while
+    /// draining). Workers never produce this; submitters push it through
+    /// the job's own [`Responder`] so rejection and result take the same
+    /// delivery path.
+    Rejected(SubmitError),
 }
 
 /// Why a submission was not accepted.
@@ -87,29 +126,32 @@ impl JobQueue {
         }
     }
 
-    /// Non-blocking enqueue.
+    /// Non-blocking enqueue. A rejected job is handed back so the caller
+    /// can answer through its [`Responder`] (the event loop's completer
+    /// lives inside it and must deliver the right status).
     ///
     /// # Errors
     ///
     /// [`SubmitError::Full`] when the queue is at capacity,
-    /// [`SubmitError::ShuttingDown`] once [`JobQueue::close`] ran.
-    pub fn submit(&self, job: ScanJob) -> Result<(), SubmitError> {
+    /// [`SubmitError::ShuttingDown`] once [`JobQueue::close`] ran — in both
+    /// cases alongside the unconsumed job.
+    pub fn submit(&self, job: ScanJob) -> Result<(), (SubmitError, ScanJob)> {
         let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
         let Some(tx) = guard.as_ref() else {
-            return Err(SubmitError::ShuttingDown);
+            return Err((SubmitError::ShuttingDown, job));
         };
         match tx.try_send(job) {
             Ok(()) => {
                 self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
-            Err(TrySendError::Full(_)) => {
+            Err(TrySendError::Full(job)) => {
                 self.metrics
                     .rejected_queue_full
                     .fetch_add(1, Ordering::Relaxed);
-                Err(SubmitError::Full)
+                Err((SubmitError::Full, job))
             }
-            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+            Err(TrySendError::Disconnected(job)) => Err((SubmitError::ShuttingDown, job)),
         }
     }
 
@@ -249,7 +291,7 @@ pub fn worker_loop(
             }
             // A handler that gave up (client timeout) just drops its
             // receiver; that is not a worker error.
-            let _ = job.resp.send(outcome);
+            job.resp.send(outcome);
         }
     }
 }
@@ -373,7 +415,7 @@ mod tests {
             source: String::new(),
             enqueued: Instant::now(),
             deadline: Instant::now() + Duration::from_secs(5),
-            resp,
+            resp: Responder::channel(resp),
         }
     }
 
@@ -384,10 +426,12 @@ mod tests {
         let (tx, _rx) = mpsc::channel();
         assert!(q.submit(job(tx.clone())).is_ok());
         assert!(q.submit(job(tx.clone())).is_ok());
-        assert_eq!(q.submit(job(tx.clone())), Err(SubmitError::Full));
+        let (err, _rejected) = q.submit(job(tx.clone())).unwrap_err();
+        assert_eq!(err, SubmitError::Full);
         assert_eq!(metrics.rejected_queue_full.load(Ordering::Relaxed), 1);
         assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 2);
         q.close();
-        assert_eq!(q.submit(job(tx)), Err(SubmitError::ShuttingDown));
+        let (err, _rejected) = q.submit(job(tx)).unwrap_err();
+        assert_eq!(err, SubmitError::ShuttingDown);
     }
 }

@@ -124,6 +124,7 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("balance") => cmd_balance(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("gadgets") => cmd_gadgets(&args[1..]),
         _ => {
@@ -135,7 +136,10 @@ fn main() -> ExitCode {
                 "  sevuldet scan <file-or-dir> [...] --model <model> [--top N] [--jobs N] [--json] [--precision f64|f32|int8] [--cache-dir DIR | --no-cache] [--cache-max-bytes N] [--profile] [--trace-out FILE]"
             );
             eprintln!(
-                "  sevuldet serve --model <model> [--addr host:port] [--workers N] [--max-batch N] [--queue-cap N] [--deadline-ms N] [--jobs N] [--precision f64|f32|int8] [--cache-dir DIR | --no-cache] [--cache-max-bytes N]"
+                "  sevuldet serve --model <model> [--addr host:port] [--workers N] [--max-batch N] [--queue-cap N] [--deadline-ms N] [--jobs N] [--precision f64|f32|int8] [--cache-dir DIR | --no-cache] [--cache-max-bytes N] [--io threads|eventloop] [--shard i/N] [--max-conns N] [--header-deadline-ms N]"
+            );
+            eprintln!(
+                "  sevuldet balance --shards a:p1,b:p2,... [--addr host:port] [--health-interval-ms N] [--fail-after N] [--recover-after N] [--forwarders N] [--connect-timeout-ms N] [--backend-timeout-ms N] [--max-conns N] [--header-deadline-ms N]"
             );
             eprintln!("  sevuldet cache <stats|clear|verify> --cache-dir <dir>");
             eprintln!("  sevuldet gadgets <file.c> [--classic]");
@@ -251,6 +255,50 @@ const FLAGS: &[FlagSpec] = &[
     },
     FlagSpec {
         name: "--cache-max-bytes",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--io",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--shard",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--max-conns",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--header-deadline-ms",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--shards",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--health-interval-ms",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--fail-after",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--recover-after",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--forwarders",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--connect-timeout-ms",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--backend-timeout-ms",
         takes_value: true,
     },
 ];
@@ -669,10 +717,39 @@ fn print_human_report(file: &str, report: &ScanReport, detector: &mut Detector, 
     );
 }
 
+/// Parses `--io threads|eventloop` (default: the platform default — the
+/// epoll event loop on Linux, threads elsewhere).
+fn io_model_flag(args: &[String]) -> Result<server::IoModel, CliError> {
+    match flag(args, "--io").as_deref() {
+        None => Ok(server::IoModel::default()),
+        Some("threads") => Ok(server::IoModel::Threads),
+        Some("eventloop") => Ok(server::IoModel::EventLoop),
+        Some(other) => Err(CliError::Usage(format!(
+            "bad --io `{other}` (expected threads or eventloop)"
+        ))),
+    }
+}
+
+/// Parses `--shard i/N` fleet identity (0-based index, total count).
+fn shard_flag(args: &[String]) -> Result<Option<(u32, u32)>, CliError> {
+    let Some(v) = flag(args, "--shard") else {
+        return Ok(None);
+    };
+    let bad = || CliError::Usage(format!("bad --shard `{v}` (expected i/N with 0 <= i < N)"));
+    let (i, n) = v.split_once('/').ok_or_else(bad)?;
+    let i: u32 = i.parse().map_err(|_| bad())?;
+    let n: u32 = n.parse().map_err(|_| bad())?;
+    if i >= n || n == 0 {
+        return Err(bad());
+    }
+    Ok(Some((i, n)))
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     check_args(args).map_err(CliError::Usage)?;
     let model_path = flag(args, "--model")
         .ok_or_else(|| CliError::Usage("serve needs --model <path>".into()))?;
+    let defaults = ServeConfig::default();
     let cfg = ServeConfig {
         addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".to_string()),
         workers: parse_flag(args, "--workers", 2).map_err(CliError::Usage)?,
@@ -684,7 +761,19 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         ),
         cache_dir: cache_dir_setting(args)?,
         cache_max_bytes: parse_flag(args, "--cache-max-bytes", 0).map_err(CliError::Usage)?,
-        ..ServeConfig::default()
+        io_model: io_model_flag(args)?,
+        shard: shard_flag(args)?,
+        max_connections: parse_flag(args, "--max-conns", defaults.max_connections)
+            .map_err(CliError::Usage)?,
+        header_deadline: Duration::from_millis(
+            parse_flag(
+                args,
+                "--header-deadline-ms",
+                defaults.header_deadline.as_millis() as u64,
+            )
+            .map_err(CliError::Usage)?,
+        ),
+        ..defaults
     };
     let precision = precision_flag(args)?;
     let registry = ModelRegistry::open_with_precision(&model_path, precision)?;
@@ -702,6 +791,77 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     handle.shutdown();
     eprintln!("drained; bye");
     Ok(())
+}
+
+/// `sevuldet balance --shards a,b,c` — the fleet front end: consistent-hash
+/// routes `/scan` by source digest (keeping each shard's artifact cache
+/// hot), round-robins everything else, broadcasts `/reload`, and ejects
+/// shards whose `/healthz` stops answering.
+#[cfg(target_os = "linux")]
+fn cmd_balance(args: &[String]) -> Result<(), CliError> {
+    use sevuldet_serve::balancer::{self, BalancerConfig};
+    check_args(args).map_err(CliError::Usage)?;
+    let shards: Vec<String> = flag(args, "--shards")
+        .ok_or_else(|| CliError::Usage("balance needs --shards addr1,addr2,...".into()))?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if shards.is_empty() {
+        return Err(CliError::Usage("balance needs at least one shard".into()));
+    }
+    let defaults = BalancerConfig::default();
+    let cfg = BalancerConfig {
+        addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+        shards,
+        health_interval: Duration::from_millis(
+            parse_flag(args, "--health-interval-ms", 500).map_err(CliError::Usage)?,
+        ),
+        fail_after: parse_flag(args, "--fail-after", defaults.fail_after)
+            .map_err(CliError::Usage)?,
+        recover_after: parse_flag(args, "--recover-after", defaults.recover_after)
+            .map_err(CliError::Usage)?,
+        forwarders: parse_flag(args, "--forwarders", defaults.forwarders)
+            .map_err(CliError::Usage)?,
+        connect_timeout: Duration::from_millis(
+            parse_flag(args, "--connect-timeout-ms", 1_000).map_err(CliError::Usage)?,
+        ),
+        backend_timeout: Duration::from_millis(
+            parse_flag(args, "--backend-timeout-ms", 30_000).map_err(CliError::Usage)?,
+        ),
+        header_deadline: Duration::from_millis(
+            parse_flag(
+                args,
+                "--header-deadline-ms",
+                defaults.header_deadline.as_millis() as u64,
+            )
+            .map_err(CliError::Usage)?,
+        ),
+        max_connections: parse_flag(args, "--max-conns", defaults.max_connections)
+            .map_err(CliError::Usage)?,
+    };
+    let n = cfg.shards.len();
+    let handle =
+        balancer::start(cfg).map_err(|e| CliError::Bind(format!("starting balancer: {e}")))?;
+    signal::install();
+    eprintln!(
+        "sevuldet-balance listening on http://{} fronting {n} shard(s) (hash-routed POST /scan, broadcast POST /reload, GET /metrics, GET /healthz)",
+        handle.addr()
+    );
+    while !signal::termination_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("shutdown requested — draining ...");
+    handle.shutdown();
+    eprintln!("drained; bye");
+    Ok(())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn cmd_balance(_args: &[String]) -> Result<(), CliError> {
+    Err(CliError::Usage(
+        "balance requires Linux (the balancer fronts clients with the epoll event loop)".into(),
+    ))
 }
 
 /// `sevuldet cache <stats|clear|verify> --cache-dir DIR` — inspect and

@@ -3,12 +3,22 @@
 //! `Content-Length` bodies and keep-alive; chunked transfer encoding is
 //! rejected with `501`. Built on std only: the container this repository
 //! grows in has no network access, so no HTTP crate can be pulled in.
+//!
+//! Two parsing front ends share the same validation rules:
+//!
+//! * [`read_request`] — blocking, over a `BufRead` (the thread-per-connection
+//!   path);
+//! * [`parse_request_buffer`] — incremental, over an in-memory byte buffer
+//!   that a non-blocking event loop grows as bytes arrive; it answers
+//!   "need more bytes" instead of blocking, so one slow client costs a
+//!   buffer, not a thread.
 
 use std::io::{BufRead, Write};
 
-/// Upper bound on the request head (request line + headers).
+/// Upper bound on the request head (request line + headers). Exceeding it
+/// answers `431 Request Header Fields Too Large`.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
-/// Upper bound on a request body.
+/// Upper bound on a request body. Exceeding it answers `413`.
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
 /// A parsed request.
@@ -55,7 +65,7 @@ pub enum ReadOutcome {
 /// A protocol-level failure with the status code to answer it with.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpError {
-    /// Response status to send (400/408/413/501).
+    /// Response status to send (400/408/413/431/501).
     pub status: u16,
     /// Human-readable detail.
     pub msg: String,
@@ -71,7 +81,7 @@ impl HttpError {
 }
 
 /// Reads one request. Read timeouts configured on the underlying socket
-/// surface as `408`; oversized heads and bodies as `413`.
+/// surface as `408`; oversized heads as `431` and oversized bodies as `413`.
 ///
 /// # Errors
 ///
@@ -87,19 +97,12 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<ReadOutcome, HttpError>
     }
     let request_line = String::from_utf8(line.clone())
         .map_err(|_| HttpError::new(400, "non-UTF-8 request line"))?;
-    let mut parts = request_line.split_whitespace();
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
-        _ => return Err(HttpError::new(400, "malformed request line")),
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::new(400, "unsupported HTTP version"));
-    }
+    let (method, path) = parse_request_line(&request_line)?;
     // Headers.
     let mut headers = Vec::new();
     loop {
         if head.len() > MAX_HEAD_BYTES {
-            return Err(HttpError::new(413, "request head too large"));
+            return Err(HttpError::new(431, "request head too large"));
         }
         let n = read_crlf_line(reader, &mut line, MAX_HEAD_BYTES)?;
         if n == 0 {
@@ -111,10 +114,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<ReadOutcome, HttpError>
         head.extend_from_slice(&line);
         let text =
             String::from_utf8(line.clone()).map_err(|_| HttpError::new(400, "non-UTF-8 header"))?;
-        let (name, value) = text
-            .split_once(':')
-            .ok_or_else(|| HttpError::new(400, "malformed header"))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        headers.push(parse_header_line(&text)?);
     }
     let req = Request {
         method,
@@ -122,12 +122,49 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<ReadOutcome, HttpError>
         headers,
         body: Vec::new(),
     };
-    // RFC 7230 §3.3.2: multiple message-framing headers with differing
-    // values are a request-smuggling vector — `Request::header` returns the
-    // first match, so a proxy that honors the *last* would read a different
-    // body boundary. Reject conflicts outright; identical repeats collapse.
-    reject_conflicting_duplicates(&req, "content-length")?;
-    reject_conflicting_duplicates(&req, "transfer-encoding")?;
+    let len = body_length(&req)?;
+    let mut body = vec![0u8; len];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| io_error(e, "reading body"))?;
+    Ok(ReadOutcome::Request(Request { body, ..req }))
+}
+
+/// Splits `GET /path HTTP/1.1` into method and path, enforcing the version.
+fn parse_request_line(request_line: &str) -> Result<(String, String), HttpError> {
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => return Err(HttpError::new(400, "malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(400, "unsupported HTTP version"));
+    }
+    Ok((method, path))
+}
+
+/// Splits `Name: value` into a lower-cased name and trimmed value.
+fn parse_header_line(text: &str) -> Result<(String, String), HttpError> {
+    let (name, value) = text
+        .split_once(':')
+        .ok_or_else(|| HttpError::new(400, "malformed header"))?;
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+}
+
+/// Validates message framing and returns the declared body length.
+///
+/// RFC 7230 §3.3.2: multiple message-framing headers with differing values
+/// are a request-smuggling vector — `Request::header` returns the first
+/// match, so a proxy that honors the *last* would read a different body
+/// boundary. Reject conflicts outright; identical repeats collapse.
+///
+/// # Errors
+///
+/// `400` for conflicting duplicates or an unparseable `Content-Length`,
+/// `501` for chunked transfer encoding, `413` for an oversized body.
+pub fn body_length(req: &Request) -> Result<usize, HttpError> {
+    reject_conflicting_duplicates(req, "content-length")?;
+    reject_conflicting_duplicates(req, "transfer-encoding")?;
     if req
         .header("transfer-encoding")
         .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
@@ -143,11 +180,91 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<ReadOutcome, HttpError>
     if len > MAX_BODY_BYTES {
         return Err(HttpError::new(413, "request body too large"));
     }
-    let mut body = vec![0u8; len];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| io_error(e, "reading body"))?;
-    Ok(ReadOutcome::Request(Request { body, ..req }))
+    Ok(len)
+}
+
+/// Outcome of one incremental parse attempt over a growing byte buffer.
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// The buffer does not yet hold a complete request; read more bytes and
+    /// call again with the grown buffer.
+    NeedMore,
+    /// One complete request, and how many buffer bytes it consumed (the
+    /// caller drains them; any remainder is the start of a pipelined next
+    /// request).
+    Complete {
+        /// The parsed request.
+        req: Request,
+        /// Bytes of `buf` this request occupied.
+        consumed: usize,
+    },
+}
+
+/// Attempts to parse one complete request from the front of `buf` — the
+/// event-loop counterpart of [`read_request`], sharing its validation rules.
+/// Never blocks: an incomplete head or body answers
+/// [`ParseStatus::NeedMore`].
+///
+/// # Errors
+///
+/// As [`read_request`], except timeouts (the caller owns the clock): `431`
+/// when the head outgrows [`MAX_HEAD_BYTES`] (even before its end is seen,
+/// so a slowloris client dribbling header bytes is cut off at the cap),
+/// `413` for an oversized declared body, `400`/`501` for malformed or
+/// unsupported framing.
+pub fn parse_request_buffer(buf: &[u8]) -> Result<ParseStatus, HttpError> {
+    let Some(body_start) = find_head_end(buf) else {
+        // No blank line yet. A head that can no longer fit the cap is dead
+        // regardless of what else arrives.
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::new(431, "request head too large"));
+        }
+        return Ok(ParseStatus::NeedMore);
+    };
+    if body_start > MAX_HEAD_BYTES {
+        return Err(HttpError::new(431, "request head too large"));
+    }
+    let head = std::str::from_utf8(&buf[..body_start])
+        .map_err(|_| HttpError::new(400, "non-UTF-8 request head"))?;
+    let mut lines = head.lines().map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::new(400, "malformed request line"))?;
+    let (method, path) = parse_request_line(request_line)?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break; // the blank line ending the head
+        }
+        headers.push(parse_header_line(line)?);
+    }
+    let req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    let len = body_length(&req)?;
+    if buf.len() < body_start + len {
+        return Ok(ParseStatus::NeedMore);
+    }
+    let body = buf[body_start..body_start + len].to_vec();
+    Ok(ParseStatus::Complete {
+        req: Request { body, ..req },
+        consumed: body_start + len,
+    })
+}
+
+/// Index just past the head-terminating blank line (`\r\n\r\n`, with a
+/// bare-`\n` fallback matching [`read_crlf_line`]'s tolerance), or `None`
+/// while the head is still incomplete.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4);
+    let lf = buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2);
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
 }
 
 /// Rejects a request that repeats the message-framing header `name` with
@@ -209,7 +326,7 @@ fn read_until_limited(
         reader.consume(used);
         total += used;
         if total > cap {
-            return Err(HttpError::new(413, "line too long"));
+            return Err(HttpError::new(431, "request head too large"));
         }
         if done {
             return Ok(total);
@@ -238,8 +355,10 @@ pub fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
@@ -374,17 +493,68 @@ mod tests {
     }
 
     #[test]
-    fn oversized_inputs_get_413() {
+    fn oversized_heads_get_431_and_bodies_413() {
         let long_header = format!(
             "GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n",
             "a".repeat(MAX_HEAD_BYTES + 1)
         );
-        assert_eq!(parse(&long_header).unwrap_err().status, 413);
+        assert_eq!(parse(&long_header).unwrap_err().status, 431);
         let big_body = format!(
             "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
             MAX_BODY_BYTES + 1
         );
         assert_eq!(parse(&big_body).unwrap_err().status, 413);
+    }
+
+    /// The buffer parser agrees with the blocking parser on complete
+    /// requests and answers `NeedMore` at every byte-wise prefix.
+    #[test]
+    fn buffer_parser_is_incremental_and_agrees_with_blocking() {
+        let raw = b"POST /scan HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhelloPOST";
+        let complete_len = raw.len() - 4; // the trailing "POST" is pipelined
+        for cut in 0..complete_len {
+            match parse_request_buffer(&raw[..cut]) {
+                Ok(ParseStatus::NeedMore) => {}
+                other => panic!("prefix of {cut} bytes parsed as {other:?}"),
+            }
+        }
+        let Ok(ParseStatus::Complete { req, consumed }) = parse_request_buffer(raw) else {
+            panic!("complete request did not parse");
+        };
+        assert_eq!(consumed, complete_len);
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/scan");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn buffer_parser_applies_the_same_caps_and_framing_rules() {
+        // Head cap bites even before the head terminator arrives.
+        let mut dribble = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+        dribble.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 1));
+        assert_eq!(parse_request_buffer(&dribble).unwrap_err().status, 431);
+        // Declared-oversized bodies die before any body byte arrives.
+        let big = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(
+            parse_request_buffer(big.as_bytes()).unwrap_err().status,
+            413
+        );
+        // Conflicting framing duplicates are rejected identically.
+        let smuggle = b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 9\r\n\r\nhello";
+        assert_eq!(parse_request_buffer(smuggle).unwrap_err().status, 400);
+        let chunked = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert_eq!(parse_request_buffer(chunked).unwrap_err().status, 501);
+        // Bare-LF heads are tolerated, like the blocking reader.
+        let Ok(ParseStatus::Complete { req, .. }) =
+            parse_request_buffer(b"GET /healthz HTTP/1.1\nHost: y\n\n")
+        else {
+            panic!("bare-LF request did not parse");
+        };
+        assert_eq!(req.path, "/healthz");
     }
 
     #[test]

@@ -17,8 +17,15 @@
 //! * [`registry`] — the hot-reloadable model slot (`POST /reload` swaps an
 //!   `Arc`; in-flight batches finish on the model they started with);
 //! * [`metrics`] — Prometheus counters/gauges/histograms for `GET /metrics`;
-//! * [`server`] — accept loop, routing, backpressure (429 on a full
-//!   queue), per-request deadlines (504), and graceful drain;
+//! * [`server`] — routing, backpressure (429 on a full queue), per-request
+//!   deadlines (504), and graceful drain, behind either I/O model;
+//! * [`sys`] (Linux) — std-only `epoll`/`setsockopt`/`setrlimit` wrappers;
+//! * `eventloop` (Linux, internal) — the epoll event loop: 10k concurrent
+//!   connections on one thread, with slow-client hardening (408/413/431),
+//!   keep-alive, pipelining, and partial-write resumption;
+//! * [`balancer`] (Linux) — the fleet front end: round-robin plus
+//!   consistent-hash routing of `/scan` across shard processes, with
+//!   health-check-driven ejection;
 //! * [`signal`] — SIGINT/SIGTERM → graceful-shutdown flag, std-only.
 //!
 //! ```no_run
@@ -31,14 +38,20 @@
 //! handle.shutdown(); // drains the queue, then joins the workers
 //! ```
 
+#[cfg(target_os = "linux")]
+pub mod balancer;
 pub mod batch;
+#[cfg(target_os = "linux")]
+pub(crate) mod eventloop;
 pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod server;
 pub mod signal;
+#[cfg(target_os = "linux")]
+pub mod sys;
 
 pub use batch::{JobOutcome, JobQueue, ScanJob, SubmitError};
 pub use metrics::Metrics;
 pub use registry::{LoadedModel, ModelRegistry};
-pub use server::{start, ServeConfig, ServerHandle};
+pub use server::{start, IoModel, ServeConfig, ServerHandle};

@@ -82,6 +82,130 @@ impl Histogram {
 /// The endpoints the request counter is labeled with.
 pub const ENDPOINTS: &[&str] = &["scan", "metrics", "reload", "healthz", "other"];
 
+/// Why a connection was closed — the label set of
+/// `sevuldet_connections_closed_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The peer closed (or reset) the connection.
+    PeerClosed,
+    /// The server closed after a `Connection: close` response.
+    ResponseComplete,
+    /// A malformed or unsupported request forced a close after the error
+    /// response.
+    ProtocolError,
+    /// The per-connection header deadline expired mid-request (slow client,
+    /// answered 408).
+    HeaderTimeout,
+    /// The connection was refused because the server was at its
+    /// `max_connections` cap.
+    OverCapacity,
+    /// The server was draining for shutdown.
+    Drain,
+    /// A socket read or write failed.
+    IoError,
+}
+
+impl CloseReason {
+    /// The metric label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CloseReason::PeerClosed => "peer_closed",
+            CloseReason::ResponseComplete => "response_complete",
+            CloseReason::ProtocolError => "protocol_error",
+            CloseReason::HeaderTimeout => "header_timeout",
+            CloseReason::OverCapacity => "over_capacity",
+            CloseReason::Drain => "drain",
+            CloseReason::IoError => "io_error",
+        }
+    }
+
+    /// Every reason, in render order.
+    pub const ALL: &'static [CloseReason] = &[
+        CloseReason::PeerClosed,
+        CloseReason::ResponseComplete,
+        CloseReason::ProtocolError,
+        CloseReason::HeaderTimeout,
+        CloseReason::OverCapacity,
+        CloseReason::Drain,
+        CloseReason::IoError,
+    ];
+}
+
+/// Connection lifecycle counters, shared by the serving paths (threaded and
+/// event loop) and the balancer front end.
+#[derive(Debug, Default)]
+pub struct ConnCounters {
+    /// Currently open connections.
+    pub open: AtomicI64,
+    /// Connections accepted since startup.
+    pub accepted: AtomicU64,
+    closed: [AtomicU64; 7],
+}
+
+impl ConnCounters {
+    /// Counts one accepted connection (and opens the gauge).
+    pub fn on_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one closed connection under `reason` (and closes the gauge).
+    pub fn on_close(&self, reason: CloseReason) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+        let idx = CloseReason::ALL
+            .iter()
+            .position(|r| *r == reason)
+            .expect("reason in ALL");
+        self.closed[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Closed-connection count for one reason.
+    pub fn closed(&self, reason: CloseReason) -> u64 {
+        let idx = CloseReason::ALL
+            .iter()
+            .position(|r| *r == reason)
+            .expect("reason in ALL");
+        self.closed[idx].load(Ordering::Relaxed)
+    }
+
+    /// Renders the three `sevuldet_*connection*` series.
+    pub fn render(&self, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "# HELP sevuldet_open_connections Currently open client connections."
+        );
+        let _ = writeln!(out, "# TYPE sevuldet_open_connections gauge");
+        let _ = writeln!(
+            out,
+            "sevuldet_open_connections {}",
+            self.open.load(Ordering::Relaxed).max(0)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP sevuldet_connections_accepted_total Client connections accepted."
+        );
+        let _ = writeln!(out, "# TYPE sevuldet_connections_accepted_total counter");
+        let _ = writeln!(
+            out,
+            "sevuldet_connections_accepted_total {}",
+            self.accepted.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP sevuldet_connections_closed_total Client connections closed, by reason."
+        );
+        let _ = writeln!(out, "# TYPE sevuldet_connections_closed_total counter");
+        for (i, reason) in CloseReason::ALL.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "sevuldet_connections_closed_total{{reason=\"{}\"}} {}",
+                reason.as_str(),
+                self.closed[i].load(Ordering::Relaxed)
+            );
+        }
+    }
+}
+
 /// All server metrics, shared via `Arc` between the accept loop, connection
 /// handlers, and batch workers.
 #[derive(Debug)]
@@ -103,6 +227,8 @@ pub struct Metrics {
     pub worker_panics: AtomicU64,
     /// Jobs currently waiting in the scan queue.
     pub queue_depth: AtomicI64,
+    /// Connection lifecycle counters (accept/open/close-by-reason).
+    pub conn: ConnCounters,
     /// Enqueue→scored latency of scan requests, seconds.
     pub scan_latency: Histogram,
     /// Model-forward time of non-empty batches, seconds (the compute slice
@@ -136,6 +262,7 @@ impl Default for Metrics {
             reload_failures: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             queue_depth: AtomicI64::new(0),
+            conn: ConnCounters::default(),
             scan_latency: Histogram::new(LATENCY_BOUNDS),
             forward_duration: Histogram::new(LATENCY_BOUNDS),
             batch_size: Histogram::new(BATCH_BOUNDS),
@@ -287,6 +414,7 @@ impl Metrics {
             "sevuldet_queue_depth {}",
             self.queue_depth.load(Ordering::Relaxed).max(0)
         );
+        self.conn.render(w);
         let (ws_hits, ws_misses) = sevuldet::workspace_counters();
         let _ = writeln!(
             w,
@@ -411,6 +539,9 @@ mod tests {
         m.reloads.store(2, Ordering::Relaxed);
         m.reload_failures.store(5, Ordering::Relaxed);
         m.worker_panics.store(1, Ordering::Relaxed);
+        m.conn.on_accept();
+        m.conn.on_accept();
+        m.conn.on_close(CloseReason::PeerClosed);
         let text = m.render(7, "int8");
         for needle in [
             "sevuldet_precision_tier{tier=\"int8\"} 1",
@@ -438,9 +569,29 @@ mod tests {
             "sevuldet_query_cache_evictions_total",
             "sevuldet_cache_size_bytes",
             "sevuldet_batch_size_bucket{le=\"4\"} 1",
+            "sevuldet_open_connections 1",
+            "sevuldet_connections_accepted_total 2",
+            "sevuldet_connections_closed_total{reason=\"peer_closed\"} 1",
+            "sevuldet_connections_closed_total{reason=\"header_timeout\"} 0",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
+    }
+
+    #[test]
+    fn connection_counters_track_accept_and_close_reasons() {
+        let c = ConnCounters::default();
+        c.on_accept();
+        c.on_accept();
+        c.on_close(CloseReason::PeerClosed);
+        assert_eq!(c.open.load(Ordering::Relaxed), 1);
+        assert_eq!(c.accepted.load(Ordering::Relaxed), 2);
+        assert_eq!(c.closed(CloseReason::PeerClosed), 1);
+        assert_eq!(c.closed(CloseReason::Drain), 0);
+        let mut out = String::new();
+        c.render(&mut out);
+        assert!(out.contains("sevuldet_open_connections 1"));
+        assert!(out.contains("sevuldet_connections_closed_total{reason=\"peer_closed\"} 1"));
     }
 
     #[test]

@@ -1,6 +1,17 @@
-//! The HTTP server: accept loop, connection handling, routing, and the
+//! The HTTP server: connection handling, routing, and the
 //! graceful-shutdown choreography tying the queue, workers, and registry
 //! together.
+//!
+//! Two I/O models share every route, the same response construction, and
+//! the same compute plane (the [`crate::batch`] workers):
+//!
+//! * [`IoModel::EventLoop`] (default on Linux) — one epoll loop thread owns
+//!   every connection (`crate::eventloop`); scans are handed to the
+//!   bounded queue and answered asynchronously through a completer. This is
+//!   the 10k-concurrent-connections path.
+//! * [`IoModel::Threads`] — the original thread-per-connection path, kept
+//!   as the portable fallback and as the byte-identity reference the
+//!   event-loop tests compare against.
 //!
 //! ## Endpoints
 //!
@@ -18,11 +29,13 @@
 //! deadline expires before scoring. `/reload` answers `422` when the
 //! candidate model is rejected (missing, corrupt, or failing its smoke
 //! forward pass) — the old model keeps serving. `/healthz` answers `503`
-//! with `"draining"` once shutdown has begun.
+//! with `"draining"` once shutdown has begun. Slow or abusive clients get
+//! `408` (header deadline), `431` (oversized head), or `413` (oversized
+//! body).
 
 use crate::batch::{worker_loop, JobOutcome, JobQueue, ScanJob, SubmitError, WorkerConfig};
 use crate::http::{read_request, write_response_with_headers, HttpError, ReadOutcome, Request};
-use crate::metrics::Metrics;
+use crate::metrics::{CloseReason, Metrics};
 use crate::registry::ModelRegistry;
 use sevuldet::Json;
 use sevuldet_query::{QueryConfig, QueryEngine};
@@ -33,6 +46,27 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Which I/O model drives connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// One OS thread per connection (portable, caps out near the thread
+    /// limit).
+    Threads,
+    /// One epoll event loop owning every connection (Linux only; the 10k
+    /// concurrent connections path).
+    EventLoop,
+}
+
+impl Default for IoModel {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            IoModel::EventLoop
+        } else {
+            IoModel::Threads
+        }
+    }
+}
 
 /// Server tunables. The defaults suit the integration tests and small
 /// deployments; production front-ends should size `workers`, `max_batch`,
@@ -49,7 +83,7 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// `par` sharding inside one forward batch (`0` = all cores).
     pub inner_jobs: usize,
-    /// Socket read timeout per request.
+    /// Socket read timeout per request (thread-per-connection path).
     pub read_timeout: Duration,
     /// Default per-request deadline (queue wait + scoring).
     pub deadline: Duration,
@@ -60,6 +94,19 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// On-disk cache budget in bytes (0 = unbounded).
     pub cache_max_bytes: u64,
+    /// Which I/O model to serve with.
+    pub io_model: IoModel,
+    /// Open-connection cap (event-loop path); excess accepts are shed.
+    pub max_connections: usize,
+    /// Budget for a client to deliver a complete request head (event-loop
+    /// path; `408` past it — the slowloris defence).
+    pub header_deadline: Duration,
+    /// Fleet identity `(index, total)` when this process is one shard
+    /// behind a balancer; surfaces in `/healthz` and `/metrics`.
+    pub shard: Option<(u32, u32)>,
+    /// Test hook: shrink accepted sockets' kernel buffers to this many
+    /// bytes, forcing partial reads/writes (event-loop path).
+    pub sock_buf_bytes: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +122,11 @@ impl Default for ServeConfig {
             batch_delay: Duration::ZERO,
             cache_dir: None,
             cache_max_bytes: 0,
+            io_model: IoModel::default(),
+            max_connections: 16_384,
+            header_deadline: Duration::from_secs(5),
+            shard: None,
+            sock_buf_bytes: None,
         }
     }
 }
@@ -85,7 +137,7 @@ struct Shared {
     queue: JobQueue,
     registry: ModelRegistry,
     metrics: Arc<Metrics>,
-    draining: AtomicBool,
+    draining: Arc<AtomicBool>,
 }
 
 /// A running server. Dropping the handle without calling
@@ -96,6 +148,8 @@ pub struct ServerHandle {
     stop_accepting: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
+    #[cfg(target_os = "linux")]
+    event_loop: Option<crate::eventloop::EventLoopHandle>,
     /// The trace observer feeding `sevuldet_stage_duration_seconds`;
     /// unregistered on shutdown (tests run several servers per process).
     observer: sevuldet::trace::ObserverId,
@@ -118,27 +172,45 @@ impl ServerHandle {
     pub fn shutdown(mut self) {
         self.shared.draining.store(true, Ordering::SeqCst);
         self.stop_accepting.store(true, Ordering::SeqCst);
+        // Wake the event loop so it notices the drain flag immediately.
+        #[cfg(target_os = "linux")]
+        if let Some(lh) = &self.event_loop {
+            lh.wake.wake();
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        // Half-close the queue: workers drain the backlog and exit.
+        // Half-close the queue: workers drain the backlog and exit. Every
+        // in-flight completion is delivered before the joins return.
         self.shared.queue.close();
         for t in self.worker_threads.drain(..) {
             let _ = t.join();
+        }
+        #[cfg(target_os = "linux")]
+        if let Some(lh) = self.event_loop.take() {
+            lh.wake.wake();
+            // Detached, like the blocking path's per-connection threads: a
+            // client that was connected before shutdown may still send one
+            // last request and must get its explicit `503 draining` answer
+            // — which can only happen *after* this call returns. The loop
+            // exits on its own once lingering connections close (bounded
+            // by its drain linger/grace).
+            drop(lh.thread);
         }
         sevuldet::trace::remove_observer(self.observer);
     }
 }
 
-/// Binds, spawns the accept loop and the batch workers, and returns.
+/// Binds, spawns the I/O front end (event loop or accept loop) and the
+/// batch workers, and returns.
 ///
 /// # Errors
 ///
-/// Propagates bind failures.
+/// Propagates bind failures; [`IoModel::EventLoop`] off Linux is
+/// `Unsupported`.
 pub fn start(cfg: ServeConfig, registry: ModelRegistry) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
-    listener.set_nonblocking(true)?;
 
     // One query engine shared by every batch worker: repeat scans of the
     // same source (clients retrying, fleets posting identical files) are
@@ -163,7 +235,7 @@ pub fn start(cfg: ServeConfig, registry: ModelRegistry) -> std::io::Result<Serve
         queue: JobQueue::new(cfg.queue_cap, metrics.clone()),
         registry,
         metrics,
-        draining: AtomicBool::new(false),
+        draining: Arc::new(AtomicBool::new(false)),
         cfg,
     });
 
@@ -192,23 +264,68 @@ pub fn start(cfg: ServeConfig, registry: ModelRegistry) -> std::io::Result<Serve
         .collect();
 
     let stop_accepting = Arc::new(AtomicBool::new(false));
-    let accept_thread = {
-        let shared = shared.clone();
-        let stop = stop_accepting.clone();
-        std::thread::Builder::new()
-            .name("svd-accept".to_string())
-            .spawn(move || accept_loop(listener, shared, stop))
-            .expect("spawn accept loop")
-    };
-
-    Ok(ServerHandle {
-        addr,
-        shared,
-        stop_accepting,
-        accept_thread: Some(accept_thread),
-        worker_threads,
-        observer,
-    })
+    match shared.cfg.io_model {
+        IoModel::Threads => {
+            listener.set_nonblocking(true)?;
+            let accept_thread = {
+                let shared = shared.clone();
+                let stop = stop_accepting.clone();
+                std::thread::Builder::new()
+                    .name("svd-accept".to_string())
+                    .spawn(move || accept_loop(listener, shared, stop))
+                    .expect("spawn accept loop")
+            };
+            Ok(ServerHandle {
+                addr,
+                shared,
+                stop_accepting,
+                accept_thread: Some(accept_thread),
+                worker_threads,
+                #[cfg(target_os = "linux")]
+                event_loop: None,
+                observer,
+            })
+        }
+        IoModel::EventLoop => {
+            #[cfg(target_os = "linux")]
+            {
+                // 10k connections need >10k descriptors; lift the soft
+                // limit as far as the hard limit allows (best-effort).
+                let _ = crate::sys::raise_nofile_limit();
+                let handler = Arc::new(LoopHandler {
+                    shared: shared.clone(),
+                });
+                let loop_cfg = crate::eventloop::LoopConfig {
+                    header_deadline: shared.cfg.header_deadline,
+                    max_connections: shared.cfg.max_connections,
+                    drain_grace: Duration::from_secs(30),
+                    sock_buf_bytes: shared.cfg.sock_buf_bytes,
+                };
+                let lh = crate::eventloop::start_event_loop(
+                    listener,
+                    handler,
+                    shared.draining.clone(),
+                    loop_cfg,
+                )?;
+                Ok(ServerHandle {
+                    addr,
+                    shared,
+                    stop_accepting,
+                    accept_thread: None,
+                    worker_threads,
+                    event_loop: Some(lh),
+                    observer,
+                })
+            }
+            #[cfg(not(target_os = "linux"))]
+            {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "the event-loop I/O model requires Linux (epoll); use IoModel::Threads",
+                ))
+            }
+        }
+    }
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
@@ -229,20 +346,30 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>
 }
 
 fn handle_connection(stream: TcpStream, shared: &Shared) {
+    shared.metrics.conn.on_accept();
+    let reason = handle_connection_inner(stream, shared);
+    shared.metrics.conn.on_close(reason);
+}
+
+fn handle_connection_inner(stream: TcpStream, shared: &Shared) -> CloseReason {
     let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
-        return;
+        return CloseReason::IoError;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     loop {
         match read_request(&mut reader) {
-            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Closed) => return CloseReason::PeerClosed,
             Err(HttpError { status, msg }) => {
                 let body = Json::obj(vec![("error", Json::str(msg))]).to_string();
                 respond(&mut writer, shared, status, &body, true);
-                return;
+                return if status == 408 {
+                    CloseReason::HeaderTimeout
+                } else {
+                    CloseReason::ProtocolError
+                };
             }
             Ok(ReadOutcome::Request(req)) => {
                 // Every response carries a unique trace id, so a client
@@ -261,8 +388,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                     !keep_alive,
                 )
                 .is_ok();
-                if !ok || !keep_alive {
-                    return;
+                if !ok {
+                    return CloseReason::IoError;
+                }
+                if !keep_alive {
+                    return CloseReason::ResponseComplete;
                 }
             }
         }
@@ -282,49 +412,33 @@ fn respond(writer: &mut impl Write, shared: &Shared, status: u16, body: &str, cl
     );
 }
 
-/// Routes one request, returning `(status, content type, body)`.
+/// Routes one request on the thread-per-connection path, returning
+/// `(status, content type, body)`.
 fn route(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/scan") => {
             shared.metrics.count_request("scan");
             handle_scan(req, shared)
         }
-        ("GET", "/metrics") => {
-            shared.metrics.count_request("metrics");
-            let version = shared.registry.current().version;
-            let precision = shared.registry.precision();
-            (
-                200,
-                "text/plain; version=0.0.4",
-                shared.metrics.render(version, precision.as_str()),
-            )
-        }
         ("POST", "/reload") => {
             shared.metrics.count_request("reload");
-            match shared.registry.reload() {
-                Ok(version) => {
-                    shared.metrics.reloads.fetch_add(1, Ordering::Relaxed);
-                    (
-                        200,
-                        "application/json",
-                        Json::obj(vec![
-                            ("reloaded", Json::Bool(true)),
-                            ("version", Json::Num(version as f64)),
-                        ])
-                        .to_string(),
-                    )
-                }
-                // The candidate was unreadable, corrupt, or failed its
-                // smoke test: the old model keeps serving, the rejection is
-                // counted, and the client gets 422 with the typed reason.
-                Err(e) => {
-                    shared
-                        .metrics
-                        .reload_failures
-                        .fetch_add(1, Ordering::Relaxed);
-                    (422, "application/json", error_body(&e.to_string()))
-                }
-            }
+            let (status, body) = do_reload(shared);
+            (status, "application/json", body)
+        }
+        _ => route_sync(req, shared),
+    }
+}
+
+/// The routes that answer without touching the scan queue or blocking on
+/// I/O — shared verbatim by both I/O models, which is what keeps their
+/// responses byte-identical. `/scan` and `/reload` are handled by each
+/// front end (blocking here, completer-based on the event loop) before
+/// falling through to this.
+fn route_sync(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/metrics") => {
+            shared.metrics.count_request("metrics");
+            (200, "text/plain; version=0.0.4", render_metrics(shared))
         }
         ("GET", "/healthz") => {
             shared.metrics.count_request("healthz");
@@ -338,15 +452,14 @@ fn route(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
                 );
             }
             let version = shared.registry.current().version;
-            (
-                200,
-                "application/json",
-                Json::obj(vec![
-                    ("status", Json::str("ok")),
-                    ("model_version", Json::Num(version as f64)),
-                ])
-                .to_string(),
-            )
+            let mut fields = vec![
+                ("status", Json::str("ok")),
+                ("model_version", Json::Num(version as f64)),
+            ];
+            if let Some((i, n)) = shared.cfg.shard {
+                fields.push(("shard", Json::str(format!("{i}/{n}"))));
+            }
+            (200, "application/json", Json::obj(fields).to_string())
         }
         (_, "/scan" | "/reload" | "/metrics" | "/healthz") => {
             shared.metrics.count_request("other");
@@ -359,33 +472,70 @@ fn route(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
     }
 }
 
+/// Renders the Prometheus exposition, with the shard identity appended when
+/// this process is part of a fleet.
+fn render_metrics(shared: &Shared) -> String {
+    let version = shared.registry.current().version;
+    let precision = shared.registry.precision();
+    let mut text = shared.metrics.render(version, precision.as_str());
+    if let Some((i, n)) = shared.cfg.shard {
+        text.push_str("# HELP sevuldet_shard_info Fleet identity of this shard process.\n");
+        text.push_str("# TYPE sevuldet_shard_info gauge\n");
+        text.push_str(&format!("sevuldet_shard_info{{shard=\"{i}/{n}\"}} 1\n"));
+    }
+    text
+}
+
+/// Runs a model hot-swap and maps the result to `(status, JSON body)`.
+fn do_reload(shared: &Shared) -> (u16, String) {
+    match shared.registry.reload() {
+        Ok(version) => {
+            shared.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+            (
+                200,
+                Json::obj(vec![
+                    ("reloaded", Json::Bool(true)),
+                    ("version", Json::Num(version as f64)),
+                ])
+                .to_string(),
+            )
+        }
+        // The candidate was unreadable, corrupt, or failed its smoke test:
+        // the old model keeps serving, the rejection is counted, and the
+        // client gets 422 with the typed reason.
+        Err(e) => {
+            shared
+                .metrics
+                .reload_failures
+                .fetch_add(1, Ordering::Relaxed);
+            (422, error_body(&e.to_string()))
+        }
+    }
+}
+
 fn error_body(msg: &str) -> String {
     Json::obj(vec![("error", Json::str(msg))]).to_string()
 }
 
-fn handle_scan(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
-    if shared.draining.load(Ordering::SeqCst) {
-        return (503, "application/json", error_body("server draining"));
-    }
+/// A validated `/scan` request body.
+struct ScanFields {
+    name: String,
+    source: String,
+    deadline: Duration,
+}
+
+/// Validates a `/scan` request (shared by both I/O models so the error
+/// bodies stay byte-identical).
+fn scan_fields(req: &Request, shared: &Shared) -> Result<ScanFields, (u16, String)> {
     let Ok(text) = std::str::from_utf8(&req.body) else {
-        return (400, "application/json", error_body("body is not UTF-8"));
+        return Err((400, error_body("body is not UTF-8")));
     };
     let doc = match Json::parse(text) {
         Ok(doc) => doc,
-        Err(e) => {
-            return (
-                400,
-                "application/json",
-                error_body(&format!("invalid JSON: {e}")),
-            )
-        }
+        Err(e) => return Err((400, error_body(&format!("invalid JSON: {e}")))),
     };
     let Some(source) = doc.get("source").and_then(Json::as_str) else {
-        return (
-            400,
-            "application/json",
-            error_body("missing string field `source`"),
-        );
+        return Err((400, error_body("missing string field `source`")));
     };
     let name = doc
         .get("name")
@@ -394,52 +544,148 @@ fn handle_scan(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
         .to_string();
     // Per-request deadline override, capped at the server default so one
     // client cannot park jobs in the queue for minutes.
-    let deadline_ms = req
+    let deadline = req
         .header("x-deadline-ms")
         .and_then(|v| v.parse::<u64>().ok())
         .map(|ms| Duration::from_millis(ms).min(shared.cfg.deadline))
         .unwrap_or(shared.cfg.deadline);
-
-    let (resp_tx, resp_rx) = mpsc::channel();
-    let job = ScanJob {
+    Ok(ScanFields {
         name,
         source: source.to_string(),
-        enqueued: Instant::now(),
-        deadline: Instant::now() + deadline_ms,
-        resp: resp_tx,
+        deadline,
+    })
+}
+
+/// Maps a finished job outcome to `(status, JSON body)` — the single
+/// mapping both I/O models answer scans through.
+fn outcome_status_body(outcome: JobOutcome) -> (u16, String) {
+    match outcome {
+        JobOutcome::Report(body) => (200, body),
+        JobOutcome::ParseError(body) => (422, body),
+        JobOutcome::DeadlineExceeded => (504, error_body("deadline exceeded before scoring")),
+        JobOutcome::Panicked => (
+            500,
+            error_body("scoring this request failed; it was isolated from its batch"),
+        ),
+        JobOutcome::Internal(msg) => (500, error_body(&format!("internal scoring error: {msg}"))),
+        JobOutcome::Rejected(SubmitError::Full) => (429, error_body("scan queue full")),
+        JobOutcome::Rejected(SubmitError::ShuttingDown) => (503, error_body("server draining")),
+    }
+}
+
+fn handle_scan(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
+    if shared.draining.load(Ordering::SeqCst) {
+        return (503, "application/json", error_body("server draining"));
+    }
+    let fields = match scan_fields(req, shared) {
+        Ok(fields) => fields,
+        Err((status, body)) => return (status, "application/json", body),
     };
-    match shared.queue.submit(job) {
-        Err(SubmitError::Full) => return (429, "application/json", error_body("scan queue full")),
-        Err(SubmitError::ShuttingDown) => {
-            return (503, "application/json", error_body("server draining"))
-        }
-        Ok(()) => {}
+    let deadline = fields.deadline;
+    let (resp_tx, resp_rx) = mpsc::channel();
+    let job = ScanJob {
+        name: fields.name,
+        source: fields.source,
+        enqueued: Instant::now(),
+        deadline: Instant::now() + deadline,
+        resp: crate::batch::Responder::channel(resp_tx),
+    };
+    if let Err((e, _job)) = shared.queue.submit(job) {
+        let (status, body) = outcome_status_body(JobOutcome::Rejected(e));
+        return (status, "application/json", body);
     }
     // Wait for the worker. The margin over the deadline covers scoring time
     // for a job popped just before its deadline, plus the test-hook delay.
-    let wait = deadline_ms + shared.cfg.batch_delay + Duration::from_secs(30);
+    let wait = deadline + shared.cfg.batch_delay + Duration::from_secs(30);
     match resp_rx.recv_timeout(wait) {
-        Ok(JobOutcome::Report(body)) => (200, "application/json", body),
-        Ok(JobOutcome::ParseError(body)) => (422, "application/json", body),
-        Ok(JobOutcome::DeadlineExceeded) => (
-            504,
-            "application/json",
-            error_body("deadline exceeded before scoring"),
-        ),
-        Ok(JobOutcome::Panicked) => (
-            500,
-            "application/json",
-            error_body("scoring this request failed; it was isolated from its batch"),
-        ),
-        Ok(JobOutcome::Internal(msg)) => (
-            500,
-            "application/json",
-            error_body(&format!("internal scoring error: {msg}")),
-        ),
+        Ok(outcome) => {
+            let (status, body) = outcome_status_body(outcome);
+            (status, "application/json", body)
+        }
         Err(_) => (
             503,
             "application/json",
             error_body("scan worker unavailable"),
         ),
+    }
+}
+
+/// The event loop's view of this server: same routes, same bodies, but
+/// `/scan` and `/reload` answer through a completer instead of blocking the
+/// connection's thread (there is none to block).
+#[cfg(target_os = "linux")]
+struct LoopHandler {
+    shared: Arc<Shared>,
+}
+
+#[cfg(target_os = "linux")]
+impl crate::eventloop::Handler for LoopHandler {
+    fn handle(
+        &self,
+        req: &Request,
+        completer: crate::eventloop::CompleterSource<'_>,
+    ) -> Option<crate::eventloop::Response> {
+        use crate::eventloop::Response;
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/scan") => {
+                self.shared.metrics.count_request("scan");
+                if self.shared.draining.load(Ordering::SeqCst) {
+                    return Some(Response::json(503, error_body("server draining")));
+                }
+                let fields = match scan_fields(req, &self.shared) {
+                    Ok(fields) => fields,
+                    Err((status, body)) => return Some(Response::json(status, body)),
+                };
+                let completer = completer.take();
+                let job = ScanJob {
+                    name: fields.name,
+                    source: fields.source,
+                    enqueued: Instant::now(),
+                    deadline: Instant::now() + fields.deadline,
+                    resp: crate::batch::Responder::new(move |outcome| {
+                        let (status, body) = outcome_status_body(outcome);
+                        completer.complete(Response::json(status, body));
+                    }),
+                };
+                // A rejected job answers through its own responder, so the
+                // completer inside it delivers the 429/503 like any result.
+                if let Err((e, job)) = self.shared.queue.submit(job) {
+                    job.resp.send(JobOutcome::Rejected(e));
+                }
+                None
+            }
+            ("POST", "/reload") => {
+                self.shared.metrics.count_request("reload");
+                // Model loads take real time; never run one on the loop
+                // thread. If the spawn itself fails the dropped completer
+                // answers 503.
+                let shared = self.shared.clone();
+                let completer = completer.take();
+                let _ = std::thread::Builder::new()
+                    .name("svd-reload".to_string())
+                    .spawn(move || {
+                        let (status, body) = do_reload(&shared);
+                        completer.complete(Response::json(status, body));
+                    });
+                None
+            }
+            _ => {
+                let (status, content_type, body) = route_sync(req, &self.shared);
+                Some(Response {
+                    status,
+                    content_type: content_type.to_string(),
+                    body: body.into_bytes(),
+                    extra: Vec::new(),
+                })
+            }
+        }
+    }
+
+    fn count_response(&self, status: u16) {
+        self.shared.metrics.count_response(status);
+    }
+
+    fn conn_counters(&self) -> &crate::metrics::ConnCounters {
+        &self.shared.metrics.conn
     }
 }
