@@ -19,8 +19,13 @@
 //! `--distinct N` rotates N distinct source bodies (distinct digests), which
 //! is what exercises consistent-hash cache affinity behind the balancer.
 //! Reports req/s plus p50/p99/p999 latency; any non-200 response or I/O
-//! error counts as a failure. `--self-test` spins an in-process server and
-//! runs a short closed-loop burst against it (the CI smoke path).
+//! error counts as a failure, broken down by status code and error class
+//! (connect hangup vs read vs write) so chaos benches report *availability*
+//! — completed / attempted — not just throughput. `--min-availability P`
+//! (e.g. `0.999`) turns the exit gate from "zero failures" into "measured
+//! availability ≥ P", which is what a rolling-restart run asserts.
+//! `--self-test` spins an in-process server and runs a short closed-loop
+//! burst against it (the CI smoke path).
 
 #[cfg(target_os = "linux")]
 fn main() {
@@ -40,6 +45,7 @@ mod linux {
     use sevuldet_serve::sys::{
         raise_nofile_limit, Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT,
     };
+    use std::collections::BTreeMap;
     use std::io::{Read, Write};
     use std::net::TcpStream;
     use std::os::fd::AsRawFd;
@@ -87,6 +93,11 @@ mod linux {
         latencies_ns: Vec<u64>,
         completed: u64,
         failures: u64,
+        /// Responses by exact status code (200 included).
+        statuses: BTreeMap<u16, u64>,
+        /// Transport failures by class: `hangup` (EPOLLERR/HUP or EOF
+        /// mid-response), `read`, `write`.
+        errors: BTreeMap<&'static str, u64>,
     }
 
     pub fn main(args: &[String]) {
@@ -112,7 +123,7 @@ mod linux {
         }
         let Some(addr) = get("--addr") else {
             eprintln!(
-                "usage: loadgen --addr host:port [--connections N] [--duration-s N] [--warmup-s N] [--distinct N] [--rate R] [--json] [--self-test]"
+                "usage: loadgen --addr host:port [--connections N] [--duration-s N] [--warmup-s N] [--distinct N] [--rate R] [--min-availability P] [--json] [--self-test]"
             );
             std::process::exit(2);
         };
@@ -122,18 +133,46 @@ mod linux {
         let distinct = (parse("--distinct", 64) as usize).max(1);
         let rate = parse("--rate", 0);
         let as_json = has("--json");
+        let min_availability: Option<f64> = get("--min-availability").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad --min-availability `{v}`");
+                std::process::exit(2);
+            })
+        });
 
         let report = run(&addr, connections, duration, warmup, distinct, rate);
-        print_report(&report, connections, duration, distinct, rate, as_json);
+        print_report(
+            &report,
+            connections,
+            duration,
+            distinct,
+            rate,
+            as_json,
+            min_availability,
+        );
     }
 
     struct Report {
         requests: u64,
         failures: u64,
+        statuses: BTreeMap<u16, u64>,
+        errors: BTreeMap<&'static str, u64>,
         elapsed: Duration,
         p50_ms: f64,
         p99_ms: f64,
         p999_ms: f64,
+    }
+
+    impl Report {
+        /// Completed ÷ attempted: the availability a client of this fleet
+        /// observed during the run.
+        fn availability(&self) -> f64 {
+            let attempted = self.requests + self.failures;
+            if attempted == 0 {
+                return 0.0;
+            }
+            self.requests as f64 / attempted as f64
+        }
     }
 
     fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
@@ -219,6 +258,8 @@ mod linux {
             latencies_ns: Vec::with_capacity(1 << 20),
             completed: 0,
             failures: 0,
+            statuses: BTreeMap::new(),
+            errors: BTreeMap::new(),
         };
         let measure_from = Instant::now() + warmup;
         let deadline = measure_from + duration;
@@ -236,6 +277,8 @@ mod linux {
                 stats.latencies_ns.clear();
                 stats.completed = 0;
                 stats.failures = 0;
+                stats.statuses.clear();
+                stats.errors.clear();
             }
             // Kick idle connections whose next request is due (closed loop:
             // always due). Sweep a slice per iteration to bound the scan.
@@ -258,7 +301,7 @@ mod linux {
                     continue;
                 }
                 if bits & (EPOLLERR | EPOLLHUP) != 0 {
-                    kill(&ep, c, &mut stats, measuring);
+                    kill(&ep, c, &mut stats, measuring, "hangup");
                     continue;
                 }
                 if bits & EPOLLOUT != 0 {
@@ -275,6 +318,8 @@ mod linux {
         Report {
             requests: stats.completed,
             failures: stats.failures,
+            statuses: stats.statuses,
+            errors: stats.errors,
             elapsed,
             p50_ms: percentile_ms(&stats.latencies_ns, 0.50),
             p99_ms: percentile_ms(&stats.latencies_ns, 0.99),
@@ -342,6 +387,7 @@ mod linux {
         if c.dead {
             if measuring {
                 stats.failures += 1;
+                *stats.errors.entry("write").or_insert(0) += 1;
             }
             let _ = ep.delete(c.stream.as_raw_fd());
             return;
@@ -361,7 +407,7 @@ mod linux {
         loop {
             match c.stream.read(&mut chunk) {
                 Ok(0) => {
-                    kill(ep, c, stats, measuring);
+                    kill(ep, c, stats, measuring, "hangup");
                     return;
                 }
                 Ok(n) => {
@@ -373,7 +419,7 @@ mod linux {
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
-                    kill(ep, c, stats, measuring);
+                    kill(ep, c, stats, measuring, "read");
                     return;
                 }
             }
@@ -383,6 +429,7 @@ mod linux {
         if let Some((status, total)) = parse_response(&c.rbuf) {
             if c.rbuf.len() >= total {
                 if measuring {
+                    *stats.statuses.entry(status).or_insert(0) += 1;
                     if status == 200 {
                         stats.completed += 1;
                         stats
@@ -415,16 +462,18 @@ mod linux {
         Some((status, head_end + 4 + content_length))
     }
 
-    fn kill(ep: &Epoll, c: &mut Conn, stats: &mut Stats, measuring: bool) {
+    fn kill(ep: &Epoll, c: &mut Conn, stats: &mut Stats, measuring: bool, class: &'static str) {
         if !c.dead {
             c.dead = true;
             let _ = ep.delete(c.stream.as_raw_fd());
             if measuring && c.in_flight {
                 stats.failures += 1;
+                *stats.errors.entry(class).or_insert(0) += 1;
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn print_report(
         report: &Report,
         connections: usize,
@@ -432,10 +481,26 @@ mod linux {
         distinct: usize,
         rate: u64,
         as_json: bool,
+        min_availability: Option<f64>,
     ) {
         let secs = report.elapsed.as_secs_f64().max(1e-9);
         let rps = report.requests as f64 / secs;
+        let availability = report.availability();
         if as_json {
+            let statuses = Json::Obj(
+                report
+                    .statuses
+                    .iter()
+                    .map(|(code, n)| (code.to_string(), Json::Num(*n as f64)))
+                    .collect(),
+            );
+            let errors = Json::Obj(
+                report
+                    .errors
+                    .iter()
+                    .map(|(class, n)| (class.to_string(), Json::Num(*n as f64)))
+                    .collect(),
+            );
             println!(
                 "{}",
                 Json::obj(vec![
@@ -445,6 +510,9 @@ mod linux {
                     ("rate_target", Json::Num(rate as f64)),
                     ("requests", Json::Num(report.requests as f64)),
                     ("failures", Json::Num(report.failures as f64)),
+                    ("availability", Json::Num(availability)),
+                    ("statuses", statuses),
+                    ("errors", errors),
                     ("req_per_s", Json::Num(rps)),
                     ("p50_ms", Json::Num(report.p50_ms)),
                     ("p99_ms", Json::Num(report.p99_ms)),
@@ -453,11 +521,38 @@ mod linux {
             );
         } else {
             println!(
-                "{connections} conns, {:.1}s: {} requests ({rps:.0} req/s), {} failure(s); latency p50 {:.2} ms, p99 {:.2} ms, p99.9 {:.2} ms",
-                secs, report.requests, report.failures, report.p50_ms, report.p99_ms, report.p999_ms
+                "{connections} conns, {:.1}s: {} requests ({rps:.0} req/s), {} failure(s), availability {:.4}%; latency p50 {:.2} ms, p99 {:.2} ms, p99.9 {:.2} ms",
+                secs,
+                report.requests,
+                report.failures,
+                availability * 100.0,
+                report.p50_ms,
+                report.p99_ms,
+                report.p999_ms
             );
+            if !report.statuses.is_empty() || !report.errors.is_empty() {
+                let statuses: Vec<String> = report
+                    .statuses
+                    .iter()
+                    .map(|(code, n)| format!("{code}:{n}"))
+                    .collect();
+                let errors: Vec<String> = report
+                    .errors
+                    .iter()
+                    .map(|(class, n)| format!("{class}:{n}"))
+                    .collect();
+                println!(
+                    "  statuses {{{}}} transport-errors {{{}}}",
+                    statuses.join(", "),
+                    errors.join(", ")
+                );
+            }
         }
-        if report.failures > 0 {
+        let failed = match min_availability {
+            Some(min) => availability < min,
+            None => report.failures > 0,
+        };
+        if failed {
             std::process::exit(1);
         }
     }

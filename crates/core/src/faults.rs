@@ -14,8 +14,12 @@
 //!
 //! * `action` is `abort` (SIGABRT, no unwinding — a stand-in for SIGKILL at
 //!   a precise program point), `panic` (unwinds, for `catch_unwind`
-//!   isolation), or `panic@SUBSTR` (panics only when the call's hint string
-//!   contains `SUBSTR`; hitless for plain [`hit`] calls).
+//!   isolation), `panic@SUBSTR` (panics only when the call's hint string
+//!   contains `SUBSTR`; hitless for plain [`hit`] calls), or `sleep:MS`
+//!   (blocks the hitting thread for `MS` milliseconds — a small value makes
+//!   a *slow* component, a huge one a *frozen* component that accepts work
+//!   but never finishes it; the chaos suite builds both shard personalities
+//!   from this one action).
 //! * `:N` (1-based) delays the trigger until the Nth matching hit, so a
 //!   trainer can be killed at the 7th batch boundary exactly.
 //!
@@ -32,6 +36,7 @@ enum Action {
     Abort,
     Panic,
     PanicIfHint(String),
+    Sleep(u64),
 }
 
 #[derive(Debug)]
@@ -106,6 +111,11 @@ fn parse_clause(clause: &str) -> Result<(String, FailPoint), String> {
         Action::Panic
     } else if let Some(sub) = action.strip_prefix("panic@") {
         Action::PanicIfHint(sub.to_string())
+    } else if let Some(ms) = action.strip_prefix("sleep:") {
+        Action::Sleep(
+            ms.parse::<u64>()
+                .map_err(|_| format!("bad sleep duration `{ms}`"))?,
+        )
     } else {
         return Err(format!("unknown action `{action}`"));
     };
@@ -178,7 +188,7 @@ pub fn hit_hint(name: &str, hint: &str) {
             return;
         };
         let matches = match &fp.action {
-            Action::Abort | Action::Panic => true,
+            Action::Abort | Action::Panic | Action::Sleep(_) => true,
             Action::PanicIfHint(sub) => hint.contains(sub.as_str()),
         };
         if !matches {
@@ -199,6 +209,9 @@ pub fn hit_hint(name: &str, hint: &str) {
         }
         Action::Panic | Action::PanicIfHint(_) => {
             panic!("failpoint `{name}` fired (hint: {hint:?})");
+        }
+        Action::Sleep(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
         }
     }
 }
@@ -235,10 +248,25 @@ mod tests {
         hit("fp-test-hint"); // plain hit never matches panic@
         disarm("fp-test-hint");
 
+        // Sleep: delays the hitting thread, keeps the process alive, and
+        // keeps firing on later hits.
+        arm("fp-test-sleep=sleep:30");
+        let t0 = std::time::Instant::now();
+        hit("fp-test-sleep");
+        hit("fp-test-sleep");
+        assert!(
+            t0.elapsed() >= std::time::Duration::from_millis(60),
+            "sleep failpoint must delay every hit"
+        );
+        assert_eq!(hits("fp-test-sleep"), 2);
+        disarm("fp-test-sleep");
+
         // Malformed specs are rejected.
         assert!(parse_clause("nonsense").is_err());
         assert!(parse_clause("x:0=abort").is_err());
         assert!(parse_clause("x=explode").is_err());
+        assert!(parse_clause("x=sleep:fast").is_err());
         assert!(parse_clause("x:3=abort").is_ok());
+        assert!(parse_clause("x=sleep:250").is_ok());
     }
 }

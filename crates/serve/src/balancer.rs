@@ -17,16 +17,45 @@
 //! * everything else — **round-robin** over healthy shards, so probes and
 //!   unknown paths get the shard's own byte-identical answer.
 //!
-//! A health thread polls each shard's `/healthz` on an interval:
-//! `fail_after` consecutive failures eject a shard from both rotations
-//! (consistent-hash points included — its keyspace redistributes), and
-//! `recover_after` consecutive successes readmit it. A draining shard
-//! (`503` from `/healthz`) counts as failed, which is what makes rolling
-//! restarts invisible to clients.
+//! ## Fault tolerance
+//!
+//! `/scan` is a pure function of its body, which makes retries safe by
+//! construction; the forwarding plane exploits that everywhere:
+//!
+//! * **Per-request failover** — a connect failure, I/O error, backend
+//!   timeout, `429`, or `5xx` from a shard re-routes the request to the
+//!   next distinct healthy shard in ring order (round-robin order for
+//!   unhashed requests), with jittered exponential backoff between the
+//!   later attempts, always within the request's remaining deadline.
+//! * **Deadline budget** — the client's `X-Deadline-Ms` (capped at
+//!   `backend_timeout`, which is also the budget when the header is
+//!   absent) is decremented by elapsed queue/connect/retry time before
+//!   every forward; an exhausted budget answers `504` locally, so retries
+//!   can never stack past the client's deadline.
+//! * **Circuit breaking** — every request outcome (not just the probe
+//!   loop) feeds a per-shard closed/open/half-open breaker: `fail_after`
+//!   consecutive passive failures — or probe failures — open it and eject
+//!   the shard from both rotations immediately; probe successes then walk
+//!   it through half-open back to closed after `recover_after`. A probe
+//!   success never masks passive failures, so a shard that accepts
+//!   connections but stops answering (frozen worker) still gets ejected.
+//! * **Hedged requests** — with `hedge_after` set, a `/scan` whose primary
+//!   shard stays silent past the threshold (a fixed delay or a tracked
+//!   latency percentile) races a second shard; the first answer wins and
+//!   the loser is discarded, cutting tail latency under a slow shard.
+//! * **Brownout** — past `shed_inflight` forwards in flight the balancer
+//!   degrades instead of failing: requests marked `X-Sevuldet-Priority:
+//!   low` are shed locally with a typed `503`, every `/scan` is shed past
+//!   twice the threshold, and `/healthz` reports `"degraded"` (still
+//!   `200`) so operators see the brownout before clients do.
+//!
+//! A health thread still polls each shard's `/healthz` on an interval as
+//! the recovery path (and as a backstop for shards that never take
+//! traffic). A draining shard (`503` from `/healthz`) counts as failed,
+//! which is what makes rolling restarts invisible to clients.
 //!
 //! Forwarding is done by a small pool of blocking forwarder threads, each
-//! holding one keep-alive connection per shard (reconnect-once on a stale
-//! connection, then `502 shard unavailable`).
+//! holding one keep-alive connection per shard.
 
 use crate::eventloop::{
     start_event_loop, Completer, CompleterSource, EventLoopHandle, Handler, LoopConfig, Response,
@@ -34,18 +63,56 @@ use crate::eventloop::{
 use crate::http::Request;
 use crate::metrics::ConnCounters;
 use sevuldet::{sha256_hex, Json};
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Virtual nodes per shard on the consistent-hash ring. More points mean a
 /// smoother keyspace split and smaller reshuffles on ejection.
 const VNODES: usize = 64;
+
+/// Recent `/scan` latencies kept for percentile-based hedging.
+const LATENCY_WINDOW: usize = 512;
+
+/// Fewest window samples before a percentile hedge threshold is trusted.
+const LATENCY_MIN_SAMPLES: usize = 32;
+
+/// When to launch a hedged second attempt for a silent `/scan` primary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HedgeAfter {
+    /// A fixed silence budget.
+    Fixed(Duration),
+    /// A quantile (e.g. `0.99`) of the balancer's rolling latency window;
+    /// hedging stays off until the window has enough samples.
+    Percentile(f64),
+}
+
+impl std::str::FromStr for HedgeAfter {
+    type Err = String;
+
+    /// `"80"` → fixed 80 ms; `"p99"` / `"p99.9"` → that latency percentile.
+    fn from_str(s: &str) -> Result<HedgeAfter, String> {
+        if let Some(q) = s.strip_prefix('p') {
+            let pct: f64 = q
+                .parse()
+                .map_err(|_| format!("bad hedge percentile `{s}`"))?;
+            if !(0.0..100.0).contains(&pct) {
+                return Err(format!("hedge percentile `{s}` outside (0, 100)"));
+            }
+            Ok(HedgeAfter::Percentile(pct / 100.0))
+        } else {
+            let ms: u64 = s
+                .parse()
+                .map_err(|_| format!("bad hedge delay `{s}` (want ms or pXX)"))?;
+            Ok(HedgeAfter::Fixed(Duration::from_millis(ms)))
+        }
+    }
+}
 
 /// Balancer tunables.
 #[derive(Debug, Clone)]
@@ -56,20 +123,28 @@ pub struct BalancerConfig {
     pub shards: Vec<String>,
     /// How often each shard's `/healthz` is polled.
     pub health_interval: Duration,
-    /// Consecutive probe failures before a shard is ejected.
+    /// Consecutive failures (probe or passive) before the breaker opens.
     pub fail_after: u32,
-    /// Consecutive probe successes before an ejected shard is readmitted.
+    /// Consecutive successes before an open breaker closes again.
     pub recover_after: u32,
     /// Blocking forwarder threads (each keeps one connection per shard).
     pub forwarders: usize,
     /// TCP connect timeout towards a shard.
     pub connect_timeout: Duration,
-    /// Read timeout while waiting for a shard's response.
+    /// Per-attempt read timeout towards a shard; also the deadline budget
+    /// for requests that carry no `X-Deadline-Ms`.
     pub backend_timeout: Duration,
     /// Client header deadline (`408` past it), as on the serve loop.
     pub header_deadline: Duration,
     /// Open client connection cap.
     pub max_connections: usize,
+    /// Hedged-request trigger for `/scan`; `None` disables hedging.
+    pub hedge_after: Option<HedgeAfter>,
+    /// In-flight forwards before the brownout starts shedding low-priority
+    /// requests (`0` disables shedding).
+    pub shed_inflight: usize,
+    /// Base delay for jittered exponential backoff between failovers.
+    pub retry_backoff: Duration,
 }
 
 impl Default for BalancerConfig {
@@ -85,6 +160,9 @@ impl Default for BalancerConfig {
             backend_timeout: Duration::from_secs(30),
             header_deadline: Duration::from_secs(5),
             max_connections: 16_384,
+            hedge_after: None,
+            shed_inflight: 1024,
+            retry_backoff: Duration::from_millis(10),
         }
     }
 }
@@ -97,6 +175,38 @@ enum RouteMode {
     Broadcast,
 }
 
+/// Circuit-breaker position; the numeric values are the
+/// `sevuldet_balancer_breaker_state` gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed = 0,
+    Open = 1,
+    HalfOpen = 2,
+}
+
+/// Per-shard breaker bookkeeping. Passive (real-traffic) and probe failure
+/// streaks are tracked separately so a probe success cannot launder away
+/// passive timeouts from a frozen shard, while a lone passive blip months
+/// apart still cannot accumulate into an ejection.
+#[derive(Debug)]
+struct BreakerCore {
+    state: BreakerState,
+    passive_fails: u32,
+    probe_fails: u32,
+    oks: u32,
+}
+
+impl BreakerCore {
+    fn new() -> BreakerCore {
+        BreakerCore {
+            state: BreakerState::Closed,
+            passive_fails: 0,
+            probe_fails: 0,
+            oks: 0,
+        }
+    }
+}
+
 /// Per-shard routing/health counters.
 struct ShardStats {
     addr: String,
@@ -105,6 +215,7 @@ struct ShardStats {
     routed_broadcast: AtomicU64,
     ejections: AtomicU64,
     healthy: AtomicBool,
+    breaker: Mutex<BreakerCore>,
 }
 
 impl ShardStats {
@@ -119,6 +230,7 @@ impl ShardStats {
             // finds otherwise, so a balancer started moments before its
             // fleet does not blackhole the first interval.
             healthy: AtomicBool::new(true),
+            breaker: Mutex::new(BreakerCore::new()),
         }
     }
 
@@ -129,6 +241,10 @@ impl ShardStats {
             RouteMode::Broadcast => &self.routed_broadcast,
         };
         c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn breaker_state(&self) -> BreakerState {
+        self.breaker.lock().unwrap_or_else(|e| e.into_inner()).state
     }
 }
 
@@ -145,6 +261,25 @@ struct Fleet {
     responses: [AtomicU64; 6],
     conn: ConnCounters,
     draining: Arc<AtomicBool>,
+    /// Forwards accepted but not yet answered (brownout signal).
+    inflight: AtomicI64,
+    /// Extra attempts of any kind (stale-conn reconnects + failovers).
+    retries: AtomicU64,
+    /// Attempts that moved the request to a different shard.
+    failovers: AtomicU64,
+    hedges_launched: AtomicU64,
+    hedges_won: AtomicU64,
+    /// Requests shed locally by the brownout.
+    shed: AtomicU64,
+    /// `504`s answered locally on an exhausted deadline budget.
+    deadline_local: AtomicU64,
+    /// Recent `/scan` latencies (nanos) for percentile hedging.
+    latency_window: Mutex<VecDeque<u64>>,
+    /// Where forwarders enqueue hedge legs — a dedicated channel with its
+    /// own forwarder pool, so hedges never starve behind saturated primary
+    /// forwarders. Cleared at shutdown so the channel can actually close
+    /// (forwarders must not own a `Sender`).
+    hedge_tx: Mutex<Option<Sender<ForwardJob>>>,
 }
 
 impl Fleet {
@@ -188,6 +323,130 @@ impl Fleet {
         Some(healthy[n % healthy.len()])
     }
 
+    /// The next distinct healthy shard for a failover or hedge: ring-order
+    /// successor of `key` (round-robin order without one) skipping shards
+    /// already `tried`.
+    fn next_candidate(&self, key: Option<u64>, tried: &[usize]) -> Option<usize> {
+        match key {
+            Some(k) => {
+                let ring = self.ring.read().unwrap_or_else(|e| e.into_inner());
+                if ring.is_empty() {
+                    return None;
+                }
+                let start = ring.partition_point(|&(p, _)| p < k);
+                for off in 0..ring.len() {
+                    let (_, s) = ring[(start + off) % ring.len()];
+                    if !tried.contains(&s) && self.shards[s].healthy.load(Ordering::SeqCst) {
+                        return Some(s);
+                    }
+                }
+                None
+            }
+            None => {
+                let healthy = self.healthy_indices();
+                if healthy.is_empty() {
+                    return None;
+                }
+                let n = self.rr_next.fetch_add(1, Ordering::Relaxed) % healthy.len();
+                (0..healthy.len())
+                    .map(|off| healthy[(n + off) % healthy.len()])
+                    .find(|s| !tried.contains(s))
+            }
+        }
+    }
+
+    /// Feeds one request or probe outcome into the shard's breaker,
+    /// ejecting / readmitting and rebuilding the ring on transitions.
+    fn record_outcome(&self, shard: usize, ok: bool, from_probe: bool) {
+        let s = &self.shards[shard];
+        let mut changed = false;
+        {
+            let mut b = s.breaker.lock().unwrap_or_else(|e| e.into_inner());
+            if ok {
+                match b.state {
+                    BreakerState::Closed => {
+                        // A probe success must not clear *passive* failures:
+                        // a frozen shard keeps answering probes while real
+                        // requests time out.
+                        if from_probe {
+                            b.probe_fails = 0;
+                        } else {
+                            b.passive_fails = 0;
+                        }
+                    }
+                    BreakerState::Open | BreakerState::HalfOpen => {
+                        b.state = BreakerState::HalfOpen;
+                        b.oks += 1;
+                        if b.oks >= self.cfg.recover_after {
+                            *b = BreakerCore::new();
+                            s.healthy.store(true, Ordering::SeqCst);
+                            changed = true;
+                        }
+                    }
+                }
+            } else {
+                b.oks = 0;
+                match b.state {
+                    BreakerState::Closed => {
+                        if from_probe {
+                            b.probe_fails += 1;
+                        } else {
+                            b.passive_fails += 1;
+                        }
+                        if b.probe_fails >= self.cfg.fail_after
+                            || b.passive_fails >= self.cfg.fail_after
+                        {
+                            b.state = BreakerState::Open;
+                            b.passive_fails = 0;
+                            b.probe_fails = 0;
+                            s.healthy.store(false, Ordering::SeqCst);
+                            s.ejections.fetch_add(1, Ordering::Relaxed);
+                            changed = true;
+                        }
+                    }
+                    BreakerState::HalfOpen => b.state = BreakerState::Open,
+                    BreakerState::Open => {}
+                }
+            }
+        }
+        if changed {
+            self.rebuild_ring();
+        }
+    }
+
+    fn observe_latency(&self, latency: Duration) {
+        let mut w = self
+            .latency_window
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if w.len() >= LATENCY_WINDOW {
+            w.pop_front();
+        }
+        w.push_back(latency.as_nanos() as u64);
+    }
+
+    /// The silence budget before a hedge launches, or `None` when hedging
+    /// is off (or a percentile threshold has too little signal yet).
+    fn hedge_delay(&self) -> Option<Duration> {
+        match self.cfg.hedge_after? {
+            HedgeAfter::Fixed(d) => Some(d),
+            HedgeAfter::Percentile(q) => {
+                let w = self
+                    .latency_window
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                if w.len() < LATENCY_MIN_SAMPLES {
+                    return None;
+                }
+                let mut v: Vec<u64> = w.iter().copied().collect();
+                drop(w);
+                v.sort_unstable();
+                let idx = ((v.len() as f64 * q) as usize).min(v.len() - 1);
+                Some(Duration::from_nanos(v[idx]).max(Duration::from_millis(1)))
+            }
+        }
+    }
+
     fn count_response(&self, status: u16) {
         let idx = match status {
             200..=299 => 0,
@@ -218,7 +477,7 @@ impl Fleet {
             }
         }
         out.push_str(
-            "# HELP sevuldet_balancer_ejections_total Health-check ejections per shard.\n\
+            "# HELP sevuldet_balancer_ejections_total Breaker ejections per shard (probe or passive).\n\
              # TYPE sevuldet_balancer_ejections_total counter\n",
         );
         for s in &self.shards {
@@ -244,6 +503,69 @@ impl Fleet {
             ));
         }
         out.push_str(
+            "# HELP sevuldet_balancer_breaker_state Circuit breaker per shard (0 closed, 1 open, 2 half-open).\n\
+             # TYPE sevuldet_balancer_breaker_state gauge\n",
+        );
+        for s in &self.shards {
+            out.push_str(&format!(
+                "sevuldet_balancer_breaker_state{{shard=\"{}\"}} {}\n",
+                s.addr,
+                s.breaker_state() as u8
+            ));
+        }
+        out.push_str(
+            "# HELP sevuldet_balancer_retries_total Extra forward attempts (stale reconnects + failovers).\n\
+             # TYPE sevuldet_balancer_retries_total counter\n",
+        );
+        out.push_str(&format!(
+            "sevuldet_balancer_retries_total {}\n",
+            self.retries.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP sevuldet_balancer_failovers_total Attempts re-routed to a different shard.\n\
+             # TYPE sevuldet_balancer_failovers_total counter\n",
+        );
+        out.push_str(&format!(
+            "sevuldet_balancer_failovers_total {}\n",
+            self.failovers.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP sevuldet_balancer_hedges_total Hedged second attempts, by outcome.\n\
+             # TYPE sevuldet_balancer_hedges_total counter\n",
+        );
+        out.push_str(&format!(
+            "sevuldet_balancer_hedges_total{{outcome=\"launched\"}} {}\n",
+            self.hedges_launched.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "sevuldet_balancer_hedges_total{{outcome=\"won\"}} {}\n",
+            self.hedges_won.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP sevuldet_balancer_shed_total Requests shed locally by the brownout.\n\
+             # TYPE sevuldet_balancer_shed_total counter\n",
+        );
+        out.push_str(&format!(
+            "sevuldet_balancer_shed_total {}\n",
+            self.shed.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP sevuldet_balancer_deadline_local_total 504s answered locally on an exhausted deadline budget.\n\
+             # TYPE sevuldet_balancer_deadline_local_total counter\n",
+        );
+        out.push_str(&format!(
+            "sevuldet_balancer_deadline_local_total {}\n",
+            self.deadline_local.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP sevuldet_balancer_inflight Forwards accepted but not yet answered.\n\
+             # TYPE sevuldet_balancer_inflight gauge\n",
+        );
+        out.push_str(&format!(
+            "sevuldet_balancer_inflight {}\n",
+            self.inflight.load(Ordering::Relaxed)
+        ));
+        out.push_str(
             "# HELP sevuldet_balancer_responses_total Client-facing responses by status class.\n\
              # TYPE sevuldet_balancer_responses_total counter\n",
         );
@@ -263,12 +585,59 @@ fn hash_point(s: &str) -> u64 {
     u64::from_str_radix(&sha256_hex(s.as_bytes())[..16], 16).unwrap_or(0)
 }
 
+/// The slice of a client request the forwarders re-serialize per attempt
+/// (the deadline header is recomputed each time, so it cannot be baked in).
+#[derive(Clone)]
+struct ForwardReq {
+    method: String,
+    path: String,
+    content_type: Option<String>,
+    body: Vec<u8>,
+}
+
+impl ForwardReq {
+    fn from_request(req: &Request) -> ForwardReq {
+        ForwardReq {
+            method: req.method.clone(),
+            path: req.path.clone(),
+            content_type: req.header("content-type").map(str::to_string),
+            body: req.body.clone(),
+        }
+    }
+}
+
+/// The one-shot response slot a request's primary and hedge legs race for.
+type Winner = Arc<Mutex<Option<Completer>>>;
+
+fn winner_taken(winner: &Winner) -> bool {
+    winner.lock().unwrap_or_else(|e| e.into_inner()).is_none()
+}
+
+/// Takes the completer (first caller wins) and settles the inflight gauge.
+fn claim(fleet: &Fleet, winner: &Winner) -> Option<Completer> {
+    let c = winner.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if c.is_some() {
+        fleet.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+    c
+}
+
 /// One forwarded request, handed to the forwarder pool.
 struct ForwardJob {
     shard: usize,
     mode: RouteMode,
-    request: Vec<u8>,
-    completer: Completer,
+    /// Hash-ring key for `/scan` (failovers walk its successors).
+    key: Option<u64>,
+    req: ForwardReq,
+    /// Absolute client deadline; every attempt, backoff, and hedge stays
+    /// inside it.
+    deadline: Instant,
+    /// Shards already attempted by this leg (a hedge starts with the
+    /// primary listed, so it never duplicates it).
+    tried: Vec<usize>,
+    winner: Winner,
+    is_hedge: bool,
+    enqueued: Instant,
 }
 
 /// A running balancer.
@@ -297,8 +666,14 @@ impl BalancerHandle {
             lh.wake.wake();
             let _ = lh.thread.join();
         }
-        // Closing the channel ends the forwarder loops once drained; every
+        // Drop every sender — the fleet's hedge sender included — so the
+        // channel closes and the forwarder loops end once drained; every
         // in-flight job still answers (into a dead loop, harmlessly).
+        *self
+            .fleet
+            .hedge_tx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = None;
         drop(self.jobs_tx.take());
         for t in self.forwarder_threads.drain(..) {
             let _ = t.join();
@@ -333,13 +708,22 @@ pub fn start(cfg: BalancerConfig) -> std::io::Result<BalancerHandle> {
         responses: Default::default(),
         conn: ConnCounters::default(),
         draining: Arc::new(AtomicBool::new(false)),
+        inflight: AtomicI64::new(0),
+        retries: AtomicU64::new(0),
+        failovers: AtomicU64::new(0),
+        hedges_launched: AtomicU64::new(0),
+        hedges_won: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        deadline_local: AtomicU64::new(0),
+        latency_window: Mutex::new(VecDeque::new()),
+        hedge_tx: Mutex::new(None),
         cfg,
     });
     fleet.rebuild_ring();
 
     let (jobs_tx, jobs_rx) = mpsc::channel::<ForwardJob>();
     let jobs_rx = Arc::new(Mutex::new(jobs_rx));
-    let forwarder_threads: Vec<JoinHandle<()>> = (0..fleet.cfg.forwarders.max(1))
+    let mut forwarder_threads: Vec<JoinHandle<()>> = (0..fleet.cfg.forwarders.max(1))
         .map(|i| {
             let fleet = fleet.clone();
             let rx = jobs_rx.clone();
@@ -349,6 +733,22 @@ pub fn start(cfg: BalancerConfig) -> std::io::Result<BalancerHandle> {
                 .expect("spawn forwarder")
         })
         .collect();
+
+    // Hedge legs get their own channel and pool. Sharing the primary pool
+    // would let a saturated fleet (every forwarder blocked reading a slow
+    // shard) starve the very hedges meant to race those slow reads — the
+    // hedge would only start once a primary finished, defeating it.
+    let (hedge_jobs_tx, hedge_jobs_rx) = mpsc::channel::<ForwardJob>();
+    *fleet.hedge_tx.lock().unwrap_or_else(|e| e.into_inner()) = Some(hedge_jobs_tx);
+    let hedge_jobs_rx = Arc::new(Mutex::new(hedge_jobs_rx));
+    forwarder_threads.extend((0..fleet.cfg.forwarders.max(1)).map(|i| {
+        let fleet = fleet.clone();
+        let rx = hedge_jobs_rx.clone();
+        std::thread::Builder::new()
+            .name(format!("svd-hedge-{i}"))
+            .spawn(move || forwarder_loop(&fleet, &rx))
+            .expect("spawn hedge forwarder")
+    }));
 
     let stop = Arc::new(AtomicBool::new(false));
     let health_thread = {
@@ -383,6 +783,20 @@ pub fn start(cfg: BalancerConfig) -> std::io::Result<BalancerHandle> {
     })
 }
 
+/// The deadline budget a client request gets: its `X-Deadline-Ms`, capped
+/// at twice `backend_timeout` (which is also the default without the
+/// header). Two backend timeouts — not one — so that a request whose
+/// first shard times out (the slow/frozen-shard scenario) still has a
+/// full attempt's budget left to fail over with; each individual attempt
+/// is still bounded by `backend_timeout`.
+fn budget(req: &Request, cfg: &BalancerConfig) -> Duration {
+    let cap = cfg.backend_timeout * 2;
+    req.header("x-deadline-ms")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .map_or(cap, |d| d.min(cap))
+}
+
 /// The event loop's view of the balancer.
 struct BalancerHandler {
     fleet: Arc<Fleet>,
@@ -392,18 +806,55 @@ struct BalancerHandler {
 impl BalancerHandler {
     /// Queues a forward towards `shard`, or answers 503 when the pool is
     /// gone (shutdown race).
-    fn forward(&self, shard: usize, mode: RouteMode, req: &Request, completer: Completer) {
+    fn forward(
+        &self,
+        shard: usize,
+        mode: RouteMode,
+        key: Option<u64>,
+        req: &Request,
+        completer: Completer,
+    ) {
+        let now = Instant::now();
         self.fleet.shards[shard].count_routed(mode);
+        self.fleet.inflight.fetch_add(1, Ordering::Relaxed);
         let job = ForwardJob {
             shard,
             mode,
-            request: serialize_request(req, &self.fleet.shards[shard].addr),
-            completer,
+            key,
+            req: ForwardReq::from_request(req),
+            deadline: now + budget(req, &self.fleet.cfg),
+            tried: Vec::new(),
+            winner: Arc::new(Mutex::new(Some(completer))),
+            is_hedge: false,
+            enqueued: now,
         };
         if let Err(mpsc::SendError(job)) = self.jobs_tx.send(job) {
-            job.completer
-                .complete(Response::error(503, "balancer draining"));
+            if let Some(c) = claim(&self.fleet, &job.winner) {
+                c.complete(Response::error(503, "balancer draining"));
+            }
         }
+    }
+
+    /// Brownout check: past `shed_inflight` forwards in flight, shed
+    /// low-priority requests locally; past twice that, shed this request
+    /// regardless. Returns the shed response, or `None` to proceed.
+    fn maybe_shed(&self, req: &Request) -> Option<Response> {
+        let threshold = self.fleet.cfg.shed_inflight;
+        if threshold == 0 {
+            return None;
+        }
+        let inflight = self.fleet.inflight.load(Ordering::Relaxed);
+        if inflight < threshold as i64 {
+            return None;
+        }
+        let low = req
+            .header("x-sevuldet-priority")
+            .is_some_and(|v| v.trim().eq_ignore_ascii_case("low"));
+        if low || inflight >= 2 * threshold as i64 {
+            self.fleet.shed.fetch_add(1, Ordering::Relaxed);
+            return Some(Response::error(503, "shed under overload (brownout)"));
+        }
+        None
     }
 }
 
@@ -411,6 +862,9 @@ impl Handler for BalancerHandler {
     fn handle(&self, req: &Request, completer: CompleterSource<'_>) -> Option<Response> {
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/scan") => {
+                if let Some(shed) = self.maybe_shed(req) {
+                    return Some(shed);
+                }
                 // Hash-route by source digest so one file's repeat scans
                 // always hit the same shard's warm cache. A body the
                 // balancer cannot read falls back to round-robin: the
@@ -428,7 +882,7 @@ impl Handler for BalancerHandler {
                 let Some(shard) = shard else {
                     return Some(Response::error(503, "no healthy shards"));
                 };
-                self.forward(shard, mode, req, completer.take());
+                self.forward(shard, mode, key, req, completer.take());
                 None
             }
             ("POST", "/reload") => {
@@ -440,7 +894,7 @@ impl Handler for BalancerHandler {
                 }
                 let completer = completer.take();
                 let fleet = self.fleet.clone();
-                let request = serialize_request(req, "broadcast");
+                let freq = ForwardReq::from_request(req);
                 for &i in &healthy {
                     fleet.shards[i].count_routed(RouteMode::Broadcast);
                 }
@@ -449,7 +903,7 @@ impl Handler for BalancerHandler {
                 let spawned = std::thread::Builder::new()
                     .name("svd-broadcast".to_string())
                     .spawn(move || {
-                        let resp = broadcast_reload(&fleet, &healthy, &request);
+                        let resp = broadcast_reload(&fleet, &healthy, &freq);
                         completer.complete(resp);
                     });
                 if spawned.is_err() {
@@ -466,20 +920,26 @@ impl Handler for BalancerHandler {
                 }
                 let healthy = self.fleet.healthy_indices().len();
                 let total = self.fleet.shards.len();
-                let status = if healthy > 0 { 200 } else { 503 };
+                let inflight = self.fleet.inflight.load(Ordering::Relaxed).max(0);
+                let threshold = self.fleet.cfg.shed_inflight;
+                // Degraded readiness: still serving (200), but either part
+                // of the fleet is ejected or the brownout threshold is hit
+                // — operators should look before clients notice.
+                let browned_out = threshold > 0 && inflight >= threshold as i64;
+                let (status, text) = if healthy == 0 {
+                    (503, "no healthy shards")
+                } else if healthy < total || browned_out {
+                    (200, "degraded")
+                } else {
+                    (200, "ok")
+                };
                 Some(Response::json(
                     status,
                     Json::obj(vec![
-                        (
-                            "status",
-                            Json::str(if healthy > 0 {
-                                "ok"
-                            } else {
-                                "no healthy shards"
-                            }),
-                        ),
+                        ("status", Json::str(text)),
                         ("healthy_shards", Json::Num(healthy as f64)),
                         ("total_shards", Json::Num(total as f64)),
+                        ("inflight", Json::Num(inflight as f64)),
                     ])
                     .to_string(),
                 ))
@@ -498,7 +958,7 @@ impl Handler for BalancerHandler {
                 let Some(shard) = self.fleet.route_rr() else {
                     return Some(Response::error(503, "no healthy shards"));
                 };
-                self.forward(shard, RouteMode::RoundRobin, req, completer.take());
+                self.forward(shard, RouteMode::RoundRobin, None, req, completer.take());
                 None
             }
         }
@@ -513,19 +973,21 @@ impl Handler for BalancerHandler {
     }
 }
 
-/// Re-serializes a parsed client request for a shard, preserving the
-/// headers that matter (deadline propagation) and normalizing the rest.
-fn serialize_request(req: &Request, host: &str) -> Vec<u8> {
+/// Re-serializes a parsed client request for a shard, propagating the
+/// request's *remaining* deadline budget (recomputed per attempt, so
+/// retries can never stack past the client's deadline) and the headers
+/// that matter, normalizing the rest.
+fn serialize_request(req: &ForwardReq, host: &str, deadline_ms: Option<u64>) -> Vec<u8> {
     let mut out = format!(
         "{} {} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\n",
         req.method,
         req.path,
         req.body.len()
     );
-    if let Some(v) = req.header("x-deadline-ms") {
-        out.push_str(&format!("X-Deadline-Ms: {v}\r\n"));
+    if let Some(ms) = deadline_ms {
+        out.push_str(&format!("X-Deadline-Ms: {ms}\r\n"));
     }
-    if let Some(v) = req.header("content-type") {
+    if let Some(v) = &req.content_type {
         out.push_str(&format!("Content-Type: {v}\r\n"));
     }
     out.push_str("\r\n");
@@ -544,64 +1006,123 @@ struct ShardResponse {
     close: bool,
 }
 
-/// One forwarder thread: pops jobs, forwards over cached keep-alive
-/// connections (reconnect-once on stale), answers through the completer.
-fn forwarder_loop(fleet: &Fleet, rx: &Mutex<Receiver<ForwardJob>>) {
-    let mut conns: HashMap<usize, TcpStream> = HashMap::new();
-    loop {
-        let job = {
-            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
-            guard.recv()
-        };
-        let Ok(job) = job else {
-            return; // channel closed: shutdown
-        };
-        let addr = &fleet.shards[job.shard].addr;
-        match forward_with_retry(fleet, &mut conns, job.shard, &job.request) {
-            Ok(sr) => {
-                let mut resp = Response {
-                    status: sr.status,
-                    content_type: sr.content_type,
-                    body: sr.body,
-                    extra: vec![("X-Sevuldet-Shard".to_string(), addr.clone())],
-                };
-                if let RouteMode::Hash = job.mode {
-                    resp.extra
-                        .push(("X-Sevuldet-Route".to_string(), "hash".to_string()));
-                }
-                if sr.close {
-                    conns.remove(&job.shard);
-                }
-                job.completer.complete(resp);
-            }
-            Err(_) => {
-                conns.remove(&job.shard);
-                job.completer
-                    .complete(Response::error(502, "shard unavailable"));
+/// Tries to parse one complete HTTP/1.1 response out of the accumulated
+/// buffer. `Ok(None)` means "need more bytes".
+fn parse_shard_response(buf: &[u8]) -> std::io::Result<Option<(ShardResponse, usize)>> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        if buf.len() > 64 * 1024 {
+            return Err(bad("shard response head too large"));
+        }
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("non-utf8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_type = "application/json".to_string();
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-type") {
+                content_type = value.to_string();
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close")
+            {
+                close = true;
             }
         }
     }
+    if content_length > 16 * 1024 * 1024 {
+        return Err(bad("shard response body too large"));
+    }
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        ShardResponse {
+            status,
+            content_type,
+            body: buf[head_end + 4..total].to_vec(),
+            close,
+        },
+        total,
+    )))
 }
 
-/// Forwards over the cached connection, reconnecting once if the cached one
-/// turns out stale (shard restarted between requests).
-fn forward_with_retry(
-    fleet: &Fleet,
-    conns: &mut HashMap<usize, TcpStream>,
-    shard: usize,
-    request: &[u8],
+/// A pending hedge launch: fire `action` once the clock passes `at`.
+struct HedgeFire<'a> {
+    at: Instant,
+    action: Box<dyn FnOnce() + 'a>,
+}
+
+/// Reads one response, accumulating into a buffer in short timeout slices
+/// so the wait can observe the attempt deadline, fire a pending hedge, and
+/// abandon early once the other leg has answered.
+fn read_shard_response(
+    conn: &mut TcpStream,
+    attempt_deadline: Instant,
+    winner: Option<&Winner>,
+    hedge: &mut Option<HedgeFire<'_>>,
 ) -> std::io::Result<ShardResponse> {
-    let addr = &fleet.shards[shard].addr;
-    if let Some(conn) = conns.get_mut(&shard) {
-        if let Ok(resp) = forward_once(conn, request) {
-            return Ok(resp);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if let Some(w) = winner {
+            if winner_taken(w) {
+                return Err(std::io::Error::other("superseded by the other leg"));
+            }
         }
-        conns.remove(&shard);
+        let now = Instant::now();
+        if now >= attempt_deadline {
+            return Err(std::io::ErrorKind::TimedOut.into());
+        }
+        if let Some(h) = hedge.as_ref() {
+            if now >= h.at {
+                let h = hedge.take().expect("hedge present");
+                (h.action)();
+            }
+        }
+        let mut slice = (attempt_deadline - now).min(Duration::from_millis(50));
+        if let Some(h) = hedge.as_ref() {
+            slice = slice.min(h.at - now);
+        }
+        conn.set_read_timeout(Some(slice.max(Duration::from_millis(1))))?;
+        match conn.read(&mut chunk) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "shard closed before responding",
+                ))
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if let Some((mut sr, consumed)) = parse_shard_response(&buf)? {
+                    // Trailing bytes would desynchronize the keep-alive
+                    // connection; never reuse it.
+                    sr.close |= consumed != buf.len();
+                    return Ok(sr);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
     }
-    let mut conn = connect(addr, fleet.cfg.connect_timeout, fleet.cfg.backend_timeout)?;
-    let resp = forward_once(&mut conn, request)?;
-    conns.insert(shard, conn);
-    Ok(resp)
 }
 
 fn connect(
@@ -618,70 +1139,311 @@ fn connect(
     Ok(conn)
 }
 
-/// Writes one request and reads one response (blocking, bounded by the
-/// stream's read timeout).
-fn forward_once(conn: &mut TcpStream, request: &[u8]) -> std::io::Result<ShardResponse> {
+/// Writes one request and reads one response on a fresh, short-lived
+/// connection (probes and reload broadcasts; no hedging, no winner race).
+fn forward_blocking(
+    conn: &mut TcpStream,
+    request: &[u8],
+    timeout: Duration,
+) -> std::io::Result<ShardResponse> {
     conn.write_all(request)?;
-    read_response(conn)
+    read_shard_response(conn, Instant::now() + timeout, None, &mut None)
 }
 
-/// Minimal HTTP/1.1 response reader: status line, headers, content-length
-/// body.
-fn read_response(conn: &mut TcpStream) -> std::io::Result<ShardResponse> {
-    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-    let mut reader = BufReader::new(conn);
-    let mut status_line = String::new();
-    if reader.read_line(&mut status_line)? == 0 {
-        return Err(bad("shard closed before responding"));
-    }
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad("malformed status line"))?;
-    let mut content_type = "application/json".to_string();
-    let mut content_length = 0usize;
-    let mut close = false;
+/// One forwarder thread: pops jobs and runs each through the failover loop.
+fn forwarder_loop(fleet: &Fleet, rx: &Mutex<Receiver<ForwardJob>>) {
+    let mut conns: HashMap<usize, TcpStream> = HashMap::new();
     loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(bad("shard closed mid-headers"));
-        }
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            let value = value.trim();
-            if name.eq_ignore_ascii_case("content-type") {
-                content_type = value.to_string();
-            } else if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.parse().map_err(|_| bad("bad content-length"))?;
-            } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close")
-            {
-                close = true;
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            return; // channel closed: shutdown
+        };
+        handle_job(fleet, &mut conns, job);
+    }
+}
+
+/// How one forward attempt ended.
+enum AttemptOutcome {
+    /// The shard produced a complete HTTP response (any status).
+    Answered(ShardResponse),
+    /// Connect/write/read failure or timeout — failover-eligible.
+    Failed,
+    /// The other hedge leg already answered the client; stop silently.
+    Superseded,
+}
+
+/// One attempt against one shard: cached keep-alive connection first, one
+/// fresh reconnect when the cached one is stale — and, unlike a stale
+/// pooled connection, a failure on the *fresh* connection is a real shard
+/// failure that stays eligible for failover instead of surfacing as a
+/// balancer error.
+fn attempt(
+    fleet: &Fleet,
+    conns: &mut HashMap<usize, TcpStream>,
+    shard: usize,
+    request: &[u8],
+    deadline: Instant,
+    winner: &Winner,
+    hedge: &mut Option<HedgeFire<'_>>,
+) -> AttemptOutcome {
+    let addr = &fleet.shards[shard].addr;
+    let attempt_deadline = deadline.min(Instant::now() + fleet.cfg.backend_timeout);
+    let try_once = |conn: &mut TcpStream, hedge: &mut Option<HedgeFire<'_>>| {
+        conn.write_all(request)
+            .and_then(|()| read_shard_response(conn, attempt_deadline, Some(winner), hedge))
+    };
+    if let Some(mut conn) = conns.remove(&shard) {
+        match try_once(&mut conn, hedge) {
+            Ok(sr) => {
+                if !sr.close {
+                    conns.insert(shard, conn);
+                }
+                return AttemptOutcome::Answered(sr);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+                // The shard is slow, not the connection stale; retrying the
+                // same shard on a fresh socket would just burn the budget.
+                return AttemptOutcome::Failed;
+            }
+            Err(_) if winner_taken(winner) => return AttemptOutcome::Superseded,
+            Err(_) => {
+                // Stale pooled connection (shard restarted between
+                // requests): one fresh reconnect below.
+                fleet.retries.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    Ok(ShardResponse {
-        status,
-        content_type,
-        body,
-        close,
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return AttemptOutcome::Failed;
+    }
+    let mut conn = match connect(
+        addr,
+        fleet.cfg.connect_timeout.min(remaining),
+        fleet.cfg.backend_timeout,
+    ) {
+        Ok(c) => c,
+        Err(_) => return AttemptOutcome::Failed,
+    };
+    match try_once(&mut conn, hedge) {
+        Ok(sr) => {
+            if !sr.close {
+                conns.insert(shard, conn);
+            }
+            AttemptOutcome::Answered(sr)
+        }
+        Err(_) if winner_taken(winner) => AttemptOutcome::Superseded,
+        Err(_) => AttemptOutcome::Failed,
+    }
+}
+
+/// Cheap per-thread xorshift for backoff jitter (no RNG dependency; the
+/// seed only has to differ across threads, not be unpredictable).
+fn jitter_rand() -> u64 {
+    use std::cell::Cell;
+    thread_local! {
+        static STATE: Cell<u64> = const { Cell::new(0) };
+    }
+    STATE.with(|s| {
+        let mut x = s.get();
+        if x == 0 {
+            x = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as u64 + d.as_secs())
+                .unwrap_or(0x9e37_79b9)
+                | 1;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        x
     })
+}
+
+/// Jittered exponential backoff before the `nth` failover (the first is
+/// immediate — a reset shard should fail over instantly), never spending
+/// more than a fraction of the remaining deadline budget.
+fn failover_backoff(fleet: &Fleet, nth: u32, deadline: Instant) {
+    if nth < 2 {
+        return;
+    }
+    let base = fleet.cfg.retry_backoff.as_millis().max(1) as u64;
+    let full = (base << (nth - 2).min(4)).min(200);
+    let jittered = full / 2 + jitter_rand() % (full / 2 + 1);
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    let sleep = Duration::from_millis(jittered).min(remaining / 4);
+    if !sleep.is_zero() {
+        std::thread::sleep(sleep);
+    }
+}
+
+/// Queues the hedge leg for `job` towards the next distinct healthy shard.
+fn launch_hedge(fleet: &Fleet, job: &ForwardJob, primary: usize) {
+    let tried = vec![primary];
+    let Some(shard) = fleet.next_candidate(job.key, &tried) else {
+        return;
+    };
+    let guard = fleet.hedge_tx.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(tx) = guard.as_ref() else {
+        return; // shutting down
+    };
+    fleet.hedges_launched.fetch_add(1, Ordering::Relaxed);
+    let _ = tx.send(ForwardJob {
+        shard,
+        mode: job.mode,
+        key: job.key,
+        req: job.req.clone(),
+        deadline: job.deadline,
+        tried,
+        winner: job.winner.clone(),
+        is_hedge: true,
+        enqueued: job.enqueued,
+    });
+}
+
+/// Completes the client's response from a shard answer (first leg wins).
+fn deliver(fleet: &Fleet, job: &ForwardJob, shard: usize, sr: ShardResponse) {
+    let Some(completer) = claim(fleet, &job.winner) else {
+        return;
+    };
+    if job.is_hedge {
+        fleet.hedges_won.fetch_add(1, Ordering::Relaxed);
+    }
+    if job.req.path == "/scan" && sr.status == 200 {
+        fleet.observe_latency(job.enqueued.elapsed());
+    }
+    let mut resp = Response {
+        status: sr.status,
+        content_type: sr.content_type,
+        body: sr.body,
+        extra: vec![(
+            "X-Sevuldet-Shard".to_string(),
+            fleet.shards[shard].addr.clone(),
+        )],
+    };
+    if let RouteMode::Hash = job.mode {
+        resp.extra
+            .push(("X-Sevuldet-Route".to_string(), "hash".to_string()));
+    }
+    completer.complete(resp);
+}
+
+/// The failover loop for one request leg: attempt, record the outcome into
+/// the breaker, and walk ring successors on retryable failures — all
+/// inside the deadline budget, answering a typed local `504` once it is
+/// exhausted.
+fn handle_job(fleet: &Fleet, conns: &mut HashMap<usize, TcpStream>, mut job: ForwardJob) {
+    // Hedging arms only on the primary leg's first attempt, for hashed
+    // requests (a hedge of a hedge, or of a failover, would multiply load
+    // exactly when the fleet is struggling).
+    let hedge_delay = if job.is_hedge || job.key.is_none() {
+        None
+    } else {
+        fleet.hedge_delay()
+    };
+    let mut shard = job.shard;
+    let mut failovers = 0u32;
+    loop {
+        if winner_taken(&job.winner) {
+            return;
+        }
+        let now = Instant::now();
+        let remaining = job.deadline.saturating_duration_since(now);
+        if remaining.is_zero() {
+            fleet.deadline_local.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = claim(fleet, &job.winner) {
+                c.complete(Response::error(
+                    504,
+                    "deadline exhausted before a shard reply",
+                ));
+            }
+            return;
+        }
+        let request = serialize_request(
+            &job.req,
+            &fleet.shards[shard].addr,
+            Some((remaining.as_millis() as u64).max(1)),
+        );
+        let mut hedge = match hedge_delay {
+            Some(d) if failovers == 0 => Some(HedgeFire {
+                at: now + d,
+                action: Box::new(|| launch_hedge(fleet, &job, shard)),
+            }),
+            _ => None,
+        };
+        let outcome = attempt(
+            fleet,
+            conns,
+            shard,
+            &request,
+            job.deadline,
+            &job.winner,
+            &mut hedge,
+        );
+        drop(hedge);
+        if !job.tried.contains(&shard) {
+            job.tried.push(shard);
+        }
+        let retry_to = |tried: &[usize]| fleet.next_candidate(job.key, tried);
+        match outcome {
+            AttemptOutcome::Superseded => return,
+            AttemptOutcome::Answered(sr) => {
+                let server_err = sr.status >= 500;
+                fleet.record_outcome(shard, !server_err, false);
+                // 5xx and 429 (queue full) are worth another shard — /scan
+                // is idempotent and another shard may have capacity; when
+                // no failover target remains the shard's own answer goes
+                // back to the client (it is a real, typed answer).
+                if (server_err || sr.status == 429) && !winner_taken(&job.winner) {
+                    if let Some(next) = retry_to(&job.tried) {
+                        failovers += 1;
+                        fleet.retries.fetch_add(1, Ordering::Relaxed);
+                        fleet.failovers.fetch_add(1, Ordering::Relaxed);
+                        failover_backoff(fleet, failovers, job.deadline);
+                        shard = next;
+                        continue;
+                    }
+                }
+                deliver(fleet, &job, shard, sr);
+                return;
+            }
+            AttemptOutcome::Failed => {
+                fleet.record_outcome(shard, false, false);
+                conns.remove(&shard);
+                if let Some(next) = retry_to(&job.tried) {
+                    failovers += 1;
+                    fleet.retries.fetch_add(1, Ordering::Relaxed);
+                    fleet.failovers.fetch_add(1, Ordering::Relaxed);
+                    failover_backoff(fleet, failovers, job.deadline);
+                    shard = next;
+                    continue;
+                }
+                if let Some(c) = claim(fleet, &job.winner) {
+                    c.complete(Response::error(
+                        502,
+                        "shard unavailable (no failover target)",
+                    ));
+                }
+                return;
+            }
+        }
+    }
 }
 
 /// Fans a reload out to every healthy shard (its own short-lived
 /// connections; reloads are rare) and aggregates.
-fn broadcast_reload(fleet: &Fleet, healthy: &[usize], request: &[u8]) -> Response {
+fn broadcast_reload(fleet: &Fleet, healthy: &[usize], req: &ForwardReq) -> Response {
     let mut results = Vec::new();
     let mut all_ok = true;
     for &i in healthy {
         let addr = &fleet.shards[i].addr;
+        let request = serialize_request(req, addr, None);
         let outcome = connect(addr, fleet.cfg.connect_timeout, fleet.cfg.backend_timeout)
-            .and_then(|mut conn| forward_once(&mut conn, request));
+            .and_then(|mut conn| forward_blocking(&mut conn, &request, fleet.cfg.backend_timeout));
         let (status, body) = match outcome {
             Ok(sr) => (sr.status, String::from_utf8(sr.body).unwrap_or_default()),
             Err(e) => (0, format!("{{\"error\":\"{e}\"}}")),
@@ -710,33 +1472,14 @@ fn broadcast_reload(fleet: &Fleet, healthy: &[usize], request: &[u8]) -> Respons
 }
 
 /// The health thread: probes every shard's `/healthz` each interval and
-/// flips rotation membership on `fail_after`/`recover_after` streaks.
+/// feeds the outcomes into the same breakers the forwarders use. Probes
+/// are the recovery path for open breakers (an ejected shard takes no
+/// traffic, so only probes can walk it back through half-open).
 fn health_loop(fleet: &Fleet, stop: &AtomicBool) {
-    let mut fail_streak = vec![0u32; fleet.shards.len()];
-    let mut ok_streak = vec![0u32; fleet.shards.len()];
     while !stop.load(Ordering::SeqCst) {
-        let mut changed = false;
         for (i, shard) in fleet.shards.iter().enumerate() {
             let ok = probe(&shard.addr, fleet.cfg.connect_timeout);
-            if ok {
-                ok_streak[i] += 1;
-                fail_streak[i] = 0;
-            } else {
-                fail_streak[i] += 1;
-                ok_streak[i] = 0;
-            }
-            let healthy = shard.healthy.load(Ordering::SeqCst);
-            if healthy && fail_streak[i] >= fleet.cfg.fail_after {
-                shard.healthy.store(false, Ordering::SeqCst);
-                shard.ejections.fetch_add(1, Ordering::Relaxed);
-                changed = true;
-            } else if !healthy && ok_streak[i] >= fleet.cfg.recover_after {
-                shard.healthy.store(true, Ordering::SeqCst);
-                changed = true;
-            }
-        }
-        if changed {
-            fleet.rebuild_ring();
+            fleet.record_outcome(i, ok, true);
         }
         // Sleep in small slices so shutdown is prompt.
         let mut slept = Duration::ZERO;
@@ -755,35 +1498,48 @@ fn probe(addr: &str, timeout: Duration) -> bool {
         return false;
     };
     let req = format!("GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
-    if conn.write_all(req.as_bytes()).is_err() {
-        return false;
-    }
-    matches!(read_response(&mut conn), Ok(sr) if sr.status == 200)
+    matches!(
+        forward_blocking(&mut conn, req.as_bytes(), timeout),
+        Ok(sr) if sr.status == 200
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn ring_routes_consistently_and_redistributes_on_ejection() {
+    fn test_fleet(addrs: &[&str]) -> Fleet {
         let fleet = Fleet {
             cfg: BalancerConfig {
-                shards: vec!["a:1".into(), "b:1".into(), "c:1".into()],
+                shards: addrs.iter().map(|s| s.to_string()).collect(),
                 ..BalancerConfig::default()
             },
-            shards: vec![
-                ShardStats::new("a:1".into()),
-                ShardStats::new("b:1".into()),
-                ShardStats::new("c:1".into()),
-            ],
+            shards: addrs
+                .iter()
+                .map(|s| ShardStats::new(s.to_string()))
+                .collect(),
             ring: RwLock::new(Vec::new()),
             rr_next: AtomicUsize::new(0),
             responses: Default::default(),
             conn: ConnCounters::default(),
             draining: Arc::new(AtomicBool::new(false)),
+            inflight: AtomicI64::new(0),
+            retries: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            hedges_launched: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_local: AtomicU64::new(0),
+            latency_window: Mutex::new(VecDeque::new()),
+            hedge_tx: Mutex::new(None),
         };
         fleet.rebuild_ring();
+        fleet
+    }
+
+    #[test]
+    fn ring_routes_consistently_and_redistributes_on_ejection() {
+        let fleet = test_fleet(&["a:1", "b:1", "c:1"]);
 
         let keys: Vec<u64> = (0..1000u64)
             .map(|i| hash_point(&format!("key-{i}")))
@@ -812,22 +1568,7 @@ mod tests {
 
     #[test]
     fn round_robin_cycles_healthy_shards_only() {
-        let fleet = Fleet {
-            cfg: BalancerConfig {
-                shards: vec!["a:1".into(), "b:1".into(), "c:1".into()],
-                ..BalancerConfig::default()
-            },
-            shards: vec![
-                ShardStats::new("a:1".into()),
-                ShardStats::new("b:1".into()),
-                ShardStats::new("c:1".into()),
-            ],
-            ring: RwLock::new(Vec::new()),
-            rr_next: AtomicUsize::new(0),
-            responses: Default::default(),
-            conn: ConnCounters::default(),
-            draining: Arc::new(AtomicBool::new(false)),
-        };
+        let fleet = test_fleet(&["a:1", "b:1", "c:1"]);
         fleet.shards[1].healthy.store(false, Ordering::SeqCst);
         let picks: Vec<usize> = (0..6).map(|_| fleet.route_rr().unwrap()).collect();
         assert_eq!(picks, vec![0, 2, 0, 2, 0, 2]);
@@ -837,22 +1578,203 @@ mod tests {
     }
 
     #[test]
-    fn serialized_requests_carry_deadline_and_content_type() {
-        let req = Request {
+    fn failover_candidates_walk_ring_successors_without_repeats() {
+        let fleet = test_fleet(&["a:1", "b:1", "c:1", "d:1"]);
+        let key = hash_point("some-source-digest");
+        let primary = fleet.route_hash(key).unwrap();
+
+        // Walking the ring with a growing `tried` list visits every shard
+        // exactly once, starting from the primary.
+        let mut tried = Vec::new();
+        let mut order = Vec::new();
+        while let Some(s) = fleet.next_candidate(Some(key), &tried) {
+            order.push(s);
+            tried.push(s);
+        }
+        assert_eq!(order[0], primary, "first candidate must be the ring owner");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            vec![0, 1, 2, 3],
+            "every shard visited once: {order:?}"
+        );
+
+        // Unhealthy shards are skipped even when untried.
+        fleet.shards[order[1]]
+            .healthy
+            .store(false, Ordering::SeqCst);
+        fleet.rebuild_ring();
+        let next = fleet.next_candidate(Some(key), &[order[0]]).unwrap();
+        assert_ne!(next, order[1], "ejected shard offered as failover target");
+
+        // Round-robin candidates (no key) also skip tried shards.
+        let rr = fleet.next_candidate(None, &[0, 2, 3]).unwrap();
+        assert!(
+            !fleet.shards[rr].healthy.load(Ordering::SeqCst) || ![0usize, 2, 3].contains(&rr),
+            "rr candidate repeated a tried shard"
+        );
+    }
+
+    #[test]
+    fn breaker_opens_on_passive_failures_despite_probe_successes() {
+        let fleet = test_fleet(&["a:1", "b:1"]);
+        // Probe successes interleaved with passive failures: the frozen
+        // shard pattern. Probes must not launder the passive streak.
+        fleet.record_outcome(0, false, false);
+        fleet.record_outcome(0, true, true);
+        assert!(fleet.shards[0].healthy.load(Ordering::SeqCst));
+        fleet.record_outcome(0, false, false);
+        assert!(
+            !fleet.shards[0].healthy.load(Ordering::SeqCst),
+            "fail_after=2 passive failures must open the breaker"
+        );
+        assert_eq!(fleet.shards[0].breaker_state(), BreakerState::Open);
+        assert_eq!(fleet.shards[0].ejections.load(Ordering::Relaxed), 1);
+        // The ring no longer contains the ejected shard.
+        let ring = fleet.ring.read().unwrap();
+        assert!(ring.iter().all(|&(_, s)| s != 0));
+        drop(ring);
+
+        // Recovery: recover_after successes walk open -> half-open -> closed.
+        fleet.record_outcome(0, true, true);
+        assert_eq!(fleet.shards[0].breaker_state(), BreakerState::HalfOpen);
+        assert!(!fleet.shards[0].healthy.load(Ordering::SeqCst));
+        fleet.record_outcome(0, true, true);
+        assert_eq!(fleet.shards[0].breaker_state(), BreakerState::Closed);
+        assert!(fleet.shards[0].healthy.load(Ordering::SeqCst));
+
+        // A failure while half-open snaps back to open.
+        fleet.record_outcome(0, false, true);
+        fleet.record_outcome(0, false, true);
+        fleet.record_outcome(0, true, true);
+        assert_eq!(fleet.shards[0].breaker_state(), BreakerState::HalfOpen);
+        fleet.record_outcome(0, false, false);
+        assert_eq!(fleet.shards[0].breaker_state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn breaker_passive_success_clears_passive_streak() {
+        let fleet = test_fleet(&["a:1"]);
+        // fail, success, fail — never two consecutive: stays closed.
+        fleet.record_outcome(0, false, false);
+        fleet.record_outcome(0, true, false);
+        fleet.record_outcome(0, false, false);
+        assert_eq!(fleet.shards[0].breaker_state(), BreakerState::Closed);
+        // Same for the probe streak.
+        fleet.record_outcome(0, false, true);
+        fleet.record_outcome(0, true, true);
+        fleet.record_outcome(0, false, true);
+        assert_eq!(fleet.shards[0].breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn serialized_requests_carry_remaining_deadline_and_content_type() {
+        let freq = ForwardReq {
             method: "POST".to_string(),
             path: "/scan".to_string(),
-            headers: vec![
-                ("x-deadline-ms".to_string(), "250".to_string()),
-                ("content-type".to_string(), "application/json".to_string()),
-            ],
+            content_type: Some("application/json".to_string()),
             body: b"{\"source\":\"int main(){}\"}".to_vec(),
         };
-        let bytes = serialize_request(&req, "127.0.0.1:9001");
+        // The forwarder passes the *remaining* budget, not the client's
+        // original header — a second attempt gets a smaller number.
+        let bytes = serialize_request(&freq, "127.0.0.1:9001", Some(167));
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.starts_with("POST /scan HTTP/1.1\r\n"), "{text}");
         assert!(text.contains("Host: 127.0.0.1:9001\r\n"));
-        assert!(text.contains("X-Deadline-Ms: 250\r\n"));
+        assert!(text.contains("X-Deadline-Ms: 167\r\n"));
         assert!(text.contains("Content-Length: 25\r\n"));
         assert!(text.ends_with("{\"source\":\"int main(){}\"}"));
+
+        let without = String::from_utf8(serialize_request(&freq, "h", None)).unwrap();
+        assert!(!without.contains("X-Deadline-Ms"), "{without}");
+    }
+
+    #[test]
+    fn budget_caps_header_at_twice_backend_timeout() {
+        let cfg = BalancerConfig {
+            backend_timeout: Duration::from_millis(500),
+            ..BalancerConfig::default()
+        };
+        let req = |headers: Vec<(&str, &str)>| Request {
+            method: "POST".to_string(),
+            path: "/scan".to_string(),
+            headers: headers
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: Vec::new(),
+        };
+        assert_eq!(
+            budget(&req(vec![("x-deadline-ms", "250")]), &cfg),
+            Duration::from_millis(250)
+        );
+        assert_eq!(
+            budget(&req(vec![("x-deadline-ms", "99999")]), &cfg),
+            Duration::from_millis(1000),
+            "header can lower the budget, never raise it past 2x backend_timeout"
+        );
+        // Default (no header): room for one full slow attempt plus a
+        // failover attempt.
+        assert_eq!(budget(&req(vec![]), &cfg), Duration::from_millis(1000));
+        assert_eq!(
+            budget(&req(vec![("x-deadline-ms", "soon")]), &cfg),
+            Duration::from_millis(1000),
+            "unparseable header falls back to the default budget"
+        );
+    }
+
+    #[test]
+    fn hedge_after_parses_fixed_and_percentile() {
+        assert_eq!(
+            "80".parse::<HedgeAfter>().unwrap(),
+            HedgeAfter::Fixed(Duration::from_millis(80))
+        );
+        assert_eq!(
+            "p99".parse::<HedgeAfter>().unwrap(),
+            HedgeAfter::Percentile(0.99)
+        );
+        match "p99.9".parse::<HedgeAfter>().unwrap() {
+            HedgeAfter::Percentile(q) => assert!((q - 0.999).abs() < 1e-9),
+            other => panic!("expected percentile, got {other:?}"),
+        }
+        assert!("fast".parse::<HedgeAfter>().is_err());
+        assert!("p200".parse::<HedgeAfter>().is_err());
+    }
+
+    #[test]
+    fn hedge_delay_tracks_percentile_window() {
+        let mut fleet = test_fleet(&["a:1", "b:1"]);
+        fleet.cfg.hedge_after = Some(HedgeAfter::Percentile(0.5));
+        assert_eq!(
+            fleet.hedge_delay(),
+            None,
+            "no hedging before the window has signal"
+        );
+        for i in 0..LATENCY_MIN_SAMPLES as u64 {
+            fleet.observe_latency(Duration::from_millis(10 + i % 3));
+        }
+        let d = fleet.hedge_delay().expect("window primed");
+        assert!(
+            d >= Duration::from_millis(10) && d <= Duration::from_millis(13),
+            "median of a 10-12ms window, got {d:?}"
+        );
+        fleet.cfg.hedge_after = Some(HedgeAfter::Fixed(Duration::from_millis(40)));
+        assert_eq!(fleet.hedge_delay(), Some(Duration::from_millis(40)));
+    }
+
+    #[test]
+    fn shard_responses_parse_incrementally() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        for cut in 0..raw.len() {
+            let step = parse_shard_response(&raw[..cut]).expect("prefix parses");
+            assert!(step.is_none(), "prefix of {cut} bytes declared complete");
+        }
+        let (sr, consumed) = parse_shard_response(raw).unwrap().expect("complete");
+        assert_eq!((sr.status, consumed), (200, raw.len()));
+        assert_eq!(sr.body, b"{}");
+        assert!(!sr.close);
+        assert!(parse_shard_response(b"junk\r\n\r\n").is_err());
     }
 }

@@ -136,10 +136,10 @@ fn main() -> ExitCode {
                 "  sevuldet scan <file-or-dir> [...] --model <model> [--top N] [--jobs N] [--json] [--precision f64|f32|int8] [--cache-dir DIR | --no-cache] [--cache-max-bytes N] [--profile] [--trace-out FILE]"
             );
             eprintln!(
-                "  sevuldet serve --model <model> [--addr host:port] [--workers N] [--max-batch N] [--queue-cap N] [--deadline-ms N] [--jobs N] [--precision f64|f32|int8] [--cache-dir DIR | --no-cache] [--cache-max-bytes N] [--io threads|eventloop] [--shard i/N] [--max-conns N] [--header-deadline-ms N]"
+                "  sevuldet serve --model <model> [--addr host:port] [--workers N] [--max-batch N] [--queue-cap N] [--deadline-ms N] [--jobs N] [--precision f64|f32|int8] [--cache-dir DIR | --no-cache] [--cache-max-bytes N] [--io threads|eventloop] [--shard i/N] [--max-conns N] [--header-deadline-ms N] [--degraded-queue-pct N]"
             );
             eprintln!(
-                "  sevuldet balance --shards a:p1,b:p2,... [--addr host:port] [--health-interval-ms N] [--fail-after N] [--recover-after N] [--forwarders N] [--connect-timeout-ms N] [--backend-timeout-ms N] [--max-conns N] [--header-deadline-ms N]"
+                "  sevuldet balance --shards a:p1,b:p2,... [--addr host:port] [--health-interval-ms N] [--fail-after N] [--recover-after N] [--forwarders N] [--connect-timeout-ms N] [--backend-timeout-ms N] [--max-conns N] [--header-deadline-ms N] [--hedge-after ms|pXX] [--shed-inflight N] [--retry-backoff-ms N]"
             );
             eprintln!("  sevuldet cache <stats|clear|verify> --cache-dir <dir>");
             eprintln!("  sevuldet gadgets <file.c> [--classic]");
@@ -299,6 +299,22 @@ const FLAGS: &[FlagSpec] = &[
     },
     FlagSpec {
         name: "--backend-timeout-ms",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--hedge-after",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--shed-inflight",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--retry-backoff-ms",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--degraded-queue-pct",
         takes_value: true,
     },
 ];
@@ -773,6 +789,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             )
             .map_err(CliError::Usage)?,
         ),
+        degraded_queue_pct: parse_flag(args, "--degraded-queue-pct", defaults.degraded_queue_pct)
+            .map_err(CliError::Usage)?,
         ..defaults
     };
     let precision = precision_flag(args)?;
@@ -839,6 +857,20 @@ fn cmd_balance(args: &[String]) -> Result<(), CliError> {
         ),
         max_connections: parse_flag(args, "--max-conns", defaults.max_connections)
             .map_err(CliError::Usage)?,
+        hedge_after: match flag(args, "--hedge-after") {
+            Some(spec) => Some(spec.parse().map_err(CliError::Usage)?),
+            None => defaults.hedge_after,
+        },
+        shed_inflight: parse_flag(args, "--shed-inflight", defaults.shed_inflight)
+            .map_err(CliError::Usage)?,
+        retry_backoff: Duration::from_millis(
+            parse_flag(
+                args,
+                "--retry-backoff-ms",
+                defaults.retry_backoff.as_millis() as u64,
+            )
+            .map_err(CliError::Usage)?,
+        ),
     };
     let n = cfg.shards.len();
     let handle =

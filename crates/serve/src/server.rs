@@ -107,6 +107,10 @@ pub struct ServeConfig {
     /// Test hook: shrink accepted sockets' kernel buffers to this many
     /// bytes, forcing partial reads/writes (event-loop path).
     pub sock_buf_bytes: Option<usize>,
+    /// Queue-fill percentage at which `/healthz` reports `degraded`
+    /// instead of `ok` (still 200 — the shard keeps serving, but the
+    /// balancer and operators see the brownout coming). `0` disables.
+    pub degraded_queue_pct: u32,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +131,7 @@ impl Default for ServeConfig {
             header_deadline: Duration::from_secs(5),
             shard: None,
             sock_buf_bytes: None,
+            degraded_queue_pct: 80,
         }
     }
 }
@@ -452,10 +457,26 @@ fn route_sync(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
                 );
             }
             let version = shared.registry.current().version;
+            // Readiness has three levels: `ok`, `degraded` (still 200 —
+            // the scan queue is nearly full, so new work will soon be
+            // queued-rejected or slow; balancers keep routing but
+            // operators should act), and `draining` (503, above).
+            let pct = shared.cfg.degraded_queue_pct;
+            let depth = shared.metrics.queue_depth.load(Ordering::Relaxed).max(0) as u64;
+            let degraded = pct > 0
+                && shared.cfg.queue_cap > 0
+                && depth * 100 >= u64::from(pct) * shared.cfg.queue_cap as u64;
             let mut fields = vec![
-                ("status", Json::str("ok")),
+                (
+                    "status",
+                    Json::str(if degraded { "degraded" } else { "ok" }),
+                ),
                 ("model_version", Json::Num(version as f64)),
             ];
+            if degraded {
+                fields.push(("queue_depth", Json::Num(depth as f64)));
+                fields.push(("queue_cap", Json::Num(shared.cfg.queue_cap as f64)));
+            }
             if let Some((i, n)) = shared.cfg.shard {
                 fields.push(("shard", Json::str(format!("{i}/{n}"))));
             }

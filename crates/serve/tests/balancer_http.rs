@@ -12,8 +12,8 @@ use sevuldet_serve::registry::ModelRegistry;
 use sevuldet_serve::server::{start, ServeConfig, ServerHandle};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 fn model_text() -> &'static str {
@@ -309,6 +309,76 @@ fn dead_shard_is_ejected_and_readmitted() {
     balancer.shutdown();
     live.shutdown();
     revived.shutdown();
+}
+
+/// Extracts the value of a single-sample (no-label) counter from a
+/// Prometheus exposition.
+fn metric_value(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or_else(|| panic!("metric `{name}` missing:\n{metrics}"))
+}
+
+/// A connection reset on a *fresh* (non-pooled) connection must fail over
+/// to another shard, not surface as a balancer 502. The broken shard here
+/// accepts every connection and immediately closes it — the balancer's
+/// first write/read on a brand-new connection fails, which before PR 9 was
+/// a client-visible error.
+#[test]
+fn fresh_connection_reset_fails_over_to_healthy_shard() {
+    let live = start_shard("reset-live", 0, 2, None);
+
+    // The "shard" that accepts and instantly hangs up.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake shard");
+    let fake_addr = listener.local_addr().unwrap().to_string();
+    listener.set_nonblocking(true).expect("nonblocking");
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let acceptor = std::thread::spawn(move || {
+        while !stop2.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((conn, _)) => drop(conn),
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    });
+
+    // Probes stay out of the way (huge interval, huge fail_after): only
+    // *request* outcomes drive this test, so every hit on the broken shard
+    // exercises the fresh-connection failover path.
+    let balancer = start_balancer(BalancerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: vec![live.addr().to_string(), fake_addr],
+        health_interval: Duration::from_secs(3600),
+        fail_after: 10_000,
+        ..BalancerConfig::default()
+    })
+    .expect("balancer binds");
+
+    // Enough distinct sources that some must hash to the broken shard.
+    for i in 0..12 {
+        let (status, resp, raw) = request_raw(balancer.addr(), "POST", "/scan", &scan_body(i), "");
+        assert_eq!(status, 200, "scan {i} must fail over, got: {resp}");
+        assert_eq!(
+            shard_header(&raw).as_deref(),
+            Some(live.addr().to_string().as_str()),
+            "every answer must come from the live shard"
+        );
+    }
+    let (_, metrics, _) = request_raw(balancer.addr(), "GET", "/metrics", "", "");
+    assert!(
+        metric_value(&metrics, "sevuldet_balancer_failovers_total ") > 0.0,
+        "failovers must be counted:\n{metrics}"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    acceptor.join().unwrap();
+    balancer.shutdown();
+    live.shutdown();
 }
 
 /// The acceptance criterion behind hash routing: on a repeated corpus,

@@ -1,0 +1,117 @@
+//! Property tests for the incremental HTTP request parser backing the
+//! event loop. The balancer's failover and hedging machinery replays
+//! requests byte-for-byte, so [`parse_request_buffer`] must behave
+//! identically however the bytes are sliced by the network:
+//!
+//! * feeding a valid request one prefix at a time — every byte boundary —
+//!   answers `NeedMore` until the exact final byte, then parses to the
+//!   same request as one-shot parsing;
+//! * arbitrary byte soup (raw, or grafted onto a plausible request line)
+//!   never panics on any prefix — only `NeedMore`, `Complete`, or a typed
+//!   [`HttpError`].
+
+use proptest::prelude::*;
+use sevuldet_serve::http::{parse_request_buffer, ParseStatus, Request};
+
+/// Lowercase identifier fragments for methods-adjacent tokens, paths, and
+/// header values: valid enough to parse, varied enough to shift every
+/// offset in the head.
+fn ident() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..26, 1..10)
+        .prop_map(|v| v.iter().map(|b| (b'a' + b) as char).collect())
+}
+
+/// A syntactically valid request and its wire bytes.
+fn wire_request() -> impl Strategy<Value = Vec<u8>> {
+    (
+        prop_oneof![Just("GET"), Just("POST"), Just("PUT")],
+        ident(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+        (ident(), ident()),
+        any::<bool>(),
+    )
+        .prop_map(|(method, path, body, (hname, hval), keep_alive)| {
+            let mut text = format!("{method} /{path} HTTP/1.1\r\nHost: t\r\nX-{hname}: {hval}\r\n");
+            if !keep_alive {
+                text.push_str("Connection: close\r\n");
+            }
+            text.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+            let mut wire = text.into_bytes();
+            wire.extend_from_slice(&body);
+            wire
+        })
+}
+
+fn complete(buf: &[u8]) -> Option<(Request, usize)> {
+    match parse_request_buffer(buf) {
+        Ok(ParseStatus::Complete { req, consumed }) => Some((req, consumed)),
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every prefix of a valid request is `NeedMore`; the full buffer (and
+    /// the full buffer with pipelined trailing bytes) parses to the same
+    /// request as one-shot parsing, consuming exactly the request's bytes.
+    #[test]
+    fn every_byte_boundary_split_agrees_with_one_shot(
+        wire in wire_request(),
+        trailer in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let (reference, consumed) = complete(&wire)
+            .expect("generated request must parse one-shot");
+        prop_assert_eq!(consumed, wire.len());
+
+        for i in 0..wire.len() {
+            match parse_request_buffer(&wire[..i]) {
+                Ok(ParseStatus::NeedMore) => {}
+                Ok(ParseStatus::Complete { .. }) => {
+                    return Err(TestCaseError::new(format!(
+                        "prefix of {i}/{} bytes claimed completeness",
+                        wire.len()
+                    )));
+                }
+                Err(e) => {
+                    return Err(TestCaseError::new(format!(
+                        "prefix of {i}/{} bytes errored: {} {}",
+                        wire.len(),
+                        e.status,
+                        e.msg
+                    )));
+                }
+            }
+        }
+
+        // A pipelined remainder after the request must not change what is
+        // parsed or how much is consumed.
+        let mut piped = wire.clone();
+        piped.extend_from_slice(&trailer);
+        let (req, consumed) = complete(&piped).expect("pipelined parse");
+        prop_assert_eq!(consumed, wire.len());
+        prop_assert_eq!(&req.method, &reference.method);
+        prop_assert_eq!(&req.path, &reference.path);
+        prop_assert_eq!(&req.headers, &reference.headers);
+        prop_assert_eq!(&req.body, &reference.body);
+    }
+
+    /// Byte soup — raw, or grafted onto a well-formed request line so the
+    /// parser gets deep into header parsing — never panics on any prefix.
+    #[test]
+    fn byte_soup_never_panics(
+        soup in proptest::collection::vec(any::<u8>(), 1..300),
+        graft in any::<bool>(),
+    ) {
+        let mut buf = if graft {
+            b"POST /scan HTTP/1.1\r\n".to_vec()
+        } else {
+            Vec::new()
+        };
+        buf.extend_from_slice(&soup);
+        for i in 0..=buf.len() {
+            // Any of the three outcomes is fine; panicking is not.
+            let _ = parse_request_buffer(&buf[..i]);
+        }
+    }
+}
