@@ -1,0 +1,302 @@
+//! Markdown link checker for the repository's documentation — `std` only.
+//!
+//! Walks `README.md`, the other root-level `*.md` files, and `docs/*.md`,
+//! extracts every inline link and image (`[text](target)` / `![alt](target)`),
+//! and verifies:
+//!
+//! * relative targets resolve to a file or directory on disk (queries and
+//!   fragments stripped first);
+//! * fragment targets (`#anchor`, `FILE.md#anchor`) name a real heading in
+//!   the target document, using GitHub's slugging rules (lowercase, drop
+//!   punctuation, spaces to dashes, `-N` suffixes for duplicates);
+//! * `http(s)`/`mailto` targets are skipped — CI has no network, and flaky
+//!   external checks would make the gate useless.
+//!
+//! Fenced code blocks and inline code spans are ignored on both sides: a
+//! `[label](target)` inside an example snippet is not a link, and headings
+//! inside fences do not create anchors.
+//!
+//! Exit codes follow the CLI convention: `0` clean, `1` broken links found,
+//! `3` an input file could not be read.
+//!
+//! Run as `cargo run -p sevuldet-bench --bin linkcheck [ROOT]` (default:
+//! the current directory). CI runs it over the checkout on every push.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let root = PathBuf::from(root);
+    let files = match doc_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("linkcheck: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let mut broken = 0usize;
+    let mut checked = 0usize;
+    // Anchor sets are built lazily per target document and memoized.
+    let mut anchors: HashMap<PathBuf, Option<Vec<String>>> = HashMap::new();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("linkcheck: cannot read {}: {e}", file.display());
+                return ExitCode::from(3);
+            }
+        };
+        for link in extract_links(&text) {
+            checked += 1;
+            if let Some(reason) = check_link(file, &link.target, &mut anchors) {
+                broken += 1;
+                eprintln!(
+                    "{}:{}: broken link `{}` — {reason}",
+                    file.display(),
+                    link.line,
+                    link.target
+                );
+            }
+        }
+    }
+    println!(
+        "linkcheck: {} file(s), {checked} link(s), {broken} broken",
+        files.len()
+    );
+    if broken > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The documentation set: every `*.md` at the root and under `docs/`.
+fn doc_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for dir in [root.to_path_buf(), root.join("docs")] {
+        if !dir.is_dir() {
+            continue;
+        }
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "md") && path.is_file() {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+struct Link {
+    line: usize,
+    target: String,
+}
+
+/// Extracts inline link/image targets, skipping fenced code blocks and
+/// inline code spans.
+fn extract_links(text: &str) -> Vec<Link> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for (i, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let line = strip_code_spans(raw);
+        let bytes = line.as_bytes();
+        let mut pos = 0;
+        while let Some(open) = line[pos..].find("](").map(|o| pos + o) {
+            // Walk back to the matching `[`, tolerating nested brackets in
+            // the label (e.g. `[![badge](img)](page)` handled per-pair).
+            let mut depth = 1i32;
+            let mut start = None;
+            for j in (0..open).rev() {
+                match bytes[j] {
+                    b']' => depth += 1,
+                    b'[' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            start = Some(j);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let Some(close) = line[open + 2..].find(')').map(|c| open + 2 + c) else {
+                break;
+            };
+            if start.is_some() {
+                let target = line[open + 2..close].trim();
+                // `[text](url "title")` — drop the title part.
+                let target = target.split_whitespace().next().unwrap_or("");
+                if !target.is_empty() {
+                    links.push(Link {
+                        line: i + 1,
+                        target: target.to_string(),
+                    });
+                }
+            }
+            pos = close + 1;
+        }
+    }
+    links
+}
+
+/// Replaces `` `code spans` `` with spaces so link syntax inside them is
+/// invisible to the extractor (lengths preserved for stable columns).
+fn strip_code_spans(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_span = false;
+    for ch in line.chars() {
+        if ch == '`' {
+            in_span = !in_span;
+            out.push(' ');
+        } else if in_span {
+            out.push(' ');
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Returns `None` if the link is fine, or a human-readable reason.
+fn check_link(
+    from: &Path,
+    target: &str,
+    anchors: &mut HashMap<PathBuf, Option<Vec<String>>>,
+) -> Option<String> {
+    if target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+    {
+        return None; // external — out of scope for an offline checker
+    }
+    let (path_part, fragment) = match target.split_once('#') {
+        Some((p, f)) => (p, Some(f)),
+        None => (target, None),
+    };
+    let path_part = path_part.split('?').next().unwrap_or(path_part);
+    let base = from.parent().unwrap_or(Path::new("."));
+    let resolved = if path_part.is_empty() {
+        from.to_path_buf() // same-document `#anchor`
+    } else {
+        base.join(path_part)
+    };
+    if !resolved.exists() {
+        return Some(format!("target `{}` does not exist", resolved.display()));
+    }
+    let fragment = fragment?;
+    if resolved.extension().is_none_or(|e| e != "md") {
+        return None; // fragments into non-markdown targets are not ours to judge
+    }
+    let canon = resolved.canonicalize().unwrap_or(resolved.clone());
+    let slugs = anchors.entry(canon).or_insert_with(|| {
+        std::fs::read_to_string(&resolved)
+            .ok()
+            .map(|t| heading_slugs(&t))
+    });
+    match slugs {
+        None => Some(format!("cannot read `{}` for anchors", resolved.display())),
+        Some(slugs) if slugs.iter().any(|s| s == fragment) => None,
+        Some(_) => Some(format!(
+            "no heading for anchor `#{fragment}` in `{}`",
+            resolved.display()
+        )),
+    }
+}
+
+/// GitHub-style anchor slugs for every ATX heading outside code fences.
+fn heading_slugs(text: &str) -> Vec<String> {
+    let mut slugs: Vec<String> = Vec::new();
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut in_fence = false;
+    for raw in text.lines() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !trimmed.starts_with('#') {
+            continue;
+        }
+        let title = trimmed.trim_start_matches('#');
+        if !title.starts_with(' ') && !title.is_empty() {
+            continue; // `#hashtag`, not a heading
+        }
+        let slug = slugify(title.trim());
+        let n = counts.entry(slug.clone()).or_insert(0);
+        slugs.push(if *n == 0 {
+            slug.clone()
+        } else {
+            format!("{slug}-{n}")
+        });
+        *n += 1;
+    }
+    slugs
+}
+
+/// GitHub's slug rules: strip markdown emphasis/code markers, lowercase,
+/// drop everything but alphanumerics/spaces/hyphens, spaces become hyphens.
+fn slugify(title: &str) -> String {
+    let mut slug = String::with_capacity(title.len());
+    for ch in title.chars() {
+        if ch == '`' || ch == '*' || ch == '_' {
+            continue;
+        }
+        let ch = ch.to_ascii_lowercase();
+        if ch.is_alphanumeric() {
+            slug.push(ch);
+        } else if ch == ' ' || ch == '-' {
+            slug.push('-');
+        }
+        // every other character drops
+    }
+    slug
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_follow_github_rules() {
+        assert_eq!(slugify("1. CLI reference"), "1-cli-reference");
+        assert_eq!(slugify("`/metrics` reference"), "metrics-reference");
+        assert_eq!(slugify("Checkpoint / resume"), "checkpoint--resume");
+        assert_eq!(
+            slugify("Multi-model serving and the A/B canary runbook"),
+            "multi-model-serving-and-the-ab-canary-runbook"
+        );
+    }
+
+    #[test]
+    fn duplicate_headings_get_numeric_suffixes() {
+        let slugs = heading_slugs("# A\n## Same\n## Same\n```\n# not a heading\n```\n## Same\n");
+        assert_eq!(slugs, vec!["a", "same", "same-1", "same-2"]);
+    }
+
+    #[test]
+    fn links_inside_code_are_ignored() {
+        let text = "see [real](docs/API.md)\n```\n[fake](nope.md)\n```\nand `[span](x.md)` too\n";
+        let links = extract_links(text);
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].target, "docs/API.md");
+        assert_eq!(links[0].line, 1);
+    }
+
+    #[test]
+    fn titles_and_fragments_are_parsed_off_targets() {
+        let links = extract_links("[a](FILE.md#sec) [b](img.png \"title\")\n");
+        assert_eq!(links[0].target, "FILE.md#sec");
+        assert_eq!(links[1].target, "img.png");
+    }
+}

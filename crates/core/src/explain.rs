@@ -3,6 +3,12 @@
 //! After a prediction, the token-attention weights are hooked and the top-k
 //! tokens are reported with weights regularized against the maximum — the
 //! exact presentation of the paper's Fig. 6 bar chart.
+//!
+//! All explainability passes run on the detector's reference f64 path
+//! ([`Detector::predict_reference`]): the f32/int8 fast engines never
+//! capture attention state, so routing through them would silently return
+//! nothing. Models that genuinely expose no relevance signal (the plain-CNN
+//! ablation) produce a typed [`ExplainStatus::Unavailable`] instead.
 
 use crate::pipeline::Detector;
 
@@ -17,16 +23,127 @@ pub struct RankedToken {
     pub percent: f64,
 }
 
+/// Whether an explanation could be produced for a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainStatus {
+    /// The model exposed per-token relevance weights.
+    Ok,
+    /// The model has no attention or saliency hook (e.g. the plain-CNN
+    /// ablation) — never reported as a silently empty heatmap.
+    Unavailable,
+}
+
+impl ExplainStatus {
+    /// Wire label used in scan JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExplainStatus::Ok => "ok",
+            ExplainStatus::Unavailable => "explain_unavailable",
+        }
+    }
+}
+
+/// Summary statistics over one CBAM gate (channel or spatial).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateSummary {
+    /// Gate length (channels, or sequence positions).
+    pub len: usize,
+    /// Mean gate activation.
+    pub mean: f64,
+    /// Maximum gate activation.
+    pub max: f64,
+    /// Index of the maximum activation.
+    pub argmax: usize,
+}
+
+impl GateSummary {
+    fn from_gate(gate: &[f64]) -> Option<GateSummary> {
+        if gate.is_empty() {
+            return None;
+        }
+        let mut max = f64::MIN;
+        let mut argmax = 0;
+        let mut sum = 0.0;
+        for (i, &v) in gate.iter().enumerate() {
+            sum += v;
+            if v > max {
+                max = v;
+                argmax = i;
+            }
+        }
+        Some(GateSummary {
+            len: gate.len(),
+            mean: sum / gate.len() as f64,
+            max,
+            argmax,
+        })
+    }
+}
+
+/// CBAM channel/spatial attention summaries for one prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CbamSummary {
+    /// Channel-gate statistics.
+    pub channel: GateSummary,
+    /// Spatial-gate statistics (positions are post-convolution).
+    pub spatial: GateSummary,
+}
+
+/// A full explanation for one gadget: the Fig. 6 token heatmap plus CBAM
+/// gate summaries when the model carries a CBAM block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// Whether the model produced relevance weights at all.
+    pub status: ExplainStatus,
+    /// Top-k tokens, descending percent-of-max. Empty iff `status` is
+    /// [`ExplainStatus::Unavailable`].
+    pub tokens: Vec<RankedToken>,
+    /// CBAM gate summaries, when present on the model.
+    pub cbam: Option<CbamSummary>,
+}
+
 /// Runs the detector on a gadget and returns the `k` most attended tokens,
 /// sorted by descending weight.
 ///
+/// The prediction runs on the reference f64 path regardless of the
+/// detector's precision tier, so the weights always reflect this input.
 /// Returns an empty vector when the model exposes no attention weights
 /// (e.g. the plain-CNN ablation).
 pub fn top_tokens(detector: &mut Detector, tokens: &[String], k: usize) -> Vec<RankedToken> {
-    let _ = detector.predict(tokens);
+    let _ = detector.predict_reference(tokens);
     let Some(weights) = detector.token_weights() else {
         return Vec::new();
     };
+    rank_weights(&weights, tokens, k)
+}
+
+/// Runs the detector on a gadget on the reference f64 path and assembles the
+/// full typed explanation: top-`k` token heatmap plus CBAM summaries.
+pub fn explain_tokens(detector: &mut Detector, tokens: &[String], k: usize) -> Explanation {
+    let _ = detector.predict_reference(tokens);
+    let ranked = match detector.token_weights() {
+        Some(w) => rank_weights(&w, tokens, k),
+        None => Vec::new(),
+    };
+    let cbam = detector.cbam_gates().and_then(|(c, s)| {
+        Some(CbamSummary {
+            channel: GateSummary::from_gate(&c)?,
+            spatial: GateSummary::from_gate(&s)?,
+        })
+    });
+    let status = if ranked.is_empty() {
+        ExplainStatus::Unavailable
+    } else {
+        ExplainStatus::Ok
+    };
+    Explanation {
+        status,
+        tokens: ranked,
+        cbam,
+    }
+}
+
+fn rank_weights(weights: &[f64], tokens: &[String], k: usize) -> Vec<RankedToken> {
     let max = weights.iter().copied().fold(f64::MIN, f64::max).max(1e-12);
     // One entry per *distinct* token text (max weight wins), matching the
     // paper's Fig. 6 presentation.
@@ -62,11 +179,11 @@ mod tests {
     use crate::pipeline::GadgetSpec;
     use crate::zoo::ModelKind;
     use sevuldet_dataset::{sard, SardConfig};
+    use sevuldet_nn::Precision;
 
-    #[test]
-    fn top_tokens_ranked_and_normalized() {
+    fn trained(kind: ModelKind, per_category: usize) -> (Detector, Vec<String>) {
         let samples = sard::generate(&SardConfig {
-            per_category: 4,
+            per_category,
             ..SardConfig::default()
         });
         let corpus = GadgetSpec::path_sensitive().extract(&samples);
@@ -77,8 +194,13 @@ mod tests {
             cnn_channels: 8,
             ..TrainConfig::quick()
         };
-        let mut det = crate::pipeline::Detector::train(&corpus, ModelKind::SevulDet, &cfg);
         let tokens = corpus.items[0].tokens.clone();
+        (Detector::train(&corpus, kind, &cfg), tokens)
+    }
+
+    #[test]
+    fn top_tokens_ranked_and_normalized() {
+        let (mut det, tokens) = trained(ModelKind::SevulDet, 4);
         let ranked = top_tokens(&mut det, &tokens, 10);
         assert!(!ranked.is_empty());
         assert!(ranked.len() <= 10);
@@ -90,20 +212,50 @@ mod tests {
 
     #[test]
     fn plain_cnn_has_no_attention_to_rank() {
-        let samples = sard::generate(&SardConfig {
-            per_category: 3,
-            ..SardConfig::default()
-        });
-        let corpus = GadgetSpec::path_sensitive().extract(&samples);
-        let cfg = TrainConfig {
-            embed_dim: 8,
-            w2v_epochs: 1,
-            epochs: 1,
-            cnn_channels: 8,
-            ..TrainConfig::quick()
-        };
-        let mut det = crate::pipeline::Detector::train(&corpus, ModelKind::CnnPlain, &cfg);
-        let tokens = corpus.items[0].tokens.clone();
+        let (mut det, tokens) = trained(ModelKind::CnnPlain, 3);
         assert!(top_tokens(&mut det, &tokens, 5).is_empty());
+        let exp = explain_tokens(&mut det, &tokens, 5);
+        assert_eq!(exp.status, ExplainStatus::Unavailable);
+        assert_eq!(exp.status.label(), "explain_unavailable");
+        assert!(exp.tokens.is_empty());
+        assert!(exp.cbam.is_none(), "plain CNN has no CBAM block");
+    }
+
+    #[test]
+    fn fast_tier_explain_falls_back_to_reference_path() {
+        let (mut det, tokens) = trained(ModelKind::SevulDet, 4);
+        det.calibrate().expect("calibration for the int8 tier");
+        let reference = top_tokens(&mut det, &tokens, 10);
+        assert!(!reference.is_empty());
+        for precision in [Precision::F32, Precision::Int8] {
+            det.set_precision(precision)
+                .expect("CNN supports fast tiers");
+            let ranked = top_tokens(&mut det, &tokens, 10);
+            assert_eq!(
+                ranked, reference,
+                "explain under {precision:?} must match the f64 reference"
+            );
+        }
+    }
+
+    #[test]
+    fn rnn_saliency_produces_a_heatmap() {
+        let (mut det, tokens) = trained(ModelKind::Bgru, 3);
+        let exp = explain_tokens(&mut det, &tokens, 8);
+        assert_eq!(exp.status, ExplainStatus::Ok);
+        assert!(!exp.tokens.is_empty());
+        assert!((exp.tokens[0].percent - 100.0).abs() < 1e-9);
+        assert!(exp.cbam.is_none(), "RNNs carry no CBAM block");
+    }
+
+    #[test]
+    fn cbam_summaries_present_on_full_model() {
+        let (mut det, tokens) = trained(ModelKind::SevulDet, 4);
+        let exp = explain_tokens(&mut det, &tokens, 5);
+        assert_eq!(exp.status, ExplainStatus::Ok);
+        let cbam = exp.cbam.expect("full SEVulDet has CBAM");
+        assert!(cbam.channel.len > 0 && cbam.spatial.len > 0);
+        assert!(cbam.spatial.max <= 1.0 + 1e-12, "spatial gate is sigmoid");
+        assert!(cbam.channel.argmax < cbam.channel.len);
     }
 }

@@ -59,7 +59,9 @@ pub use config::{global_seed, scale_factor, TrainConfig};
 pub use corpus::{
     encode, extract_gadgets, extract_gadgets_jobs, Encoded, GadgetCorpus, GadgetItem,
 };
-pub use explain::{top_tokens, RankedToken};
+pub use explain::{
+    explain_tokens, top_tokens, CbamSummary, ExplainStatus, Explanation, GateSummary, RankedToken,
+};
 pub use export::{from_gadget_file, to_gadget_file};
 pub use integrity::{atomic_write, crc32, sha256_hex};
 pub use json::{Json, JsonError};
@@ -73,8 +75,9 @@ pub use persist::{
 };
 pub use pipeline::{cross_validate, run_split, Detector, GadgetSpec, PrecisionError};
 pub use scan::{
-    error_json, prepare_source, score_prepared, score_prepared_mut, score_source, Finding,
-    FindingStatus, PreparedGadget, PreparedSource, ScanError, ScanReport,
+    attach_explanations, combine_ensemble, error_json, prepare_source, score_prepared,
+    score_prepared_mut, score_source, Finding, FindingStatus, MemberScore, PreparedGadget,
+    PreparedSource, ScanError, ScanReport, EXPLAIN_TOP_K,
 };
 pub use sevuldet_nn::{simd_level, workspace_counters, Precision};
 pub use train::{

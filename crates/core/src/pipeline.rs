@@ -380,10 +380,26 @@ impl Detector {
         }
     }
 
+    /// Probability computed on the reference f64 path, bypassing any fast
+    /// precision engine. The fast tiers never capture attention weights, so
+    /// explainability passes use this entry point: after it returns,
+    /// [`Detector::token_weights`] and [`Detector::cbam_gates`] reflect this
+    /// exact input regardless of the configured precision tier.
+    pub fn predict_reference(&mut self, tokens: &[String]) -> f64 {
+        let ids = self.vocab.encode(tokens);
+        sigmoid(self.model.forward_logit(&ids, false, &mut self.rng))
+    }
+
     /// Per-token attention weights of the last prediction, if the model has
     /// token attention (Fig. 6's hook).
     pub fn token_weights(&self) -> Option<Vec<f64>> {
         self.model.token_weights()
+    }
+
+    /// The CBAM `(channel, spatial)` gates of the last reference-path
+    /// prediction, when the model carries a CBAM block.
+    pub fn cbam_gates(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        self.model.cbam_gates()
     }
 
     /// Evaluates the detector on a fresh gadget corpus (e.g. the Xen-sim

@@ -34,6 +34,7 @@
 //! assert!(sevuldet::prepare_source("int }{", 1).is_err());
 //! ```
 
+use crate::explain::{explain_tokens, Explanation, GateSummary};
 use crate::json::Json;
 use crate::par::parallel_map;
 use crate::pipeline::{Detector, GadgetSpec};
@@ -106,6 +107,20 @@ impl FindingStatus {
     }
 }
 
+/// One ensemble member's verdict on a gadget (inside
+/// [`Finding::members`] after [`combine_ensemble`]).
+#[derive(Debug, Clone)]
+pub struct MemberScore {
+    /// The member model's registry name.
+    pub model: String,
+    /// That model's sigmoid probability (NaN when invalid).
+    pub score: f64,
+    /// That model's verdict at its own threshold.
+    pub flagged: bool,
+    /// Whether that model's score is trustworthy.
+    pub status: FindingStatus,
+}
+
 /// One scored gadget in a [`ScanReport`].
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -124,6 +139,14 @@ pub struct Finding {
     pub status: FindingStatus,
     /// The normalized gadget tokens (kept for attention ranking).
     pub tokens: Vec<String>,
+    /// Per-member verdicts, non-empty only for ensemble reports. Serialized
+    /// as a `members` array when present; plain scans omit the key, so the
+    /// single-model JSON is byte-identical to previous releases.
+    pub members: Vec<MemberScore>,
+    /// Fig. 6 explanation, attached only when the caller asked for one
+    /// ([`attach_explanations`]). Serialized as an `explain` object when
+    /// present; omitted otherwise.
+    pub explain: Option<Explanation>,
 }
 
 /// The result of scanning one source. An empty `findings` list with
@@ -135,6 +158,11 @@ pub struct ScanReport {
     pub findings: Vec<Finding>,
     /// The decision threshold the scores were cut at.
     pub threshold: f64,
+    /// Which registry model produced the report, when the caller selected
+    /// one by name (or via a split/ensemble). `None` — the default for
+    /// anonymous single-model scans — omits the key from the JSON, keeping
+    /// those responses byte-identical to previous releases.
+    pub model: Option<String>,
 }
 
 impl ScanReport {
@@ -169,41 +197,107 @@ impl ScanReport {
     /// A finding with a non-finite score serializes `"score":null` and
     /// `"status":"invalid_score"` — JSON has no NaN, and a silent `false`
     /// flag would misreport the gadget as clean.
+    ///
+    /// The `model`, per-finding `members`, and per-finding `explain` keys
+    /// appear only when the corresponding report fields are populated, so a
+    /// plain single-model scan serializes byte-identically to previous
+    /// releases.
     pub fn to_json(&self, name: &str) -> Json {
-        Json::obj(vec![
-            ("name", Json::str(name)),
-            ("status", Json::str("scanned")),
-            ("gadgets", Json::Num(self.gadgets() as f64)),
-            ("flagged", Json::Num(self.flagged() as f64)),
-            ("invalid", Json::Num(self.invalid() as f64)),
-            ("threshold", Json::Num(self.threshold)),
-            (
-                "findings",
-                Json::Arr(
-                    self.findings
-                        .iter()
-                        .map(|f| {
-                            Json::obj(vec![
-                                ("line", Json::Num(f.line as f64)),
-                                ("category", Json::str(f.category)),
-                                ("name", Json::str(&*f.name)),
-                                (
-                                    "score",
-                                    if f.status == FindingStatus::Scored {
-                                        Json::Num(f.score)
-                                    } else {
-                                        Json::Null
-                                    },
-                                ),
-                                ("flagged", Json::Bool(f.flagged)),
-                                ("status", Json::str(f.status.as_str())),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ])
+        let mut top = vec![("name", Json::str(name)), ("status", Json::str("scanned"))];
+        if let Some(model) = &self.model {
+            top.push(("model", Json::str(&**model)));
+        }
+        top.push(("gadgets", Json::Num(self.gadgets() as f64)));
+        top.push(("flagged", Json::Num(self.flagged() as f64)));
+        top.push(("invalid", Json::Num(self.invalid() as f64)));
+        top.push(("threshold", Json::Num(self.threshold)));
+        top.push((
+            "findings",
+            Json::Arr(self.findings.iter().map(finding_json).collect()),
+        ));
+        Json::obj(top)
     }
+}
+
+fn score_json(score: f64, status: FindingStatus) -> Json {
+    if status == FindingStatus::Scored {
+        Json::Num(score)
+    } else {
+        Json::Null
+    }
+}
+
+fn finding_json(f: &Finding) -> Json {
+    let mut obj = vec![
+        ("line", Json::Num(f.line as f64)),
+        ("category", Json::str(f.category)),
+        ("name", Json::str(&*f.name)),
+        ("score", score_json(f.score, f.status)),
+        ("flagged", Json::Bool(f.flagged)),
+        ("status", Json::str(f.status.as_str())),
+    ];
+    if !f.members.is_empty() {
+        obj.push((
+            "members",
+            Json::Arr(
+                f.members
+                    .iter()
+                    .map(|m| {
+                        Json::obj(vec![
+                            ("model", Json::str(&*m.model)),
+                            ("score", score_json(m.score, m.status)),
+                            ("flagged", Json::Bool(m.flagged)),
+                            ("status", Json::str(m.status.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    if let Some(exp) = &f.explain {
+        obj.push(("explain", explain_json(exp)));
+    }
+    Json::obj(obj)
+}
+
+fn gate_summary_json(g: &GateSummary) -> Json {
+    Json::obj(vec![
+        ("len", Json::Num(g.len as f64)),
+        ("mean", Json::Num(g.mean)),
+        ("max", Json::Num(g.max)),
+        ("argmax", Json::Num(g.argmax as f64)),
+    ])
+}
+
+fn explain_json(exp: &Explanation) -> Json {
+    let mut obj = vec![
+        ("status", Json::str(exp.status.label())),
+        (
+            "tokens",
+            Json::Arr(
+                exp.tokens
+                    .iter()
+                    .map(|t| {
+                        Json::obj(vec![
+                            ("token", Json::str(&*t.token)),
+                            ("position", Json::Num(t.position as f64)),
+                            ("percent", Json::Num(t.percent)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(cbam) = &exp.cbam {
+        obj.push((
+            "cbam",
+            Json::obj(vec![
+                ("channel", gate_summary_json(&cbam.channel)),
+                ("spatial", gate_summary_json(&cbam.spatial)),
+            ]),
+        ));
+    }
+    Json::obj(obj)
 }
 
 /// The JSON shape for a source that could *not* be scanned, so callers can
@@ -315,6 +409,7 @@ fn assemble_reports(
         .iter()
         .map(|p| ScanReport {
             threshold,
+            model: None,
             findings: p
                 .gadgets
                 .iter()
@@ -336,11 +431,101 @@ fn assemble_reports(
                         flagged: status == FindingStatus::Scored && score > threshold,
                         status,
                         tokens: g.tokens.clone(),
+                        members: Vec::new(),
+                        explain: None,
                     }
                 })
                 .collect(),
         })
         .collect())
+}
+
+/// How many tokens an attached explanation ranks (the Fig. 6 bar count).
+pub const EXPLAIN_TOP_K: usize = 10;
+
+/// Attaches a Fig. 6 explanation to every finding of a report, running each
+/// gadget back through the detector's reference f64 path. Heavier than the
+/// scoring pass (one extra forward per gadget), which is why it is opt-in
+/// per request rather than always on.
+pub fn attach_explanations(detector: &mut Detector, report: &mut ScanReport) {
+    let _t = sevuldet_trace::span!("scan.explain");
+    for f in &mut report.findings {
+        f.explain = Some(explain_tokens(detector, &f.tokens, EXPLAIN_TOP_K));
+    }
+}
+
+/// Combines per-model reports over the *same* prepared source into one
+/// ensemble report: per finding, the ensemble score is the mean of the
+/// members' scores and the verdict is a strict majority vote of the
+/// members' flags; each member's own score/flag rides along in
+/// [`Finding::members`]. A finding where any member produced a non-finite
+/// score is conservatively reported as `invalid_score` — averaging around a
+/// NaN would silently misweight the vote. The ensemble threshold is the
+/// mean of the member thresholds (informational: the vote, not the mean
+/// score against it, decides `flagged`).
+///
+/// Deterministic in member order, and member reports are themselves
+/// byte-stable across `--jobs` — so ensemble output is too.
+///
+/// # Errors
+///
+/// [`ScanError::Internal`] when the member reports disagree on the gadget
+/// count (they must come from one prepared source) or no members are given.
+pub fn combine_ensemble(members: &[(String, ScanReport)]) -> Result<ScanReport, ScanError> {
+    let Some((_, first)) = members.first() else {
+        return Err(ScanError::Internal("ensemble with no members".into()));
+    };
+    let n = first.findings.len();
+    if let Some((name, r)) = members.iter().find(|(_, r)| r.findings.len() != n) {
+        return Err(ScanError::Internal(format!(
+            "ensemble member `{name}` scored {} gadgets, expected {n}",
+            r.findings.len()
+        )));
+    }
+    let threshold = members.iter().map(|(_, r)| r.threshold).sum::<f64>() / members.len() as f64;
+    let findings = (0..n)
+        .map(|i| {
+            let per_member: Vec<MemberScore> = members
+                .iter()
+                .map(|(name, r)| {
+                    let f = &r.findings[i];
+                    MemberScore {
+                        model: name.clone(),
+                        score: f.score,
+                        flagged: f.flagged,
+                        status: f.status,
+                    }
+                })
+                .collect();
+            let all_valid = per_member.iter().all(|m| m.status == FindingStatus::Scored);
+            let (score, status) = if all_valid {
+                let mean =
+                    per_member.iter().map(|m| m.score).sum::<f64>() / per_member.len() as f64;
+                (mean, FindingStatus::Scored)
+            } else {
+                (f64::NAN, FindingStatus::InvalidScore)
+            };
+            let votes = per_member.iter().filter(|m| m.flagged).count();
+            let flagged = status == FindingStatus::Scored && 2 * votes > per_member.len();
+            let base = &first.findings[i];
+            Finding {
+                line: base.line,
+                category: base.category,
+                name: base.name.clone(),
+                score,
+                flagged,
+                status,
+                tokens: base.tokens.clone(),
+                members: per_member,
+                explain: None,
+            }
+        })
+        .collect();
+    Ok(ScanReport {
+        findings,
+        threshold,
+        model: None,
+    })
 }
 
 /// Scans one source end to end: [`prepare_source`] + [`score_prepared`].

@@ -72,6 +72,17 @@ impl fmt::Debug for AnyModel {
     }
 }
 
+impl AnyModel {
+    /// The CBAM `(channel, spatial)` gates captured by the last forward
+    /// pass, when the model is a CNN with a CBAM block that has run.
+    pub fn cbam_gates(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        match self {
+            AnyModel::Cnn(m) => m.cbam_gates(),
+            AnyModel::Rnn(_) => None,
+        }
+    }
+}
+
 impl SequenceClassifier for AnyModel {
     fn forward_logit(&mut self, ids: &[usize], train: bool, rng: &mut StdRng) -> f64 {
         match self {

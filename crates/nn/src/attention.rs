@@ -290,6 +290,12 @@ impl Cbam {
         self.cache.as_ref().map(|c| c.ms.as_slice())
     }
 
+    /// The channel gate of the last forward pass (per-channel weights,
+    /// the other half of the Fig. 6 attention picture).
+    pub fn last_channel_gate(&self) -> Option<&[f64]> {
+        self.cache.as_ref().map(|c| c.mc.as_slice())
+    }
+
     /// The shared MLP: `o = W1·relu(W0·s + b0) + b1`, writing pre-relu and
     /// output into caller buffers.
     fn mlp_into(&self, s: &[f64], pre: &mut Vec<f64>, o: &mut Vec<f64>, ws: &mut Workspace) {

@@ -212,6 +212,16 @@ impl SevulDetCnn {
         &self.config
     }
 
+    /// The CBAM `(channel, spatial)` gates captured by the last forward pass,
+    /// or `None` when the network has no CBAM block (or never ran).
+    pub fn cbam_gates(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        let cbam = self.cbam.as_ref()?;
+        match (cbam.last_channel_gate(), cbam.last_spatial_gate()) {
+            (Some(c), Some(s)) => Some((c.to_vec(), s.to_vec())),
+            _ => None,
+        }
+    }
+
     fn prepare_ids_into(&mut self, ids: &[usize]) {
         self.cache_padded.clear();
         match self.config.fixed_len {
@@ -430,6 +440,14 @@ impl SequenceClassifier for RnnNet {
         v.extend(self.fc1.params_mut());
         v.extend(self.fc2.params_mut());
         v
+    }
+
+    fn token_weights(&self) -> Option<Vec<f64>> {
+        // The RNN baselines have no attention layer; hidden-state delta
+        // norms from the bidirectional pass stand in as the Fig. 6
+        // relevance signal (truncated at τ like the forward pass itself).
+        let s = self.rnn.token_saliency();
+        (!s.is_empty()).then_some(s)
     }
 }
 

@@ -97,6 +97,19 @@ impl Rnn {
         self.h
     }
 
+    /// How many timesteps the last `forward_into` processed (0 before any
+    /// forward pass).
+    pub fn last_steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The cached hidden state after timestep `t` of the last forward pass
+    /// (`t` in `0..last_steps()`); `t = 0` is the state after the first input.
+    pub fn step_state(&self, t: usize) -> &[f64] {
+        assert!(t < self.steps);
+        self.cache_h.row(t + 1)
+    }
+
     fn gate_count(&self) -> usize {
         match self.kind {
             CellKind::Lstm => 4,
@@ -354,6 +367,37 @@ impl BiRnn {
         let mut out = Vec::new();
         self.forward_into(xs, &mut out);
         out
+    }
+
+    /// Per-position saliency from the last forward pass: for each timestep
+    /// the L2 norm of the hidden-state delta `‖h_t − h_{t−1}‖` summed over
+    /// both directions (the backward cell's step for position `t` is its own
+    /// step `L−1−t`). Positions where the recurrent state moves a lot are the
+    /// ones the encoder is reacting to — a deterministic relevance proxy for
+    /// cells that have no attention layer. Empty before any forward pass.
+    pub fn token_saliency(&self) -> Vec<f64> {
+        let l = self.fwd.last_steps();
+        if l == 0 || l != self.bwd.last_steps() {
+            return Vec::new();
+        }
+        let delta = |cell: &Rnn, t: usize| -> f64 {
+            let cur = cell.step_state(t);
+            let mut acc = 0.0;
+            if t == 0 {
+                for &v in cur {
+                    acc += v * v;
+                }
+            } else {
+                for (&a, &b) in cur.iter().zip(cell.step_state(t - 1)) {
+                    let d = a - b;
+                    acc += d * d;
+                }
+            }
+            acc.sqrt()
+        };
+        (0..l)
+            .map(|t| delta(&self.fwd, t) + delta(&self.bwd, l - 1 - t))
+            .collect()
     }
 
     /// BPTT; writes the input gradient `(L × D)` into `dx`.

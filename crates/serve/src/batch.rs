@@ -15,9 +15,12 @@
 //! the connection handler over a per-job channel.
 
 use crate::metrics::Metrics;
-use crate::registry::{LoadedModel, ModelRegistry};
+use crate::registry::{LoadedModel, ModelChoice, MultiRegistry};
 use sevuldet::faults;
-use sevuldet::{error_json, score_prepared_mut, Detector, PreparedSource, ScanReport};
+use sevuldet::{
+    attach_explanations, combine_ensemble, error_json, score_prepared_mut, Detector,
+    PreparedSource, ScanReport,
+};
 use sevuldet_query::QueryEngine;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::Ordering;
@@ -66,6 +69,16 @@ pub struct ScanJob {
     pub name: String,
     /// The C source to scan.
     pub source: String,
+    /// Which registry model(s) score this job (resolved by the router — a
+    /// worker never sees an unknown name).
+    pub choice: ModelChoice,
+    /// The `model` value stamped into the response, when the request picked
+    /// one (explicitly or via a split). `None` keeps the response
+    /// byte-identical to the pre-registry schema.
+    pub model_label: Option<String>,
+    /// Attach a Fig. 6 explanation to every finding (opt-in; one extra
+    /// reference-path forward per gadget).
+    pub explain: bool,
     /// When the job entered the queue (latency accounting).
     pub enqueued: Instant,
     /// Absolute deadline; jobs popped after it are answered 504 unscored.
@@ -135,6 +148,10 @@ impl JobQueue {
     /// [`SubmitError::Full`] when the queue is at capacity,
     /// [`SubmitError::ShuttingDown`] once [`JobQueue::close`] ran — in both
     /// cases alongside the unconsumed job.
+    // The large Err is the contract: the rejected job travels back whole so
+    // its Responder can answer — boxing would just move the allocation onto
+    // the accept path every request pays.
+    #[allow(clippy::result_large_err)]
     pub fn submit(&self, job: ScanJob) -> Result<(), (SubmitError, ScanJob)> {
         let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
         let Some(tx) = guard.as_ref() else {
@@ -180,15 +197,17 @@ pub struct WorkerConfig {
 /// and drained.
 pub fn worker_loop(
     queue: &JobQueue,
-    registry: &ModelRegistry,
+    registry: &MultiRegistry,
     metrics: &Metrics,
     cfg: &WorkerConfig,
 ) {
-    // This worker's warm detector replica, tagged with the model version it
-    // was cloned from. Scoring through `score_prepared_mut` needs `&mut`,
-    // and reusing one replica across batches keeps its scratch buffers
-    // allocated instead of cloning the registry's detector per batch.
-    let mut replica: Option<(u64, Detector)> = None;
+    // This worker's warm detector replicas, one slot per registry model,
+    // each tagged with the model version it was cloned from. Scoring through
+    // `score_prepared_mut` needs `&mut`, and reusing replicas across batches
+    // keeps their scratch buffers allocated instead of cloning the
+    // registry's detectors per batch. Slots for models this worker never
+    // scores stay `None`.
+    let mut replicas: Vec<Option<(u64, Detector)>> = (0..registry.len()).map(|_| None).collect();
     loop {
         // Pop one job (poll so a closed-but-empty queue is noticed), then
         // coalesce whatever else is already waiting, up to max_batch. The
@@ -218,15 +237,22 @@ pub fn worker_loop(
         if !cfg.batch_delay.is_zero() {
             std::thread::sleep(cfg.batch_delay);
         }
-        let model = registry.current();
+        // Snapshot every model slot once per batch: a batch that started on
+        // one generation finishes on it, for every model it touches.
+        let models: Vec<Arc<LoadedModel>> = (0..registry.len())
+            .map(|i| registry.by_index(i).current())
+            .collect();
 
         // Triage: expired deadlines answer immediately; the rest are
-        // prepared (parse + slice + normalize) and scored as one batch.
+        // prepared (parse + slice + normalize) and scored per model group.
         let now = Instant::now();
         let mut outcomes: Vec<Option<JobOutcome>> = Vec::with_capacity(batch.len());
         let mut prepared: Vec<PreparedSource> = Vec::new();
         let mut prepared_names: Vec<String> = Vec::new();
-        for job in &batch {
+        // For each prepared item, the job index it came from (to read the
+        // model choice back during assembly).
+        let mut prepared_jobs: Vec<usize> = Vec::new();
+        for (ji, job) in batch.iter().enumerate() {
             // Enqueue happened on a connection-handler thread, so an RAII
             // guard cannot cover the wait; record the measured gap instead.
             sevuldet::trace::observe_duration(
@@ -244,6 +270,7 @@ pub fn worker_loop(
                     Ok(p) => {
                         prepared.push(p);
                         prepared_names.push(job.name.clone());
+                        prepared_jobs.push(ji);
                         outcomes.push(None); // filled from the scored batch
                     }
                     Err(e) => outcomes.push(Some(JobOutcome::ParseError(
@@ -252,37 +279,78 @@ pub fn worker_loop(
                 }
             }
         }
+
+        // Group the prepared items per model slot: a job's choice lists one
+        // slot (Single) or several (Ensemble); each slot's group is scored
+        // as one batched forward. Slot order is ascending, so grouping is
+        // deterministic.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); registry.len()];
+        for (pi, &ji) in prepared_jobs.iter().enumerate() {
+            match &batch[ji].choice {
+                ModelChoice::Single(s) => groups[*s].push(pi),
+                ModelChoice::Ensemble(members) => {
+                    for &s in members {
+                        groups[s].push(pi);
+                    }
+                }
+            }
+        }
         let forward_started = Instant::now();
-        let scored = {
+        // (slot, prepared index) → scored outcome.
+        let mut scored: std::collections::HashMap<(usize, usize), SlotOutcome> =
+            std::collections::HashMap::new();
+        {
             let _t = sevuldet::trace::span!("serve.forward");
-            score_batch_isolated(
-                &mut replica,
-                &model,
-                &prepared,
-                &prepared_names,
-                cfg.inner_jobs,
-                metrics,
-            )
-        };
+            for (slot, idxs) in groups.iter().enumerate() {
+                if idxs.is_empty() {
+                    continue;
+                }
+                let group_started = Instant::now();
+                let out = if idxs.len() == prepared.len() {
+                    score_batch_isolated(
+                        &mut replicas[slot],
+                        &models[slot],
+                        &prepared,
+                        &prepared_names,
+                        cfg.inner_jobs,
+                        metrics,
+                    )
+                } else {
+                    let sub: Vec<PreparedSource> =
+                        idxs.iter().map(|&i| prepared[i].clone()).collect();
+                    let sub_names: Vec<String> =
+                        idxs.iter().map(|&i| prepared_names[i].clone()).collect();
+                    score_batch_isolated(
+                        &mut replicas[slot],
+                        &models[slot],
+                        &sub,
+                        &sub_names,
+                        cfg.inner_jobs,
+                        metrics,
+                    )
+                };
+                let stats = metrics.model_stats(registry.name_of(slot));
+                stats.scans.fetch_add(idxs.len() as u64, Ordering::Relaxed);
+                stats
+                    .forward_duration
+                    .observe(group_started.elapsed().as_secs_f64());
+                for (&pi, o) in idxs.iter().zip(out) {
+                    scored.insert((slot, pi), o);
+                }
+            }
+        }
         if !prepared.is_empty() {
             metrics
                 .forward_duration
                 .observe(forward_started.elapsed().as_secs_f64());
         }
         let _respond_span = sevuldet::trace::span!("serve.respond");
-        let mut reports = scored.into_iter();
+        let mut pi = 0usize;
         for (job, outcome) in batch.into_iter().zip(outcomes) {
-            let outcome = outcome.unwrap_or_else(|| match reports.next() {
-                Some(SlotOutcome::Report(report)) => {
-                    JobOutcome::Report(report.to_json(&job.name).to_string())
-                }
-                Some(SlotOutcome::Panicked) => JobOutcome::Panicked,
-                Some(SlotOutcome::Internal(msg)) => JobOutcome::Internal(msg),
-                // A missing slot is itself an invariant break: answer this
-                // job with a clean 500 instead of panicking the worker.
-                None => JobOutcome::Internal(
-                    "scoring produced no result slot for a prepared job".into(),
-                ),
+            let outcome = outcome.unwrap_or_else(|| {
+                let item = pi;
+                pi += 1;
+                assemble_job_outcome(&job, item, &mut scored, &mut replicas, &models, registry)
             });
             if matches!(outcome, JobOutcome::Report(_) | JobOutcome::ParseError(_)) {
                 metrics
@@ -294,6 +362,68 @@ pub fn worker_loop(
             job.resp.send(outcome);
         }
     }
+}
+
+/// Builds one prepared job's final outcome out of the per-model scored map:
+/// a single model's report (labeled when the request picked a model), or an
+/// ensemble combination, with the optional Fig. 6 explanation attached from
+/// the (first member) model's warm replica.
+fn assemble_job_outcome(
+    job: &ScanJob,
+    item: usize,
+    scored: &mut std::collections::HashMap<(usize, usize), SlotOutcome>,
+    replicas: &mut [Option<(u64, Detector)>],
+    models: &[Arc<LoadedModel>],
+    registry: &MultiRegistry,
+) -> JobOutcome {
+    let missing =
+        || JobOutcome::Internal("scoring produced no result slot for a prepared job".into());
+    let (mut report, explain_slot) = match &job.choice {
+        ModelChoice::Single(s) => match scored.remove(&(*s, item)) {
+            Some(SlotOutcome::Report(r)) => (r, *s),
+            Some(SlotOutcome::Panicked) => return JobOutcome::Panicked,
+            Some(SlotOutcome::Internal(msg)) => return JobOutcome::Internal(msg),
+            None => return missing(),
+        },
+        ModelChoice::Ensemble(members) => {
+            let mut member_reports: Vec<(String, ScanReport)> = Vec::with_capacity(members.len());
+            for &s in members {
+                match scored.remove(&(s, item)) {
+                    Some(SlotOutcome::Report(r)) => {
+                        member_reports.push((registry.name_of(s).to_string(), r));
+                    }
+                    Some(SlotOutcome::Panicked) => return JobOutcome::Panicked,
+                    Some(SlotOutcome::Internal(msg)) => return JobOutcome::Internal(msg),
+                    None => return missing(),
+                }
+            }
+            match combine_ensemble(&member_reports) {
+                Ok(r) => (r, members[0]),
+                Err(e) => return JobOutcome::Internal(e.to_string()),
+            }
+        }
+    };
+    report.model = job.model_label.clone();
+    if job.explain {
+        // The explanation runs on the same pinned generation the scores came
+        // from. A replica may have been dropped by panic isolation; refresh
+        // it the same way scoring does. Explain forwards can in principle
+        // panic on a poison input too — isolate them so a worker survives.
+        let model = &models[explain_slot];
+        let entry = &mut replicas[explain_slot];
+        if entry.as_ref().map(|(v, _)| *v) != Some(model.version) {
+            *entry = Some((model.version, model.detector.clone()));
+        }
+        let (_, detector) = entry.as_mut().expect("replica just installed");
+        let attached = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            attach_explanations(detector, &mut report);
+        }));
+        if attached.is_err() {
+            *entry = None;
+            return JobOutcome::Panicked;
+        }
+    }
+    JobOutcome::Report(report.to_json(&job.name).to_string())
 }
 
 /// Per-source result of one isolated batch forward.
@@ -413,6 +543,9 @@ mod tests {
         ScanJob {
             name: "t".into(),
             source: String::new(),
+            choice: ModelChoice::Single(0),
+            model_label: None,
+            explain: false,
             enqueued: Instant::now(),
             deadline: Instant::now() + Duration::from_secs(5),
             resp: Responder::channel(resp),

@@ -6,12 +6,15 @@
 //! sevuldet train --out model.svd [--per-category 60] [--epochs 24] [--seed 42] [--jobs N]
 //!                [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //!                [--profile] [--trace-out trace.json]
-//! sevuldet scan <file-or-dir> [...] --model model.svd [--top 5] [--jobs N] [--json]
+//! sevuldet scan <file-or-dir> [...] --model [NAME=]model.svd [--model NAME=other.svd ...]
+//!                [--model-name NAME|ensemble:a,b] [--explain] [--top 5] [--jobs N] [--json]
 //!                [--precision f64|f32|int8] [--cache-dir DIR | --no-cache]
 //!                [--cache-max-bytes N] [--profile] [--trace-out trace.json]
-//! sevuldet serve --model model.svd [--addr 127.0.0.1:8080] [--workers N] [--max-batch N]
-//!                [--queue-cap N] [--deadline-ms N] [--jobs N] [--precision f64|f32|int8]
-//!                [--cache-dir DIR | --no-cache] [--cache-max-bytes N]
+//! sevuldet serve --model [NAME=]model.svd [--model NAME=other.svd ...]
+//!                [--split NAME=90,NAME=10] [--addr 127.0.0.1:8080] [--workers N]
+//!                [--max-batch N] [--queue-cap N] [--deadline-ms N] [--jobs N]
+//!                [--precision f64|f32|int8] [--cache-dir DIR | --no-cache]
+//!                [--cache-max-bytes N]
 //! sevuldet cache <stats|clear|verify> --cache-dir DIR
 //! sevuldet gadgets <file.c> [--classic]
 //! ```
@@ -34,16 +37,16 @@
 
 use sevuldet::checkpoint::CheckpointSpec;
 use sevuldet::{
-    load_detector_file, prepare_source, save_detector_file, score_prepared_mut, top_tokens,
-    CheckpointError, Detector, DetectorFileError, GadgetSpec, Json, ModelKind, Precision,
-    PreparedSource, ScanError, ScanReport, TrainConfig,
+    attach_explanations, combine_ensemble, load_detector_file, prepare_source, save_detector_file,
+    score_prepared_mut, top_tokens, CheckpointError, Detector, DetectorFileError, GadgetSpec, Json,
+    ModelKind, Precision, PreparedSource, ScanError, ScanReport, TrainConfig,
 };
 use sevuldet_analysis::ProgramAnalysis;
 use sevuldet_dataset::{sard, SardConfig};
 use sevuldet_gadget::{build_gadget, find_special_tokens, GadgetKind};
 use sevuldet_query::{ArtifactStore, EntryStatus, QueryConfig, QueryEngine};
 use sevuldet_serve::{
-    registry::{ModelRegistry, RegistryError},
+    registry::{MultiRegistry, RegistryError},
     server, signal, ServeConfig,
 };
 use std::path::PathBuf;
@@ -114,6 +117,9 @@ impl From<RegistryError> for CliError {
             RegistryError::Invalid(_)
             | RegistryError::SmokeTest(_)
             | RegistryError::Precision(_) => CliError::Corrupt(e.to_string()),
+            // Bad registry configuration (duplicate names, unknown split
+            // member) is an argument mistake, not a damaged model file.
+            RegistryError::Config(_) => CliError::Usage(e.to_string()),
         }
     }
 }
@@ -133,10 +139,10 @@ fn main() -> ExitCode {
                 "  sevuldet train --out <model> [--per-category N] [--epochs N] [--seed N] [--jobs N] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--profile] [--trace-out FILE]"
             );
             eprintln!(
-                "  sevuldet scan <file-or-dir> [...] --model <model> [--top N] [--jobs N] [--json] [--precision f64|f32|int8] [--cache-dir DIR | --no-cache] [--cache-max-bytes N] [--profile] [--trace-out FILE]"
+                "  sevuldet scan <file-or-dir> [...] --model [NAME=]<model> [--model NAME=<model> ...] [--model-name NAME|ensemble:a,b] [--explain] [--top N] [--jobs N] [--json] [--precision f64|f32|int8] [--cache-dir DIR | --no-cache] [--cache-max-bytes N] [--profile] [--trace-out FILE]"
             );
             eprintln!(
-                "  sevuldet serve --model <model> [--addr host:port] [--workers N] [--max-batch N] [--queue-cap N] [--deadline-ms N] [--jobs N] [--precision f64|f32|int8] [--cache-dir DIR | --no-cache] [--cache-max-bytes N] [--io threads|eventloop] [--shard i/N] [--max-conns N] [--header-deadline-ms N] [--degraded-queue-pct N]"
+                "  sevuldet serve --model [NAME=]<model> [--model NAME=<model> ...] [--split NAME=W,NAME=W] [--addr host:port] [--workers N] [--max-batch N] [--queue-cap N] [--deadline-ms N] [--jobs N] [--precision f64|f32|int8] [--cache-dir DIR | --no-cache] [--cache-max-bytes N] [--io threads|eventloop] [--shard i/N] [--max-conns N] [--header-deadline-ms N] [--degraded-queue-pct N]"
             );
             eprintln!(
                 "  sevuldet balance --shards a:p1,b:p2,... [--addr host:port] [--health-interval-ms N] [--fail-after N] [--recover-after N] [--forwarders N] [--connect-timeout-ms N] [--backend-timeout-ms N] [--max-conns N] [--header-deadline-ms N] [--hedge-after ms|pXX] [--shed-inflight N] [--retry-backoff-ms N]"
@@ -188,6 +194,18 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--model",
         takes_value: true,
+    },
+    FlagSpec {
+        name: "--model-name",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--split",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "--explain",
+        takes_value: false,
     },
     FlagSpec {
         name: "--top",
@@ -351,6 +369,77 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Every value of a repeatable flag, in order of appearance.
+fn flags_all(args: &[String], name: &str) -> Vec<String> {
+    debug_assert!(
+        spec(name).is_some_and(|s| s.takes_value),
+        "{name} not declared as value flag"
+    );
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Collects every `--model` occurrence. `NAME=PATH` names a registry slot;
+/// a bare `PATH` gets the name `default`. The first model listed is the
+/// default one.
+fn model_specs(args: &[String]) -> Result<Vec<(String, String)>, CliError> {
+    let mut specs: Vec<(String, String)> = Vec::new();
+    for v in flags_all(args, "--model") {
+        let (name, path) = match v.split_once('=') {
+            Some((n, p)) if !n.is_empty() && !p.is_empty() => (n.to_string(), p.to_string()),
+            Some(_) => {
+                return Err(CliError::Usage(format!(
+                    "bad --model `{v}` (expected PATH or NAME=PATH)"
+                )))
+            }
+            None => ("default".to_string(), v),
+        };
+        if specs.iter().any(|(n, _)| *n == name) {
+            return Err(CliError::Usage(format!("duplicate model name `{name}`")));
+        }
+        specs.push((name, path));
+    }
+    Ok(specs)
+}
+
+/// Parses `--split name=weight,name=weight` A/B traffic weights.
+fn split_flag(args: &[String]) -> Result<Option<Vec<(String, u32)>>, CliError> {
+    let Some(v) = flag(args, "--split") else {
+        return Ok(None);
+    };
+    let bad = |why: &str| CliError::Usage(format!("bad --split `{v}` ({why})"));
+    let mut entries = Vec::new();
+    for part in v.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, weight) = part
+            .split_once('=')
+            .ok_or_else(|| bad("expected NAME=WEIGHT,NAME=WEIGHT,..."))?;
+        let weight: u32 = weight
+            .trim()
+            .parse()
+            .map_err(|_| bad("weights are non-negative integers"))?;
+        entries.push((name.trim().to_string(), weight));
+    }
+    if entries.is_empty() {
+        return Err(bad("no entries"));
+    }
+    Ok(Some(entries))
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -559,22 +648,67 @@ fn cmd_scan(args: &[String]) -> Result<(), CliError> {
             "no .c files found under the given paths".into(),
         ));
     }
-    let model_path =
-        flag(args, "--model").ok_or_else(|| CliError::Usage("scan needs --model <path>".into()))?;
+    let specs = model_specs(args)?;
+    if specs.is_empty() {
+        return Err(CliError::Usage(
+            "scan needs --model <path> (repeatable as --model NAME=PATH)".into(),
+        ));
+    }
     let top: usize = parse_flag(args, "--top", 0).map_err(CliError::Usage)?;
     let jobs: usize = parse_flag(args, "--jobs", 1).map_err(CliError::Usage)?;
     let as_json = has_flag(args, "--json");
+    let explain = has_flag(args, "--explain");
     let precision = precision_flag(args)?;
     let engine = scan_engine(args)?;
 
-    // Load the model once and score every file in a single batched forward
-    // pass — the same `prepare_source`/`score_prepared_mut` path the
-    // server's batch workers use, so CLI and server output cannot drift.
-    // An unreadable file and a corrupt one exit with different codes.
-    let mut detector = load_detector_file(std::path::Path::new(&model_path))?;
-    detector
-        .set_precision(precision)
-        .map_err(|e| CliError::Corrupt(format!("--precision {precision}: {e}")))?;
+    // Resolve `--model-name` against the configured names: a single name
+    // selects one model, `ensemble:a,b,c` votes across several. Without it
+    // the first `--model` is used, and the report keeps its original
+    // single-model shape (no `model` field).
+    let resolve = |name: &str| -> Result<usize, CliError> {
+        specs.iter().position(|(n, _)| n == name).ok_or_else(|| {
+            let names: Vec<&str> = specs.iter().map(|(n, _)| n.as_str()).collect();
+            CliError::Usage(format!(
+                "unknown model `{name}` (available: {})",
+                names.join(", ")
+            ))
+        })
+    };
+    let (member_idxs, model_label): (Vec<usize>, Option<String>) =
+        match flag(args, "--model-name").as_deref() {
+            None => (vec![0], None),
+            Some(spec) => {
+                let idxs = if let Some(list) = spec.strip_prefix("ensemble:") {
+                    let members: Vec<usize> = list
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(resolve)
+                        .collect::<Result<_, _>>()?;
+                    if members.is_empty() {
+                        return Err(CliError::Usage("ensemble with no members".into()));
+                    }
+                    members
+                } else {
+                    vec![resolve(spec)?]
+                };
+                (idxs, Some(spec.to_string()))
+            }
+        };
+
+    // Load every selected member once and score every file in a single
+    // batched forward pass per member — the same
+    // `prepare_source`/`score_prepared_mut` path the server's batch workers
+    // use, so CLI and server output cannot drift. An unreadable file and a
+    // corrupt one exit with different codes.
+    let mut detectors: Vec<(String, Detector)> = Vec::with_capacity(member_idxs.len());
+    for &i in &member_idxs {
+        let (name, path) = &specs[i];
+        let mut d = load_detector_file(std::path::Path::new(path))?;
+        d.set_precision(precision)
+            .map_err(|e| CliError::Corrupt(format!("--precision {precision}: {e}")))?;
+        detectors.push((name.clone(), d));
+    }
 
     let mut outcomes: Vec<Option<FileScan>> = Vec::with_capacity(files.len());
     let mut prepared: Vec<PreparedSource> = Vec::new();
@@ -600,33 +734,66 @@ fn cmd_scan(args: &[String]) -> Result<(), CliError> {
     if profile && engine.is_some() {
         profile_cache_summary();
     }
-    // The CLI owns its detector, so score on it directly: at jobs = 1 this
-    // skips the per-call model clone entirely (same scores either way). A
-    // typed internal scoring error marks every prepared file failed instead
-    // of panicking the process.
-    let mut reports = match score_prepared_mut(&mut detector, &prepared, jobs) {
-        Ok(reports) => reports.into_iter(),
-        Err(e) => {
-            let outcomes: Vec<FileScan> = outcomes
-                .into_iter()
-                .map(|o| o.unwrap_or(FileScan::Failed(e.clone())))
-                .collect();
-            return finish_scan(
-                &files,
-                &outcomes,
-                &mut detector,
-                as_json,
-                top,
-                profile,
-                trace_out.as_deref(),
-            );
+    // The CLI owns its detectors, so score on them directly: at jobs = 1
+    // this skips the per-call model clone entirely (same scores either
+    // way). A typed internal scoring error marks every prepared file failed
+    // instead of panicking the process.
+    let mut scored: Vec<Vec<ScanReport>> = Vec::with_capacity(detectors.len());
+    let mut scoring_err: Option<ScanError> = None;
+    for (_, det) in detectors.iter_mut() {
+        match score_prepared_mut(det, &prepared, jobs) {
+            Ok(reports) => scored.push(reports),
+            Err(e) => {
+                scoring_err = Some(e);
+                break;
+            }
         }
-    };
+    }
+    if let Some(e) = scoring_err {
+        let outcomes: Vec<FileScan> = outcomes
+            .into_iter()
+            .map(|o| o.unwrap_or(FileScan::Failed(e.clone())))
+            .collect();
+        return finish_scan(
+            &files,
+            &outcomes,
+            &mut detectors[0].1,
+            as_json,
+            top,
+            profile,
+            trace_out.as_deref(),
+        );
+    }
+    // Per prepared file: a lone member's report passes straight through; an
+    // ensemble combines the members' reports into one vote. The model label
+    // and explanations attach afterwards, identically on both paths (the
+    // ensemble explains through its first member, like the server).
+    let mut per_file: Vec<Result<ScanReport, ScanError>> = Vec::with_capacity(prepared.len());
+    if detectors.len() == 1 {
+        per_file.extend(scored.remove(0).into_iter().map(Ok));
+    } else {
+        for pi in 0..prepared.len() {
+            let members: Vec<(String, ScanReport)> = detectors
+                .iter()
+                .zip(&scored)
+                .map(|((name, _), reports)| (name.clone(), reports[pi].clone()))
+                .collect();
+            per_file.push(combine_ensemble(&members));
+        }
+    }
+    for report in per_file.iter_mut().flatten() {
+        report.model = model_label.clone();
+        if explain {
+            attach_explanations(&mut detectors[0].1, report);
+        }
+    }
+    let mut reports = per_file.into_iter();
     let outcomes: Vec<FileScan> = outcomes
         .into_iter()
         .map(|o| {
             o.unwrap_or_else(|| match reports.next() {
-                Some(report) => FileScan::Scanned(report),
+                Some(Ok(report)) => FileScan::Scanned(report),
+                Some(Err(e)) => FileScan::Failed(e),
                 None => FileScan::Failed(ScanError::Internal(
                     "no report produced for prepared file".into(),
                 )),
@@ -636,7 +803,7 @@ fn cmd_scan(args: &[String]) -> Result<(), CliError> {
     finish_scan(
         &files,
         &outcomes,
-        &mut detector,
+        &mut detectors[0].1,
         as_json,
         top,
         profile,
@@ -763,8 +930,12 @@ fn shard_flag(args: &[String]) -> Result<Option<(u32, u32)>, CliError> {
 
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     check_args(args).map_err(CliError::Usage)?;
-    let model_path = flag(args, "--model")
-        .ok_or_else(|| CliError::Usage("serve needs --model <path>".into()))?;
+    let specs = model_specs(args)?;
+    if specs.is_empty() {
+        return Err(CliError::Usage(
+            "serve needs --model <path> (repeatable as --model NAME=PATH)".into(),
+        ));
+    }
     let defaults = ServeConfig::default();
     let cfg = ServeConfig {
         addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".to_string()),
@@ -794,12 +965,24 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         ..defaults
     };
     let precision = precision_flag(args)?;
-    let registry = ModelRegistry::open_with_precision(&model_path, precision)?;
+    let spec_paths: Vec<(String, PathBuf)> = specs
+        .iter()
+        .map(|(n, p)| (n.clone(), PathBuf::from(p)))
+        .collect();
+    let mut registry = MultiRegistry::open(&spec_paths, precision)?;
+    if let Some(entries) = split_flag(args)? {
+        registry.set_split(&entries)?;
+    }
+    let model_list = specs
+        .iter()
+        .map(|(n, p)| format!("{n}={p}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let handle =
         server::start(cfg, registry).map_err(|e| CliError::Bind(format!("binding server: {e}")))?;
     signal::install();
     eprintln!(
-        "sevuldet-serve listening on http://{} (model {model_path}, precision {precision}; POST /scan, POST /reload, GET /metrics, GET /healthz)",
+        "sevuldet-serve listening on http://{} (models {model_list}, precision {precision}; POST /scan, POST /reload, GET /metrics, GET /healthz)",
         handle.addr()
     );
     while !signal::termination_requested() {

@@ -14,8 +14,10 @@
 //!   workers coalesce up to `max_batch` pending scans into **one** batched
 //!   forward pass ([`sevuldet::score_prepared`], the same entry point the
 //!   CLI uses, so batching cannot change results);
-//! * [`registry`] — the hot-reloadable model slot (`POST /reload` swaps an
-//!   `Arc`; in-flight batches finish on the model they started with);
+//! * [`registry`] — named hot-reloadable model slots (`POST /reload` swaps
+//!   an `Arc`, scoped to one model or broadcast; in-flight batches finish on
+//!   the model they started with), with weighted A/B splits and per-request
+//!   selection including `ensemble:a,b,c` voting;
 //! * [`metrics`] — Prometheus counters/gauges/histograms for `GET /metrics`;
 //! * [`server`] — routing, backpressure (429 on a full queue), per-request
 //!   deadlines (504), and graceful drain, behind either I/O model;
@@ -53,5 +55,5 @@ pub mod sys;
 
 pub use batch::{JobOutcome, JobQueue, ScanJob, SubmitError};
 pub use metrics::Metrics;
-pub use registry::{LoadedModel, ModelRegistry};
+pub use registry::{LoadedModel, ModelChoice, ModelRegistry, MultiRegistry};
 pub use server::{start, IoModel, ServeConfig, ServerHandle};

@@ -206,6 +206,26 @@ impl ConnCounters {
     }
 }
 
+/// Per-model serving counters, created lazily the first time a model scores
+/// a request (see [`Metrics::model_stats`]).
+#[derive(Debug)]
+pub struct ModelStats {
+    /// Scan requests scored by this model (each ensemble member counts its
+    /// own share).
+    pub scans: AtomicU64,
+    /// Model-forward time of this model's batch groups, seconds.
+    pub forward_duration: Histogram,
+}
+
+impl Default for ModelStats {
+    fn default() -> Self {
+        ModelStats {
+            scans: AtomicU64::new(0),
+            forward_duration: Histogram::new(LATENCY_BOUNDS),
+        }
+    }
+}
+
 /// All server metrics, shared via `Arc` between the accept loop, connection
 /// handlers, and batch workers.
 #[derive(Debug)]
@@ -240,6 +260,9 @@ pub struct Metrics {
     /// the trace layer's observer hook (see [`Metrics::observe_stage`]).
     /// Series appear lazily as stages first fire.
     stage_durations: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+    /// Per-model serving counters, keyed by registry name. Series appear
+    /// lazily as models first score.
+    per_model: RwLock<BTreeMap<String, Arc<ModelStats>>>,
 }
 
 const LATENCY_BOUNDS: &[f64] = &[
@@ -267,6 +290,7 @@ impl Default for Metrics {
             forward_duration: Histogram::new(LATENCY_BOUNDS),
             batch_size: Histogram::new(BATCH_BOUNDS),
             stage_durations: RwLock::new(BTreeMap::new()),
+            per_model: RwLock::new(BTreeMap::new()),
         }
     }
 }
@@ -308,6 +332,24 @@ impl Metrics {
         }
     }
 
+    /// The per-model counter block for `name`, created on first use. Batch
+    /// workers bump `scans` and observe `forward_duration` through the
+    /// returned handle.
+    pub fn model_stats(&self, name: &str) -> Arc<ModelStats> {
+        {
+            let map = self.per_model.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(s) = map.get(name) {
+                return s.clone();
+            }
+        }
+        self.per_model
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
     /// Counts a response by status code.
     pub fn count_response(&self, status: u16) {
         let mut map = self.responses.lock().unwrap_or_else(|e| e.into_inner());
@@ -317,7 +359,10 @@ impl Metrics {
     /// Renders the Prometheus text exposition. `precision` is the serving
     /// precision tier's name (`f64`/`f32`/`int8`), exported as a labeled
     /// info-style gauge so dashboards can tell fast-tier replicas apart.
-    pub fn render(&self, model_version: u64, precision: &str) -> String {
+    /// `models` lists the registry's `(name, version)` pairs in slot order;
+    /// they drive the `{model=...}` series (`sevuldet_requests_total`,
+    /// `sevuldet_model_version`, `sevuldet_model_forward_duration_seconds`).
+    pub fn render(&self, model_version: u64, precision: &str, models: &[(String, u64)]) -> String {
         let mut out = String::with_capacity(2048);
         let w = &mut out;
         let _ = writeln!(
@@ -328,6 +373,10 @@ impl Metrics {
         for (i, ep) in ENDPOINTS.iter().enumerate() {
             let n = self.requests[i].load(Ordering::Relaxed);
             let _ = writeln!(w, "sevuldet_requests_total{{endpoint=\"{ep}\"}} {n}");
+        }
+        for (name, _) in models {
+            let n = self.model_stats(name).scans.load(Ordering::Relaxed);
+            let _ = writeln!(w, "sevuldet_requests_total{{model=\"{name}\"}} {n}");
         }
         let _ = writeln!(
             w,
@@ -401,6 +450,9 @@ impl Metrics {
         );
         let _ = writeln!(w, "# TYPE sevuldet_model_version gauge");
         let _ = writeln!(w, "sevuldet_model_version {model_version}");
+        for (name, version) in models {
+            let _ = writeln!(w, "sevuldet_model_version{{model=\"{name}\"}} {version}");
+        }
         let _ = writeln!(
             w,
             "# HELP sevuldet_precision_tier Serving precision tier (info gauge, always 1)."
@@ -485,6 +537,26 @@ impl Metrics {
         );
         let _ = writeln!(
             w,
+            "# HELP sevuldet_model_forward_duration_seconds Model-forward time per registry model."
+        );
+        let _ = writeln!(
+            w,
+            "# TYPE sevuldet_model_forward_duration_seconds histogram"
+        );
+        {
+            let map = self.per_model.read().unwrap_or_else(|e| e.into_inner());
+            for (name, _) in models {
+                if let Some(stats) = map.get(name) {
+                    stats.forward_duration.render_series(
+                        w,
+                        "sevuldet_model_forward_duration_seconds",
+                        Some(&format!("model=\"{name}\"")),
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            w,
             "# HELP sevuldet_stage_duration_seconds Pipeline stage durations by trace span name."
         );
         let _ = writeln!(w, "# TYPE sevuldet_stage_duration_seconds histogram");
@@ -542,9 +614,21 @@ mod tests {
         m.conn.on_accept();
         m.conn.on_accept();
         m.conn.on_close(CloseReason::PeerClosed);
-        let text = m.render(7, "int8");
+        m.model_stats("champion").scans.store(9, Ordering::Relaxed);
+        m.model_stats("champion").forward_duration.observe(0.003);
+        let text = m.render(
+            7,
+            "int8",
+            &[("champion".to_string(), 7), ("challenger".to_string(), 1)],
+        );
         for needle in [
             "sevuldet_precision_tier{tier=\"int8\"} 1",
+            "sevuldet_requests_total{model=\"champion\"} 9",
+            "sevuldet_requests_total{model=\"challenger\"} 0",
+            "sevuldet_model_version{model=\"champion\"} 7",
+            "sevuldet_model_version{model=\"challenger\"} 1",
+            "sevuldet_model_forward_duration_seconds_bucket{model=\"champion\",le=\"0.005\"} 1",
+            "sevuldet_model_forward_duration_seconds_count{model=\"champion\"} 1",
             "sevuldet_reload_failures_total 5",
             "sevuldet_worker_panics_total 1",
             "sevuldet_checkpoints_written_total",
@@ -600,7 +684,7 @@ mod tests {
         m.observe_stage("serve.forward", 2_000_000); // 2 ms
         m.observe_stage("serve.forward", 40_000_000); // 40 ms
         m.observe_stage("serve.queue_wait", 500); // 0.5 µs
-        let text = m.render(1, "f64");
+        let text = m.render(1, "f64", &[]);
         for needle in [
             "# TYPE sevuldet_stage_duration_seconds histogram",
             "sevuldet_stage_duration_seconds_bucket{stage=\"serve.forward\",le=\"0.01\"} 1",

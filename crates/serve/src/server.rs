@@ -17,26 +17,33 @@
 //!
 //! | Method | Path       | Purpose                                           |
 //! |--------|------------|---------------------------------------------------|
-//! | POST   | `/scan`    | Scan C source: `{"source": "...", "name": "..."}` |
-//! | POST   | `/reload`  | Hot-swap the model from its file (validated)      |
+//! | POST   | `/scan`    | Scan C source: `{"source": "...", "name": "...",` |
+//! |        |            | `"model": "...", "explain": true}`                |
+//! | POST   | `/reload`  | Hot-swap model(s) from file (validated); scope    |
+//! |        |            | with `{"model": "name"}`, empty body = all        |
 //! | GET    | `/metrics` | Prometheus text exposition                        |
-//! | GET    | `/healthz` | Liveness + readiness + current model version      |
+//! | GET    | `/healthz` | Liveness + readiness + current model version(s)   |
 //!
 //! `/scan` answers `200` with a scan report, `400` on malformed requests,
-//! `422` when the source does not parse, `429` when the queue is full
-//! (backpressure), `500` when scoring the request panicked (isolated from
-//! its batch), `503` while draining, and `504` when the per-request
-//! deadline expires before scoring. `/reload` answers `422` when the
-//! candidate model is rejected (missing, corrupt, or failing its smoke
-//! forward pass) — the old model keeps serving. `/healthz` answers `503`
-//! with `"draining"` once shutdown has begun. Slow or abusive clients get
-//! `408` (header deadline), `431` (oversized head), or `413` (oversized
-//! body).
+//! `404` when the request names an unknown model, `422` when the source
+//! does not parse, `429` when the queue is full (backpressure), `500` when
+//! scoring the request panicked (isolated from its batch), `503` while
+//! draining, and `504` when the per-request deadline expires before
+//! scoring. The `model` field routes to a named registry model (or
+//! `ensemble:a,b,c` for a vote across several); `explain: true` attaches
+//! the Fig. 6 per-token heatmap to every finding. `/reload` answers `422`
+//! when a candidate model is rejected (missing, corrupt, or failing its
+//! smoke forward pass) — that model's old version keeps serving; an
+//! optional `{"model": "name"}` body scopes the reload to one registry
+//! slot. `/healthz` answers `503` with `"draining"` once shutdown has
+//! begun. Slow or abusive clients get `408` (header deadline), `431`
+//! (oversized head), or `413` (oversized body). See `docs/API.md` for the
+//! full reference.
 
 use crate::batch::{worker_loop, JobOutcome, JobQueue, ScanJob, SubmitError, WorkerConfig};
 use crate::http::{read_request, write_response_with_headers, HttpError, ReadOutcome, Request};
 use crate::metrics::{CloseReason, Metrics};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelChoice, MultiRegistry};
 use sevuldet::Json;
 use sevuldet_query::{QueryConfig, QueryEngine};
 use std::io::{BufReader, Write};
@@ -140,7 +147,7 @@ impl Default for ServeConfig {
 struct Shared {
     cfg: ServeConfig,
     queue: JobQueue,
-    registry: ModelRegistry,
+    registry: MultiRegistry,
     metrics: Arc<Metrics>,
     draining: Arc<AtomicBool>,
 }
@@ -209,11 +216,19 @@ impl ServerHandle {
 /// Binds, spawns the I/O front end (event loop or accept loop) and the
 /// batch workers, and returns.
 ///
+/// Accepts either a single [`crate::registry::ModelRegistry`] (served as
+/// the lone `default` model, preserving the original single-model API) or
+/// a [`MultiRegistry`] with named slots, A/B splits, and ensembles.
+///
 /// # Errors
 ///
 /// Propagates bind failures; [`IoModel::EventLoop`] off Linux is
 /// `Unsupported`.
-pub fn start(cfg: ServeConfig, registry: ModelRegistry) -> std::io::Result<ServerHandle> {
+pub fn start(
+    cfg: ServeConfig,
+    registry: impl Into<MultiRegistry>,
+) -> std::io::Result<ServerHandle> {
+    let registry = registry.into();
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
 
@@ -427,7 +442,7 @@ fn route(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
         }
         ("POST", "/reload") => {
             shared.metrics.count_request("reload");
-            let (status, body) = do_reload(shared);
+            let (status, body) = do_reload(shared, &req.body);
             (status, "application/json", body)
         }
         _ => route_sync(req, shared),
@@ -456,7 +471,7 @@ fn route_sync(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
                     Json::obj(vec![("status", Json::str("draining"))]).to_string(),
                 );
             }
-            let version = shared.registry.current().version;
+            let version = shared.registry.by_index(0).current().version;
             // Readiness has three levels: `ok`, `degraded` (still 200 —
             // the scan queue is nearly full, so new work will soon be
             // queued-rejected or slow; balancers keep routing but
@@ -473,6 +488,20 @@ fn route_sync(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
                 ),
                 ("model_version", Json::Num(version as f64)),
             ];
+            // With several named models, readiness also reports every
+            // slot's version (the scalar above stays: it is the default
+            // model's, preserving the single-model response shape).
+            let models = Json::Obj(
+                shared
+                    .registry
+                    .versions()
+                    .into_iter()
+                    .map(|(name, v)| (name, Json::Num(v as f64)))
+                    .collect(),
+            );
+            if shared.registry.len() > 1 {
+                fields.push(("models", models));
+            }
             if degraded {
                 fields.push(("queue_depth", Json::Num(depth as f64)));
                 fields.push(("queue_cap", Json::Num(shared.cfg.queue_cap as f64)));
@@ -496,9 +525,12 @@ fn route_sync(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
 /// Renders the Prometheus exposition, with the shard identity appended when
 /// this process is part of a fleet.
 fn render_metrics(shared: &Shared) -> String {
-    let version = shared.registry.current().version;
-    let precision = shared.registry.precision();
-    let mut text = shared.metrics.render(version, precision.as_str());
+    let default_slot = shared.registry.by_index(0);
+    let version = default_slot.current().version;
+    let precision = default_slot.precision();
+    let mut text = shared
+        .metrics
+        .render(version, precision.as_str(), &shared.registry.versions());
     if let Some((i, n)) = shared.cfg.shard {
         text.push_str("# HELP sevuldet_shard_info Fleet identity of this shard process.\n");
         text.push_str("# TYPE sevuldet_shard_info gauge\n");
@@ -508,30 +540,125 @@ fn render_metrics(shared: &Shared) -> String {
 }
 
 /// Runs a model hot-swap and maps the result to `(status, JSON body)`.
-fn do_reload(shared: &Shared) -> (u16, String) {
-    match shared.registry.reload() {
-        Ok(version) => {
-            shared.metrics.reloads.fetch_add(1, Ordering::Relaxed);
-            (
-                200,
-                Json::obj(vec![
-                    ("reloaded", Json::Bool(true)),
-                    ("version", Json::Num(version as f64)),
-                ])
-                .to_string(),
-            )
+///
+/// The optional request body scopes the swap: `{"model": "name"}` reloads
+/// only that registry slot (404 when the name is unknown); an empty body
+/// reloads every slot. A single-model registry answers in the original
+/// pre-multi-model shape (`{"reloaded":true,"version":N}`), so existing
+/// clients and the balancer's broadcast aggregation are unaffected.
+fn do_reload(shared: &Shared, body: &[u8]) -> (u16, String) {
+    let scope: Option<String> = if body.iter().all(u8::is_ascii_whitespace) {
+        None
+    } else {
+        let Ok(text) = std::str::from_utf8(body) else {
+            return (400, error_body("body is not UTF-8"));
+        };
+        let doc = match Json::parse(text) {
+            Ok(doc) => doc,
+            Err(e) => return (400, error_body(&format!("invalid JSON: {e}"))),
+        };
+        match doc.get("model") {
+            None => None,
+            Some(v) => match v.as_str() {
+                Some(name) => Some(name.to_string()),
+                None => return (400, error_body("field `model` must be a string")),
+            },
         }
-        // The candidate was unreadable, corrupt, or failed its smoke test:
-        // the old model keeps serving, the rejection is counted, and the
-        // client gets 422 with the typed reason.
-        Err(e) => {
+    };
+    let results = match shared.registry.reload(scope.as_deref()) {
+        Ok(results) => results,
+        // The scope named a model the registry does not hold: nothing was
+        // attempted, nothing changed.
+        Err(_) => {
+            let name = scope.as_deref().unwrap_or_default();
+            return (404, unknown_model_body(&shared.registry, name));
+        }
+    };
+    // Count each slot's outcome. A rejected candidate (unreadable,
+    // corrupt, or failing its smoke forward pass) leaves that slot's old
+    // model serving and yields 422 with the typed reason.
+    let mut all_ok = true;
+    for (_, r) in &results {
+        if r.is_ok() {
+            shared.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+        } else {
+            all_ok = false;
             shared
                 .metrics
                 .reload_failures
                 .fetch_add(1, Ordering::Relaxed);
-            (422, error_body(&e.to_string()))
         }
     }
+    if let Some(name) = scope {
+        // Scoped: exactly one slot was attempted.
+        let (status, mut fields) = match &results[0].1 {
+            Ok(version) => (
+                200,
+                vec![
+                    ("reloaded", Json::Bool(true)),
+                    ("version", Json::Num(*version as f64)),
+                ],
+            ),
+            Err(e) => (
+                422,
+                vec![
+                    ("reloaded", Json::Bool(false)),
+                    ("error", Json::str(e.to_string())),
+                ],
+            ),
+        };
+        fields.insert(1, ("model", Json::str(name)));
+        return (status, Json::obj(fields).to_string());
+    }
+    if results.len() == 1 {
+        // Single-model registry: the original response shape, byte-stable.
+        return match &results[0].1 {
+            Ok(version) => (
+                200,
+                Json::obj(vec![
+                    ("reloaded", Json::Bool(true)),
+                    ("version", Json::Num(*version as f64)),
+                ])
+                .to_string(),
+            ),
+            Err(e) => (422, error_body(&e.to_string())),
+        };
+    }
+    // Broadcast across a multi-model registry: per-slot results, 422 if
+    // any slot rejected its candidate (the others still swapped).
+    let models = results
+        .into_iter()
+        .map(|(name, r)| {
+            let mut fields = vec![
+                ("model".to_string(), Json::str(name)),
+                ("reloaded".to_string(), Json::Bool(r.is_ok())),
+            ];
+            match r {
+                Ok(version) => fields.push(("version".to_string(), Json::Num(version as f64))),
+                Err(e) => fields.push(("error".to_string(), Json::str(e.to_string()))),
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    let body = Json::obj(vec![
+        ("reloaded", Json::Bool(all_ok)),
+        ("models", Json::Arr(models)),
+    ])
+    .to_string();
+    (if all_ok { 200 } else { 422 }, body)
+}
+
+/// Typed 404 body for a request naming a model the registry does not hold.
+fn unknown_model_body(registry: &MultiRegistry, name: &str) -> String {
+    Json::obj(vec![
+        ("error", Json::str(format!("unknown model `{name}`"))),
+        ("model", Json::str(name)),
+        (
+            "available",
+            Json::Arr(registry.names().map(Json::str).collect()),
+        ),
+    ])
+    .to_string()
 }
 
 fn error_body(msg: &str) -> String {
@@ -543,6 +670,14 @@ struct ScanFields {
     name: String,
     source: String,
     deadline: Duration,
+    /// Which registry slot(s) score this request.
+    choice: ModelChoice,
+    /// The label echoed back as the report's `model` field: the explicit
+    /// request spec, or the split-picked name. `None` for a plain
+    /// single-model scan, keeping that response byte-stable.
+    model_label: Option<String>,
+    /// Attach the per-token relevance heatmap to every finding.
+    explain: bool,
 }
 
 /// Validates a `/scan` request (shared by both I/O models so the error
@@ -563,6 +698,36 @@ fn scan_fields(req: &Request, shared: &Shared) -> Result<ScanFields, (u16, Strin
         .and_then(Json::as_str)
         .unwrap_or("request")
         .to_string();
+    // Model selection: an explicit `model` field (a registry name, or
+    // `ensemble:a,b,c`) wins; otherwise a configured A/B split picks by
+    // source digest (deterministic, so balancer hash-affinity and the
+    // query cache keep working per model); otherwise the default slot.
+    let (choice, model_label) = match doc.get("model") {
+        Some(v) => {
+            let Some(spec) = v.as_str() else {
+                return Err((400, error_body("field `model` must be a string")));
+            };
+            match shared.registry.resolve(spec) {
+                Ok(choice) => (choice, Some(spec.to_string())),
+                Err(unknown) => return Err((404, unknown_model_body(&shared.registry, &unknown))),
+            }
+        }
+        None if shared.registry.split().is_some() => {
+            let idx = shared.registry.pick(source);
+            (
+                ModelChoice::Single(idx),
+                Some(shared.registry.name_of(idx).to_string()),
+            )
+        }
+        None => (ModelChoice::Single(0), None),
+    };
+    let explain = match doc.get("explain") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return Err((400, error_body("field `explain` must be a boolean"))),
+        },
+    };
     // Per-request deadline override, capped at the server default so one
     // client cannot park jobs in the queue for minutes.
     let deadline = req
@@ -574,6 +739,9 @@ fn scan_fields(req: &Request, shared: &Shared) -> Result<ScanFields, (u16, Strin
         name,
         source: source.to_string(),
         deadline,
+        choice,
+        model_label,
+        explain,
     })
 }
 
@@ -607,6 +775,9 @@ fn handle_scan(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
     let job = ScanJob {
         name: fields.name,
         source: fields.source,
+        choice: fields.choice,
+        model_label: fields.model_label,
+        explain: fields.explain,
         enqueued: Instant::now(),
         deadline: Instant::now() + deadline,
         resp: crate::batch::Responder::channel(resp_tx),
@@ -661,6 +832,9 @@ impl crate::eventloop::Handler for LoopHandler {
                 let job = ScanJob {
                     name: fields.name,
                     source: fields.source,
+                    choice: fields.choice,
+                    model_label: fields.model_label,
+                    explain: fields.explain,
                     enqueued: Instant::now(),
                     deadline: Instant::now() + fields.deadline,
                     resp: crate::batch::Responder::new(move |outcome| {
@@ -682,10 +856,11 @@ impl crate::eventloop::Handler for LoopHandler {
                 // answers 503.
                 let shared = self.shared.clone();
                 let completer = completer.take();
+                let body = req.body.clone();
                 let _ = std::thread::Builder::new()
                     .name("svd-reload".to_string())
                     .spawn(move || {
-                        let (status, body) = do_reload(&shared);
+                        let (status, body) = do_reload(&shared, &body);
                         completer.complete(Response::json(status, body));
                     });
                 None
